@@ -1,0 +1,59 @@
+//! Benchmarks the two level-local key functions of Section 4: formal sums
+//! over node references (the paper's choice) vs. expanded child matrices
+//! (the rejected sufficient-and-necessary alternative).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdl_core::ablation::comp_lumping_level_expanded;
+use mdl_core::{comp_lumping_level, LumpKind};
+use mdl_linalg::Tolerance;
+use mdl_models::random::{planted_model, LevelSpec};
+use mdl_partition::Partition;
+
+fn bench_keys(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_function");
+    group.sample_size(10);
+
+    for copies in [2usize, 3, 4] {
+        let pm = planted_model(
+            7,
+            &[
+                LevelSpec::uniform(3, copies),
+                LevelSpec::uniform(3, copies),
+                LevelSpec::uniform(3, copies),
+            ],
+            LumpKind::Ordinary,
+            2,
+            2,
+        );
+        let md = pm.expr.to_md().expect("planted model builds");
+        let n = md.sizes()[0];
+
+        group.bench_with_input(BenchmarkId::new("formal_sum", copies), &copies, |b, _| {
+            b.iter(|| {
+                comp_lumping_level(
+                    md.nodes_at(0),
+                    Partition::single_class(n),
+                    LumpKind::Ordinary,
+                    Tolerance::default(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("expanded", copies), &copies, |b, _| {
+            b.iter(|| {
+                comp_lumping_level_expanded(
+                    &md,
+                    0,
+                    Partition::single_class(n),
+                    LumpKind::Ordinary,
+                    Tolerance::default(),
+                )
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_keys);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Benchmarks the compositional lumping algorithm itself — the "lump
+//! time" column of Table 1 — including the combined-key vs. per-node
+//! fixed-point variants and the quasi-reduction post-pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mdl_core::{compositional_lump, compositional_lump_with, LumpKind, LumpOptions};
+use mdl_models::shared_repair::{SharedRepairConfig, SharedRepairModel};
+use mdl_models::tandem::{TandemConfig, TandemModel};
+
+fn bench_lumping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lumping");
+    group.sample_size(10);
+
+    let tandem = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = tandem.build_md_mrp().expect("tandem builds");
+    group.bench_function("tandem_j1_ordinary", |b| {
+        b.iter(|| compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps"))
+    });
+    group.bench_function("tandem_j1_ordinary_per_node", |b| {
+        b.iter(|| {
+            compositional_lump_with(
+                &mrp,
+                LumpKind::Ordinary,
+                &LumpOptions {
+                    per_node_fixed_point: true,
+                    ..Default::default()
+                },
+            )
+            .expect("lumps")
+        })
+    });
+    group.bench_function("tandem_j1_ordinary_quasi_reduce", |b| {
+        b.iter(|| {
+            compositional_lump_with(
+                &mrp,
+                LumpKind::Ordinary,
+                &LumpOptions {
+                    quasi_reduce: true,
+                    ..Default::default()
+                },
+            )
+            .expect("lumps")
+        })
+    });
+    group.bench_function("tandem_j1_ordinary_canonicalize", |b| {
+        b.iter(|| {
+            compositional_lump_with(
+                &mrp,
+                LumpKind::Ordinary,
+                &LumpOptions {
+                    canonicalize: true,
+                    ..Default::default()
+                },
+            )
+            .expect("lumps")
+        })
+    });
+    group.bench_function("tandem_j1_exact", |b| {
+        b.iter(|| compositional_lump(&mrp, LumpKind::Exact).expect("lumps"))
+    });
+
+    let repair = SharedRepairModel::new(SharedRepairConfig {
+        machines: 10,
+        ..SharedRepairConfig::default()
+    });
+    let repair_mrp = repair.build_md_mrp().expect("repair builds");
+    group.bench_function("shared_repair_m10_ordinary", |b| {
+        b.iter(|| compositional_lump(&repair_mrp, LumpKind::Ordinary).expect("lumps"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lumping);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks the MDD substrate: construction from tuple sets, indexing,
+//! set operations and quotienting — the costs underneath every symbolic
+//! state-space manipulation in the stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mdl_mdd::Mdd;
+use mdl_partition::Partition;
+
+fn random_tuples(seed: u64, sizes: &[usize], count: usize) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tuples: Vec<Vec<u32>> = (0..count)
+        .map(|_| sizes.iter().map(|&s| rng.gen_range(0..s as u32)).collect())
+        .collect();
+    tuples.sort_unstable();
+    tuples.dedup();
+    tuples
+}
+
+fn bench_mdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdd_ops");
+    group.sample_size(10);
+
+    let sizes = vec![16usize, 64, 64];
+    let tuples = random_tuples(1, &sizes, 50_000);
+    group.bench_function("build_50k_tuples", |b| {
+        b.iter(|| Mdd::from_sorted_unique_tuples(sizes.clone(), &tuples))
+    });
+
+    let mdd = Mdd::from_sorted_unique_tuples(sizes.clone(), &tuples);
+    group.bench_function("index_of_all", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in &tuples {
+                acc += mdd.index_of(t).expect("member");
+            }
+            acc
+        })
+    });
+
+    let other = Mdd::from_tuples(sizes.clone(), random_tuples(2, &sizes, 50_000)).unwrap();
+    group.bench_function("union_50k_50k", |b| {
+        b.iter(|| mdd.union(&other).expect("same shape"))
+    });
+    group.bench_function("intersection_50k_50k", |b| {
+        b.iter(|| mdd.intersection(&other).expect("same shape"))
+    });
+
+    // Quotient by pairing adjacent locals (compatible for the full product).
+    let full = Mdd::full(sizes.clone()).unwrap();
+    let partitions: Vec<Partition> = sizes
+        .iter()
+        .map(|&s| Partition::from_key_fn(s, |x| x / 2))
+        .collect();
+    group.bench_function("quotient_full_product", |b| {
+        b.iter(|| full.quotient(&partitions).expect("compatible"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mdd);
+criterion_main!(benches);

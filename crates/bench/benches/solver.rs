@@ -1,0 +1,65 @@
+//! Benchmarks symbolic matrix-vector sweeps and stationary solves on the
+//! unlumped vs. lumped tandem chain — the per-iteration-cost claim of
+//! Section 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mdl_core::{compositional_lump, LumpKind};
+use mdl_ctmc::SolverOptions;
+use mdl_linalg::RateMatrix;
+use mdl_models::tandem::{TandemConfig, TandemModel};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+
+    let tandem = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = tandem.build_md_mrp().expect("tandem builds");
+    let lumped = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+
+    let n_full = mrp.num_states();
+    let x_full = vec![1.0 / n_full as f64; n_full];
+    group.bench_function("sweep_unlumped_40k", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; n_full];
+            mrp.matrix().acc_vec_mat(&x_full, &mut y);
+            y
+        })
+    });
+
+    let n_lump = lumped.mrp.num_states();
+    let x_lump = vec![1.0 / n_lump as f64; n_lump];
+    group.bench_function("sweep_lumped_505", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; n_lump];
+            lumped.mrp.matrix().acc_vec_mat(&x_lump, &mut y);
+            y
+        })
+    });
+
+    let opts = SolverOptions {
+        tolerance: 1e-8,
+        ..SolverOptions::default()
+    };
+    group.bench_function("stationary_lumped", |b| {
+        b.iter(|| lumped.mrp.stationary(&opts).expect("solves"))
+    });
+
+    // Flat baseline sweep for the same chain (materialized sparse matrix).
+    let flat = mrp.matrix().flatten();
+    group.bench_function("sweep_flat_baseline_40k", |b| {
+        b.iter(|| {
+            let mut y = vec![0.0; n_full];
+            flat.acc_vec_mat(&x_full, &mut y);
+            y
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks the optimal state-level lumping baseline [9] on flat chains
+//! of growing size — the engine the compositional algorithm applies
+//! per level, and the cost the paper's approach avoids paying on the full
+//! state space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mdl_linalg::{CooMatrix, CsrMatrix};
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_statelump::{ordinary_lump, LumpOptions};
+
+/// A ring of `blocks` identical 4-state blocks (known 4x lumpable).
+fn ring_of_blocks(blocks: usize) -> CsrMatrix {
+    let n = blocks * 4;
+    let mut coo = CooMatrix::new(n, n);
+    for b in 0..blocks {
+        let base = b * 4;
+        let next = ((b + 1) % blocks) * 4;
+        for k in 0..4 {
+            coo.push(base + k, base + (k + 1) % 4, 1.0); // internal cycle
+            coo.push(base + k, next + k, 0.5); // to the same slot next block
+        }
+    }
+    coo.to_csr()
+}
+
+fn bench_statelump(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statelump");
+    group.sample_size(10);
+
+    for blocks in [100usize, 1_000, 10_000] {
+        let r = ring_of_blocks(blocks);
+        let reward = vec![0.0; r.nrows()];
+        group.bench_with_input(
+            BenchmarkId::new("ring_of_blocks", blocks * 4),
+            &blocks,
+            |b, _| b.iter(|| ordinary_lump(&r, &reward, &LumpOptions::default())),
+        );
+    }
+
+    // The flattened tandem chain (J = 1): the cost of flat optimal lumping
+    // that the compositional algorithm sidesteps.
+    let tandem = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = tandem
+        .build_md_mrp_with_reward(TandemReward::Availability)
+        .expect("tandem builds");
+    let flat = mrp.matrix().flatten();
+    let reward = mrp.reward_vector();
+    group.bench_function("tandem_j1_flat_40k", |b| {
+        b.iter(|| ordinary_lump(&flat, &reward, &LumpOptions::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_statelump);
+criterion_main!(benches);

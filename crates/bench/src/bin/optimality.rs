@@ -1,0 +1,88 @@
+//! The Section 5 optimality check: "we verified that our compositional
+//! algorithm generates the smallest lumped CTMC possible … by running the
+//! compositional algorithm result through our implementation of the
+//! state-level lumping algorithm \[9\]".
+//!
+//! For each `J` (default 1 and 2 — the flat matrices must fit in memory),
+//! this binary:
+//!
+//! 1. builds and compositionally lumps the tandem model;
+//! 2. independently **verifies** the lump on the flattened chains
+//!    (Theorem 1/2 conditions);
+//! 3. flattens the lumped chain and runs optimal state-level lumping on
+//!    it — any further reduction would mean the local conditions left
+//!    lumpability on the table;
+//! 4. for calibration, also runs optimal state-level lumping directly on
+//!    the **unlumped** flat chain, giving the true optimum to compare
+//!    against.
+//!
+//! Run with `cargo run -p mdl-bench --release --bin optimality [J…]`.
+
+use std::time::Instant;
+
+use mdl_core::verify;
+use mdl_linalg::Tolerance;
+use mdl_models::tandem::TandemReward;
+use mdl_statelump::{ordinary_partition, LumpOptions};
+
+fn main() {
+    let jobs: Vec<usize> = {
+        let parsed: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|a| a.parse().ok())
+            .collect();
+        if parsed.is_empty() {
+            vec![1, 2]
+        } else {
+            parsed
+        }
+    };
+    let options = LumpOptions {
+        tolerance: Tolerance::default(),
+    };
+
+    println!("Optimality of compositional lumping on the tandem model");
+    println!(
+        "{:>3} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "J", "unlumped", "composit.", "post-lumped", "optimal", "verified"
+    );
+    for j in jobs {
+        eprintln!("J = {j}: building, lumping, verifying, flattening …");
+        let (row, mrp, result) = mdl_bench::tandem_row(j, TandemReward::Availability);
+
+        // Independent verification of the compositional result.
+        let verified = verify::verify_ordinary(&mrp, &result, Tolerance::default()).is_ok();
+
+        // State-level lumping on the compositionally lumped chain.
+        let lumped_flat = result.mrp.matrix().flatten();
+        let lumped_reward = result.mrp.reward_vector();
+        let t0 = Instant::now();
+        let post = ordinary_partition(&lumped_flat, &lumped_reward, &options);
+        let post_time = t0.elapsed();
+
+        // True optimum: state-level lumping on the unlumped flat chain.
+        let flat = mrp.matrix().flatten();
+        let reward = mrp.reward_vector();
+        let t1 = Instant::now();
+        let optimal = ordinary_partition(&flat, &reward, &options);
+        let optimal_time = t1.elapsed();
+
+        println!(
+            "{:>3} {:>10} {:>10} {:>12} {:>12} {:>10}",
+            j,
+            row.overall,
+            row.lumped_overall,
+            post.num_classes(),
+            optimal.num_classes(),
+            if verified { "yes" } else { "NO" },
+        );
+        println!(
+            "    residual lumpability left by the local conditions: {:.2}% of lumped states",
+            100.0 * (1.0 - post.num_classes() as f64 / row.lumped_overall as f64)
+        );
+        println!(
+            "    times: compositional {:?}, state-level on lumped {post_time:?}, state-level on full {optimal_time:?}",
+            row.lumping
+        );
+    }
+}

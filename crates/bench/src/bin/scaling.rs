@@ -1,0 +1,110 @@
+//! Scaling sweep extending Table 1's `J` column and varying the model's
+//! structural parameters: how state-space sizes, reduction factors and
+//! lumping time grow with the job population, the MSMQ server count and
+//! the cube dimension.
+//!
+//! Run with `cargo run -p mdl-bench --release --bin scaling`.
+
+use mdl_core::{compositional_lump, LumpKind};
+use mdl_models::multi_bank::{MultiBankConfig, MultiBankModel};
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+
+fn run(label: &str, config: TandemConfig) {
+    let t0 = std::time::Instant::now();
+    let model = TandemModel::new(config);
+    let mrp = match model.build_md_mrp_with_reward(TandemReward::Availability) {
+        Ok(m) => m,
+        Err(e) => {
+            println!("{label:<24} skipped: {e}");
+            return;
+        }
+    };
+    let gen = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lump");
+    let lump = t1.elapsed();
+    println!(
+        "{label:<24} states {:>10} -> {:>8}  (x{:>6.1})  gen {:>9} lump {:>9}  nodes {:?}",
+        result.stats.original_states,
+        result.stats.lumped_states,
+        result.stats.reduction_factor(),
+        format!("{gen:.2?}"),
+        format!("{lump:.2?}"),
+        mrp.matrix().md().nodes_per_level(),
+    );
+}
+
+fn main() {
+    println!("Scaling sweeps (tandem model)");
+    println!();
+    println!("Job population J (paper sweeps 1-3):");
+    for jobs in 1..=3 {
+        run(
+            &format!("J = {jobs}"),
+            TandemConfig {
+                jobs,
+                ..TandemConfig::default()
+            },
+        );
+    }
+    println!();
+    println!("MSMQ servers (J = 1):");
+    for servers in 1..=4 {
+        run(
+            &format!("msmq_servers = {servers}"),
+            TandemConfig {
+                jobs: 1,
+                msmq_servers: servers,
+                ..TandemConfig::default()
+            },
+        );
+    }
+    println!();
+    println!("Cube dimension (J = 1):");
+    for dim in 1..=4 {
+        run(
+            &format!("cube_dim = {dim}"),
+            TandemConfig {
+                jobs: 1,
+                cube_dim: dim,
+                ..TandemConfig::default()
+            },
+        );
+    }
+    println!();
+    println!("MSMQ queues (J = 1):");
+    for queues in 2..=5 {
+        run(
+            &format!("msmq_queues = {queues}"),
+            TandemConfig {
+                jobs: 1,
+                msmq_queues: queues,
+                ..TandemConfig::default()
+            },
+        );
+    }
+
+    println!();
+    println!("Deep MDs: multi-bank model, G banks of M = 3 machines (G + 1 levels):");
+    for banks in 1..=5 {
+        let t0 = std::time::Instant::now();
+        let model = MultiBankModel::new(MultiBankConfig {
+            banks,
+            machines_per_bank: 3,
+            ..MultiBankConfig::default()
+        });
+        let mrp = model.build_md_mrp().expect("build");
+        let gen = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lump");
+        println!(
+            "G = {banks} ({} levels)      states {:>10} -> {:>8}  (x{:>6.1})  gen {:>9} lump {:>9}",
+            banks + 1,
+            result.stats.original_states,
+            result.stats.lumped_states,
+            result.stats.reduction_factor(),
+            format!("{gen:.2?}"),
+            format!("{:.2?}", t1.elapsed()),
+        );
+    }
+}

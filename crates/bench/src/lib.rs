@@ -1,0 +1,244 @@
+//! Shared experiment harness for regenerating the paper's evaluation.
+//!
+//! The paper's evaluation is Table 1 plus quantitative claims in the
+//! Section 5 prose; every binary in this crate regenerates one of them
+//! (see `DESIGN.md` §5 for the experiment index and `EXPERIMENTS.md` for
+//! recorded paper-vs-measured results):
+//!
+//! * `table1` — the full Table 1 (sizes, node counts, reductions, times,
+//!   memory) for `J ∈ {1, 2, 3}`;
+//! * `optimality` — the Section 5 check that state-level lumping finds no
+//!   further reduction on the compositionally lumped chain;
+//! * `solution_cost` — solution-vector size, per-iteration time and
+//!   measure agreement, lumped vs. unlumped;
+//! * `ablation_key` — formal-sum vs. expanded-matrix key function
+//!   (Section 4's rejected alternative);
+//! * `scaling` — growth beyond the paper's `J ≤ 3` column.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use mdl_core::{compositional_lump, LumpKind, LumpResult, MdMrp};
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+
+/// One row of the regenerated Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct TandemRow {
+    /// Number of jobs `J`.
+    pub jobs: usize,
+    /// Overall reachable states (unlumped).
+    pub overall: u64,
+    /// Per-level local state-space sizes `S₁, S₂, S₃`.
+    pub level_sizes: Vec<usize>,
+    /// MD nodes per level `N₁, N₂, N₃`.
+    pub nodes_per_level: Vec<usize>,
+    /// Overall lumped states.
+    pub lumped_overall: u64,
+    /// Per-level lumped sizes `Ŝ₁, Ŝ₂, Ŝ₃`.
+    pub lumped_level_sizes: Vec<usize>,
+    /// Overall reduction factor.
+    pub reduction_overall: f64,
+    /// Per-level reduction factors.
+    pub reduction_per_level: Vec<f64>,
+    /// State-space generation time (model build + MD + reachability).
+    pub generation: Duration,
+    /// Compositional lumping time.
+    pub lumping: Duration,
+    /// Unlumped symbolic memory (MD + MDD), bytes.
+    pub memory_unlumped: usize,
+    /// Lumped symbolic memory (MD + MDD), bytes.
+    pub memory_lumped: usize,
+}
+
+/// Builds the tandem model for `jobs` and runs the full Table-1 pipeline.
+///
+/// # Panics
+///
+/// Panics if the model fails to build or lump (should not happen for the
+/// supported configurations).
+pub fn tandem_row(jobs: usize, reward: TandemReward) -> (TandemRow, MdMrp, LumpResult) {
+    let t0 = Instant::now();
+    let model = TandemModel::new(TandemConfig {
+        jobs,
+        ..TandemConfig::default()
+    });
+    let mrp = model
+        .build_md_mrp_with_reward(reward)
+        .expect("tandem model builds");
+    let generation = t0.elapsed();
+
+    let t1 = Instant::now();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("tandem model lumps");
+    let lumping = t1.elapsed();
+
+    let row = TandemRow {
+        jobs,
+        overall: mrp.matrix().reach().count(),
+        level_sizes: model.level_sizes(),
+        nodes_per_level: mrp.matrix().md().nodes_per_level(),
+        lumped_overall: result.stats.lumped_states,
+        lumped_level_sizes: result
+            .stats
+            .per_level
+            .iter()
+            .map(|l| l.lumped_size)
+            .collect(),
+        reduction_overall: result.stats.reduction_factor(),
+        reduction_per_level: result
+            .stats
+            .per_level
+            .iter()
+            .map(|l| l.original_size as f64 / l.lumped_size as f64)
+            .collect(),
+        generation,
+        lumping,
+        memory_unlumped: result.stats.memory_before,
+        memory_lumped: result.stats.memory_after,
+    };
+    (row, mrp, result)
+}
+
+/// Formats a byte count the way the paper's Table 1 does (KB).
+pub fn kb(bytes: usize) -> String {
+    format!("{:.1} KB", bytes as f64 / 1024.0)
+}
+
+/// Formats a duration in seconds with two decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3} s", d.as_secs_f64())
+}
+
+/// Prints the regenerated Table 1 next to the paper's reported values.
+pub fn print_table1(rows: &[TandemRow]) {
+    println!("Table 1 — MD representation of the tandem system's CTMC (reproduction)");
+    println!("(paper values in brackets; see EXPERIMENTS.md for the shape discussion)");
+    println!();
+    println!("Unlumped state-space sizes and MD nodes:");
+    println!(
+        "{:>3} {:>12} {:>6} {:>8} {:>8}   {:>10}",
+        "J", "overall", "S1", "S2", "S3", "N1/N2/N3"
+    );
+    let paper_top = [
+        (1, 22_100u64, 2, 650, 160, "1/3/3"),
+        (2, 197_600, 3, 3_575, 700, "1/5/4"),
+        (3, 1_236_300, 4, 14_300, 2_220, "1/7/5"),
+    ];
+    for row in rows {
+        let nodes = row
+            .nodes_per_level
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("/");
+        println!(
+            "{:>3} {:>12} {:>6} {:>8} {:>8}   {:>10}",
+            row.jobs,
+            row.overall,
+            row.level_sizes[0],
+            row.level_sizes[1],
+            row.level_sizes[2],
+            nodes
+        );
+        if let Some(p) = paper_top.iter().find(|p| p.0 == row.jobs) {
+            println!(
+                "    [paper: overall={} S1={} S2={} S3={} N={}]",
+                p.1, p.2, p.3, p.4, p.5
+            );
+        }
+    }
+    println!();
+    println!("Lumped sizes and reductions:");
+    println!(
+        "{:>3} {:>12} {:>6} {:>8} {:>8}   {:>9} {:>7} {:>7}",
+        "J", "lumped", "Ŝ1", "Ŝ2", "Ŝ3", "overall×", "l2×", "l3×"
+    );
+    let paper_mid = [
+        (1, 395u64, 2, 30, 40, 55.9, 21.7, 4.0),
+        (2, 4_075, 3, 178, 175, 48.4, 20.4, 4.0),
+        (3, 28_090, 4, 803, 555, 44.0, 17.8, 4.0),
+    ];
+    for row in rows {
+        println!(
+            "{:>3} {:>12} {:>6} {:>8} {:>8}   {:>9.1} {:>7.1} {:>7.1}",
+            row.jobs,
+            row.lumped_overall,
+            row.lumped_level_sizes[0],
+            row.lumped_level_sizes[1],
+            row.lumped_level_sizes[2],
+            row.reduction_overall,
+            row.reduction_per_level[1],
+            row.reduction_per_level[2],
+        );
+        if let Some(p) = paper_mid.iter().find(|p| p.0 == row.jobs) {
+            println!(
+                "    [paper: lumped={} Ŝ1={} Ŝ2={} Ŝ3={} overall×{} l2×{} l3×{}]",
+                p.1, p.2, p.3, p.4, p.5, p.6, p.7
+            );
+        }
+    }
+    println!();
+    println!("Times and symbolic memory:");
+    println!(
+        "{:>3} {:>12} {:>12} {:>12} {:>12}",
+        "J", "gen time", "MD space", "lump time", "lumped space"
+    );
+    let paper_bottom = [
+        (1, "0.05 s", "53.9 KB", "0.04 s", "4.7 KB"),
+        (2, "0.80 s", "421.0 KB", "0.26 s", "36.0 KB"),
+        (3, "12.10 s", "2230.0 KB", "1.80 s", "201.0 KB"),
+    ];
+    for row in rows {
+        println!(
+            "{:>3} {:>12} {:>12} {:>12} {:>12}",
+            row.jobs,
+            secs(row.generation),
+            kb(row.memory_unlumped),
+            secs(row.lumping),
+            kb(row.memory_lumped),
+        );
+        if let Some(p) = paper_bottom.iter().find(|p| p.0 == row.jobs) {
+            println!(
+                "    [paper: gen={} md={} lump={} lumped={}]",
+                p.1, p.2, p.3, p.4
+            );
+        }
+    }
+}
+
+/// Parses the `J` list from argv (defaults to `1 2 3`).
+pub fn jobs_from_args() -> Vec<usize> {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    if args.is_empty() {
+        vec![1, 2, 3]
+    } else {
+        args
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tandem_row_smoke() {
+        let (row, mrp, result) = tandem_row(1, TandemReward::Availability);
+        assert_eq!(row.jobs, 1);
+        assert_eq!(row.overall, mrp.matrix().reach().count());
+        assert_eq!(row.lumped_overall, result.stats.lumped_states);
+        assert!(row.reduction_overall > 1.0);
+        assert_eq!(row.level_sizes.len(), 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(kb(2048), "2.0 KB");
+        assert!(secs(Duration::from_millis(1500)).starts_with("1.500"));
+    }
+}

@@ -1,0 +1,97 @@
+//! `mdlump-cli` — parse a model file, lump its matrix diagram, solve for
+//! measures.
+//!
+//! ```text
+//! mdlump-cli info     <model-file>
+//! mdlump-cli lump     <model-file> [--exact] [--iterate]
+//! mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]
+//! mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]
+//! ```
+
+use std::process::ExitCode;
+
+use mdl_cli::commands::{self, Measure};
+use mdl_cli::parse_model;
+use mdl_core::LumpKind;
+
+fn usage() -> String {
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n\nsee the mdl-cli crate docs for the model file format"
+        .to_string()
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, file) = match args.as_slice() {
+        [c, f, ..] => (c.as_str(), f.as_str()),
+        _ => return Err(usage()),
+    };
+    let flags = &args[2..];
+    let kind = if flags.iter().any(|f| f == "--exact") {
+        LumpKind::Exact
+    } else {
+        LumpKind::Ordinary
+    };
+
+    let input = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let parsed = parse_model(&input).map_err(|e| e.to_string())?;
+
+    match command {
+        "info" => commands::info(&parsed),
+        "lump" => {
+            let iterate = flags.iter().any(|f| f == "--iterate");
+            commands::lump(&parsed, kind, iterate)
+        }
+        "solve" => {
+            let value_of = |flag: &str| -> Result<Option<f64>, String> {
+                match flags.iter().position(|f| f == flag) {
+                    None => Ok(None),
+                    Some(i) => flags
+                        .get(i + 1)
+                        .ok_or_else(|| format!("{flag} needs a time horizon"))?
+                        .parse()
+                        .map(Some)
+                        .map_err(|_| format!("{flag}: bad time horizon")),
+                }
+            };
+            let measure = match (value_of("--transient")?, value_of("--accumulated")?) {
+                (Some(_), Some(_)) => {
+                    return Err("choose one of --transient and --accumulated".into())
+                }
+                (Some(t), None) => Measure::Transient(t),
+                (None, Some(t)) => Measure::Accumulated(t),
+                (None, None) => Measure::Stationary,
+            };
+            commands::solve(&parsed, kind, measure, 200_000)
+        }
+        "simulate" => {
+            let numeric = |flag: &str, default: f64| -> Result<f64, String> {
+                match flags.iter().position(|f| f == flag) {
+                    None => Ok(default),
+                    Some(i) => flags
+                        .get(i + 1)
+                        .ok_or_else(|| format!("{flag} needs a value"))?
+                        .parse()
+                        .map_err(|_| format!("{flag}: bad value")),
+                }
+            };
+            let horizon = numeric("--horizon", 100.0)?;
+            let reps = numeric("--reps", 50.0)? as usize;
+            let seed = numeric("--seed", 0x5EED as f64)? as u64;
+            commands::simulate(&parsed, horizon, reps, seed)
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

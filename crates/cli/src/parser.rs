@@ -1,0 +1,542 @@
+//! The model-file parser (format documented at the [crate root](crate)).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mdl_core::{Combiner, DecomposableVector, MdMrp};
+use mdl_md::SparseFactor;
+use mdl_models::{ComposedModel, ModelError};
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending input (0 for end-of-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// The outcome of parsing: a composed model plus its reward structure.
+#[derive(Debug)]
+pub struct ParsedModel {
+    /// Component names in level order.
+    pub component_names: Vec<String>,
+    /// The composed model.
+    pub model: ComposedModel,
+    /// The decomposable reward (defaults to the constant 1 if the file has
+    /// no `reward` section).
+    pub reward: DecomposableVector,
+    /// The initial distribution from the file's `initial` section, or
+    /// `None` for the default point mass on the components' initial
+    /// states.
+    pub initial: Option<DecomposableVector>,
+}
+
+impl ParsedModel {
+    /// Builds the symbolic MRP (matrix diagram, reachability MDD,
+    /// point-mass initial distribution).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-assembly errors.
+    pub fn build(&self) -> Result<MdMrp, ModelError> {
+        match &self.initial {
+            None => self.model.build_md_mrp(self.reward.clone()),
+            Some(initial) => self
+                .model
+                .build_md_mrp_with_initial(self.reward.clone(), initial.clone()),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingEvent {
+    name: String,
+    rate: f64,
+    line: usize,
+    factors: Vec<Option<SparseFactor>>,
+}
+
+#[derive(Debug, Default)]
+struct PendingInitial {
+    /// (level, state, value) assignments.
+    values: Vec<(usize, usize, f64)>,
+    /// per-level default overrides.
+    defaults: HashMap<usize, f64>,
+}
+
+#[derive(Debug)]
+struct PendingReward {
+    combiner_is_sum: bool,
+    /// (level, state, value) assignments.
+    values: Vec<(usize, usize, f64)>,
+    /// per-level default overrides.
+    defaults: HashMap<usize, f64>,
+}
+
+/// Parses a model file.
+///
+/// # Errors
+///
+/// [`ParseError`] with the line number of the first problem.
+pub fn parse_model(input: &str) -> Result<ParsedModel, ParseError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut name_index: HashMap<String, usize> = HashMap::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut initials: Vec<u32> = Vec::new();
+    let mut events: Vec<PendingEvent> = Vec::new();
+    let mut reward: Option<PendingReward> = None;
+    let mut in_reward = false;
+    let mut initial_dist: Option<PendingInitial> = None;
+    let mut in_initial = false;
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "component" => {
+                in_reward = false;
+                in_initial = false;
+                if !events.is_empty() {
+                    return Err(err(lineno, "components must be declared before events"));
+                }
+                let (name, rest) = match tokens.as_slice() {
+                    [_, name, size] => (name, (*size, None)),
+                    [_, name, size, "initial", k] => (name, (*size, Some(*k))),
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            "expected: component <name> <size> [initial <k>]",
+                        ))
+                    }
+                };
+                let size: usize = rest
+                    .0
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad component size {:?}", rest.0)))?;
+                if size == 0 {
+                    return Err(err(lineno, "component size must be positive"));
+                }
+                let initial: u32 = match rest.1 {
+                    None => 0,
+                    Some(k) => k
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad initial state {k:?}")))?,
+                };
+                if initial as usize >= size {
+                    return Err(err(lineno, "initial state outside the component"));
+                }
+                if name_index.contains_key(*name) {
+                    return Err(err(lineno, format!("duplicate component {name}")));
+                }
+                name_index.insert((*name).to_string(), names.len());
+                names.push((*name).to_string());
+                sizes.push(size);
+                initials.push(initial);
+            }
+            "event" => {
+                in_reward = false;
+                in_initial = false;
+                let (name, rate) = match tokens.as_slice() {
+                    [_, name, "rate", r] => (*name, *r),
+                    _ => return Err(err(lineno, "expected: event <name> rate <λ>")),
+                };
+                let rate: f64 = rate
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad rate {rate:?}")))?;
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(err(lineno, "rates must be positive and finite"));
+                }
+                events.push(PendingEvent {
+                    name: name.to_string(),
+                    rate,
+                    line: lineno,
+                    factors: vec![None; names.len()],
+                });
+            }
+            "factor" => {
+                let event = events
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "factor before any event"))?;
+                let (comp, from, to, value) = match tokens.as_slice() {
+                    [_, comp, from, to, value] => (*comp, *from, *to, *value),
+                    _ => {
+                        return Err(err(
+                            lineno,
+                            "expected: factor <component> <from> <to> <value>",
+                        ))
+                    }
+                };
+                let level = *name_index
+                    .get(comp)
+                    .ok_or_else(|| err(lineno, format!("unknown component {comp}")))?;
+                let from: usize = from
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad state {from:?}")))?;
+                let to: usize = to
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad state {to:?}")))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad value {value:?}")))?;
+                if from >= sizes[level] || to >= sizes[level] {
+                    return Err(err(lineno, format!("state outside component {comp}")));
+                }
+                if !value.is_finite() {
+                    return Err(err(lineno, "factor values must be finite"));
+                }
+                let f = event.factors[level].get_or_insert_with(|| SparseFactor::new(sizes[level]));
+                f.push(from, to, value);
+            }
+            "reward" => {
+                if reward.is_some() {
+                    return Err(err(lineno, "duplicate reward section"));
+                }
+                let combiner_is_sum = match tokens.as_slice() {
+                    [_, "sum"] => true,
+                    [_, "product"] => false,
+                    _ => return Err(err(lineno, "expected: reward sum|product")),
+                };
+                reward = Some(PendingReward {
+                    combiner_is_sum,
+                    values: Vec::new(),
+                    defaults: HashMap::new(),
+                });
+                in_reward = true;
+                in_initial = false;
+            }
+            "initial" => {
+                if tokens.len() != 1 {
+                    return Err(err(lineno, "the initial section starts with a bare `initial`"));
+                }
+                if initial_dist.is_some() {
+                    return Err(err(lineno, "duplicate initial section"));
+                }
+                initial_dist = Some(PendingInitial::default());
+                in_initial = true;
+                in_reward = false;
+            }
+            "ivalue" => {
+                if !in_initial {
+                    return Err(err(lineno, "ivalue outside an initial section"));
+                }
+                let d = initial_dist.as_mut().expect("in_initial implies initial_dist");
+                let (comp, state, value) = match tokens.as_slice() {
+                    [_, comp, state, value] => (*comp, *state, *value),
+                    _ => return Err(err(lineno, "expected: ivalue <component> <state> <v>")),
+                };
+                let level = *name_index
+                    .get(comp)
+                    .ok_or_else(|| err(lineno, format!("unknown component {comp}")))?;
+                let state: usize = state
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad state {state:?}")))?;
+                if state >= sizes[level] {
+                    return Err(err(lineno, format!("state outside component {comp}")));
+                }
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad value {value:?}")))?;
+                d.values.push((level, state, value));
+            }
+            "idefault" => {
+                if !in_initial {
+                    return Err(err(lineno, "idefault outside an initial section"));
+                }
+                let d = initial_dist.as_mut().expect("in_initial implies initial_dist");
+                let (comp, value) = match tokens.as_slice() {
+                    [_, comp, value] => (*comp, *value),
+                    _ => return Err(err(lineno, "expected: idefault <component> <v>")),
+                };
+                let level = *name_index
+                    .get(comp)
+                    .ok_or_else(|| err(lineno, format!("unknown component {comp}")))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad value {value:?}")))?;
+                d.defaults.insert(level, value);
+            }
+            "value" => {
+                if !in_reward {
+                    return Err(err(lineno, "value outside a reward section"));
+                }
+                let r = reward.as_mut().expect("in_reward implies reward");
+                let (comp, state, value) = match tokens.as_slice() {
+                    [_, comp, state, value] => (*comp, *state, *value),
+                    _ => return Err(err(lineno, "expected: value <component> <state> <v>")),
+                };
+                let level = *name_index
+                    .get(comp)
+                    .ok_or_else(|| err(lineno, format!("unknown component {comp}")))?;
+                let state: usize = state
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad state {state:?}")))?;
+                if state >= sizes[level] {
+                    return Err(err(lineno, format!("state outside component {comp}")));
+                }
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad value {value:?}")))?;
+                r.values.push((level, state, value));
+            }
+            "default" => {
+                if !in_reward {
+                    return Err(err(lineno, "default outside a reward section"));
+                }
+                let r = reward.as_mut().expect("in_reward implies reward");
+                let (comp, value) = match tokens.as_slice() {
+                    [_, comp, value] => (*comp, *value),
+                    _ => return Err(err(lineno, "expected: default <component> <v>")),
+                };
+                let level = *name_index
+                    .get(comp)
+                    .ok_or_else(|| err(lineno, format!("unknown component {comp}")))?;
+                let value: f64 = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad value {value:?}")))?;
+                r.defaults.insert(level, value);
+            }
+            other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+        }
+    }
+
+    if names.is_empty() {
+        return Err(err(0, "no components declared"));
+    }
+
+    // Assemble the composed model.
+    let mut model = ComposedModel::new();
+    for ((name, &size), &initial) in names.iter().zip(&sizes).zip(&initials) {
+        model.add_component(name.clone(), size, initial);
+    }
+    for e in events {
+        let mut factors = e.factors;
+        factors.resize(names.len(), None);
+        if factors.iter().all(Option::is_none) {
+            return Err(err(e.line, format!("event {} has no factors", e.name)));
+        }
+        model
+            .add_event(e.name.clone(), e.rate, factors)
+            .map_err(|me| err(e.line, format!("event {}: {me}", e.name)))?;
+    }
+
+    // Assemble the reward.
+    let reward = match reward {
+        None => {
+            DecomposableVector::constant(&sizes, 1.0).map_err(|e| err(0, format!("reward: {e}")))?
+        }
+        Some(r) => {
+            let neutral = if r.combiner_is_sum { 0.0 } else { 1.0 };
+            let mut tables: Vec<Vec<f64>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(l, &n)| vec![r.defaults.get(&l).copied().unwrap_or(neutral); n])
+                .collect();
+            for (level, state, value) in r.values {
+                tables[level][state] = value;
+            }
+            let combiner = if r.combiner_is_sum {
+                Combiner::Sum
+            } else {
+                Combiner::Product
+            };
+            DecomposableVector::new(tables, combiner).map_err(|e| err(0, format!("reward: {e}")))?
+        }
+    };
+
+    // Assemble the optional initial distribution (product form; defaults
+    // to 1.0 per unset entry so an untouched level is neutral).
+    let initial = match initial_dist {
+        None => None,
+        Some(d) => {
+            let mut tables: Vec<Vec<f64>> = sizes
+                .iter()
+                .enumerate()
+                .map(|(l, &n)| vec![d.defaults.get(&l).copied().unwrap_or(1.0); n])
+                .collect();
+            for (level, state, value) in d.values {
+                tables[level][state] = value;
+            }
+            Some(
+                DecomposableVector::new(tables, Combiner::Product)
+                    .map_err(|e| err(0, format!("initial: {e}")))?,
+            )
+        }
+    };
+
+    Ok(ParsedModel {
+        component_names: names,
+        model,
+        reward,
+        initial,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# sample model
+component ctrl 2 initial 0
+component workers 3
+
+event toggle rate 0.5
+  factor ctrl 0 1 1.0
+  factor ctrl 1 0 1.0
+
+event work rate 2.0
+  factor ctrl 0 0 1.0
+  factor workers 0 1 1.0
+  factor workers 1 2 1.0
+
+event finish rate 1.0
+  factor workers 1 0 1.0
+  factor workers 2 1 1.0
+
+reward sum
+  value workers 1 1.0
+  value workers 2 2.0
+"#;
+
+    #[test]
+    fn sample_parses_and_builds() {
+        let parsed = parse_model(SAMPLE).unwrap();
+        assert_eq!(parsed.component_names, vec!["ctrl", "workers"]);
+        assert_eq!(parsed.model.sizes(), vec![2, 3]);
+        assert_eq!(parsed.model.events().len(), 3);
+        let mrp = parsed.build().unwrap();
+        assert!(mrp.num_states() > 0);
+        assert_eq!(mrp.reward().evaluate(&[0, 2]), 2.0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let parsed = parse_model("component a 2 # trailing\n\n# full line\n").unwrap();
+        assert_eq!(parsed.model.sizes(), vec![2]);
+    }
+
+    #[test]
+    fn missing_components_rejected() {
+        let e = parse_model("# nothing\n").unwrap_err();
+        assert!(e.message.contains("no components"));
+    }
+
+    #[test]
+    fn unknown_directive_reports_line() {
+        let e = parse_model("component a 2\nfrobnicate\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn factor_before_event_rejected() {
+        let e = parse_model("component a 2\nfactor a 0 1 1.0\n").unwrap_err();
+        assert!(e.message.contains("before any event"));
+    }
+
+    #[test]
+    fn out_of_range_states_rejected() {
+        let e = parse_model("component a 2\nevent x rate 1.0\nfactor a 0 5 1.0\n").unwrap_err();
+        assert!(e.message.contains("outside"));
+    }
+
+    #[test]
+    fn bad_rate_rejected() {
+        let e = parse_model("component a 2\nevent x rate -1\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+        let e = parse_model("component a 2\nevent x rate nope\n").unwrap_err();
+        assert!(e.message.contains("bad rate"));
+    }
+
+    #[test]
+    fn duplicate_component_rejected() {
+        let e = parse_model("component a 2\ncomponent a 3\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn event_without_factors_rejected() {
+        let e = parse_model("component a 2\nevent idle rate 1.0\n").unwrap_err();
+        assert!(e.message.contains("no factors"));
+    }
+
+    #[test]
+    fn default_reward_is_constant_one() {
+        let parsed = parse_model("component a 2\nevent x rate 1.0\nfactor a 0 1 1.0\n").unwrap();
+        assert_eq!(parsed.reward.evaluate(&[0]), 1.0);
+        assert_eq!(parsed.reward.evaluate(&[1]), 1.0);
+    }
+
+    #[test]
+    fn product_reward_with_defaults() {
+        let parsed = parse_model(
+            "component a 2\ncomponent b 2\nevent x rate 1.0\nfactor a 0 1 1.0\n\
+             reward product\ndefault b 0.5\nvalue a 1 3.0\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.reward.evaluate(&[1, 0]), 1.5);
+        assert_eq!(parsed.reward.evaluate(&[0, 1]), 0.5);
+    }
+
+    #[test]
+    fn initial_section_parses_product_form() {
+        let parsed = parse_model(
+            "component a 2\ncomponent b 2\nevent x rate 1.0\nfactor a 0 1 1.0\n\
+             initial\nivalue a 1 0.0\nidefault b 0.5\n",
+        )
+        .unwrap();
+        let init = parsed.initial.expect("initial section parsed");
+        assert_eq!(init.evaluate(&[0, 0]), 0.5);
+        assert_eq!(init.evaluate(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn initial_without_section_is_none() {
+        let parsed =
+            parse_model("component a 2\nevent x rate 1.0\nfactor a 0 1 1.0\n").unwrap();
+        assert!(parsed.initial.is_none());
+    }
+
+    #[test]
+    fn initial_directives_require_section() {
+        let e = parse_model("component a 2\nivalue a 0 1.0\n").unwrap_err();
+        assert!(e.message.contains("outside an initial section"));
+        let e = parse_model("component a 2\nidefault a 1.0\n").unwrap_err();
+        assert!(e.message.contains("outside an initial section"));
+    }
+
+    #[test]
+    fn duplicate_initial_section_rejected() {
+        let e = parse_model("component a 2\ninitial\ninitial\n").unwrap_err();
+        assert!(e.message.contains("duplicate initial"));
+    }
+
+    #[test]
+    fn reward_directives_require_section() {
+        let e = parse_model("component a 2\nvalue a 0 1.0\n").unwrap_err();
+        assert!(e.message.contains("outside a reward section"));
+    }
+}

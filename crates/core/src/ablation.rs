@@ -1,0 +1,355 @@
+//! The rejected design alternative of Section 4, implemented for the
+//! ablation experiments: computing the level-local key `K` by **expanding
+//! child matrices** instead of comparing formal sums.
+//!
+//! The paper observes that taking `K(R_{n₂}, s₂, C₂) = R_{n₂}(s₂, C₂)` as
+//! an actual matrix (of size up to `|S₃| × |S₃|`, where level 3 is the
+//! merge of all lower levels) is *sufficient and necessary* for Eq. (2) but
+//! "prohibitively time-consuming", which is why the algorithm compares
+//! formal sums over node references instead — sufficient only, but local.
+//! This module implements the expanded-matrix key so the trade-off can be
+//! measured: the `ablation_key` binary and `key_function` bench compare
+//! running time and partition coarseness on models where the two differ.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use mdl_linalg::{CooMatrix, CsrMatrix, Tolerance};
+use mdl_md::{ChildId, Md, MdNodeId};
+use mdl_partition::{comp_lumping, Partition, Splitter, StateId};
+
+use crate::lump::LumpKind;
+
+/// Expands the sub-MD rooted at `node` into an explicit sparse matrix over
+/// the **full product** of the levels below `node`'s level (inclusive).
+///
+/// This is the paper's bottom-up level merge (Section 3) — exponential in
+/// the number of remaining levels, which is exactly the cost the formal-sum
+/// key avoids.
+pub fn expand_node(md: &Md, node: MdNodeId) -> CsrMatrix {
+    let mut memo: HashMap<MdNodeId, CsrMatrix> = HashMap::new();
+    expand_rec(md, node, &mut memo)
+}
+
+fn expand_rec(md: &Md, node: MdNodeId, memo: &mut HashMap<MdNodeId, CsrMatrix>) -> CsrMatrix {
+    if let Some(m) = memo.get(&node) {
+        return m.clone();
+    }
+    let level = node.level as usize;
+    let size = md.sizes()[level];
+    let below: usize = md.sizes()[level + 1..].iter().product();
+    let n = size * below;
+    let mut out = CooMatrix::new(n, n);
+    for e in md.node(node).entries() {
+        for t in &e.terms {
+            match t.child {
+                ChildId::Terminal => {
+                    out.push(e.row as usize, e.col as usize, t.coef);
+                }
+                ChildId::Node(c) => {
+                    let child = expand_rec(
+                        md,
+                        MdNodeId {
+                            level: node.level + 1,
+                            index: c,
+                        },
+                        memo,
+                    );
+                    for (r, cc, v) in child.iter() {
+                        out.push(
+                            e.row as usize * below + r,
+                            e.col as usize * below + cc,
+                            t.coef * v,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let m = out.to_csr();
+    memo.insert(node, m.clone());
+    m
+}
+
+/// Canonical comparable form of a matrix: sorted `(row, col, key)` triplets
+/// under the tolerance.
+type MatrixKey = Vec<(u64, u64, i128)>;
+
+struct ExpandedSplitter<'a> {
+    md: &'a Md,
+    level: usize,
+    kind: LumpKind,
+    /// Expanded child matrix per node reference at `level + 1` (empty map
+    /// for the last level).
+    expanded: HashMap<u32, CsrMatrix>,
+    tolerance: Tolerance,
+}
+
+impl<'a> ExpandedSplitter<'a> {
+    fn new(md: &'a Md, level: usize, kind: LumpKind, tolerance: Tolerance) -> Self {
+        let mut expanded = HashMap::new();
+        if level + 1 < md.num_levels() {
+            let mut memo = HashMap::new();
+            for node in md.nodes_at(level) {
+                for e in node.entries() {
+                    for t in &e.terms {
+                        if let ChildId::Node(c) = t.child {
+                            expanded.entry(c).or_insert_with(|| {
+                                expand_rec(
+                                    md,
+                                    MdNodeId {
+                                        level: level as u32 + 1,
+                                        index: c,
+                                    },
+                                    &mut memo,
+                                )
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        ExpandedSplitter {
+            md,
+            level,
+            kind,
+            expanded,
+            tolerance,
+        }
+    }
+
+    /// Key of one accumulated formal sum, as the expanded matrix
+    /// `Σ coef · expand(child)`.
+    fn matrix_key(&self, sums: &HashMap<ChildId, f64>) -> MatrixKey {
+        let zero = self.tolerance.key(0.0);
+        let mut acc: HashMap<(u64, u64), f64> = HashMap::new();
+        for (&child, &coef) in sums {
+            match child {
+                ChildId::Terminal => {
+                    *acc.entry((0, 0)).or_insert(0.0) += coef;
+                }
+                ChildId::Node(c) => {
+                    let m = &self.expanded[&c];
+                    for (r, cc, v) in m.iter() {
+                        *acc.entry((r as u64, cc as u64)).or_insert(0.0) += coef * v;
+                    }
+                }
+            }
+        }
+        let mut key: MatrixKey = acc
+            .into_iter()
+            .map(|((r, c), v)| (r, c, self.tolerance.key(v)))
+            .filter(|&(_, _, k)| k != zero)
+            .collect();
+        key.sort_unstable();
+        key
+    }
+}
+
+impl Splitter for ExpandedSplitter<'_> {
+    /// Per node of the level: the expanded class-summed block matrix.
+    type Key = Vec<(u32, MatrixKey)>;
+
+    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, Self::Key)>) {
+        // (state, node) -> child -> coefficient sum.
+        let mut acc: HashMap<StateId, Vec<(u32, HashMap<ChildId, f64>)>> = HashMap::new();
+        for (ni, node) in self.md.nodes_at(self.level).iter().enumerate() {
+            match self.kind {
+                LumpKind::Ordinary => {
+                    for e in node.entries() {
+                        if class.binary_search(&(e.col as StateId)).is_err() {
+                            continue;
+                        }
+                        let rows = acc.entry(e.row as StateId).or_default();
+                        let sums = match rows.last_mut() {
+                            Some((n, s)) if *n == ni as u32 => s,
+                            _ => {
+                                rows.push((ni as u32, HashMap::new()));
+                                &mut rows.last_mut().expect("just pushed").1
+                            }
+                        };
+                        for t in &e.terms {
+                            *sums.entry(t.child).or_insert(0.0) += t.coef;
+                        }
+                    }
+                }
+                LumpKind::Exact => {
+                    for &row in class {
+                        for e in node.row(row as u32) {
+                            let cols = acc.entry(e.col as StateId).or_default();
+                            let sums = match cols.last_mut() {
+                                Some((n, s)) if *n == ni as u32 => s,
+                                _ => {
+                                    cols.push((ni as u32, HashMap::new()));
+                                    &mut cols.last_mut().expect("just pushed").1
+                                }
+                            };
+                            for t in &e.terms {
+                                *sums.entry(t.child).or_insert(0.0) += t.coef;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (state, per_node) in acc {
+            let mut key: Vec<(u32, MatrixKey)> = per_node
+                .into_iter()
+                .map(|(n, sums)| (n, self.matrix_key(&sums)))
+                .filter(|(_, k)| !k.is_empty())
+                .collect();
+            key.sort_by(|a, b| a.0.cmp(&b.0));
+            if !key.is_empty() {
+                out.push((state, key));
+            }
+        }
+    }
+}
+
+/// Result of one expanded-key refinement run.
+#[derive(Debug, Clone)]
+pub struct ExpandedKeyResult {
+    /// The computed partition.
+    pub partition: Partition,
+    /// Wall-clock time of the refinement (including child expansion).
+    pub elapsed: Duration,
+}
+
+/// Runs level-local refinement with the **expanded-matrix** key — the
+/// sufficient-*and*-necessary condition the paper rejects for cost reasons.
+///
+/// The resulting partition is at least as coarse as the formal-sum one
+/// (`comp_lumping_level`); the `ablation_key` experiment measures both the
+/// time gap and any coarseness gap.
+///
+/// # Panics
+///
+/// Panics if `level` is out of range.
+pub fn comp_lumping_level_expanded(
+    md: &Md,
+    level: usize,
+    initial: Partition,
+    kind: LumpKind,
+    tolerance: Tolerance,
+) -> ExpandedKeyResult {
+    assert!(level < md.num_levels(), "level out of range");
+    let start = Instant::now();
+    let mut splitter = ExpandedSplitter::new(md, level, kind, tolerance);
+    let result = comp_lumping(initial, &mut splitter);
+    ExpandedKeyResult {
+        partition: result.partition,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::comp_lumping_level;
+    use mdl_md::{KroneckerExpr, MdBuilder, SparseFactor, Term};
+
+    fn cycle(size: usize, rate: f64) -> SparseFactor {
+        let mut f = SparseFactor::new(size);
+        for s in 0..size {
+            f.push(s, (s + 1) % size, rate);
+        }
+        f
+    }
+
+    #[test]
+    fn expand_reproduces_kronecker_block() {
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(2.0, vec![Some(cycle(2, 1.0)), Some(cycle(3, 1.0))]);
+        let md = expr.to_md().unwrap();
+        let full = expand_node(&md, md.root());
+        assert_eq!(full.max_abs_diff(&expr.flatten_full()), 0.0);
+    }
+
+    #[test]
+    fn expanded_key_matches_formal_sum_on_shared_structure() {
+        // Symmetric model: both key functions find the same partition.
+        let mut w = SparseFactor::new(3);
+        w.push(0, 1, 1.0);
+        w.push(0, 2, 1.0);
+        w.push(1, 0, 2.0);
+        w.push(2, 0, 2.0);
+        let mut expr = KroneckerExpr::new(vec![3, 2]);
+        expr.add_term(1.0, vec![Some(w), None]);
+        expr.add_term(1.0, vec![None, Some(cycle(2, 3.0))]);
+        let md = expr.to_md().unwrap();
+
+        let (formal, _) = comp_lumping_level(
+            md.nodes_at(0),
+            Partition::single_class(3),
+            LumpKind::Ordinary,
+            Tolerance::Exact,
+        );
+        let expanded = comp_lumping_level_expanded(
+            &md,
+            0,
+            Partition::single_class(3),
+            LumpKind::Ordinary,
+            Tolerance::Exact,
+        );
+        assert_eq!(formal, expanded.partition);
+        assert!(formal.same_class(1, 2));
+    }
+
+    #[test]
+    fn expanded_key_is_coarser_when_sums_coincide() {
+        // Construct a level-0 node where state 1 reaches child A with
+        // coefficient 2, state 2 reaches children B and C with coefficient
+        // 1 each — and A's matrix equals (B + C)/2 · 2 = B + C. The formal
+        // sums differ (different node sets) but the expanded matrices are
+        // equal, so only the expanded key merges states 1 and 2.
+        let mut b = MdBuilder::new(vec![3, 2]).unwrap();
+        // Children over S₂ = {0,1}: B = [0->0: 1], C = [1->1: 1],
+        // A = identity = B + C.
+        let node_b = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap();
+        let node_c = b
+            .intern_node(1, vec![(1, 1, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap();
+        let node_a = b.intern_identity(1, ChildId::Terminal).unwrap();
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (1, 0, vec![Term::new(1.0, ChildId::Node(node_a))]),
+                    (
+                        2,
+                        0,
+                        vec![
+                            Term::new(1.0, ChildId::Node(node_b)),
+                            Term::new(1.0, ChildId::Node(node_c)),
+                        ],
+                    ),
+                ],
+            )
+            .unwrap();
+        let md = b.finish(root).unwrap();
+
+        let (formal, _) = comp_lumping_level(
+            md.nodes_at(0),
+            Partition::single_class(3),
+            LumpKind::Ordinary,
+            Tolerance::Exact,
+        );
+        assert!(!formal.same_class(1, 2), "formal sums must distinguish");
+
+        let expanded = comp_lumping_level_expanded(
+            &md,
+            0,
+            Partition::single_class(3),
+            LumpKind::Ordinary,
+            Tolerance::Exact,
+        );
+        assert!(
+            expanded.partition.same_class(1, 2),
+            "expanded matrices coincide"
+        );
+        // And the expanded partition is coarser or equal.
+        assert!(formal.is_refinement_of(&expanded.partition));
+    }
+}

@@ -1,0 +1,407 @@
+use std::fmt;
+use std::sync::Arc;
+
+use mdl_mdd::Mdd;
+use mdl_partition::Partition;
+
+use crate::{CoreError, Result};
+
+/// How per-level function values combine into a global value — the paper's
+/// `g` in `r(s) = g(f₁(s₁), …, f_L(s_L))`.
+#[derive(Clone)]
+pub enum Combiner {
+    /// `g(a₁, …, a_L) = Σ a_i` — natural for additive rate rewards.
+    Sum,
+    /// `g(a₁, …, a_L) = Π a_i` — natural for indicator rewards and
+    /// factorized initial distributions (including point masses).
+    Product,
+    /// An arbitrary combination function. Supported for evaluation and
+    /// materialization; symbolic lumping of custom-combined vectors is
+    /// rejected with [`CoreError::CustomCombiner`].
+    Custom(Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>),
+}
+
+impl fmt::Debug for Combiner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Combiner::Sum => write!(f, "Sum"),
+            Combiner::Product => write!(f, "Product"),
+            Combiner::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl Combiner {
+    fn apply(&self, values: &[f64]) -> f64 {
+        match self {
+            Combiner::Sum => values.iter().sum(),
+            Combiner::Product => values.iter().product(),
+            Combiner::Custom(g) => g(values),
+        }
+    }
+}
+
+/// How one level of a [`DecomposableVector`] is lumped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LumpMode {
+    /// `f̂(C) = f(rep(C))` — requires the value to be constant on classes.
+    /// The main algorithm uses [`LumpMode::Mean`] (identical on constant
+    /// classes, robust under tolerant comparison); this mode is kept for
+    /// the strict-constancy checks in tests.
+    #[allow(dead_code)]
+    Representative,
+    /// `f̂(C) = Σ_{s∈C} f(s)` — correct per-level summation for
+    /// product-form vectors over product-form classes (Theorem 2's
+    /// `π̂(C) = π(C)`).
+    Sum,
+    /// `f̂(C) = mean_{s∈C} f(s)` — correct per-level averaging for both sum
+    /// and product combiners over product-form classes (Theorem 2's
+    /// `r̂(C) = r(C)/|C|`).
+    Mean,
+}
+
+/// A vector over the global state space in the paper's decomposable form
+/// `v(s₁, …, s_L) = g(f₁(s₁), …, f_L(s_L))`: one real-valued function per
+/// MD level plus a [`Combiner`].
+///
+/// Rate rewards and initial probability distributions are supplied in this
+/// form so the compositional lumping algorithm can derive its per-level
+/// initial partitions from the `f_i` alone.
+///
+/// # Example
+///
+/// ```
+/// use mdl_core::{Combiner, DecomposableVector};
+///
+/// // Availability indicator on level 2 of a 2-level model.
+/// let v = DecomposableVector::new(
+///     vec![vec![1.0, 1.0], vec![1.0, 0.0, 1.0]],
+///     Combiner::Product,
+/// )?;
+/// assert_eq!(v.evaluate(&[0, 1]), 0.0);
+/// assert_eq!(v.evaluate(&[1, 2]), 1.0);
+/// # Ok::<(), mdl_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecomposableVector {
+    levels: Vec<Vec<f64>>,
+    combiner: Combiner,
+}
+
+impl DecomposableVector {
+    /// Creates a decomposable vector from per-level value tables.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Decomposable`] if `levels` is empty, any level is
+    /// empty, or any value is non-finite.
+    pub fn new(levels: Vec<Vec<f64>>, combiner: Combiner) -> Result<Self> {
+        if levels.is_empty() || levels.iter().any(Vec::is_empty) {
+            return Err(CoreError::Decomposable {
+                reason: "per-level tables must be non-empty".into(),
+            });
+        }
+        for (l, table) in levels.iter().enumerate() {
+            if let Some(v) = table.iter().find(|v| !v.is_finite()) {
+                return Err(CoreError::Decomposable {
+                    reason: format!("non-finite value {v} at level {l}"),
+                });
+            }
+        }
+        Ok(DecomposableVector { levels, combiner })
+    }
+
+    /// The globally constant vector with the given value (product form).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Decomposable`] on an empty shape or non-finite value.
+    pub fn constant(sizes: &[usize], value: f64) -> Result<Self> {
+        let mut levels: Vec<Vec<f64>> = sizes.iter().map(|&n| vec![1.0; n]).collect();
+        if let Some(first) = levels.first_mut() {
+            for v in first.iter_mut() {
+                *v = value;
+            }
+        }
+        DecomposableVector::new(levels, Combiner::Product)
+    }
+
+    /// The uniform distribution over `count` states (product form): every
+    /// state evaluates to `1/count`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Decomposable`] on an empty shape or `count == 0`.
+    pub fn uniform(sizes: &[usize], count: u64) -> Result<Self> {
+        if count == 0 {
+            return Err(CoreError::Decomposable {
+                reason: "uniform over zero states".into(),
+            });
+        }
+        DecomposableVector::constant(sizes, 1.0 / count as f64)
+    }
+
+    /// The point mass on `state` (product of indicators — the paper's
+    /// example encoding of `π_ini(s₀) = 1`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Decomposable`] if the state is out of range.
+    pub fn point_mass(sizes: &[usize], state: &[u32]) -> Result<Self> {
+        if state.len() != sizes.len() {
+            return Err(CoreError::Decomposable {
+                reason: format!("state arity {} vs {} levels", state.len(), sizes.len()),
+            });
+        }
+        let mut levels = Vec::with_capacity(sizes.len());
+        for (l, (&n, &s)) in sizes.iter().zip(state).enumerate() {
+            if s as usize >= n {
+                return Err(CoreError::Decomposable {
+                    reason: format!("component {s} out of range at level {l}"),
+                });
+            }
+            let mut table = vec![0.0; n];
+            table[s as usize] = 1.0;
+            levels.push(table);
+        }
+        DecomposableVector::new(levels, Combiner::Product)
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-level sizes the vector is defined over.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(Vec::len).collect()
+    }
+
+    /// The value table `f_i` of one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level_values(&self, level: usize) -> &[f64] {
+        &self.levels[level]
+    }
+
+    /// The combiner `g`.
+    pub fn combiner(&self) -> &Combiner {
+        &self.combiner
+    }
+
+    /// `true` when the combiner is `Product`.
+    pub fn is_product_form(&self) -> bool {
+        matches!(self.combiner, Combiner::Product)
+    }
+
+    /// Evaluates the vector at a global state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity or range errors.
+    pub fn evaluate(&self, state: &[u32]) -> f64 {
+        assert_eq!(state.len(), self.levels.len(), "state arity");
+        let values: Vec<f64> = state
+            .iter()
+            .zip(&self.levels)
+            .map(|(&s, t)| t[s as usize])
+            .collect();
+        self.combiner.apply(&values)
+    }
+
+    /// Materializes the vector over the states of `reach`, in MDD index
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MDD's shape does not match.
+    pub fn materialize(&self, reach: &Mdd) -> Vec<f64> {
+        assert_eq!(reach.sizes(), self.sizes().as_slice(), "MDD shape");
+        let mut out = vec![0.0; reach.count() as usize];
+        let mut scratch = Vec::with_capacity(self.levels.len());
+        reach.for_each_tuple(|tuple, rank| {
+            scratch.clear();
+            scratch.extend(tuple.iter().zip(&self.levels).map(|(&s, t)| t[s as usize]));
+            out[rank as usize] = self.combiner.apply(&scratch);
+        });
+        out
+    }
+
+    /// Lumps the vector by per-level partitions using the given per-level
+    /// mode (see [`LumpMode`]); `what` names the vector in error messages.
+    pub(crate) fn lump(
+        &self,
+        partitions: &[Partition],
+        mode: LumpMode,
+        what: &'static str,
+    ) -> Result<DecomposableVector> {
+        if partitions.len() != self.levels.len() {
+            return Err(CoreError::ShapeMismatch {
+                detail: format!(
+                    "{} partitions for {} levels",
+                    partitions.len(),
+                    self.levels.len()
+                ),
+            });
+        }
+        match (&self.combiner, mode) {
+            (Combiner::Custom(_), _) => return Err(CoreError::CustomCombiner { what }),
+            (Combiner::Sum, LumpMode::Sum) => {
+                return Err(CoreError::NotProductForm { what });
+            }
+            _ => {}
+        }
+        let mut new_levels = Vec::with_capacity(self.levels.len());
+        for (table, p) in self.levels.iter().zip(partitions) {
+            if p.num_states() != table.len() {
+                return Err(CoreError::ShapeMismatch {
+                    detail: format!(
+                        "partition over {} states for a level of size {}",
+                        p.num_states(),
+                        table.len()
+                    ),
+                });
+            }
+            let mut new_table = Vec::with_capacity(p.num_classes());
+            for (_, members) in p.iter() {
+                let v = match mode {
+                    LumpMode::Representative => {
+                        let rep = table[members[0]];
+                        if members.iter().any(|&s| table[s] != rep) {
+                            return Err(CoreError::Decomposable {
+                                reason: format!(
+                                    "{what} is not constant on a lumping class; \
+                                     representative lumping is unsound"
+                                ),
+                            });
+                        }
+                        rep
+                    }
+                    LumpMode::Sum => members.iter().map(|&s| table[s]).sum(),
+                    LumpMode::Mean => {
+                        members.iter().map(|&s| table[s]).sum::<f64>() / members.len() as f64
+                    }
+                };
+                new_table.push(v);
+            }
+            new_levels.push(new_table);
+        }
+        DecomposableVector::new(new_levels, self.combiner.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_evaluation() {
+        let v = DecomposableVector::new(vec![vec![2.0, 3.0], vec![1.0, 0.5]], Combiner::Product)
+            .unwrap();
+        assert_eq!(v.evaluate(&[1, 1]), 1.5);
+    }
+
+    #[test]
+    fn sum_evaluation() {
+        let v =
+            DecomposableVector::new(vec![vec![2.0, 3.0], vec![1.0, 0.5]], Combiner::Sum).unwrap();
+        assert_eq!(v.evaluate(&[0, 1]), 2.5);
+    }
+
+    #[test]
+    fn custom_evaluation() {
+        let v = DecomposableVector::new(
+            vec![vec![2.0, 3.0], vec![1.0, 4.0]],
+            Combiner::Custom(Arc::new(|a| a.iter().cloned().fold(f64::MIN, f64::max))),
+        )
+        .unwrap();
+        assert_eq!(v.evaluate(&[0, 1]), 4.0);
+    }
+
+    #[test]
+    fn point_mass_is_indicator() {
+        let v = DecomposableVector::point_mass(&[2, 3], &[1, 2]).unwrap();
+        assert_eq!(v.evaluate(&[1, 2]), 1.0);
+        assert_eq!(v.evaluate(&[1, 1]), 0.0);
+        assert_eq!(v.evaluate(&[0, 2]), 0.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let v = DecomposableVector::constant(&[2, 2], 7.5).unwrap();
+        for a in 0..2 {
+            for b in 0..2 {
+                assert_eq!(v.evaluate(&[a, b]), 7.5);
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_over_mdd() {
+        let v = DecomposableVector::new(
+            vec![vec![1.0, 10.0], vec![1.0, 2.0, 3.0]],
+            Combiner::Product,
+        )
+        .unwrap();
+        let mdd = Mdd::from_tuples(vec![2, 3], vec![vec![0, 0], vec![1, 2], vec![0, 2]]).unwrap();
+        assert_eq!(v.materialize(&mdd), vec![1.0, 3.0, 30.0]);
+    }
+
+    #[test]
+    fn lump_sum_mode_sums_classes() {
+        let v = DecomposableVector::new(
+            vec![vec![0.5, 0.25, 0.25], vec![1.0, 1.0]],
+            Combiner::Product,
+        )
+        .unwrap();
+        let p0 = Partition::from_classes(vec![vec![0], vec![1, 2]]);
+        let p1 = Partition::single_class(2);
+        let lumped = v.lump(&[p0, p1], LumpMode::Sum, "initial").unwrap();
+        assert_eq!(lumped.level_values(0), &[0.5, 0.5]);
+        assert_eq!(lumped.level_values(1), &[2.0]);
+    }
+
+    #[test]
+    fn lump_mean_mode_averages() {
+        let v = DecomposableVector::new(vec![vec![2.0, 4.0]], Combiner::Sum).unwrap();
+        let p = Partition::single_class(2);
+        let lumped = v.lump(&[p], LumpMode::Mean, "reward").unwrap();
+        assert_eq!(lumped.level_values(0), &[3.0]);
+    }
+
+    #[test]
+    fn lump_representative_requires_constancy() {
+        let v = DecomposableVector::new(vec![vec![2.0, 4.0]], Combiner::Sum).unwrap();
+        let p = Partition::single_class(2);
+        assert!(v.lump(&[p], LumpMode::Representative, "reward").is_err());
+    }
+
+    #[test]
+    fn lump_sum_rejects_sum_combiner() {
+        let v = DecomposableVector::new(vec![vec![1.0, 1.0]], Combiner::Sum).unwrap();
+        let p = Partition::single_class(2);
+        assert!(matches!(
+            v.lump(&[p], LumpMode::Sum, "initial"),
+            Err(CoreError::NotProductForm { .. })
+        ));
+    }
+
+    #[test]
+    fn lump_rejects_custom_combiner() {
+        let v = DecomposableVector::new(vec![vec![1.0, 1.0]], Combiner::Custom(Arc::new(|a| a[0])))
+            .unwrap();
+        let p = Partition::single_class(2);
+        assert!(matches!(
+            v.lump(&[p], LumpMode::Mean, "reward"),
+            Err(CoreError::CustomCombiner { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(DecomposableVector::new(vec![vec![f64::NAN]], Combiner::Sum).is_err());
+        assert!(DecomposableVector::new(vec![], Combiner::Sum).is_err());
+    }
+}

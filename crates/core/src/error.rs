@@ -1,0 +1,109 @@
+use std::fmt;
+
+/// Errors from compositional MD lumping.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A matrix-diagram operation failed.
+    Md(mdl_md::MdError),
+    /// Quotienting the reachable-state MDD failed (should not happen: the
+    /// computed partitions are MDD-compatible by construction).
+    Quotient(mdl_mdd::QuotientError),
+    /// A CTMC/MRP operation failed.
+    Ctmc(mdl_ctmc::CtmcError),
+    /// A decomposable vector was malformed.
+    Decomposable {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The operation requires a product-form (`Combiner::Product`) vector.
+    NotProductForm {
+        /// Which vector was not product-form.
+        what: &'static str,
+    },
+    /// A custom combiner cannot be lumped symbolically.
+    CustomCombiner {
+        /// Which vector had the custom combiner.
+        what: &'static str,
+    },
+    /// Shape mismatch between components of an [`MdMrp`](crate::MdMrp).
+    ShapeMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Md(e) => write!(f, "matrix diagram error: {e}"),
+            CoreError::Quotient(e) => write!(f, "MDD quotient error: {e}"),
+            CoreError::Ctmc(e) => write!(f, "CTMC error: {e}"),
+            CoreError::Decomposable { reason } => write!(f, "decomposable vector: {reason}"),
+            CoreError::NotProductForm { what } => {
+                write!(f, "{what} must use Combiner::Product for this operation")
+            }
+            CoreError::CustomCombiner { what } => {
+                write!(
+                    f,
+                    "{what} uses a custom combiner, which cannot be lumped symbolically"
+                )
+            }
+            CoreError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Md(e) => Some(e),
+            CoreError::Quotient(e) => Some(e),
+            CoreError::Ctmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mdl_md::MdError> for CoreError {
+    fn from(e: mdl_md::MdError) -> Self {
+        CoreError::Md(e)
+    }
+}
+
+impl From<mdl_mdd::QuotientError> for CoreError {
+    fn from(e: mdl_mdd::QuotientError) -> Self {
+        CoreError::Quotient(e)
+    }
+}
+
+impl From<mdl_ctmc::CtmcError> for CoreError {
+    fn from(e: mdl_ctmc::CtmcError) -> Self {
+        CoreError::Ctmc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let md = CoreError::from(mdl_md::MdError::InvalidShape);
+        assert!(md.to_string().contains("matrix diagram"));
+        assert!(md.source().is_some());
+
+        let ctmc = CoreError::from(mdl_ctmc::CtmcError::AbsorbingState { state: 1 });
+        assert!(ctmc.to_string().contains("state 1"));
+
+        let plain = CoreError::NotProductForm {
+            what: "initial distribution",
+        };
+        assert!(plain.to_string().contains("Product"));
+        assert!(plain.source().is_none());
+
+        let custom = CoreError::CustomCombiner { what: "reward" };
+        assert!(custom.to_string().contains("custom combiner"));
+    }
+}

@@ -1,0 +1,240 @@
+//! Correct measure computation on **exactly** lumped chains.
+//!
+//! The Theorem-2 quotient for exact lumping, `R̂(ĩ, j̃) = R(C_i, j)` for an
+//! arbitrary `j ∈ C_j`, is *not* a state-transition rate matrix of a CTMC
+//! whose diagonal can be reconstructed from its own row sums: the commuting
+//! identity of exact lumpability is `V·Q = Q̂·V` (with `V` the class
+//! indicator matrix), so the quotient evolves the **per-state** probability
+//! vector `ν̂(C, t) = π_t(s ∈ C)` — well-defined because exact lumpability
+//! keeps class-uniform distributions class-uniform — and its correct
+//! diagonal uses the original exit rates `R(s, S)`, which Theorem 1(b)
+//! guarantees are constant per class.
+//!
+//! [`compositional_lump`](crate::compositional_lump) therefore records, for
+//! exact lumps, the representative exit rates alongside the quotient MD,
+//! and this module exposes the measure computations that use them:
+//!
+//! * [`ExactMeasures::stationary_aggregated`] — class stationary
+//!   probabilities `π(C)` (= `|C| · ν̂(C)` normalized);
+//! * [`ExactMeasures::transient_aggregated`] — class transient
+//!   probabilities at time `t` (requires the initial distribution to be
+//!   class-uniform, which the exact initial partition enforces);
+//! * expected-reward helpers on both.
+
+use mdl_ctmc::{SolverOptions, TransientOptions};
+use mdl_linalg::vec_ops;
+
+use crate::lump::LumpResult;
+use crate::{CoreError, Result};
+
+/// Measure computation over an exactly lumped chain. Borrow one from
+/// [`LumpResult::exact_measures`].
+#[derive(Debug)]
+pub struct ExactMeasures<'a> {
+    result: &'a LumpResult,
+    /// Exit rate `R(s, S)` of each class representative.
+    exit_rates: &'a [f64],
+}
+
+impl<'a> ExactMeasures<'a> {
+    pub(crate) fn new(result: &'a LumpResult, exit_rates: &'a [f64]) -> Self {
+        ExactMeasures { result, exit_rates }
+    }
+
+    /// Number of tuples (original states) each lumped state aggregates —
+    /// the global class sizes `|C|`.
+    pub fn class_sizes(&self) -> Vec<u64> {
+        self.result.class_sizes()
+    }
+
+    /// Class stationary probabilities `π(C)`: solves `ν̂ Q̂ = 0` with the
+    /// correct diagonal, scales by class sizes and normalizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn stationary_aggregated(&self, options: &SolverOptions) -> Result<Vec<f64>> {
+        let matrix = self.result.mrp.matrix();
+        let sol = mdl_ctmc::stationary_power_with_exit_rates(matrix, self.exit_rates, options)?;
+        let sizes = self.class_sizes();
+        let mut agg: Vec<f64> = sol
+            .probabilities
+            .iter()
+            .zip(&sizes)
+            .map(|(&v, &c)| v * c as f64)
+            .collect();
+        let total = vec_ops::normalize_l1(&mut agg);
+        if total <= 0.0 {
+            return Err(CoreError::Decomposable {
+                reason: "stationary solve produced a zero vector".into(),
+            });
+        }
+        Ok(agg)
+    }
+
+    /// Class transient probabilities `π_t(C)`: evolves the per-state vector
+    /// `ν̂_0(C) = π̂_ini(C)/|C|` by the quotient with the correct diagonal,
+    /// then scales by class sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn transient_aggregated(&self, t: f64, options: &TransientOptions) -> Result<Vec<f64>> {
+        let matrix = self.result.mrp.matrix();
+        let sizes = self.class_sizes();
+        let initial = self.result.mrp.initial_vector();
+        let nu0: Vec<f64> = initial
+            .iter()
+            .zip(&sizes)
+            .map(|(&p, &c)| p / c as f64)
+            .collect();
+        let sol = mdl_ctmc::transient_uniformization_with_exit_rates(
+            matrix,
+            self.exit_rates,
+            &nu0,
+            t,
+            options,
+            false,
+        )?;
+        Ok(sol
+            .probabilities
+            .iter()
+            .zip(&sizes)
+            .map(|(&v, &c)| v * c as f64)
+            .collect())
+    }
+
+    /// Expected stationary reward `Σ_s π(s) r(s)`, computed as
+    /// `Σ_C π(C) · r̂(C)` with the Theorem-2 reward `r̂(C) = r(C)/|C|`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_stationary_reward(&self, options: &SolverOptions) -> Result<f64> {
+        let agg = self.stationary_aggregated(options)?;
+        Ok(vec_ops::dot(&agg, &self.result.mrp.reward_vector()))
+    }
+
+    /// Expected reward at time `t`, computed as `Σ_C π_t(C) · r̂(C)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_transient_reward(&self, t: f64, options: &TransientOptions) -> Result<f64> {
+        let agg = self.transient_aggregated(t, options)?;
+        Ok(vec_ops::dot(&agg, &self.result.mrp.reward_vector()))
+    }
+
+    /// Expected reward accumulated over `[0, t]`:
+    /// `∫₀ᵗ Σ_C ν̂_u(C)·r(C) du`, evolving the per-state vector with the
+    /// correct diagonal and weighting the Theorem-2 reward by class sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_accumulated_reward(&self, t: f64, options: &TransientOptions) -> Result<f64> {
+        let matrix = self.result.mrp.matrix();
+        let sizes = self.class_sizes();
+        let initial = self.result.mrp.initial_vector();
+        let nu0: Vec<f64> = initial
+            .iter()
+            .zip(&sizes)
+            .map(|(&p, &c)| p / c as f64)
+            .collect();
+        // r(C) = |C| · r̂(C).
+        let class_reward: Vec<f64> = self
+            .result
+            .mrp
+            .reward_vector()
+            .iter()
+            .zip(&sizes)
+            .map(|(&r, &c)| r * c as f64)
+            .collect();
+        Ok(mdl_ctmc::accumulated_reward_with_exit_rates(
+            matrix,
+            self.exit_rates,
+            &nu0,
+            &class_reward,
+            t,
+            options,
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::decomp::DecomposableVector;
+    use crate::lump::{compositional_lump, LumpKind};
+    use crate::mrp::MdMrp;
+    use mdl_ctmc::{SolverOptions, TransientOptions};
+    use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
+    use mdl_mdd::Mdd;
+
+    /// Level-2 states {1, 2} exactly lumpable (equal columns, equal exit
+    /// rates) under a uniform initial distribution.
+    fn fixture() -> MdMrp {
+        let mut w = SparseFactor::new(3);
+        w.push(0, 1, 1.0);
+        w.push(0, 2, 1.0);
+        w.push(1, 0, 2.0);
+        w.push(2, 0, 2.0);
+        let mut cyc = SparseFactor::new(2);
+        cyc.push(0, 1, 3.0);
+        cyc.push(1, 0, 3.0);
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(1.0, vec![Some(cyc), None]);
+        expr.add_term(1.0, vec![None, Some(w)]);
+        let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+        let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
+        MdMrp::new(matrix, reward, initial).unwrap()
+    }
+
+    #[test]
+    fn class_sizes_sum_to_original() {
+        let mrp = fixture();
+        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let m = result.exact_measures().unwrap();
+        assert_eq!(m.class_sizes().iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn stationary_aggregated_is_a_distribution() {
+        let mrp = fixture();
+        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let m = result.exact_measures().unwrap();
+        let agg = m.stationary_aggregated(&SolverOptions::default()).unwrap();
+        let sum: f64 = agg.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(agg.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn transient_aggregated_is_a_distribution_at_all_times() {
+        let mrp = fixture();
+        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let m = result.exact_measures().unwrap();
+        for &t in &[0.0, 0.3, 2.0] {
+            let agg = m
+                .transient_aggregated(t, &TransientOptions::default())
+                .unwrap();
+            let sum: f64 = agg.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "t={t}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn constant_reward_gives_unit_measures() {
+        let mrp = fixture();
+        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let m = result.exact_measures().unwrap();
+        let stat = m
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        assert!((stat - 1.0).abs() < 1e-9);
+        let acc = m
+            .expected_accumulated_reward(5.0, &TransientOptions::default())
+            .unwrap();
+        assert!((acc - 5.0).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,905 @@
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use mdl_linalg::Tolerance;
+use mdl_md::{MdMatrix, MdNode};
+use mdl_partition::{Partition, RefinementStats};
+
+use crate::decomp::LumpMode;
+use crate::local::{comp_lumping_level, comp_lumping_level_per_node};
+use crate::mrp::MdMrp;
+use crate::Result;
+
+/// Which lumpability notion drives the algorithm (Definition 2/3 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LumpKind {
+    /// Ordinary lumpability: rows into classes agree; preserves all
+    /// reward measures based on `r`.
+    Ordinary,
+    /// Exact lumpability: columns from classes and exit rates agree;
+    /// preserves transient measures for class-uniform initial
+    /// distributions.
+    Exact,
+}
+
+/// Options for [`compositional_lump_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct LumpOptions {
+    /// How rate coefficients are compared (see [`Tolerance`]).
+    pub tolerance: Tolerance,
+    /// Run a quasi-reduction pass after lumping, merging level nodes that
+    /// became equal. The paper's algorithm does not (its node counts are
+    /// unchanged by construction); this is the extension measured by the
+    /// ablation experiments.
+    pub quasi_reduce: bool,
+    /// Use the literal per-node fixed point of Fig. 3a instead of the
+    /// combined-key refinement (both compute the same partition; the
+    /// combined form is faster).
+    pub per_node_fixed_point: bool,
+    /// Canonicalize the MD (Miner-style scale normalization,
+    /// [`Md::canonicalize`](mdl_md::Md::canonicalize)) before computing
+    /// partitions: nodes that are scalar multiples of each other merge,
+    /// which can only make the formal-sum keys — and therefore the
+    /// partitions — coarser. Extension; the paper discusses canonical MDs
+    /// as the subclass where node identity captures matrix identity.
+    pub canonicalize: bool,
+}
+
+impl Default for LumpOptions {
+    fn default() -> Self {
+        LumpOptions {
+            tolerance: Tolerance::default(),
+            quasi_reduce: false,
+            per_node_fixed_point: false,
+            canonicalize: false,
+        }
+    }
+}
+
+/// Per-level work and outcome counters.
+#[derive(Debug, Clone)]
+pub struct LevelLumpStats {
+    /// The level (0-based).
+    pub level: usize,
+    /// Local state-space size before lumping (`|S_i|`).
+    pub original_size: usize,
+    /// Number of classes after lumping (`|Ŝ_i|`).
+    pub lumped_size: usize,
+    /// Refinement work counters.
+    pub refinement: RefinementStats,
+    /// Wall-clock time spent computing this level's partition.
+    pub elapsed: Duration,
+}
+
+/// Whole-run statistics of a compositional lump.
+#[derive(Debug, Clone)]
+pub struct LumpStats {
+    /// Per-level breakdown.
+    pub per_level: Vec<LevelLumpStats>,
+    /// Reachable states before lumping.
+    pub original_states: u64,
+    /// Reachable states after lumping.
+    pub lumped_states: u64,
+    /// Symbolic representation memory (MD + MDD) before, in bytes.
+    pub memory_before: usize,
+    /// Symbolic representation memory (MD + MDD) after, in bytes.
+    pub memory_after: usize,
+    /// Nodes merged by the optional quasi-reduction post-pass.
+    pub nodes_merged: usize,
+    /// Total wall-clock time of the lump.
+    pub elapsed: Duration,
+}
+
+impl LumpStats {
+    /// Overall state-space reduction factor.
+    pub fn reduction_factor(&self) -> f64 {
+        if self.lumped_states == 0 {
+            return 1.0;
+        }
+        self.original_states as f64 / self.lumped_states as f64
+    }
+}
+
+/// Result of a compositional lump: the lumped symbolic MRP, the per-level
+/// partitions that produced it, and work statistics.
+#[derive(Debug, Clone)]
+pub struct LumpResult {
+    /// The lumped MRP (matrix diagram + MDD + lumped vectors).
+    pub mrp: MdMrp,
+    /// One partition per level (classes = lumped local states, in order).
+    pub partitions: Vec<Partition>,
+    /// Work statistics.
+    pub stats: LumpStats,
+    /// For **exact** lumps: the exit rate `R(s, S)` of each lumped state's
+    /// representative (constant per class by Theorem 1b). Needed because
+    /// the exact quotient's diagonal is not recoverable from its row sums;
+    /// see [`crate::exact`].
+    pub exact_exit_rates: Option<Vec<f64>>,
+}
+
+impl LumpResult {
+    /// Number of original states aggregated by each lumped state (the
+    /// global class sizes `|C|`, in lumped-MDD index order).
+    ///
+    /// Because the partitions are MDD-compatible, the reachable set is a
+    /// union of full class products, so each size is the product of the
+    /// per-level class sizes.
+    pub fn class_sizes(&self) -> Vec<u64> {
+        let reach = self.mrp.matrix().reach();
+        let mut sizes = vec![0u64; reach.count() as usize];
+        reach.for_each_tuple(|class_tuple, idx| {
+            let size: u64 = class_tuple
+                .iter()
+                .enumerate()
+                .map(|(l, &c)| self.partitions[l].members(c as usize).len() as u64)
+                .product();
+            sizes[idx as usize] = size;
+        });
+        sizes
+    }
+
+    /// Measure computation for an exactly lumped chain, or `None` for an
+    /// ordinary lump (whose [`MdMrp`] methods are directly correct).
+    pub fn exact_measures(&self) -> Option<crate::exact::ExactMeasures<'_>> {
+        self.exact_exit_rates
+            .as_deref()
+            .map(|exit| crate::exact::ExactMeasures::new(self, exit))
+    }
+}
+
+/// Compositionally lumps a matrix-diagram MRP with default options — the
+/// paper's `CompositionalLump` (Fig. 3b).
+///
+/// For each level: computes the initial partition (reward / initial-
+/// probability and structural conditions), refines it to the coarsest
+/// partition satisfying the local lumpability conditions of Definition 3,
+/// then replaces every node of the level by its Theorem-2 quotient and
+/// quotients the reachable-state MDD. Theorems 3/4 guarantee the result
+/// represents an (ordinarily/exactly) lumped CTMC.
+///
+/// # Errors
+///
+/// Propagates structural errors; on well-formed inputs produced by this
+/// workspace's builders, lumping cannot fail.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn compositional_lump(mrp: &MdMrp, kind: LumpKind) -> Result<LumpResult> {
+    compositional_lump_with(mrp, kind, &LumpOptions::default())
+}
+
+/// [`compositional_lump`] with explicit [`LumpOptions`].
+///
+/// # Errors
+///
+/// As for [`compositional_lump`].
+pub fn compositional_lump_with(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+) -> Result<LumpResult> {
+    if options.canonicalize {
+        // Rebuild the MD in canonical form (same sizes, same represented
+        // matrix, scale-multiples merged) and lump that: the computed
+        // partitions are over the same local state spaces, so everything
+        // downstream — verification included — still applies to the
+        // original chain.
+        let (canonical, _) = mrp.matrix().md().canonicalize();
+        let matrix = MdMatrix::new(canonical, mrp.matrix().reach().clone())?;
+        let canonical_mrp = MdMrp::new(matrix, mrp.reward().clone(), mrp.initial().clone())?;
+        let inner = LumpOptions {
+            canonicalize: false,
+            ..*options
+        };
+        return compositional_lump_with(&canonical_mrp, kind, &inner);
+    }
+    let start = Instant::now();
+    let md = mrp.matrix().md();
+    let reach = mrp.matrix().reach();
+    let num_levels = md.num_levels();
+
+    // Phase 1: per-level partitions. Each level's conditions involve only
+    // that level's nodes, so the partitions are independent.
+    let mut partitions = Vec::with_capacity(num_levels);
+    let mut per_level = Vec::with_capacity(num_levels);
+    for level in 0..num_levels {
+        let t0 = Instant::now();
+        let size = md.sizes()[level];
+        let p_ini = initial_partition(mrp, level, kind, options.tolerance);
+        let (partition, refinement) = if options.per_node_fixed_point {
+            comp_lumping_level_per_node(md.nodes_at(level), p_ini, kind, options.tolerance)
+        } else {
+            comp_lumping_level(md.nodes_at(level), p_ini, kind, options.tolerance)
+        };
+        per_level.push(LevelLumpStats {
+            level,
+            original_size: size,
+            lumped_size: partition.num_classes(),
+            refinement,
+            elapsed: t0.elapsed(),
+        });
+        partitions.push(partition);
+    }
+
+    // Phase 2: quotient every node (Fig. 3b lines 4-6) and the MDD.
+    let mut lumped_md = md.clone();
+    for (level, partition) in partitions.iter().enumerate() {
+        let nodes: Vec<MdNode> = md
+            .nodes_at(level)
+            .iter()
+            .map(|n| match kind {
+                LumpKind::Ordinary => lump_node_ordinary(n, partition),
+                LumpKind::Exact => lump_node_exact(n, partition),
+            })
+            .collect();
+        lumped_md.replace_level(level, partition.num_classes(), nodes)?;
+    }
+    let (lumped_md, nodes_merged) = if options.quasi_reduce {
+        lumped_md.quasi_reduce()
+    } else {
+        (lumped_md, 0)
+    };
+    let lumped_reach = reach.quotient(&partitions)?;
+
+    // Phase 3: lumped rewards and initial probabilities (Fig. 3b line 7):
+    // r̂(C) = r(C)/|C| (per-level means), π̂(C) = π(C) (per-level sums).
+    let reward = mrp.reward().lump(&partitions, LumpMode::Mean, "reward")?;
+    let initial = mrp
+        .initial()
+        .lump(&partitions, LumpMode::Sum, "initial distribution")?;
+
+    let matrix = MdMatrix::new(lumped_md, lumped_reach)?;
+    let memory_before = mrp.matrix().memory_bytes();
+    let memory_after = matrix.memory_bytes();
+    let original_states = reach.count();
+    let lumped_states = matrix.reach().count();
+
+    // For exact lumping, record the representatives' exit rates: the
+    // quotient's correct diagonal is not recoverable from its row sums
+    // (see crate::exact).
+    let exact_exit_rates = match kind {
+        LumpKind::Ordinary => None,
+        LumpKind::Exact => Some(representative_exit_rates(mrp, &partitions, matrix.reach())),
+    };
+
+    let lumped = MdMrp::new(matrix, reward, initial)?;
+
+    Ok(LumpResult {
+        mrp: lumped,
+        partitions,
+        exact_exit_rates,
+        stats: LumpStats {
+            per_level,
+            original_states,
+            lumped_states,
+            memory_before,
+            memory_after,
+            nodes_merged,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+/// Exit rate `R(s, S)` of each lumped state's representative, measured on
+/// the original chain (constant per class by Theorem 1b's conditions).
+fn representative_exit_rates(
+    original: &MdMrp,
+    partitions: &[Partition],
+    lumped_reach: &mdl_mdd::Mdd,
+) -> Vec<f64> {
+    let reach = original.matrix().reach();
+    let original_exit = mdl_linalg::RateMatrix::row_sums(original.matrix());
+    let mut exit = vec![0.0; lumped_reach.count() as usize];
+    let mut rep_tuple = vec![0u32; partitions.len()];
+    lumped_reach.for_each_tuple(|class_tuple, idx| {
+        for (l, &c) in class_tuple.iter().enumerate() {
+            rep_tuple[l] = partitions[l].representative(c as usize) as u32;
+        }
+        let oi = reach
+            .index_of(&rep_tuple)
+            .expect("representative tuple reachable (MDD-compatible classes)");
+        exit[idx as usize] = original_exit[oi as usize];
+    });
+    exit
+}
+
+/// Iterated compositional lumping (extension): alternates
+/// [`compositional_lump_with`] (with the quasi-reduction post-pass) until
+/// a fixed point.
+///
+/// The paper's single pass keeps node identity fixed, so two nodes whose
+/// quotients coincide stay distinct — and parents referencing them keep
+/// distinct formal-sum keys. Quasi-reducing merges such nodes, which can
+/// unlock strictly coarser partitions in the next round (see the
+/// `iteration_can_beat_single_pass` test for a witness). Each round only
+/// ever merges states, so the loop terminates in at most
+/// `Σ log|S_i|`-ish rounds; in practice 1–2.
+///
+/// Returns the final result plus the number of lumping rounds executed.
+///
+/// # Errors
+///
+/// As for [`compositional_lump`].
+pub fn compositional_lump_iterated(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+) -> Result<(LumpResult, usize)> {
+    let opts = LumpOptions {
+        quasi_reduce: true,
+        ..*options
+    };
+    let mut result = compositional_lump_with(mrp, kind, &opts)?;
+    let mut rounds = 1;
+    loop {
+        let again = compositional_lump_with(&result.mrp, kind, &opts)?;
+        rounds += 1;
+        let progressed = again.stats.lumped_states < result.stats.original_states
+            && again.stats.lumped_states < result.stats.lumped_states;
+        if !progressed {
+            // Keep the first result's provenance (partitions relative to
+            // the *original* chain) when the extra round found nothing.
+            return Ok((result, rounds));
+        }
+        // Compose the partitions: class of original state s at level l is
+        // the second round's class of the first round's class.
+        let composed: Vec<Partition> = result
+            .partitions
+            .iter()
+            .zip(&again.partitions)
+            .map(|(first, second)| {
+                Partition::from_key_fn(first.num_states(), |s| second.class_of(first.class_of(s)))
+            })
+            .collect();
+        // Exit rates for exact lumps must be measured on the *original*
+        // chain; the intermediate quotient's row sums are not exit rates.
+        let exact_exit_rates = match kind {
+            LumpKind::Ordinary => None,
+            LumpKind::Exact => Some(representative_exit_rates(
+                mrp,
+                &composed,
+                again.mrp.matrix().reach(),
+            )),
+        };
+        result = LumpResult {
+            mrp: again.mrp,
+            partitions: composed,
+            exact_exit_rates,
+            stats: LumpStats {
+                per_level: again.stats.per_level.clone(),
+                original_states: result.stats.original_states,
+                lumped_states: again.stats.lumped_states,
+                memory_before: result.stats.memory_before,
+                memory_after: again.stats.memory_after,
+                nodes_merged: result.stats.nodes_merged + again.stats.nodes_merged,
+                elapsed: result.stats.elapsed + again.stats.elapsed,
+            },
+        };
+    }
+}
+
+/// The initial partition `P_i^ini` of Fig. 3b line 2, intersected with the
+/// structural MDD-compatibility partition (DESIGN.md §4.2):
+///
+/// * ordinary: `f_i(s) = f_i(s′)`;
+/// * exact: `f_{π,i}(s) = f_{π,i}(s′)` and
+///   `r_{n_i,n_{i+1}}(s, S_i) = r_{n_i,n_{i+1}}(s′, S_i)` for every node
+///   and child.
+fn initial_partition(mrp: &MdMrp, level: usize, kind: LumpKind, tolerance: Tolerance) -> Partition {
+    let md = mrp.matrix().md();
+    let size = md.sizes()[level];
+    let compat = mrp.matrix().reach().compatibility_partition(level);
+    match kind {
+        LumpKind::Ordinary => {
+            let f = mrp.reward().level_values(level);
+            compat.intersect(&Partition::from_key_fn(size, |s| tolerance.key(f[s])))
+        }
+        LumpKind::Exact => {
+            let f = mrp.initial().level_values(level);
+            let by_initial = Partition::from_key_fn(size, |s| tolerance.key(f[s]));
+            // Per-(node, child) local row sums r_{n_i, n_{i+1}}(s, S_i).
+            let zero = tolerance.key(0.0);
+            let mut sums: Vec<BTreeMap<(u32, mdl_md::ChildId), f64>> = vec![BTreeMap::new(); size];
+            for (ni, node) in md.nodes_at(level).iter().enumerate() {
+                for e in node.entries() {
+                    let row = &mut sums[e.row as usize];
+                    for t in &e.terms {
+                        *row.entry((ni as u32, t.child)).or_insert(0.0) += t.coef;
+                    }
+                }
+            }
+            let by_row_sums = Partition::from_key_fn(size, |s| {
+                sums[s]
+                    .iter()
+                    .map(|(&k, &v)| (k, tolerance.key(v)))
+                    .filter(|&(_, kv)| kv != zero)
+                    .collect::<Vec<_>>()
+            });
+            compat.intersect(&by_initial).intersect(&by_row_sums)
+        }
+    }
+}
+
+/// Theorem-2 quotient of one node for an ordinary lumping:
+/// entry `(C, C′) = Σ_{s′∈C′} formal-sum(rep(C), s′)`.
+fn lump_node_ordinary(node: &MdNode, partition: &Partition) -> MdNode {
+    let mut raw = Vec::with_capacity(node.num_entries());
+    for (ci, members) in partition.iter() {
+        let rep = members[0] as u32;
+        for e in node.row(rep) {
+            raw.push((
+                ci as u32,
+                partition.class_of(e.col as usize) as u32,
+                e.terms.clone(),
+            ));
+        }
+    }
+    MdNode::new(raw)
+}
+
+/// Theorem-2 quotient of one node for an exact lumping:
+/// entry `(C, C′) = Σ_{s∈C} formal-sum(s, rep(C′))`.
+fn lump_node_exact(node: &MdNode, partition: &Partition) -> MdNode {
+    // Mark representative columns with their class.
+    let mut rep_class = vec![u32::MAX; partition.num_states()];
+    for (cj, members) in partition.iter() {
+        rep_class[members[0]] = cj as u32;
+    }
+    let mut raw = Vec::with_capacity(node.num_entries());
+    for e in node.entries() {
+        let cj = rep_class[e.col as usize];
+        if cj != u32::MAX {
+            raw.push((
+                partition.class_of(e.row as usize) as u32,
+                cj,
+                e.terms.clone(),
+            ));
+        }
+    }
+    MdNode::new(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::{Combiner, DecomposableVector};
+    use mdl_md::{ChildId, KroneckerExpr, SparseFactor, Term};
+    use mdl_mdd::Mdd;
+
+    fn cycle(size: usize, rate: f64) -> SparseFactor {
+        let mut f = SparseFactor::new(size);
+        for s in 0..size {
+            f.push(s, (s + 1) % size, rate);
+        }
+        f
+    }
+
+    /// 2-level model: level 1 a 2-cycle (distinguished by the reward);
+    /// level 2 has states 1, 2 symmetric against state 0, with extra 1↔2
+    /// exchange so that 0 cannot join their class (its aggregate row into
+    /// {1,2} differs).
+    fn symmetric_mrp() -> MdMrp {
+        let mut w = SparseFactor::new(3);
+        w.push(0, 1, 1.0);
+        w.push(0, 2, 1.0);
+        w.push(1, 0, 2.0);
+        w.push(2, 0, 2.0);
+        w.push(1, 2, 0.5);
+        w.push(2, 1, 0.5);
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(1.0, vec![Some(cycle(2, 3.0)), None]);
+        expr.add_term(1.0, vec![None, Some(w)]);
+        let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        let reward =
+            DecomposableVector::new(vec![vec![0.0, 1.0], vec![1.0, 1.0, 1.0]], Combiner::Product)
+                .unwrap();
+        let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
+        MdMrp::new(matrix, reward, initial).unwrap()
+    }
+
+    #[test]
+    fn ordinary_lump_merges_symmetric_level() {
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        assert_eq!(result.stats.original_states, 6);
+        assert_eq!(result.stats.lumped_states, 4);
+        assert_eq!(result.partitions[1].num_classes(), 2);
+        assert!(result.partitions[1].same_class(1, 2));
+        assert_eq!(result.partitions[0].num_classes(), 2); // level 1 unchanged
+    }
+
+    #[test]
+    fn lumped_md_flat_matches_quotient_of_flat() {
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+
+        // Quotient the flat matrix by the induced global partition and
+        // compare with the lumped MD's flat matrix.
+        let full = mrp.matrix().flatten();
+        let lumped_flat = result.mrp.matrix().flatten();
+        let reach = mrp.matrix().reach();
+        let lumped_reach = result.mrp.matrix().reach();
+
+        reach.for_each_tuple(|tuple, idx| {
+            let class_tuple: Vec<u32> = tuple
+                .iter()
+                .enumerate()
+                .map(|(l, &s)| result.partitions[l].class_of(s as usize) as u32)
+                .collect();
+            let li = lumped_reach
+                .index_of(&class_tuple)
+                .expect("class state reachable");
+            // Row sums into each lumped class must match the lumped row.
+            for lj in 0..lumped_reach.count() {
+                let mut sum = 0.0;
+                reach.for_each_tuple(|t2, idx2| {
+                    let c2: Vec<u32> = t2
+                        .iter()
+                        .enumerate()
+                        .map(|(l, &s)| result.partitions[l].class_of(s as usize) as u32)
+                        .collect();
+                    if lumped_reach.index_of(&c2) == Some(lj) {
+                        sum += full.get(idx as usize, idx2 as usize);
+                    }
+                });
+                let got = lumped_flat.get(li as usize, lj as usize);
+                assert!(
+                    (sum - got).abs() < 1e-12,
+                    "R(s, C) = {sum} but lumped R̂ = {got}"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn stationary_measure_preserved() {
+        use mdl_ctmc::SolverOptions;
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let full = mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        let lumped = result
+            .mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        assert!((full - lumped).abs() < 1e-8, "{full} vs {lumped}");
+    }
+
+    #[test]
+    fn exact_lump_preserves_transient_for_uniform_initial() {
+        use mdl_ctmc::TransientOptions;
+        // Uniform initial distribution is class-uniform for any partition.
+        let mut w = SparseFactor::new(3);
+        w.push(0, 1, 1.0);
+        w.push(0, 2, 1.0);
+        w.push(1, 0, 2.0);
+        w.push(2, 0, 2.0);
+        // States 1 and 2 have equal columns and equal exit rates: exactly
+        // lumpable into {1,2}.
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(1.0, vec![Some(cycle(2, 3.0)), None]);
+        expr.add_term(1.0, vec![None, Some(w)]);
+        let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+        let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
+        let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+
+        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        assert!(result.stats.lumped_states < result.stats.original_states);
+        let measures = result
+            .exact_measures()
+            .expect("exact lump carries exit rates");
+
+        // Transient distribution aggregated over classes must match the
+        // exact-lumped computation (which evolves the per-state vector ν̂
+        // with the representatives' exit rates — see crate::exact).
+        let t = 0.8;
+        let full = mrp.transient(t, &TransientOptions::default()).unwrap();
+        let lumped_agg = measures
+            .transient_aggregated(t, &TransientOptions::default())
+            .unwrap();
+        let reach = mrp.matrix().reach();
+        let lumped_reach = result.mrp.matrix().reach();
+        let mut agg = vec![0.0; lumped_agg.len()];
+        reach.for_each_tuple(|tuple, idx| {
+            let class_tuple: Vec<u32> = tuple
+                .iter()
+                .enumerate()
+                .map(|(l, &s)| result.partitions[l].class_of(s as usize) as u32)
+                .collect();
+            let li = lumped_reach.index_of(&class_tuple).unwrap();
+            agg[li as usize] += full.probabilities[idx as usize];
+        });
+        for (a, b) in agg.iter().zip(&lumped_agg) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+
+        // Stationary aggregation must match as well.
+        use mdl_ctmc::SolverOptions;
+        let full_stat = mrp.stationary(&SolverOptions::default()).unwrap();
+        let lumped_stat = measures
+            .stationary_aggregated(&SolverOptions::default())
+            .unwrap();
+        let mut agg_stat = vec![0.0; lumped_stat.len()];
+        reach.for_each_tuple(|tuple, idx| {
+            let class_tuple: Vec<u32> = tuple
+                .iter()
+                .enumerate()
+                .map(|(l, &s)| result.partitions[l].class_of(s as usize) as u32)
+                .collect();
+            let li = lumped_reach.index_of(&class_tuple).unwrap();
+            agg_stat[li as usize] += full_stat.probabilities[idx as usize];
+        });
+        for (a, b) in agg_stat.iter().zip(&lumped_stat) {
+            assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reward_differences_block_merging() {
+        let mut w = SparseFactor::new(3);
+        w.push(0, 1, 1.0);
+        w.push(0, 2, 1.0);
+        w.push(1, 0, 2.0);
+        w.push(2, 0, 2.0);
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(1.0, vec![Some(cycle(2, 3.0)), None]);
+        expr.add_term(1.0, vec![None, Some(w)]);
+        let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        // Reward distinguishes both level-1 states and all level-2 states.
+        let reward =
+            DecomposableVector::new(vec![vec![1.0, 2.0], vec![1.0, 3.0, 9.0]], Combiner::Product)
+                .unwrap();
+        let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
+        let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        assert_eq!(result.stats.lumped_states, 6, "reward must block the merge");
+    }
+
+    #[test]
+    fn per_node_option_gives_same_result() {
+        let mrp = symmetric_mrp();
+        let a = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let b = compositional_lump_with(
+            &mrp,
+            LumpKind::Ordinary,
+            &LumpOptions {
+                per_node_fixed_point: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a.partitions, b.partitions);
+    }
+
+    #[test]
+    fn node_counts_do_not_grow() {
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let before = mrp.matrix().md().nodes_per_level();
+        let after = result.mrp.matrix().md().nodes_per_level();
+        assert_eq!(before, after, "plain lumping preserves node counts");
+    }
+
+    #[test]
+    fn quasi_reduce_never_increases_nodes() {
+        let mrp = symmetric_mrp();
+        let plain = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let reduced = compositional_lump_with(
+            &mrp,
+            LumpKind::Ordinary,
+            &LumpOptions {
+                quasi_reduce: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(reduced.mrp.matrix().md().num_nodes() <= plain.mrp.matrix().md().num_nodes());
+        // Same represented matrix either way.
+        assert_eq!(
+            plain
+                .mrp
+                .matrix()
+                .flatten()
+                .max_abs_diff(&reduced.mrp.matrix().flatten()),
+            0.0
+        );
+    }
+
+    /// Builds a 2-level MD whose two level-1 nodes `A ≠ B` have equal
+    /// quotients under the level-1 lumping — the witness that
+    /// quasi-reduction between rounds can unlock further lumping.
+    fn two_round_mrp() -> MdMrp {
+        use mdl_md::MdBuilder;
+        let mut b = MdBuilder::new(vec![2, 3]).unwrap();
+        let id3 = b.intern_identity(1, ChildId::Terminal).unwrap();
+        let a = b
+            .intern_node(
+                1,
+                vec![
+                    (0, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+                    (0, 2, vec![Term::new(1.0, ChildId::Terminal)]),
+                    (1, 0, vec![Term::new(4.0, ChildId::Terminal)]),
+                    (2, 0, vec![Term::new(4.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        let bb = b
+            .intern_node(
+                1,
+                vec![
+                    (0, 1, vec![Term::new(0.5, ChildId::Terminal)]),
+                    (0, 2, vec![Term::new(1.5, ChildId::Terminal)]),
+                    (1, 0, vec![Term::new(4.0, ChildId::Terminal)]),
+                    (2, 0, vec![Term::new(4.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        assert_ne!(a, bb);
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (0, 0, vec![Term::new(1.0, ChildId::Node(a))]),
+                    (1, 1, vec![Term::new(1.0, ChildId::Node(bb))]),
+                    (0, 1, vec![Term::new(3.0, ChildId::Node(id3))]),
+                    (1, 0, vec![Term::new(3.0, ChildId::Node(id3))]),
+                ],
+            )
+            .unwrap();
+        let md = b.finish(root).unwrap();
+        let matrix = MdMatrix::new(md, Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+        let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
+        MdMrp::new(matrix, reward, initial).unwrap()
+    }
+
+    #[test]
+    fn iteration_can_beat_single_pass() {
+        let mrp = two_round_mrp();
+        let single = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        // Single pass: level 0 cannot merge (distinct children A, B).
+        assert_eq!(single.stats.lumped_states, 4);
+
+        let (iterated, rounds) =
+            compositional_lump_iterated(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
+        assert!(rounds >= 2);
+        // After quasi-reduction merges lump(A) = lump(B), level 0 lumps too.
+        assert_eq!(iterated.stats.lumped_states, 2);
+        assert_eq!(iterated.stats.original_states, 6);
+        // The composed partitions still verify against the original chain.
+        crate::verify::verify_ordinary(&mrp, &iterated, mdl_linalg::Tolerance::default()).unwrap();
+    }
+
+    #[test]
+    fn iteration_is_noop_when_single_pass_suffices() {
+        let mrp = symmetric_mrp();
+        let single = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let (iterated, rounds) =
+            compositional_lump_iterated(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
+        assert_eq!(rounds, 2); // one productive round + one fixpoint check
+        assert_eq!(single.stats.lumped_states, iterated.stats.lumped_states);
+    }
+
+    #[test]
+    fn iterated_exact_lump_keeps_correct_exit_rates() {
+        use mdl_ctmc::TransientOptions;
+        let mrp = two_round_mrp();
+        let (iterated, _) =
+            compositional_lump_iterated(&mrp, LumpKind::Exact, &LumpOptions::default()).unwrap();
+        crate::verify::verify_exact(&mrp, &iterated, mdl_linalg::Tolerance::default()).unwrap();
+        let measures = iterated
+            .exact_measures()
+            .expect("exact exit rates recorded");
+        // Aggregated transient must match the full chain.
+        let t = 0.6;
+        let full = mrp.transient(t, &TransientOptions::default()).unwrap();
+        let agg_lumped = measures
+            .transient_aggregated(t, &TransientOptions::default())
+            .unwrap();
+        let reach = mrp.matrix().reach();
+        let lumped_reach = iterated.mrp.matrix().reach();
+        let mut agg = vec![0.0; agg_lumped.len()];
+        reach.for_each_tuple(|tuple, idx| {
+            let class_tuple: Vec<u32> = tuple
+                .iter()
+                .enumerate()
+                .map(|(l, &s)| iterated.partitions[l].class_of(s as usize) as u32)
+                .collect();
+            let li = lumped_reach.index_of(&class_tuple).unwrap();
+            agg[li as usize] += full.probabilities[idx as usize];
+        });
+        for (x, y) in agg.iter().zip(&agg_lumped) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn canonicalization_improves_partitions() {
+        use mdl_md::MdBuilder;
+        // Bottom nodes `small` and `big = 3·small`; root rows reach the
+        // same flat block (6·small) through different (node, coefficient)
+        // pairs, so the plain formal-sum key separates them while the
+        // canonical one does not.
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let small = b
+            .intern_node(
+                1,
+                vec![
+                    (0, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+                    (1, 0, vec![Term::new(2.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        let big = b
+            .intern_node(
+                1,
+                vec![
+                    (0, 1, vec![Term::new(3.0, ChildId::Terminal)]),
+                    (1, 0, vec![Term::new(6.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (0, 0, vec![Term::new(6.0, ChildId::Node(small))]),
+                    (1, 1, vec![Term::new(2.0, ChildId::Node(big))]),
+                ],
+            )
+            .unwrap();
+        let md = b.finish(root).unwrap();
+        let matrix = MdMatrix::new(md, Mdd::full(vec![2, 2]).unwrap()).unwrap();
+        let reward = DecomposableVector::constant(&[2, 2], 1.0).unwrap();
+        let initial = DecomposableVector::uniform(&[2, 2], 4).unwrap();
+        let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+
+        let plain = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        assert!(!plain.partitions[0].same_class(0, 1));
+
+        let canon = compositional_lump_with(
+            &mrp,
+            LumpKind::Ordinary,
+            &LumpOptions {
+                canonicalize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(canon.partitions[0].same_class(0, 1));
+        assert!(canon.stats.lumped_states < plain.stats.lumped_states);
+        // Still a genuine lumping of the original chain.
+        crate::verify::verify_ordinary(&mrp, &canon, mdl_linalg::Tolerance::default()).unwrap();
+    }
+
+    #[test]
+    fn lump_node_ordinary_sums_columns() {
+        // Node over 3 states: 0 -> 1 (1.0), 0 -> 2 (2.0); lump {1,2}.
+        let node = MdNode::new(vec![
+            (0, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+            (0, 2, vec![Term::new(2.0, ChildId::Terminal)]),
+        ]);
+        let p = Partition::from_classes(vec![vec![0], vec![1, 2]]);
+        let lumped = lump_node_ordinary(&node, &p);
+        assert_eq!(lumped.num_entries(), 1);
+        assert_eq!(lumped.entries()[0].terms[0].coef, 3.0);
+        assert_eq!((lumped.entries()[0].row, lumped.entries()[0].col), (0, 1));
+    }
+
+    #[test]
+    fn lump_node_exact_sums_rows() {
+        let node = MdNode::new(vec![
+            (1, 0, vec![Term::new(1.0, ChildId::Terminal)]),
+            (2, 0, vec![Term::new(2.0, ChildId::Terminal)]),
+        ]);
+        let p = Partition::from_classes(vec![vec![0], vec![1, 2]]);
+        let lumped = lump_node_exact(&node, &p);
+        assert_eq!(lumped.num_entries(), 1);
+        assert_eq!(lumped.entries()[0].terms[0].coef, 3.0);
+        assert_eq!((lumped.entries()[0].row, lumped.entries()[0].col), (1, 0));
+    }
+}

@@ -1,0 +1,306 @@
+use mdl_ctmc::{Solution, SolverOptions, TransientOptions};
+use mdl_linalg::RateMatrix;
+use mdl_md::MdMatrix;
+
+use crate::decomp::DecomposableVector;
+use crate::{CoreError, Result};
+
+/// A Markov reward process in fully symbolic form: the state-transition
+/// rate matrix is a matrix diagram over an MDD-indexed reachable state
+/// space ([`MdMatrix`]), and the reward vector and initial distribution are
+/// [`DecomposableVector`]s (the paper's `g(f₁, …, f_L)` representation that
+/// makes per-level lumping conditions expressible).
+///
+/// The initial distribution must be product-form
+/// ([`Combiner::Product`](crate::Combiner::Product)) — the form the paper's
+/// own examples use (point masses, factorized distributions; arbitrary
+/// distributions are encodable per the paper's indicator construction) and
+/// the form whose class sums stay per-level expressible after lumping.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct MdMrp {
+    matrix: MdMatrix,
+    reward: DecomposableVector,
+    initial: DecomposableVector,
+}
+
+impl MdMrp {
+    /// Assembles a symbolic MRP, validating shapes and that the initial
+    /// distribution is product-form and sums to 1 over reachable states.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::ShapeMismatch`] if the vectors' level structure does
+    ///   not match the matrix;
+    /// * [`CoreError::NotProductForm`] if the initial distribution is not
+    ///   product-combined;
+    /// * [`CoreError::Decomposable`] if the initial distribution has
+    ///   negative values or does not sum to 1 over the reachable states.
+    pub fn new(
+        matrix: MdMatrix,
+        reward: DecomposableVector,
+        initial: DecomposableVector,
+    ) -> Result<Self> {
+        let sizes: Vec<usize> = matrix.md().sizes().to_vec();
+        if reward.sizes() != sizes {
+            return Err(CoreError::ShapeMismatch {
+                detail: format!("reward sizes {:?} vs MD sizes {:?}", reward.sizes(), sizes),
+            });
+        }
+        if initial.sizes() != sizes {
+            return Err(CoreError::ShapeMismatch {
+                detail: format!(
+                    "initial sizes {:?} vs MD sizes {:?}",
+                    initial.sizes(),
+                    sizes
+                ),
+            });
+        }
+        if !initial.is_product_form() {
+            return Err(CoreError::NotProductForm {
+                what: "initial distribution",
+            });
+        }
+        let materialized = initial.materialize(matrix.reach());
+        if let Some(v) = materialized.iter().find(|&&v| v < 0.0) {
+            return Err(CoreError::Decomposable {
+                reason: format!("initial distribution has negative value {v}"),
+            });
+        }
+        let sum: f64 = materialized.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(CoreError::Decomposable {
+                reason: format!("initial distribution sums to {sum} over reachable states"),
+            });
+        }
+        Ok(MdMrp {
+            matrix,
+            reward,
+            initial,
+        })
+    }
+
+    /// The symbolic rate matrix.
+    pub fn matrix(&self) -> &MdMatrix {
+        &self.matrix
+    }
+
+    /// The decomposable reward vector.
+    pub fn reward(&self) -> &DecomposableVector {
+        &self.reward
+    }
+
+    /// The decomposable initial distribution.
+    pub fn initial(&self) -> &DecomposableVector {
+        &self.initial
+    }
+
+    /// Number of reachable states.
+    pub fn num_states(&self) -> usize {
+        self.matrix.num_states()
+    }
+
+    /// Materialized reward vector over reachable states (MDD order).
+    pub fn reward_vector(&self) -> Vec<f64> {
+        self.reward.materialize(self.matrix.reach())
+    }
+
+    /// Materialized initial distribution over reachable states (MDD order).
+    pub fn initial_vector(&self) -> Vec<f64> {
+        self.initial.materialize(self.matrix.reach())
+    }
+
+    /// Stationary distribution over reachable states, solved symbolically
+    /// (matrix-diagram × vector products only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors ([`mdl_ctmc::CtmcError`]).
+    pub fn stationary(&self, options: &SolverOptions) -> Result<Solution> {
+        use mdl_ctmc::StationaryMethod;
+        let sol = match options.method {
+            StationaryMethod::Power => mdl_ctmc::stationary_power(&self.matrix, options)?,
+            StationaryMethod::Jacobi => mdl_ctmc::stationary_jacobi(&self.matrix, options)?,
+        };
+        Ok(sol)
+    }
+
+    /// Transient distribution at time `t` from the initial distribution,
+    /// solved symbolically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn transient(&self, t: f64, options: &TransientOptions) -> Result<Solution> {
+        let initial = self.initial_vector();
+        Ok(mdl_ctmc::transient_uniformization(
+            &self.matrix,
+            &initial,
+            t,
+            options,
+        )?)
+    }
+
+    /// Expected stationary reward `Σ_s π(s) r(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_stationary_reward(&self, options: &SolverOptions) -> Result<f64> {
+        let sol = self.stationary(options)?;
+        Ok(sol.expected_reward(&self.reward_vector()))
+    }
+
+    /// Expected reward at time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_transient_reward(&self, t: f64, options: &TransientOptions) -> Result<f64> {
+        let sol = self.transient(t, options)?;
+        Ok(sol.expected_reward(&self.reward_vector()))
+    }
+
+    /// Expected reward **accumulated** over `[0, t]`
+    /// (`E[∫₀ᵗ r(X_u) du]`), solved symbolically by uniformization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_accumulated_reward(&self, t: f64, options: &TransientOptions) -> Result<f64> {
+        let initial = self.initial_vector();
+        let reward = self.reward_vector();
+        Ok(mdl_ctmc::accumulated_reward(
+            &self.matrix,
+            &initial,
+            &reward,
+            t,
+            options,
+        )?)
+    }
+
+    /// Materializes the whole MRP as a flat [`Mrp`](mdl_ctmc::Mrp) over an
+    /// explicit sparse matrix — the baseline representation used by the
+    /// verification and optimality experiments. Memory is O(states + nnz).
+    ///
+    /// # Errors
+    ///
+    /// Propagates MRP validation errors (cannot occur for a validated
+    /// `MdMrp`).
+    pub fn to_flat_mrp(&self) -> Result<mdl_ctmc::Mrp<mdl_linalg::CsrMatrix>> {
+        Ok(mdl_ctmc::Mrp::new(
+            self.matrix.flatten(),
+            self.reward_vector(),
+            self.initial_vector(),
+        )?)
+    }
+
+    /// Decomposes into parts.
+    pub fn into_parts(self) -> (MdMatrix, DecomposableVector, DecomposableVector) {
+        (self.matrix, self.reward, self.initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Combiner;
+    use mdl_md::{KroneckerExpr, SparseFactor};
+    use mdl_mdd::Mdd;
+
+    fn cycle(size: usize, rate: f64) -> SparseFactor {
+        let mut f = SparseFactor::new(size);
+        for s in 0..size {
+            f.push(s, (s + 1) % size, rate);
+        }
+        f
+    }
+
+    fn sample_matrix() -> MdMatrix {
+        let mut expr = KroneckerExpr::new(vec![2, 2]);
+        expr.add_term(1.0, vec![Some(cycle(2, 1.0)), None]);
+        expr.add_term(2.0, vec![None, Some(cycle(2, 1.0))]);
+        MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 2]).unwrap()).unwrap()
+    }
+
+    fn sample_mrp() -> MdMrp {
+        let m = sample_matrix();
+        let reward =
+            DecomposableVector::new(vec![vec![0.0, 1.0], vec![1.0, 1.0]], Combiner::Product)
+                .unwrap();
+        let initial = DecomposableVector::point_mass(&[2, 2], &[0, 0]).unwrap();
+        MdMrp::new(m, reward, initial).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        let m = sample_matrix();
+        let bad_reward = DecomposableVector::constant(&[3, 2], 1.0).unwrap();
+        let initial = DecomposableVector::point_mass(&[2, 2], &[0, 0]).unwrap();
+        assert!(matches!(
+            MdMrp::new(m, bad_reward, initial),
+            Err(CoreError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_product_initial_rejected() {
+        let m = sample_matrix();
+        let reward = DecomposableVector::constant(&[2, 2], 1.0).unwrap();
+        let initial =
+            DecomposableVector::new(vec![vec![0.5, 0.0], vec![0.5, 0.0]], Combiner::Sum).unwrap();
+        assert!(matches!(
+            MdMrp::new(m, reward, initial),
+            Err(CoreError::NotProductForm { .. })
+        ));
+    }
+
+    #[test]
+    fn non_normalized_initial_rejected() {
+        let m = sample_matrix();
+        let reward = DecomposableVector::constant(&[2, 2], 1.0).unwrap();
+        let initial = DecomposableVector::constant(&[2, 2], 0.3).unwrap();
+        assert!(matches!(
+            MdMrp::new(m, reward, initial),
+            Err(CoreError::Decomposable { .. })
+        ));
+    }
+
+    #[test]
+    fn stationary_matches_flat_solution() {
+        let mrp = sample_mrp();
+        let sym = mrp.stationary(&SolverOptions::default()).unwrap();
+        let flat = mrp.to_flat_mrp().unwrap();
+        let explicit = flat.stationary(&SolverOptions::default()).unwrap();
+        assert!(
+            mdl_linalg::vec_ops::max_abs_diff(&sym.probabilities, &explicit.probabilities) < 1e-8
+        );
+    }
+
+    #[test]
+    fn transient_matches_flat_solution() {
+        let mrp = sample_mrp();
+        let sym = mrp.transient(0.7, &TransientOptions::default()).unwrap();
+        let flat = mrp.to_flat_mrp().unwrap();
+        let explicit = flat.transient(0.7, &TransientOptions::default()).unwrap();
+        assert!(
+            mdl_linalg::vec_ops::max_abs_diff(&sym.probabilities, &explicit.probabilities) < 1e-10
+        );
+    }
+
+    #[test]
+    fn expected_rewards_finite() {
+        let mrp = sample_mrp();
+        let stat = mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        assert!(stat > 0.0 && stat < 1.0);
+        let trans = mrp
+            .expected_transient_reward(0.5, &TransientOptions::default())
+            .unwrap();
+        assert!(trans.is_finite());
+    }
+}

@@ -1,0 +1,265 @@
+use std::collections::{BTreeMap, HashMap};
+
+use mdl_linalg::Tolerance;
+use mdl_md::{ChildId, MdNode};
+use mdl_partition::{Splitter, StateId};
+
+/// A refinement key for one level of an MD: for each node of the level (by
+/// index) the class-summed formal sum, as canonical
+/// `(child, coefficient-key)` pairs — the paper's Section-4 key
+/// `K(R_{n₂}, s₂, C₂) = {(r_{n₂,n₃}(s₂, C₂), n₃) | n₃ ∈ N₃}`, extended to
+/// a tuple over all nodes of the level (Definition 3 quantifies over
+/// `n₂ ∈ N₂`).
+pub(crate) type LevelKey = Vec<(u32, Vec<(ChildId, i128)>)>;
+
+/// Per-node column index: for each node, entries grouped by column as
+/// `(col, row, entry index)` sorted by column.
+fn column_index(nodes: &[MdNode]) -> Vec<Vec<(u32, u32, usize)>> {
+    nodes
+        .iter()
+        .map(|n| {
+            let mut idx: Vec<(u32, u32, usize)> = n
+                .entries()
+                .iter()
+                .enumerate()
+                .map(|(k, e)| (e.col, e.row, k))
+                .collect();
+            idx.sort_unstable();
+            idx
+        })
+        .collect()
+}
+
+/// Splitter computing the **ordinary** local condition (Definition 3,
+/// Eq. 2): `K(s, C) = (formal row sums into C, per node)`.
+///
+/// Touches only states with an entry *into* the splitter class in some
+/// node, via per-node column indices built once at construction.
+pub(crate) struct OrdinaryMdSplitter<'a> {
+    nodes: &'a [MdNode],
+    columns: Vec<Vec<(u32, u32, usize)>>,
+    tolerance: Tolerance,
+    zero_key: i128,
+}
+
+impl<'a> OrdinaryMdSplitter<'a> {
+    pub(crate) fn new(nodes: &'a [MdNode], tolerance: Tolerance) -> Self {
+        OrdinaryMdSplitter {
+            nodes,
+            columns: column_index(nodes),
+            tolerance,
+            zero_key: tolerance.key(0.0),
+        }
+    }
+}
+
+impl Splitter for OrdinaryMdSplitter<'_> {
+    type Key = LevelKey;
+
+    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
+        // (row, node, child) -> coefficient sum over the class's columns.
+        let mut acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>> = HashMap::new();
+        for (ni, (node, cols)) in self.nodes.iter().zip(&self.columns).enumerate() {
+            for &col in class {
+                let col = col as u32;
+                let start = cols.partition_point(|&(c, _, _)| c < col);
+                for &(c, row, k) in &cols[start..] {
+                    if c != col {
+                        break;
+                    }
+                    let sums = acc.entry(row as StateId).or_default();
+                    for t in &node.entries()[k].terms {
+                        *sums.entry((ni as u32, t.child)).or_insert(0.0) += t.coef;
+                    }
+                }
+            }
+        }
+        emit(acc, self.tolerance, self.zero_key, out);
+    }
+}
+
+/// Splitter computing the **exact** local condition (Definition 3, Eq. 5):
+/// `K(s, C) = (formal column sums from C, per node)`.
+pub(crate) struct ExactMdSplitter<'a> {
+    nodes: &'a [MdNode],
+    tolerance: Tolerance,
+    zero_key: i128,
+}
+
+impl<'a> ExactMdSplitter<'a> {
+    pub(crate) fn new(nodes: &'a [MdNode], tolerance: Tolerance) -> Self {
+        ExactMdSplitter {
+            nodes,
+            tolerance,
+            zero_key: tolerance.key(0.0),
+        }
+    }
+}
+
+impl Splitter for ExactMdSplitter<'_> {
+    type Key = LevelKey;
+
+    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
+        let mut acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>> = HashMap::new();
+        for (ni, node) in self.nodes.iter().enumerate() {
+            for &row in class {
+                for e in node.row(row as u32) {
+                    let sums = acc.entry(e.col as StateId).or_default();
+                    for t in &e.terms {
+                        *sums.entry((ni as u32, t.child)).or_insert(0.0) += t.coef;
+                    }
+                }
+            }
+        }
+        emit(acc, self.tolerance, self.zero_key, out);
+    }
+}
+
+/// Converts accumulated coefficient sums into canonical keys, dropping
+/// zero-summed terms and omitting states whose whole key is default (the
+/// engine groups omitted states together).
+fn emit(
+    acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>>,
+    tolerance: Tolerance,
+    zero_key: i128,
+    out: &mut Vec<(StateId, LevelKey)>,
+) {
+    for (state, sums) in acc {
+        let mut key: LevelKey = Vec::new();
+        for ((node, child), sum) in sums {
+            let k = tolerance.key(sum);
+            if k == zero_key {
+                continue;
+            }
+            match key.last_mut() {
+                Some((n, terms)) if *n == node => terms.push((child, k)),
+                _ => key.push((node, vec![(child, k)])),
+            }
+        }
+        if !key.is_empty() {
+            out.push((state, key));
+        }
+    }
+}
+
+/// Single-node variants used by the paper-faithful per-node fixed point
+/// (Fig. 3a) and the ablation experiments.
+pub(crate) struct SingleNodeOrdinarySplitter<'a> {
+    inner: OrdinaryMdSplitter<'a>,
+}
+
+impl<'a> SingleNodeOrdinarySplitter<'a> {
+    pub(crate) fn new(node: &'a MdNode, tolerance: Tolerance) -> Self {
+        SingleNodeOrdinarySplitter {
+            inner: OrdinaryMdSplitter::new(std::slice::from_ref(node), tolerance),
+        }
+    }
+}
+
+impl Splitter for SingleNodeOrdinarySplitter<'_> {
+    type Key = LevelKey;
+    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
+        self.inner.keys(class, out);
+    }
+}
+
+pub(crate) struct SingleNodeExactSplitter<'a> {
+    inner: ExactMdSplitter<'a>,
+}
+
+impl<'a> SingleNodeExactSplitter<'a> {
+    pub(crate) fn new(node: &'a MdNode, tolerance: Tolerance) -> Self {
+        SingleNodeExactSplitter {
+            inner: ExactMdSplitter::new(std::slice::from_ref(node), tolerance),
+        }
+    }
+}
+
+impl Splitter for SingleNodeExactSplitter<'_> {
+    type Key = LevelKey;
+    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
+        self.inner.keys(class, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_md::Term;
+
+    fn node(entries: Vec<(u32, u32, Vec<Term>)>) -> MdNode {
+        // Build through a builder round-trip to obtain a canonical MdNode.
+        let mut b = mdl_md::MdBuilder::new(vec![8, 2]).unwrap();
+        let child = b.intern_identity(1, ChildId::Terminal).unwrap();
+        let remapped: Vec<(u32, u32, Vec<Term>)> = entries
+            .into_iter()
+            .map(|(r, c, terms)| {
+                (
+                    r,
+                    c,
+                    terms
+                        .into_iter()
+                        .map(|t| Term::new(t.coef, ChildId::Node(child)))
+                        .collect(),
+                )
+            })
+            .collect();
+        let idx = b.intern_node(0, remapped).unwrap();
+        let md = b.finish(idx).unwrap();
+        md.node(md.root()).clone()
+    }
+
+    #[test]
+    fn ordinary_key_sums_row_into_class() {
+        let n = node(vec![
+            (0, 2, vec![Term::new(1.0, ChildId::Terminal)]),
+            (0, 3, vec![Term::new(2.0, ChildId::Terminal)]),
+            (1, 2, vec![Term::new(3.0, ChildId::Terminal)]),
+        ]);
+        let nodes = vec![n];
+        let mut s = OrdinaryMdSplitter::new(&nodes, Tolerance::Exact);
+        let mut out = Vec::new();
+        s.keys(&[2, 3], &mut out);
+        out.sort_by_key(|(st, _)| *st);
+        assert_eq!(out.len(), 2);
+        // State 0: 1.0 + 2.0 into class; state 1: 3.0.
+        assert_eq!(out[0].0, 0);
+        assert_eq!(out[1].0, 1);
+        assert_eq!(out[0].1[0].1[0].1, Tolerance::Exact.key(3.0));
+        assert_eq!(out[1].1[0].1[0].1, Tolerance::Exact.key(3.0));
+        // Same key (same child, same summed coefficient): would not split.
+        assert_eq!(out[0].1, out[1].1);
+    }
+
+    #[test]
+    fn exact_key_sums_column_from_class() {
+        let n = node(vec![
+            (2, 0, vec![Term::new(1.0, ChildId::Terminal)]),
+            (3, 0, vec![Term::new(2.0, ChildId::Terminal)]),
+            (2, 1, vec![Term::new(5.0, ChildId::Terminal)]),
+        ]);
+        let nodes = vec![n];
+        let mut s = ExactMdSplitter::new(&nodes, Tolerance::Exact);
+        let mut out = Vec::new();
+        s.keys(&[2, 3], &mut out);
+        out.sort_by_key(|(st, _)| *st);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 0); // column 0 receives 1+2
+        assert_eq!(out[0].1[0].1[0].1, Tolerance::Exact.key(3.0));
+        assert_eq!(out[1].0, 1); // column 1 receives 5
+        assert_eq!(out[1].1[0].1[0].1, Tolerance::Exact.key(5.0));
+    }
+
+    #[test]
+    fn cancelling_sums_are_default() {
+        let n = node(vec![
+            (0, 2, vec![Term::new(1.5, ChildId::Terminal)]),
+            (0, 3, vec![Term::new(-1.5, ChildId::Terminal)]),
+        ]);
+        let nodes = vec![n];
+        let mut s = OrdinaryMdSplitter::new(&nodes, Tolerance::Exact);
+        let mut out = Vec::new();
+        s.keys(&[2, 3], &mut out);
+        assert!(out.is_empty(), "cancelled sums must be omitted: {out:?}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Independent verification that a compositional lump is a genuine
+//! (ordinary/exact) lumping of the original CTMC.
+//!
+//! These checks flatten both chains and test the Theorem-1 conditions and
+//! the Theorem-2 quotient directly — deliberately sharing no code with the
+//! lumping algorithm. They power the property-based test suite and the
+//! `optimality` experiment binary (the paper's Section 5 check that the
+//! compositional result is already optimally lumped).
+
+use std::fmt;
+
+use mdl_linalg::Tolerance;
+use mdl_mdd::Mdd;
+use mdl_partition::Partition;
+
+use crate::lump::LumpResult;
+use crate::mrp::MdMrp;
+
+/// A verification failure, describing what broke and where.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyFailure {
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lumping verification failed: {}", self.detail)
+    }
+}
+
+impl std::error::Error for VerifyFailure {}
+
+/// Maps every original reachable state (by MDD index) to its lumped state
+/// (by the lumped MDD's index), via the per-level class of each component.
+///
+/// # Panics
+///
+/// Panics if a class tuple is missing from the lumped state space (cannot
+/// happen for partitions produced by `compositional_lump`).
+pub fn global_state_map(
+    original_reach: &Mdd,
+    lumped_reach: &Mdd,
+    partitions: &[Partition],
+) -> Vec<usize> {
+    let mut map = vec![0usize; original_reach.count() as usize];
+    let mut class_tuple = vec![0u32; partitions.len()];
+    original_reach.for_each_tuple(|tuple, idx| {
+        for (l, &s) in tuple.iter().enumerate() {
+            class_tuple[l] = partitions[l].class_of(s as usize) as u32;
+        }
+        let li = lumped_reach
+            .index_of(&class_tuple)
+            .expect("lumped class tuple must be reachable");
+        map[idx as usize] = li as usize;
+    });
+    map
+}
+
+/// The global partition induced by per-level partitions on the original
+/// reachable state space: class `i` = states mapping to lumped state `i`.
+pub fn global_partition(
+    original_reach: &Mdd,
+    lumped_reach: &Mdd,
+    partitions: &[Partition],
+) -> Partition {
+    let map = global_state_map(original_reach, lumped_reach, partitions);
+    let k = lumped_reach.count() as usize;
+    let mut classes: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (s, &c) in map.iter().enumerate() {
+        classes[c].push(s);
+    }
+    Partition::from_classes(classes)
+}
+
+/// Verifies an **ordinary** compositional lump end-to-end on the flat
+/// chains: Theorem-1a conditions on the original, and `R̂` equal to the
+/// Theorem-2 quotient. O(states · classes) — verification only.
+///
+/// # Errors
+///
+/// [`VerifyFailure`] describing the first violated condition.
+pub fn verify_ordinary(
+    original: &MdMrp,
+    result: &LumpResult,
+    tolerance: Tolerance,
+) -> Result<(), VerifyFailure> {
+    let flat = original.matrix().flatten();
+    let reward = original.reward_vector();
+    let partition = global_partition(
+        original.matrix().reach(),
+        result.mrp.matrix().reach(),
+        &result.partitions,
+    );
+    if !mdl_statelump::is_ordinarily_lumpable(&flat, &reward, &partition, tolerance) {
+        return Err(VerifyFailure {
+            detail: "induced global partition violates ordinary lumpability (Theorem 1a)".into(),
+        });
+    }
+    // R̂ must equal the Theorem-2 quotient R(rep, C).
+    let lumped_flat = result.mrp.matrix().flatten();
+    let k = partition.num_classes();
+    for (ci, members) in partition.iter() {
+        let mut sums = vec![0.0; k];
+        for (t, v) in flat.row(members[0]) {
+            sums[partition.class_of(t)] += v;
+        }
+        for (cj, &expected) in sums.iter().enumerate() {
+            let got = lumped_flat.get(ci, cj);
+            if !tolerance.eq(expected, got) {
+                return Err(VerifyFailure {
+                    detail: format!(
+                        "lumped rate R̂({ci}, {cj}) = {got}, expected R(rep, C) = {expected}"
+                    ),
+                });
+            }
+        }
+    }
+    // r̂ must be the class value (constant on classes for ordinary lumping).
+    let lumped_reward = result.mrp.reward_vector();
+    for (ci, members) in partition.iter() {
+        let mean: f64 = members.iter().map(|&s| reward[s]).sum::<f64>() / members.len() as f64;
+        if !tolerance.eq(mean, lumped_reward[ci]) {
+            return Err(VerifyFailure {
+                detail: format!(
+                    "lumped reward r̂({ci}) = {}, expected {mean}",
+                    lumped_reward[ci]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Verifies an **exact** compositional lump end-to-end on the flat chains:
+/// Theorem-1b conditions on the original, and `R̂` equal to the Theorem-2
+/// quotient `R(C, rep)`.
+///
+/// # Errors
+///
+/// [`VerifyFailure`] describing the first violated condition.
+pub fn verify_exact(
+    original: &MdMrp,
+    result: &LumpResult,
+    tolerance: Tolerance,
+) -> Result<(), VerifyFailure> {
+    let flat = original.matrix().flatten();
+    let initial = original.initial_vector();
+    let partition = global_partition(
+        original.matrix().reach(),
+        result.mrp.matrix().reach(),
+        &result.partitions,
+    );
+    if !mdl_statelump::is_exactly_lumpable(&flat, &initial, &partition, tolerance) {
+        return Err(VerifyFailure {
+            detail: "induced global partition violates exact lumpability (Theorem 1b)".into(),
+        });
+    }
+    let lumped_flat = result.mrp.matrix().flatten();
+    let k = partition.num_classes();
+    // Column sums into representatives: R(C_i, rep_j).
+    let mut reps = vec![usize::MAX; flat.nrows()];
+    for (cj, members) in partition.iter() {
+        reps[members[0]] = cj;
+    }
+    let mut sums = vec![vec![0.0; k]; k];
+    for s in 0..flat.nrows() {
+        let ci = partition.class_of(s);
+        for (t, v) in flat.row(s) {
+            if reps[t] != usize::MAX {
+                sums[ci][reps[t]] += v;
+            }
+        }
+    }
+    for ci in 0..k {
+        for cj in 0..k {
+            let got = lumped_flat.get(ci, cj);
+            if !tolerance.eq(sums[ci][cj], got) {
+                return Err(VerifyFailure {
+                    detail: format!(
+                        "lumped rate R̂({ci}, {cj}) = {got}, expected R(C, rep) = {}",
+                        sums[ci][cj]
+                    ),
+                });
+            }
+        }
+    }
+    // π̂ must be the class sum.
+    let lumped_initial = result.mrp.initial_vector();
+    for (ci, members) in partition.iter() {
+        let sum: f64 = members.iter().map(|&s| initial[s]).sum();
+        if !tolerance.eq(sum, lumped_initial[ci]) {
+            return Err(VerifyFailure {
+                detail: format!(
+                    "lumped initial π̂({ci}) = {}, expected {sum}",
+                    lumped_initial[ci]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::DecomposableVector;
+    use crate::lump::{compositional_lump, LumpKind};
+    use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
+
+    fn symmetric_mrp() -> MdMrp {
+        let mut w = SparseFactor::new(3);
+        w.push(0, 1, 1.0);
+        w.push(0, 2, 1.0);
+        w.push(1, 0, 2.0);
+        w.push(2, 0, 2.0);
+        let mut cyc = SparseFactor::new(2);
+        cyc.push(0, 1, 3.0);
+        cyc.push(1, 0, 3.0);
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(1.0, vec![Some(cyc), None]);
+        expr.add_term(1.0, vec![None, Some(w)]);
+        let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+        let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
+        MdMrp::new(matrix, reward, initial).unwrap()
+    }
+
+    #[test]
+    fn ordinary_result_verifies() {
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+    }
+
+    #[test]
+    fn exact_result_verifies() {
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        verify_exact(&mrp, &result, Tolerance::default()).unwrap();
+    }
+
+    #[test]
+    fn global_map_is_consistent_with_partitions() {
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let p = global_partition(
+            mrp.matrix().reach(),
+            result.mrp.matrix().reach(),
+            &result.partitions,
+        );
+        assert_eq!(p.num_classes() as u64, result.stats.lumped_states);
+        assert_eq!(p.num_states() as u64, result.stats.original_states);
+    }
+
+    #[test]
+    fn tampered_result_fails_verification() {
+        use mdl_md::{MdNode, Term};
+        let mrp = symmetric_mrp();
+        let mut result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        // Corrupt the lumped MD: scale every coefficient of the last
+        // level's nodes. Shapes stay valid; the quotient rates are now
+        // wrong and verification must notice.
+        let (mut md, reach) = result.mrp.matrix().clone().into_parts();
+        let last = md.num_levels() - 1;
+        let size = md.sizes()[last];
+        let tampered: Vec<MdNode> = md
+            .nodes_at(last)
+            .iter()
+            .map(|n| {
+                MdNode::new(
+                    n.entries()
+                        .iter()
+                        .map(|e| {
+                            (
+                                e.row,
+                                e.col,
+                                e.terms
+                                    .iter()
+                                    .map(|t| Term::new(t.coef * 2.0, t.child))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        md.replace_level(last, size, tampered).unwrap();
+        let fake_matrix = MdMatrix::new(md, reach).unwrap();
+        let (_, reward, initial) = result.mrp.clone().into_parts();
+        result.mrp = MdMrp::new(fake_matrix, reward, initial).unwrap();
+        assert!(verify_ordinary(&mrp, &result, Tolerance::default()).is_err());
+    }
+}

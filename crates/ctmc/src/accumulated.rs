@@ -1,0 +1,230 @@
+use mdl_linalg::{vec_ops, RateMatrix};
+
+use crate::transient::TransientOptions;
+use crate::{CtmcError, Result};
+
+/// Expected reward **accumulated** over `[0, t]`:
+/// `E[∫₀ᵗ r(X_u) du] = ∫₀ᵗ π(u)·r du`, computed by uniformization.
+///
+/// With `π(u) = Σ_k pois_k(Λu)·v_k` (where `v_k = π₀ Pᵏ`), each Poisson
+/// weight integrates to `(1/Λ)·tail_{k+1}(Λt)`, so the accumulated reward
+/// is `(1/Λ) Σ_k (v_k·r)·Pr[Poisson(Λt) > k]` — a single forward pass over
+/// the same `v_k` sequence the transient solver generates.
+///
+/// Interval-of-time measures like this are the workhorse of dependability
+/// evaluation (expected downtime, expected jobs processed over a mission
+/// time) and are exactly the kind of measure lumping must preserve.
+///
+/// # Errors
+///
+/// As for [`transient_uniformization`](crate::transient_uniformization):
+/// invalid horizon, mismatched lengths, or iteration-budget exhaustion.
+pub fn accumulated_reward<M: RateMatrix>(
+    rates: &M,
+    initial: &[f64],
+    reward: &[f64],
+    t: f64,
+    options: &TransientOptions,
+) -> Result<f64> {
+    let exit = rates.row_sums();
+    accumulated_reward_with_exit_rates(rates, &exit, initial, reward, t, options)
+}
+
+/// [`accumulated_reward`] with an explicit diagonal (`Q = R − diag(exit)`),
+/// for exact-lumped quotients (see `mdl-core`'s `exact` module).
+///
+/// # Errors
+///
+/// As for [`accumulated_reward`].
+pub fn accumulated_reward_with_exit_rates<M: RateMatrix>(
+    rates: &M,
+    exit: &[f64],
+    initial: &[f64],
+    reward: &[f64],
+    t: f64,
+    options: &TransientOptions,
+) -> Result<f64> {
+    let n = rates.num_states();
+    if initial.len() != n {
+        return Err(CtmcError::LengthMismatch {
+            what: "initial distribution",
+            got: initial.len(),
+            expected: n,
+        });
+    }
+    if reward.len() != n {
+        return Err(CtmcError::LengthMismatch {
+            what: "reward vector",
+            got: reward.len(),
+            expected: n,
+        });
+    }
+    if exit.len() != n {
+        return Err(CtmcError::LengthMismatch {
+            what: "exit rates",
+            got: exit.len(),
+            expected: n,
+        });
+    }
+    if !t.is_finite() || t < 0.0 {
+        return Err(CtmcError::InvalidValue {
+            what: "time horizon",
+            index: 0,
+            value: t,
+        });
+    }
+
+    let max_rate = exit.iter().cloned().fold(0.0, f64::max);
+    if t == 0.0 {
+        return Ok(0.0);
+    }
+    if max_rate == 0.0 {
+        // No transitions ever fire: reward accrues at the initial state.
+        return Ok(t * vec_ops::dot(initial, reward));
+    }
+    let lambda = 1.02 * max_rate;
+    let lt = lambda * t;
+
+    let mut v = initial.to_vec();
+    let mut next = vec![0.0; n];
+
+    // Poisson pmf at k, built iteratively; `cdf` tracks Σ_{j≤k} pois_j so
+    // the integral weight for v_k is tail_{k+1} = 1 − cdf.
+    let mut ln_weight = -lt;
+    let mut cdf = 0.0f64;
+    let mut acc = 0.0f64;
+    let mut k = 0usize;
+    loop {
+        let w = ln_weight.exp();
+        cdf += w;
+        let tail = (1.0 - cdf).max(0.0);
+        acc += vec_ops::dot(&v, reward) * tail;
+        // Right truncation as in the transient solver: accept either a met
+        // tail target or a fully decayed pmf past the mode.
+        if (k as f64) >= lt && (tail <= options.epsilon || w < options.epsilon * 1e-3) {
+            break;
+        }
+        if k >= options.max_steps {
+            return Err(CtmcError::NotConverged {
+                iterations: k,
+                residual: tail,
+            });
+        }
+        // v ← v P
+        vec_ops::fill(&mut next, 0.0);
+        rates.acc_vec_mat(&v, &mut next);
+        for s in 0..n {
+            next[s] = v[s] + (next[s] - v[s] * exit[s]) / lambda;
+        }
+        std::mem::swap(&mut v, &mut next);
+        k += 1;
+        ln_weight += (lt / k as f64).ln();
+    }
+    Ok(acc / lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_linalg::CooMatrix;
+
+    fn two_state(a: f64, b: f64) -> mdl_linalg::CsrMatrix {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, a);
+        coo.push(1, 0, b);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn constant_reward_accumulates_time() {
+        let r = two_state(2.0, 1.0);
+        let acc = accumulated_reward(
+            &r,
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            3.5,
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        assert!((acc - 3.5).abs() < 1e-9, "got {acc}");
+    }
+
+    #[test]
+    fn matches_analytic_occupancy() {
+        // Occupancy of state 0 over [0, t], starting in 0:
+        // ∫₀ᵗ p(u) du with p(u) = b/(a+b) + a/(a+b)·e^{−(a+b)u}
+        //   = b·t/(a+b) + a/(a+b)² · (1 − e^{−(a+b)t}).
+        let (a, b) = (2.0, 1.0);
+        let r = two_state(a, b);
+        for &t in &[0.1, 1.0, 5.0] {
+            let acc = accumulated_reward(
+                &r,
+                &[1.0, 0.0],
+                &[1.0, 0.0],
+                t,
+                &TransientOptions::default(),
+            )
+            .unwrap();
+            let s = a + b;
+            let expected = b * t / s + a / (s * s) * (1.0 - (-s * t).exp());
+            assert!((acc - expected).abs() < 1e-9, "t={t}: {acc} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn zero_horizon_accumulates_nothing() {
+        let r = two_state(1.0, 1.0);
+        let acc = accumulated_reward(
+            &r,
+            &[0.5, 0.5],
+            &[10.0, 20.0],
+            0.0,
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(acc, 0.0);
+    }
+
+    #[test]
+    fn absorbing_like_chain_accrues_at_initial_state() {
+        let empty = CooMatrix::new(2, 2).to_csr();
+        let acc = accumulated_reward(
+            &empty,
+            &[1.0, 0.0],
+            &[4.0, 9.0],
+            2.0,
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(acc, 8.0);
+    }
+
+    #[test]
+    fn long_horizon_approaches_stationary_rate() {
+        // Accumulated reward / t → stationary expected reward.
+        let r = two_state(2.0, 3.0);
+        let t = 200.0;
+        let acc = accumulated_reward(
+            &r,
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            t,
+            &TransientOptions::default(),
+        )
+        .unwrap();
+        let stationary = crate::solver::stationary_power(&r, &Default::default())
+            .unwrap()
+            .probabilities[1];
+        assert!((acc / t - stationary).abs() < 1e-2);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let r = two_state(1.0, 1.0);
+        assert!(accumulated_reward(&r, &[1.0], &[0.0, 0.0], 1.0, &Default::default()).is_err());
+        assert!(accumulated_reward(&r, &[1.0, 0.0], &[0.0], 1.0, &Default::default()).is_err());
+        assert!(
+            accumulated_reward(&r, &[1.0, 0.0], &[0.0, 0.0], -1.0, &Default::default()).is_err()
+        );
+    }
+}

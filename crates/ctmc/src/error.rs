@@ -1,0 +1,123 @@
+use std::fmt;
+
+/// Errors produced when constructing or solving Markov reward processes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CtmcError {
+    /// A vector's length does not match the number of states.
+    LengthMismatch {
+        /// What the vector represents.
+        what: &'static str,
+        /// Supplied length.
+        got: usize,
+        /// Number of states of the CTMC.
+        expected: usize,
+    },
+    /// The initial distribution is not a probability distribution.
+    InvalidDistribution {
+        /// Sum of the supplied vector.
+        sum: f64,
+    },
+    /// A vector contained a non-finite or (where relevant) negative entry.
+    InvalidValue {
+        /// What the vector represents.
+        what: &'static str,
+        /// State index of the offending entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when the budget ran out.
+        residual: f64,
+    },
+    /// The chain has a state with no outgoing rate, which the stationary
+    /// solvers do not support.
+    AbsorbingState {
+        /// Index of the absorbing state.
+        state: usize,
+    },
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => {
+                write!(f, "{what} has length {got}, expected {expected}")
+            }
+            CtmcError::InvalidDistribution { sum } => {
+                write!(f, "initial distribution sums to {sum}, expected 1")
+            }
+            CtmcError::InvalidValue { what, index, value } => {
+                write!(f, "invalid value {value} at index {index} of {what}")
+            }
+            CtmcError::NotConverged {
+                iterations,
+                residual,
+            } => {
+                write!(f, "solver did not converge after {iterations} iterations (residual {residual:.3e})")
+            }
+            CtmcError::AbsorbingState { state } => {
+                write!(
+                    f,
+                    "state {state} is absorbing; stationary solution is not unique"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CtmcError, &str)> = vec![
+            (
+                CtmcError::LengthMismatch {
+                    what: "reward vector",
+                    got: 2,
+                    expected: 3,
+                },
+                "reward vector",
+            ),
+            (CtmcError::InvalidDistribution { sum: 0.5 }, "0.5"),
+            (
+                CtmcError::InvalidValue {
+                    what: "exit rates",
+                    index: 4,
+                    value: f64::INFINITY,
+                },
+                "index 4",
+            ),
+            (
+                CtmcError::NotConverged {
+                    iterations: 10,
+                    residual: 0.25,
+                },
+                "10 iterations",
+            ),
+            (CtmcError::AbsorbingState { state: 7 }, "state 7"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<CtmcError>();
+    }
+}

@@ -1,0 +1,210 @@
+use mdl_linalg::RateMatrix;
+
+use crate::solver::{self, Solution, SolverOptions, StationaryMethod};
+use crate::transient::{self, TransientOptions};
+use crate::{CtmcError, Result};
+
+/// A Markov reward process: the 4-tuple `(S, Q, r, π_ini)` of Definition 1
+/// of the paper, with `Q = R − rs(R)` represented by its state-transition
+/// rate matrix `R`.
+///
+/// The type is generic over the matrix representation `M`: a flat
+/// [`CsrMatrix`](mdl_linalg::CsrMatrix), a matrix diagram (`mdl-md`), or
+/// anything else implementing [`RateMatrix`].
+///
+/// # Example
+///
+/// ```
+/// use mdl_linalg::CooMatrix;
+/// use mdl_ctmc::Mrp;
+///
+/// let mut r = CooMatrix::new(2, 2);
+/// r.push(0, 1, 1.0);
+/// r.push(1, 0, 1.0);
+/// let mrp = Mrp::new(r.to_csr(), vec![1.0, 0.0], vec![0.5, 0.5])?;
+/// assert_eq!(mrp.num_states(), 2);
+/// # Ok::<(), mdl_ctmc::CtmcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mrp<M> {
+    rates: M,
+    reward: Vec<f64>,
+    initial: Vec<f64>,
+}
+
+impl<M: RateMatrix> Mrp<M> {
+    /// Creates an MRP, validating the reward vector and initial
+    /// distribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtmcError::LengthMismatch`] if `reward` or `initial` do not have
+    ///   one entry per state;
+    /// * [`CtmcError::InvalidValue`] if `reward` contains a non-finite value
+    ///   or `initial` a negative or non-finite value;
+    /// * [`CtmcError::InvalidDistribution`] if `initial` does not sum to 1
+    ///   (within `1e-9`).
+    pub fn new(rates: M, reward: Vec<f64>, initial: Vec<f64>) -> Result<Self> {
+        let n = rates.num_states();
+        if reward.len() != n {
+            return Err(CtmcError::LengthMismatch {
+                what: "reward vector",
+                got: reward.len(),
+                expected: n,
+            });
+        }
+        if initial.len() != n {
+            return Err(CtmcError::LengthMismatch {
+                what: "initial distribution",
+                got: initial.len(),
+                expected: n,
+            });
+        }
+        for (i, &v) in reward.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(CtmcError::InvalidValue {
+                    what: "reward vector",
+                    index: i,
+                    value: v,
+                });
+            }
+        }
+        let mut sum = 0.0;
+        for (i, &v) in initial.iter().enumerate() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(CtmcError::InvalidValue {
+                    what: "initial distribution",
+                    index: i,
+                    value: v,
+                });
+            }
+            sum += v;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(CtmcError::InvalidDistribution { sum });
+        }
+        Ok(Mrp {
+            rates,
+            reward,
+            initial,
+        })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.rates.num_states()
+    }
+
+    /// The state-transition rate matrix `R`.
+    pub fn rates(&self) -> &M {
+        &self.rates
+    }
+
+    /// The rate-reward vector `r`.
+    pub fn reward(&self) -> &[f64] {
+        &self.reward
+    }
+
+    /// The initial probability distribution `π_ini`.
+    pub fn initial(&self) -> &[f64] {
+        &self.initial
+    }
+
+    /// Decomposes the MRP into its parts.
+    pub fn into_parts(self) -> (M, Vec<f64>, Vec<f64>) {
+        (self.rates, self.reward, self.initial)
+    }
+
+    /// Computes the stationary distribution `π` with `π Q = 0`, using the
+    /// method selected in `options` (uniformized power iteration by
+    /// default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::AbsorbingState`] if a state has no outgoing
+    /// rate, and [`CtmcError::NotConverged`] if the iteration budget is
+    /// exhausted.
+    pub fn stationary(&self, options: &SolverOptions) -> Result<Solution> {
+        match options.method {
+            StationaryMethod::Power => solver::stationary_power(&self.rates, options),
+            StationaryMethod::Jacobi => solver::stationary_jacobi(&self.rates, options),
+        }
+    }
+
+    /// Computes the transient distribution `π(t)` by uniformization,
+    /// starting from `π_ini`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidValue`] for a negative or non-finite
+    /// time horizon.
+    pub fn transient(&self, t: f64, options: &TransientOptions) -> Result<Solution> {
+        transient::transient_uniformization(&self.rates, &self.initial, t, options)
+    }
+
+    /// Expected instantaneous reward under a probability vector:
+    /// `Σ_s π(s) · r(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probabilities` does not have one entry per state.
+    pub fn expected_reward(&self, probabilities: &[f64]) -> f64 {
+        mdl_linalg::vec_ops::dot(probabilities, &self.reward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_linalg::CooMatrix;
+
+    fn two_state() -> mdl_linalg::CsrMatrix {
+        let mut r = CooMatrix::new(2, 2);
+        r.push(0, 1, 2.0);
+        r.push(1, 0, 1.0);
+        r.to_csr()
+    }
+
+    #[test]
+    fn valid_mrp_constructs() {
+        let mrp = Mrp::new(two_state(), vec![0.0, 1.0], vec![1.0, 0.0]).unwrap();
+        assert_eq!(mrp.num_states(), 2);
+        assert_eq!(mrp.reward(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn wrong_reward_length_rejected() {
+        let err = Mrp::new(two_state(), vec![0.0], vec![1.0, 0.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            CtmcError::LengthMismatch {
+                what: "reward vector",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn non_distribution_rejected() {
+        let err = Mrp::new(two_state(), vec![0.0, 1.0], vec![0.7, 0.7]).unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidDistribution { .. }));
+    }
+
+    #[test]
+    fn negative_initial_rejected() {
+        let err = Mrp::new(two_state(), vec![0.0, 1.0], vec![1.5, -0.5]).unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn nan_reward_rejected() {
+        let err = Mrp::new(two_state(), vec![f64::NAN, 0.0], vec![1.0, 0.0]).unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn expected_reward_is_dot_product() {
+        let mrp = Mrp::new(two_state(), vec![3.0, 5.0], vec![1.0, 0.0]).unwrap();
+        assert_eq!(mrp.expected_reward(&[0.5, 0.5]), 4.0);
+    }
+}

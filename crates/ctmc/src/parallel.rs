@@ -1,0 +1,182 @@
+use mdl_linalg::{CsrMatrix, RateMatrix};
+
+/// A flat rate matrix with multi-threaded matrix-vector products.
+///
+/// Iteration vectors dominate large-chain solution time; `ParCsr` chunks
+/// the output vector across threads (crossbeam scoped threads, no `'static`
+/// bound) so both product orientations are embarrassingly parallel
+/// *gathers*: `y += R x` walks rows of `R`, `y += x R` walks rows of the
+/// precomputed transpose. Results are bit-identical to the serial kernels
+/// (each output entry is accumulated by exactly one thread, in the same
+/// order).
+///
+/// # Example
+///
+/// ```
+/// use mdl_linalg::{CooMatrix, RateMatrix};
+/// use mdl_ctmc::ParCsr;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 1, 2.0);
+/// coo.push(1, 0, 1.0);
+/// let par = ParCsr::new(coo.to_csr(), 2);
+/// let mut y = vec![0.0; 2];
+/// par.acc_vec_mat(&[1.0, 0.0], &mut y);
+/// assert_eq!(y, vec![0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParCsr {
+    forward: CsrMatrix,
+    /// Rows of `transpose` are the columns of `forward`.
+    transpose: CsrMatrix,
+    threads: usize,
+}
+
+impl ParCsr {
+    /// Wraps a square matrix for `threads`-way parallel products
+    /// (`threads == 1` degenerates to the serial kernels without spawning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `threads == 0`.
+    pub fn new(matrix: CsrMatrix, threads: usize) -> Self {
+        assert_eq!(matrix.nrows(), matrix.ncols(), "rate matrices are square");
+        assert!(threads > 0, "need at least one thread");
+        let transpose = matrix.transpose();
+        ParCsr {
+            forward: matrix,
+            transpose,
+            threads,
+        }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.forward
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `y[chunk] += rows(chunk of `by_row`) · x`, chunked over threads.
+    fn gather(&self, by_row: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+        let n = by_row.nrows();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        if self.threads == 1 || n < 1024 {
+            by_row.acc_mat_vec(x, y);
+            return;
+        }
+        let chunk = n.div_ceil(self.threads);
+        crossbeam::thread::scope(|scope| {
+            for (c, y_chunk) in y.chunks_mut(chunk).enumerate() {
+                let start = c * chunk;
+                scope.spawn(move |_| {
+                    for (offset, yi) in y_chunk.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for (col, v) in by_row.row(start + offset) {
+                            acc += v * x[col];
+                        }
+                        *yi += acc;
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+    }
+}
+
+impl RateMatrix for ParCsr {
+    fn num_states(&self) -> usize {
+        self.forward.nrows()
+    }
+
+    fn acc_mat_vec(&self, x: &[f64], y: &mut [f64]) {
+        self.gather(&self.forward, x, y);
+    }
+
+    fn acc_vec_mat(&self, x: &[f64], y: &mut [f64]) {
+        // y += x·R ⟺ y += Rᵀ·x, a gather over the transpose's rows.
+        self.gather(&self.transpose, x, y);
+    }
+
+    fn row_sums(&self) -> Vec<f64> {
+        self.forward.row_sums_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_linalg::{vec_ops, CooMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_chain(n: usize, seed: u64) -> CsrMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            for _ in 0..4 {
+                let j = rng.gen_range(0..n);
+                if j != i {
+                    coo.push(i, j, rng.gen_range(0.1..2.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn parallel_products_match_serial() {
+        let m = random_chain(5000, 3);
+        let par = ParCsr::new(m.clone(), 4);
+        let x: Vec<f64> = (0..5000).map(|i| (i % 17) as f64 * 0.25).collect();
+
+        let mut y_ser = vec![0.0; 5000];
+        m.acc_mat_vec(&x, &mut y_ser);
+        let mut y_par = vec![0.0; 5000];
+        par.acc_mat_vec(&x, &mut y_par);
+        assert_eq!(y_ser, y_par, "bit-identical gather");
+
+        let mut z_ser = vec![0.0; 5000];
+        m.acc_vec_mat(&x, &mut z_ser);
+        let mut z_par = vec![0.0; 5000];
+        par.acc_vec_mat(&x, &mut z_par);
+        assert!(vec_ops::max_abs_diff(&z_ser, &z_par) < 1e-12);
+    }
+
+    #[test]
+    fn solver_runs_over_parallel_matrix() {
+        let m = random_chain(2000, 7);
+        let par = ParCsr::new(m.clone(), 3);
+        let opts = crate::SolverOptions::default();
+        let serial = crate::stationary_power(&m, &opts).unwrap();
+        let parallel = crate::stationary_power(&par, &opts).unwrap();
+        assert!(vec_ops::max_abs_diff(&serial.probabilities, &parallel.probabilities) < 1e-10);
+    }
+
+    #[test]
+    fn single_thread_is_serial_fast_path() {
+        let m = random_chain(100, 11);
+        let par = ParCsr::new(m.clone(), 1);
+        let x = vec![1.0; 100];
+        let mut a = vec![0.0; 100];
+        let mut b = vec![0.0; 100];
+        m.acc_mat_vec(&x, &mut a);
+        par.acc_mat_vec(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_matrices_skip_spawning() {
+        // n < 1024 uses the serial path even with many threads.
+        let m = random_chain(50, 13);
+        let par = ParCsr::new(m, 8);
+        let x = vec![0.5; 50];
+        let mut y = vec![0.0; 50];
+        par.acc_vec_mat(&x, &mut y);
+        assert!(y.iter().any(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,534 @@
+use mdl_linalg::{vec_ops, CsrMatrix, RateMatrix};
+
+use crate::{CtmcError, Result};
+
+/// Which stationary iteration [`Mrp::stationary`](crate::Mrp::stationary)
+/// runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StationaryMethod {
+    /// Power iteration on the uniformized chain `P = I + Q/Λ`.
+    /// Robust (guaranteed convergence for finite irreducible chains) and
+    /// needs only `y += x·R`, so it runs over matrix diagrams unchanged.
+    #[default]
+    Power,
+    /// Jacobi-style iteration `π ← (π·R) D⁻¹` with `D = rs(R)`.
+    /// Often converges in fewer iterations than power; also runs over
+    /// matrix diagrams.
+    Jacobi,
+}
+
+/// Options shared by the stationary solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Iteration method.
+    pub method: StationaryMethod,
+    /// Convergence threshold on the ∞-norm of successive iterates.
+    pub tolerance: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Check convergence every this many iterations (checking costs a pass
+    /// over the vector).
+    pub check_every: usize,
+    /// Damping factor `ω ∈ (0, 1]` for the Jacobi iteration:
+    /// `π ← (1−ω)·π + ω·(π·R)D⁻¹`. Damping (`ω < 1`) breaks the
+    /// period-2 oscillation Jacobi exhibits on bipartite transition
+    /// structures (e.g. birth–death chains) without moving the fixed point.
+    pub jacobi_damping: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            method: StationaryMethod::Power,
+            tolerance: 1e-10,
+            max_iterations: 200_000,
+            check_every: 1,
+            jacobi_damping: 0.75,
+        }
+    }
+}
+
+/// Work counters and final residual of a solver run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final ∞-norm difference between successive iterates.
+    pub residual: f64,
+    /// Wall-clock time of the solve.
+    pub elapsed: std::time::Duration,
+}
+
+/// A probability vector together with the work it took to compute it.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The probability distribution over states.
+    pub probabilities: Vec<f64>,
+    /// Solver work counters.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Expected instantaneous reward `Σ_s π(s)·r(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reward` has a different length than the solution vector.
+    pub fn expected_reward(&self, reward: &[f64]) -> f64 {
+        vec_ops::dot(&self.probabilities, reward)
+    }
+}
+
+fn exit_rates<M: RateMatrix>(rates: &M) -> Result<Vec<f64>> {
+    let d = rates.row_sums();
+    for (s, &v) in d.iter().enumerate() {
+        if v <= 0.0 {
+            return Err(CtmcError::AbsorbingState { state: s });
+        }
+        if !v.is_finite() {
+            return Err(CtmcError::InvalidValue {
+                what: "exit rates",
+                index: s,
+                value: v,
+            });
+        }
+    }
+    Ok(d)
+}
+
+/// Stationary distribution by power iteration on the uniformized DTMC
+/// `P = I + Q/Λ` with `Λ = 1.02 · max_s R(s, S)`.
+///
+/// Needs only the `y += x·R` product, so it runs over any [`RateMatrix`]
+/// including matrix diagrams.
+///
+/// # Errors
+///
+/// [`CtmcError::AbsorbingState`] for states without outgoing rate;
+/// [`CtmcError::NotConverged`] when the iteration budget is exhausted.
+pub fn stationary_power<M: RateMatrix>(rates: &M, options: &SolverOptions) -> Result<Solution> {
+    let d = exit_rates(rates)?;
+    stationary_power_with_exit_rates(rates, &d, options)
+}
+
+/// [`stationary_power`] with an explicitly supplied diagonal: the generator
+/// is taken to be `Q = R − diag(exit)` instead of `R − rs(R)`.
+///
+/// This is required by **exact** lumping, whose Theorem-2 quotient matrix
+/// `R̂(ĩ, j̃) = R(C_i, j)` does *not* carry the original exit rates in its
+/// row sums — they are supplied separately (they are constant per class by
+/// the exact lumpability conditions). The computed fixed point is the
+/// normalized dominant left eigenvector of `I + Q/Λ`; for a proper
+/// generator this is the stationary distribution, and for an exact-lumped
+/// quotient it is the per-state solution vector `ν̂` (see
+/// `mdl-core::exact`).
+///
+/// # Errors
+///
+/// As for [`stationary_power`], plus a length check on `exit`.
+pub fn stationary_power_with_exit_rates<M: RateMatrix>(
+    rates: &M,
+    exit: &[f64],
+    options: &SolverOptions,
+) -> Result<Solution> {
+    let start = std::time::Instant::now();
+    let n = rates.num_states();
+    if exit.len() != n {
+        return Err(CtmcError::LengthMismatch {
+            what: "exit rates",
+            got: exit.len(),
+            expected: n,
+        });
+    }
+    let d = exit;
+    let lambda = 1.02 * d.iter().cloned().fold(0.0, f64::max);
+
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for it in 1..=options.max_iterations {
+        // next = pi + (pi·R − pi∘d) / Λ  =  pi·P
+        vec_ops::fill(&mut next, 0.0);
+        rates.acc_vec_mat(&pi, &mut next);
+        for s in 0..n {
+            next[s] = pi[s] + (next[s] - pi[s] * d[s]) / lambda;
+        }
+        vec_ops::normalize_l1(&mut next);
+        if it % options.check_every == 0 {
+            residual = vec_ops::max_abs_diff(&pi, &next);
+            if residual < options.tolerance {
+                std::mem::swap(&mut pi, &mut next);
+                return Ok(Solution {
+                    probabilities: pi,
+                    stats: SolveStats {
+                        iterations: it,
+                        residual,
+                        elapsed: start.elapsed(),
+                    },
+                });
+            }
+        }
+        std::mem::swap(&mut pi, &mut next);
+    }
+    Err(CtmcError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+/// Stationary distribution by the Jacobi-style iteration
+/// `π ← (π·R) D⁻¹` with `D = diag(rs(R))`.
+///
+/// The fixed point satisfies `π R = π D`, i.e. `π Q = 0`. Like the power
+/// method it needs only `y += x·R` and runs over matrix diagrams.
+///
+/// # Errors
+///
+/// Same as [`stationary_power`].
+pub fn stationary_jacobi<M: RateMatrix>(rates: &M, options: &SolverOptions) -> Result<Solution> {
+    let start = std::time::Instant::now();
+    let n = rates.num_states();
+    let d = exit_rates(rates)?;
+
+    let omega = options.jacobi_damping;
+    assert!(
+        omega > 0.0 && omega <= 1.0,
+        "jacobi_damping must be in (0, 1]"
+    );
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for it in 1..=options.max_iterations {
+        vec_ops::fill(&mut next, 0.0);
+        rates.acc_vec_mat(&pi, &mut next);
+        for s in 0..n {
+            next[s] = (1.0 - omega) * pi[s] + omega * next[s] / d[s];
+        }
+        vec_ops::normalize_l1(&mut next);
+        if it % options.check_every == 0 {
+            residual = vec_ops::max_abs_diff(&pi, &next);
+            if residual < options.tolerance {
+                std::mem::swap(&mut pi, &mut next);
+                return Ok(Solution {
+                    probabilities: pi,
+                    stats: SolveStats {
+                        iterations: it,
+                        residual,
+                        elapsed: start.elapsed(),
+                    },
+                });
+            }
+        }
+        std::mem::swap(&mut pi, &mut next);
+    }
+    Err(CtmcError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+/// Stationary distribution by Gauss–Seidel sweeps, for flat CSR matrices.
+///
+/// Solves `π Q = 0` columnwise, using updated values within a sweep:
+/// `π(j) ← Σ_{i≠j} π(i)·R(i,j) / R(j, S)`. Requires column access, hence
+/// the flat-matrix restriction (this is the classical reference solver the
+/// matrix-diagram solvers are validated against).
+///
+/// # Errors
+///
+/// Same as [`stationary_power`].
+pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Result<Solution> {
+    let start = std::time::Instant::now();
+    let n = rates.num_states();
+    let d = exit_rates(rates)?;
+    let columns = rates.transpose(); // row r of `columns` = column r of `rates`
+
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut prev = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for it in 1..=options.max_iterations {
+        prev.copy_from_slice(&pi);
+        for j in 0..n {
+            let mut acc = 0.0;
+            for (i, v) in columns.row(j) {
+                if i != j {
+                    acc += pi[i] * v;
+                }
+            }
+            // Self-loops in R cancel between R and rs(R) in Q; the diagonal
+            // divisor is the *exit* rate net of the self-loop.
+            let self_loop = rates.get(j, j);
+            let denom = d[j] - self_loop;
+            if denom <= 0.0 {
+                return Err(CtmcError::AbsorbingState { state: j });
+            }
+            pi[j] = acc / denom;
+        }
+        vec_ops::normalize_l1(&mut pi);
+        if it % options.check_every == 0 {
+            residual = vec_ops::max_abs_diff(&prev, &pi);
+            if residual < options.tolerance {
+                return Ok(Solution {
+                    probabilities: pi,
+                    stats: SolveStats {
+                        iterations: it,
+                        residual,
+                        elapsed: start.elapsed(),
+                    },
+                });
+            }
+        }
+    }
+    Err(CtmcError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+/// Stationary distribution by successive over-relaxation (SOR): a
+/// Gauss–Seidel sweep blended with the previous iterate by the relaxation
+/// factor `omega` (`omega = 1` is exactly Gauss–Seidel; `1 < omega < 2`
+/// typically accelerates convergence on diffusive chains). Flat CSR only.
+///
+/// Over-relaxed sweeps can oscillate slowly on strongly cyclic chains,
+/// fooling an iterate-difference stopping rule; SOR therefore converges on
+/// the **true equation residual** `‖π Q‖∞ < tolerance` (one extra sparse
+/// pass per check).
+///
+/// # Errors
+///
+/// As for [`stationary_gauss_seidel`].
+///
+/// # Panics
+///
+/// Panics unless `0 < omega < 2`.
+pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) -> Result<Solution> {
+    assert!(omega > 0.0 && omega < 2.0, "SOR requires 0 < omega < 2");
+    let start = std::time::Instant::now();
+    let n = rates.num_states();
+    let d = exit_rates(rates)?;
+    let columns = rates.transpose();
+
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut flow = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for it in 1..=options.max_iterations {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for (i, v) in columns.row(j) {
+                if i != j {
+                    acc += pi[i] * v;
+                }
+            }
+            let self_loop = rates.get(j, j);
+            let denom = d[j] - self_loop;
+            if denom <= 0.0 {
+                return Err(CtmcError::AbsorbingState { state: j });
+            }
+            let gs = acc / denom;
+            pi[j] = (1.0 - omega) * pi[j] + omega * gs;
+        }
+        vec_ops::normalize_l1(&mut pi);
+        if it % options.check_every == 0 {
+            // ‖π Q‖∞ = max_j |(π R)(j) − π(j)·d(j)|.
+            vec_ops::fill(&mut flow, 0.0);
+            rates.acc_vec_mat(&pi, &mut flow);
+            for j in 0..n {
+                flow[j] -= pi[j] * d[j];
+            }
+            residual = vec_ops::max_abs(&flow);
+            if residual < options.tolerance {
+                return Ok(Solution {
+                    probabilities: pi,
+                    stats: SolveStats {
+                        iterations: it,
+                        residual,
+                        elapsed: start.elapsed(),
+                    },
+                });
+            }
+        }
+    }
+    Err(CtmcError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_linalg::CooMatrix;
+
+    fn birth_death(up: f64, down: f64, n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for s in 0..n - 1 {
+            coo.push(s, s + 1, up);
+            coo.push(s + 1, s, down);
+        }
+        coo.to_csr()
+    }
+
+    fn analytic_birth_death(up: f64, down: f64, n: usize) -> Vec<f64> {
+        let rho = up / down;
+        let mut pi: Vec<f64> = (0..n).map(|k| rho.powi(k as i32)).collect();
+        let sum: f64 = pi.iter().sum();
+        for p in pi.iter_mut() {
+            *p /= sum;
+        }
+        pi
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert!(
+            vec_ops::max_abs_diff(a, b) < tol,
+            "vectors differ: {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn power_matches_analytic() {
+        let r = birth_death(2.0, 3.0, 5);
+        let sol = stationary_power(&r, &SolverOptions::default()).unwrap();
+        assert_close(&sol.probabilities, &analytic_birth_death(2.0, 3.0, 5), 1e-7);
+    }
+
+    #[test]
+    fn jacobi_matches_analytic() {
+        let r = birth_death(1.0, 2.0, 6);
+        let opts = SolverOptions {
+            method: StationaryMethod::Jacobi,
+            ..Default::default()
+        };
+        let sol = stationary_jacobi(&r, &opts).unwrap();
+        assert_close(&sol.probabilities, &analytic_birth_death(1.0, 2.0, 6), 1e-7);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_analytic() {
+        let r = birth_death(2.5, 1.5, 4);
+        let sol = stationary_gauss_seidel(&r, &SolverOptions::default()).unwrap();
+        assert_close(&sol.probabilities, &analytic_birth_death(2.5, 1.5, 4), 1e-7);
+    }
+
+    #[test]
+    fn methods_agree_on_random_chain() {
+        // Fully-connected 4-state chain with assorted rates.
+        let mut coo = CooMatrix::new(4, 4);
+        let rates = [
+            (0, 1, 1.0),
+            (0, 2, 0.5),
+            (1, 3, 2.0),
+            (2, 0, 0.3),
+            (2, 3, 0.7),
+            (3, 0, 1.1),
+            (1, 0, 0.2),
+        ];
+        for (i, j, v) in rates {
+            coo.push(i, j, v);
+        }
+        let r = coo.to_csr();
+        let p = stationary_power(&r, &SolverOptions::default())
+            .unwrap()
+            .probabilities;
+        let j = stationary_jacobi(&r, &SolverOptions::default())
+            .unwrap()
+            .probabilities;
+        let g = stationary_gauss_seidel(&r, &SolverOptions::default())
+            .unwrap()
+            .probabilities;
+        assert_close(&p, &j, 1e-7);
+        assert_close(&p, &g, 1e-7);
+    }
+
+    #[test]
+    fn sor_matches_analytic_and_beats_gs_on_iterations() {
+        let r = birth_death(1.0, 2.0, 30);
+        let expected = analytic_birth_death(1.0, 2.0, 30);
+        let opts = SolverOptions {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let gs = stationary_gauss_seidel(&r, &opts).unwrap();
+        let sor = stationary_sor(&r, 1.5, &opts).unwrap();
+        assert_close(&sor.probabilities, &expected, 1e-9);
+        assert!(
+            sor.stats.iterations <= gs.stats.iterations,
+            "SOR {} vs GS {}",
+            sor.stats.iterations,
+            gs.stats.iterations
+        );
+    }
+
+    #[test]
+    fn sor_with_omega_one_is_gauss_seidel() {
+        let r = birth_death(2.0, 3.0, 6);
+        // Same sweeps (the stopping criteria differ: SOR checks ‖πQ‖∞),
+        // same fixed point.
+        let a = stationary_sor(&r, 1.0, &SolverOptions::default()).unwrap();
+        let b = stationary_gauss_seidel(&r, &SolverOptions::default()).unwrap();
+        assert_close(&a.probabilities, &b.probabilities, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega")]
+    fn sor_rejects_bad_relaxation() {
+        let r = birth_death(1.0, 1.0, 3);
+        let _ = stationary_sor(&r, 2.5, &SolverOptions::default());
+    }
+
+    #[test]
+    fn absorbing_state_detected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 1.0); // state 1 has no exit
+        let err = stationary_power(&coo.to_csr(), &SolverOptions::default()).unwrap_err();
+        assert!(matches!(err, CtmcError::AbsorbingState { state: 1 }));
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let r = birth_death(1.0, 4.0, 50);
+        let opts = SolverOptions {
+            max_iterations: 2,
+            ..Default::default()
+        };
+        let err = stationary_power(&r, &opts).unwrap_err();
+        assert!(matches!(err, CtmcError::NotConverged { iterations: 2, .. }));
+    }
+
+    #[test]
+    fn self_loops_do_not_change_stationary() {
+        // Adding self-loops to R changes rs(R) and R equally; Q and π are
+        // unchanged.
+        let base = birth_death(2.0, 3.0, 4);
+        let mut with_loops = base.to_coo();
+        for s in 0..4 {
+            with_loops.push(s, s, 5.0);
+        }
+        let with_loops = with_loops.to_csr();
+        let a = stationary_power(&base, &SolverOptions::default())
+            .unwrap()
+            .probabilities;
+        let b = stationary_power(&with_loops, &SolverOptions::default())
+            .unwrap()
+            .probabilities;
+        assert_close(&a, &b, 1e-7);
+        let g = stationary_gauss_seidel(&with_loops, &SolverOptions::default())
+            .unwrap()
+            .probabilities;
+        assert_close(&a, &g, 1e-7);
+    }
+
+    #[test]
+    fn solution_expected_reward() {
+        let sol = Solution {
+            probabilities: vec![0.25, 0.75],
+            stats: SolveStats {
+                iterations: 1,
+                residual: 0.0,
+                elapsed: std::time::Duration::ZERO,
+            },
+        };
+        assert_eq!(sol.expected_reward(&[4.0, 0.0]), 1.0);
+    }
+}

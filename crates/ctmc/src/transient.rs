@@ -1,0 +1,274 @@
+use mdl_linalg::{vec_ops, RateMatrix};
+
+use crate::solver::{Solution, SolveStats};
+use crate::{CtmcError, Result};
+
+/// Options for transient solution by uniformization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Truncation error bound: the Poisson tail mass left out of the sum.
+    pub epsilon: f64,
+    /// Hard cap on the number of uniformization steps (safety valve).
+    pub max_steps: usize,
+    /// Steady-state detection threshold: when successive `v_k = v₀ Pᵏ`
+    /// iterates differ by less than this (∞-norm), the chain is treated as
+    /// converged and the remaining Poisson mass is assigned to the current
+    /// iterate — the standard optimization for long horizons `Λt ≫ mixing
+    /// time`. Set to `0.0` to disable.
+    pub steady_state_epsilon: f64,
+}
+
+impl Default for TransientOptions {
+    fn default() -> Self {
+        TransientOptions {
+            epsilon: 1e-12,
+            max_steps: 10_000_000,
+            steady_state_epsilon: 1e-14,
+        }
+    }
+}
+
+/// Transient distribution `π(t) = Σ_k PoissonΛt(k) · π₀ Pᵏ` by
+/// uniformization (Jensen's method), with `P = I + Q/Λ` and
+/// `Λ = 1.02 · max_s R(s, S)`.
+///
+/// Needs only the `y += x·R` product, so it runs over matrix diagrams as
+/// well as flat matrices. The Poisson weights are generated iteratively and
+/// renormalized, which is numerically safe for the moderate `Λ·t` values
+/// exercised here.
+///
+/// # Errors
+///
+/// * [`CtmcError::InvalidValue`] if `t` is negative or non-finite;
+/// * [`CtmcError::LengthMismatch`] if `initial` has the wrong length;
+/// * [`CtmcError::NotConverged`] if `max_steps` is hit before the Poisson
+///   tail drops below `epsilon`.
+pub fn transient_uniformization<M: RateMatrix>(
+    rates: &M,
+    initial: &[f64],
+    t: f64,
+    options: &TransientOptions,
+) -> Result<Solution> {
+    let d = rates.row_sums();
+    transient_uniformization_with_exit_rates(rates, &d, initial, t, options, true)
+}
+
+/// [`transient_uniformization`] with an explicitly supplied diagonal
+/// (generator `Q = R − diag(exit)`) and control over the final
+/// renormalization.
+///
+/// Set `renormalize: false` when evolving a vector that is not a
+/// probability distribution — e.g. the per-state vector `ν̂` of an
+/// exact-lumped chain — so the truncated Poisson tail is not compensated
+/// by rescaling. Used by `mdl-core::exact`.
+///
+/// # Errors
+///
+/// As for [`transient_uniformization`], plus a length check on `exit`.
+pub fn transient_uniformization_with_exit_rates<M: RateMatrix>(
+    rates: &M,
+    exit: &[f64],
+    initial: &[f64],
+    t: f64,
+    options: &TransientOptions,
+    renormalize: bool,
+) -> Result<Solution> {
+    let start = std::time::Instant::now();
+    let n = rates.num_states();
+    if initial.len() != n {
+        return Err(CtmcError::LengthMismatch {
+            what: "initial distribution",
+            got: initial.len(),
+            expected: n,
+        });
+    }
+    if exit.len() != n {
+        return Err(CtmcError::LengthMismatch {
+            what: "exit rates",
+            got: exit.len(),
+            expected: n,
+        });
+    }
+    if !t.is_finite() || t < 0.0 {
+        return Err(CtmcError::InvalidValue {
+            what: "time horizon",
+            index: 0,
+            value: t,
+        });
+    }
+
+    let d = exit;
+    let max_rate = d.iter().cloned().fold(0.0, f64::max);
+    if max_rate == 0.0 || t == 0.0 {
+        // No transitions can fire, or zero horizon.
+        return Ok(Solution {
+            probabilities: initial.to_vec(),
+            stats: SolveStats {
+                iterations: 0,
+                residual: 0.0,
+                elapsed: start.elapsed(),
+            },
+        });
+    }
+    let lambda = 1.02 * max_rate;
+    let lt = lambda * t;
+
+    // v_k = π₀ Pᵏ, accumulated with Poisson(Λt) weights.
+    let mut v = initial.to_vec();
+    let mut next = vec![0.0; n];
+    let mut result = vec![0.0; n];
+
+    // Iterative Poisson weights with underflow-safe scaling: we track the
+    // weight in log space and accumulate mass to decide truncation.
+    let ln_weight0 = -lt; // ln P(k=0)
+    let mut ln_weight = ln_weight0;
+    let mut accumulated = 0.0f64;
+    let mut k = 0usize;
+    loop {
+        let w = ln_weight.exp();
+        if w > 0.0 {
+            vec_ops::axpy(w, &v, &mut result);
+            accumulated += w;
+        }
+        // Right truncation: past the Poisson mode, stop when either the
+        // tail mass target is met or the pmf itself has decayed to noise
+        // (accumulated rounding over ~Λt terms keeps `accumulated` from
+        // ever reaching 1 − ε exactly for very large Λt).
+        if (k as f64) >= lt && (1.0 - accumulated <= options.epsilon || w < options.epsilon * 1e-3)
+        {
+            break;
+        }
+        if k >= options.max_steps {
+            return Err(CtmcError::NotConverged {
+                iterations: k,
+                residual: 1.0 - accumulated,
+            });
+        }
+        // v ← v P = v + (v·R − v∘d)/Λ
+        vec_ops::fill(&mut next, 0.0);
+        rates.acc_vec_mat(&v, &mut next);
+        for s in 0..n {
+            next[s] = v[s] + (next[s] - v[s] * d[s]) / lambda;
+        }
+        // Steady-state detection: once the iterates stop moving, the
+        // remaining Poisson mass all lands on (essentially) this vector.
+        if options.steady_state_epsilon > 0.0
+            && vec_ops::max_abs_diff(&v, &next) < options.steady_state_epsilon
+        {
+            vec_ops::axpy((1.0 - accumulated).max(0.0), &next, &mut result);
+            accumulated = 1.0;
+            std::mem::swap(&mut v, &mut next);
+            break;
+        }
+        std::mem::swap(&mut v, &mut next);
+        k += 1;
+        ln_weight += (lt / k as f64).ln();
+    }
+
+    // Compensate the truncated tail by renormalizing (probability vectors
+    // only; disabled when evolving non-distribution vectors).
+    if renormalize {
+        vec_ops::normalize_l1(&mut result);
+    }
+    Ok(Solution {
+        probabilities: result,
+        stats: SolveStats {
+            iterations: k,
+            residual: 1.0 - accumulated,
+            elapsed: start.elapsed(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{stationary_power, SolverOptions};
+    use mdl_linalg::CooMatrix;
+
+    fn two_state(a: f64, b: f64) -> mdl_linalg::CsrMatrix {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, a);
+        coo.push(1, 0, b);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_analytic_two_state() {
+        // π₀(t) for a two-state chain starting in state 0:
+        // p(t) = b/(a+b) + a/(a+b)·exp(−(a+b)t)
+        let (a, b) = (2.0, 1.0);
+        let r = two_state(a, b);
+        for &t in &[0.1, 0.5, 1.0, 3.0] {
+            let sol =
+                transient_uniformization(&r, &[1.0, 0.0], t, &TransientOptions::default()).unwrap();
+            let expected = b / (a + b) + a / (a + b) * (-(a + b) * t).exp();
+            assert!(
+                (sol.probabilities[0] - expected).abs() < 1e-9,
+                "t={t}: {} vs {}",
+                sol.probabilities[0],
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn zero_horizon_returns_initial() {
+        let r = two_state(1.0, 1.0);
+        let sol =
+            transient_uniformization(&r, &[0.3, 0.7], 0.0, &TransientOptions::default()).unwrap();
+        assert_eq!(sol.probabilities, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn long_horizon_approaches_stationary() {
+        let r = two_state(2.0, 3.0);
+        let transient =
+            transient_uniformization(&r, &[1.0, 0.0], 50.0, &TransientOptions::default()).unwrap();
+        let stationary = stationary_power(&r, &SolverOptions::default()).unwrap();
+        assert!(vec_ops::max_abs_diff(&transient.probabilities, &stationary.probabilities) < 1e-8);
+    }
+
+    #[test]
+    fn steady_state_detection_short_circuits_long_horizons() {
+        let r = two_state(4.0, 6.0);
+        let t = 10_000.0; // Λt ≈ 10⁵ steps without detection
+        let with =
+            transient_uniformization(&r, &[1.0, 0.0], t, &TransientOptions::default()).unwrap();
+        let without = transient_uniformization(
+            &r,
+            &[1.0, 0.0],
+            t,
+            &TransientOptions {
+                steady_state_epsilon: 0.0,
+                ..TransientOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(vec_ops::max_abs_diff(&with.probabilities, &without.probabilities) < 1e-10);
+        assert!(
+            with.stats.iterations * 100 < without.stats.iterations,
+            "{} vs {} iterations",
+            with.stats.iterations,
+            without.stats.iterations
+        );
+    }
+
+    #[test]
+    fn negative_time_rejected() {
+        let r = two_state(1.0, 1.0);
+        let err = transient_uniformization(&r, &[1.0, 0.0], -1.0, &TransientOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn distribution_stays_normalized() {
+        let r = two_state(5.0, 0.5);
+        let sol =
+            transient_uniformization(&r, &[0.5, 0.5], 2.0, &TransientOptions::default()).unwrap();
+        let sum: f64 = sol.probabilities.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(sol.probabilities.iter().all(|&p| p >= 0.0));
+    }
+}

@@ -1,0 +1,238 @@
+use crate::{CsrMatrix, LinalgError, Result};
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// `CooMatrix` is the assembly format: entries can be pushed in any order and
+/// duplicates are allowed (they are summed on conversion to
+/// [`CsrMatrix`]). It is used when flattening matrix diagrams, when
+/// constructing rate matrices from model descriptions, and in tests.
+///
+/// # Example
+///
+/// ```
+/// use mdl_linalg::CooMatrix;
+///
+/// let mut m = CooMatrix::new(2, 2);
+/// m.push(0, 1, 1.5);
+/// m.push(0, 1, 0.5); // duplicate — summed on conversion
+/// let csr = m.to_csr();
+/// assert_eq!(csr.get(0, 1), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows` × `ncols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX`.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (possibly duplicate) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends an entry; duplicates are summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry lies outside the matrix. Use [`try_push`] for a
+    /// fallible variant.
+    ///
+    /// [`try_push`]: CooMatrix::try_push
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        self.try_push(row, col, value).expect("entry within bounds");
+    }
+
+    /// Appends an entry, returning an error on out-of-bounds indices or
+    /// non-finite values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] or
+    /// [`LinalgError::InvalidValue`].
+    pub fn try_push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(LinalgError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        if !value.is_finite() {
+            return Err(LinalgError::InvalidValue {
+                context: "CooMatrix::push",
+                value,
+            });
+        }
+        if value != 0.0 {
+            self.entries.push((row as u32, col as u32, value));
+        }
+        Ok(())
+    }
+
+    /// Iterates over stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Converts to compressed sparse rows, summing duplicate entries and
+    /// dropping entries that cancel to exactly zero.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f64> = Vec::with_capacity(sorted.len());
+
+        row_ptr.push(0usize);
+        let mut current_row = 0u32;
+        for (r, c, v) in sorted {
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
+                if last_c == c && row_ptr.last() != Some(&col_idx.len()) {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while (current_row as usize) < self.nrows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        // Drop exact zeros produced by cancellation.
+        let mut kept_col: Vec<u32> = Vec::with_capacity(col_idx.len());
+        let mut kept_val: Vec<f64> = Vec::with_capacity(values.len());
+        let mut new_row_ptr = Vec::with_capacity(row_ptr.len());
+        new_row_ptr.push(0usize);
+        for r in 0..self.nrows {
+            for k in row_ptr[r]..row_ptr[r + 1] {
+                if values[k] != 0.0 {
+                    kept_col.push(col_idx[k]);
+                    kept_val.push(values[k]);
+                }
+            }
+            new_row_ptr.push(kept_col.len());
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, new_row_ptr, kept_col, kept_val)
+    }
+}
+
+impl Extend<(usize, usize, f64)> for CooMatrix {
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let m = CooMatrix::new(4, 5);
+        assert_eq!(m.nrows(), 4);
+        assert_eq!(m.ncols(), 5);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn push_skips_zero_values() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 0.0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(matches!(
+            m.try_push(2, 0, 1.0),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.try_push(0, 5, 1.0),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_errors() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(m.try_push(0, 0, f64::NAN).is_err());
+        assert!(m.try_push(0, 0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn duplicates_summed_in_csr() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(1, 2, 1.0);
+        m.push(1, 2, 2.5);
+        m.push(0, 0, 4.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.get(1, 2), 3.5);
+        assert_eq!(csr.get(0, 0), 4.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn cancellation_dropped_in_csr() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 1, 1.0);
+        m.push(0, 1, -1.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let mut m = CooMatrix::new(5, 5);
+        m.push(4, 4, 1.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.get(4, 4), 1.0);
+        assert_eq!(csr.row(0).count(), 0);
+        assert_eq!(csr.row(4).count(), 1);
+    }
+
+    #[test]
+    fn extend_collects_triples() {
+        let mut m = CooMatrix::new(2, 2);
+        m.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(m.nnz(), 2);
+    }
+}

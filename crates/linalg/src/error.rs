@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced by matrix construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// An entry was pushed outside the declared dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows of the matrix.
+        nrows: usize,
+        /// Number of columns of the matrix.
+        ncols: usize,
+    },
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand `(rows, cols)`.
+        left: (usize, usize),
+        /// Dimensions of the right operand `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A value that must be finite (and in some contexts non-negative) was not.
+    InvalidValue {
+        /// Description of where the invalid value appeared.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) is outside a {nrows}x{ncols} matrix"
+            ),
+            LinalgError::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::InvalidValue { context, value } => {
+                write!(f, "invalid value {value} in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

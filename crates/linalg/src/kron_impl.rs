@@ -1,0 +1,119 @@
+use crate::{CooMatrix, CsrMatrix};
+
+/// Kronecker product `A ⊗ B` of two sparse matrices.
+///
+/// The result has dimensions `(A.nrows · B.nrows) × (A.ncols · B.ncols)` and
+/// entry `(A ⊗ B)((i·Br + k), (j·Bc + l)) = A(i,j) · B(k,l)`. Kronecker
+/// products are how compositional Markov models express the joint
+/// state-transition rate matrix of synchronized components, and the flat
+/// baseline against which matrix diagrams are verified.
+///
+/// # Example
+///
+/// ```
+/// use mdl_linalg::{CooMatrix, kron};
+///
+/// let mut a = CooMatrix::new(2, 2);
+/// a.push(0, 1, 2.0);
+/// let mut b = CooMatrix::new(2, 2);
+/// b.push(1, 0, 3.0);
+/// let k = kron(&a.to_csr(), &b.to_csr());
+/// // entry at (0*2+1, 1*2+0) = 2.0 * 3.0
+/// assert_eq!(k.get(1, 2), 6.0);
+/// ```
+pub fn kron(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
+    let mut out = CooMatrix::new(a.nrows() * b.nrows(), a.ncols() * b.ncols());
+    for (i, j, av) in a.iter() {
+        for (k, l, bv) in b.iter() {
+            out.push(i * b.nrows() + k, j * b.ncols() + l, av * bv);
+        }
+    }
+    out.to_csr()
+}
+
+/// Kronecker product of a sequence of factors, scaled by `rate`:
+/// `rate · (F₁ ⊗ F₂ ⊗ … ⊗ F_L)`.
+///
+/// An empty factor list yields the 1×1 matrix `[rate]`.
+pub fn kron_many(rate: f64, factors: &[CsrMatrix]) -> CsrMatrix {
+    let mut scaled = CooMatrix::new(1, 1);
+    scaled.push(0, 0, rate);
+    let mut acc = scaled.to_csr();
+    for f in factors {
+        acc = kron(&acc, f);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: &[&[f64]]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(rows.len(), rows[0].len());
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(i, j, v);
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn kron_with_identity_left() {
+        let a = CsrMatrix::identity(2);
+        let b = dense(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let k = kron(&a, &b);
+        assert_eq!(k.get(0, 0), 1.0);
+        assert_eq!(k.get(1, 1), 4.0);
+        assert_eq!(k.get(2, 2), 1.0);
+        assert_eq!(k.get(3, 2), 3.0);
+        assert_eq!(k.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn kron_dimensions() {
+        let a = dense(&[&[1.0, 0.0, 2.0]]);
+        let b = dense(&[&[1.0], &[5.0]]);
+        let k = kron(&a, &b);
+        assert_eq!(k.nrows(), 2);
+        assert_eq!(k.ncols(), 3);
+        assert_eq!(k.get(1, 0), 5.0);
+        assert_eq!(k.get(1, 2), 10.0);
+    }
+
+    #[test]
+    fn kron_many_scales() {
+        let a = CsrMatrix::identity(2);
+        let b = CsrMatrix::identity(3);
+        let k = kron_many(2.5, &[a, b]);
+        assert_eq!(k.nrows(), 6);
+        for i in 0..6 {
+            assert_eq!(k.get(i, i), 2.5);
+        }
+    }
+
+    #[test]
+    fn kron_many_empty_is_scalar() {
+        let k = kron_many(7.0, &[]);
+        assert_eq!((k.nrows(), k.ncols()), (1, 1));
+        assert_eq!(k.get(0, 0), 7.0);
+    }
+
+    #[test]
+    fn kron_mixed_rectangular() {
+        // (A ⊗ B)(i·Br+k, j·Bc+l) = A(i,j)·B(k,l) checked exhaustively.
+        let a = dense(&[&[1.0, 2.0], &[0.0, 3.0]]);
+        let b = dense(&[&[4.0, 0.0, 5.0]]);
+        let k = kron(&a, &b);
+        for i in 0..2 {
+            for j in 0..2 {
+                for l in 0..3 {
+                    assert_eq!(k.get(i, j * 3 + l), a.get(i, j) * b.get(0, l));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Sparse linear-algebra substrate for the `mdlump` workspace.
+//!
+//! This crate provides the small set of numerical building blocks the rest of
+//! the stack is written against:
+//!
+//! * [`CooMatrix`] — a coordinate-format accumulation matrix, convenient for
+//!   assembling state-transition rate matrices entry by entry;
+//! * [`CsrMatrix`] — compressed sparse rows, the workhorse format for flat
+//!   continuous-time Markov chain (CTMC) analysis and for the state-level
+//!   lumping baseline;
+//! * [`RateMatrix`] — the matrix-vector product abstraction that lets
+//!   iterative CTMC solvers run unchanged over a flat [`CsrMatrix`] *or* over
+//!   a symbolic matrix-diagram representation (implemented in `mdl-md`);
+//! * [`kron`] — Kronecker products, used by tests and by the
+//!   flat baseline for compositional models;
+//! * [`vec_ops`] — the handful of dense-vector kernels iterative solvers
+//!   need;
+//! * [`OrderedF64`] — a total-order, hashable wrapper for `f64` used as a
+//!   partition-refinement key (the "data type `T`" of the paper's Fig. 1).
+//!
+//! # Example
+//!
+//! ```
+//! use mdl_linalg::{CooMatrix, RateMatrix};
+//!
+//! let mut coo = CooMatrix::new(3, 3);
+//! coo.push(0, 1, 2.0);
+//! coo.push(1, 2, 1.0);
+//! coo.push(2, 0, 0.5);
+//! let csr = coo.to_csr();
+//!
+//! // y += R x
+//! let mut y = vec![0.0; 3];
+//! csr.acc_mat_vec(&[1.0, 1.0, 1.0], &mut y);
+//! assert_eq!(y, vec![2.0, 1.0, 0.5]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod coo;
+mod csr;
+mod error;
+mod kron_impl;
+mod ordered;
+mod rate_matrix;
+mod tolerance;
+pub mod vec_ops;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use error::LinalgError;
+pub use kron_impl::{kron, kron_many};
+pub use ordered::OrderedF64;
+pub use rate_matrix::RateMatrix;
+pub use tolerance::Tolerance;
+
+/// Convenience alias used across the workspace for fallible operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,123 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A totally ordered, hashable wrapper around `f64`.
+///
+/// Partition-refinement keys (the paper's "data type `T`" in Fig. 1) must
+/// support equality testing and grouping; `OrderedF64` provides `Eq`,
+/// `Ord` and `Hash` for finite floating-point rate values. `-0.0` is
+/// normalized to `0.0` so the two compare and hash equal.
+///
+/// # Panics
+///
+/// Construction panics on NaN — rate matrices are validated to be finite
+/// before refinement runs.
+///
+/// # Example
+///
+/// ```
+/// use mdl_linalg::OrderedF64;
+///
+/// let a = OrderedF64::new(0.0);
+/// let b = OrderedF64::new(-0.0);
+/// assert_eq!(a, b);
+/// assert!(OrderedF64::new(1.0) < OrderedF64::new(2.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a finite value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "OrderedF64 cannot hold NaN");
+        // Normalize -0.0 so that bit-level hashing agrees with ==.
+        OrderedF64(if value == 0.0 { 0.0 } else { value })
+    }
+
+    /// Returns the wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(value: f64) -> Self {
+        OrderedF64::new(value)
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for OrderedF64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn zero_and_negative_zero_unify() {
+        let mut set = HashSet::new();
+        set.insert(OrderedF64::new(0.0));
+        set.insert(OrderedF64::new(-0.0));
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut v = vec![
+            OrderedF64::new(2.0),
+            OrderedF64::new(-1.0),
+            OrderedF64::new(0.5),
+        ];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|x| x.get()).collect::<Vec<_>>(),
+            vec![-1.0, 0.5, 2.0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(OrderedF64::default(), OrderedF64::new(0.0));
+    }
+}

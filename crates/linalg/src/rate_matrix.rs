@@ -1,0 +1,94 @@
+/// The matrix-vector product interface iterative CTMC solvers are written
+/// against.
+///
+/// A state-transition rate matrix `R` only needs to support accumulating
+/// products in both orientations; this is what lets the solvers in
+/// `mdl-ctmc` run unchanged over a flat [`CsrMatrix`](crate::CsrMatrix) or
+/// over a symbolic matrix-diagram representation (`mdl-md`), which is the
+/// whole point of the paper's setting: lumping shrinks the vectors that
+/// iterative solvers carry, whatever the matrix representation.
+pub trait RateMatrix {
+    /// Number of states (the matrix is square: `|S| × |S|`).
+    fn num_states(&self) -> usize;
+
+    /// Accumulates the matrix-vector product: `y += R x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` or `y` have length different from
+    /// [`num_states`](RateMatrix::num_states).
+    fn acc_mat_vec(&self, x: &[f64], y: &mut [f64]);
+
+    /// Accumulates the vector-matrix product: `y += x R`.
+    ///
+    /// This is the orientation stationary solvers use (`π Q = 0`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` or `y` have length different from
+    /// [`num_states`](RateMatrix::num_states).
+    fn acc_vec_mat(&self, x: &[f64], y: &mut [f64]);
+
+    /// Row sums of `R` (the exit rates `R(s, S)`, i.e. the diagonal of
+    /// `rs(R)` in the paper's notation).
+    ///
+    /// The default implementation multiplies by the all-ones vector.
+    fn row_sums(&self) -> Vec<f64> {
+        let n = self.num_states();
+        let ones = vec![1.0; n];
+        let mut sums = vec![0.0; n];
+        self.acc_mat_vec(&ones, &mut sums);
+        sums
+    }
+
+    /// Column sums of `R` (the entry rates `R(S, s)`).
+    ///
+    /// The default implementation multiplies the all-ones vector from the
+    /// left.
+    fn col_sums(&self) -> Vec<f64> {
+        let n = self.num_states();
+        let ones = vec![1.0; n];
+        let mut sums = vec![0.0; n];
+        self.acc_vec_mat(&ones, &mut sums);
+        sums
+    }
+}
+
+impl<T: RateMatrix + ?Sized> RateMatrix for &T {
+    fn num_states(&self) -> usize {
+        (**self).num_states()
+    }
+
+    fn acc_mat_vec(&self, x: &[f64], y: &mut [f64]) {
+        (**self).acc_mat_vec(x, y)
+    }
+
+    fn acc_vec_mat(&self, x: &[f64], y: &mut [f64]) {
+        (**self).acc_vec_mat(x, y)
+    }
+
+    fn row_sums(&self) -> Vec<f64> {
+        (**self).row_sums()
+    }
+
+    fn col_sums(&self) -> Vec<f64> {
+        (**self).col_sums()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn default_row_and_col_sums() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 3.0);
+        coo.push(1, 1, 1.0);
+        let m = coo.to_csr();
+        assert_eq!(RateMatrix::row_sums(&m), vec![2.0, 4.0]);
+        assert_eq!(m.col_sums(), vec![3.0, 3.0]);
+    }
+}

@@ -1,0 +1,117 @@
+/// How floating-point rate sums are compared when used as
+/// partition-refinement keys.
+///
+/// The paper compares rates exactly (its "data type `T`" equality). In
+/// floating-point arithmetic, two mathematically equal sums accumulated in
+/// different orders can differ in the last ulp, which would split states
+/// that are genuinely equivalent. `Tolerance` controls the mapping from a
+/// rate sum to the integer key actually compared:
+///
+/// * [`Tolerance::Exact`] — bit-exact comparison (the paper's semantics;
+///   appropriate when rates are combinations of a few shared constants);
+/// * [`Tolerance::Decimals`] — round to a fixed number of decimal digits
+///   first, trading a provably-safe comparison for robustness against
+///   accumulation order.
+///
+/// # Example
+///
+/// ```
+/// use mdl_linalg::Tolerance;
+///
+/// let a = 0.1 + 0.2; // 0.30000000000000004
+/// let b = 0.3;
+/// assert_ne!(Tolerance::Exact.key(a), Tolerance::Exact.key(b));
+/// assert_eq!(Tolerance::Decimals(9).key(a), Tolerance::Decimals(9).key(b));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tolerance {
+    /// Compare rate values bit-for-bit (with `-0.0` normalized to `0.0`).
+    Exact,
+    /// Round to this many decimal digits before comparing.
+    Decimals(u32),
+}
+
+impl Default for Tolerance {
+    /// Nine decimal digits — tight enough to distinguish any humanly
+    /// distinct rate constants, loose enough to absorb accumulation-order
+    /// noise.
+    fn default() -> Self {
+        Tolerance::Decimals(9)
+    }
+}
+
+impl Tolerance {
+    /// Maps a rate value to the integer key compared during refinement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN (rate matrices are validated to be finite
+    /// before refinement runs).
+    pub fn key(self, value: f64) -> i128 {
+        assert!(!value.is_nan(), "rate keys cannot be NaN");
+        match self {
+            Tolerance::Exact => {
+                let v = if value == 0.0 { 0.0 } else { value };
+                v.to_bits() as i128
+            }
+            Tolerance::Decimals(d) => {
+                let scale = 10f64.powi(d as i32);
+                let scaled = value * scale;
+                // Saturate rather than wrap for extreme magnitudes.
+                if scaled >= i128::MAX as f64 {
+                    i128::MAX
+                } else if scaled <= i128::MIN as f64 {
+                    i128::MIN
+                } else {
+                    scaled.round() as i128
+                }
+            }
+        }
+    }
+
+    /// `true` when two values compare equal under this tolerance.
+    pub fn eq(self, a: f64, b: f64) -> bool {
+        self.key(a) == self.key(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_distinguishes_ulps() {
+        let a = 0.1 + 0.2;
+        assert!(!Tolerance::Exact.eq(a, 0.3));
+        assert!(Tolerance::Exact.eq(a, a));
+    }
+
+    #[test]
+    fn exact_unifies_signed_zero() {
+        assert!(Tolerance::Exact.eq(0.0, -0.0));
+    }
+
+    #[test]
+    fn decimals_absorb_noise() {
+        assert!(Tolerance::Decimals(9).eq(0.1 + 0.2, 0.3));
+        assert!(!Tolerance::Decimals(9).eq(0.3, 0.3 + 1e-6));
+    }
+
+    #[test]
+    fn decimals_scale_with_digits() {
+        assert!(Tolerance::Decimals(2).eq(0.301, 0.302));
+        assert!(!Tolerance::Decimals(4).eq(0.301, 0.302));
+    }
+
+    #[test]
+    fn extreme_values_saturate() {
+        assert_eq!(Tolerance::Decimals(9).key(1e300), i128::MAX);
+        assert_eq!(Tolerance::Decimals(9).key(-1e300), i128::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let _ = Tolerance::Exact.key(f64::NAN);
+    }
+}

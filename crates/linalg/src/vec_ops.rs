@@ -1,0 +1,127 @@
+//! Dense-vector kernels used by the iterative CTMC solvers.
+//!
+//! These are deliberately plain, allocation-free loops over slices: iteration
+//! vectors are the memory bottleneck of symbolic CTMC analysis (the paper's
+//! motivation), so the solver layer keeps exactly as many of them as the
+//! algorithm requires and reuses them across iterations.
+
+/// Sets every element of `x` to `value`.
+pub fn fill(x: &mut [f64], value: f64) {
+    for e in x.iter_mut() {
+        *e = value;
+    }
+}
+
+/// `y += alpha * x` for equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Sum of all elements.
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Multiplies every element by `alpha`.
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for e in x.iter_mut() {
+        *e *= alpha;
+    }
+}
+
+/// Normalizes `x` so its elements sum to one; returns the original sum.
+///
+/// If the sum is zero the vector is left unchanged and `0.0` is returned.
+pub fn normalize_l1(x: &mut [f64]) -> f64 {
+    let s = sum(x);
+    if s != 0.0 {
+        scale(x, 1.0 / s);
+    }
+    s
+}
+
+/// Maximum absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Maximum absolute value of a slice (`‖x‖∞`).
+pub fn max_abs(x: &[f64]) -> f64 {
+    x.iter().map(|a| a.abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, [10.5, 21.0]);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn normalize_l1_sums_to_one() {
+        let mut x = vec![1.0, 3.0];
+        let s = normalize_l1(&mut x);
+        assert_eq!(s, 4.0);
+        assert_eq!(x, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = vec![0.0, 0.0];
+        assert_eq!(normalize_l1(&mut x), 0.0);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn fill_and_scale() {
+        let mut x = vec![0.0; 3];
+        fill(&mut x, 2.0);
+        scale(&mut x, 3.0);
+        assert_eq!(x, vec![6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn max_abs_handles_negatives() {
+        assert_eq!(max_abs(&[-3.0, 2.0]), 3.0);
+    }
+}

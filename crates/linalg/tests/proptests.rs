@@ -1,0 +1,110 @@
+//! Property-based tests for the sparse linear-algebra substrate.
+
+use proptest::prelude::*;
+
+use mdl_linalg::{kron, vec_ops, CooMatrix, CsrMatrix, RateMatrix, Tolerance};
+
+fn matrix(n: usize, max_entries: usize) -> impl Strategy<Value = CsrMatrix> {
+    let entry = (
+        0..n,
+        0..n,
+        prop::sample::select(vec![0.25, 0.5, 1.0, 2.0, 3.0]),
+    );
+    prop::collection::vec(entry, 0..max_entries).prop_map(move |entries| {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c, v) in entries {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(prop::sample::select(vec![-1.0, 0.0, 0.5, 1.0, 2.0]), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn transpose_is_involutive(m in matrix(6, 20)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_products(m in matrix(6, 20), x in vector(6)) {
+        // x·M == Mᵀ·x
+        let mut a = vec![0.0; 6];
+        m.acc_vec_mat(&x, &mut a);
+        let mut b = vec![0.0; 6];
+        m.transpose().acc_mat_vec(&x, &mut b);
+        prop_assert!(vec_ops::max_abs_diff(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn coo_round_trip(m in matrix(5, 15)) {
+        prop_assert_eq!(m.to_coo().to_csr(), m);
+    }
+
+    #[test]
+    fn row_sums_match_ones_product(m in matrix(7, 25)) {
+        let ones = vec![1.0; 7];
+        let mut y = vec![0.0; 7];
+        m.acc_mat_vec(&ones, &mut y);
+        prop_assert!(vec_ops::max_abs_diff(&y, &m.row_sums_vec()) < 1e-12);
+    }
+
+    #[test]
+    fn kron_mixed_product_with_vectors(a in matrix(3, 8), b in matrix(3, 8), x in vector(9)) {
+        // (A ⊗ B)·x computed directly vs. via the Kronecker identity
+        // reshaping x as a 3×3 matrix: (A ⊗ B)vec(X) = vec(A X Bᵀ)
+        // — checked entrywise through the explicit product instead.
+        let k = kron(&a, &b);
+        let mut direct = vec![0.0; 9];
+        k.acc_mat_vec(&x, &mut direct);
+        let mut manual = vec![0.0; 9];
+        for (i, j, av) in a.iter() {
+            for (p, q, bv) in b.iter() {
+                manual[i * 3 + p] += av * bv * x[j * 3 + q];
+            }
+        }
+        prop_assert!(vec_ops::max_abs_diff(&direct, &manual) < 1e-12);
+    }
+
+    #[test]
+    fn kron_row_sums_factor(a in matrix(3, 8), b in matrix(4, 10)) {
+        // rs(A ⊗ B)(i·nb + p) = rs(A)(i) · rs(B)(p)
+        let k = kron(&a, &b);
+        let ka = a.row_sums_vec();
+        let kb = b.row_sums_vec();
+        let ks = k.row_sums_vec();
+        for i in 0..3 {
+            for p in 0..4 {
+                prop_assert!((ks[i * 4 + p] - ka[i] * kb[p]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_is_a_metric(a in matrix(5, 15), b in matrix(5, 15)) {
+        prop_assert_eq!(a.max_abs_diff(&a), 0.0);
+        prop_assert_eq!(a.max_abs_diff(&b), b.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn tolerance_eq_is_reflexive_and_symmetric(v in -1e6f64..1e6, w in -1e6f64..1e6) {
+        for tol in [Tolerance::Exact, Tolerance::Decimals(9), Tolerance::Decimals(3)] {
+            prop_assert!(tol.eq(v, v));
+            prop_assert_eq!(tol.eq(v, w), tol.eq(w, v));
+        }
+    }
+
+    #[test]
+    fn vec_ops_axpy_linear(x in vector(6), y in vector(6), alpha in -2.0f64..2.0) {
+        let mut z = y.clone();
+        vec_ops::axpy(alpha, &x, &mut z);
+        for i in 0..6 {
+            prop_assert!((z[i] - (y[i] + alpha * x[i])).abs() < 1e-12);
+        }
+    }
+}

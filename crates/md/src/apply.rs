@@ -1,0 +1,291 @@
+use mdl_linalg::{CooMatrix, CsrMatrix, RateMatrix};
+use mdl_mdd::{Mdd, MddNodeId};
+
+use crate::md::{ChildId, Md, MdNodeId};
+use crate::{MdError, Result};
+
+/// A matrix diagram paired with the MDD of reachable states: together they
+/// are a [`RateMatrix`] over the reachable state space, with vectors
+/// indexed by the MDD's offset labelling.
+///
+/// This is the operational form of the paper's setting: the MD represents
+/// `R` symbolically, the MDD indexes the iteration vectors over reachable
+/// states only, and iterative solvers (`mdl-ctmc`) run over the pair
+/// without ever materializing the flat matrix.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct MdMatrix {
+    md: Md,
+    reach: Mdd,
+}
+
+impl MdMatrix {
+    /// Pairs an MD with the MDD of its reachable states.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::ShapeMismatch`] if the level structures differ.
+    pub fn new(md: Md, reach: Mdd) -> Result<Self> {
+        if md.sizes() != reach.sizes() {
+            return Err(MdError::ShapeMismatch {
+                md_sizes: md.sizes().to_vec(),
+                mdd_sizes: reach.sizes().to_vec(),
+            });
+        }
+        Ok(MdMatrix { md, reach })
+    }
+
+    /// The matrix diagram.
+    pub fn md(&self) -> &Md {
+        &self.md
+    }
+
+    /// The reachable-state MDD.
+    pub fn reach(&self) -> &Mdd {
+        &self.reach
+    }
+
+    /// Decomposes into the MD and the MDD.
+    pub fn into_parts(self) -> (Md, Mdd) {
+        (self.md, self.reach)
+    }
+
+    /// Visits every non-zero entry of the represented matrix restricted to
+    /// reachable rows and columns, as `(row index, col index, value)` with
+    /// indices in the MDD's offset order.
+    ///
+    /// Multiple formal-sum paths contributing to the same flat position are
+    /// visited separately (callers accumulate).
+    pub fn for_each_entry<F: FnMut(u64, u64, f64)>(&self, mut f: F) {
+        if self.reach.is_empty() {
+            return;
+        }
+        let root_mdd = self.reach.root();
+        self.walk(self.md.root(), root_mdd, root_mdd, 0, 0, 1.0, &mut f);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk<F: FnMut(u64, u64, f64)>(
+        &self,
+        md_node: MdNodeId,
+        row_n: MddNodeId,
+        col_n: MddNodeId,
+        row_off: u64,
+        col_off: u64,
+        scale: f64,
+        f: &mut F,
+    ) {
+        let level = md_node.level as usize;
+        let last = level == self.md.num_levels() - 1;
+        for entry in self.md.node(md_node).entries() {
+            let (s, s2) = (entry.row as usize, entry.col as usize);
+            if !self.reach.is_present(row_n, s) || !self.reach.is_present(col_n, s2) {
+                continue;
+            }
+            let ro = row_off + self.reach.offset(row_n, s);
+            let co = col_off + self.reach.offset(col_n, s2);
+            if last {
+                for t in &entry.terms {
+                    debug_assert_eq!(t.child, ChildId::Terminal);
+                    f(ro, co, scale * t.coef);
+                }
+            } else {
+                let rc = self.reach.child(row_n, s).expect("present child");
+                let cc = self.reach.child(col_n, s2).expect("present child");
+                for t in &entry.terms {
+                    let ChildId::Node(n) = t.child else {
+                        unreachable!("terminal above last level")
+                    };
+                    self.walk(
+                        MdNodeId {
+                            level: md_node.level + 1,
+                            index: n,
+                        },
+                        rc,
+                        cc,
+                        ro,
+                        co,
+                        scale * t.coef,
+                        f,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Materializes the represented matrix over reachable states as an
+    /// explicit sparse matrix (verification / flat baselines; memory is
+    /// O(nnz)).
+    pub fn flatten(&self) -> CsrMatrix {
+        let n = self.reach.count() as usize;
+        let mut coo = CooMatrix::new(n, n);
+        self.for_each_entry(|r, c, v| coo.push(r as usize, c as usize, v));
+        coo.to_csr()
+    }
+
+    /// Total memory of the symbolic representation (MD + MDD), in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.md.memory_bytes() + self.reach.memory_bytes()
+    }
+}
+
+impl RateMatrix for MdMatrix {
+    fn num_states(&self) -> usize {
+        self.reach.count() as usize
+    }
+
+    fn acc_mat_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_states());
+        assert_eq!(y.len(), self.num_states());
+        self.for_each_entry(|r, c, v| y[r as usize] += v * x[c as usize]);
+    }
+
+    fn acc_vec_mat(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_states());
+        assert_eq!(y.len(), self.num_states());
+        self.for_each_entry(|r, c, v| y[c as usize] += v * x[r as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kronecker::{KroneckerExpr, SparseFactor};
+    use mdl_linalg::vec_ops;
+
+    fn cycle(size: usize, rate: f64) -> SparseFactor {
+        let mut f = SparseFactor::new(size);
+        for s in 0..size {
+            f.push(s, (s + 1) % size, rate);
+        }
+        f
+    }
+
+    fn two_level_expr() -> KroneckerExpr {
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(2.0, vec![Some(cycle(2, 1.0)), None]);
+        expr.add_term(1.5, vec![None, Some(cycle(3, 1.0))]);
+        expr
+    }
+
+    #[test]
+    fn flatten_matches_kronecker_baseline() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        let full = Mdd::full(vec![2, 3]).unwrap();
+        let m = MdMatrix::new(md, full).unwrap();
+        let diff = m.flatten().max_abs_diff(&expr.flatten_full());
+        assert_eq!(diff, 0.0);
+    }
+
+    #[test]
+    fn restricted_reachability_projects_matrix() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        // Keep only 4 of the 6 product states.
+        let reach = Mdd::from_tuples(
+            vec![2, 3],
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+        )
+        .unwrap();
+        let m = MdMatrix::new(md, reach.clone()).unwrap();
+        assert_eq!(m.num_states(), 4);
+        let flat = m.flatten();
+        let full_flat = expr.flatten_full();
+        // Every restricted entry must equal the corresponding full entry.
+        reach.for_each_tuple(|rt, ri| {
+            let rfull = (rt[0] * 3 + rt[1]) as usize;
+            reach.clone().for_each_tuple(|ct, ci| {
+                let cfull = (ct[0] * 3 + ct[1]) as usize;
+                assert_eq!(
+                    flat.get(ri as usize, ci as usize),
+                    full_flat.get(rfull, cfull)
+                );
+            });
+        });
+    }
+
+    #[test]
+    fn mat_vec_matches_flat() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        let full = Mdd::full(vec![2, 3]).unwrap();
+        let m = MdMatrix::new(md, full).unwrap();
+        let flat = m.flatten();
+        let x: Vec<f64> = (0..6).map(|i| (i as f64) * 0.3 + 0.1).collect();
+
+        let mut y_md = vec![0.0; 6];
+        m.acc_mat_vec(&x, &mut y_md);
+        let mut y_flat = vec![0.0; 6];
+        flat.acc_mat_vec(&x, &mut y_flat);
+        assert!(vec_ops::max_abs_diff(&y_md, &y_flat) < 1e-12);
+
+        let mut z_md = vec![0.0; 6];
+        m.acc_vec_mat(&x, &mut z_md);
+        let mut z_flat = vec![0.0; 6];
+        flat.acc_vec_mat(&x, &mut z_flat);
+        assert!(vec_ops::max_abs_diff(&z_md, &z_flat) < 1e-12);
+    }
+
+    #[test]
+    fn row_sums_match_flat() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        let m = MdMatrix::new(md, Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        assert_eq!(RateMatrix::row_sums(&m), m.flatten().row_sums_vec());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        let err = MdMatrix::new(md, Mdd::full(vec![2, 2]).unwrap()).unwrap_err();
+        assert!(matches!(err, MdError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn empty_reachability_is_empty_matrix() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        let empty = Mdd::from_tuples(vec![2, 3], vec![]).unwrap();
+        let m = MdMatrix::new(md, empty).unwrap();
+        assert_eq!(m.num_states(), 0);
+        assert_eq!(m.flatten().nnz(), 0);
+    }
+
+    #[test]
+    fn md_transpose_flattens_to_matrix_transpose() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        let full = Mdd::full(vec![2, 3]).unwrap();
+        let m = MdMatrix::new(md.clone(), full.clone()).unwrap();
+        let mt = MdMatrix::new(md.transpose(), full).unwrap();
+        assert_eq!(mt.flatten().max_abs_diff(&m.flatten().transpose()), 0.0);
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let expr = two_level_expr();
+        let md = expr.to_md().unwrap();
+        let full = Mdd::full(vec![2, 3]).unwrap();
+        let a = MdMatrix::new(md.clone(), full.clone()).unwrap().flatten();
+        let b = MdMatrix::new(md.transpose().transpose(), full)
+            .unwrap()
+            .flatten();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+    }
+
+    #[test]
+    fn three_level_flatten_matches() {
+        let mut expr = KroneckerExpr::new(vec![2, 2, 2]);
+        expr.add_term(1.0, vec![Some(cycle(2, 1.0)), None, None]);
+        expr.add_term(2.0, vec![None, Some(cycle(2, 1.0)), Some(cycle(2, 1.0))]);
+        expr.add_term(0.5, vec![None, None, Some(cycle(2, 3.0))]);
+        let md = expr.to_md().unwrap();
+        let m = MdMatrix::new(md, Mdd::full(vec![2, 2, 2]).unwrap()).unwrap();
+        assert_eq!(m.flatten().max_abs_diff(&expr.flatten_full()), 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+use std::collections::HashMap;
+
+use crate::md::{validate_node, ChildId, Md, MdNode, NodeKey, Term};
+use crate::{MdError, Result};
+
+/// Bottom-up, hash-consing construction of a quasi-reduced [`Md`].
+///
+/// Nodes must be interned **bottom-up**: a node's formal sums may only
+/// reference already-interned nodes one level below (the unit terminal at
+/// the last level). Interning an equal node twice returns the existing
+/// index, which is what keeps the MD quasi-reduced — the paper's
+/// efficiency assumption ("at any level, no two nodes are equal").
+///
+/// # Example
+///
+/// ```
+/// use mdl_md::{ChildId, MdBuilder, Term};
+///
+/// let mut b = MdBuilder::new(vec![2, 2])?;
+/// // Bottom level: identity over S₂.
+/// let id = b.intern_node(1, vec![
+///     (0, 0, vec![Term::new(1.0, ChildId::Terminal)]),
+///     (1, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+/// ])?;
+/// // Root: cycle over S₁ referencing the identity.
+/// let root = b.intern_node(0, vec![
+///     (0, 1, vec![Term::new(3.0, ChildId::Node(id))]),
+///     (1, 0, vec![Term::new(3.0, ChildId::Node(id))]),
+/// ])?;
+/// let md = b.finish(root)?;
+/// assert_eq!(md.nodes_per_level(), vec![1, 1]);
+/// # Ok::<(), mdl_md::MdError>(())
+/// ```
+#[derive(Debug)]
+pub struct MdBuilder {
+    sizes: Vec<usize>,
+    levels: Vec<Vec<MdNode>>,
+    unique: Vec<HashMap<NodeKey, u32>>,
+}
+
+impl MdBuilder {
+    /// Creates a builder for an MD with the given local state-space sizes.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::InvalidShape`] if `sizes` is empty or contains zero.
+    pub fn new(sizes: Vec<usize>) -> Result<Self> {
+        if sizes.is_empty() || sizes.iter().any(|&s| s == 0 || s > u32::MAX as usize) {
+            return Err(MdError::InvalidShape);
+        }
+        let l = sizes.len();
+        Ok(MdBuilder {
+            sizes,
+            levels: vec![Vec::new(); l],
+            unique: vec![HashMap::new(); l],
+        })
+    }
+
+    /// Local state-space sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Interns a node at `level` built from raw `(row, col, formal sum)`
+    /// triples (canonicalized; duplicates merged; zero terms dropped).
+    /// Returns the node's index — the existing one if an equal node was
+    /// already interned.
+    ///
+    /// # Errors
+    ///
+    /// * [`MdError::NoSuchLevel`] for a bad level;
+    /// * [`MdError::IndexOutOfBounds`] for entries outside the level's
+    ///   local state space;
+    /// * [`MdError::BadChild`] for references to nodes that have not been
+    ///   interned yet (or terminals above the last level);
+    /// * [`MdError::InvalidCoefficient`] for non-finite coefficients.
+    pub fn intern_node(
+        &mut self,
+        level: usize,
+        entries: Vec<(u32, u32, Vec<Term>)>,
+    ) -> Result<u32> {
+        if level >= self.sizes.len() {
+            return Err(MdError::NoSuchLevel {
+                level,
+                num_levels: self.sizes.len(),
+            });
+        }
+        let node = MdNode::from_raw(entries);
+        let last = level == self.sizes.len() - 1;
+        let next_count = if last {
+            0
+        } else {
+            self.levels[level + 1].len()
+        };
+        validate_node(&node, level, self.sizes[level], last, next_count)?;
+        let key = node.key();
+        if let Some(&idx) = self.unique[level].get(&key) {
+            return Ok(idx);
+        }
+        let idx = self.levels[level].len() as u32;
+        self.levels[level].push(node);
+        self.unique[level].insert(key, idx);
+        Ok(idx)
+    }
+
+    /// Convenience: interns the identity node (1·terminal-chain on the
+    /// diagonal) at `level`, referencing `child` below (ignored at the last
+    /// level, where the terminal is used).
+    ///
+    /// # Errors
+    ///
+    /// As for [`MdBuilder::intern_node`].
+    pub fn intern_identity(&mut self, level: usize, child: ChildId) -> Result<u32> {
+        if level >= self.sizes.len() {
+            return Err(MdError::NoSuchLevel {
+                level,
+                num_levels: self.sizes.len(),
+            });
+        }
+        let last = level == self.sizes.len() - 1;
+        let c = if last { ChildId::Terminal } else { child };
+        let entries = (0..self.sizes[level] as u32)
+            .map(|s| (s, s, vec![Term::new(1.0, c)]))
+            .collect();
+        self.intern_node(level, entries)
+    }
+
+    /// Finalizes the MD with `root` (a level-0 node index) as the root:
+    /// prunes nodes unreachable from the root and renumbers.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::NoSuchRoot`] if `root` was never interned.
+    pub fn finish(self, root: u32) -> Result<Md> {
+        let num_levels = self.sizes.len();
+        if (root as usize) >= self.levels[0].len() {
+            return Err(MdError::NoSuchRoot { index: root });
+        }
+        // Reachability from the root.
+        let mut keep: Vec<Vec<bool>> = self
+            .levels
+            .iter()
+            .map(|nodes| vec![false; nodes.len()])
+            .collect();
+        keep[0][root as usize] = true;
+        for l in 0..num_levels - 1 {
+            for (i, node) in self.levels[l].iter().enumerate() {
+                if !keep[l][i] {
+                    continue;
+                }
+                for e in node.entries() {
+                    for t in &e.terms {
+                        if let ChildId::Node(n) = t.child {
+                            keep[l + 1][n as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Renumber, putting the root first at level 0.
+        let mut remap: Vec<Vec<u32>> = Vec::with_capacity(num_levels);
+        for (l, k) in keep.iter().enumerate() {
+            let mut map = vec![u32::MAX; k.len()];
+            let mut next = 0u32;
+            if l == 0 {
+                map[root as usize] = 0;
+                next = 1;
+            }
+            for (i, &kept) in k.iter().enumerate() {
+                if kept && map[i] == u32::MAX {
+                    map[i] = next;
+                    next += 1;
+                }
+            }
+            remap.push(map);
+        }
+        let mut levels: Vec<Vec<MdNode>> = Vec::with_capacity(num_levels);
+        for (l, nodes) in self.levels.into_iter().enumerate() {
+            let mut kept: Vec<(u32, MdNode)> = nodes
+                .into_iter()
+                .enumerate()
+                .filter(|&(i, _)| keep[l][i])
+                .map(|(i, node)| {
+                    let rewritten = node
+                        .entries()
+                        .iter()
+                        .map(|e| {
+                            let terms = e
+                                .terms
+                                .iter()
+                                .map(|t| {
+                                    let child = match t.child {
+                                        ChildId::Node(n) => ChildId::Node(remap[l + 1][n as usize]),
+                                        c => c,
+                                    };
+                                    Term {
+                                        coef: t.coef,
+                                        child,
+                                    }
+                                })
+                                .collect();
+                            (e.row, e.col, terms)
+                        })
+                        .collect();
+                    (remap[l][i], MdNode::from_raw(rewritten))
+                })
+                .collect();
+            kept.sort_by_key(|&(i, _)| i);
+            levels.push(kept.into_iter().map(|(_, n)| n).collect());
+        }
+        Ok(Md {
+            sizes: self.sizes,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let a = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap();
+        let c = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let err = b
+            .intern_node(0, vec![(0, 0, vec![Term::new(1.0, ChildId::Node(0))])])
+            .unwrap_err();
+        assert!(matches!(err, MdError::BadChild { .. }));
+    }
+
+    #[test]
+    fn terminal_above_last_level_rejected() {
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let err = b
+            .intern_node(0, vec![(0, 0, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap_err();
+        assert!(matches!(err, MdError::BadChild { .. }));
+    }
+
+    #[test]
+    fn node_reference_at_last_level_rejected() {
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let _ = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap();
+        let err = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(1.0, ChildId::Node(0))])])
+            .unwrap_err();
+        assert!(matches!(err, MdError::BadChild { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_entry_rejected() {
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let err = b
+            .intern_node(1, vec![(5, 0, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap_err();
+        assert!(matches!(err, MdError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn unreachable_nodes_pruned() {
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let used = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap();
+        let _unused = b
+            .intern_node(1, vec![(1, 1, vec![Term::new(9.0, ChildId::Terminal)])])
+            .unwrap();
+        let root = b
+            .intern_node(0, vec![(0, 1, vec![Term::new(1.0, ChildId::Node(used))])])
+            .unwrap();
+        let md = b.finish(root).unwrap();
+        assert_eq!(md.nodes_per_level(), vec![1, 1]);
+    }
+
+    #[test]
+    fn identity_helper() {
+        let mut b = MdBuilder::new(vec![3, 3]).unwrap();
+        let bottom = b.intern_identity(1, ChildId::Terminal).unwrap();
+        let root = b.intern_identity(0, ChildId::Node(bottom)).unwrap();
+        let md = b.finish(root).unwrap();
+        assert_eq!(md.node(md.root()).num_entries(), 3);
+    }
+
+    #[test]
+    fn bad_root_rejected() {
+        let b = MdBuilder::new(vec![2]).unwrap();
+        assert!(matches!(b.finish(0), Err(MdError::NoSuchRoot { .. })));
+    }
+
+    #[test]
+    fn single_level_md() {
+        let mut b = MdBuilder::new(vec![3]).unwrap();
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (0, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+                    (1, 2, vec![Term::new(2.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        let md = b.finish(root).unwrap();
+        assert_eq!(md.num_levels(), 1);
+        assert_eq!(md.node(md.root()).num_entries(), 2);
+    }
+}

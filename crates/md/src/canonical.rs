@@ -1,0 +1,251 @@
+//! Canonical matrix diagrams (after Miner \[15\], cited in Section 4 of
+//! the paper).
+//!
+//! Plain quasi-reduction only merges *identical* nodes, so two nodes that
+//! represent scalar multiples of the same matrix stay distinct — and the
+//! paper notes its formal-sum condition is consequently only sufficient:
+//! `R_{n} = R_{n′} ⇔ n = n′` "does not necessarily hold for an arbitrary
+//! MD", while "canonical MDs are a particular subclass … in which the
+//! expression is true" (for scale classes). Canonicalization normalizes
+//! every non-root node so its lexicographically first coefficient is `1`,
+//! pushing the scale into the referencing arcs; hash-consing then merges
+//! scale-multiples, which can only improve the lumping algorithm's
+//! formal-sum keys.
+
+use std::collections::HashMap;
+
+use crate::md::{canonicalize_terms, ChildId, Md, MdNode, NodeKey, Term};
+
+impl Md {
+    /// Rebuilds the MD in canonical (scale-normalized) form: every node
+    /// except the root is scaled so that the coefficient of the first term
+    /// of its first entry is `1`, with the scale folded into the parents'
+    /// arc coefficients; equal-up-to-scale nodes then intern together.
+    ///
+    /// The represented matrix is unchanged. Returns the canonical MD and
+    /// the number of nodes eliminated relative to `self`.
+    pub fn canonicalize(&self) -> (Md, usize) {
+        let num_levels = self.num_levels();
+        let mut new_levels: Vec<Vec<MdNode>> = vec![Vec::new(); num_levels];
+        // Per level: old index -> (new index, scale σ such that
+        // old node == σ · new node).
+        let mut remap: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_levels];
+
+        for level in (0..num_levels).rev() {
+            let mut unique: HashMap<NodeKey, u32> = HashMap::new();
+            let mut level_map = Vec::with_capacity(self.levels[level].len());
+            for node in &self.levels[level] {
+                // Rewrite terms through the children's remapping, folding
+                // each child's scale into the arc coefficient.
+                let mut raw: Vec<(u32, u32, Vec<Term>)> = node
+                    .entries()
+                    .iter()
+                    .map(|e| {
+                        let terms = e
+                            .terms
+                            .iter()
+                            .map(|t| match t.child {
+                                ChildId::Terminal => *t,
+                                ChildId::Node(n) => {
+                                    let (idx, scale) = remap[level + 1][n as usize];
+                                    Term::new(t.coef * scale, ChildId::Node(idx))
+                                }
+                            })
+                            .collect();
+                        (e.row, e.col, terms)
+                    })
+                    .collect();
+                // Canonical scale: the first coefficient of the first
+                // entry after canonical term ordering. The root keeps
+                // scale 1 (nothing references it to absorb the factor).
+                for (_, _, terms) in raw.iter_mut() {
+                    canonicalize_terms(terms);
+                }
+                raw.sort_by_key(|&(r, c, _)| (r, c));
+                raw.retain(|(_, _, terms)| !terms.is_empty());
+                let sigma = if level == 0 {
+                    1.0
+                } else {
+                    raw.first()
+                        .and_then(|(_, _, t)| t.first())
+                        .map_or(1.0, |t| t.coef)
+                };
+                let sigma = if sigma == 0.0 { 1.0 } else { sigma };
+                let scaled: Vec<(u32, u32, Vec<Term>)> = raw
+                    .into_iter()
+                    .map(|(r, c, terms)| {
+                        (
+                            r,
+                            c,
+                            terms
+                                .into_iter()
+                                .map(|t| Term::new(t.coef / sigma, t.child))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                let canon = MdNode::new(scaled);
+                let key = canon.key();
+                let idx = *unique.entry(key).or_insert_with(|| {
+                    new_levels[level].push(canon);
+                    (new_levels[level].len() - 1) as u32
+                });
+                level_map.push((idx, sigma));
+            }
+            remap[level] = level_map;
+        }
+
+        let removed = self.num_nodes() - new_levels.iter().map(Vec::len).sum::<usize>();
+        (
+            Md {
+                sizes: self.sizes.clone(),
+                levels: new_levels,
+            },
+            removed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::MdMatrix;
+    use crate::builder::MdBuilder;
+    use crate::kronecker::{KroneckerExpr, SparseFactor};
+    use mdl_mdd::Mdd;
+
+    #[test]
+    fn scale_multiples_merge() {
+        // Two bottom nodes that are scalar multiples of each other.
+        let mut b = MdBuilder::new(vec![2, 2]).unwrap();
+        let small = b
+            .intern_node(
+                1,
+                vec![
+                    (0, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+                    (1, 0, vec![Term::new(2.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        let big = b
+            .intern_node(
+                1,
+                vec![
+                    (0, 1, vec![Term::new(3.0, ChildId::Terminal)]),
+                    (1, 0, vec![Term::new(6.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        assert_ne!(small, big);
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (0, 0, vec![Term::new(1.0, ChildId::Node(small))]),
+                    (1, 1, vec![Term::new(5.0, ChildId::Node(big))]),
+                ],
+            )
+            .unwrap();
+        let md = b.finish(root).unwrap();
+        assert_eq!(md.nodes_per_level(), vec![1, 2]);
+
+        let (canon, removed) = md.canonicalize();
+        assert_eq!(removed, 1);
+        assert_eq!(canon.nodes_per_level(), vec![1, 1]);
+
+        // Represented matrix unchanged.
+        let full = Mdd::full(vec![2, 2]).unwrap();
+        let a = MdMatrix::new(md, full.clone()).unwrap().flatten();
+        let c = MdMatrix::new(canon, full).unwrap().flatten();
+        assert!(a.max_abs_diff(&c) < 1e-12);
+    }
+
+    #[test]
+    fn already_canonical_is_idempotent() {
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        let mut f = SparseFactor::new(3);
+        f.push(0, 1, 1.0);
+        f.push(1, 2, 0.5);
+        expr.add_term(2.0, vec![None, Some(f)]);
+        let md = expr.to_md().unwrap();
+        let (c1, _) = md.canonicalize();
+        let (c2, removed) = c1.canonicalize();
+        assert_eq!(removed, 0);
+        assert_eq!(c1.nodes_per_level(), c2.nodes_per_level());
+        let full = Mdd::full(vec![2, 3]).unwrap();
+        assert_eq!(
+            MdMatrix::new(c1, full.clone())
+                .unwrap()
+                .flatten()
+                .max_abs_diff(&MdMatrix::new(c2, full).unwrap().flatten()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn root_scale_is_preserved() {
+        // A 1-level MD: the root cannot push its scale anywhere; its
+        // entries must be preserved verbatim.
+        let mut b = MdBuilder::new(vec![3]).unwrap();
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (0, 1, vec![Term::new(4.0, ChildId::Terminal)]),
+                    (1, 2, vec![Term::new(8.0, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        let md = b.finish(root).unwrap();
+        let (canon, _) = md.canonicalize();
+        let full = Mdd::full(vec![3]).unwrap();
+        let a = MdMatrix::new(md, full.clone()).unwrap().flatten();
+        let c = MdMatrix::new(canon, full).unwrap().flatten();
+        assert_eq!(a.max_abs_diff(&c), 0.0);
+        assert_eq!(a.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn deep_scale_chains_collapse() {
+        // Scale differences at the bottom propagate up: nodes that become
+        // scale-multiples only after their children merge also collapse.
+        let mut b = MdBuilder::new(vec![2, 2, 2]).unwrap();
+        let bot_a = b
+            .intern_node(2, vec![(0, 1, vec![Term::new(1.0, ChildId::Terminal)])])
+            .unwrap();
+        let bot_b = b
+            .intern_node(2, vec![(0, 1, vec![Term::new(2.0, ChildId::Terminal)])])
+            .unwrap();
+        let mid_a = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(3.0, ChildId::Node(bot_a))])])
+            .unwrap();
+        let mid_b = b
+            .intern_node(1, vec![(0, 0, vec![Term::new(1.5, ChildId::Node(bot_b))])])
+            .unwrap();
+        // mid_a = 3·bot_a-block, mid_b = 1.5·(2·bot_a-block) = 3·bot_a-block:
+        // equal matrices, different structure.
+        assert_ne!(mid_a, mid_b);
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (0, 0, vec![Term::new(1.0, ChildId::Node(mid_a))]),
+                    (1, 1, vec![Term::new(1.0, ChildId::Node(mid_b))]),
+                ],
+            )
+            .unwrap();
+        let md = b.finish(root).unwrap();
+        assert_eq!(md.nodes_per_level(), vec![1, 2, 2]);
+        let (canon, removed) = md.canonicalize();
+        assert_eq!(canon.nodes_per_level(), vec![1, 1, 1]);
+        assert_eq!(removed, 2);
+        let full = Mdd::full(vec![2, 2, 2]).unwrap();
+        assert_eq!(
+            MdMatrix::new(md, full.clone())
+                .unwrap()
+                .flatten()
+                .max_abs_diff(&MdMatrix::new(canon, full).unwrap().flatten()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,125 @@
+use std::fmt;
+
+/// Errors from matrix-diagram construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MdError {
+    /// `sizes` was empty or contained a zero (or overflowed `u32`).
+    InvalidShape,
+    /// An entry's row or column index exceeded the level's local state
+    /// space.
+    IndexOutOfBounds {
+        /// Level of the offending node (0-based).
+        level: usize,
+        /// The offending row or column index.
+        index: u32,
+        /// Size of the level's local state space.
+        size: usize,
+    },
+    /// A formal-sum term referenced a child that does not exist (or a
+    /// non-terminal child at the last level / a terminal child above it).
+    BadChild {
+        /// Level of the node containing the term (0-based).
+        level: usize,
+        /// Debug rendering of the offending child reference.
+        child: String,
+    },
+    /// A coefficient was NaN or infinite.
+    InvalidCoefficient {
+        /// The offending value.
+        value: f64,
+    },
+    /// The designated root node does not exist at level 0.
+    NoSuchRoot {
+        /// The index passed as root.
+        index: u32,
+    },
+    /// The MD and MDD paired in an [`MdMatrix`](crate::MdMatrix) have
+    /// different level structures.
+    ShapeMismatch {
+        /// Sizes of the MD.
+        md_sizes: Vec<usize>,
+        /// Sizes of the MDD.
+        mdd_sizes: Vec<usize>,
+    },
+    /// Level index out of range.
+    NoSuchLevel {
+        /// The offending level.
+        level: usize,
+        /// Number of levels.
+        num_levels: usize,
+    },
+}
+
+impl fmt::Display for MdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdError::InvalidShape => write!(f, "sizes must be non-empty and positive"),
+            MdError::IndexOutOfBounds { level, index, size } => {
+                write!(
+                    f,
+                    "index {index} at level {level} exceeds local space of size {size}"
+                )
+            }
+            MdError::BadChild { level, child } => {
+                write!(f, "invalid child reference {child} at level {level}")
+            }
+            MdError::InvalidCoefficient { value } => {
+                write!(f, "invalid formal-sum coefficient {value}")
+            }
+            MdError::NoSuchRoot { index } => write!(f, "no node {index} at level 0"),
+            MdError::ShapeMismatch {
+                md_sizes,
+                mdd_sizes,
+            } => {
+                write!(
+                    f,
+                    "MD sizes {md_sizes:?} do not match MDD sizes {mdd_sizes:?}"
+                )
+            }
+            MdError::NoSuchLevel { level, num_levels } => {
+                write!(f, "level {level} out of range for {num_levels} levels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(MdError::InvalidShape.to_string().contains("sizes"));
+        assert!(MdError::IndexOutOfBounds {
+            level: 1,
+            index: 9,
+            size: 4
+        }
+        .to_string()
+        .contains("level 1"));
+        assert!(MdError::BadChild {
+            level: 0,
+            child: "Node(3)".into()
+        }
+        .to_string()
+        .contains("Node(3)"));
+        assert!(MdError::InvalidCoefficient { value: f64::NAN }
+            .to_string()
+            .contains("NaN"));
+        assert!(MdError::NoSuchRoot { index: 2 }.to_string().contains("2"));
+        assert!(MdError::NoSuchLevel {
+            level: 5,
+            num_levels: 3
+        }
+        .to_string()
+        .contains("5"));
+        let e = MdError::ShapeMismatch {
+            md_sizes: vec![2],
+            mdd_sizes: vec![3],
+        };
+        assert!(e.to_string().contains("[2]"));
+    }
+}

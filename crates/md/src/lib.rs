@@ -1,0 +1,72 @@
+//! Matrix diagrams (MDs): the leveled symbolic representation of large
+//! state-transition rate matrices that the paper's compositional lumping
+//! algorithm operates on.
+//!
+//! Following Section 3 of *Derisavi, Kemper & Sanders, DSN 2005*, an ordered
+//! MD is a DAG of matrix-valued nodes arranged in levels: a node `R_{n_i}`
+//! at level `i` is a sparse matrix over the level's local state space `S_i`
+//! whose entries are **formal sums** `Σ_k r_k · R_{n_{i+1},k}` of real
+//! coefficients times references to nodes one level below. At the last
+//! level the references point to the implicit 1×1 unit terminal (the
+//! paper's artificial level `L+1`), so every level is uniform. The MD is
+//! kept *quasi-reduced* — no two equal nodes on a level — by hash-consing
+//! in [`MdBuilder`].
+//!
+//! The crate provides:
+//!
+//! * [`Md`] / [`MdNode`] / [`Term`] — the data structure;
+//! * [`MdBuilder`] — bottom-up hash-consing construction;
+//! * [`KroneckerExpr`] — sums of Kronecker products `Σ_e λ_e ⊗_i W_i^e`
+//!   (the form compositional Markov models produce) and their translation
+//!   to MDs, including the term-aggregation preprocessing that keeps node
+//!   counts per level small;
+//! * [`MdMatrix`] — an MD paired with the [`Mdd`](mdl_mdd::Mdd) of
+//!   reachable states; implements
+//!   [`RateMatrix`](mdl_linalg::RateMatrix), so the iterative solvers of
+//!   `mdl-ctmc` run directly over the symbolic representation with
+//!   iteration vectors indexed over reachable states only;
+//! * [`MdMatrix::flatten`] — the explicit sparse matrix, for verification
+//!   and the flat baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
+//! use mdl_mdd::Mdd;
+//! use mdl_linalg::RateMatrix;
+//!
+//! // R = 2.0 · (W ⊗ I) with W a 2×2 cyclic factor: two independent levels.
+//! let mut w = SparseFactor::new(2);
+//! w.push(0, 1, 1.0);
+//! w.push(1, 0, 1.0);
+//! let mut expr = KroneckerExpr::new(vec![2, 2]);
+//! expr.add_term(2.0, vec![Some(w), None]);
+//! let md = expr.to_md().unwrap();
+//!
+//! let reach = Mdd::full(vec![2, 2]).unwrap();
+//! let m = MdMatrix::new(md, reach).unwrap();
+//! assert_eq!(m.num_states(), 4);
+//! let flat = m.flatten();
+//! assert_eq!(flat.get(0, 2), 2.0); // (0,0) -> (1,0)
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod apply;
+mod builder;
+mod canonical;
+mod error;
+mod kronecker;
+mod md;
+mod merge;
+
+pub use builder::MdBuilder;
+pub use error::MdError;
+pub use kronecker::{KroneckerExpr, KroneckerTerm, SparseFactor};
+pub use md::{ChildId, Md, MdEntry, MdNode, MdNodeId, Term};
+
+pub use apply::MdMatrix;
+
+/// Convenience alias for fallible MD operations.
+pub type Result<T> = std::result::Result<T, MdError>;

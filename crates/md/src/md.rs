@@ -1,0 +1,482 @@
+use std::collections::HashMap;
+
+use crate::{MdError, Result};
+
+/// Reference from a formal-sum term to the node one level below, or to the
+/// implicit 1×1 unit terminal at the bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChildId {
+    /// A node at the next level, by index.
+    Node(u32),
+    /// The unit terminal (only valid below the last level).
+    Terminal,
+}
+
+/// One term `r · R_child` of a formal sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Term {
+    /// The real coefficient `r`.
+    pub coef: f64,
+    /// The referenced node (or the unit terminal).
+    pub child: ChildId,
+}
+
+impl Term {
+    /// Creates a term.
+    pub fn new(coef: f64, child: ChildId) -> Self {
+        Term { coef, child }
+    }
+}
+
+/// One stored matrix entry of a node: position `(row, col)` and its formal
+/// sum (canonical: sorted by child, duplicate children merged, zero
+/// coefficients dropped, never empty).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdEntry {
+    /// Row index within the level's local state space.
+    pub row: u32,
+    /// Column index within the level's local state space.
+    pub col: u32,
+    /// The formal sum `Σ_k r_k · R_k`.
+    pub terms: Vec<Term>,
+}
+
+/// A matrix-diagram node: a sparse matrix over the level's local state
+/// space whose entries are formal sums of references to next-level nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdNode {
+    entries: Vec<MdEntry>, // sorted by (row, col)
+}
+
+impl MdNode {
+    /// Creates a node from raw `(row, col, terms)` triples, canonicalizing:
+    /// entries sorted by position, duplicate positions merged, formal sums
+    /// sorted by child with duplicate children's coefficients summed, zero
+    /// coefficients and empty entries dropped.
+    ///
+    /// Standalone nodes built this way are **not validated** against any
+    /// MD's shape; validation happens when the node enters an MD (via
+    /// [`MdBuilder::intern_node`](crate::MdBuilder::intern_node) or
+    /// [`Md::replace_level`]).
+    pub fn new(raw: Vec<(u32, u32, Vec<Term>)>) -> MdNode {
+        Self::from_raw(raw)
+    }
+
+    pub(crate) fn from_raw(mut raw: Vec<(u32, u32, Vec<Term>)>) -> MdNode {
+        raw.sort_by_key(|&(r, c, _)| (r, c));
+        let mut entries: Vec<MdEntry> = Vec::with_capacity(raw.len());
+        for (row, col, terms) in raw {
+            if let Some(last) = entries.last_mut() {
+                if last.row == row && last.col == col {
+                    last.terms.extend(terms);
+                    continue;
+                }
+            }
+            entries.push(MdEntry { row, col, terms });
+        }
+        for e in entries.iter_mut() {
+            canonicalize_terms(&mut e.terms);
+        }
+        entries.retain(|e| !e.terms.is_empty());
+        MdNode { entries }
+    }
+
+    /// All stored entries, sorted by `(row, col)`.
+    pub fn entries(&self) -> &[MdEntry] {
+        &self.entries
+    }
+
+    /// The stored entries of one row (empty slice if none).
+    pub fn row(&self, row: u32) -> &[MdEntry] {
+        let start = self.entries.partition_point(|e| e.row < row);
+        let end = self.entries.partition_point(|e| e.row <= row);
+        &self.entries[start..end]
+    }
+
+    /// Number of stored entries.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of formal-sum terms across all entries.
+    pub fn num_terms(&self) -> usize {
+        self.entries.iter().map(|e| e.terms.len()).sum()
+    }
+
+    /// Hashable canonical key for quasi-reduction (hash-consing).
+    pub(crate) fn key(&self) -> NodeKey {
+        self.entries
+            .iter()
+            .map(|e| {
+                (
+                    e.row,
+                    e.col,
+                    e.terms
+                        .iter()
+                        .map(|t| (t.child, t.coef.to_bits()))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<MdEntry>()
+            + self
+                .entries
+                .iter()
+                .map(|e| e.terms.len() * std::mem::size_of::<Term>())
+                .sum::<usize>()
+    }
+}
+
+pub(crate) type NodeKey = Vec<(u32, u32, Vec<(ChildId, u64)>)>;
+
+/// Sorts by child, merges duplicate children, drops zero coefficients.
+pub(crate) fn canonicalize_terms(terms: &mut Vec<Term>) {
+    terms.sort_by_key(|t| t.child);
+    let mut out: Vec<Term> = Vec::with_capacity(terms.len());
+    for t in terms.drain(..) {
+        if let Some(last) = out.last_mut() {
+            if last.child == t.child {
+                last.coef += t.coef;
+                continue;
+            }
+        }
+        out.push(t);
+    }
+    out.retain(|t| t.coef != 0.0);
+    *terms = out;
+}
+
+/// Identifies a node of an [`Md`]: level (0-based) and index within the
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MdNodeId {
+    /// 0-based level (the paper's level `i` is `i − 1` here).
+    pub level: u32,
+    /// Index within the level.
+    pub index: u32,
+}
+
+/// An ordered, quasi-reduced matrix diagram (Section 3 of the paper).
+///
+/// Immutable except through the lumping-specific
+/// [`Md::replace_level`], which is how the compositional lumping algorithm
+/// substitutes each node with its lumped version (the paper's Fig. 3b,
+/// line 6). Construct with [`MdBuilder`](crate::MdBuilder) or
+/// [`KroneckerExpr::to_md`](crate::KroneckerExpr::to_md).
+#[derive(Debug, Clone)]
+pub struct Md {
+    pub(crate) sizes: Vec<usize>,
+    pub(crate) levels: Vec<Vec<MdNode>>,
+}
+
+impl Md {
+    /// Number of levels `L`.
+    pub fn num_levels(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Local state-space sizes `|S₁|, …, |S_L|`.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The root node id (level 0, index 0).
+    pub fn root(&self) -> MdNodeId {
+        MdNodeId { level: 0, index: 0 }
+    }
+
+    /// The nodes of one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn nodes_at(&self, level: usize) -> &[MdNode] {
+        &self.levels[level]
+    }
+
+    /// A single node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn node(&self, id: MdNodeId) -> &MdNode {
+        &self.levels[id.level as usize][id.index as usize]
+    }
+
+    /// Number of nodes on each level (the paper's `|N_i|`, Table 1).
+    pub fn nodes_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate memory footprint in bytes (the paper's "MD space"
+    /// column of Table 1).
+    pub fn memory_bytes(&self) -> usize {
+        self.levels.iter().flatten().map(MdNode::memory_bytes).sum()
+    }
+
+    /// Replaces **all** nodes of a level and the level's local state-space
+    /// size — the lumping step of the paper's Fig. 3b (line 6): each node
+    /// is replaced by its (possibly smaller) lumped version; node count and
+    /// child references are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`MdError::NoSuchLevel`] for a bad level;
+    /// * [`MdError::InvalidShape`] if the node count changes or
+    ///   `new_size == 0`;
+    /// * [`MdError::IndexOutOfBounds`] if an entry exceeds `new_size`;
+    /// * [`MdError::BadChild`] if a child reference is invalid for the
+    ///   level.
+    pub fn replace_level(
+        &mut self,
+        level: usize,
+        new_size: usize,
+        nodes: Vec<MdNode>,
+    ) -> Result<()> {
+        if level >= self.num_levels() {
+            return Err(MdError::NoSuchLevel {
+                level,
+                num_levels: self.num_levels(),
+            });
+        }
+        if new_size == 0 || nodes.len() != self.levels[level].len() {
+            return Err(MdError::InvalidShape);
+        }
+        let last = level == self.num_levels() - 1;
+        let next_count = if last {
+            0
+        } else {
+            self.levels[level + 1].len()
+        };
+        for node in &nodes {
+            validate_node(node, level, new_size, last, next_count)?;
+        }
+        self.sizes[level] = new_size;
+        self.levels[level] = nodes;
+        Ok(())
+    }
+
+    /// The transpose `Rᵀ` of the represented matrix, as an MD: every
+    /// node's entries have row and column swapped (levels, children and
+    /// coefficients are unchanged, since
+    /// `(A ⊗ B)ᵀ = Aᵀ ⊗ Bᵀ` extends entrywise to formal sums).
+    ///
+    /// Useful for the exact/ordinary duality: exact lumpability of `R` is
+    /// ordinary lumpability of `Rᵀ` (plus the exit-rate and initial-
+    /// distribution conditions).
+    pub fn transpose(&self) -> Md {
+        let levels = self
+            .levels
+            .iter()
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .map(|n| {
+                        MdNode::from_raw(
+                            n.entries
+                                .iter()
+                                .map(|e| (e.col, e.row, e.terms.clone()))
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Md {
+            sizes: self.sizes.clone(),
+            levels,
+        }
+    }
+
+    /// Re-runs quasi-reduction bottom-up: merges nodes on a level that have
+    /// become equal (for example after lumping made previously distinct
+    /// nodes coincide), remapping parent references.
+    ///
+    /// Returns the reduced MD and the number of nodes removed. The paper's
+    /// algorithm deliberately does *not* do this (its lumping step keeps
+    /// the node count fixed); it is exposed as the post-pass measured by
+    /// the ablation experiments.
+    pub fn quasi_reduce(&self) -> (Md, usize) {
+        let mut new_levels: Vec<Vec<MdNode>> = vec![Vec::new(); self.num_levels()];
+        let mut removed = 0usize;
+        // remap[level][old index] = new index
+        let mut remap: Vec<Vec<u32>> = Vec::with_capacity(self.num_levels());
+        for level in (0..self.num_levels()).rev() {
+            let mut unique: HashMap<NodeKey, u32> = HashMap::new();
+            let mut level_map = vec![0u32; self.levels[level].len()];
+            let child_map = if level + 1 < self.num_levels() {
+                Some(&remap[self.num_levels() - 2 - level])
+            } else {
+                None
+            };
+            for (i, node) in self.levels[level].iter().enumerate() {
+                // Rewrite children through the lower level's remapping.
+                let rewritten: Vec<(u32, u32, Vec<Term>)> = node
+                    .entries
+                    .iter()
+                    .map(|e| {
+                        let terms = e
+                            .terms
+                            .iter()
+                            .map(|t| {
+                                let child = match (t.child, child_map) {
+                                    (ChildId::Node(n), Some(map)) => ChildId::Node(map[n as usize]),
+                                    (c, _) => c,
+                                };
+                                Term {
+                                    coef: t.coef,
+                                    child,
+                                }
+                            })
+                            .collect();
+                        (e.row, e.col, terms)
+                    })
+                    .collect();
+                let canon = MdNode::from_raw(rewritten);
+                let key = canon.key();
+                let new_index = *unique.entry(key).or_insert_with(|| {
+                    new_levels[level].push(canon);
+                    (new_levels[level].len() - 1) as u32
+                });
+                level_map[i] = new_index;
+            }
+            removed += self.levels[level].len() - new_levels[level].len();
+            remap.push(level_map);
+        }
+        (
+            Md {
+                sizes: self.sizes.clone(),
+                levels: new_levels,
+            },
+            removed,
+        )
+    }
+}
+
+pub(crate) fn validate_node(
+    node: &MdNode,
+    level: usize,
+    size: usize,
+    last: bool,
+    next_count: usize,
+) -> Result<()> {
+    for e in node.entries() {
+        if e.row as usize >= size {
+            return Err(MdError::IndexOutOfBounds {
+                level,
+                index: e.row,
+                size,
+            });
+        }
+        if e.col as usize >= size {
+            return Err(MdError::IndexOutOfBounds {
+                level,
+                index: e.col,
+                size,
+            });
+        }
+        for t in &e.terms {
+            if !t.coef.is_finite() {
+                return Err(MdError::InvalidCoefficient { value: t.coef });
+            }
+            match t.child {
+                ChildId::Terminal if !last => {
+                    return Err(MdError::BadChild {
+                        level,
+                        child: "Terminal".into(),
+                    })
+                }
+                ChildId::Node(_) if last => {
+                    return Err(MdError::BadChild {
+                        level,
+                        child: format!("{:?}", t.child),
+                    })
+                }
+                ChildId::Node(n) if (n as usize) >= next_count => {
+                    return Err(MdError::BadChild {
+                        level,
+                        child: format!("Node({n})"),
+                    })
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_merges_and_drops() {
+        let mut terms = vec![
+            Term::new(1.0, ChildId::Node(2)),
+            Term::new(2.0, ChildId::Node(1)),
+            Term::new(3.0, ChildId::Node(2)),
+            Term::new(0.0, ChildId::Node(5)),
+            Term::new(1.0, ChildId::Node(7)),
+            Term::new(-1.0, ChildId::Node(7)),
+        ];
+        canonicalize_terms(&mut terms);
+        assert_eq!(
+            terms,
+            vec![
+                Term::new(2.0, ChildId::Node(1)),
+                Term::new(4.0, ChildId::Node(2))
+            ]
+        );
+    }
+
+    #[test]
+    fn node_row_access() {
+        let node = MdNode::from_raw(vec![
+            (1, 0, vec![Term::new(1.0, ChildId::Terminal)]),
+            (0, 1, vec![Term::new(2.0, ChildId::Terminal)]),
+            (1, 2, vec![Term::new(3.0, ChildId::Terminal)]),
+        ]);
+        assert_eq!(node.num_entries(), 3);
+        assert_eq!(node.row(0).len(), 1);
+        assert_eq!(node.row(1).len(), 2);
+        assert!(node.row(2).is_empty());
+        assert_eq!(node.row(1)[1].col, 2);
+    }
+
+    #[test]
+    fn from_raw_merges_duplicate_positions() {
+        let node = MdNode::from_raw(vec![
+            (0, 0, vec![Term::new(1.0, ChildId::Terminal)]),
+            (0, 0, vec![Term::new(2.0, ChildId::Terminal)]),
+        ]);
+        assert_eq!(node.num_entries(), 1);
+        assert_eq!(
+            node.entries()[0].terms,
+            vec![Term::new(3.0, ChildId::Terminal)]
+        );
+    }
+
+    #[test]
+    fn empty_sums_dropped() {
+        let node = MdNode::from_raw(vec![(0, 0, vec![Term::new(0.0, ChildId::Terminal)])]);
+        assert_eq!(node.num_entries(), 0);
+    }
+
+    #[test]
+    fn keys_equal_iff_content_equal() {
+        let a = MdNode::from_raw(vec![(0, 1, vec![Term::new(1.5, ChildId::Node(0))])]);
+        let b = MdNode::from_raw(vec![(0, 1, vec![Term::new(1.5, ChildId::Node(0))])]);
+        let c = MdNode::from_raw(vec![(0, 1, vec![Term::new(2.5, ChildId::Node(0))])]);
+        assert_eq!(a.key(), b.key());
+        assert_ne!(a.key(), c.key());
+    }
+}

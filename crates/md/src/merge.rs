@@ -1,0 +1,314 @@
+//! The paper's Section 3 level-merging constructions.
+//!
+//! Merging is the formal device the paper uses to reduce an `L`-level MD
+//! to a 3-level one so that the lumpability proofs can focus on a single
+//! level ("the implementation of the algorithm does not perform any
+//! merging operation" — same here: these are reference operations used by
+//! tests and by the expanded-key ablation, not by the lumping algorithm).
+
+use std::collections::HashMap;
+
+use crate::md::{ChildId, Md, MdNode, MdNodeId, Term};
+use crate::{MdError, Result};
+
+impl Md {
+    /// **Bottom-up merge** (Section 3): replaces levels `level..L` by a
+    /// single level over the product of their local state spaces; each
+    /// node at `level` becomes a real-valued matrix (all formal sums
+    /// terminate). Levels above `level` are unchanged, including node
+    /// indices, so parents' references stay valid.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::NoSuchLevel`] if `level` is out of range.
+    pub fn merge_bottom(&self, level: usize) -> Result<Md> {
+        if level >= self.num_levels() {
+            return Err(MdError::NoSuchLevel {
+                level,
+                num_levels: self.num_levels(),
+            });
+        }
+        if level == self.num_levels() - 1 {
+            return Ok(self.clone());
+        }
+        let below: usize = self.sizes[level + 1..].iter().product();
+        let merged_size = self.sizes[level] * below;
+
+        let mut memo: HashMap<MdNodeId, Vec<(u64, u64, f64)>> = HashMap::new();
+        let merged_nodes: Vec<MdNode> = (0..self.levels[level].len() as u32)
+            .map(|i| {
+                let triples = expand_entries(
+                    self,
+                    MdNodeId {
+                        level: level as u32,
+                        index: i,
+                    },
+                    &mut memo,
+                );
+                MdNode::new(
+                    triples
+                        .iter()
+                        .map(|&(r, c, v)| {
+                            (r as u32, c as u32, vec![Term::new(v, ChildId::Terminal)])
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+
+        let mut sizes = self.sizes[..level].to_vec();
+        sizes.push(merged_size);
+        let mut levels = self.levels[..level].to_vec();
+        levels.push(merged_nodes);
+        Ok(Md { sizes, levels })
+    }
+
+    /// **Top-down merge** (Section 3): replaces levels `0..=level` by a
+    /// single root level over the product of their local state spaces,
+    /// whose formal sums reference the (unchanged) nodes at `level + 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::NoSuchLevel`] if `level` is the last level or out of
+    /// range (the root must still reference something below).
+    pub fn merge_top(&self, level: usize) -> Result<Md> {
+        if level + 1 >= self.num_levels() {
+            return Err(MdError::NoSuchLevel {
+                level,
+                num_levels: self.num_levels(),
+            });
+        }
+        if level == 0 {
+            return Ok(self.clone());
+        }
+        let merged_size: usize = self.sizes[..=level].iter().product();
+
+        // Accumulate root entries by walking all prefix paths.
+        let mut acc: HashMap<(u64, u64), Vec<Term>> = HashMap::new();
+        self.walk_prefix(0, 0, 0, 0, 1.0, level, &mut acc);
+
+        let root = MdNode::new(
+            acc.into_iter()
+                .map(|((r, c), terms)| (r as u32, c as u32, terms))
+                .collect(),
+        );
+        let mut sizes = vec![merged_size];
+        sizes.extend_from_slice(&self.sizes[level + 1..]);
+        let mut levels = vec![vec![root]];
+        levels.extend_from_slice(&self.levels[level + 1..]);
+        Ok(Md { sizes, levels })
+    }
+
+    /// The paper's 3-level view around `level`: all levels above merged
+    /// into one, all levels below merged into one. (The paper pads with
+    /// artificial unit levels when `level` is outermost; here the result
+    /// simply has 2 levels in those cases.)
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::NoSuchLevel`] if `level` is out of range.
+    pub fn three_level_view(&self, level: usize) -> Result<Md> {
+        if level >= self.num_levels() {
+            return Err(MdError::NoSuchLevel {
+                level,
+                num_levels: self.num_levels(),
+            });
+        }
+        // Merge bottom first (indices above are unaffected), then the top.
+        let bottom_merged = if level + 1 < self.num_levels() {
+            self.merge_bottom(level + 1)?
+        } else {
+            self.clone()
+        };
+        if level >= 1 {
+            bottom_merged.merge_top(level - 1)
+        } else {
+            Ok(bottom_merged)
+        }
+    }
+
+    /// Recursively enumerates prefix paths through levels `0..=last`,
+    /// accumulating `(packed row, packed col) → Σ coef · child` sums.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_prefix(
+        &self,
+        level: usize,
+        node: u32,
+        row_acc: u64,
+        col_acc: u64,
+        coef: f64,
+        last: usize,
+        acc: &mut HashMap<(u64, u64), Vec<Term>>,
+    ) {
+        for e in self.levels[level][node as usize].entries() {
+            let r = row_acc * self.sizes[level] as u64 + e.row as u64;
+            let c = col_acc * self.sizes[level] as u64 + e.col as u64;
+            for t in &e.terms {
+                if level == last {
+                    acc.entry((r, c))
+                        .or_default()
+                        .push(Term::new(coef * t.coef, t.child));
+                } else {
+                    let ChildId::Node(n) = t.child else {
+                        unreachable!("terminal above last level")
+                    };
+                    self.walk_prefix(level + 1, n, r, c, coef * t.coef, last, acc);
+                }
+            }
+        }
+    }
+}
+
+/// Expands the sub-MD rooted at `node` into flat `(row, col, value)`
+/// triples over the product of its level and everything below.
+fn expand_entries(
+    md: &Md,
+    node: MdNodeId,
+    memo: &mut HashMap<MdNodeId, Vec<(u64, u64, f64)>>,
+) -> Vec<(u64, u64, f64)> {
+    if let Some(t) = memo.get(&node) {
+        return t.clone();
+    }
+    let level = node.level as usize;
+    let below: u64 = md.sizes()[level + 1..].iter().product::<usize>() as u64;
+    let mut out: Vec<(u64, u64, f64)> = Vec::new();
+    for e in md.node(node).entries() {
+        for t in &e.terms {
+            match t.child {
+                ChildId::Terminal => out.push((e.row as u64, e.col as u64, t.coef)),
+                ChildId::Node(n) => {
+                    let child = expand_entries(
+                        md,
+                        MdNodeId {
+                            level: node.level + 1,
+                            index: n,
+                        },
+                        memo,
+                    );
+                    for &(r, c, v) in &child {
+                        out.push((
+                            e.row as u64 * below + r,
+                            e.col as u64 * below + c,
+                            t.coef * v,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Canonicalize: merge duplicate positions.
+    out.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    out.dedup_by(|a, b| {
+        if a.0 == b.0 && a.1 == b.1 {
+            b.2 += a.2;
+            true
+        } else {
+            false
+        }
+    });
+    out.retain(|&(_, _, v)| v != 0.0);
+    memo.insert(node, out.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::MdMatrix;
+    use crate::kronecker::{KroneckerExpr, SparseFactor};
+    use mdl_mdd::Mdd;
+
+    fn cycle(size: usize, rate: f64) -> SparseFactor {
+        let mut f = SparseFactor::new(size);
+        for s in 0..size {
+            f.push(s, (s + 1) % size, rate);
+        }
+        f
+    }
+
+    fn three_level_md() -> (Md, Vec<usize>) {
+        let sizes = vec![2usize, 3, 2];
+        let mut expr = KroneckerExpr::new(sizes.clone());
+        expr.add_term(1.0, vec![Some(cycle(2, 1.0)), None, None]);
+        expr.add_term(2.0, vec![None, Some(cycle(3, 1.0)), None]);
+        expr.add_term(0.5, vec![None, Some(cycle(3, 2.0)), Some(cycle(2, 1.0))]);
+        (expr.to_md().unwrap(), sizes)
+    }
+
+    fn flat(md: &Md) -> mdl_linalg::CsrMatrix {
+        let full = Mdd::full(md.sizes().to_vec()).unwrap();
+        MdMatrix::new(md.clone(), full).unwrap().flatten()
+    }
+
+    #[test]
+    fn merge_bottom_preserves_matrix() {
+        let (md, _) = three_level_md();
+        for level in 0..3 {
+            let merged = md.merge_bottom(level).unwrap();
+            assert_eq!(merged.num_levels(), level + 1);
+            assert_eq!(flat(&md).max_abs_diff(&flat(&merged)), 0.0, "level {level}");
+        }
+    }
+
+    #[test]
+    fn merge_top_preserves_matrix() {
+        let (md, _) = three_level_md();
+        for level in 0..2 {
+            let merged = md.merge_top(level).unwrap();
+            assert_eq!(merged.num_levels(), 3 - level);
+            assert_eq!(flat(&md).max_abs_diff(&flat(&merged)), 0.0, "level {level}");
+        }
+    }
+
+    #[test]
+    fn three_level_view_preserves_matrix_and_shape() {
+        let (md, sizes) = three_level_md();
+        for level in 0..3 {
+            let view = md.three_level_view(level).unwrap();
+            assert!(view.num_levels() <= 3);
+            assert_eq!(flat(&md).max_abs_diff(&flat(&view)), 0.0, "level {level}");
+            // The focal level's local space is unchanged.
+            let focal = if level == 0 { 0 } else { 1 };
+            assert_eq!(view.sizes()[focal], sizes[level]);
+        }
+    }
+
+    #[test]
+    fn merged_view_keeps_focal_nodes_verbatim() {
+        // Merging below does not touch the focal level's nodes, so local
+        // lumping conditions are literally the same (the reduction step of
+        // the paper's proofs).
+        let (md, _) = three_level_md();
+        let view = md.merge_bottom(2).unwrap(); // no-op (last level)
+        assert_eq!(view.nodes_per_level(), md.nodes_per_level());
+        let view = md.merge_bottom(1).unwrap();
+        assert_eq!(view.nodes_per_level()[0], md.nodes_per_level()[0]);
+        assert_eq!(view.nodes_per_level()[1], md.nodes_per_level()[1]);
+    }
+
+    #[test]
+    fn out_of_range_levels_rejected() {
+        let (md, _) = three_level_md();
+        assert!(matches!(
+            md.merge_bottom(7),
+            Err(MdError::NoSuchLevel { .. })
+        ));
+        assert!(matches!(md.merge_top(2), Err(MdError::NoSuchLevel { .. })));
+        assert!(matches!(
+            md.three_level_view(9),
+            Err(MdError::NoSuchLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_bottom_of_root_gives_flat_single_level() {
+        let (md, sizes) = three_level_md();
+        let merged = md.merge_bottom(0).unwrap();
+        assert_eq!(merged.num_levels(), 1);
+        assert_eq!(merged.sizes()[0], sizes.iter().product::<usize>());
+        // Its single node IS the flat matrix.
+        let root = merged.node(merged.root());
+        let explicit = flat(&md);
+        assert_eq!(root.num_entries(), explicit.nnz());
+    }
+}

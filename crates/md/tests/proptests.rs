@@ -1,0 +1,149 @@
+//! Property-based tests for matrix-diagram algebra on random Kronecker
+//! expressions: every structural transformation must preserve the
+//! represented matrix.
+
+use proptest::prelude::*;
+
+use mdl_linalg::CsrMatrix;
+use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
+use mdl_mdd::Mdd;
+
+const SIZES: [usize; 3] = [2, 3, 2];
+
+fn factor(size: usize) -> impl Strategy<Value = SparseFactor> {
+    let entry = (0..size, 0..size, prop::sample::select(vec![0.5, 1.0, 2.0, 3.0]));
+    prop::collection::vec(entry, 0..size * 2).prop_map(move |entries| {
+        let mut f = SparseFactor::new(size);
+        for (r, c, v) in entries {
+            f.push(r, c, v);
+        }
+        f
+    })
+}
+
+fn expr() -> impl Strategy<Value = KroneckerExpr> {
+    let term = (
+        prop::sample::select(vec![0.5, 1.0, 1.5]),
+        prop::option::of(factor(SIZES[0])),
+        prop::option::of(factor(SIZES[1])),
+        prop::option::of(factor(SIZES[2])),
+    );
+    prop::collection::vec(term, 1..4).prop_map(|terms| {
+        let mut e = KroneckerExpr::new(SIZES.to_vec());
+        for (rate, a, b, c) in terms {
+            e.add_term(rate, vec![a, b, c]);
+        }
+        e
+    })
+}
+
+fn flat(md: &mdl_md::Md) -> CsrMatrix {
+    let full = Mdd::full(md.sizes().to_vec()).unwrap();
+    MdMatrix::new(md.clone(), full).unwrap().flatten()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The MD represents exactly the Kronecker sum.
+    #[test]
+    fn md_equals_kronecker(e in expr()) {
+        let md = e.to_md().unwrap();
+        prop_assert_eq!(flat(&md).max_abs_diff(&e.flatten_full()), 0.0);
+    }
+
+    /// Canonicalization never changes the matrix and never adds nodes.
+    #[test]
+    fn canonicalize_preserves_matrix(e in expr()) {
+        let md = e.to_md().unwrap();
+        let (canon, removed) = md.canonicalize();
+        prop_assert!(flat(&md).max_abs_diff(&flat(&canon)) < 1e-12);
+        prop_assert_eq!(canon.num_nodes() + removed, md.num_nodes());
+        // Idempotent.
+        let (again, removed2) = canon.canonicalize();
+        prop_assert_eq!(removed2, 0);
+        prop_assert_eq!(again.nodes_per_level(), canon.nodes_per_level());
+    }
+
+    /// Quasi-reduction never changes the matrix.
+    #[test]
+    fn quasi_reduce_preserves_matrix(e in expr()) {
+        let md = e.to_md().unwrap();
+        let (reduced, removed) = md.quasi_reduce();
+        prop_assert!(flat(&md).max_abs_diff(&flat(&reduced)) < 1e-12);
+        prop_assert_eq!(reduced.num_nodes() + removed, md.num_nodes());
+    }
+
+    /// Transposition is an involution and matches the flat transpose.
+    #[test]
+    fn transpose_round_trips(e in expr()) {
+        let md = e.to_md().unwrap();
+        let t = md.transpose();
+        prop_assert_eq!(flat(&t).max_abs_diff(&flat(&md).transpose()), 0.0);
+        prop_assert_eq!(flat(&t.transpose()).max_abs_diff(&flat(&md)), 0.0);
+    }
+
+    /// Every merge variant preserves the matrix.
+    #[test]
+    fn merges_preserve_matrix(e in expr()) {
+        let md = e.to_md().unwrap();
+        let reference = flat(&md);
+        for level in 0..3 {
+            prop_assert_eq!(
+                flat(&md.merge_bottom(level).unwrap()).max_abs_diff(&reference),
+                0.0
+            );
+            prop_assert_eq!(
+                flat(&md.three_level_view(level).unwrap()).max_abs_diff(&reference),
+                0.0
+            );
+        }
+        for level in 0..2 {
+            prop_assert_eq!(
+                flat(&md.merge_top(level).unwrap()).max_abs_diff(&reference),
+                0.0
+            );
+        }
+    }
+
+    /// Aggregation preserves the matrix and never increases term count.
+    #[test]
+    fn aggregation_sound(e in expr()) {
+        let agg = e.aggregate();
+        prop_assert!(agg.terms().len() <= e.terms().len());
+        prop_assert!(agg.flatten_full().max_abs_diff(&e.flatten_full()) < 1e-12);
+        // And the MD of the aggregated form never has more nodes.
+        let plain = e.to_md().unwrap();
+        let merged = agg.to_md().unwrap();
+        prop_assert!(merged.num_nodes() <= plain.num_nodes());
+    }
+
+    /// Restricting to a random reachable subset projects the matrix.
+    #[test]
+    fn restriction_projects(e in expr(), keep in prop::collection::vec(any::<bool>(), 12)) {
+        let tuples: Vec<Vec<u32>> = (0..12usize)
+            .filter(|&i| keep[i])
+            .map(|i| {
+                let a = (i / 6) as u32;
+                let b = ((i / 2) % 3) as u32;
+                let c = (i % 2) as u32;
+                vec![a, b, c]
+            })
+            .collect();
+        prop_assume!(!tuples.is_empty());
+        let reach = Mdd::from_tuples(SIZES.to_vec(), tuples).unwrap();
+        let md = e.to_md().unwrap();
+        let restricted = MdMatrix::new(md.clone(), reach.clone()).unwrap().flatten();
+        let full = flat(&md);
+        reach.for_each_tuple(|rt, ri| {
+            let rfull = (rt[0] as usize * 6) + (rt[1] as usize * 2) + rt[2] as usize;
+            reach.for_each_tuple(|ct, ci| {
+                let cfull = (ct[0] as usize * 6) + (ct[1] as usize * 2) + ct[2] as usize;
+                assert_eq!(
+                    restricted.get(ri as usize, ci as usize),
+                    full.get(rfull, cfull)
+                );
+            });
+        });
+    }
+}

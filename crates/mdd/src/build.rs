@@ -1,0 +1,318 @@
+use std::collections::HashMap;
+
+use crate::mdd::{Mdd, MddError, Node, NO_CHILD, TERMINAL};
+
+/// Per-level hash-consing tables used while assembling an [`Mdd`]
+/// bottom-up. Shared by construction, set operations and quotienting.
+pub(crate) struct Interner {
+    sizes: Vec<usize>,
+    /// Children rows per level (node payloads before finalization).
+    levels: Vec<Vec<Vec<u32>>>,
+    unique: Vec<HashMap<Vec<u32>, u32>>,
+}
+
+impl Interner {
+    pub(crate) fn new(sizes: Vec<usize>) -> Self {
+        let l = sizes.len();
+        Interner {
+            sizes,
+            levels: vec![Vec::new(); l],
+            unique: vec![HashMap::new(); l],
+        }
+    }
+
+    pub(crate) fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Interns a children row at `level`, returning the node index.
+    pub(crate) fn intern(&mut self, level: usize, children: Vec<u32>) -> u32 {
+        debug_assert_eq!(children.len(), self.sizes[level]);
+        if let Some(&idx) = self.unique[level].get(&children) {
+            return idx;
+        }
+        let idx = self.levels[level].len() as u32;
+        self.levels[level].push(children.clone());
+        self.unique[level].insert(children, idx);
+        idx
+    }
+
+    /// Finalizes into an [`Mdd`] rooted at `root` (a level-0 node index):
+    /// drops unreachable interned nodes, renumbers, and computes the count
+    /// and offset labelling.
+    pub(crate) fn finish(self, root: u32) -> Mdd {
+        let num_levels = self.sizes.len();
+        // Mark reachable nodes level by level.
+        let mut keep: Vec<Vec<bool>> = self
+            .levels
+            .iter()
+            .map(|nodes| vec![false; nodes.len()])
+            .collect();
+        if !self.levels[0].is_empty() {
+            keep[0][root as usize] = true;
+            for l in 0..num_levels - 1 {
+                for (i, row) in self.levels[l].iter().enumerate() {
+                    if !keep[l][i] {
+                        continue;
+                    }
+                    for &c in row {
+                        if c != NO_CHILD {
+                            keep[l + 1][c as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Renumber.
+        let remap: Vec<Vec<u32>> = keep
+            .iter()
+            .map(|k| {
+                let mut map = vec![u32::MAX; k.len()];
+                let mut next = 0;
+                for (i, &kept) in k.iter().enumerate() {
+                    if kept {
+                        map[i] = next;
+                        next += 1;
+                    }
+                }
+                map
+            })
+            .collect();
+
+        let mut levels: Vec<Vec<Node>> = Vec::with_capacity(num_levels);
+        for l in 0..num_levels {
+            let mut nodes = Vec::new();
+            for (i, row) in self.levels[l].iter().enumerate() {
+                if !keep[l][i] {
+                    continue;
+                }
+                let children: Vec<u32> = row
+                    .iter()
+                    .map(|&c| {
+                        if c == NO_CHILD || c == TERMINAL {
+                            c
+                        } else {
+                            remap[l + 1][c as usize]
+                        }
+                    })
+                    .collect();
+                nodes.push(Node {
+                    children,
+                    count: 0,
+                    offsets: Vec::new(),
+                });
+            }
+            levels.push(nodes);
+        }
+
+        // Ensure a root exists even for the empty set.
+        if levels[0].is_empty() {
+            for (l, nodes) in levels.iter_mut().enumerate() {
+                debug_assert!(nodes.is_empty());
+                if l == 0 {
+                    nodes.push(Node {
+                        children: vec![NO_CHILD; self.sizes[0]],
+                        count: 0,
+                        offsets: vec![0; self.sizes[0]],
+                    });
+                }
+            }
+        }
+
+        // Counts bottom-up, then offsets.
+        for l in (0..num_levels).rev() {
+            let (upper, lower) = if l + 1 < num_levels {
+                let (a, b) = levels.split_at_mut(l + 1);
+                (&mut a[l], Some(&b[0]))
+            } else {
+                (&mut levels[l], None)
+            };
+            for node in upper.iter_mut() {
+                let mut offsets = Vec::with_capacity(node.children.len());
+                let mut acc = 0u64;
+                for &c in &node.children {
+                    offsets.push(acc);
+                    if c == TERMINAL {
+                        acc += 1;
+                    } else if c != NO_CHILD {
+                        acc +=
+                            lower.expect("non-terminal child below last level")[c as usize].count;
+                    }
+                }
+                node.count = acc;
+                node.offsets = offsets;
+            }
+        }
+
+        let total = levels[0].first().map_or(0, |n| n.count);
+        Mdd {
+            sizes: self.sizes,
+            levels,
+            total,
+        }
+    }
+}
+
+impl Mdd {
+    /// Builds an MDD from a set of tuples over local state spaces of the
+    /// given `sizes` (duplicates are collapsed).
+    ///
+    /// # Errors
+    ///
+    /// * [`MddError::InvalidShape`] if `sizes` is empty or contains zero;
+    /// * [`MddError::WrongArity`] / [`MddError::ValueOutOfRange`] for
+    ///   malformed tuples.
+    pub fn from_tuples(sizes: Vec<usize>, mut tuples: Vec<Vec<u32>>) -> Result<Mdd, MddError> {
+        if sizes.is_empty() || sizes.iter().any(|&s| s == 0 || s > u32::MAX as usize) {
+            return Err(MddError::InvalidShape);
+        }
+        for t in &tuples {
+            if t.len() != sizes.len() {
+                return Err(MddError::WrongArity {
+                    got: t.len(),
+                    expected: sizes.len(),
+                });
+            }
+            for (l, (&v, &size)) in t.iter().zip(&sizes).enumerate() {
+                if v as usize >= size {
+                    return Err(MddError::ValueOutOfRange {
+                        level: l,
+                        value: v,
+                        size,
+                    });
+                }
+            }
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Ok(Self::from_sorted_unique_tuples(sizes, &tuples))
+    }
+
+    /// Builds the MDD of the **full product** `S₁ × … × S_L`: one node per
+    /// level with every child present. Useful as the trivial "all states
+    /// reachable" index set.
+    ///
+    /// # Errors
+    ///
+    /// [`MddError::InvalidShape`] if `sizes` is empty or contains zero.
+    pub fn full(sizes: Vec<usize>) -> Result<Mdd, MddError> {
+        if sizes.is_empty() || sizes.iter().any(|&s| s == 0 || s > u32::MAX as usize) {
+            return Err(MddError::InvalidShape);
+        }
+        let mut interner = Interner::new(sizes.clone());
+        let last = sizes.len() - 1;
+        let mut child = TERMINAL;
+        for l in (0..=last).rev() {
+            let row = vec![if l == last { TERMINAL } else { child }; sizes[l]];
+            child = interner.intern(l, row);
+        }
+        Ok(interner.finish(child))
+    }
+
+    /// Builds from tuples already sorted lexicographically with no
+    /// duplicates; components must be in range (checked only in debug
+    /// builds). This is the fast path used by state-space generators.
+    pub fn from_sorted_unique_tuples(sizes: Vec<usize>, tuples: &[Vec<u32>]) -> Mdd {
+        debug_assert!(
+            tuples.windows(2).all(|w| w[0] < w[1]),
+            "tuples sorted and unique"
+        );
+        let mut interner = Interner::new(sizes);
+        let root = if tuples.is_empty() {
+            let empty = vec![NO_CHILD; interner.sizes()[0]];
+            interner.intern(0, empty)
+        } else {
+            build_range(&mut interner, 0, tuples)
+        };
+        interner.finish(root)
+    }
+}
+
+fn build_range(interner: &mut Interner, level: usize, tuples: &[Vec<u32>]) -> u32 {
+    let size = interner.sizes()[level];
+    let last = level == interner.sizes().len() - 1;
+    let mut children = vec![NO_CHILD; size];
+    let mut start = 0;
+    while start < tuples.len() {
+        let v = tuples[start][level];
+        let mut end = start + 1;
+        while end < tuples.len() && tuples[end][level] == v {
+            end += 1;
+        }
+        children[v as usize] = if last {
+            TERMINAL
+        } else {
+            build_range(interner, level + 1, &tuples[start..end])
+        };
+        start = end;
+    }
+    interner.intern(level, children)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sorted_fast_path_matches_general() {
+        let sizes = vec![2, 3];
+        let tuples = vec![vec![0, 0], vec![0, 2], vec![1, 1]];
+        let a = Mdd::from_tuples(sizes.clone(), tuples.clone()).unwrap();
+        let b = Mdd::from_sorted_unique_tuples(sizes, &tuples);
+        assert_eq!(a.tuples(), b.tuples());
+        assert_eq!(a.nodes_per_level(), b.nodes_per_level());
+    }
+
+    #[test]
+    fn full_product_mdd() {
+        let m = Mdd::full(vec![2, 3]).unwrap();
+        assert_eq!(m.count(), 6);
+        assert_eq!(m.nodes_per_level(), vec![1, 1]);
+        for a in 0..2 {
+            for b in 0..3 {
+                assert_eq!(m.index_of(&[a, b]), Some((a * 3 + b) as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_shape_rejected() {
+        assert!(matches!(
+            Mdd::from_tuples(vec![], vec![]),
+            Err(MddError::InvalidShape)
+        ));
+        assert!(matches!(
+            Mdd::from_tuples(vec![2, 0], vec![]),
+            Err(MddError::InvalidShape)
+        ));
+    }
+
+    #[test]
+    fn counts_and_offsets_consistent() {
+        let m = Mdd::from_tuples(
+            vec![3, 2, 2],
+            vec![vec![0, 0, 1], vec![0, 1, 0], vec![2, 0, 0], vec![2, 1, 1]],
+        )
+        .unwrap();
+        assert_eq!(m.count(), 4);
+        // Every tuple's index_of must equal its rank from for_each_tuple.
+        m.for_each_tuple(|t, rank| {
+            assert_eq!(m.index_of(t), Some(rank));
+        });
+    }
+
+    #[test]
+    fn unreachable_nodes_dropped() {
+        // Construction only interns reachable nodes, but `finish` must also
+        // produce consecutive numbering: check structural integrity by
+        // round-tripping.
+        let tuples: Vec<Vec<u32>> = (0..20u32)
+            .map(|i| vec![i % 4, (i / 4) % 3, i % 2])
+            .collect();
+        let m = Mdd::from_tuples(vec![4, 3, 2], tuples.clone()).unwrap();
+        let mut expect = tuples;
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(m.tuples(), expect);
+    }
+}

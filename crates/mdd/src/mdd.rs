@@ -1,0 +1,421 @@
+use std::fmt;
+
+/// Sentinel: no child at this local state (the tuple set contains nothing
+/// below this edge).
+pub(crate) const NO_CHILD: u32 = u32::MAX;
+/// Sentinel used at the last level: the edge terminates in the accepting
+/// terminal (the tuple is in the set).
+pub(crate) const TERMINAL: u32 = u32::MAX - 1;
+
+/// Identifies a node of an [`Mdd`]: its level (0-based, `0` is the root
+/// level) and its index within that level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MddNodeId {
+    /// 0-based level (paper levels are 1-based: paper level `i` is `i − 1`
+    /// here).
+    pub level: u32,
+    /// Index of the node within its level.
+    pub index: u32,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// One slot per local state; `NO_CHILD`, `TERMINAL` (last level only)
+    /// or the index of a node at the next level.
+    pub(crate) children: Vec<u32>,
+    /// Number of tuples encoded below this node.
+    pub(crate) count: u64,
+    /// `offsets[s]` = number of tuples below this node through local states
+    /// `< s` — the indexing-function labelling.
+    pub(crate) offsets: Vec<u64>,
+}
+
+/// Errors from MDD construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MddError {
+    /// A tuple component was outside its level's local state space.
+    ValueOutOfRange {
+        /// Level of the offending component (0-based).
+        level: usize,
+        /// The component value.
+        value: u32,
+        /// The size of the level's local state space.
+        size: usize,
+    },
+    /// A tuple had the wrong number of components.
+    WrongArity {
+        /// Number of components supplied.
+        got: usize,
+        /// Number of levels of the MDD.
+        expected: usize,
+    },
+    /// `sizes` was empty or contained a zero.
+    InvalidShape,
+}
+
+impl fmt::Display for MddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MddError::ValueOutOfRange { level, value, size } => {
+                write!(
+                    f,
+                    "component {value} at level {level} exceeds local space of size {size}"
+                )
+            }
+            MddError::WrongArity { got, expected } => {
+                write!(f, "tuple has {got} components, expected {expected}")
+            }
+            MddError::InvalidShape => write!(f, "sizes must be non-empty and positive"),
+        }
+    }
+}
+
+impl std::error::Error for MddError {}
+
+/// A quasi-reduced, hash-consed multi-valued decision diagram over
+/// `S₁ × … × S_L`, with the offset labelling needed to index vectors over
+/// the encoded set.
+///
+/// Immutable after construction; see the [crate-level docs](crate) and
+/// [`Mdd::from_tuples`].
+#[derive(Debug, Clone)]
+pub struct Mdd {
+    pub(crate) sizes: Vec<usize>,
+    pub(crate) levels: Vec<Vec<Node>>,
+    pub(crate) total: u64,
+}
+
+impl Mdd {
+    /// Number of levels `L`.
+    pub fn num_levels(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Local state-space sizes `|S₁|, …, |S_L|`.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// The root node (level 0, index 0).
+    pub fn root(&self) -> MddNodeId {
+        MddNodeId { level: 0, index: 0 }
+    }
+
+    /// Total number of tuples encoded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when the encoded set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of nodes on each level.
+    pub fn nodes_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// The child of `node` at local state `local`: `None` if absent, the
+    /// next-level node otherwise. At the last level a present child is
+    /// reported as `None`ʼs complement via [`Mdd::is_present`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `local` are out of range, or if `node` is on the
+    /// last level (use [`Mdd::is_present`]).
+    pub fn child(&self, node: MddNodeId, local: usize) -> Option<MddNodeId> {
+        assert!(
+            (node.level as usize) < self.num_levels() - 1,
+            "last level has no child nodes"
+        );
+        let c = self.levels[node.level as usize][node.index as usize].children[local];
+        (c != NO_CHILD).then_some(MddNodeId {
+            level: node.level + 1,
+            index: c,
+        })
+    }
+
+    /// `true` when `node` has an outgoing edge at `local` (on the last
+    /// level this means the tuple ending here is in the set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn is_present(&self, node: MddNodeId, local: usize) -> bool {
+        self.levels[node.level as usize][node.index as usize].children[local] != NO_CHILD
+    }
+
+    /// Number of tuples below `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn count_below(&self, node: MddNodeId) -> u64 {
+        self.levels[node.level as usize][node.index as usize].count
+    }
+
+    /// Offset labelling: number of tuples below `node` reached through
+    /// local states `< local`. `index_of` is the sum of these along the
+    /// accepting path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn offset(&self, node: MddNodeId, local: usize) -> u64 {
+        self.levels[node.level as usize][node.index as usize].offsets[local]
+    }
+
+    /// Membership test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MddError::WrongArity`] or [`MddError::ValueOutOfRange`]
+    /// for malformed tuples.
+    pub fn try_contains(&self, tuple: &[u32]) -> Result<bool, MddError> {
+        if tuple.len() != self.num_levels() {
+            return Err(MddError::WrongArity {
+                got: tuple.len(),
+                expected: self.num_levels(),
+            });
+        }
+        for (l, (&v, &size)) in tuple.iter().zip(&self.sizes).enumerate() {
+            if v as usize >= size {
+                return Err(MddError::ValueOutOfRange {
+                    level: l,
+                    value: v,
+                    size,
+                });
+            }
+        }
+        let mut idx = 0u32;
+        for (l, &v) in tuple.iter().enumerate() {
+            let c = self.levels[l][idx as usize].children[v as usize];
+            if c == NO_CHILD {
+                return Ok(false);
+            }
+            idx = c;
+        }
+        Ok(true)
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed tuples; see [`Mdd::try_contains`].
+    pub fn contains(&self, tuple: &[u32]) -> bool {
+        self.try_contains(tuple).expect("well-formed tuple")
+    }
+
+    /// The lexicographic rank of `tuple` within the encoded set, or `None`
+    /// if the tuple is not in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed tuples.
+    pub fn index_of(&self, tuple: &[u32]) -> Option<u64> {
+        assert_eq!(tuple.len(), self.num_levels(), "tuple arity");
+        let mut idx = 0u32;
+        let mut offset = 0u64;
+        for (l, &v) in tuple.iter().enumerate() {
+            let node = &self.levels[l][idx as usize];
+            let c = node.children[v as usize];
+            if c == NO_CHILD {
+                return None;
+            }
+            offset += node.offsets[v as usize];
+            idx = c;
+        }
+        Some(offset)
+    }
+
+    /// The tuple with lexicographic rank `index` (inverse of
+    /// [`Mdd::index_of`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= count()`.
+    pub fn tuple_at(&self, mut index: u64) -> Vec<u32> {
+        assert!(
+            index < self.total,
+            "index {index} out of range ({} tuples)",
+            self.total
+        );
+        let mut tuple = Vec::with_capacity(self.num_levels());
+        let mut idx = 0u32;
+        for l in 0..self.num_levels() {
+            let node = &self.levels[l][idx as usize];
+            // Find the local state whose child interval contains `index`.
+            let mut chosen = None;
+            for s in 0..self.sizes[l] {
+                let c = node.children[s];
+                if c == NO_CHILD {
+                    continue;
+                }
+                let below = if c == TERMINAL {
+                    1
+                } else {
+                    self.levels[l + 1][c as usize].count
+                };
+                if index < node.offsets[s] + below {
+                    index -= node.offsets[s];
+                    chosen = Some((s as u32, c));
+                    break;
+                }
+            }
+            let (s, c) = chosen.expect("index within counted range");
+            tuple.push(s);
+            idx = if c == TERMINAL { 0 } else { c };
+        }
+        tuple
+    }
+
+    /// Visits every tuple in lexicographic order, passing `(tuple, rank)`.
+    pub fn for_each_tuple<F: FnMut(&[u32], u64)>(&self, mut f: F) {
+        let mut scratch = vec![0u32; self.num_levels()];
+        let mut rank = 0u64;
+        self.walk(0, 0, &mut scratch, &mut rank, &mut f);
+    }
+
+    fn walk<F: FnMut(&[u32], u64)>(
+        &self,
+        level: usize,
+        node: u32,
+        scratch: &mut Vec<u32>,
+        rank: &mut u64,
+        f: &mut F,
+    ) {
+        let last = level == self.num_levels() - 1;
+        for s in 0..self.sizes[level] {
+            let c = self.levels[level][node as usize].children[s];
+            if c == NO_CHILD {
+                continue;
+            }
+            scratch[level] = s as u32;
+            if last {
+                f(scratch, *rank);
+                *rank += 1;
+            } else {
+                self.walk(level + 1, c, scratch, rank, f);
+            }
+        }
+    }
+
+    /// Collects all tuples (small sets / tests only).
+    pub fn tuples(&self) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.total as usize);
+        self.for_each_tuple(|t, _| out.push(t.to_vec()));
+        out
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|n| n.children.len() * 4 + n.offsets.len() * 8 + 8)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross_product() -> Mdd {
+        Mdd::from_tuples(
+            vec![2, 2, 2],
+            (0..8)
+                .map(|i| vec![(i >> 2) & 1, (i >> 1) & 1, i & 1])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_product_is_one_node_per_level() {
+        let m = cross_product();
+        assert_eq!(m.count(), 8);
+        assert_eq!(m.nodes_per_level(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn index_of_is_lexicographic_rank() {
+        let m = cross_product();
+        for i in 0..8u64 {
+            let t = vec![((i >> 2) & 1) as u32, ((i >> 1) & 1) as u32, (i & 1) as u32];
+            assert_eq!(m.index_of(&t), Some(i));
+            assert_eq!(m.tuple_at(i), t);
+        }
+    }
+
+    #[test]
+    fn sparse_set_indexing_skips_absent() {
+        let m = Mdd::from_tuples(vec![3, 3], vec![vec![0, 1], vec![2, 0], vec![2, 2]]).unwrap();
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.index_of(&[0, 1]), Some(0));
+        assert_eq!(m.index_of(&[2, 0]), Some(1));
+        assert_eq!(m.index_of(&[2, 2]), Some(2));
+        assert_eq!(m.index_of(&[1, 1]), None);
+        assert_eq!(m.tuple_at(1), vec![2, 0]);
+    }
+
+    #[test]
+    fn for_each_tuple_visits_in_order() {
+        let m = Mdd::from_tuples(vec![2, 2], vec![vec![1, 0], vec![0, 1]]).unwrap();
+        let mut seen = Vec::new();
+        m.for_each_tuple(|t, r| seen.push((t.to_vec(), r)));
+        assert_eq!(seen, vec![(vec![0, 1], 0), (vec![1, 0], 1)]);
+    }
+
+    #[test]
+    fn empty_set_supported() {
+        let m = Mdd::from_tuples(vec![2, 2], vec![]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.count(), 0);
+        assert!(!m.contains(&[0, 0]));
+        assert_eq!(m.index_of(&[1, 1]), None);
+    }
+
+    #[test]
+    fn malformed_tuples_error() {
+        let m = Mdd::from_tuples(vec![2, 2], vec![vec![0, 0]]).unwrap();
+        assert!(matches!(
+            m.try_contains(&[0]),
+            Err(MddError::WrongArity { .. })
+        ));
+        assert!(matches!(
+            m.try_contains(&[0, 5]),
+            Err(MddError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn sharing_collapses_identical_suffix_sets() {
+        // Rows 0 and 1 admit the same column set {0, 2}: one shared node.
+        let m = Mdd::from_tuples(
+            vec![3, 3],
+            vec![vec![0, 0], vec![0, 2], vec![1, 0], vec![1, 2], vec![2, 1]],
+        )
+        .unwrap();
+        assert_eq!(m.nodes_per_level(), vec![1, 2]);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        assert!(cross_product().memory_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let m = Mdd::from_tuples(vec![2, 2], vec![vec![0, 0], vec![0, 0]]).unwrap();
+        assert_eq!(m.count(), 1);
+    }
+}

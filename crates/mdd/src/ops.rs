@@ -1,0 +1,208 @@
+use std::collections::HashMap;
+
+use crate::build::Interner;
+use crate::mdd::{Mdd, MddError, NO_CHILD, TERMINAL};
+
+/// Which binary set operation [`apply`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SetOp {
+    Union,
+    Intersection,
+    Difference,
+}
+
+impl Mdd {
+    /// Set union of two MDDs over the same local state spaces.
+    ///
+    /// # Errors
+    ///
+    /// [`MddError::InvalidShape`] if the shapes differ.
+    pub fn union(&self, other: &Mdd) -> Result<Mdd, MddError> {
+        apply(self, other, SetOp::Union)
+    }
+
+    /// Set intersection of two MDDs over the same local state spaces.
+    ///
+    /// # Errors
+    ///
+    /// [`MddError::InvalidShape`] if the shapes differ.
+    pub fn intersection(&self, other: &Mdd) -> Result<Mdd, MddError> {
+        apply(self, other, SetOp::Intersection)
+    }
+
+    /// Set difference `self \ other` of two MDDs over the same local state
+    /// spaces.
+    ///
+    /// # Errors
+    ///
+    /// [`MddError::InvalidShape`] if the shapes differ.
+    pub fn difference(&self, other: &Mdd) -> Result<Mdd, MddError> {
+        apply(self, other, SetOp::Difference)
+    }
+
+    /// `true` when every tuple of `self` is in `other`.
+    ///
+    /// # Errors
+    ///
+    /// [`MddError::InvalidShape`] if the shapes differ.
+    pub fn is_subset_of(&self, other: &Mdd) -> Result<bool, MddError> {
+        Ok(self.intersection(other)?.count() == self.count())
+    }
+}
+
+/// Structural recursion with memoization on `(left node, right node)`
+/// pairs; either side may be absent (the empty suffix set).
+fn apply(a: &Mdd, b: &Mdd, op: SetOp) -> Result<Mdd, MddError> {
+    if a.sizes != b.sizes {
+        return Err(MddError::InvalidShape);
+    }
+    let mut interner = Interner::new(a.sizes.clone());
+    let mut memo: Vec<HashMap<(Option<u32>, Option<u32>), u32>> =
+        vec![HashMap::new(); a.sizes.len()];
+    let ra = (!a.is_empty()).then_some(0u32);
+    let rb = (!b.is_empty()).then_some(0u32);
+    let root = rec(a, b, op, 0, ra, rb, &mut interner, &mut memo);
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let empty = vec![NO_CHILD; a.sizes[0]];
+            interner.intern(0, empty)
+        }
+    };
+    Ok(interner.finish(root))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    a: &Mdd,
+    b: &Mdd,
+    op: SetOp,
+    level: usize,
+    na: Option<u32>,
+    nb: Option<u32>,
+    interner: &mut Interner,
+    memo: &mut [HashMap<(Option<u32>, Option<u32>), u32>],
+) -> Option<u32> {
+    // Short-circuits: an absent side is the empty set of suffixes.
+    match (na, nb, op) {
+        (None, None, _) => return None,
+        (None, _, SetOp::Intersection | SetOp::Difference) => return None,
+        (_, None, SetOp::Intersection) => return None,
+        _ => {}
+    }
+    if let Some(&idx) = memo[level].get(&(na, nb)) {
+        return (idx != NO_CHILD).then_some(idx);
+    }
+
+    let size = a.sizes[level];
+    let last = level == a.sizes.len() - 1;
+    let mut children = vec![NO_CHILD; size];
+    let mut any = false;
+    for s in 0..size {
+        let ca = na
+            .map(|n| a.levels[level][n as usize].children[s])
+            .unwrap_or(NO_CHILD);
+        let cb = nb
+            .map(|n| b.levels[level][n as usize].children[s])
+            .unwrap_or(NO_CHILD);
+        let c = if last {
+            let pa = ca != NO_CHILD;
+            let pb = cb != NO_CHILD;
+            let present = match op {
+                SetOp::Union => pa || pb,
+                SetOp::Intersection => pa && pb,
+                SetOp::Difference => pa && !pb,
+            };
+            if present {
+                TERMINAL
+            } else {
+                NO_CHILD
+            }
+        } else {
+            let oa = (ca != NO_CHILD).then_some(ca);
+            let ob = (cb != NO_CHILD).then_some(cb);
+            rec(a, b, op, level + 1, oa, ob, interner, memo).unwrap_or(NO_CHILD)
+        };
+        if c != NO_CHILD {
+            any = true;
+        }
+        children[s] = c;
+    }
+
+    let result = if any {
+        Some(interner.intern(level, children))
+    } else {
+        None
+    };
+    memo[level].insert((na, nb), result.unwrap_or(NO_CHILD));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(tuples: Vec<Vec<u32>>) -> Mdd {
+        Mdd::from_tuples(vec![3, 3], tuples).unwrap()
+    }
+
+    #[test]
+    fn union_matches_set_semantics() {
+        let a = set(vec![vec![0, 0], vec![1, 1]]);
+        let b = set(vec![vec![1, 1], vec![2, 2]]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.tuples(), vec![vec![0, 0], vec![1, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn intersection_matches_set_semantics() {
+        let a = set(vec![vec![0, 0], vec![1, 1], vec![2, 0]]);
+        let b = set(vec![vec![1, 1], vec![2, 2], vec![2, 0]]);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.tuples(), vec![vec![1, 1], vec![2, 0]]);
+    }
+
+    #[test]
+    fn difference_matches_set_semantics() {
+        let a = set(vec![vec![0, 0], vec![1, 1]]);
+        let b = set(vec![vec![1, 1]]);
+        let d = a.difference(&b).unwrap();
+        assert_eq!(d.tuples(), vec![vec![0, 0]]);
+    }
+
+    #[test]
+    fn operations_with_empty() {
+        let a = set(vec![vec![0, 1]]);
+        let e = set(vec![]);
+        assert_eq!(a.union(&e).unwrap().tuples(), a.tuples());
+        assert!(a.intersection(&e).unwrap().is_empty());
+        assert_eq!(a.difference(&e).unwrap().tuples(), a.tuples());
+        assert!(e.difference(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = set(vec![vec![0, 0]]);
+        let b = set(vec![vec![0, 0], vec![1, 1]]);
+        assert!(a.is_subset_of(&b).unwrap());
+        assert!(!b.is_subset_of(&a).unwrap());
+        assert!(a.is_subset_of(&a).unwrap());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = set(vec![vec![0, 0]]);
+        let b = Mdd::from_tuples(vec![2, 2], vec![vec![0, 0]]).unwrap();
+        assert!(matches!(a.union(&b), Err(MddError::InvalidShape)));
+    }
+
+    #[test]
+    fn union_result_is_reduced() {
+        // Union of two sets whose rows end up with identical column sets
+        // must share suffix nodes.
+        let a = set(vec![vec![0, 0], vec![0, 1]]);
+        let b = set(vec![vec![1, 0], vec![1, 1]]);
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.nodes_per_level(), vec![1, 1]);
+    }
+}

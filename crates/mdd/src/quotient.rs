@@ -1,0 +1,246 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use mdl_partition::Partition;
+
+use crate::build::Interner;
+use crate::mdd::{Mdd, NO_CHILD, TERMINAL};
+
+/// Errors from quotienting an MDD by per-level partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuotientError {
+    /// Wrong number of partitions or a partition covering the wrong number
+    /// of local states.
+    ShapeMismatch {
+        /// The offending level (0-based), or `usize::MAX` when the number
+        /// of partitions itself is wrong.
+        level: usize,
+    },
+    /// Two states in one class of the partition have different children in
+    /// some node — the quotient set would not be well-defined.
+    Incompatible {
+        /// Level of the offending node.
+        level: usize,
+        /// Index of the offending node within the level.
+        node: usize,
+        /// Class whose members disagree.
+        class: usize,
+    },
+}
+
+impl fmt::Display for QuotientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuotientError::ShapeMismatch { level } => {
+                write!(f, "partition shape mismatch at level {level}")
+            }
+            QuotientError::Incompatible { level, node, class } => write!(
+                f,
+                "partition class {class} has members with different children in node {node} at level {level}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuotientError {}
+
+impl Mdd {
+    /// `true` when, in every node at `level`, all members of each class of
+    /// `partition` have identical children (the condition under which the
+    /// quotient MDD represents exactly the quotient of the encoded set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range or the partition covers the wrong
+    /// number of local states.
+    pub fn is_partition_compatible(&self, level: usize, partition: &Partition) -> bool {
+        assert_eq!(partition.num_states(), self.sizes[level]);
+        self.levels[level].iter().all(|node| {
+            partition.iter().all(|(_, members)| {
+                let rep = node.children[members[0]];
+                members.iter().all(|&s| node.children[s] == rep)
+            })
+        })
+    }
+
+    /// The coarsest partition of level `level`'s local states such that
+    /// equivalent states have identical children in **every** node of the
+    /// level.
+    ///
+    /// This is the structural compatibility constraint the compositional
+    /// lumping algorithm intersects into its initial partitions (see
+    /// `DESIGN.md` §4.2): it guarantees the reachable state space itself is
+    /// closed under the local equivalence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn compatibility_partition(&self, level: usize) -> Partition {
+        let size = self.sizes[level];
+        Partition::from_key_fn(size, |s| {
+            self.levels[level]
+                .iter()
+                .map(|n| n.children[s])
+                .collect::<Vec<u32>>()
+        })
+    }
+
+    /// Quotients the MDD by per-level partitions: level `l`'s local state
+    /// space becomes the classes of `partitions[l]`, and the encoded set
+    /// becomes the set of class-tuples of encoded tuples.
+    ///
+    /// # Errors
+    ///
+    /// * [`QuotientError::ShapeMismatch`] on arity or size mismatches;
+    /// * [`QuotientError::Incompatible`] when a class's members disagree on
+    ///   children in some node (checked exhaustively before building).
+    pub fn quotient(&self, partitions: &[Partition]) -> Result<Mdd, QuotientError> {
+        if partitions.len() != self.num_levels() {
+            return Err(QuotientError::ShapeMismatch { level: usize::MAX });
+        }
+        for (l, p) in partitions.iter().enumerate() {
+            if p.num_states() != self.sizes[l] {
+                return Err(QuotientError::ShapeMismatch { level: l });
+            }
+        }
+        // Exhaustive compatibility check with precise error reporting.
+        for (l, p) in partitions.iter().enumerate() {
+            for (ni, node) in self.levels[l].iter().enumerate() {
+                for (c, members) in p.iter() {
+                    let rep = node.children[members[0]];
+                    if members.iter().any(|&s| node.children[s] != rep) {
+                        return Err(QuotientError::Incompatible {
+                            level: l,
+                            node: ni,
+                            class: c,
+                        });
+                    }
+                }
+            }
+        }
+
+        let new_sizes: Vec<usize> = partitions.iter().map(Partition::num_classes).collect();
+        let mut interner = Interner::new(new_sizes);
+        let mut memo: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.num_levels()];
+        let root = self.quotient_rec(0, 0, partitions, &mut interner, &mut memo);
+        Ok(interner.finish(root))
+    }
+
+    fn quotient_rec(
+        &self,
+        level: usize,
+        node: u32,
+        partitions: &[Partition],
+        interner: &mut Interner,
+        memo: &mut [HashMap<u32, u32>],
+    ) -> u32 {
+        if let Some(&idx) = memo[level].get(&node) {
+            return idx;
+        }
+        let p = &partitions[level];
+        let last = level == self.num_levels() - 1;
+        let mut children = vec![NO_CHILD; p.num_classes()];
+        for (c, members) in p.iter() {
+            let old = self.levels[level][node as usize].children[members[0]];
+            children[c] = if old == NO_CHILD {
+                NO_CHILD
+            } else if last {
+                debug_assert_eq!(old, TERMINAL);
+                TERMINAL
+            } else {
+                self.quotient_rec(level + 1, old, partitions, interner, memo)
+            };
+        }
+        let idx = interner.intern(level, children);
+        memo[level].insert(node, idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_symmetric() -> Mdd {
+        // Level-1 states 0 and 1 are interchangeable (same column sets).
+        Mdd::from_tuples(
+            vec![3, 2],
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1], vec![2, 0]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compatibility_partition_finds_symmetry() {
+        let m = pair_symmetric();
+        let p = m.compatibility_partition(0);
+        assert_eq!(p.num_classes(), 2);
+        assert!(p.same_class(0, 1));
+        assert!(!p.same_class(0, 2));
+        assert!(m.is_partition_compatible(0, &p));
+    }
+
+    #[test]
+    fn quotient_merges_classes() {
+        let m = pair_symmetric();
+        let p0 = m.compatibility_partition(0);
+        let p1 = Partition::discrete(2);
+        let q = m.quotient(&[p0, p1]).unwrap();
+        assert_eq!(q.sizes(), &[2, 2]);
+        // Class {0,1} keeps both columns; class {2} keeps column 0.
+        assert_eq!(q.tuples(), vec![vec![0, 0], vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn incompatible_partition_rejected() {
+        let m = pair_symmetric();
+        let bad = Partition::from_classes(vec![vec![0, 2], vec![1]]);
+        let err = m.quotient(&[bad, Partition::discrete(2)]).unwrap_err();
+        assert!(matches!(err, QuotientError::Incompatible { level: 0, .. }));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let m = pair_symmetric();
+        let err = m.quotient(&[Partition::discrete(3)]).unwrap_err();
+        assert!(matches!(err, QuotientError::ShapeMismatch { .. }));
+        let err = m
+            .quotient(&[Partition::discrete(4), Partition::discrete(2)])
+            .unwrap_err();
+        assert!(matches!(err, QuotientError::ShapeMismatch { level: 0 }));
+    }
+
+    #[test]
+    fn discrete_quotient_is_identity() {
+        let m = pair_symmetric();
+        let q = m
+            .quotient(&[Partition::discrete(3), Partition::discrete(2)])
+            .unwrap();
+        assert_eq!(q.tuples(), m.tuples());
+        assert_eq!(q.count(), m.count());
+    }
+
+    #[test]
+    fn quotient_count_counts_classes_not_states() {
+        let m = pair_symmetric();
+        let p0 = m.compatibility_partition(0);
+        let q = m.quotient(&[p0, Partition::discrete(2)]).unwrap();
+        assert_eq!(q.count(), 3); // {0,1}×{0,1} collapses to 2 + {2}×{0}
+    }
+
+    #[test]
+    fn last_level_quotient() {
+        // Symmetric at the last level: columns 0 and 1 appear together
+        // everywhere.
+        let m = Mdd::from_tuples(
+            vec![2, 2],
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+        )
+        .unwrap();
+        let p1 = m.compatibility_partition(1);
+        assert_eq!(p1.num_classes(), 1);
+        let q = m.quotient(&[Partition::discrete(2), p1]).unwrap();
+        assert_eq!(q.count(), 2);
+    }
+}

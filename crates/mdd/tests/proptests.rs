@@ -1,0 +1,137 @@
+//! Property-based tests for the MDD substrate: all operations must match
+//! their naïve set semantics.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use mdl_mdd::Mdd;
+use mdl_partition::Partition;
+
+const SIZES: [usize; 3] = [3, 4, 2];
+
+fn tuples() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    let one = (0..SIZES[0] as u32, 0..SIZES[1] as u32, 0..SIZES[2] as u32)
+        .prop_map(|(a, b, c)| vec![a, b, c]);
+    prop::collection::vec(one, 0..30)
+}
+
+fn as_set(v: &[Vec<u32>]) -> BTreeSet<Vec<u32>> {
+    v.iter().cloned().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn round_trip_preserves_set(ts in tuples()) {
+        let mdd = Mdd::from_tuples(SIZES.to_vec(), ts.clone()).unwrap();
+        prop_assert_eq!(as_set(&mdd.tuples()), as_set(&ts));
+        prop_assert_eq!(mdd.count() as usize, as_set(&ts).len());
+    }
+
+    #[test]
+    fn indexing_is_a_bijection(ts in tuples()) {
+        let mdd = Mdd::from_tuples(SIZES.to_vec(), ts).unwrap();
+        let mut seen = BTreeSet::new();
+        mdd.for_each_tuple(|t, rank| {
+            assert_eq!(mdd.index_of(t), Some(rank));
+            assert_eq!(mdd.tuple_at(rank), t.to_vec());
+            seen.insert(rank);
+        });
+        prop_assert_eq!(seen.len() as u64, mdd.count());
+    }
+
+    #[test]
+    fn union_matches_set_union(a in tuples(), b in tuples()) {
+        let ma = Mdd::from_tuples(SIZES.to_vec(), a.clone()).unwrap();
+        let mb = Mdd::from_tuples(SIZES.to_vec(), b.clone()).unwrap();
+        let expected: BTreeSet<_> = as_set(&a).union(&as_set(&b)).cloned().collect();
+        prop_assert_eq!(as_set(&ma.union(&mb).unwrap().tuples()), expected);
+    }
+
+    #[test]
+    fn intersection_matches_set_intersection(a in tuples(), b in tuples()) {
+        let ma = Mdd::from_tuples(SIZES.to_vec(), a.clone()).unwrap();
+        let mb = Mdd::from_tuples(SIZES.to_vec(), b.clone()).unwrap();
+        let expected: BTreeSet<_> =
+            as_set(&a).intersection(&as_set(&b)).cloned().collect();
+        prop_assert_eq!(as_set(&ma.intersection(&mb).unwrap().tuples()), expected);
+    }
+
+    #[test]
+    fn difference_matches_set_difference(a in tuples(), b in tuples()) {
+        let ma = Mdd::from_tuples(SIZES.to_vec(), a.clone()).unwrap();
+        let mb = Mdd::from_tuples(SIZES.to_vec(), b.clone()).unwrap();
+        let expected: BTreeSet<_> =
+            as_set(&a).difference(&as_set(&b)).cloned().collect();
+        prop_assert_eq!(as_set(&ma.difference(&mb).unwrap().tuples()), expected);
+    }
+
+    #[test]
+    fn de_morgan_for_sets(a in tuples(), b in tuples()) {
+        // (A ∪ B) \ (A ∩ B) == symmetric difference, computed two ways.
+        let ma = Mdd::from_tuples(SIZES.to_vec(), a).unwrap();
+        let mb = Mdd::from_tuples(SIZES.to_vec(), b).unwrap();
+        let sym1 = ma.union(&mb).unwrap().difference(&ma.intersection(&mb).unwrap()).unwrap();
+        let sym2 = ma
+            .difference(&mb)
+            .unwrap()
+            .union(&mb.difference(&ma).unwrap())
+            .unwrap();
+        prop_assert_eq!(sym1.tuples(), sym2.tuples());
+    }
+
+    #[test]
+    fn compatibility_partition_is_always_compatible(ts in tuples()) {
+        let mdd = Mdd::from_tuples(SIZES.to_vec(), ts).unwrap();
+        for level in 0..3 {
+            let p = mdd.compatibility_partition(level);
+            prop_assert!(mdd.is_partition_compatible(level, &p));
+        }
+    }
+
+    #[test]
+    fn quotient_by_compatible_partitions_counts_class_tuples(ts in tuples()) {
+        let mdd = Mdd::from_tuples(SIZES.to_vec(), ts.clone()).unwrap();
+        let partitions: Vec<Partition> =
+            (0..3).map(|l| mdd.compatibility_partition(l)).collect();
+        let q = mdd.quotient(&partitions).unwrap();
+        // The quotient's tuples are exactly the class-images of the
+        // original tuples.
+        let expected: BTreeSet<Vec<u32>> = as_set(&ts)
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .enumerate()
+                    .map(|(l, &s)| partitions[l].class_of(s as usize) as u32)
+                    .collect()
+            })
+            .collect();
+        prop_assert_eq!(as_set(&q.tuples()), expected);
+    }
+
+    #[test]
+    fn node_sharing_never_exceeds_distinct_suffix_sets(ts in tuples()) {
+        // Quasi-reduction bound: level-l node count ≤ number of distinct
+        // suffix sets at that level.
+        let mdd = Mdd::from_tuples(SIZES.to_vec(), ts.clone()).unwrap();
+        let set = as_set(&ts);
+        for level in 1..3 {
+            let mut suffix_sets: BTreeSet<BTreeSet<Vec<u32>>> = BTreeSet::new();
+            let mut prefixes: BTreeSet<Vec<u32>> = BTreeSet::new();
+            for t in &set {
+                prefixes.insert(t[..level].to_vec());
+            }
+            for p in prefixes {
+                let suffixes: BTreeSet<Vec<u32>> = set
+                    .iter()
+                    .filter(|t| t[..level] == p[..])
+                    .map(|t| t[level..].to_vec())
+                    .collect();
+                suffix_sets.insert(suffixes);
+            }
+            prop_assert!(mdd.nodes_per_level()[level] <= suffix_sets.len().max(1));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! A fault-tolerant multiprocessor (FTMP) dependability model, after the
+//! classic UltraSAN/Möbius benchmark family.
+//!
+//! Three MD levels:
+//!
+//! 1. a shared **recovery controller** cycling through
+//!    `Normal → Recovering → Normal` (repairs only progress while the
+//!    controller is in recovery mode);
+//! 2. a bank of `p` identical **processors** (bitmask level — each up or
+//!    down), of which `p_need` must be up;
+//! 3. a bank of `m` identical **memory modules** (bitmask level), of which
+//!    `m_need` must be up.
+//!
+//! The system is operational when both quorums hold. Both banks are fully
+//! symmetric, so compositional lumping collapses each `2^k` bitmask level
+//! to `k + 1` up-counts — and because failure rates differ per class, the
+//! symmetry lives strictly *within* each level, the regime the paper's
+//! algorithm targets.
+
+use mdl_core::{Combiner, DecomposableVector, MdMrp};
+use mdl_md::SparseFactor;
+use mdl_partition::Partition;
+
+use crate::model::{ComposedModel, ModelError};
+
+/// Parameters of the FTMP model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtmpConfig {
+    /// Number of processors (level 2 has `2^processors` states).
+    pub processors: usize,
+    /// Processors required for the quorum.
+    pub processors_needed: usize,
+    /// Number of memory modules (level 3 has `2^memories` states).
+    pub memories: usize,
+    /// Memory modules required for the quorum.
+    pub memories_needed: usize,
+    /// Per-processor failure rate.
+    pub proc_failure: f64,
+    /// Per-memory failure rate.
+    pub mem_failure: f64,
+    /// Repair rate per failed unit while the controller is recovering.
+    pub repair: f64,
+    /// Controller `Normal → Recovering` rate.
+    pub recovery_start: f64,
+    /// Controller `Recovering → Normal` rate.
+    pub recovery_end: f64,
+}
+
+impl Default for FtmpConfig {
+    fn default() -> Self {
+        FtmpConfig {
+            processors: 4,
+            processors_needed: 2,
+            memories: 3,
+            memories_needed: 2,
+            proc_failure: 0.02,
+            mem_failure: 0.01,
+            repair: 1.0,
+            recovery_start: 0.5,
+            recovery_end: 2.0,
+        }
+    }
+}
+
+/// The assembled FTMP model.
+#[derive(Debug, Clone)]
+pub struct FtmpModel {
+    config: FtmpConfig,
+    composed: ComposedModel,
+}
+
+/// Bitmask fail factor: every up unit fails at unit weight.
+fn fail_factor(units: usize) -> SparseFactor {
+    let n = 1usize << units;
+    let mut f = SparseFactor::new(n);
+    for mask in 0..n {
+        for u in 0..units {
+            if mask & (1 << u) == 0 {
+                f.push(mask, mask | (1 << u), 1.0);
+            }
+        }
+    }
+    f
+}
+
+/// Bitmask repair factor: every failed unit repairs at unit weight.
+fn repair_factor(units: usize) -> SparseFactor {
+    let n = 1usize << units;
+    let mut f = SparseFactor::new(n);
+    for mask in 0..n {
+        for u in 0..units {
+            if mask & (1 << u) != 0 {
+                f.push(mask, mask & !(1 << u), 1.0);
+            }
+        }
+    }
+    f
+}
+
+impl FtmpModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (no units, quorum larger than
+    /// the bank, or banks above 16 units).
+    pub fn new(config: FtmpConfig) -> Self {
+        assert!(config.processors >= 1 && config.processors <= 16);
+        assert!(config.memories >= 1 && config.memories <= 16);
+        assert!(config.processors_needed <= config.processors);
+        assert!(config.memories_needed <= config.memories);
+
+        let np = 1usize << config.processors;
+        let nm = 1usize << config.memories;
+        let mut composed = ComposedModel::new();
+        composed.add_component("controller", 2, 0);
+        composed.add_component("processors", np, 0);
+        composed.add_component("memories", nm, 0);
+
+        // Controller cycle (local).
+        let mut start = SparseFactor::new(2);
+        start.push(0, 1, 1.0);
+        composed
+            .add_event(
+                "recovery_start",
+                config.recovery_start,
+                vec![Some(start), None, None],
+            )
+            .expect("valid event");
+        let mut end = SparseFactor::new(2);
+        end.push(1, 0, 1.0);
+        composed
+            .add_event(
+                "recovery_end",
+                config.recovery_end,
+                vec![Some(end), None, None],
+            )
+            .expect("valid event");
+
+        // Failures are mode-independent (local per bank).
+        composed
+            .add_event(
+                "proc_fail",
+                config.proc_failure,
+                vec![None, Some(fail_factor(config.processors)), None],
+            )
+            .expect("valid event");
+        composed
+            .add_event(
+                "mem_fail",
+                config.mem_failure,
+                vec![None, None, Some(fail_factor(config.memories))],
+            )
+            .expect("valid event");
+
+        // Repairs progress only in recovery mode (gated sync events).
+        let mut recovering = SparseFactor::new(2);
+        recovering.push(1, 1, 1.0);
+        composed
+            .add_event(
+                "proc_repair",
+                config.repair,
+                vec![
+                    Some(recovering.clone()),
+                    Some(repair_factor(config.processors)),
+                    None,
+                ],
+            )
+            .expect("valid event");
+        composed
+            .add_event(
+                "mem_repair",
+                config.repair,
+                vec![Some(recovering), None, Some(repair_factor(config.memories))],
+            )
+            .expect("valid event");
+
+        FtmpModel { config, composed }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FtmpConfig {
+        &self.config
+    }
+
+    /// The underlying composed model.
+    pub fn composed(&self) -> &ComposedModel {
+        &self.composed
+    }
+
+    /// Quorum indicator table for a bank of `units` with `needed` required.
+    fn quorum_values(units: usize, needed: usize) -> Vec<f64> {
+        (0..1usize << units)
+            .map(|mask| {
+                let up = units - (mask as u32).count_ones() as usize;
+                if up >= needed {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the symbolic MRP with the **system-operational** reward: 1
+    /// when both quorums hold (product of indicators).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors.
+    pub fn build_md_mrp(&self) -> Result<MdMrp, ModelError> {
+        let reward = DecomposableVector::new(
+            vec![
+                vec![1.0, 1.0],
+                Self::quorum_values(self.config.processors, self.config.processors_needed),
+                Self::quorum_values(self.config.memories, self.config.memories_needed),
+            ],
+            Combiner::Product,
+        )?;
+        self.composed.build_md_mrp(reward)
+    }
+
+    /// The up-count partitions the lumping algorithm is expected to find
+    /// for the two banks (levels 2 and 3, 0-based 1 and 2).
+    pub fn expected_bank_partitions(&self) -> (Partition, Partition) {
+        let by_count = |units: usize| {
+            Partition::from_key_fn(1usize << units, |mask| (mask as u32).count_ones())
+        };
+        (
+            by_count(self.config.processors),
+            by_count(self.config.memories),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_core::{compositional_lump, LumpKind};
+    use mdl_ctmc::{SolverOptions, TransientOptions};
+
+    #[test]
+    fn both_banks_collapse_to_counts() {
+        let model = FtmpModel::new(FtmpConfig::default());
+        let mrp = model.build_md_mrp().unwrap();
+        assert_eq!(mrp.num_states(), 2 * 16 * 8);
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        // Processors: 2^4 -> 5; memories: 2^3 -> 4; controller: 2.
+        assert_eq!(result.partitions[1].num_classes(), 5);
+        assert_eq!(result.partitions[2].num_classes(), 4);
+        assert_eq!(result.stats.lumped_states, 2 * 5 * 4);
+
+        let (pp, pm) = model.expected_bank_partitions();
+        let mut pp = pp;
+        let mut pm = pm;
+        pp.canonicalize();
+        pm.canonicalize();
+        assert_eq!(result.partitions[1], pp);
+        assert_eq!(result.partitions[2], pm);
+    }
+
+    #[test]
+    fn quorum_reward_respects_symmetry() {
+        // The quorum indicator depends only on up-counts, so it never
+        // blocks the bank lumping — but a per-unit reward would.
+        let model = FtmpModel::new(FtmpConfig {
+            processors: 3,
+            processors_needed: 2,
+            ..FtmpConfig::default()
+        });
+        let mrp = model.build_md_mrp().unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        assert_eq!(result.partitions[1].num_classes(), 4);
+    }
+
+    #[test]
+    fn availability_measures_agree_after_lumping() {
+        let model = FtmpModel::new(FtmpConfig::default());
+        let mrp = model.build_md_mrp().unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let opts = SolverOptions::default();
+        let full = mrp.expected_stationary_reward(&opts).unwrap();
+        let lumped = result.mrp.expected_stationary_reward(&opts).unwrap();
+        assert!((full - lumped).abs() < 1e-7, "{full} vs {lumped}");
+        assert!(full > 0.8 && full < 1.0, "operational probability {full}");
+    }
+
+    #[test]
+    fn mission_reliability_shrinks_with_horizon() {
+        // Expected operational time over [0, t] divided by t decreases
+        // with t (failures accumulate faster than repairs early on).
+        let model = FtmpModel::new(FtmpConfig::default());
+        let mrp = model.build_md_mrp().unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let opts = TransientOptions::default();
+        let short = result.mrp.expected_accumulated_reward(1.0, &opts).unwrap() / 1.0;
+        let long = result.mrp.expected_accumulated_reward(50.0, &opts).unwrap() / 50.0;
+        assert!(short > long, "{short} vs {long}");
+    }
+
+    #[test]
+    fn repairs_gated_on_recovery_mode() {
+        // In Normal mode (controller state 0) there must be no repair
+        // transition: check the flat matrix.
+        let model = FtmpModel::new(FtmpConfig {
+            processors: 2,
+            processors_needed: 1,
+            memories: 1,
+            memories_needed: 1,
+            ..FtmpConfig::default()
+        });
+        let mrp = model.build_md_mrp().unwrap();
+        let flat = mrp.matrix().flatten();
+        let reach = mrp.matrix().reach();
+        reach.for_each_tuple(|t, idx| {
+            if t[0] != 0 {
+                return; // only check Normal mode
+            }
+            reach.for_each_tuple(|t2, idx2| {
+                if t2[0] == 0 && (t2[1] < t[1] || t2[2] < t[2]) {
+                    // A strict decrease of a failure mask within Normal
+                    // mode would be a repair.
+                    let fewer_failed = (t2[1].count_ones() < t[1].count_ones())
+                        || (t2[2].count_ones() < t[2].count_ones());
+                    if fewer_failed {
+                        assert_eq!(
+                            flat.get(idx as usize, idx2 as usize),
+                            0.0,
+                            "repair in Normal mode: {t:?} -> {t2:?}"
+                        );
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,246 @@
+//! A deep-MD stress model: a controller plus `G` identical machine banks,
+//! one MD level per bank (`G + 1` levels in total).
+//!
+//! Each bank is a bitmask of `M` machines (failures mode-dependent, shared
+//! repair facility per bank), so every bank level carries the full `2^M →
+//! M + 1` within-level symmetry. The banks themselves are also mutually
+//! interchangeable — a *cross-level* symmetry that level-local lumping
+//! cannot exploit (the complementary model-level technique of the paper's
+//! reference \[10\] would), which makes this model a precise probe of
+//! where the paper's approach does and does not help:
+//!
+//! * unlumped states: `2 · 2^(G·M)`;
+//! * compositionally lumped: `2 · (M+1)^G` (each level collapses);
+//! * true optimum (with bank interchange): `2 · C(M+G, G)`-ish, smaller
+//!   still.
+//!
+//! It is also the only model in the workspace with more than three MD
+//! levels, exercising the level-generic paths of the whole stack.
+
+use mdl_core::{Combiner, DecomposableVector, MdMrp};
+use mdl_md::SparseFactor;
+
+use crate::model::{ComposedModel, ModelError};
+
+/// Parameters of the multi-bank model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiBankConfig {
+    /// Number of banks `G` (one MD level each).
+    pub banks: usize,
+    /// Machines per bank `M` (each bank level has `2^M` states).
+    pub machines_per_bank: usize,
+    /// Per-machine failure rate in normal mode.
+    pub failure: f64,
+    /// Repair rate per bank (uniform over the bank's failed machines).
+    pub repair: f64,
+    /// Controller mode-switch rate.
+    pub mode_switch: f64,
+    /// Failure multiplier in degraded mode.
+    pub degraded_factor: f64,
+}
+
+impl Default for MultiBankConfig {
+    fn default() -> Self {
+        MultiBankConfig {
+            banks: 3,
+            machines_per_bank: 3,
+            failure: 0.05,
+            repair: 0.8,
+            mode_switch: 0.1,
+            degraded_factor: 3.0,
+        }
+    }
+}
+
+/// The assembled multi-bank model.
+#[derive(Debug, Clone)]
+pub struct MultiBankModel {
+    config: MultiBankConfig,
+    composed: ComposedModel,
+}
+
+impl MultiBankModel {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (`banks == 0`,
+    /// `machines_per_bank == 0`, or banks of more than 12 machines).
+    pub fn new(config: MultiBankConfig) -> Self {
+        assert!(config.banks >= 1, "need at least one bank");
+        assert!(
+            (1..=12).contains(&config.machines_per_bank),
+            "bank levels are 2^M states"
+        );
+        let m = config.machines_per_bank;
+        let n = 1usize << m;
+        let levels = config.banks + 1;
+
+        let mut composed = ComposedModel::new();
+        composed.add_component("controller", 2, 0);
+        for g in 0..config.banks {
+            composed.add_component(format!("bank{g}"), n, 0);
+        }
+
+        let mut toggle = SparseFactor::new(2);
+        toggle.push(0, 1, 1.0);
+        toggle.push(1, 0, 1.0);
+        let mut factors: Vec<Option<SparseFactor>> = vec![None; levels];
+        factors[0] = Some(toggle);
+        composed
+            .add_event("mode_switch", config.mode_switch, factors)
+            .expect("valid event");
+
+        let mut fail = SparseFactor::new(n);
+        let mut repair = SparseFactor::new(n);
+        for mask in 0..n {
+            let failed = mask.count_ones() as f64;
+            for u in 0..m {
+                if mask & (1 << u) == 0 {
+                    fail.push(mask, mask | (1 << u), 1.0);
+                } else {
+                    repair.push(mask, mask & !(1 << u), 1.0 / failed);
+                }
+            }
+        }
+        let mut normal_gate = SparseFactor::new(2);
+        normal_gate.push(0, 0, 1.0);
+        let mut degraded_gate = SparseFactor::new(2);
+        degraded_gate.push(1, 1, 1.0);
+
+        for g in 0..config.banks {
+            let level = g + 1;
+            let mut f = vec![None; levels];
+            f[0] = Some(normal_gate.clone());
+            f[level] = Some(fail.clone());
+            composed
+                .add_event(format!("bank{g}_fail_normal"), config.failure, f)
+                .expect("valid event");
+            let mut f = vec![None; levels];
+            f[0] = Some(degraded_gate.clone());
+            f[level] = Some(fail.clone());
+            composed
+                .add_event(
+                    format!("bank{g}_fail_degraded"),
+                    config.failure * config.degraded_factor,
+                    f,
+                )
+                .expect("valid event");
+            let mut f = vec![None; levels];
+            f[level] = Some(repair.clone());
+            composed
+                .add_event(format!("bank{g}_repair"), config.repair, f)
+                .expect("valid event");
+        }
+
+        MultiBankModel { config, composed }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MultiBankConfig {
+        &self.config
+    }
+
+    /// The underlying composed model.
+    pub fn composed(&self) -> &ComposedModel {
+        &self.composed
+    }
+
+    /// Builds the symbolic MRP; the reward is the total number of up
+    /// machines across all banks (sum-combined).
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors.
+    pub fn build_md_mrp(&self) -> Result<MdMrp, ModelError> {
+        let m = self.config.machines_per_bank;
+        let n = 1usize << m;
+        let up_counts: Vec<f64> = (0..n)
+            .map(|mask| (m as u32 - (mask as u32).count_ones()) as f64)
+            .collect();
+        let mut tables = vec![vec![0.0, 0.0]];
+        for _ in 0..self.config.banks {
+            tables.push(up_counts.clone());
+        }
+        let reward = DecomposableVector::new(tables, Combiner::Sum)?;
+        self.composed.build_md_mrp(reward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_core::{compositional_lump, verify, LumpKind};
+    use mdl_linalg::Tolerance;
+
+    #[test]
+    fn five_level_md_lumps_every_bank() {
+        let model = MultiBankModel::new(MultiBankConfig {
+            banks: 4,
+            machines_per_bank: 3,
+            ..MultiBankConfig::default()
+        });
+        let mrp = model.build_md_mrp().unwrap();
+        assert_eq!(mrp.matrix().md().num_levels(), 5);
+        assert_eq!(mrp.num_states(), 2 * 8usize.pow(4));
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        for level in 1..=4 {
+            assert_eq!(result.partitions[level].num_classes(), 4, "level {level}");
+        }
+        assert_eq!(result.stats.lumped_states, 2 * 4u64.pow(4));
+        verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+    }
+
+    #[test]
+    fn cross_level_bank_symmetry_is_left_on_the_table() {
+        // The paper's documented trade-off, measured: flat optimal lumping
+        // additionally merges states that permute the identical banks.
+        use mdl_statelump::{ordinary_partition, LumpOptions};
+        let model = MultiBankModel::new(MultiBankConfig {
+            banks: 2,
+            machines_per_bank: 2,
+            ..MultiBankConfig::default()
+        });
+        let mrp = model.build_md_mrp().unwrap();
+        let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        assert_eq!(comp.stats.lumped_states, 2 * 9);
+        let optimal = ordinary_partition(
+            &mrp.matrix().flatten(),
+            &mrp.reward_vector(),
+            &LumpOptions::default(),
+        );
+        // Bank interchange: (a, b) ≈ (b, a) merges the off-diagonal count
+        // pairs: 2 · (3·3 − 3)/2 = 6 fewer classes.
+        assert_eq!(optimal.num_classes(), 2 * 6);
+    }
+
+    #[test]
+    fn measures_preserved_on_deep_lump() {
+        use mdl_ctmc::SolverOptions;
+        let model = MultiBankModel::new(MultiBankConfig::default());
+        let mrp = model.build_md_mrp().unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let full = mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        let lumped = result
+            .mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        assert!((full - lumped).abs() < 1e-7, "{full} vs {lumped}");
+        let max = (model.config().banks * model.config().machines_per_bank) as f64;
+        assert!(full > 0.0 && full < max);
+    }
+
+    #[test]
+    fn single_bank_reduces_to_shared_repair_shape() {
+        let model = MultiBankModel::new(MultiBankConfig {
+            banks: 1,
+            machines_per_bank: 5,
+            ..MultiBankConfig::default()
+        });
+        let mrp = model.build_md_mrp().unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        assert_eq!(result.stats.lumped_states, 2 * 6);
+    }
+}

@@ -1,0 +1,236 @@
+//! Random Kronecker models with **planted** per-level symmetries.
+//!
+//! The property-based tests and several benches need families of models
+//! where the correct answer is known: a random quotient chain is generated
+//! per level, then each quotient state is "unfolded" into a class of
+//! duplicate states in a way that provably keeps the planted partition
+//! (ordinarily or exactly) lumpable. The compositional lumping algorithm
+//! must then find a partition **at least as coarse** as the planted one.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mdl_core::LumpKind;
+use mdl_md::{KroneckerExpr, SparseFactor};
+use mdl_partition::Partition;
+
+/// Shape of one level of a planted-symmetry model.
+#[derive(Debug, Clone)]
+pub struct LevelSpec {
+    /// Sizes of the planted classes; the level has `Σ duplication` local
+    /// states grouped into `duplication.len()` classes.
+    pub duplication: Vec<usize>,
+}
+
+impl LevelSpec {
+    /// A level of `classes` classes, each duplicated `copies` times.
+    pub fn uniform(classes: usize, copies: usize) -> Self {
+        LevelSpec {
+            duplication: vec![copies; classes],
+        }
+    }
+
+    /// Number of unfolded local states.
+    pub fn states(&self) -> usize {
+        self.duplication.iter().sum()
+    }
+
+    /// The planted partition over the unfolded local states.
+    pub fn partition(&self) -> Partition {
+        let mut classes = Vec::with_capacity(self.duplication.len());
+        let mut next = 0;
+        for &d in &self.duplication {
+            classes.push((next..next + d).collect());
+            next += d;
+        }
+        Partition::from_classes(classes)
+    }
+}
+
+/// A generated model together with its planted per-level partitions.
+#[derive(Debug, Clone)]
+pub struct PlantedModel {
+    /// The Kronecker expression over the unfolded state spaces.
+    pub expr: KroneckerExpr,
+    /// The planted (guaranteed-lumpable) partition per level.
+    pub planted: Vec<Partition>,
+}
+
+/// Generates a random Kronecker model whose per-level state spaces carry a
+/// planted symmetry that is **ordinarily** (`LumpKind::Ordinary`) or
+/// **exactly** (`LumpKind::Exact`) lumpable by construction.
+///
+/// Each level gets `local_terms` purely local factors, and `sync_terms`
+/// factors synchronized across all levels; every factor is the unfolding
+/// of a random quotient matrix with class mass split uniformly over the
+/// target class (ordinary) or source class (exact), which preserves the
+/// respective aggregate-row/column condition.
+///
+/// # Panics
+///
+/// Panics if `specs` is empty or a spec has no classes.
+pub fn planted_model(
+    seed: u64,
+    specs: &[LevelSpec],
+    kind: LumpKind,
+    local_terms: usize,
+    sync_terms: usize,
+) -> PlantedModel {
+    assert!(!specs.is_empty(), "need at least one level");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes: Vec<usize> = specs.iter().map(LevelSpec::states).collect();
+    let planted: Vec<Partition> = specs.iter().map(LevelSpec::partition).collect();
+    let mut expr = KroneckerExpr::new(sizes.clone());
+
+    for (l, spec) in specs.iter().enumerate() {
+        for _ in 0..local_terms {
+            let f = unfolded_factor(&mut rng, spec, kind);
+            let mut factors: Vec<Option<SparseFactor>> = vec![None; specs.len()];
+            factors[l] = Some(f);
+            expr.add_term(rng.gen_range(0.5..2.0), factors);
+        }
+    }
+    for _ in 0..sync_terms {
+        let factors: Vec<Option<SparseFactor>> = specs
+            .iter()
+            .map(|spec| Some(unfolded_factor(&mut rng, spec, kind)))
+            .collect();
+        expr.add_term(rng.gen_range(0.5..2.0), factors);
+    }
+
+    PlantedModel { expr, planted }
+}
+
+/// Random quotient matrix over the classes, unfolded to the full local
+/// state space so that the planted partition stays lumpable.
+fn unfolded_factor(rng: &mut StdRng, spec: &LevelSpec, kind: LumpKind) -> SparseFactor {
+    let k = spec.duplication.len();
+    assert!(k > 0, "level must have classes");
+    let n = spec.states();
+    // Class start offsets.
+    let mut start = Vec::with_capacity(k);
+    let mut acc = 0;
+    for &d in &spec.duplication {
+        start.push(acc);
+        acc += d;
+    }
+
+    // Random sparse quotient: each class pair present with probability ~0.4.
+    let mut f = SparseFactor::new(n);
+    for ci in 0..k {
+        for cj in 0..k {
+            if rng.gen_bool(0.6) {
+                continue;
+            }
+            let w: f64 = rng.gen_range(0.25..4.0);
+            let (di, dj) = (spec.duplication[ci], spec.duplication[cj]);
+            // Unfold W_q(ci, cj): every source state in ci sends total w to
+            // class cj. Ordinary lumpability needs constant row sums into
+            // classes: split w uniformly over the targets. Exact needs
+            // constant column sums from classes: split over the sources.
+            match kind {
+                LumpKind::Ordinary => {
+                    let per_target = w / dj as f64;
+                    for si in 0..di {
+                        for sj in 0..dj {
+                            f.push(start[ci] + si, start[cj] + sj, per_target);
+                        }
+                    }
+                }
+                LumpKind::Exact => {
+                    let per_source = w / di as f64;
+                    for si in 0..di {
+                        for sj in 0..dj {
+                            f.push(start[ci] + si, start[cj] + sj, per_source);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_core::{compositional_lump, verify, Combiner, DecomposableVector, LumpKind, MdMrp};
+    use mdl_linalg::Tolerance;
+    use mdl_md::MdMatrix;
+    use mdl_mdd::Mdd;
+
+    fn build_mrp(pm: &PlantedModel, kind: LumpKind) -> MdMrp {
+        let sizes = pm.expr.sizes().to_vec();
+        let md = pm.expr.to_md().unwrap();
+        let reach = Mdd::full(sizes.clone()).unwrap();
+        let matrix = MdMatrix::new(md, reach).unwrap();
+        let reward = DecomposableVector::constant(&sizes, 1.0).unwrap();
+        let count: usize = sizes.iter().product();
+        let initial = DecomposableVector::uniform(&sizes, count as u64).unwrap();
+        let _ = kind;
+        let _ = Combiner::Product;
+        MdMrp::new(matrix, reward, initial).unwrap()
+    }
+
+    #[test]
+    fn ordinary_lump_finds_planted_symmetry() {
+        for seed in 0..5 {
+            let pm = planted_model(
+                seed,
+                &[LevelSpec::uniform(2, 2), LevelSpec::uniform(3, 2)],
+                LumpKind::Ordinary,
+                2,
+                1,
+            );
+            let mrp = build_mrp(&pm, LumpKind::Ordinary);
+            let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+            for (l, planted) in pm.planted.iter().enumerate() {
+                assert!(
+                    planted.is_refinement_of(&result.partitions[l]),
+                    "seed {seed}: found partition must be at least as coarse at level {l}"
+                );
+            }
+            verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn exact_lump_finds_planted_symmetry() {
+        for seed in 0..5 {
+            let pm = planted_model(
+                seed,
+                &[LevelSpec::uniform(2, 3), LevelSpec::uniform(2, 2)],
+                LumpKind::Exact,
+                2,
+                1,
+            );
+            let mrp = build_mrp(&pm, LumpKind::Exact);
+            let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+            for (l, planted) in pm.planted.iter().enumerate() {
+                assert!(
+                    planted.is_refinement_of(&result.partitions[l]),
+                    "seed {seed}: level {l}"
+                );
+            }
+            verify::verify_exact(&mrp, &result, Tolerance::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn non_uniform_duplication_supported() {
+        let spec = LevelSpec {
+            duplication: vec![1, 3, 2],
+        };
+        assert_eq!(spec.states(), 6);
+        let p = spec.partition();
+        assert_eq!(p.num_classes(), 3);
+        assert_eq!(p.members(1), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = planted_model(7, &[LevelSpec::uniform(2, 2)], LumpKind::Ordinary, 2, 0);
+        let b = planted_model(7, &[LevelSpec::uniform(2, 2)], LumpKind::Ordinary, 2, 0);
+        assert_eq!(a.expr, b.expr);
+    }
+}

@@ -1,0 +1,384 @@
+//! Discrete-event simulation of composed models — an *independent*
+//! validation axis for the numerical stack: the simulator never touches
+//! matrix diagrams, MDDs or solvers, only the model's events, so agreement
+//! between simulated and numerically computed measures cross-checks the
+//! entire symbolic pipeline.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mdl_core::DecomposableVector;
+
+use crate::model::ComposedModel;
+
+/// Options for a simulation experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// RNG seed (experiments are reproducible).
+    pub seed: u64,
+    /// Number of independent replications (transient/accumulated) or
+    /// batches (stationary).
+    pub replications: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            seed: 0x5EED,
+            replications: 1000,
+        }
+    }
+}
+
+/// A Monte Carlo estimate with its standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEstimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Replications used.
+    pub replications: usize,
+}
+
+impl SimEstimate {
+    fn from_samples(samples: &[f64]) -> SimEstimate {
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n.max(2) - 1) as f64;
+        SimEstimate {
+            mean,
+            std_error: (var / n as f64).sqrt(),
+            replications: n,
+        }
+    }
+}
+
+impl ComposedModel {
+    /// All enabled transitions of `state` as `(successor, rate)` pairs —
+    /// the semantics the simulator executes (also handy for debugging
+    /// models).
+    pub fn transitions(&self, state: &[u32]) -> Vec<(Vec<u32>, f64)> {
+        assert_eq!(state.len(), self.sizes().len(), "state arity");
+        let mut out = Vec::new();
+        for event in self.events() {
+            // Per-level (target, weight) options.
+            let mut options: Vec<Vec<(u32, f64)>> = Vec::with_capacity(state.len());
+            let mut enabled = true;
+            for (l, factor) in event.factors.iter().enumerate() {
+                match factor {
+                    None => options.push(vec![(state[l], 1.0)]),
+                    Some(f) => {
+                        let row: Vec<(u32, f64)> = f
+                            .iter()
+                            .filter(|&(r, _, v)| r == state[l] && v != 0.0)
+                            .map(|(_, c, v)| (c, v))
+                            .collect();
+                        if row.is_empty() {
+                            enabled = false;
+                            break;
+                        }
+                        options.push(row);
+                    }
+                }
+            }
+            if !enabled {
+                continue;
+            }
+            // Cross product.
+            let mut idx = vec![0usize; options.len()];
+            'outer: loop {
+                let mut succ = Vec::with_capacity(options.len());
+                let mut weight = event.rate;
+                for (l, &i) in idx.iter().enumerate() {
+                    let (target, w) = options[l][i];
+                    succ.push(target);
+                    weight *= w;
+                }
+                if weight != 0.0 {
+                    out.push((succ, weight));
+                }
+                for l in (0..options.len()).rev() {
+                    idx[l] += 1;
+                    if idx[l] < options[l].len() {
+                        continue 'outer;
+                    }
+                    idx[l] = 0;
+                }
+                break;
+            }
+        }
+        out
+    }
+
+    /// Simulates one trajectory from the initial state up to `horizon`,
+    /// returning `(reward at horizon, reward integrated over [0, horizon])`.
+    fn simulate_one(
+        &self,
+        reward: &DecomposableVector,
+        horizon: f64,
+        rng: &mut StdRng,
+    ) -> (f64, f64) {
+        let mut state = self.initial_state();
+        let mut time = 0.0;
+        let mut integral = 0.0;
+        loop {
+            let r = reward.evaluate(&state);
+            let transitions = self.transitions(&state);
+            let total: f64 = transitions.iter().map(|&(_, w)| w).sum();
+            if total <= 0.0 {
+                // Absorbing: reward accrues to the horizon.
+                integral += r * (horizon - time);
+                return (r, integral);
+            }
+            let sojourn = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / total;
+            if time + sojourn >= horizon {
+                integral += r * (horizon - time);
+                return (r, integral);
+            }
+            integral += r * sojourn;
+            time += sojourn;
+            // Choose the next state proportionally to rate.
+            let mut pick = rng.gen::<f64>() * total;
+            let mut chosen = transitions.len() - 1;
+            for (i, (_, w)) in transitions.iter().enumerate() {
+                pick -= w;
+                if pick <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            state = transitions[chosen].0.clone();
+        }
+    }
+
+    /// Monte Carlo estimate of the expected **instantaneous** reward at
+    /// time `horizon` (compare with transient uniformization).
+    pub fn simulate_transient_reward(
+        &self,
+        reward: &DecomposableVector,
+        horizon: f64,
+        options: &SimOptions,
+    ) -> SimEstimate {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let samples: Vec<f64> = (0..options.replications.max(1))
+            .map(|_| self.simulate_one(reward, horizon, &mut rng).0)
+            .collect();
+        SimEstimate::from_samples(&samples)
+    }
+
+    /// Monte Carlo estimate of the expected **accumulated** reward over
+    /// `[0, horizon]` (compare with `mdl_ctmc::accumulated_reward`).
+    pub fn simulate_accumulated_reward(
+        &self,
+        reward: &DecomposableVector,
+        horizon: f64,
+        options: &SimOptions,
+    ) -> SimEstimate {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let samples: Vec<f64> = (0..options.replications.max(1))
+            .map(|_| self.simulate_one(reward, horizon, &mut rng).1)
+            .collect();
+        SimEstimate::from_samples(&samples)
+    }
+
+    /// Long-run time-average reward from one long trajectory split into
+    /// batches (after discarding the first batch as warm-up) — compare
+    /// with the stationary solvers.
+    pub fn simulate_stationary_reward(
+        &self,
+        reward: &DecomposableVector,
+        batch_length: f64,
+        options: &SimOptions,
+    ) -> SimEstimate {
+        let mut rng = StdRng::seed_from_u64(options.seed);
+        let batches = options.replications.max(2);
+        let mut state = self.initial_state();
+        let mut samples = Vec::with_capacity(batches);
+        for batch in 0..=batches {
+            let mut integral = 0.0;
+            let mut time = 0.0;
+            while time < batch_length {
+                let r = reward.evaluate(&state);
+                let transitions = self.transitions(&state);
+                let total: f64 = transitions.iter().map(|&(_, w)| w).sum();
+                if total <= 0.0 {
+                    integral += r * (batch_length - time);
+                    break;
+                }
+                let sojourn = (-rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / total)
+                    .min(batch_length - time);
+                integral += r * sojourn;
+                time += sojourn;
+                if time < batch_length {
+                    let mut pick = rng.gen::<f64>() * total;
+                    let mut chosen = transitions.len() - 1;
+                    for (i, (_, w)) in transitions.iter().enumerate() {
+                        pick -= w;
+                        if pick <= 0.0 {
+                            chosen = i;
+                            break;
+                        }
+                    }
+                    state = transitions[chosen].0.clone();
+                }
+            }
+            if batch > 0 {
+                samples.push(integral / batch_length); // batch 0 = warm-up
+            }
+        }
+        SimEstimate::from_samples(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_core::Combiner;
+    use mdl_ctmc::{SolverOptions, TransientOptions};
+    use mdl_md::SparseFactor;
+
+    /// Two-state chain 0 -> 1 at rate 2, 1 -> 0 at rate 1.
+    fn two_state() -> (ComposedModel, DecomposableVector) {
+        let mut m = ComposedModel::new();
+        m.add_component("c", 2, 0);
+        let mut up = SparseFactor::new(2);
+        up.push(0, 1, 1.0);
+        let mut down = SparseFactor::new(2);
+        down.push(1, 0, 1.0);
+        m.add_event("up", 2.0, vec![Some(up)]).unwrap();
+        m.add_event("down", 1.0, vec![Some(down)]).unwrap();
+        let reward = DecomposableVector::new(vec![vec![0.0, 1.0]], Combiner::Sum).unwrap();
+        (m, reward)
+    }
+
+    #[test]
+    fn transitions_enumerate_competing_events() {
+        let (m, _) = two_state();
+        let t0 = m.transitions(&[0]);
+        assert_eq!(t0, vec![(vec![1], 2.0)]);
+        let t1 = m.transitions(&[1]);
+        assert_eq!(t1, vec![(vec![0], 1.0)]);
+    }
+
+    #[test]
+    fn transient_estimate_matches_analytic() {
+        let (m, reward) = two_state();
+        let t = 0.8;
+        // p₁(t) = 2/3 (1 − e^{−3t})
+        let expected = 2.0 / 3.0 * (1.0 - (-3.0f64 * t).exp());
+        let est = m.simulate_transient_reward(
+            &reward,
+            t,
+            &SimOptions {
+                seed: 42,
+                replications: 4000,
+            },
+        );
+        assert!(
+            (est.mean - expected).abs() < 4.0 * est.std_error + 0.01,
+            "{} vs {expected} (se {})",
+            est.mean,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn accumulated_estimate_matches_numerical() {
+        let (m, reward) = two_state();
+        let t = 2.0;
+        let mrp = m.build_md_mrp(reward.clone()).unwrap();
+        let numerical = mrp
+            .expected_accumulated_reward(t, &TransientOptions::default())
+            .unwrap();
+        let est = m.simulate_accumulated_reward(
+            &reward,
+            t,
+            &SimOptions {
+                seed: 7,
+                replications: 4000,
+            },
+        );
+        assert!(
+            (est.mean - numerical).abs() < 4.0 * est.std_error + 0.02,
+            "{} vs {numerical} (se {})",
+            est.mean,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn stationary_estimate_matches_solver() {
+        let (m, reward) = two_state();
+        let mrp = m.build_md_mrp(reward.clone()).unwrap();
+        let numerical = mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        let est = m.simulate_stationary_reward(
+            &reward,
+            50.0,
+            &SimOptions {
+                seed: 3,
+                replications: 40,
+            },
+        );
+        assert!(
+            (est.mean - numerical).abs() < 4.0 * est.std_error + 0.02,
+            "{} vs {numerical} (se {})",
+            est.mean,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn simulation_validates_lumped_tandem_availability() {
+        use crate::tandem::{TandemConfig, TandemModel, TandemReward};
+        use mdl_core::{compositional_lump, LumpKind};
+        let model = TandemModel::new(TandemConfig {
+            jobs: 1,
+            ..TandemConfig::default()
+        });
+        let mrp = model.build_md_mrp().unwrap();
+        let lumped = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let numerical = lumped
+            .mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        let reward = model.reward(TandemReward::Availability).unwrap();
+        let est = model.composed().simulate_stationary_reward(
+            &reward,
+            200.0,
+            &SimOptions {
+                seed: 11,
+                replications: 30,
+            },
+        );
+        assert!(
+            (est.mean - numerical).abs() < 4.0 * est.std_error + 0.02,
+            "simulated {} vs numerical {numerical} (se {})",
+            est.mean,
+            est.std_error
+        );
+    }
+
+    #[test]
+    fn absorbing_states_handled() {
+        let mut m = ComposedModel::new();
+        m.add_component("c", 2, 0);
+        let mut go = SparseFactor::new(2);
+        go.push(0, 1, 1.0);
+        m.add_event("go", 5.0, vec![Some(go)]).unwrap();
+        let reward = DecomposableVector::new(vec![vec![0.0, 1.0]], Combiner::Sum).unwrap();
+        let est = m.simulate_transient_reward(
+            &reward,
+            10.0,
+            &SimOptions {
+                seed: 1,
+                replications: 100,
+            },
+        );
+        // After t = 10 the chain is almost surely absorbed in state 1.
+        assert!(est.mean > 0.99);
+    }
+}

@@ -1,0 +1,550 @@
+//! Level 2 of the tandem model: the hypercube multiprocessor subsystem
+//! (Fig. 5 of the paper).
+//!
+//! `2^dim` cube-connected servers, each with a job queue. Jobs enter
+//! through a dispatcher that sends them to server `A` (vertex `0…0`) or
+//! `A′` (the antipodal vertex `1…1`), favouring the one with fewer queued
+//! jobs. A load-balancing rule moves a job from any server holding more
+//! than one job above a neighbour towards lighter neighbours. Servers fail
+//! (up to `max_down` concurrently — the system is unavailable at two down,
+//! and further failures are not modelled) and are repaired by a single
+//! facility choosing uniformly among the failed; a failed server drains
+//! its queue one job at a time to a random up neighbour.
+//!
+//! The `A`/`A′` pair and the remaining `2^dim − 2` servers are two orbits
+//! of the cube's automorphism group fixing `{A, A′}` — the symmetry the
+//! compositional lumping algorithm is expected to discover at this level
+//! (Section 5 of the paper).
+
+use std::collections::HashMap;
+
+use mdl_md::SparseFactor;
+
+/// Structural and rate parameters of the hypercube subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HypercubeConfig {
+    /// Cube dimension; `2^dim` servers (the paper uses 3 → 8 servers).
+    pub dim: usize,
+    /// Total jobs in the closed system (queue capacity bound).
+    pub jobs: usize,
+    /// Maximum concurrently failed servers.
+    pub max_down: usize,
+    /// Per-server failure rate.
+    pub failure: f64,
+    /// Repair facility rate (uniform choice among failed servers).
+    pub repair: f64,
+    /// Load-balancing move rate.
+    pub balance: f64,
+    /// Failed-server job drain rate.
+    pub transfer: f64,
+    /// Dispatcher probability for the less-loaded of `A`/`A′`.
+    pub dispatch_bias: f64,
+}
+
+/// One hypercube state: per-server queue lengths and up/down flags.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HypercubeState {
+    /// Jobs queued at each server.
+    pub queues: Vec<u8>,
+    /// Operational flag of each server.
+    pub up: Vec<bool>,
+}
+
+/// The hypercube component: state enumeration and event factors.
+#[derive(Debug, Clone)]
+pub struct HypercubeSpace {
+    config: HypercubeConfig,
+    servers: usize,
+    states: Vec<HypercubeState>,
+    index: HashMap<HypercubeState, u32>,
+}
+
+impl HypercubeSpace {
+    /// Enumerates all states: queue vectors summing to at most `jobs`,
+    /// crossed with up/down patterns having at most `max_down` failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (`dim == 0`, `jobs == 0`, or a
+    /// `dispatch_bias` outside `[0, 1]`).
+    pub fn new(config: HypercubeConfig) -> Self {
+        assert!(config.dim >= 1, "need at least a 1-cube");
+        assert!(config.jobs >= 1, "need at least one job");
+        assert!(
+            (0.0..=1.0).contains(&config.dispatch_bias),
+            "dispatch_bias is a probability"
+        );
+        let servers = 1usize << config.dim;
+        let mut queue_configs: Vec<Vec<u8>> = Vec::new();
+        enumerate_bounded(
+            servers,
+            config.jobs,
+            &mut vec![0u8; servers],
+            0,
+            &mut queue_configs,
+        );
+
+        let mut states = Vec::new();
+        for mask in 0u32..(1 << servers) {
+            let down = mask.count_ones() as usize;
+            if down > config.max_down {
+                continue;
+            }
+            let up: Vec<bool> = (0..servers).map(|i| mask & (1 << i) == 0).collect();
+            for q in &queue_configs {
+                states.push(HypercubeState {
+                    queues: q.clone(),
+                    up: up.clone(),
+                });
+            }
+        }
+        states.sort_unstable();
+        let index = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        HypercubeSpace {
+            config,
+            servers,
+            states,
+            index,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HypercubeConfig {
+        &self.config
+    }
+
+    /// Number of servers (`2^dim`).
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of enumerated states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when no states exist (never; API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// A state by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn state(&self, idx: u32) -> &HypercubeState {
+        &self.states[idx as usize]
+    }
+
+    /// Index of a state.
+    pub fn index_of(&self, state: &HypercubeState) -> Option<u32> {
+        self.index.get(state).copied()
+    }
+
+    /// Initial state: all queues empty, all servers up.
+    pub fn initial(&self) -> u32 {
+        let s = HypercubeState {
+            queues: vec![0; self.servers],
+            up: vec![true; self.servers],
+        };
+        self.index_of(&s).expect("initial state enumerated")
+    }
+
+    /// Vertex `A` (the dispatcher target `0…0`).
+    pub fn vertex_a(&self) -> usize {
+        0
+    }
+
+    /// Vertex `A′` (antipodal to `A`).
+    pub fn vertex_a_prime(&self) -> usize {
+        self.servers - 1
+    }
+
+    /// The cube neighbours of server `i`.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.config.dim).map(move |b| i ^ (1 << b))
+    }
+
+    /// All level-local dynamics as one factor with rates folded in:
+    /// failures, repairs, load balancing, and failed-server job drains.
+    pub fn local_factor(&self) -> SparseFactor {
+        let mut f = SparseFactor::new(self.len());
+        let c = &self.config;
+        for (i, s) in self.states.iter().enumerate() {
+            let down_count = s.up.iter().filter(|&&u| !u).count();
+
+            // Failures: any up server, while fewer than max_down are down.
+            if down_count < c.max_down {
+                for srv in 0..self.servers {
+                    if s.up[srv] {
+                        let mut t = s.clone();
+                        t.up[srv] = false;
+                        f.push(i, self.must_index(&t), c.failure);
+                    }
+                }
+            }
+            // Repair: single facility, uniform among failed.
+            if down_count > 0 {
+                let each = c.repair / down_count as f64;
+                for srv in 0..self.servers {
+                    if !s.up[srv] {
+                        let mut t = s.clone();
+                        t.up[srv] = true;
+                        f.push(i, self.must_index(&t), each);
+                    }
+                }
+            }
+            // Load balancing: an up server more than one job above a
+            // neighbour pushes one job towards lighter up neighbours,
+            // favouring the lightest (weights ∝ surplus − 1).
+            for srv in 0..self.servers {
+                if !s.up[srv] {
+                    continue;
+                }
+                let eligible: Vec<(usize, f64)> = self
+                    .neighbors(srv)
+                    .filter(|&nb| s.up[nb] && s.queues[srv] >= s.queues[nb] + 2)
+                    .map(|nb| (nb, (s.queues[srv] - s.queues[nb] - 1) as f64))
+                    .collect();
+                let total: f64 = eligible.iter().map(|&(_, w)| w).sum();
+                for (nb, w) in eligible {
+                    let mut t = s.clone();
+                    t.queues[srv] -= 1;
+                    t.queues[nb] += 1;
+                    f.push(i, self.must_index(&t), c.balance * w / total);
+                }
+            }
+            // Failed-server drain: one job at a time to a uniform up
+            // neighbour.
+            for srv in 0..self.servers {
+                if s.up[srv] || s.queues[srv] == 0 {
+                    continue;
+                }
+                let targets: Vec<usize> = self.neighbors(srv).filter(|&nb| s.up[nb]).collect();
+                if targets.is_empty() {
+                    continue;
+                }
+                let each = c.transfer / targets.len() as f64;
+                for nb in targets {
+                    let mut t = s.clone();
+                    t.queues[srv] -= 1;
+                    t.queues[nb] += 1;
+                    f.push(i, self.must_index(&t), each);
+                }
+            }
+        }
+        f
+    }
+
+    /// Dispatcher factor (synchronized with `hyper_pool − 1`): a job goes
+    /// to `A` or `A′`, favouring the less-loaded up candidate. Weights are
+    /// probabilities; the event carries the dispatch rate.
+    pub fn dispatch_factor(&self) -> SparseFactor {
+        let mut f = SparseFactor::new(self.len());
+        let (a, ap) = (self.vertex_a(), self.vertex_a_prime());
+        let bias = self.config.dispatch_bias;
+        let cap = self.config.jobs as u8;
+        for (i, s) in self.states.iter().enumerate() {
+            let mut candidates: Vec<usize> = Vec::with_capacity(2);
+            for &srv in &[a, ap] {
+                if s.up[srv] && s.queues[srv] < cap {
+                    candidates.push(srv);
+                }
+            }
+            let probs: Vec<(usize, f64)> = match candidates.as_slice() {
+                [] => continue, // dispatch blocked; job waits in the pool
+                [only] => vec![(*only, 1.0)],
+                [x, y] => {
+                    use std::cmp::Ordering;
+                    match s.queues[*x].cmp(&s.queues[*y]) {
+                        Ordering::Less => vec![(*x, bias), (*y, 1.0 - bias)],
+                        Ordering::Greater => vec![(*x, 1.0 - bias), (*y, bias)],
+                        Ordering::Equal => vec![(*x, 0.5), (*y, 0.5)],
+                    }
+                }
+                _ => unreachable!("at most two dispatch targets"),
+            };
+            for (srv, p) in probs {
+                let mut t = s.clone();
+                t.queues[srv] += 1;
+                if let Some(j) = self.index_of(&t) {
+                    f.push(i, j as usize, p);
+                }
+            }
+        }
+        f
+    }
+
+    /// Service factor (synchronized with `msmq_pool + 1`): every up server
+    /// with a queued job completes one at unit weight; the event carries
+    /// the per-server service rate.
+    pub fn service_factor(&self) -> SparseFactor {
+        let mut f = SparseFactor::new(self.len());
+        for (i, s) in self.states.iter().enumerate() {
+            for srv in 0..self.servers {
+                if s.up[srv] && s.queues[srv] > 0 {
+                    let mut t = s.clone();
+                    t.queues[srv] -= 1;
+                    f.push(i, self.must_index(&t), 1.0);
+                }
+            }
+        }
+        f
+    }
+
+    /// Per-state availability indicator: 1.0 when fewer than two servers
+    /// are down (the paper's availability criterion).
+    pub fn availability_values(&self) -> Vec<f64> {
+        self.states
+            .iter()
+            .map(|s| {
+                let down = s.up.iter().filter(|&&u| !u).count();
+                if down < 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Per-state count of busy servers (up with at least one job) — the
+    /// throughput reward is `service_rate ×` this.
+    pub fn busy_values(&self) -> Vec<f64> {
+        self.states
+            .iter()
+            .map(|s| {
+                (0..self.servers)
+                    .filter(|&i| s.up[i] && s.queues[i] > 0)
+                    .count() as f64
+            })
+            .collect()
+    }
+
+    fn must_index(&self, state: &HypercubeState) -> usize {
+        self.index_of(state)
+            .expect("successor within enumerated space") as usize
+    }
+}
+
+/// Enumerates non-negative vectors of length `n` with sum ≤ `bound`.
+fn enumerate_bounded(
+    n: usize,
+    bound: usize,
+    current: &mut Vec<u8>,
+    pos: usize,
+    out: &mut Vec<Vec<u8>>,
+) {
+    if pos == n {
+        out.push(current.clone());
+        return;
+    }
+    let used: usize = current[..pos].iter().map(|&v| v as usize).sum();
+    for v in 0..=(bound - used) as u8 {
+        current[pos] = v;
+        enumerate_bounded(n, bound, current, pos + 1, out);
+    }
+    current[pos] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(jobs: usize) -> HypercubeConfig {
+        HypercubeConfig {
+            dim: 3,
+            jobs,
+            max_down: 2,
+            failure: 0.05,
+            repair: 0.5,
+            balance: 3.0,
+            transfer: 2.0,
+            dispatch_bias: 0.7,
+        }
+    }
+
+    fn binomial(n: usize, k: usize) -> usize {
+        (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1))
+    }
+
+    #[test]
+    fn state_count_matches_formula() {
+        for jobs in 1..=3 {
+            let h = HypercubeSpace::new(config(jobs));
+            // Compositions with sum ≤ J over 8 slots × masks with ≤ 2 down.
+            let queue_configs = binomial(jobs + 8, 8);
+            let masks = 1 + 8 + 28;
+            assert_eq!(h.len(), queue_configs * masks, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn neighbors_are_cube_edges() {
+        let h = HypercubeSpace::new(config(1));
+        let n: Vec<usize> = h.neighbors(0).collect();
+        assert_eq!(n, vec![1, 2, 4]);
+        let n: Vec<usize> = h.neighbors(7).collect();
+        assert_eq!(n, vec![6, 5, 3]);
+    }
+
+    #[test]
+    fn a_and_a_prime_are_antipodal() {
+        let h = HypercubeSpace::new(config(1));
+        assert_eq!(h.vertex_a(), 0);
+        assert_eq!(h.vertex_a_prime(), 7);
+        assert!(h.neighbors(0).all(|n| n != 7));
+    }
+
+    #[test]
+    fn failures_capped() {
+        let h = HypercubeSpace::new(config(1));
+        let local = h.local_factor();
+        for (r, c, _) in local.iter() {
+            let from = h.state(r);
+            let to = h.state(c);
+            let down_to = to.up.iter().filter(|&&u| !u).count();
+            assert!(down_to <= 2);
+            // Any single transition changes either one flag or moves one job.
+            let flag_changes = from.up.iter().zip(&to.up).filter(|(a, b)| a != b).count();
+            assert!(flag_changes <= 1);
+        }
+    }
+
+    #[test]
+    fn repair_rates_uniform_over_failed() {
+        let h = HypercubeSpace::new(config(1));
+        // State with servers 0 and 3 down, no jobs.
+        let s = HypercubeState {
+            queues: vec![0; 8],
+            up: (0..8).map(|i| i != 0 && i != 3).collect(),
+        };
+        let i = h.index_of(&s).unwrap();
+        let local = h.local_factor().to_csr();
+        let mut repair_rates = Vec::new();
+        for (c, v) in local.row(i as usize) {
+            let t = h.state(c as u32);
+            if t.up.iter().filter(|&&u| !u).count() == 1 {
+                repair_rates.push(v);
+            }
+        }
+        assert_eq!(repair_rates.len(), 2);
+        for v in repair_rates {
+            assert!((v - 0.25).abs() < 1e-12); // 0.5 / 2 failed
+        }
+    }
+
+    #[test]
+    fn dispatch_prefers_lighter_candidate() {
+        let h = HypercubeSpace::new(config(2));
+        // A has 1 job, A' empty: A' should get bias 0.7.
+        let mut q = vec![0u8; 8];
+        q[0] = 1;
+        let s = HypercubeState {
+            queues: q,
+            up: vec![true; 8],
+        };
+        let i = h.index_of(&s).unwrap();
+        let d = h.dispatch_factor().to_csr();
+        let row: Vec<(usize, f64)> = d.row(i as usize).collect();
+        assert_eq!(row.len(), 2);
+        for (c, v) in row {
+            let t = h.state(c as u32);
+            if t.queues[7] == 1 {
+                assert!((v - 0.7).abs() < 1e-12);
+            } else {
+                assert!((v - 0.3).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_rows_sum_to_one_when_enabled() {
+        let h = HypercubeSpace::new(config(2));
+        let d = h.dispatch_factor().to_csr();
+        for r in 0..h.len() {
+            let sum: f64 = d.row(r).map(|(_, v)| v).sum();
+            assert!(
+                sum == 0.0 || (sum - 1.0).abs() < 1e-12,
+                "row {r} sums to {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn balance_moves_towards_lighter() {
+        let h = HypercubeSpace::new(config(3));
+        // Server 0 has 3 jobs, neighbours empty: three eligible targets.
+        let mut q = vec![0u8; 8];
+        q[0] = 3;
+        let s = HypercubeState {
+            queues: q,
+            up: vec![true; 8],
+        };
+        let i = h.index_of(&s).unwrap();
+        let local = h.local_factor().to_csr();
+        let mut balance_total = 0.0;
+        for (c, v) in local.row(i as usize) {
+            let t = h.state(c as u32);
+            if t.up == s.up && t.queues[0] == 2 {
+                balance_total += v;
+            }
+        }
+        assert!(
+            (balance_total - 3.0).abs() < 1e-12,
+            "total balance rate = β"
+        );
+    }
+
+    #[test]
+    fn drain_only_from_failed_with_jobs() {
+        let h = HypercubeSpace::new(config(1));
+        // Server 1 down with 1 job.
+        let mut q = vec![0u8; 8];
+        q[1] = 1;
+        let s = HypercubeState {
+            queues: q,
+            up: (0..8).map(|i| i != 1).collect(),
+        };
+        let i = h.index_of(&s).unwrap();
+        let local = h.local_factor().to_csr();
+        let mut drain = 0.0;
+        for (c, v) in local.row(i as usize) {
+            let t = h.state(c as u32);
+            if t.up == s.up && t.queues[1] == 0 {
+                drain += v;
+            }
+        }
+        assert!((drain - 2.0).abs() < 1e-12, "drain total = τ");
+    }
+
+    #[test]
+    fn availability_counts_down_servers() {
+        let h = HypercubeSpace::new(config(1));
+        let avail = h.availability_values();
+        for (i, s) in (0..h.len() as u32).map(|i| (i, h.state(i))) {
+            let down = s.up.iter().filter(|&&u| !u).count();
+            assert_eq!(avail[i as usize], if down < 2 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn service_requires_up_and_job() {
+        let h = HypercubeSpace::new(config(1));
+        let svc = h.service_factor();
+        for (r, c, v) in svc.iter() {
+            assert_eq!(v, 1.0);
+            let from = h.state(r);
+            let to = h.state(c);
+            let moved: Vec<usize> = (0..8).filter(|&i| from.queues[i] != to.queues[i]).collect();
+            assert_eq!(moved.len(), 1);
+            assert!(from.up[moved[0]]);
+            assert_eq!(from.queues[moved[0]], to.queues[moved[0]] + 1);
+        }
+    }
+}

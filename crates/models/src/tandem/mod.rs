@@ -1,0 +1,427 @@
+//! The paper's Section 5 evaluation model: a closed tandem multi-processor
+//! system with load balancing and failure/repair.
+//!
+//! Jobs circulate through two subsystems connected by shared pools:
+//!
+//! ```text
+//!   MSMQ input pool ──► MSMQ (4 queues, 3 polling servers)
+//!         ▲                            │ service
+//!         │ service                    ▼
+//!   hypercube (8 servers) ◄── hypercube input pool
+//! ```
+//!
+//! The matrix diagram has three levels, matching the paper's place
+//! partitioning: (1) the shared pools, (2) the hypercube submodel, (3) the
+//! MSMQ submodel. The symmetry sources the paper names — the three MSMQ
+//! servers, the `A`/`A′` dispatcher pair, and the six remaining hypercube
+//! servers — are preserved, so the compositional lumping algorithm has the
+//! same structure to discover. See `DESIGN.md` §3 for the substitutions
+//! with respect to the paper's Möbius model.
+
+mod hypercube;
+mod msmq;
+mod pools;
+
+pub use hypercube::{HypercubeConfig, HypercubeSpace, HypercubeState};
+pub use msmq::{MsmqServer, MsmqSpace, MsmqState, ServerPhase};
+pub use pools::PoolSpace;
+
+use mdl_core::{Combiner, DecomposableVector, MdMrp};
+
+use crate::model::{ComposedModel, ModelError};
+
+/// All rate constants of the tandem model. The structural results of
+/// Table 1 (state-space sizes, reductions) depend only on the topology and
+/// `J`; the rates matter for the numerical-solution experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TandemRates {
+    /// MSMQ server walk rate between queues (ω).
+    pub msmq_walk: f64,
+    /// MSMQ per-server service rate (μ_m).
+    pub msmq_service: f64,
+    /// Dispatch rate from the MSMQ input pool into the queues (δ).
+    pub msmq_dispatch: f64,
+    /// Dispatch rate from the hypercube input pool to `A`/`A′` (d).
+    pub hyper_dispatch: f64,
+    /// Hypercube per-server service rate (μ_h).
+    pub hyper_service: f64,
+    /// Per-server failure rate (φ).
+    pub failure: f64,
+    /// Repair facility rate (ρ).
+    pub repair: f64,
+    /// Load-balancing move rate (β).
+    pub balance: f64,
+    /// Failed-server drain rate (τ).
+    pub transfer: f64,
+    /// Dispatcher probability for the less-loaded of `A`/`A′`.
+    pub dispatch_bias: f64,
+}
+
+impl Default for TandemRates {
+    fn default() -> Self {
+        TandemRates {
+            msmq_walk: 5.0,
+            msmq_service: 1.0,
+            msmq_dispatch: 10.0,
+            hyper_dispatch: 8.0,
+            hyper_service: 0.8,
+            failure: 0.05,
+            repair: 0.5,
+            balance: 3.0,
+            transfer: 2.0,
+            dispatch_bias: 0.7,
+        }
+    }
+}
+
+/// Structural parameters of the tandem model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TandemConfig {
+    /// Number of jobs `J` in the closed system (the paper sweeps 1–3).
+    pub jobs: usize,
+    /// MSMQ queues (paper: 4).
+    pub msmq_queues: usize,
+    /// MSMQ servers (paper: 3).
+    pub msmq_servers: usize,
+    /// Hypercube dimension (paper: 3 → 8 servers).
+    pub cube_dim: usize,
+    /// Maximum concurrently failed hypercube servers.
+    pub max_down: usize,
+    /// Rate constants.
+    pub rates: TandemRates,
+}
+
+impl Default for TandemConfig {
+    fn default() -> Self {
+        TandemConfig {
+            jobs: 1,
+            msmq_queues: 4,
+            msmq_servers: 3,
+            cube_dim: 3,
+            max_down: 2,
+            rates: TandemRates::default(),
+        }
+    }
+}
+
+/// Which rate-reward structure the MRP carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TandemReward {
+    /// 1 when fewer than two hypercube servers are down (the paper's
+    /// availability criterion). Product-combined indicator.
+    #[default]
+    Availability,
+    /// Hypercube throughput: `μ_h ×` number of busy up servers.
+    /// Sum-combined.
+    Throughput,
+    /// Total MSMQ queue length. Sum-combined.
+    MsmqQueueLength,
+    /// Constant 1 (structure-only experiments: imposes no lumping
+    /// constraints).
+    Constant,
+}
+
+/// The assembled tandem model: component state spaces plus the composed
+/// event-synchronized model.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct TandemModel {
+    config: TandemConfig,
+    pools: PoolSpace,
+    hyper: HypercubeSpace,
+    msmq: MsmqSpace,
+    composed: ComposedModel,
+}
+
+impl TandemModel {
+    /// Builds the component state spaces and wires the six events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations (zero jobs/queues/servers).
+    pub fn new(config: TandemConfig) -> Self {
+        let pools = PoolSpace::new(config.jobs);
+        let hyper = HypercubeSpace::new(HypercubeConfig {
+            dim: config.cube_dim,
+            jobs: config.jobs,
+            max_down: config.max_down,
+            failure: config.rates.failure,
+            repair: config.rates.repair,
+            balance: config.rates.balance,
+            transfer: config.rates.transfer,
+            dispatch_bias: config.rates.dispatch_bias,
+        });
+        let msmq = MsmqSpace::new(config.msmq_queues, config.msmq_servers, config.jobs);
+
+        let mut composed = ComposedModel::new();
+        composed.add_component("pools", pools.len(), pools.initial());
+        composed.add_component("hypercube", hyper.len(), hyper.initial());
+        composed.add_component("msmq", msmq.len(), msmq.initial());
+
+        let r = &config.rates;
+        // Jobs dispatched from the MSMQ input pool into the queues.
+        composed
+            .add_event(
+                "msmq_dispatch",
+                r.msmq_dispatch,
+                vec![Some(pools.take_msmq()), None, Some(msmq.arrival_factor())],
+            )
+            .expect("valid event");
+        // MSMQ service completion: job moves to the hypercube input pool.
+        composed
+            .add_event(
+                "msmq_service",
+                r.msmq_service,
+                vec![Some(pools.put_hyper()), None, Some(msmq.service_factor())],
+            )
+            .expect("valid event");
+        // Hypercube dispatcher: pool job to A or A′.
+        composed
+            .add_event(
+                "hyper_dispatch",
+                r.hyper_dispatch,
+                vec![
+                    Some(pools.take_hyper()),
+                    Some(hyper.dispatch_factor()),
+                    None,
+                ],
+            )
+            .expect("valid event");
+        // Hypercube service completion: job returns to the MSMQ input pool.
+        composed
+            .add_event(
+                "hyper_service",
+                r.hyper_service,
+                vec![Some(pools.put_msmq()), Some(hyper.service_factor()), None],
+            )
+            .expect("valid event");
+        // Purely local dynamics (rates folded into the factors).
+        composed
+            .add_event(
+                "hyper_local",
+                1.0,
+                vec![None, Some(hyper.local_factor()), None],
+            )
+            .expect("valid event");
+        composed
+            .add_event(
+                "msmq_walk",
+                1.0,
+                vec![None, None, Some(msmq.walk_factor(r.msmq_walk))],
+            )
+            .expect("valid event");
+
+        TandemModel {
+            config,
+            pools,
+            hyper,
+            msmq,
+            composed,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TandemConfig {
+        &self.config
+    }
+
+    /// The pools component (level 1).
+    pub fn pools(&self) -> &PoolSpace {
+        &self.pools
+    }
+
+    /// The hypercube component (level 2).
+    pub fn hypercube(&self) -> &HypercubeSpace {
+        &self.hyper
+    }
+
+    /// The MSMQ component (level 3).
+    pub fn msmq(&self) -> &MsmqSpace {
+        &self.msmq
+    }
+
+    /// The underlying composed model.
+    pub fn composed(&self) -> &ComposedModel {
+        &self.composed
+    }
+
+    /// Per-level local state-space sizes `(|S₁|, |S₂|, |S₃|)`.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.composed.sizes()
+    }
+
+    /// The decomposable reward vector for a reward structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates vector-construction errors (cannot occur for the
+    /// built-in structures).
+    pub fn reward(&self, reward: TandemReward) -> Result<DecomposableVector, ModelError> {
+        let sizes = self.level_sizes();
+        let v = match reward {
+            TandemReward::Availability => DecomposableVector::new(
+                vec![
+                    vec![1.0; sizes[0]],
+                    self.hyper.availability_values(),
+                    vec![1.0; sizes[2]],
+                ],
+                Combiner::Product,
+            )?,
+            TandemReward::Throughput => {
+                let mu = self.config.rates.hyper_service;
+                DecomposableVector::new(
+                    vec![
+                        vec![0.0; sizes[0]],
+                        self.hyper.busy_values().iter().map(|&b| mu * b).collect(),
+                        vec![0.0; sizes[2]],
+                    ],
+                    Combiner::Sum,
+                )?
+            }
+            TandemReward::MsmqQueueLength => DecomposableVector::new(
+                vec![
+                    vec![0.0; sizes[0]],
+                    vec![0.0; sizes[1]],
+                    self.msmq.queue_len_values(),
+                ],
+                Combiner::Sum,
+            )?,
+            TandemReward::Constant => DecomposableVector::constant(&sizes, 1.0)?,
+        };
+        Ok(v)
+    }
+
+    /// Builds the symbolic MRP with the availability reward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-space generation and assembly errors.
+    pub fn build_md_mrp(&self) -> Result<MdMrp, ModelError> {
+        self.build_md_mrp_with_reward(TandemReward::Availability)
+    }
+
+    /// Builds the symbolic MRP with an explicit reward structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates state-space generation and assembly errors.
+    pub fn build_md_mrp_with_reward(&self, reward: TandemReward) -> Result<MdMrp, ModelError> {
+        let r = self.reward(reward)?;
+        self.composed.build_md_mrp(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_core::{compositional_lump, LumpKind};
+
+    fn small() -> TandemModel {
+        TandemModel::new(TandemConfig {
+            jobs: 1,
+            ..TandemConfig::default()
+        })
+    }
+
+    #[test]
+    fn level_sizes_match_components() {
+        let m = small();
+        let sizes = m.level_sizes();
+        assert_eq!(sizes[0], m.pools().len());
+        assert_eq!(sizes[1], m.hypercube().len());
+        assert_eq!(sizes[2], m.msmq().len());
+    }
+
+    #[test]
+    fn mrp_builds_and_conserves_jobs() {
+        let m = small();
+        let mrp = m.build_md_mrp().unwrap();
+        assert!(mrp.num_states() > 0);
+        // Every reachable state holds exactly J jobs.
+        let j = m.config().jobs as u32;
+        mrp.matrix().reach().for_each_tuple(|t, _| {
+            let (pm, ph) = m.pools().state(t[0]);
+            let hyper_jobs: u32 = m
+                .hypercube()
+                .state(t[1])
+                .queues
+                .iter()
+                .map(|&q| q as u32)
+                .sum();
+            let msmq_jobs: u32 = m.msmq().state(t[2]).queues.iter().map(|&q| q as u32).sum();
+            assert_eq!(pm + ph + hyper_jobs + msmq_jobs, j);
+        });
+    }
+
+    #[test]
+    fn chain_is_irreducible_enough_to_solve() {
+        use mdl_ctmc::SolverOptions;
+        let m = small();
+        let mrp = m.build_md_mrp().unwrap();
+        let availability = mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        assert!(
+            availability > 0.5 && availability <= 1.0,
+            "availability {availability}"
+        );
+    }
+
+    #[test]
+    fn compositional_lump_finds_symmetries() {
+        let m = small();
+        let mrp = m.build_md_mrp().unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        // The MSMQ level must shrink (3 interchangeable servers, rotatable
+        // queues) and the hypercube level must shrink (A/A′ and the
+        // six-server orbit).
+        let msmq_stats = &result.stats.per_level[2];
+        assert!(
+            msmq_stats.lumped_size < msmq_stats.original_size,
+            "MSMQ level must lump: {msmq_stats:?}"
+        );
+        let hyper_stats = &result.stats.per_level[1];
+        assert!(
+            hyper_stats.lumped_size < hyper_stats.original_size,
+            "hypercube level must lump: {hyper_stats:?}"
+        );
+        assert!(result.stats.reduction_factor() > 4.0);
+    }
+
+    #[test]
+    fn lumping_preserves_availability() {
+        use mdl_ctmc::SolverOptions;
+        let m = small();
+        let mrp = m.build_md_mrp().unwrap();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let full = mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        let lumped = result
+            .mrp
+            .expected_stationary_reward(&SolverOptions::default())
+            .unwrap();
+        // Both solves stop at the iterate-difference tolerance; on this
+        // stiff chain that leaves ~1e-6 of residual in the measure.
+        assert!((full - lumped).abs() < 1e-4, "{full} vs {lumped}");
+    }
+
+    #[test]
+    fn reward_structures_materialize() {
+        let m = small();
+        for reward in [
+            TandemReward::Availability,
+            TandemReward::Throughput,
+            TandemReward::MsmqQueueLength,
+            TandemReward::Constant,
+        ] {
+            let mrp = m.build_md_mrp_with_reward(reward).unwrap();
+            let v = mrp.reward_vector();
+            assert_eq!(v.len(), mrp.num_states());
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Level 3 of the tandem model: the MSMQ (multi-server multi-queue)
+//! polling subsystem (Fig. 4 of the paper, after [Ajmone Marsan et al.]).
+//!
+//! `S` identical servers cycle over `Q` queues arranged in a ring. A
+//! walking server arrives at its target queue after an exponential walk
+//! time; if the queue holds an unclaimed job the server starts serving it,
+//! otherwise it walks on to the next queue. On service completion the job
+//! leaves (to the hypercube input pool) and the server walks to the next
+//! queue. Jobs from the MSMQ input pool are dispatched to the queues with
+//! equal probability.
+//!
+//! The `S` interchangeable servers — and, with uniform dispatch, the ring
+//! rotation of the queues — are the symmetries the compositional lumping
+//! algorithm is expected to find at this level.
+
+use std::collections::HashMap;
+
+use mdl_md::SparseFactor;
+
+/// Phase of one MSMQ server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ServerPhase {
+    /// Walking towards the queue.
+    Walking,
+    /// Serving a job at the queue.
+    Serving,
+}
+
+/// One server: target/current queue and phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsmqServer {
+    /// The queue the server is at (Serving) or walking to (Walking).
+    pub queue: u8,
+    /// Walking or serving.
+    pub phase: ServerPhase,
+}
+
+/// One MSMQ state: queue contents and all server positions/phases.
+///
+/// Validity invariant: for each queue, the number of servers serving there
+/// does not exceed the number of queued jobs (a serving server "claims"
+/// one job, which stays counted in the queue until completion).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsmqState {
+    /// Jobs in each queue (including claimed ones).
+    pub queues: Vec<u8>,
+    /// The servers, in identity order (the model keeps servers
+    /// distinguishable; lumping discovers their interchangeability).
+    pub servers: Vec<MsmqServer>,
+}
+
+/// The MSMQ component: state enumeration and event factors.
+#[derive(Debug, Clone)]
+pub struct MsmqSpace {
+    queues: usize,
+    servers: usize,
+    jobs: usize,
+    states: Vec<MsmqState>,
+    index: HashMap<MsmqState, u32>,
+}
+
+impl MsmqSpace {
+    /// Enumerates all valid states for `queues` queues, `servers` servers
+    /// and at most `jobs` jobs in the subsystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configurations.
+    pub fn new(queues: usize, servers: usize, jobs: usize) -> Self {
+        assert!(
+            queues >= 1 && servers >= 1 && jobs >= 1,
+            "degenerate MSMQ configuration"
+        );
+        assert!(queues <= u8::MAX as usize && jobs <= u8::MAX as usize);
+
+        let mut queue_configs: Vec<Vec<u8>> = Vec::new();
+        enumerate_bounded(queues, jobs, &mut vec![0u8; queues], 0, &mut queue_configs);
+
+        // All server tuples: (queue, phase) per server.
+        let per_server: Vec<MsmqServer> = (0..queues as u8)
+            .flat_map(|q| {
+                [
+                    MsmqServer {
+                        queue: q,
+                        phase: ServerPhase::Walking,
+                    },
+                    MsmqServer {
+                        queue: q,
+                        phase: ServerPhase::Serving,
+                    },
+                ]
+            })
+            .collect();
+        let mut server_tuples: Vec<Vec<MsmqServer>> = vec![Vec::new()];
+        for _ in 0..servers {
+            server_tuples = server_tuples
+                .into_iter()
+                .flat_map(|t| {
+                    per_server.iter().map(move |&s| {
+                        let mut t = t.clone();
+                        t.push(s);
+                        t
+                    })
+                })
+                .collect();
+        }
+
+        let mut states = Vec::new();
+        for q in &queue_configs {
+            for st in &server_tuples {
+                let candidate = MsmqState {
+                    queues: q.clone(),
+                    servers: st.clone(),
+                };
+                if is_valid(&candidate, queues) {
+                    states.push(candidate);
+                }
+            }
+        }
+        states.sort_unstable();
+        let index = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        MsmqSpace {
+            queues,
+            servers,
+            jobs,
+            states,
+            index,
+        }
+    }
+
+    /// Number of queues.
+    pub fn num_queues(&self) -> usize {
+        self.queues
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of enumerated (valid) states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when no states exist (never; API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// A state by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn state(&self, idx: u32) -> &MsmqState {
+        &self.states[idx as usize]
+    }
+
+    /// Index of a state.
+    pub fn index_of(&self, state: &MsmqState) -> Option<u32> {
+        self.index.get(state).copied()
+    }
+
+    /// Initial state: queues empty, every server walking towards queue 0.
+    pub fn initial(&self) -> u32 {
+        let s = MsmqState {
+            queues: vec![0; self.queues],
+            servers: vec![
+                MsmqServer {
+                    queue: 0,
+                    phase: ServerPhase::Walking
+                };
+                self.servers
+            ],
+        };
+        self.index_of(&s).expect("initial state enumerated")
+    }
+
+    fn next_queue(&self, q: u8) -> u8 {
+        ((q as usize + 1) % self.queues) as u8
+    }
+
+    fn serving_at(state: &MsmqState, q: u8) -> usize {
+        state
+            .servers
+            .iter()
+            .filter(|s| s.phase == ServerPhase::Serving && s.queue == q)
+            .count()
+    }
+
+    /// Local walk dynamics with the walk rate folded in: a walking server
+    /// arrives at its queue; with an unclaimed job present it starts
+    /// serving, otherwise it walks on to the next queue.
+    pub fn walk_factor(&self, walk_rate: f64) -> SparseFactor {
+        let mut f = SparseFactor::new(self.len());
+        for (i, s) in self.states.iter().enumerate() {
+            for (j, srv) in s.servers.iter().enumerate() {
+                if srv.phase != ServerPhase::Walking {
+                    continue;
+                }
+                let q = srv.queue;
+                let unclaimed = s.queues[q as usize] as usize > Self::serving_at(s, q);
+                let mut t = s.clone();
+                if unclaimed {
+                    t.servers[j] = MsmqServer {
+                        queue: q,
+                        phase: ServerPhase::Serving,
+                    };
+                } else {
+                    t.servers[j] = MsmqServer {
+                        queue: self.next_queue(q),
+                        phase: ServerPhase::Walking,
+                    };
+                }
+                f.push(i, self.must_index(&t), walk_rate);
+            }
+        }
+        f
+    }
+
+    /// Service-completion factor (synchronized with `hyper_pool + 1`):
+    /// each serving server finishes at unit weight; the served job leaves
+    /// its queue and the server walks to the next queue. The event carries
+    /// the service rate.
+    pub fn service_factor(&self) -> SparseFactor {
+        let mut f = SparseFactor::new(self.len());
+        for (i, s) in self.states.iter().enumerate() {
+            for (j, srv) in s.servers.iter().enumerate() {
+                if srv.phase != ServerPhase::Serving {
+                    continue;
+                }
+                let q = srv.queue;
+                let mut t = s.clone();
+                t.queues[q as usize] -= 1;
+                t.servers[j] = MsmqServer {
+                    queue: self.next_queue(q),
+                    phase: ServerPhase::Walking,
+                };
+                f.push(i, self.must_index(&t), 1.0);
+            }
+        }
+        f
+    }
+
+    /// Arrival factor (synchronized with `msmq_pool − 1`): a dispatched
+    /// job joins each queue with equal probability. The event carries the
+    /// dispatch rate. Rows where the subsystem is full (Σ queues = jobs)
+    /// have no entries — globally unreachable in the closed system when
+    /// the pool is non-empty.
+    pub fn arrival_factor(&self) -> SparseFactor {
+        let mut f = SparseFactor::new(self.len());
+        let p = 1.0 / self.queues as f64;
+        for (i, s) in self.states.iter().enumerate() {
+            let total: usize = s.queues.iter().map(|&q| q as usize).sum();
+            if total >= self.jobs {
+                continue;
+            }
+            for q in 0..self.queues {
+                let mut t = s.clone();
+                t.queues[q] += 1;
+                f.push(i, self.must_index(&t), p);
+            }
+        }
+        f
+    }
+
+    /// Per-state total queue length (queue-length reward).
+    pub fn queue_len_values(&self) -> Vec<f64> {
+        self.states
+            .iter()
+            .map(|s| s.queues.iter().map(|&q| q as f64).sum())
+            .collect()
+    }
+
+    fn must_index(&self, state: &MsmqState) -> usize {
+        self.index_of(state)
+            .expect("successor within enumerated space") as usize
+    }
+}
+
+fn is_valid(state: &MsmqState, queues: usize) -> bool {
+    (0..queues as u8).all(|q| MsmqSpace::serving_at(state, q) <= state.queues[q as usize] as usize)
+}
+
+/// Enumerates non-negative vectors of length `n` with sum ≤ `bound`.
+fn enumerate_bounded(
+    n: usize,
+    bound: usize,
+    current: &mut Vec<u8>,
+    pos: usize,
+    out: &mut Vec<Vec<u8>>,
+) {
+    if pos == n {
+        out.push(current.clone());
+        return;
+    }
+    let used: usize = current[..pos].iter().map(|&v| v as usize).sum();
+    for v in 0..=(bound - used) as u8 {
+        current[pos] = v;
+        enumerate_bounded(n, bound, current, pos + 1, out);
+    }
+    current[pos] = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_excludes_over_claimed_queues() {
+        let m = MsmqSpace::new(4, 3, 1);
+        // No state may have two servers serving the same single-job queue.
+        for i in 0..m.len() as u32 {
+            let s = m.state(i);
+            for q in 0..4u8 {
+                assert!(MsmqSpace::serving_at(s, q) <= s.queues[q as usize] as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_system_servers_all_walk() {
+        let m = MsmqSpace::new(4, 3, 1);
+        // With zero jobs anywhere, no server can be serving.
+        for i in 0..m.len() as u32 {
+            let s = m.state(i);
+            if s.queues.iter().all(|&q| q == 0) {
+                assert!(s
+                    .servers
+                    .iter()
+                    .all(|srv| srv.phase == ServerPhase::Walking));
+            }
+        }
+    }
+
+    #[test]
+    fn walk_claims_available_job() {
+        let m = MsmqSpace::new(4, 3, 2);
+        let f = m.walk_factor(5.0).to_csr();
+        // Find a state with a job at queue 0 and a server walking to 0.
+        let s = MsmqState {
+            queues: vec![1, 0, 0, 0],
+            servers: vec![
+                MsmqServer {
+                    queue: 0,
+                    phase: ServerPhase::Walking,
+                },
+                MsmqServer {
+                    queue: 1,
+                    phase: ServerPhase::Walking,
+                },
+                MsmqServer {
+                    queue: 2,
+                    phase: ServerPhase::Walking,
+                },
+            ],
+        };
+        let i = m.index_of(&s).unwrap();
+        let succ: Vec<(usize, f64)> = f.row(i as usize).collect();
+        assert_eq!(succ.len(), 3); // all three servers are walking
+                                   // Server 0's arrival must start service (job unclaimed).
+        let serving = succ.iter().any(|&(c, v)| {
+            let t = m.state(c as u32);
+            v == 5.0 && t.servers[0].phase == ServerPhase::Serving && t.servers[0].queue == 0
+        });
+        assert!(serving);
+    }
+
+    #[test]
+    fn walk_skips_claimed_job() {
+        let m = MsmqSpace::new(4, 2, 1);
+        // One job at queue 0, server 0 already serving it, server 1 walking
+        // to 0: server 1 must pass on to queue 1.
+        let s = MsmqState {
+            queues: vec![1, 0, 0, 0],
+            servers: vec![
+                MsmqServer {
+                    queue: 0,
+                    phase: ServerPhase::Serving,
+                },
+                MsmqServer {
+                    queue: 0,
+                    phase: ServerPhase::Walking,
+                },
+            ],
+        };
+        let i = m.index_of(&s).unwrap();
+        let f = m.walk_factor(1.0).to_csr();
+        let passes = f.row(i as usize).any(|(c, _)| {
+            let t = m.state(c as u32);
+            t.servers[1].queue == 1 && t.servers[1].phase == ServerPhase::Walking
+        });
+        assert!(passes);
+        let claims = f.row(i as usize).any(|(c, _)| {
+            let t = m.state(c as u32);
+            t.servers[1].phase == ServerPhase::Serving
+        });
+        assert!(!claims);
+    }
+
+    #[test]
+    fn service_releases_job_and_walks_on() {
+        let m = MsmqSpace::new(4, 2, 1);
+        let s = MsmqState {
+            queues: vec![1, 0, 0, 0],
+            servers: vec![
+                MsmqServer {
+                    queue: 0,
+                    phase: ServerPhase::Serving,
+                },
+                MsmqServer {
+                    queue: 2,
+                    phase: ServerPhase::Walking,
+                },
+            ],
+        };
+        let i = m.index_of(&s).unwrap();
+        let f = m.service_factor().to_csr();
+        let succ: Vec<(usize, f64)> = f.row(i as usize).collect();
+        assert_eq!(succ.len(), 1);
+        let t = m.state(succ[0].0 as u32);
+        assert_eq!(t.queues[0], 0);
+        assert_eq!(
+            t.servers[0],
+            MsmqServer {
+                queue: 1,
+                phase: ServerPhase::Walking
+            }
+        );
+    }
+
+    #[test]
+    fn arrivals_uniform_and_capacity_bounded() {
+        let m = MsmqSpace::new(4, 1, 2);
+        let f = m.arrival_factor().to_csr();
+        for r in 0..m.len() {
+            let total: usize = m.state(r as u32).queues.iter().map(|&q| q as usize).sum();
+            let sum: f64 = f.row(r).map(|(_, v)| v).sum();
+            if total >= 2 {
+                assert_eq!(sum, 0.0);
+            } else {
+                assert!((sum - 1.0).abs() < 1e-12);
+                for (_, v) in f.row(r) {
+                    assert!((v - 0.25).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn initial_state_is_enumerated() {
+        let m = MsmqSpace::new(4, 3, 3);
+        let s = m.state(m.initial());
+        assert!(s.queues.iter().all(|&q| q == 0));
+        assert!(s
+            .servers
+            .iter()
+            .all(|srv| srv.queue == 0 && srv.phase == ServerPhase::Walking));
+    }
+
+    #[test]
+    fn queue_len_values_sum_queues() {
+        let m = MsmqSpace::new(4, 1, 2);
+        let v = m.queue_len_values();
+        for i in 0..m.len() as u32 {
+            let expect: f64 = m.state(i).queues.iter().map(|&q| q as f64).sum();
+            assert_eq!(v[i as usize], expect);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Level 1 of the tandem model: the two shared job pools.
+//!
+//! The paper composes the MSMQ and hypercube submodels by *sharing* their
+//! input/output pools; in this event-synchronized reproduction the pools
+//! are an explicit component whose state is `(msmq_pool, hyper_pool)` —
+//! the jobs currently waiting to be dispatched into the MSMQ queues and
+//! into the hypercube, respectively. The system is closed with `J` jobs,
+//! so `msmq_pool + hyper_pool ≤ J` (the remaining jobs are inside the
+//! subsystems).
+
+use std::collections::HashMap;
+
+use mdl_md::SparseFactor;
+
+/// The pools component: enumeration of `(msmq_pool, hyper_pool)` states
+/// and the four synchronization factors the subsystem events need.
+#[derive(Debug, Clone)]
+pub struct PoolSpace {
+    jobs: usize,
+    states: Vec<(u32, u32)>,
+    index: HashMap<(u32, u32), u32>,
+}
+
+impl PoolSpace {
+    /// Enumerates all pool states for a closed system with `jobs` jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs == 0`.
+    pub fn new(jobs: usize) -> Self {
+        assert!(jobs > 0, "a closed system needs at least one job");
+        let mut states = Vec::new();
+        for pm in 0..=jobs as u32 {
+            for ph in 0..=(jobs as u32 - pm) {
+                states.push((pm, ph));
+            }
+        }
+        states.sort_unstable();
+        let index = states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
+            .collect();
+        PoolSpace {
+            jobs,
+            states,
+            index,
+        }
+    }
+
+    /// Number of pool states: `(J+1)(J+2)/2`.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if there are no states (never; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The `(msmq_pool, hyper_pool)` contents of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn state(&self, idx: u32) -> (u32, u32) {
+        self.states[idx as usize]
+    }
+
+    /// Index of a pool configuration, if within bounds.
+    pub fn index_of(&self, msmq_pool: u32, hyper_pool: u32) -> Option<u32> {
+        self.index.get(&(msmq_pool, hyper_pool)).copied()
+    }
+
+    /// Initial state: all `J` jobs in the MSMQ input pool.
+    pub fn initial(&self) -> u32 {
+        self.index_of(self.jobs as u32, 0)
+            .expect("(J, 0) enumerated")
+    }
+
+    fn shift(&self, dm: i32, dh: i32) -> SparseFactor {
+        let mut f = SparseFactor::new(self.len());
+        for (i, &(pm, ph)) in self.states.iter().enumerate() {
+            let npm = pm as i64 + dm as i64;
+            let nph = ph as i64 + dh as i64;
+            if npm < 0 || nph < 0 {
+                continue;
+            }
+            if let Some(j) = self.index_of(npm as u32, nph as u32) {
+                f.push(i, j as usize, 1.0);
+            }
+        }
+        f
+    }
+
+    /// `msmq_pool − 1`: a job leaves the MSMQ input pool (dispatched into
+    /// the MSMQ queues).
+    pub fn take_msmq(&self) -> SparseFactor {
+        self.shift(-1, 0)
+    }
+
+    /// `hyper_pool + 1`: an MSMQ service completion hands a job to the
+    /// hypercube input pool.
+    pub fn put_hyper(&self) -> SparseFactor {
+        self.shift(0, 1)
+    }
+
+    /// `hyper_pool − 1`: a job leaves the hypercube input pool (dispatched
+    /// to server A or A′).
+    pub fn take_hyper(&self) -> SparseFactor {
+        self.shift(0, -1)
+    }
+
+    /// `msmq_pool + 1`: a hypercube service completion hands a job back to
+    /// the MSMQ input pool.
+    pub fn put_msmq(&self) -> SparseFactor {
+        self.shift(1, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_count() {
+        for jobs in 1..=5 {
+            let p = PoolSpace::new(jobs);
+            assert_eq!(p.len(), (jobs + 1) * (jobs + 2) / 2);
+        }
+    }
+
+    #[test]
+    fn initial_holds_all_jobs() {
+        let p = PoolSpace::new(3);
+        assert_eq!(p.state(p.initial()), (3, 0));
+    }
+
+    #[test]
+    fn shifts_respect_bounds() {
+        let p = PoolSpace::new(2);
+        // take_msmq has no row for pm = 0 states.
+        let take = p.take_msmq();
+        let zero_rows: Vec<u32> = (0..p.len() as u32).filter(|&i| p.state(i).0 == 0).collect();
+        for (r, _, _) in take.iter() {
+            assert!(!zero_rows.contains(&r));
+        }
+        // put_hyper is blocked when pm + ph = J.
+        let put = p.put_hyper();
+        for (r, c, _) in put.iter() {
+            let (pm, ph) = p.state(r);
+            assert!(pm + ph < 2);
+            assert_eq!(p.state(c), (pm, ph + 1));
+        }
+    }
+
+    #[test]
+    fn shift_round_trip() {
+        let p = PoolSpace::new(2);
+        // take_hyper then put_hyper maps a state to itself (where defined).
+        let take = p.take_hyper().to_csr();
+        let put = p.put_hyper().to_csr();
+        for (r, c, _) in take.iter() {
+            assert_eq!(put.get(c, r), 1.0);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Index of a state in `{0, …, n−1}`.
+pub type StateId = usize;
+
+/// Index of an equivalence class of a [`Partition`].
+pub type ClassId = usize;
+
+/// A partition of the finite set `{0, …, n−1}` into non-empty equivalence
+/// classes.
+///
+/// Both directions of the correspondence are stored: `class_of(s)` in O(1)
+/// and the member list of each class. Class member lists are kept sorted so
+/// iteration order — and therefore every algorithm built on top — is
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use mdl_partition::Partition;
+///
+/// let p = Partition::from_key_fn(5, |s| s % 2);
+/// assert_eq!(p.num_classes(), 2);
+/// assert_eq!(p.members(p.class_of(1)), &[1, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    class_of: Vec<ClassId>,
+    members: Vec<Vec<StateId>>,
+}
+
+impl Partition {
+    /// The trivial partition: one class containing every state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`; partitions of the empty set are not meaningful
+    /// for lumping.
+    pub fn single_class(n: usize) -> Self {
+        assert!(n > 0, "partition of an empty state space");
+        Partition {
+            class_of: vec![0; n],
+            members: vec![(0..n).collect()],
+        }
+    }
+
+    /// The discrete partition: every state in its own class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn discrete(n: usize) -> Self {
+        assert!(n > 0, "partition of an empty state space");
+        Partition {
+            class_of: (0..n).collect(),
+            members: (0..n).map(|s| vec![s]).collect(),
+        }
+    }
+
+    /// Builds a partition by grouping states that share a key.
+    ///
+    /// This is how the paper's initial partitions `P_ini` are formed (group
+    /// by reward value for ordinary lumping; by initial probability and exit
+    /// rate for exact lumping). Classes are numbered by the smallest state
+    /// they contain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn from_key_fn<K, F>(n: usize, mut key: F) -> Self
+    where
+        K: Hash + Eq,
+        F: FnMut(StateId) -> K,
+    {
+        assert!(n > 0, "partition of an empty state space");
+        let mut groups: HashMap<K, ClassId> = HashMap::new();
+        let mut members: Vec<Vec<StateId>> = Vec::new();
+        let mut class_of = Vec::with_capacity(n);
+        for s in 0..n {
+            let k = key(s);
+            let c = *groups.entry(k).or_insert_with(|| {
+                members.push(Vec::new());
+                members.len() - 1
+            });
+            members[c].push(s);
+            class_of.push(c);
+        }
+        Partition { class_of, members }
+    }
+
+    /// Builds a partition from explicit class member lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the lists are a partition of `{0, …, n−1}` for some
+    /// `n > 0` (each state exactly once, no empty class).
+    pub fn from_classes(classes: Vec<Vec<StateId>>) -> Self {
+        let n: usize = classes.iter().map(Vec::len).sum();
+        assert!(n > 0, "partition of an empty state space");
+        let mut class_of = vec![usize::MAX; n];
+        let mut members = classes;
+        for (c, m) in members.iter_mut().enumerate() {
+            assert!(!m.is_empty(), "empty class {c}");
+            m.sort_unstable();
+            for &s in m.iter() {
+                assert!(s < n, "state {s} out of range for {n} states");
+                assert!(class_of[s] == usize::MAX, "state {s} in two classes");
+                class_of[s] = c;
+            }
+        }
+        Partition { class_of, members }
+    }
+
+    /// Number of states the partition covers.
+    pub fn num_states(&self) -> usize {
+        self.class_of.len()
+    }
+
+    /// Number of equivalence classes.
+    pub fn num_classes(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The class containing state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn class_of(&self, s: StateId) -> ClassId {
+        self.class_of[s]
+    }
+
+    /// Sorted member list of class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn members(&self, c: ClassId) -> &[StateId] {
+        &self.members[c]
+    }
+
+    /// The representative (smallest member) of class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn representative(&self, c: ClassId) -> StateId {
+        self.members[c][0]
+    }
+
+    /// Iterates over all classes as `(class id, member slice)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &[StateId])> {
+        self.members
+            .iter()
+            .enumerate()
+            .map(|(c, m)| (c, m.as_slice()))
+    }
+
+    /// `true` when two states are equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn same_class(&self, a: StateId, b: StateId) -> bool {
+        self.class_of[a] == self.class_of[b]
+    }
+
+    /// `true` if every class of `self` is contained in a class of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitions cover different numbers of states.
+    pub fn is_refinement_of(&self, other: &Partition) -> bool {
+        assert_eq!(self.num_states(), other.num_states());
+        self.members.iter().all(|m| {
+            let c = other.class_of[m[0]];
+            m.iter().all(|&s| other.class_of[s] == c)
+        })
+    }
+
+    /// The coarsest common refinement of two partitions (classwise
+    /// intersection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitions cover different numbers of states.
+    pub fn intersect(&self, other: &Partition) -> Partition {
+        assert_eq!(self.num_states(), other.num_states());
+        Partition::from_key_fn(self.num_states(), |s| (self.class_of[s], other.class_of[s]))
+    }
+
+    /// Splits class `c` according to `groups`, a partition of its member
+    /// list. The first group keeps id `c`; the rest get fresh ids, returned
+    /// in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `groups` is not a partition of the
+    /// members of `c`, or (always) if any group is empty.
+    pub(crate) fn split_class(&mut self, c: ClassId, groups: Vec<Vec<StateId>>) -> Vec<ClassId> {
+        debug_assert_eq!(
+            groups.iter().map(Vec::len).sum::<usize>(),
+            self.members[c].len(),
+            "groups must cover the class"
+        );
+        let mut new_ids = Vec::with_capacity(groups.len());
+        for (i, mut g) in groups.into_iter().enumerate() {
+            assert!(!g.is_empty(), "empty group in split");
+            g.sort_unstable();
+            let id = if i == 0 {
+                self.members[c] = g.clone();
+                c
+            } else {
+                self.members.push(g.clone());
+                self.members.len() - 1
+            };
+            for &s in &g {
+                self.class_of[s] = id;
+            }
+            new_ids.push(id);
+        }
+        new_ids
+    }
+
+    /// Renumbers classes so they are ordered by their smallest member.
+    ///
+    /// Refinement allocates class ids in discovery order; canonicalizing
+    /// makes partitions comparable across algorithms and runs.
+    pub fn canonicalize(&mut self) {
+        let mut order: Vec<ClassId> = (0..self.members.len()).collect();
+        order.sort_unstable_by_key(|&c| self.members[c][0]);
+        let mut new_members = Vec::with_capacity(self.members.len());
+        for &c in &order {
+            new_members.push(std::mem::take(&mut self.members[c]));
+        }
+        self.members = new_members;
+        for (c, m) in self.members.iter().enumerate() {
+            for &s in m {
+                self.class_of[s] = c;
+            }
+        }
+    }
+
+    /// Sizes of all classes, indexed by class id.
+    pub fn class_sizes(&self) -> Vec<usize> {
+        self.members.iter().map(Vec::len).collect()
+    }
+
+    /// `true` when every class is a singleton.
+    pub fn is_discrete(&self) -> bool {
+        self.members.len() == self.class_of.len()
+    }
+
+    /// Internal consistency check, used by tests and debug assertions.
+    pub fn validate(&self) -> bool {
+        let n = self.class_of.len();
+        let mut seen = vec![false; n];
+        for (c, m) in self.members.iter().enumerate() {
+            if m.is_empty() || m.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+            for &s in m {
+                if s >= n || seen[s] || self.class_of[s] != c {
+                    return false;
+                }
+                seen[s] = true;
+            }
+        }
+        seen.into_iter().all(|b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_class_covers_everything() {
+        let p = Partition::single_class(4);
+        assert_eq!(p.num_classes(), 1);
+        assert_eq!(p.members(0), &[0, 1, 2, 3]);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn discrete_is_discrete() {
+        let p = Partition::discrete(3);
+        assert!(p.is_discrete());
+        assert!(p.validate());
+        assert!(!p.same_class(0, 1));
+    }
+
+    #[test]
+    fn from_key_fn_groups() {
+        let p = Partition::from_key_fn(6, |s| s % 3);
+        assert_eq!(p.num_classes(), 3);
+        assert!(p.same_class(0, 3));
+        assert!(!p.same_class(0, 1));
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn from_classes_round_trip() {
+        let p = Partition::from_classes(vec![vec![2, 0], vec![1], vec![3, 4]]);
+        assert_eq!(p.members(0), &[0, 2]);
+        assert_eq!(p.class_of(4), 2);
+        assert!(p.validate());
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn from_classes_rejects_overlap() {
+        let _ = Partition::from_classes(vec![vec![0, 1], vec![1]]);
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let coarse = Partition::from_classes(vec![vec![0, 1, 2], vec![3]]);
+        let fine = Partition::from_classes(vec![vec![0, 1], vec![2], vec![3]]);
+        assert!(fine.is_refinement_of(&coarse));
+        assert!(!coarse.is_refinement_of(&fine));
+        assert!(fine.is_refinement_of(&fine));
+    }
+
+    #[test]
+    fn intersect_is_common_refinement() {
+        let a = Partition::from_key_fn(6, |s| s % 2);
+        let b = Partition::from_key_fn(6, |s| s / 3);
+        let i = a.intersect(&b);
+        assert!(i.is_refinement_of(&a));
+        assert!(i.is_refinement_of(&b));
+        assert_eq!(i.num_classes(), 4);
+        assert!(i.validate());
+    }
+
+    #[test]
+    fn split_class_reuses_id_and_allocates() {
+        let mut p = Partition::single_class(5);
+        let ids = p.split_class(0, vec![vec![0, 2], vec![1, 3], vec![4]]);
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(p.num_classes(), 3);
+        assert!(p.same_class(0, 2));
+        assert!(!p.same_class(0, 1));
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn canonicalize_orders_by_min_member() {
+        let mut p = Partition::from_classes(vec![vec![3, 4], vec![0, 1], vec![2]]);
+        p.canonicalize();
+        assert_eq!(p.members(0), &[0, 1]);
+        assert_eq!(p.members(1), &[2]);
+        assert_eq!(p.members(2), &[3, 4]);
+        assert!(p.validate());
+    }
+
+    #[test]
+    fn class_sizes_and_representative() {
+        let p = Partition::from_classes(vec![vec![0, 1, 4], vec![2, 3]]);
+        assert_eq!(p.class_sizes(), vec![3, 2]);
+        assert_eq!(p.representative(0), 0);
+        assert_eq!(p.representative(1), 2);
+    }
+}

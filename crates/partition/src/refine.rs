@@ -1,0 +1,277 @@
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::{ClassId, Partition, StateId};
+
+/// The key function `K(R, s, C)` of the paper's `CompLumping` procedure,
+/// abstracted over both the matrix context and the key's data type `T`.
+///
+/// Given a splitter class `C` (a slice of states), an implementation emits
+/// `(state, key)` pairs for every state whose key with respect to `C` is
+/// **not** the default ("zero") key. States that are not emitted are treated
+/// as all sharing the default key — this is what makes refinement
+/// proportional to the predecessors/successors of the splitter instead of
+/// the whole state space.
+///
+/// # Contract
+///
+/// * Each state appears **at most once** per call (accumulate internally).
+/// * A state whose key equals the canonical default (empty formal sum, zero
+///   rate sum, …) must be **omitted**, so that it groups with the untouched
+///   states.
+/// * Keys must be canonical: two mathematically equal keys must compare
+///   equal (`Eq`) and order equal (`Ord`).
+pub trait Splitter {
+    /// The comparable key type — the paper's "data type `T`".
+    type Key: Clone + Eq + Hash + Ord + Debug;
+
+    /// Emits `(state, key)` pairs for all states with a non-default key with
+    /// respect to the splitter class `class`.
+    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, Self::Key)>);
+}
+
+/// Counters describing one [`comp_lumping`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefinementStats {
+    /// Splitter classes popped from the worklist.
+    pub splitters_processed: usize,
+    /// Classes that were split into two or more subclasses.
+    pub classes_split: usize,
+    /// Total `(state, key)` pairs produced by the splitter.
+    pub keys_emitted: usize,
+}
+
+/// Result of a [`comp_lumping`] run.
+#[derive(Debug, Clone)]
+pub struct RefinementResult {
+    /// The computed lumpable partition (a refinement of the initial one).
+    pub partition: Partition,
+    /// Work counters.
+    pub stats: RefinementStats,
+}
+
+/// The `CompLumping` procedure of the paper (Fig. 1b): repeatedly refines
+/// `initial` with respect to a worklist of potential splitter classes until
+/// every class has a uniform key with respect to every class — i.e. until
+/// the partition satisfies the lumpability condition encoded by the
+/// [`Splitter`].
+///
+/// The worklist starts with all classes of the initial partition; whenever a
+/// class is split, **all** of its subclasses are enqueued (as in the paper's
+/// `Split`, Fig. 1c). Splitter classes are snapshotted when enqueued;
+/// refining against a stale (already-split) class is harmless — it can only
+/// fail to split, never split incorrectly — and the fresh subclasses are on
+/// the worklist themselves.
+///
+/// The returned partition is canonicalized (classes ordered by smallest
+/// member) so results are reproducible.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn comp_lumping<S: Splitter>(initial: Partition, splitter: &mut S) -> RefinementResult {
+    let mut partition = initial;
+    let mut stats = RefinementStats::default();
+    let mut worklist: VecDeque<Vec<StateId>> = partition.iter().map(|(_, m)| m.to_vec()).collect();
+    let mut buf: Vec<(StateId, S::Key)> = Vec::new();
+
+    while let Some(splitter_class) = worklist.pop_front() {
+        stats.splitters_processed += 1;
+        buf.clear();
+        splitter.keys(&splitter_class, &mut buf);
+        stats.keys_emitted += buf.len();
+        if buf.is_empty() {
+            continue;
+        }
+
+        // Group touched states by their current class.
+        let mut touched: BTreeMap<ClassId, Vec<(StateId, S::Key)>> = BTreeMap::new();
+        for (s, k) in buf.drain(..) {
+            touched
+                .entry(partition.class_of(s))
+                .or_default()
+                .push((s, k));
+        }
+
+        for (class, pairs) in touched {
+            let class_len = partition.members(class).len();
+            if class_len == 1 {
+                continue;
+            }
+            // Group the touched members by key (deterministically, keys are Ord).
+            let mut by_key: BTreeMap<S::Key, Vec<StateId>> = BTreeMap::new();
+            let mut touched_count = 0usize;
+            for (s, k) in pairs {
+                by_key.entry(k).or_default().push(s);
+                touched_count += 1;
+            }
+            let untouched_exist = touched_count < class_len;
+            if by_key.len() == 1 && !untouched_exist {
+                continue; // uniform key, no split
+            }
+
+            // The untouched members (default key) form one more group.
+            let mut groups: Vec<Vec<StateId>> = Vec::with_capacity(by_key.len() + 1);
+            if untouched_exist {
+                let mut is_touched = std::collections::HashSet::with_capacity(touched_count);
+                for g in by_key.values() {
+                    is_touched.extend(g.iter().copied());
+                }
+                groups.push(
+                    partition
+                        .members(class)
+                        .iter()
+                        .copied()
+                        .filter(|s| !is_touched.contains(s))
+                        .collect(),
+                );
+            }
+            groups.extend(by_key.into_values());
+
+            stats.classes_split += 1;
+            let new_ids = partition.split_class(class, groups);
+            for id in new_ids {
+                worklist.push_back(partition.members(id).to_vec());
+            }
+        }
+    }
+
+    partition.canonicalize();
+    debug_assert!(partition.validate());
+    RefinementResult { partition, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A splitter over an explicit dense rate matrix computing
+    /// `K(s, C) = R(s, C)` (ordinary lumpability), with keys as rate bits.
+    struct DenseOrdinary {
+        rates: Vec<Vec<f64>>,
+    }
+
+    impl Splitter for DenseOrdinary {
+        type Key = u64;
+        fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, u64)>) {
+            for (s, row) in self.rates.iter().enumerate() {
+                let sum: f64 = class.iter().map(|&c| row[c]).sum();
+                if sum != 0.0 {
+                    out.push((s, sum.to_bits()));
+                }
+            }
+        }
+    }
+
+    fn refine(rates: Vec<Vec<f64>>, initial: Partition) -> Partition {
+        comp_lumping(initial, &mut DenseOrdinary { rates }).partition
+    }
+
+    #[test]
+    fn symmetric_pair_lumps() {
+        // 0 and 1 both go to {2} with rate 1; 2 returns to each with rate 1.
+        let rates = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let p = refine(rates, Partition::single_class(3));
+        assert_eq!(p.num_classes(), 2);
+        assert!(p.same_class(0, 1));
+        assert!(!p.same_class(0, 2));
+    }
+
+    #[test]
+    fn asymmetric_rates_split() {
+        let rates = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 2.0], // different rate to 2 => not equivalent to 0
+            vec![1.0, 1.0, 0.0],
+        ];
+        let p = refine(rates, Partition::single_class(3));
+        assert_eq!(p.num_classes(), 3);
+    }
+
+    #[test]
+    fn initial_partition_respected() {
+        // Identical dynamics but initial partition separates 0 and 1
+        // (e.g. different reward values).
+        let rates = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let init = Partition::from_classes(vec![vec![0], vec![1], vec![2]]);
+        let p = refine(rates, init.clone());
+        assert_eq!(p.num_classes(), 3);
+    }
+
+    #[test]
+    fn refinement_result_refines_initial() {
+        let rates = vec![
+            vec![0.0, 1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 2.0],
+            vec![0.0, 0.0, 2.0, 0.0],
+        ];
+        let init = Partition::single_class(4);
+        let p = refine(rates, init.clone());
+        assert!(p.is_refinement_of(&init));
+        // {0,1} self-symmetric with rate 1, {2,3} with rate 2: cannot merge
+        // across because rates differ.
+        assert_eq!(p.num_classes(), 2);
+        assert!(p.same_class(0, 1));
+        assert!(p.same_class(2, 3));
+    }
+
+    #[test]
+    fn untouched_states_group_with_default_key() {
+        // State 2 has no transition into the splitter {3}; states 0, 1 do
+        // with different rates. Class {0,1,2} must split three ways... but
+        // 2 groups with nothing else (default key group).
+        let rates = vec![
+            vec![0.0, 0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+        ];
+        let init = Partition::from_classes(vec![vec![0, 1, 2], vec![3]]);
+        let p = refine(rates, init);
+        assert_eq!(p.num_classes(), 4);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let rates = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 2.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let r = comp_lumping(Partition::single_class(3), &mut DenseOrdinary { rates });
+        assert!(r.stats.splitters_processed >= 1);
+        assert!(r.stats.classes_split >= 1);
+        assert!(r.stats.keys_emitted >= 2);
+    }
+
+    #[test]
+    fn three_way_symmetry_found() {
+        // Three identical states cycling into a hub.
+        let rates = vec![
+            vec![0.0, 0.0, 0.0, 5.0],
+            vec![0.0, 0.0, 0.0, 5.0],
+            vec![0.0, 0.0, 0.0, 5.0],
+            vec![2.0, 2.0, 2.0, 0.0],
+        ];
+        let p = refine(rates, Partition::single_class(4));
+        assert_eq!(p.num_classes(), 2);
+        assert!(p.same_class(0, 1) && p.same_class(1, 2));
+    }
+
+    #[test]
+    fn discrete_initial_stays_discrete() {
+        let rates = vec![vec![0.0; 3]; 3];
+        let p = refine(rates, Partition::discrete(3));
+        assert!(p.is_discrete());
+    }
+}

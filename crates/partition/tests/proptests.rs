@@ -1,0 +1,124 @@
+//! Property-based tests for the partition-refinement engine: the computed
+//! partition must be the coarsest stable refinement, independent of input
+//! order, and always structurally valid.
+
+use proptest::prelude::*;
+
+use mdl_partition::{comp_lumping, Partition, Splitter, StateId};
+
+/// A dense rate matrix as the splitter context, with ordinary-lumping
+/// keys (`K(s, C) = Σ_{c∈C} R(s, c)` as exact bit patterns — rates are
+/// drawn from dyadic constants, so sums are exact).
+struct DenseSplitter {
+    rates: Vec<Vec<f64>>,
+}
+
+impl Splitter for DenseSplitter {
+    type Key = u64;
+    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, u64)>) {
+        for (s, row) in self.rates.iter().enumerate() {
+            let sum: f64 = class.iter().map(|&c| row[c]).sum();
+            if sum != 0.0 {
+                out.push((s, sum.to_bits()));
+            }
+        }
+    }
+}
+
+fn rates(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::sample::select(vec![0.0, 0.0, 0.5, 1.0, 2.0]), n),
+        n,
+    )
+}
+
+/// Reference implementation: brute-force coarsest stable partition by
+/// iterating "split every class by every class" to a fixed point.
+fn brute_force(rates: &[Vec<f64>], initial: &Partition) -> Partition {
+    let n = rates.len();
+    let mut p = initial.clone();
+    loop {
+        let mut changed = false;
+        let classes: Vec<Vec<StateId>> = p.iter().map(|(_, m)| m.to_vec()).collect();
+        for splitter in &classes {
+            let key = |s: usize| -> u64 {
+                let sum: f64 = splitter.iter().map(|&c| rates[s][c]).sum();
+                sum.to_bits()
+            };
+            let refined = Partition::from_key_fn(n, |s| (p.class_of(s), key(s)));
+            if refined.num_classes() != p.num_classes() {
+                p = refined;
+                changed = true;
+            }
+        }
+        if !changed {
+            let mut q = p.clone();
+            q.canonicalize();
+            return q;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn engine_matches_brute_force(r in rates(7)) {
+        let initial = Partition::single_class(7);
+        let fast =
+            comp_lumping(initial.clone(), &mut DenseSplitter { rates: r.clone() }).partition;
+        let slow = brute_force(&r, &initial);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn engine_matches_brute_force_with_nontrivial_initial(r in rates(6), split in 1usize..5) {
+        let initial = Partition::from_key_fn(6, |s| s < split);
+        let fast =
+            comp_lumping(initial.clone(), &mut DenseSplitter { rates: r.clone() }).partition;
+        let slow = brute_force(&r, &initial);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn result_is_valid_refinement(r in rates(8)) {
+        let initial = Partition::from_key_fn(8, |s| s % 2);
+        let result = comp_lumping(initial.clone(), &mut DenseSplitter { rates: r }).partition;
+        prop_assert!(result.validate());
+        prop_assert!(result.is_refinement_of(&initial));
+    }
+
+    #[test]
+    fn result_is_stable(r in rates(6)) {
+        // Stability: refining the result against any of its own classes
+        // must not split anything.
+        let result = comp_lumping(
+            Partition::single_class(6),
+            &mut DenseSplitter { rates: r.clone() },
+        )
+        .partition;
+        for (_, members) in result.iter() {
+            for (_, other) in result.iter() {
+                let sums: Vec<u64> = members
+                    .iter()
+                    .map(|&s| {
+                        let sum: f64 = other.iter().map(|&c| r[s][c]).sum();
+                        sum.to_bits()
+                    })
+                    .collect();
+                prop_assert!(sums.windows(2).all(|w| w[0] == w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_commutes(a_mod in 2usize..4, b_mod in 2usize..4) {
+        let a = Partition::from_key_fn(12, |s| s % a_mod);
+        let b = Partition::from_key_fn(12, |s| s / b_mod);
+        let mut ab = a.intersect(&b);
+        let mut ba = b.intersect(&a);
+        ab.canonicalize();
+        ba.canonicalize();
+        prop_assert_eq!(ab, ba);
+    }
+}

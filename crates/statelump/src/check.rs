@@ -1,0 +1,182 @@
+use mdl_linalg::{CsrMatrix, Tolerance};
+use mdl_partition::Partition;
+
+/// Checks the **ordinary** lumpability conditions of Theorem 1a directly:
+/// for all classes `C, C′` and states `s, ŝ ∈ C`, `R(s, C′) = R(ŝ, C′)` and
+/// `r(s) = r(ŝ)`.
+///
+/// This is the independent O(classes · nnz) verifier used by tests and by
+/// the optimality experiments — deliberately *not* sharing code with the
+/// refinement algorithm it checks.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn is_ordinarily_lumpable(
+    rates: &CsrMatrix,
+    reward: &[f64],
+    partition: &Partition,
+    tolerance: Tolerance,
+) -> bool {
+    let n = rates.nrows();
+    assert_eq!(partition.num_states(), n);
+    assert_eq!(reward.len(), n);
+    let k = partition.num_classes();
+
+    for (_, members) in partition.iter() {
+        let rep = members[0];
+        if members
+            .iter()
+            .any(|&s| !tolerance.eq(reward[s], reward[rep]))
+        {
+            return false;
+        }
+        let mut rep_sums = vec![0.0; k];
+        for (t, v) in rates.row(rep) {
+            rep_sums[partition.class_of(t)] += v;
+        }
+        for &s in &members[1..] {
+            let mut sums = vec![0.0; k];
+            for (t, v) in rates.row(s) {
+                sums[partition.class_of(t)] += v;
+            }
+            if (0..k).any(|c| !tolerance.eq(sums[c], rep_sums[c])) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks the **exact** lumpability conditions of Theorem 1b directly:
+/// for all classes `C, C′` and states `s, ŝ ∈ C`, `R(C′, s) = R(C′, ŝ)`,
+/// `R(s, S) = R(ŝ, S)` and `π_ini(s) = π_ini(ŝ)`.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn is_exactly_lumpable(
+    rates: &CsrMatrix,
+    initial: &[f64],
+    partition: &Partition,
+    tolerance: Tolerance,
+) -> bool {
+    let n = rates.nrows();
+    assert_eq!(partition.num_states(), n);
+    assert_eq!(initial.len(), n);
+    let k = partition.num_classes();
+
+    // Column sums per (source class, state): R(C′, s) for every s.
+    let mut col_by_class = vec![vec![0.0; n]; k];
+    for s in 0..n {
+        let c = partition.class_of(s);
+        for (t, v) in rates.row(s) {
+            col_by_class[c][t] += v;
+        }
+    }
+    let row_sums = rates.row_sums_vec();
+
+    for (_, members) in partition.iter() {
+        let rep = members[0];
+        for &s in &members[1..] {
+            if !tolerance.eq(initial[s], initial[rep]) || !tolerance.eq(row_sums[s], row_sums[rep])
+            {
+                return false;
+            }
+            if (0..k).any(|c| !tolerance.eq(col_by_class[c][s], col_by_class[c][rep])) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_linalg::CooMatrix;
+
+    fn chain() -> CsrMatrix {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 2, 1.0);
+        coo.push(1, 2, 1.0);
+        coo.push(2, 3, 2.0);
+        coo.push(3, 0, 0.5);
+        coo.push(3, 1, 0.5);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn accepts_valid_ordinary_partition() {
+        let p = Partition::from_classes(vec![vec![0, 1], vec![2], vec![3]]);
+        assert!(is_ordinarily_lumpable(
+            &chain(),
+            &[0.0; 4],
+            &p,
+            Tolerance::Exact
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_ordinary_partition() {
+        let p = Partition::from_classes(vec![vec![0, 2], vec![1], vec![3]]);
+        assert!(!is_ordinarily_lumpable(
+            &chain(),
+            &[0.0; 4],
+            &p,
+            Tolerance::Exact
+        ));
+    }
+
+    #[test]
+    fn rejects_reward_mismatch() {
+        let p = Partition::from_classes(vec![vec![0, 1], vec![2], vec![3]]);
+        assert!(!is_ordinarily_lumpable(
+            &chain(),
+            &[1.0, 2.0, 0.0, 0.0],
+            &p,
+            Tolerance::Exact
+        ));
+    }
+
+    #[test]
+    fn accepts_valid_exact_partition() {
+        // 0 and 1 receive equal columns (0.5 each from 3) and have equal
+        // exit rates (1.0 each).
+        let p = Partition::from_classes(vec![vec![0, 1], vec![2], vec![3]]);
+        assert!(is_exactly_lumpable(
+            &chain(),
+            &[0.25, 0.25, 0.5, 0.0],
+            &p,
+            Tolerance::Exact
+        ));
+    }
+
+    #[test]
+    fn rejects_exact_with_unequal_initial() {
+        let p = Partition::from_classes(vec![vec![0, 1], vec![2], vec![3]]);
+        assert!(!is_exactly_lumpable(
+            &chain(),
+            &[0.1, 0.4, 0.5, 0.0],
+            &p,
+            Tolerance::Exact
+        ));
+    }
+
+    #[test]
+    fn trivial_partition_always_ordinary() {
+        let p = Partition::discrete(4);
+        assert!(is_ordinarily_lumpable(
+            &chain(),
+            &[0.0; 4],
+            &p,
+            Tolerance::Exact
+        ));
+        assert!(is_exactly_lumpable(
+            &chain(),
+            &[0.25; 4],
+            &p,
+            Tolerance::Exact
+        ));
+    }
+}

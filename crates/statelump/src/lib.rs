@@ -1,0 +1,55 @@
+//! Optimal *state-level* lumping of flat CTMCs.
+//!
+//! This crate implements reference \[9\] of the paper (Derisavi, Hermanns &
+//! Sanders, *Optimal state-space lumping in Markov chains*, IPL 2003) in the
+//! generalized form the paper's Fig. 1 presents it: partition refinement
+//! parameterized by a key function `K`, instantiated with
+//!
+//! * `K(R, s, C) = R(s, C)` for **ordinary** lumpability, and
+//! * `K(R, s, C) = R(C, s)` for **exact** lumpability,
+//!
+//! plus the matching initial partitions (group by reward for ordinary; by
+//! initial probability and exit rate for exact) and the Theorem-2 quotient
+//! construction.
+//!
+//! In the reproduction this crate plays two roles:
+//!
+//! 1. it is the refinement engine the compositional MD lumping algorithm
+//!    (`mdl-core`) applies *per level* of a matrix diagram, and
+//! 2. it is the **optimality baseline** of the paper's Section 5: running
+//!    state-level lumping on the compositionally lumped chain shows whether
+//!    the local algorithm left any lumpability on the table.
+//!
+//! # Example
+//!
+//! ```
+//! use mdl_linalg::{CooMatrix, Tolerance};
+//! use mdl_statelump::{ordinary_lump, LumpOptions};
+//!
+//! // Two identical states 0, 1 feeding state 2, which feeds back.
+//! let mut r = CooMatrix::new(3, 3);
+//! r.push(0, 2, 1.0);
+//! r.push(1, 2, 1.0);
+//! r.push(2, 0, 0.5);
+//! r.push(2, 1, 0.5);
+//! let reward = vec![1.0, 1.0, 0.0];
+//!
+//! let lumped = ordinary_lump(&r.to_csr(), &reward, &LumpOptions::default());
+//! assert_eq!(lumped.partition.num_classes(), 2);
+//! assert_eq!(lumped.rates.get(0, 1), 1.0); // R̂({0,1}, {2}) = 1.0
+//! assert_eq!(lumped.rates.get(1, 0), 1.0); // R̂({2}, {0,1}) = 0.5 + 0.5
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod check;
+mod lump;
+mod splitters;
+
+pub use check::{is_exactly_lumpable, is_ordinarily_lumpable};
+pub use lump::{
+    exact_lump, exact_partition, lump_mrp_exact, lump_mrp_ordinary, ordinary_lump,
+    ordinary_partition, LumpOptions, Lumped,
+};
+pub use splitters::{ExactFlatSplitter, OrdinaryFlatSplitter};

@@ -1,0 +1,474 @@
+use mdl_ctmc::Mrp;
+use mdl_linalg::{CooMatrix, CsrMatrix, Tolerance};
+use mdl_partition::{comp_lumping, Partition};
+
+use crate::splitters::{ExactFlatSplitter, OrdinaryFlatSplitter};
+
+/// Options controlling flat lumping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LumpOptions {
+    /// How rate sums are compared (see [`Tolerance`]).
+    pub tolerance: Tolerance,
+}
+
+/// Result of lumping a flat CTMC: the quotient matrix, vectors, and the
+/// partition that produced them.
+#[derive(Debug, Clone)]
+pub struct Lumped {
+    /// Quotient state-transition rate matrix `R̂` (Theorem 2).
+    pub rates: CsrMatrix,
+    /// Quotient reward vector `r̂(ĩ) = r(C_ĩ)/|C_ĩ|`.
+    pub reward: Vec<f64>,
+    /// Quotient initial distribution `π̂(ĩ) = π_ini(C_ĩ)`.
+    pub initial: Vec<f64>,
+    /// The lumping partition (classes are the lumped states, in order).
+    pub partition: Partition,
+}
+
+/// Computes the coarsest **ordinarily** lumpable partition of `(R, r)`:
+/// the optimal partition such that `R(s, C′)` and `r(s)` are constant on
+/// every class (Theorem 1a).
+///
+/// # Panics
+///
+/// Panics if `reward` does not have one entry per state.
+pub fn ordinary_partition(rates: &CsrMatrix, reward: &[f64], options: &LumpOptions) -> Partition {
+    let n = rates.nrows();
+    assert_eq!(reward.len(), n, "reward must have one entry per state");
+    let tol = options.tolerance;
+    let initial = Partition::from_key_fn(n, |s| tol.key(reward[s]));
+    let mut splitter = OrdinaryFlatSplitter::new(rates, tol);
+    comp_lumping(initial, &mut splitter).partition
+}
+
+/// Computes the coarsest **exactly** lumpable partition of `(R, π_ini)`:
+/// the optimal partition such that `R(C′, s)`, `R(s, S)` and `π_ini(s)` are
+/// constant on every class (Theorem 1b).
+///
+/// # Panics
+///
+/// Panics if `initial` does not have one entry per state.
+pub fn exact_partition(rates: &CsrMatrix, initial: &[f64], options: &LumpOptions) -> Partition {
+    let n = rates.nrows();
+    assert_eq!(initial.len(), n, "initial must have one entry per state");
+    let tol = options.tolerance;
+    let row_sums = rates.row_sums_vec();
+    // P_ini: equal initial probability AND equal total exit rate R(s, S).
+    let init = Partition::from_key_fn(n, |s| (tol.key(initial[s]), tol.key(row_sums[s])));
+    let mut splitter = ExactFlatSplitter::new(rates, tol);
+    comp_lumping(init, &mut splitter).partition
+}
+
+/// Builds the quotient rate matrix of Theorem 2 for an **ordinary**
+/// lumping: `R̂(ĩ, j̃) = R(s, C_j̃)` for an arbitrary `s ∈ C_ĩ`.
+fn quotient_ordinary(rates: &CsrMatrix, partition: &Partition) -> CsrMatrix {
+    let k = partition.num_classes();
+    let mut coo = CooMatrix::new(k, k);
+    for (ci, members) in partition.iter() {
+        let rep = members[0];
+        let mut sums = vec![0.0; k];
+        for (t, v) in rates.row(rep) {
+            sums[partition.class_of(t)] += v;
+        }
+        for (cj, &v) in sums.iter().enumerate() {
+            if v != 0.0 {
+                coo.push(ci, cj, v);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Builds the quotient rate matrix of Theorem 2 for an **exact** lumping:
+/// `R̂(ĩ, j̃) = R(C_ĩ, s)` for an arbitrary `s ∈ C_j̃`.
+fn quotient_exact(rates: &CsrMatrix, partition: &Partition) -> CsrMatrix {
+    let k = partition.num_classes();
+    // Column sums into representatives: walk all rows once.
+    let mut coo = CooMatrix::new(k, k);
+    let mut reps = vec![usize::MAX; rates.nrows()];
+    for (cj, members) in partition.iter() {
+        reps[members[0]] = cj; // mark representatives with their class
+    }
+    let mut sums = vec![vec![0.0; k]; 0];
+    sums.resize_with(k, || vec![0.0; k]);
+    for s in 0..rates.nrows() {
+        let ci = partition.class_of(s);
+        for (t, v) in rates.row(s) {
+            if reps[t] != usize::MAX {
+                sums[ci][reps[t]] += v;
+            }
+        }
+    }
+    for (ci, row) in sums.iter().enumerate() {
+        for (cj, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                coo.push(ci, cj, v);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+fn quotient_vectors(
+    reward: &[f64],
+    initial: &[f64],
+    partition: &Partition,
+) -> (Vec<f64>, Vec<f64>) {
+    let k = partition.num_classes();
+    let mut r = vec![0.0; k];
+    let mut p = vec![0.0; k];
+    for (c, members) in partition.iter() {
+        r[c] = members.iter().map(|&s| reward[s]).sum::<f64>() / members.len() as f64;
+        p[c] = members.iter().map(|&s| initial[s]).sum();
+    }
+    (r, p)
+}
+
+/// Optimal ordinary lumping of `(R, r)`: computes the coarsest partition
+/// and the Theorem-2 quotient.
+///
+/// The quotient's `initial` is the class-summed `π_ini` when one is
+/// supplied via [`lump_mrp_ordinary`]; this entry point leaves it uniform
+/// over classes (callers that don't care about transient analysis).
+///
+/// # Panics
+///
+/// Panics if `reward` does not have one entry per state.
+pub fn ordinary_lump(rates: &CsrMatrix, reward: &[f64], options: &LumpOptions) -> Lumped {
+    let partition = ordinary_partition(rates, reward, options);
+    let k = partition.num_classes();
+    let lumped_rates = quotient_ordinary(rates, &partition);
+    let uniform = vec![1.0 / rates.nrows() as f64; rates.nrows()];
+    let (lumped_reward, lumped_initial) = quotient_vectors(reward, &uniform, &partition);
+    debug_assert_eq!(lumped_rates.nrows(), k);
+    Lumped {
+        rates: lumped_rates,
+        reward: lumped_reward,
+        initial: lumped_initial,
+        partition,
+    }
+}
+
+/// Optimal exact lumping of `(R, π_ini)`: computes the coarsest partition
+/// and the Theorem-2 quotient. The quotient reward is the class average of
+/// `reward`.
+///
+/// # Panics
+///
+/// Panics if `reward` or `initial` do not have one entry per state.
+pub fn exact_lump(
+    rates: &CsrMatrix,
+    reward: &[f64],
+    initial: &[f64],
+    options: &LumpOptions,
+) -> Lumped {
+    let partition = exact_partition(rates, initial, options);
+    let lumped_rates = quotient_exact(rates, &partition);
+    let (lumped_reward, lumped_initial) = quotient_vectors(reward, initial, &partition);
+    Lumped {
+        rates: lumped_rates,
+        reward: lumped_reward,
+        initial: lumped_initial,
+        partition,
+    }
+}
+
+/// Lumps a complete MRP ordinarily: partition from `(R, r)`, quotient per
+/// Theorem 2 including `π̂(ĩ) = π_ini(C_ĩ)`.
+///
+/// # Errors
+///
+/// Propagates [`mdl_ctmc::CtmcError`] if the quotient vectors fail MRP
+/// validation (cannot happen for a valid input MRP; kept for API honesty).
+pub fn lump_mrp_ordinary(
+    mrp: &Mrp<CsrMatrix>,
+    options: &LumpOptions,
+) -> mdl_ctmc::Result<(Mrp<CsrMatrix>, Partition)> {
+    let partition = ordinary_partition(mrp.rates(), mrp.reward(), options);
+    let rates = quotient_ordinary(mrp.rates(), &partition);
+    let (reward, initial) = quotient_vectors(mrp.reward(), mrp.initial(), &partition);
+    Ok((Mrp::new(rates, reward, initial)?, partition))
+}
+
+/// Lumps a complete MRP exactly: partition from `(R, π_ini)`, Theorem-2
+/// quotient, plus the representatives' exit rates — which the caller must
+/// pass to the `*_with_exit_rates` solver variants, because the exact
+/// quotient's diagonal is not recoverable from its own row sums (see
+/// `mdl-core`'s `exact` module for the full discussion and the symbolic
+/// counterpart).
+///
+/// Returns `(lumped MRP, partition, representative exit rates)`.
+///
+/// # Errors
+///
+/// Propagates [`mdl_ctmc::CtmcError`] from MRP validation.
+pub fn lump_mrp_exact(
+    mrp: &Mrp<CsrMatrix>,
+    options: &LumpOptions,
+) -> mdl_ctmc::Result<(Mrp<CsrMatrix>, Partition, Vec<f64>)> {
+    let partition = exact_partition(mrp.rates(), mrp.initial(), options);
+    let rates = quotient_exact(mrp.rates(), &partition);
+    let (reward, initial) = quotient_vectors(mrp.reward(), mrp.initial(), &partition);
+    let row_sums = mrp.rates().row_sums_vec();
+    let exit: Vec<f64> = partition
+        .iter()
+        .map(|(_, members)| row_sums[members[0]])
+        .collect();
+    Ok((Mrp::new(rates, reward, initial)?, partition, exit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{is_exactly_lumpable, is_ordinarily_lumpable};
+    use mdl_ctmc::{SolverOptions, StationaryMethod};
+
+    /// Three identical front states feeding a two-state tail.
+    fn symmetric_chain() -> (CsrMatrix, Vec<f64>) {
+        let mut coo = CooMatrix::new(5, 5);
+        for s in 0..3 {
+            coo.push(s, 3, 1.0);
+        }
+        coo.push(3, 4, 2.0);
+        for s in 0..3 {
+            coo.push(4, s, 1.0); // uniform return
+        }
+        (coo.to_csr(), vec![1.0, 1.0, 1.0, 0.0, 0.0])
+    }
+
+    #[test]
+    fn ordinary_finds_three_way_symmetry() {
+        let (r, reward) = symmetric_chain();
+        let lumped = ordinary_lump(&r, &reward, &LumpOptions::default());
+        assert_eq!(lumped.partition.num_classes(), 3);
+        assert!(lumped.partition.same_class(0, 1));
+        assert!(lumped.partition.same_class(1, 2));
+        assert!(is_ordinarily_lumpable(
+            &r,
+            &reward,
+            &lumped.partition,
+            Tolerance::Exact
+        ));
+    }
+
+    #[test]
+    fn quotient_rates_match_theorem2_ordinary() {
+        let (r, reward) = symmetric_chain();
+        let lumped = ordinary_lump(&r, &reward, &LumpOptions::default());
+        // Class of {0,1,2} -> class of {3} with rate 1.0 (row of any rep).
+        let c012 = lumped.partition.class_of(0);
+        let c3 = lumped.partition.class_of(3);
+        let c4 = lumped.partition.class_of(4);
+        assert_eq!(lumped.rates.get(c012, c3), 1.0);
+        assert_eq!(lumped.rates.get(c3, c4), 2.0);
+        assert_eq!(lumped.rates.get(c4, c012), 3.0); // 1+1+1
+    }
+
+    #[test]
+    fn reward_is_class_average() {
+        let (r, reward) = symmetric_chain();
+        let lumped = ordinary_lump(&r, &reward, &LumpOptions::default());
+        let c012 = lumped.partition.class_of(0);
+        assert_eq!(lumped.reward[c012], 1.0);
+    }
+
+    #[test]
+    fn different_rewards_block_merging() {
+        let (r, _) = symmetric_chain();
+        let reward = vec![1.0, 2.0, 1.0, 0.0, 0.0];
+        let p = ordinary_partition(&r, &reward, &LumpOptions::default());
+        assert!(!p.same_class(0, 1));
+        assert!(p.same_class(0, 2));
+    }
+
+    #[test]
+    fn exact_lumping_on_uniform_entry_chain() {
+        // States 0,1 receive identical columns and have equal exit rates.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        coo.push(0, 2, 3.0);
+        coo.push(1, 2, 3.0);
+        let r = coo.to_csr();
+        let initial = vec![0.25, 0.25, 0.5];
+        let p = exact_partition(&r, &initial, &LumpOptions::default());
+        assert_eq!(p.num_classes(), 2);
+        assert!(p.same_class(0, 1));
+        assert!(is_exactly_lumpable(&r, &initial, &p, Tolerance::Exact));
+    }
+
+    #[test]
+    fn exact_blocked_by_unequal_initial() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        coo.push(0, 2, 3.0);
+        coo.push(1, 2, 3.0);
+        let r = coo.to_csr();
+        let initial = vec![0.1, 0.4, 0.5];
+        let p = exact_partition(&r, &initial, &LumpOptions::default());
+        assert!(!p.same_class(0, 1));
+    }
+
+    #[test]
+    fn exact_blocked_by_unequal_exit_rates() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        coo.push(0, 2, 3.0);
+        coo.push(1, 2, 4.0); // different exit rate
+        let r = coo.to_csr();
+        let initial = vec![0.25, 0.25, 0.5];
+        let p = exact_partition(&r, &initial, &LumpOptions::default());
+        assert!(!p.same_class(0, 1));
+    }
+
+    #[test]
+    fn lumped_stationary_matches_aggregated_full() {
+        let (r, reward) = symmetric_chain();
+        let n = r.nrows();
+        let initial = {
+            let mut v = vec![0.0; n];
+            v[3] = 1.0;
+            v
+        };
+        let mrp = Mrp::new(r, reward, initial).unwrap();
+        let (lumped, partition) = lump_mrp_ordinary(&mrp, &LumpOptions::default()).unwrap();
+
+        let opts = SolverOptions {
+            method: StationaryMethod::Power,
+            ..Default::default()
+        };
+        let full = mrp.stationary(&opts).unwrap();
+        let small = lumped.stationary(&opts).unwrap();
+
+        // Aggregate the full solution over classes; must match the lumped one.
+        let mut agg = vec![0.0; partition.num_classes()];
+        for s in 0..mrp.num_states() {
+            agg[partition.class_of(s)] += full.probabilities[s];
+        }
+        for c in 0..agg.len() {
+            assert!((agg[c] - small.probabilities[c]).abs() < 1e-7);
+        }
+        // Expected reward is preserved.
+        assert!(
+            (mrp.expected_reward(&full.probabilities)
+                - lumped.expected_reward(&small.probabilities))
+            .abs()
+                < 1e-7
+        );
+    }
+
+    #[test]
+    fn exact_mrp_lump_preserves_transient_aggregates() {
+        // 0 and 1 exactly lumpable; evolve the per-state vector with the
+        // returned exit rates and compare against the aggregated full
+        // transient.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        coo.push(0, 2, 3.0);
+        coo.push(1, 2, 3.0);
+        let r = coo.to_csr();
+        let mrp = Mrp::new(r, vec![1.0, 1.0, 0.0], vec![0.25, 0.25, 0.5]).unwrap();
+        let (lumped, partition, exit) = lump_mrp_exact(&mrp, &LumpOptions::default()).unwrap();
+        assert_eq!(partition.num_classes(), 2);
+        assert_eq!(exit.len(), 2);
+
+        use mdl_ctmc::{transient_uniformization_with_exit_rates, TransientOptions};
+        let t = 0.9;
+        let full = mrp.transient(t, &TransientOptions::default()).unwrap();
+        // ν̂₀(C) = π₀(C)/|C| — per-state values.
+        let sizes: Vec<f64> = partition.iter().map(|(_, m)| m.len() as f64).collect();
+        let nu0: Vec<f64> = lumped
+            .initial()
+            .iter()
+            .zip(&sizes)
+            .map(|(&p, &c)| p / c)
+            .collect();
+        let nu_t = transient_uniformization_with_exit_rates(
+            lumped.rates(),
+            &exit,
+            &nu0,
+            t,
+            &TransientOptions::default(),
+            false,
+        )
+        .unwrap();
+        for (c, members) in partition.iter() {
+            let agg: f64 = members.iter().map(|&s| full.probabilities[s]).sum();
+            let lumped_agg = nu_t.probabilities[c] * sizes[c];
+            assert!((agg - lumped_agg).abs() < 1e-10, "{agg} vs {lumped_agg}");
+        }
+    }
+
+    #[test]
+    fn tolerance_absorbs_float_noise() {
+        // Rates that should be equal but differ in the last ulp.
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 2, 0.1 + 0.2);
+        coo.push(1, 2, 0.3);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        let r = coo.to_csr();
+        let reward = vec![0.0, 0.0, 1.0];
+        let exact = ordinary_partition(
+            &r,
+            &reward,
+            &LumpOptions {
+                tolerance: Tolerance::Exact,
+            },
+        );
+        assert!(!exact.same_class(0, 1));
+        let rounded = ordinary_partition(
+            &r,
+            &reward,
+            &LumpOptions {
+                tolerance: Tolerance::Decimals(9),
+            },
+        );
+        assert!(rounded.same_class(0, 1));
+    }
+
+    #[test]
+    fn exact_is_ordinary_of_transpose_plus_exit_rates() {
+        // Duality: exact lumpability of R is ordinary lumpability of Rᵀ,
+        // intersected with equal exit rates R(s, S) and equal initial
+        // probabilities. Check on a chain with a planted column symmetry.
+        let mut coo = CooMatrix::new(5, 5);
+        coo.push(4, 0, 1.0);
+        coo.push(4, 1, 1.0);
+        coo.push(0, 2, 3.0);
+        coo.push(1, 2, 3.0);
+        coo.push(2, 3, 2.0);
+        coo.push(3, 4, 1.5);
+        let r = coo.to_csr();
+        let initial = vec![0.2; 5];
+
+        let exact = exact_partition(&r, &initial, &LumpOptions::default());
+
+        // Ordinary on the transpose with "reward" = (initial, exit rate).
+        let rt = r.transpose();
+        let row_sums = r.row_sums_vec();
+        let tol = mdl_linalg::Tolerance::default();
+        let init = mdl_partition::Partition::from_key_fn(5, |s| {
+            (tol.key(initial[s]), tol.key(row_sums[s]))
+        });
+        let mut splitter = crate::splitters::OrdinaryFlatSplitter::new(&rt, tol);
+        let dual = mdl_partition::comp_lumping(init, &mut splitter).partition;
+
+        assert_eq!(exact, dual);
+        assert!(exact.same_class(0, 1));
+    }
+
+    #[test]
+    fn fully_asymmetric_chain_is_unlumpable() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        let r = coo.to_csr();
+        let p = ordinary_partition(&r, &[0.0; 3], &LumpOptions::default());
+        assert!(p.is_discrete());
+    }
+}

@@ -1,0 +1,36 @@
+//! `mdlump` — compositional lumping of continuous-time Markov chains
+//! represented as matrix diagrams.
+//!
+//! This umbrella crate re-exports the full stack; see the individual crates
+//! for the detailed APIs:
+//!
+//! * [`linalg`] — sparse matrices, Kronecker products, the [`linalg::RateMatrix`] trait;
+//! * [`ctmc`] — CTMCs, Markov reward processes, stationary/transient solvers;
+//! * [`partition`] — partitions and the generic refinement engine (paper Fig. 1–2);
+//! * [`statelump`] — optimal *state-level* lumping of flat CTMCs (paper ref. \[9\]);
+//! * [`mdd`] — hash-consed multi-valued decision diagrams indexing reachable states;
+//! * [`md`] — matrix diagrams: the symbolic matrix representation being lumped;
+//! * [`core`] — the paper's contribution: level-local compositional lumping of MDs;
+//! * [`models`] — a compositional modeling formalism and the paper's tandem
+//!   MSMQ + hypercube example.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mdlump::models::tandem::{TandemConfig, TandemModel};
+//! use mdlump::core::{compositional_lump, LumpKind};
+//!
+//! let model = TandemModel::new(TandemConfig { jobs: 1, ..TandemConfig::default() });
+//! let mrp = model.build_md_mrp().expect("model builds");
+//! let lumped = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumpable input");
+//! assert!(lumped.mrp.num_states() <= mrp.num_states());
+//! ```
+
+pub use mdl_core as core;
+pub use mdl_ctmc as ctmc;
+pub use mdl_linalg as linalg;
+pub use mdl_md as md;
+pub use mdl_mdd as mdd;
+pub use mdl_models as models;
+pub use mdl_partition as partition;
+pub use mdl_statelump as statelump;

@@ -1,0 +1,169 @@
+//! Cross-representation consistency: the same chain analyzed as a flat
+//! sparse matrix and as a matrix diagram must give identical results, and
+//! degenerate cases must collapse to the classical algorithms.
+
+use mdlump::core::{compositional_lump, Combiner, DecomposableVector, LumpKind, MdMrp};
+use mdlump::ctmc::{
+    stationary_gauss_seidel, Mrp, SolverOptions, StationaryMethod, TransientOptions,
+};
+use mdlump::linalg::{vec_ops, CooMatrix, CsrMatrix, Tolerance};
+use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
+use mdlump::mdd::Mdd;
+use mdlump::statelump::{ordinary_lump, LumpOptions};
+
+/// A deterministic 8-state chain with a 2-fold planted symmetry.
+fn flat_chain() -> (CsrMatrix, Vec<f64>) {
+    let mut coo = CooMatrix::new(8, 8);
+    // Pairs {2k, 2k+1} behave identically.
+    for k in 0..4usize {
+        let (a, b) = (2 * k, 2 * k + 1);
+        let (na, nb) = ((2 * (k + 1)) % 8, (2 * (k + 1) + 1) % 8);
+        for &s in &[a, b] {
+            coo.push(s, na, 0.75);
+            coo.push(s, nb, 0.75);
+            coo.push(s, (s + 2) % 8, 0.5); // extra asymmetric-looking edge
+        }
+    }
+    let reward = vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0, 0.0, 0.0];
+    (coo.to_csr(), reward)
+}
+
+/// Wraps a flat matrix as a single-level MD over the full state space.
+fn as_single_level_md(r: &CsrMatrix, reward: &[f64]) -> MdMrp {
+    let n = r.nrows();
+    let mut expr = KroneckerExpr::new(vec![n]);
+    let mut f = SparseFactor::new(n);
+    for (i, j, v) in r.iter() {
+        f.push(i, j, v);
+    }
+    expr.add_term(1.0, vec![Some(f)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![n]).unwrap()).unwrap();
+    let rv = DecomposableVector::new(vec![reward.to_vec()], Combiner::Product).unwrap();
+    let init = DecomposableVector::uniform(&[n], n as u64).unwrap();
+    MdMrp::new(matrix, rv, init).unwrap()
+}
+
+#[test]
+fn single_level_compositional_lumping_equals_state_level_lumping() {
+    // On a 1-level MD the "local" conditions are the global ones, so the
+    // compositional algorithm must find exactly the optimal partition of
+    // the flat state-level algorithm.
+    let (r, reward) = flat_chain();
+    let flat = ordinary_lump(&r, &reward, &LumpOptions::default());
+    let mrp = as_single_level_md(&r, &reward);
+    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert_eq!(
+        flat.partition.num_classes() as u64,
+        comp.stats.lumped_states,
+        "single-level compositional == optimal flat"
+    );
+    let mut flat_partition = flat.partition.clone();
+    flat_partition.canonicalize();
+    assert_eq!(flat_partition, comp.partitions[0]);
+}
+
+#[test]
+fn all_three_stationary_solvers_agree_on_flat_chain() {
+    let (r, _) = flat_chain();
+    let opts = SolverOptions::default();
+    let p = mdlump::ctmc::stationary_power(&r, &opts)
+        .unwrap()
+        .probabilities;
+    let j = mdlump::ctmc::stationary_jacobi(&r, &opts)
+        .unwrap()
+        .probabilities;
+    let g = stationary_gauss_seidel(&r, &opts).unwrap().probabilities;
+    assert!(vec_ops::max_abs_diff(&p, &j) < 1e-7);
+    assert!(vec_ops::max_abs_diff(&p, &g) < 1e-7);
+}
+
+#[test]
+fn md_and_flat_transient_agree() {
+    let (r, reward) = flat_chain();
+    let md_mrp = as_single_level_md(&r, &reward);
+    let n = r.nrows();
+    let flat_mrp = Mrp::new(r, reward, vec![1.0 / n as f64; n]).unwrap();
+    let opts = TransientOptions::default();
+    for &t in &[0.25, 1.0, 4.0] {
+        let a = md_mrp.transient(t, &opts).unwrap().probabilities;
+        let b = flat_mrp.transient(t, &opts).unwrap().probabilities;
+        assert!(vec_ops::max_abs_diff(&a, &b) < 1e-12, "t = {t}");
+    }
+}
+
+#[test]
+fn lumped_chain_measures_match_flat_lumped_measures() {
+    let (r, reward) = flat_chain();
+    let mrp = as_single_level_md(&r, &reward);
+    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let flat = ordinary_lump(&r, &reward, &LumpOptions::default());
+    let opts = SolverOptions {
+        method: StationaryMethod::Power,
+        ..Default::default()
+    };
+
+    let symbolic = comp.mrp.expected_stationary_reward(&opts).unwrap();
+    let flat_sol = mdlump::ctmc::stationary_power(&flat.rates, &opts).unwrap();
+    let explicit = flat_sol.expected_reward(&flat.reward);
+    assert!((symbolic - explicit).abs() < 1e-8);
+}
+
+#[test]
+fn restricting_reachability_projects_consistently() {
+    // Build a 2-level expression, restrict to a reachable subset, and
+    // check the projected flat matrix equals the submatrix of the full one.
+    let mut up = SparseFactor::new(3);
+    up.push(0, 1, 1.0);
+    up.push(1, 2, 1.0);
+    let mut expr = KroneckerExpr::new(vec![3, 2]);
+    expr.add_term(1.0, vec![Some(up), None]);
+    let mut toggle = SparseFactor::new(2);
+    toggle.push(0, 1, 2.0);
+    toggle.push(1, 0, 2.0);
+    expr.add_term(1.0, vec![None, Some(toggle)]);
+
+    let md = expr.to_md().unwrap();
+    let reach = Mdd::from_tuples(
+        vec![3, 2],
+        vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]],
+    )
+    .unwrap();
+    let restricted = MdMatrix::new(md.clone(), reach.clone()).unwrap().flatten();
+    let full = MdMatrix::new(md, Mdd::full(vec![3, 2]).unwrap())
+        .unwrap()
+        .flatten();
+
+    reach.for_each_tuple(|rt, ri| {
+        let rfull = (rt[0] * 2 + rt[1]) as usize;
+        reach.for_each_tuple(|ct, ci| {
+            let cfull = (ct[0] * 2 + ct[1]) as usize;
+            assert_eq!(
+                restricted.get(ri as usize, ci as usize),
+                full.get(rfull, cfull)
+            );
+        });
+    });
+}
+
+#[test]
+fn tolerance_modes_agree_on_exact_arithmetic() {
+    let (r, reward) = flat_chain();
+    let exact = ordinary_lump(
+        &r,
+        &reward,
+        &LumpOptions {
+            tolerance: Tolerance::Exact,
+        },
+    );
+    let rounded = ordinary_lump(
+        &r,
+        &reward,
+        &LumpOptions {
+            tolerance: Tolerance::Decimals(9),
+        },
+    );
+    assert_eq!(
+        exact.partition.num_classes(),
+        rounded.partition.num_classes()
+    );
+}

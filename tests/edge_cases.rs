@@ -1,0 +1,215 @@
+//! Edge cases and degenerate inputs across the stack.
+
+use mdlump::core::{compositional_lump, verify, Combiner, DecomposableVector, LumpKind, MdMrp};
+use mdlump::linalg::Tolerance;
+use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
+use mdlump::mdd::Mdd;
+
+fn sym_level2() -> SparseFactor {
+    // States 1 and 2 symmetric against 0 (with 1↔2 exchange).
+    let mut w = SparseFactor::new(3);
+    w.push(0, 1, 1.0);
+    w.push(0, 2, 1.0);
+    w.push(1, 0, 2.0);
+    w.push(2, 0, 2.0);
+    w.push(1, 2, 0.5);
+    w.push(2, 1, 0.5);
+    w
+}
+
+fn cyc2() -> SparseFactor {
+    let mut f = SparseFactor::new(2);
+    f.push(0, 1, 3.0);
+    f.push(1, 0, 3.0);
+    f
+}
+
+#[test]
+fn asymmetric_reachability_blocks_matrix_symmetry() {
+    // The rate matrix is symmetric in level-2 states 1 and 2, but the
+    // reachable set contains (0,1) and not (0,2): the structural
+    // MDD-compatibility condition (DESIGN.md §4.2) must keep them apart,
+    // and the result must still verify on the flat chains.
+    let mut expr = KroneckerExpr::new(vec![2, 3]);
+    expr.add_term(1.0, vec![Some(cyc2()), None]);
+    expr.add_term(1.0, vec![None, Some(sym_level2())]);
+    let md = expr.to_md().unwrap();
+
+    let reach = Mdd::from_tuples(
+        vec![2, 3],
+        vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1], vec![1, 2]],
+    )
+    .unwrap();
+    let matrix = MdMatrix::new(md, reach).unwrap();
+    let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+    let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert!(
+        !result.partitions[1].same_class(1, 2),
+        "reachability asymmetry must block the merge"
+    );
+    verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+}
+
+#[test]
+fn symmetric_reachability_allows_matrix_symmetry() {
+    // Same matrix, but with a reachable set closed under the 1↔2 swap:
+    // now the merge is allowed.
+    let mut expr = KroneckerExpr::new(vec![2, 3]);
+    expr.add_term(1.0, vec![Some(cyc2()), None]);
+    expr.add_term(1.0, vec![None, Some(sym_level2())]);
+    let md = expr.to_md().unwrap();
+    let reach = Mdd::from_tuples(
+        vec![2, 3],
+        vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 0],
+            vec![1, 1],
+            vec![1, 2],
+        ],
+    )
+    .unwrap();
+    let matrix = MdMatrix::new(md, reach).unwrap();
+    let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+    let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert!(result.partitions[1].same_class(1, 2));
+    verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+}
+
+#[test]
+fn minimal_chain_lumps_to_itself() {
+    // A fully asymmetric chain: lumping is the identity.
+    let mut a = SparseFactor::new(2);
+    a.push(0, 1, 1.0);
+    a.push(1, 0, 2.0);
+    let mut b = SparseFactor::new(2);
+    b.push(0, 1, 4.0);
+    b.push(1, 0, 8.0);
+    let mut expr = KroneckerExpr::new(vec![2, 2]);
+    expr.add_term(1.0, vec![Some(a), None]);
+    expr.add_term(1.0, vec![None, Some(b)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 2]).unwrap()).unwrap();
+    // Distinguish every local state by reward so nothing can merge.
+    let reward =
+        DecomposableVector::new(vec![vec![1.0, 2.0], vec![1.0, 5.0]], Combiner::Product).unwrap();
+    let initial = DecomposableVector::uniform(&[2, 2], 4).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert_eq!(result.stats.lumped_states, 4);
+    assert_eq!(result.stats.reduction_factor(), 1.0);
+    // Flat matrices are identical up to state order (here: identical).
+    assert_eq!(
+        mrp.matrix()
+            .flatten()
+            .max_abs_diff(&result.mrp.matrix().flatten()),
+        0.0
+    );
+}
+
+#[test]
+fn zero_matrix_collapses_completely() {
+    // An MD representing the zero matrix: every state is trivially
+    // equivalent under a constant reward.
+    let expr = KroneckerExpr::new(vec![2, 3]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+    let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+    let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert_eq!(result.stats.lumped_states, 1);
+    verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+}
+
+#[test]
+fn single_state_levels_are_harmless() {
+    let mut f = SparseFactor::new(3);
+    f.push(0, 1, 1.0);
+    f.push(1, 2, 1.0);
+    f.push(2, 0, 1.0);
+    let mut expr = KroneckerExpr::new(vec![1, 3, 1]);
+    expr.add_term(2.0, vec![None, Some(f), None]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![1, 3, 1]).unwrap()).unwrap();
+    let reward = DecomposableVector::constant(&[1, 3, 1], 1.0).unwrap();
+    let initial = DecomposableVector::uniform(&[1, 3, 1], 3).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert_eq!(result.partitions[0].num_classes(), 1);
+    assert_eq!(result.partitions[2].num_classes(), 1);
+    verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+}
+
+#[test]
+fn self_loops_in_r_are_preserved_by_lumping() {
+    // R may carry self-loops (they cancel in Q); the quotient must keep
+    // class-internal rates consistent.
+    let mut f = SparseFactor::new(3);
+    f.push(0, 0, 7.0); // self-loop
+    f.push(0, 1, 1.0);
+    f.push(0, 2, 1.0);
+    f.push(1, 0, 2.0);
+    f.push(2, 0, 2.0);
+    f.push(1, 2, 0.5);
+    f.push(2, 1, 0.5);
+    let mut expr = KroneckerExpr::new(vec![2, 3]);
+    expr.add_term(1.0, vec![Some(cyc2()), None]);
+    expr.add_term(1.0, vec![None, Some(f)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+    let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+    let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert!(result.partitions[1].same_class(1, 2));
+    verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
+
+    // Self-loop rate survives into the lumped R (row sums preserved).
+    use mdlump::linalg::RateMatrix;
+    let lumped_sums = result.mrp.matrix().row_sums();
+    assert!(lumped_sums.iter().any(|&s| s > 7.0));
+}
+
+#[test]
+fn tolerant_lumping_merges_noisy_rates() {
+    // Rates equal only up to accumulation noise: Exact keys keep them
+    // apart, Decimals(9) merges them, and the merged result verifies
+    // under the same tolerance.
+    let mut w = SparseFactor::new(3);
+    w.push(0, 1, 1.0);
+    w.push(0, 2, 1.0);
+    w.push(1, 0, 0.1 + 0.2); // 0.30000000000000004
+    w.push(2, 0, 0.3); // mathematically equal, bitwise different
+    let mut expr = KroneckerExpr::new(vec![2, 3]);
+    expr.add_term(1.0, vec![Some(cyc2()), None]);
+    expr.add_term(1.0, vec![None, Some(w)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+    let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
+    let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+
+    use mdlump::core::{compositional_lump_with, LumpOptions};
+    let exact = compositional_lump_with(
+        &mrp,
+        LumpKind::Ordinary,
+        &LumpOptions {
+            tolerance: Tolerance::Exact,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let tolerant = compositional_lump_with(
+        &mrp,
+        LumpKind::Ordinary,
+        &LumpOptions {
+            tolerance: Tolerance::Decimals(9),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(tolerant.stats.lumped_states < exact.stats.lumped_states);
+    verify::verify_ordinary(&mrp, &tolerant, Tolerance::Decimals(9)).unwrap();
+}

@@ -1,0 +1,128 @@
+//! Documented limitations of the compositional approach, demonstrated:
+//! the paper is explicit that level-local conditions are only *sufficient*
+//! and "the resulting lumped CTMC could possibly be lumped to a smaller
+//! CTMC by a state-level lumping algorithm that has a flat (i.e., global)
+//! view". These tests pin down two concrete mechanisms.
+
+use mdlump::core::{compositional_lump, DecomposableVector, LumpKind, MdMrp};
+use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
+use mdlump::mdd::Mdd;
+use mdlump::statelump::{ordinary_partition, LumpOptions};
+
+/// Two *identical* components on separate MD levels: the global symmetry
+/// that swaps the levels (state (a, b) ≈ (b, a)) is invisible to per-level
+/// lumping, but the flat state-level algorithm finds it.
+#[test]
+fn cross_level_symmetry_is_out_of_scope() {
+    let mut flip = SparseFactor::new(2);
+    flip.push(0, 1, 1.0);
+    flip.push(1, 0, 2.0);
+    let mut expr = KroneckerExpr::new(vec![2, 2]);
+    expr.add_term(1.0, vec![Some(flip.clone()), None]);
+    expr.add_term(1.0, vec![None, Some(flip)]);
+
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 2]).unwrap()).unwrap();
+    let reward = DecomposableVector::constant(&[2, 2], 1.0).unwrap();
+    let initial = DecomposableVector::uniform(&[2, 2], 4).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+
+    // Per-level: each 2-state component is asymmetric (rates 1 vs 2), so
+    // the compositional algorithm cannot reduce anything.
+    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert_eq!(comp.stats.lumped_states, 4);
+
+    // Flat state-level lumping sees (0,1) ≈ (1,0) and finds 3 classes.
+    let flat = mrp.matrix().flatten();
+    let optimal = ordinary_partition(&flat, &mrp.reward_vector(), &LumpOptions::default());
+    assert_eq!(optimal.num_classes(), 3);
+    let i01 = mrp.matrix().reach().index_of(&[0, 1]).unwrap() as usize;
+    let i10 = mrp.matrix().reach().index_of(&[1, 0]).unwrap() as usize;
+    assert!(optimal.same_class(i01, i10));
+}
+
+/// Aggregate-only symmetries *within* a level that hold for the flat rows
+/// but not per (node, child) formal sums: the sufficient condition of
+/// Section 4 misses them, and the paper's Section 4 discussion predicts
+/// exactly this.
+#[test]
+fn formal_sum_condition_is_only_sufficient() {
+    use mdlump::md::{ChildId, MdBuilder, Term};
+    // Level-0 states 1 and 2 reach the same *flat* block matrix through
+    // different child structures: state 1 via child A = identity with
+    // coefficient 2, state 2 via children B + C (which sum to twice the
+    // identity) with coefficient 1 each.
+    let mut b = MdBuilder::new(vec![3, 2]).unwrap();
+    let node_b = b
+        .intern_node(
+            1,
+            vec![
+                (0, 0, vec![Term::new(2.0, ChildId::Terminal)]),
+                (1, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+            ],
+        )
+        .unwrap();
+    let node_c = b
+        .intern_node(1, vec![(1, 1, vec![Term::new(1.0, ChildId::Terminal)])])
+        .unwrap();
+    let node_a = b
+        .intern_node(
+            1,
+            vec![
+                (0, 0, vec![Term::new(1.0, ChildId::Terminal)]),
+                (1, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+            ],
+        )
+        .unwrap();
+    let root = b
+        .intern_node(
+            0,
+            vec![
+                (1, 0, vec![Term::new(2.0, ChildId::Node(node_a))]),
+                (
+                    2,
+                    0,
+                    vec![
+                        Term::new(1.0, ChildId::Node(node_b)),
+                        Term::new(1.0, ChildId::Node(node_c)),
+                    ],
+                ),
+                // Give state 0 some behaviour so the chain is not trivial.
+                (0, 1, vec![Term::new(1.0, ChildId::Node(node_a))]),
+            ],
+        )
+        .unwrap();
+    let md = b.finish(root).unwrap();
+    let matrix = MdMatrix::new(md, Mdd::full(vec![3, 2]).unwrap()).unwrap();
+    let reward = DecomposableVector::constant(&[3, 2], 1.0).unwrap();
+    let initial = DecomposableVector::uniform(&[3, 2], 6).unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+
+    // Compositional: states 1 and 2 stay apart (different formal sums).
+    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    assert!(!comp.partitions[0].same_class(1, 2));
+
+    // Flat: rows of (1, *) and (2, *) are equal (2·I = B + C), so the
+    // state-level optimum merges them.
+    let flat = mrp.matrix().flatten();
+    let optimal = ordinary_partition(&flat, &mrp.reward_vector(), &LumpOptions::default());
+    let reach = mrp.matrix().reach();
+    for s2 in 0..2u32 {
+        let a = reach.index_of(&[1, s2]).unwrap() as usize;
+        let b = reach.index_of(&[2, s2]).unwrap() as usize;
+        assert!(
+            optimal.same_class(a, b),
+            "flat view merges (1,{s2}) and (2,{s2})"
+        );
+    }
+    assert!(optimal.num_classes() < comp.stats.lumped_states as usize);
+
+    // The expanded-matrix ablation key recovers this case (at its cost).
+    let expanded = mdlump::core::ablation::comp_lumping_level_expanded(
+        mrp.matrix().md(),
+        0,
+        mdlump::partition::Partition::single_class(3),
+        LumpKind::Ordinary,
+        mdlump::linalg::Tolerance::default(),
+    );
+    assert!(expanded.partition.same_class(1, 2));
+}

@@ -1,0 +1,146 @@
+//! Measure-preservation integration tests: every measure class the stack
+//! supports (stationary, transient, accumulated) must be preserved by both
+//! kinds of compositional lumping.
+
+use mdlump::core::{compositional_lump, Combiner, DecomposableVector, LumpKind, MdMrp};
+use mdlump::ctmc::{SolverOptions, TransientOptions};
+use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
+use mdlump::mdd::Mdd;
+use mdlump::models::shared_repair::{SharedRepairConfig, SharedRepairModel};
+use mdlump::models::tandem::{TandemConfig, TandemModel, TandemReward};
+
+fn tandem_mrp() -> MdMrp {
+    TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    })
+    .build_md_mrp_with_reward(TandemReward::Availability)
+    .expect("tandem builds")
+}
+
+#[test]
+fn ordinary_lump_preserves_transient_reward() {
+    let mrp = tandem_mrp();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let opts = TransientOptions::default();
+    for &t in &[0.5, 2.0, 10.0] {
+        let full = mrp
+            .expected_transient_reward(t, &opts)
+            .expect("full transient");
+        let lumped = result
+            .mrp
+            .expected_transient_reward(t, &opts)
+            .expect("lumped transient");
+        assert!((full - lumped).abs() < 1e-9, "t={t}: {full} vs {lumped}");
+    }
+}
+
+#[test]
+fn ordinary_lump_preserves_accumulated_reward() {
+    let mrp = tandem_mrp();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let opts = TransientOptions::default();
+    for &t in &[1.0, 5.0] {
+        let full = mrp
+            .expected_accumulated_reward(t, &opts)
+            .expect("full accumulated");
+        let lumped = result
+            .mrp
+            .expected_accumulated_reward(t, &opts)
+            .expect("lumped accumulated");
+        assert!(
+            (full - lumped).abs() < 1e-8,
+            "t={t}: {full} vs {lumped} (expected downtime over mission time)"
+        );
+    }
+}
+
+#[test]
+fn shared_repair_interval_of_time_measures_preserved() {
+    let model = SharedRepairModel::new(SharedRepairConfig {
+        machines: 6,
+        ..SharedRepairConfig::default()
+    });
+    let mrp = model.build_md_mrp().expect("builds");
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let opts = TransientOptions::default();
+    // Expected machine-uptime accumulated over a mission of length 20.
+    let full = mrp.expected_accumulated_reward(20.0, &opts).expect("full");
+    let lumped = result
+        .mrp
+        .expected_accumulated_reward(20.0, &opts)
+        .expect("lumped");
+    assert!((full - lumped).abs() < 1e-7, "{full} vs {lumped}");
+    // Sanity: at most M × t machine-time units.
+    assert!(full > 0.0 && full < 6.0 * 20.0);
+}
+
+#[test]
+fn exact_lump_preserves_accumulated_reward() {
+    // Ring model with a planted half-turn exact symmetry (as in the
+    // exact_transient example).
+    let mut phase = SparseFactor::new(3);
+    phase.push(0, 1, 1.0);
+    phase.push(1, 2, 1.0);
+    phase.push(2, 0, 1.0);
+    let mut ring = SparseFactor::new(6);
+    for i in 0..6 {
+        ring.push(i, (i + 1) % 6, 2.0);
+        ring.push(i, (i + 5) % 6, 1.0);
+    }
+    let mut expr = KroneckerExpr::new(vec![3, 6]);
+    expr.add_term(1.0, vec![Some(phase), None]);
+    expr.add_term(1.0, vec![None, Some(ring)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![3, 6]).unwrap()).unwrap();
+    let reward = DecomposableVector::new(
+        vec![vec![1.0, 1.0, 1.0], vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]],
+        Combiner::Product,
+    )
+    .unwrap();
+    let initial = DecomposableVector::new(
+        vec![vec![1.0, 0.0, 0.0], vec![0.5, 0.0, 0.0, 0.5, 0.0, 0.0]],
+        Combiner::Product,
+    )
+    .unwrap();
+    let mrp = MdMrp::new(matrix, reward, initial).unwrap();
+
+    let result = compositional_lump(&mrp, LumpKind::Exact).expect("lumps");
+    let measures = result.exact_measures().expect("exact");
+    let opts = TransientOptions::default();
+    for &t in &[0.5, 2.0, 8.0] {
+        let full = mrp.expected_accumulated_reward(t, &opts).expect("full");
+        let lumped = measures
+            .expected_accumulated_reward(t, &opts)
+            .expect("lumped");
+        assert!((full - lumped).abs() < 1e-8, "t={t}: {full} vs {lumped}");
+    }
+}
+
+#[test]
+fn accumulated_reward_consistent_with_transient_derivative() {
+    // d/dt of the accumulated reward at t is the instantaneous expected
+    // reward at t: finite-difference check on the tandem chain.
+    let mrp = tandem_mrp();
+    let opts = TransientOptions::default();
+    let (t, h) = (2.0, 1e-4);
+    let upper = mrp.expected_accumulated_reward(t + h, &opts).unwrap();
+    let lower = mrp.expected_accumulated_reward(t - h, &opts).unwrap();
+    let derivative = (upper - lower) / (2.0 * h);
+    let instantaneous = mrp.expected_transient_reward(t, &opts).unwrap();
+    assert!(
+        (derivative - instantaneous).abs() < 1e-5,
+        "{derivative} vs {instantaneous}"
+    );
+}
+
+#[test]
+fn parallel_matrix_solves_lumped_tandem_identically() {
+    use mdlump::ctmc::ParCsr;
+    use mdlump::linalg::vec_ops;
+    let mrp = tandem_mrp();
+    let flat = mrp.matrix().flatten();
+    let serial = mdlump::ctmc::stationary_power(&flat, &SolverOptions::default()).unwrap();
+    let par = ParCsr::new(flat, 4);
+    let parallel = mdlump::ctmc::stationary_power(&par, &SolverOptions::default()).unwrap();
+    assert!(vec_ops::max_abs_diff(&serial.probabilities, &parallel.probabilities) < 1e-12);
+}

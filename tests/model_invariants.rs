@@ -1,0 +1,144 @@
+//! Structural invariants of the benchmark models, checked over every
+//! reachable state and transition (not just sampled trajectories).
+
+use mdlump::models::tandem::{ServerPhase, TandemConfig, TandemModel};
+
+#[test]
+fn tandem_every_reachable_state_is_internally_consistent() {
+    let model = TandemModel::new(TandemConfig {
+        jobs: 2,
+        ..TandemConfig::default()
+    });
+    let mrp = model.build_md_mrp().expect("builds");
+    let reach = mrp.matrix().reach();
+    let jobs = model.config().jobs as u32;
+
+    reach.for_each_tuple(|t, _| {
+        // Job conservation.
+        let (pm, ph) = model.pools().state(t[0]);
+        let hyper = model.hypercube().state(t[1]);
+        let msmq = model.msmq().state(t[2]);
+        let total: u32 = pm
+            + ph
+            + hyper.queues.iter().map(|&q| q as u32).sum::<u32>()
+            + msmq.queues.iter().map(|&q| q as u32).sum::<u32>();
+        assert_eq!(total, jobs);
+
+        // Failure cap.
+        let down = hyper.up.iter().filter(|&&u| !u).count();
+        assert!(down <= model.config().max_down);
+
+        // MSMQ claim validity: serving servers never exceed queued jobs.
+        for q in 0..model.config().msmq_queues as u8 {
+            let serving = msmq
+                .servers
+                .iter()
+                .filter(|s| s.phase == ServerPhase::Serving && s.queue == q)
+                .count();
+            assert!(serving <= msmq.queues[q as usize] as usize);
+        }
+    });
+}
+
+#[test]
+fn tandem_transitions_move_at_most_one_job() {
+    let model = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = model.build_md_mrp().expect("builds");
+    let reach = mrp.matrix().reach();
+    let flat = mrp.matrix().flatten();
+
+    let job_positions = |t: &[u32]| -> (u32, u32, u32, u32) {
+        let (pm, ph) = model.pools().state(t[0]);
+        let hyper: u32 = model
+            .hypercube()
+            .state(t[1])
+            .queues
+            .iter()
+            .map(|&q| q as u32)
+            .sum();
+        let msmq: u32 = model
+            .msmq()
+            .state(t[2])
+            .queues
+            .iter()
+            .map(|&q| q as u32)
+            .sum();
+        (pm, ph, hyper, msmq)
+    };
+
+    let mut tuples = Vec::new();
+    reach.for_each_tuple(|t, idx| tuples.push((t.to_vec(), idx)));
+    for (t, idx) in &tuples {
+        let from = job_positions(t);
+        for (c, rate) in flat.row(*idx as usize) {
+            assert!(rate > 0.0, "stored rates are positive");
+            let to = job_positions(&tuples[c].0);
+            // Total conserved and per-place change bounded by 1.
+            let diffs = [
+                from.0 as i64 - to.0 as i64,
+                from.1 as i64 - to.1 as i64,
+                from.2 as i64 - to.2 as i64,
+                from.3 as i64 - to.3 as i64,
+            ];
+            assert_eq!(diffs.iter().sum::<i64>(), 0);
+            assert!(
+                diffs.iter().all(|d| d.abs() <= 1),
+                "{t:?} -> {:?}",
+                tuples[c].0
+            );
+        }
+    }
+}
+
+#[test]
+fn tandem_chain_has_no_dead_states() {
+    // Every reachable state has at least one outgoing transition (the
+    // closed system never deadlocks: walks and failures are always
+    // possible somewhere).
+    use mdlump::linalg::RateMatrix;
+    let model = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = model.build_md_mrp().expect("builds");
+    let sums = mrp.matrix().row_sums();
+    assert!(sums.iter().all(|&s| s > 0.0));
+}
+
+#[test]
+fn simulator_transitions_match_flat_matrix_rows() {
+    // The simulator's transition enumeration and the MD pipeline must
+    // describe the same chain: compare per-state total exit rates on a
+    // small tandem instance.
+    use mdlump::linalg::RateMatrix;
+    let model = TandemModel::new(TandemConfig {
+        jobs: 1,
+        msmq_servers: 1,
+        cube_dim: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = model.build_md_mrp().expect("builds");
+    let reach = mrp.matrix().reach();
+    let sums = mrp.matrix().row_sums();
+    reach.for_each_tuple(|t, idx| {
+        let sim_total: f64 = model
+            .composed()
+            .transitions(t)
+            .iter()
+            .map(|&(ref succ, w)| {
+                // Transitions to unreachable syntactic states cannot occur
+                // from reachable ones (guard consistency).
+                assert!(reach.contains(succ), "{t:?} -> {succ:?}");
+                w
+            })
+            .sum();
+        assert!(
+            (sim_total - sums[idx as usize]).abs() < 1e-9,
+            "state {t:?}: simulator {sim_total} vs matrix {}",
+            sums[idx as usize]
+        );
+    });
+}

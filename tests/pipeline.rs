@@ -1,0 +1,170 @@
+//! End-to-end integration tests spanning the whole stack: model → matrix
+//! diagram + MDD → compositional lumping → verification → numerical
+//! solution → measures.
+
+use mdlump::core::{compositional_lump, compositional_lump_with, verify, LumpKind, LumpOptions};
+use mdlump::ctmc::{SolverOptions, StationaryMethod};
+use mdlump::linalg::Tolerance;
+use mdlump::models::shared_repair::{SharedRepairConfig, SharedRepairModel};
+use mdlump::models::tandem::{TandemConfig, TandemModel, TandemReward};
+
+fn tandem_j1() -> mdlump::core::MdMrp {
+    let model = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    model.build_md_mrp().expect("tandem builds")
+}
+
+#[test]
+fn tandem_lump_verifies_against_flat_theorems() {
+    let mrp = tandem_j1();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    verify::verify_ordinary(&mrp, &result, Tolerance::default())
+        .expect("independent Theorem 1/2 verification");
+}
+
+#[test]
+fn tandem_lumped_chain_gives_same_availability_with_both_solvers() {
+    let mrp = tandem_j1();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let power = SolverOptions {
+        method: StationaryMethod::Power,
+        ..Default::default()
+    };
+    let jacobi = SolverOptions {
+        method: StationaryMethod::Jacobi,
+        ..Default::default()
+    };
+    let a = result
+        .mrp
+        .expected_stationary_reward(&power)
+        .expect("power solves");
+    let b = result
+        .mrp
+        .expected_stationary_reward(&jacobi)
+        .expect("jacobi solves");
+    assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+}
+
+#[test]
+fn tandem_lumped_flat_and_symbolic_solutions_agree() {
+    let mrp = tandem_j1();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let opts = SolverOptions::default();
+    let symbolic = result.mrp.stationary(&opts).expect("symbolic solve");
+    let flat = result.mrp.to_flat_mrp().expect("flattens");
+    let explicit = flat.stationary(&opts).expect("flat solve");
+    let diff =
+        mdlump::linalg::vec_ops::max_abs_diff(&symbolic.probabilities, &explicit.probabilities);
+    assert!(diff < 1e-9, "max diff {diff}");
+}
+
+#[test]
+fn tandem_quasi_reduce_changes_nothing_semantically() {
+    let mrp = tandem_j1();
+    let plain = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let reduced = compositional_lump_with(
+        &mrp,
+        LumpKind::Ordinary,
+        &LumpOptions {
+            quasi_reduce: true,
+            ..Default::default()
+        },
+    )
+    .expect("lumps");
+    assert_eq!(plain.stats.lumped_states, reduced.stats.lumped_states);
+    let diff = plain
+        .mrp
+        .matrix()
+        .flatten()
+        .max_abs_diff(&reduced.mrp.matrix().flatten());
+    assert_eq!(diff, 0.0);
+}
+
+#[test]
+fn tandem_rewards_constrain_lumping_monotonically() {
+    // A constant reward imposes no constraints; the availability reward
+    // can only refine the result.
+    let model = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let free = compositional_lump(
+        &model
+            .build_md_mrp_with_reward(TandemReward::Constant)
+            .unwrap(),
+        LumpKind::Ordinary,
+    )
+    .unwrap();
+    let avail = compositional_lump(
+        &model
+            .build_md_mrp_with_reward(TandemReward::Availability)
+            .unwrap(),
+        LumpKind::Ordinary,
+    )
+    .unwrap();
+    assert!(free.stats.lumped_states <= avail.stats.lumped_states);
+    let qlen = compositional_lump(
+        &model
+            .build_md_mrp_with_reward(TandemReward::MsmqQueueLength)
+            .unwrap(),
+        LumpKind::Ordinary,
+    )
+    .unwrap();
+    assert!(free.stats.lumped_states <= qlen.stats.lumped_states);
+}
+
+#[test]
+fn tandem_lump_stats_are_consistent() {
+    let mrp = tandem_j1();
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    // Per-level class counts multiply up to at least the lumped count
+    // (reachability can only prune the product).
+    let product: u64 = result
+        .stats
+        .per_level
+        .iter()
+        .map(|l| l.lumped_size as u64)
+        .product();
+    assert!(result.stats.lumped_states <= product);
+    // Class sizes over the lumped space must sum to the original count.
+    let total: u64 = result.class_sizes().iter().sum();
+    assert_eq!(total, result.stats.original_states);
+    // Memory shrinks.
+    assert!(result.stats.memory_after < result.stats.memory_before);
+}
+
+#[test]
+fn shared_repair_scales_past_the_unlumped_horizon() {
+    // M = 14 machines: 2^14 = 16384 configurations per controller mode;
+    // the lumped chain has 2 × 15 states and solves instantly.
+    let model = SharedRepairModel::new(SharedRepairConfig {
+        machines: 14,
+        ..SharedRepairConfig::default()
+    });
+    let mrp = model.build_md_mrp().expect("builds");
+    assert_eq!(mrp.num_states(), 2 * (1 << 14));
+    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    assert_eq!(result.stats.lumped_states, 2 * 15);
+    let mean_up = result
+        .mrp
+        .expected_stationary_reward(&SolverOptions::default())
+        .expect("solves");
+    assert!(mean_up > 0.0 && mean_up < 14.0);
+}
+
+#[test]
+fn exact_lump_of_tandem_verifies() {
+    // Exact lumping conditions columns; the uniform-dispatch symmetry
+    // still yields reductions, and the result must verify.
+    let model = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = model
+        .build_md_mrp_with_reward(TandemReward::Constant)
+        .expect("builds");
+    let result = compositional_lump(&mrp, LumpKind::Exact).expect("lumps");
+    verify::verify_exact(&mrp, &result, Tolerance::default()).expect("verifies");
+}

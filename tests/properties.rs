@@ -1,0 +1,168 @@
+//! Property-based tests over randomly generated compositional models:
+//! representation equivalences and lumping soundness on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use mdlump::core::{compositional_lump, verify, DecomposableVector, LumpKind, MdMrp};
+use mdlump::linalg::{vec_ops, RateMatrix, Tolerance};
+use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
+use mdlump::mdd::Mdd;
+use mdlump::models::random::{planted_model, LevelSpec};
+
+/// Strategy: a random sparse factor over `size` states with rates drawn
+/// from a small constant set (keeping bit-exact arithmetic meaningful).
+fn factor(size: usize) -> impl Strategy<Value = SparseFactor> {
+    let entry = (
+        0..size,
+        0..size,
+        prop::sample::select(vec![0.5, 1.0, 2.0, 3.0]),
+    );
+    prop::collection::vec(entry, 0..size * 2).prop_map(move |entries| {
+        let mut f = SparseFactor::new(size);
+        for (r, c, v) in entries {
+            f.push(r, c, v);
+        }
+        f
+    })
+}
+
+/// Strategy: a random 2-level Kronecker expression.
+fn expr(s1: usize, s2: usize) -> impl Strategy<Value = KroneckerExpr> {
+    let term = (
+        prop::sample::select(vec![0.5, 1.0, 1.5]),
+        prop::option::of(factor(s1)),
+        prop::option::of(factor(s2)),
+    );
+    prop::collection::vec(term, 1..5).prop_map(move |terms| {
+        let mut e = KroneckerExpr::new(vec![s1, s2]);
+        for (rate, f1, f2) in terms {
+            e.add_term(rate, vec![f1, f2]);
+        }
+        e
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The MD of a Kronecker expression represents exactly the same matrix
+    /// (flattened over the full product space).
+    #[test]
+    fn md_flatten_equals_kronecker_flatten(e in expr(3, 4)) {
+        let md = e.to_md().expect("md builds");
+        let full = Mdd::full(vec![3, 4]).expect("full mdd");
+        let m = MdMatrix::new(md, full).expect("pairs");
+        let diff = m.flatten().max_abs_diff(&e.flatten_full());
+        prop_assert_eq!(diff, 0.0);
+    }
+
+    /// Term aggregation never changes the represented matrix.
+    #[test]
+    fn aggregation_preserves_matrix(e in expr(3, 3)) {
+        let diff = e.flatten_full().max_abs_diff(&e.aggregate().flatten_full());
+        prop_assert!(diff < 1e-12);
+    }
+
+    /// Symbolic and flat matrix-vector products agree in both
+    /// orientations.
+    #[test]
+    fn symbolic_matvec_matches_flat(e in expr(4, 3), seed in 0u64..1000) {
+        let md = e.to_md().expect("md builds");
+        let full = Mdd::full(vec![4, 3]).expect("full mdd");
+        let m = MdMatrix::new(md, full).expect("pairs");
+        let flat = m.flatten();
+        let n = m.num_states();
+        let x: Vec<f64> = (0..n).map(|i| ((i as u64 * 37 + seed) % 11) as f64 * 0.1).collect();
+
+        let mut y1 = vec![0.0; n];
+        m.acc_mat_vec(&x, &mut y1);
+        let mut y2 = vec![0.0; n];
+        flat.acc_mat_vec(&x, &mut y2);
+        prop_assert!(vec_ops::max_abs_diff(&y1, &y2) < 1e-10);
+
+        let mut z1 = vec![0.0; n];
+        m.acc_vec_mat(&x, &mut z1);
+        let mut z2 = vec![0.0; n];
+        flat.acc_vec_mat(&x, &mut z2);
+        prop_assert!(vec_ops::max_abs_diff(&z1, &z2) < 1e-10);
+    }
+
+    /// Ordinary compositional lumping of any random model passes the
+    /// independent Theorem 1/2 verification.
+    #[test]
+    fn ordinary_lump_always_verifies(e in expr(4, 4)) {
+        let sizes = vec![4usize, 4];
+        let md = e.to_md().expect("md builds");
+        let full = Mdd::full(sizes.clone()).expect("full mdd");
+        let matrix = MdMatrix::new(md, full).expect("pairs");
+        let reward = DecomposableVector::constant(&sizes, 1.0).expect("reward");
+        let initial = DecomposableVector::uniform(&sizes, 16).expect("initial");
+        let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+        prop_assert!(verify::verify_ordinary(&mrp, &result, Tolerance::default()).is_ok());
+    }
+
+    /// Exact compositional lumping of any random model passes the
+    /// independent verification.
+    #[test]
+    fn exact_lump_always_verifies(e in expr(3, 4)) {
+        let sizes = vec![3usize, 4];
+        let md = e.to_md().expect("md builds");
+        let full = Mdd::full(sizes.clone()).expect("full mdd");
+        let matrix = MdMatrix::new(md, full).expect("pairs");
+        let reward = DecomposableVector::constant(&sizes, 1.0).expect("reward");
+        let initial = DecomposableVector::uniform(&sizes, 12).expect("initial");
+        let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
+        let result = compositional_lump(&mrp, LumpKind::Exact).expect("lumps");
+        prop_assert!(verify::verify_exact(&mrp, &result, Tolerance::default()).is_ok());
+    }
+
+    /// On planted-symmetry models the algorithm recovers at least the
+    /// planted partition, for both lumping kinds and varying shapes.
+    #[test]
+    fn planted_symmetries_recovered(
+        seed in 0u64..500,
+        copies in 2usize..4,
+        classes in 2usize..4,
+    ) {
+        for kind in [LumpKind::Ordinary, LumpKind::Exact] {
+            let pm = planted_model(
+                seed,
+                &[LevelSpec::uniform(classes, copies), LevelSpec::uniform(2, 2)],
+                kind,
+                2,
+                1,
+            );
+            let sizes = pm.expr.sizes().to_vec();
+            let count: usize = sizes.iter().product();
+            let md = pm.expr.to_md().expect("md builds");
+            let matrix = MdMatrix::new(md, Mdd::full(sizes.clone()).expect("mdd"))
+                .expect("pairs");
+            let reward = DecomposableVector::constant(&sizes, 1.0).expect("reward");
+            let initial =
+                DecomposableVector::uniform(&sizes, count as u64).expect("initial");
+            let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
+            let result = compositional_lump(&mrp, kind).expect("lumps");
+            for (l, planted) in pm.planted.iter().enumerate() {
+                prop_assert!(
+                    planted.is_refinement_of(&result.partitions[l]),
+                    "kind {:?} level {} seed {}", kind, l, seed
+                );
+            }
+        }
+    }
+
+    /// Lumping is idempotent: re-lumping a lumped chain finds nothing new.
+    #[test]
+    fn lumping_is_idempotent(e in expr(4, 4)) {
+        let sizes = vec![4usize, 4];
+        let md = e.to_md().expect("md builds");
+        let matrix = MdMatrix::new(md, Mdd::full(sizes.clone()).expect("mdd")).expect("pairs");
+        let reward = DecomposableVector::constant(&sizes, 1.0).expect("reward");
+        let initial = DecomposableVector::uniform(&sizes, 16).expect("initial");
+        let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
+        let once = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+        let twice = compositional_lump(&once.mrp, LumpKind::Ordinary).expect("lumps again");
+        prop_assert_eq!(once.stats.lumped_states, twice.stats.lumped_states);
+    }
+}
