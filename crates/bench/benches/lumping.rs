@@ -63,6 +63,17 @@ fn bench_lumping(c: &mut Criterion) {
         b.iter(|| compositional_lump(&mrp, LumpKind::Exact).expect("lumps"))
     });
 
+    // Overhead of the observability layer: the same lump with metrics
+    // enabled (counters + span histograms, no subscribers). Compare
+    // against `tandem_j1_ordinary`, which runs with obs disabled — the
+    // disabled no-op path must not regress it.
+    group.bench_function("tandem_j1_ordinary_obs_enabled", |b| {
+        mdl_obs::set_enabled(true);
+        b.iter(|| compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps"));
+        mdl_obs::set_enabled(false);
+        mdl_obs::reset();
+    });
+
     let repair = SharedRepairModel::new(SharedRepairConfig {
         machines: 10,
         ..SharedRepairConfig::default()

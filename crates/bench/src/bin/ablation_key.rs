@@ -11,15 +11,17 @@
 
 use std::time::Instant;
 
+use mdl_bench::{duration_ns, emit_jsonl};
 use mdl_core::ablation::comp_lumping_level_expanded;
 use mdl_core::{comp_lumping_level, LumpKind};
 use mdl_linalg::Tolerance;
 use mdl_md::Md;
 use mdl_models::random::{planted_model, LevelSpec};
 use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_obs::json::JsonObject;
 use mdl_partition::Partition;
 
-fn compare(md: &Md, level: usize, name: &str) {
+fn compare(md: &Md, level: usize, name: &str) -> String {
     let n = md.sizes()[level];
     let initial = Partition::single_class(n);
 
@@ -44,6 +46,18 @@ fn compare(md: &Md, level: usize, name: &str) {
         format!("{:.2?}", expanded.elapsed),
         if coarser { "  (expanded key is coarser!)" } else { "" }
     );
+
+    let mut obj = JsonObject::new();
+    obj.str("type", "ablation_key")
+        .str("model", name)
+        .u64("level", level as u64)
+        .u64("states", n as u64)
+        .u64("formal_classes", formal.num_classes() as u64)
+        .u64("formal_ns", duration_ns(formal_time))
+        .u64("expanded_classes", expanded.partition.num_classes() as u64)
+        .u64("expanded_ns", duration_ns(expanded.elapsed))
+        .bool("partitions_differ", coarser);
+    obj.close()
 }
 
 fn main() {
@@ -60,8 +74,9 @@ fn main() {
         .build_md_mrp_with_reward(TandemReward::Constant)
         .expect("build");
     let md = mrp.matrix().md();
+    let mut lines = Vec::new();
     for level in 0..md.num_levels() {
-        compare(md, level, "tandem J=1");
+        lines.push(compare(md, level, "tandem J=1"));
     }
     println!();
 
@@ -80,11 +95,12 @@ fn main() {
             2,
         );
         let md = pm.expr.to_md().expect("planted model builds");
-        compare(&md, 0, &format!("planted 3x{copies} (3 levels)"));
+        lines.push(compare(&md, 0, &format!("planted 3x{copies} (3 levels)")));
     }
     println!();
     println!(
         "(expected shape: identical partitions on these models; the expanded key's \
          time grows with the product of the lower levels, the formal key's does not)"
     );
+    emit_jsonl(&lines);
 }

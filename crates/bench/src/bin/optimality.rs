@@ -20,9 +20,11 @@
 
 use std::time::Instant;
 
+use mdl_bench::{duration_ns, emit_jsonl};
 use mdl_core::verify;
 use mdl_linalg::Tolerance;
 use mdl_models::tandem::TandemReward;
+use mdl_obs::json::JsonObject;
 use mdl_statelump::{ordinary_partition, LumpOptions};
 
 fn main() {
@@ -46,6 +48,7 @@ fn main() {
         "{:>3} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "J", "unlumped", "composit.", "post-lumped", "optimal", "verified"
     );
+    let mut lines = Vec::new();
     for j in jobs {
         eprintln!("J = {j}: building, lumping, verifying, flattening …");
         let (row, mrp, result) = mdl_bench::tandem_row(j, TandemReward::Availability);
@@ -84,5 +87,19 @@ fn main() {
             "    times: compositional {:?}, state-level on lumped {post_time:?}, state-level on full {optimal_time:?}",
             row.lumping
         );
+
+        let mut obj = JsonObject::new();
+        obj.str("type", "optimality")
+            .u64("jobs", j as u64)
+            .u64("unlumped", row.overall)
+            .u64("compositional", row.lumped_overall)
+            .u64("post_lumped", post.num_classes() as u64)
+            .u64("optimal", optimal.num_classes() as u64)
+            .bool("verified", verified)
+            .u64("compositional_ns", duration_ns(row.lumping))
+            .u64("post_lump_ns", duration_ns(post_time))
+            .u64("optimal_lump_ns", duration_ns(optimal_time));
+        lines.push(obj.close());
     }
+    emit_jsonl(&lines);
 }

@@ -5,18 +5,41 @@
 //!
 //! Run with `cargo run -p mdl-bench --release --bin scaling`.
 
+use mdl_bench::{duration_ns, emit_jsonl, json_usize_array};
 use mdl_core::{compositional_lump, LumpKind};
 use mdl_models::multi_bank::{MultiBankConfig, MultiBankModel};
 use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_obs::json::JsonObject;
 
-fn run(label: &str, config: TandemConfig) {
+fn scaling_json(
+    label: &str,
+    original: u64,
+    lumped: u64,
+    reduction: f64,
+    gen: std::time::Duration,
+    lump: std::time::Duration,
+    nodes: &[usize],
+) -> String {
+    let mut obj = JsonObject::new();
+    obj.str("type", "scaling")
+        .str("label", label)
+        .u64("original_states", original)
+        .u64("lumped_states", lumped)
+        .f64("reduction", reduction)
+        .u64("generation_ns", duration_ns(gen))
+        .u64("lumping_ns", duration_ns(lump))
+        .raw("nodes_per_level", &json_usize_array(nodes));
+    obj.close()
+}
+
+fn run(label: &str, config: TandemConfig) -> Option<String> {
     let t0 = std::time::Instant::now();
     let model = TandemModel::new(config);
     let mrp = match model.build_md_mrp_with_reward(TandemReward::Availability) {
         Ok(m) => m,
         Err(e) => {
             println!("{label:<24} skipped: {e}");
-            return;
+            return None;
         }
     };
     let gen = t0.elapsed();
@@ -32,56 +55,66 @@ fn run(label: &str, config: TandemConfig) {
         format!("{lump:.2?}"),
         mrp.matrix().md().nodes_per_level(),
     );
+    Some(scaling_json(
+        label,
+        result.stats.original_states,
+        result.stats.lumped_states,
+        result.stats.reduction_factor(),
+        gen,
+        lump,
+        &mrp.matrix().md().nodes_per_level(),
+    ))
 }
 
 fn main() {
+    let mut lines = Vec::new();
     println!("Scaling sweeps (tandem model)");
     println!();
     println!("Job population J (paper sweeps 1-3):");
     for jobs in 1..=3 {
-        run(
+        lines.extend(run(
             &format!("J = {jobs}"),
             TandemConfig {
                 jobs,
                 ..TandemConfig::default()
             },
-        );
+        ));
     }
     println!();
     println!("MSMQ servers (J = 1):");
     for servers in 1..=4 {
-        run(
+        lines.extend(run(
             &format!("msmq_servers = {servers}"),
             TandemConfig {
                 jobs: 1,
                 msmq_servers: servers,
                 ..TandemConfig::default()
             },
-        );
+        ));
     }
     println!();
     println!("Cube dimension (J = 1):");
     for dim in 1..=4 {
-        run(
+        lines.extend(run(
             &format!("cube_dim = {dim}"),
             TandemConfig {
                 jobs: 1,
                 cube_dim: dim,
                 ..TandemConfig::default()
             },
-        );
+        ));
     }
     println!();
     println!("MSMQ queues (J = 1):");
     for queues in 2..=5 {
-        run(
+        lines.extend(run(
             &format!("msmq_queues = {queues}"),
             TandemConfig {
                 jobs: 1,
                 msmq_queues: queues,
                 ..TandemConfig::default()
             },
-        );
+        ));
     }
 
     println!();
@@ -97,6 +130,7 @@ fn main() {
         let gen = t0.elapsed();
         let t1 = std::time::Instant::now();
         let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lump");
+        let lump = t1.elapsed();
         println!(
             "G = {banks} ({} levels)      states {:>10} -> {:>8}  (x{:>6.1})  gen {:>9} lump {:>9}",
             banks + 1,
@@ -104,7 +138,17 @@ fn main() {
             result.stats.lumped_states,
             result.stats.reduction_factor(),
             format!("{gen:.2?}"),
-            format!("{:.2?}", t1.elapsed()),
+            format!("{lump:.2?}"),
         );
+        lines.push(scaling_json(
+            &format!("multi_bank G = {banks}"),
+            result.stats.original_states,
+            result.stats.lumped_states,
+            result.stats.reduction_factor(),
+            gen,
+            lump,
+            &mrp.matrix().md().nodes_per_level(),
+        ));
     }
+    emit_jsonl(&lines);
 }

@@ -17,9 +17,11 @@
 
 use std::time::Instant;
 
+use mdl_bench::{duration_ns, emit_jsonl};
 use mdl_ctmc::SolverOptions;
 use mdl_linalg::RateMatrix;
 use mdl_models::tandem::TandemReward;
+use mdl_obs::json::JsonObject;
 
 const SWEEPS: usize = 20;
 const FULL_SOLVE_LIMIT: usize = 600_000;
@@ -50,6 +52,7 @@ fn main() {
         "avail full",
         "avail lumped"
     );
+    let mut lines = Vec::new();
     for j in jobs {
         eprintln!("J = {j}: building and lumping …");
         let (_, mrp, result) = mdl_bench::tandem_row(j, TandemReward::Availability);
@@ -91,7 +94,23 @@ fn main() {
                 (a - lumped_avail).abs()
             );
         }
+
+        let mut obj = JsonObject::new();
+        obj.str("type", "solution_cost")
+            .u64("jobs", j as u64)
+            .u64("vector_full", mrp.num_states() as u64)
+            .u64("vector_lumped", result.mrp.num_states() as u64)
+            .u64("sweep_full_ns", duration_ns(full_sweep))
+            .u64("sweep_lumped_ns", duration_ns(lumped_sweep))
+            .f64("sweep_ratio", ratio)
+            .f64("availability_lumped", lumped_avail);
+        if let Some(a) = full_avail {
+            obj.f64("availability_full", a)
+                .f64("measure_abs_diff", (a - lumped_avail).abs());
+        }
+        lines.push(obj.close());
     }
+    emit_jsonl(&lines);
     println!();
     println!(
         "(paper: vector 1/40–1/55 of original, per-iteration time reduced roughly \

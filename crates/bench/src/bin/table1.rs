@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run -p mdl-bench --release --bin table1`.
 
-use mdl_bench::{jobs_from_args, print_table1, tandem_row};
+use mdl_bench::{emit_jsonl, jobs_from_args, print_table1, tandem_row};
 use mdl_models::tandem::TandemReward;
 
 fn main() {
@@ -16,32 +16,6 @@ fn main() {
         rows.push(row);
     }
     print_table1(&rows);
-    println!();
-    println!("machine-readable: {}", serde_json::to_string_mock(&rows));
-}
-
-/// Minimal JSON rendering (serde derive is on the rows; avoid a serde_json
-/// dependency by formatting the fields directly).
-mod serde_json {
-    use mdl_bench::TandemRow;
-
-    pub fn to_string_mock(rows: &[TandemRow]) -> String {
-        let items: Vec<String> = rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"jobs\":{},\"overall\":{},\"lumped\":{},\"reduction\":{:.2},\"gen_ms\":{},\"lump_ms\":{},\"mem_unlumped\":{},\"mem_lumped\":{}}}",
-                    r.jobs,
-                    r.overall,
-                    r.lumped_overall,
-                    r.reduction_overall,
-                    r.generation.as_millis(),
-                    r.lumping.as_millis(),
-                    r.memory_unlumped,
-                    r.memory_lumped,
-                )
-            })
-            .collect();
-        format!("[{}]", items.join(","))
-    }
+    let lines: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+    emit_jsonl(&lines);
 }

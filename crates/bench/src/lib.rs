@@ -20,13 +20,12 @@
 
 use std::time::{Duration, Instant};
 
-use serde::Serialize;
-
 use mdl_core::{compositional_lump, LumpKind, LumpResult, MdMrp};
 use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_obs::json::JsonObject;
 
 /// One row of the regenerated Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TandemRow {
     /// Number of jobs `J`.
     pub jobs: usize,
@@ -100,6 +99,92 @@ pub fn tandem_row(jobs: usize, reward: TandemReward) -> (TandemRow, MdMrp, LumpR
         memory_lumped: result.stats.memory_after,
     };
     (row, mrp, result)
+}
+
+impl TandemRow {
+    /// Encodes the row as one line of JSON (the `BENCH_*.json` record
+    /// format; see EXPERIMENTS.md).
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.str("type", "table1")
+            .u64("jobs", self.jobs as u64)
+            .u64("overall", self.overall)
+            .raw("level_sizes", &json_usize_array(&self.level_sizes))
+            .raw("nodes_per_level", &json_usize_array(&self.nodes_per_level))
+            .u64("lumped_overall", self.lumped_overall)
+            .raw(
+                "lumped_level_sizes",
+                &json_usize_array(&self.lumped_level_sizes),
+            )
+            .f64("reduction_overall", self.reduction_overall)
+            .raw(
+                "reduction_per_level",
+                &json_f64_array(&self.reduction_per_level),
+            )
+            .u64("generation_ns", duration_ns(self.generation))
+            .u64("lumping_ns", duration_ns(self.lumping))
+            .u64("memory_unlumped", self.memory_unlumped as u64)
+            .u64("memory_lumped", self.memory_lumped as u64);
+        obj.close()
+    }
+}
+
+/// Saturating nanosecond count of a duration.
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Renders a `usize` slice as a JSON array.
+pub fn json_usize_array(xs: &[usize]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Renders an `f64` slice as a JSON array (non-finite entries become
+/// `null`, matching `mdl_obs::json`).
+pub fn json_f64_array(xs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        mdl_obs::json::write_f64(&mut out, *x);
+    }
+    out.push(']');
+    out
+}
+
+/// Emits machine-readable rows alongside the human tables: one JSON
+/// object per line to stdout, and appended to the file named by the
+/// `MDL_BENCH_JSONL` environment variable when it is set (so sweeps can
+/// accumulate a `BENCH_*.json` trajectory across invocations).
+pub fn emit_jsonl(lines: &[String]) {
+    if lines.is_empty() {
+        return;
+    }
+    println!();
+    println!("machine-readable (JSONL):");
+    for line in lines {
+        println!("{line}");
+    }
+    if let Ok(path) = std::env::var("MDL_BENCH_JSONL") {
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write as _;
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                for line in lines {
+                    let _ = writeln!(f, "{line}");
+                }
+            }
+            Err(e) => eprintln!("warning: cannot append bench JSONL to {path}: {e}"),
+        }
+    }
 }
 
 /// Formats a byte count the way the paper's Table 1 does (KB).
@@ -240,5 +325,24 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(kb(2048), "2.0 KB");
         assert!(secs(Duration::from_millis(1500)).starts_with("1.500"));
+        assert_eq!(json_usize_array(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(json_f64_array(&[0.5, f64::NAN]), "[0.5,null]");
+        assert_eq!(duration_ns(Duration::from_micros(2)), 2_000);
+    }
+
+    #[test]
+    fn tandem_row_json_is_one_line_with_all_fields() {
+        let (row, _, _) = tandem_row(1, TandemReward::Availability);
+        let json = row.to_json();
+        assert!(!json.contains('\n'));
+        for key in [
+            "\"type\":\"table1\"",
+            "\"jobs\":1",
+            "\"level_sizes\":[",
+            "\"generation_ns\":",
+            "\"memory_lumped\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 }

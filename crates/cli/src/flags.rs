@@ -1,0 +1,202 @@
+//! Small, testable parsers for `mdlump-cli` flags: valued flags with
+//! explicit missing/invalid-value errors, and the observability options
+//! (`--trace`, `--metrics`, `--metrics-out`) shared by all subcommands.
+
+/// Format of the metrics report and streamed events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Aligned human-readable text.
+    Pretty,
+    /// One JSON object per line.
+    Json,
+}
+
+/// Parsed observability options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsFlags {
+    /// `--trace`: stream span-start and point events too.
+    pub trace: bool,
+    /// `--metrics pretty|json`: emit span events and a final counter and
+    /// timing report in this format.
+    pub metrics: Option<MetricsFormat>,
+    /// `--metrics-out FILE`: write the metrics/trace stream to `FILE`
+    /// instead of stderr.
+    pub out: Option<String>,
+}
+
+impl ObsFlags {
+    /// `true` when any observability output was requested.
+    pub fn active(&self) -> bool {
+        self.trace || self.metrics.is_some()
+    }
+
+    /// The effective format: explicit `--metrics`, or pretty when only
+    /// `--trace` was given.
+    pub fn format(&self) -> MetricsFormat {
+        self.metrics.unwrap_or(MetricsFormat::Pretty)
+    }
+}
+
+/// Extracts `--trace`, `--metrics` and `--metrics-out` from `flags`.
+///
+/// # Errors
+///
+/// A message naming the flag for a missing value or an unknown format.
+pub fn parse_obs_flags(flags: &[String]) -> Result<ObsFlags, String> {
+    let metrics = match value_of(flags, "--metrics")? {
+        None => None,
+        Some("pretty") => Some(MetricsFormat::Pretty),
+        Some("json") => Some(MetricsFormat::Json),
+        Some(other) => {
+            return Err(format!(
+                "--metrics: expected `pretty` or `json`, got {other:?}"
+            ))
+        }
+    };
+    let out = value_of(flags, "--metrics-out")?.map(String::from);
+    let trace = flags.iter().any(|f| f == "--trace");
+    Ok(ObsFlags {
+        trace,
+        metrics,
+        out,
+    })
+}
+
+/// The value following `flag`, if present. A missing value — end of the
+/// argument list, or another `--flag` where the value should be — is an
+/// explicit error rather than silent misparsing.
+///
+/// # Errors
+///
+/// "`<flag>` needs a value" when the flag is present without one.
+pub fn value_of<'a>(flags: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match flags.iter().position(|f| f == flag) {
+        None => Ok(None),
+        Some(i) => match flags.get(i + 1).map(String::as_str) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("{flag} needs a value")),
+        },
+    }
+}
+
+/// Parses the value of `flag` as a finite `f64`.
+///
+/// # Errors
+///
+/// Explicit messages for a missing value, a non-numeric value, and a
+/// non-finite value.
+pub fn flag_f64(flags: &[String], flag: &str) -> Result<Option<f64>, String> {
+    match value_of(flags, flag)? {
+        None => Ok(None),
+        Some(v) => {
+            let x: f64 = v
+                .parse()
+                .map_err(|_| format!("{flag}: invalid value {v:?} (expected a number)"))?;
+            if !x.is_finite() {
+                return Err(format!("{flag}: value must be finite, got {v:?}"));
+            }
+            Ok(Some(x))
+        }
+    }
+}
+
+/// Parses the value of `flag` as a `u64` (also used for counts, which
+/// must be whole — `--reps 2.7` is rejected rather than truncated).
+///
+/// # Errors
+///
+/// Explicit messages for a missing or non-integer value.
+pub fn flag_u64(flags: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match value_of(flags, flag)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag}: invalid value {v:?} (expected a non-negative integer)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn absent_flags_parse_to_none() {
+        let flags = args(&["--exact"]);
+        assert_eq!(flag_f64(&flags, "--transient").unwrap(), None);
+        assert_eq!(flag_u64(&flags, "--reps").unwrap(), None);
+        assert_eq!(parse_obs_flags(&flags).unwrap(), ObsFlags::default());
+    }
+
+    #[test]
+    fn valued_flags_parse() {
+        let flags = args(&["--transient", "2.5", "--reps", "40", "--seed", "7"]);
+        assert_eq!(flag_f64(&flags, "--transient").unwrap(), Some(2.5));
+        assert_eq!(flag_u64(&flags, "--reps").unwrap(), Some(40));
+        assert_eq!(flag_u64(&flags, "--seed").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn missing_value_is_explicit_error() {
+        // At the end of the argument list…
+        let e = flag_f64(&args(&["--transient"]), "--transient").unwrap_err();
+        assert!(e.contains("--transient needs a value"), "{e}");
+        // …and when another flag sits where the value should be.
+        let e = flag_f64(&args(&["--horizon", "--exact"]), "--horizon").unwrap_err();
+        assert!(e.contains("--horizon needs a value"), "{e}");
+        let e = flag_u64(&args(&["--reps", "--seed", "3"]), "--reps").unwrap_err();
+        assert!(e.contains("--reps needs a value"), "{e}");
+    }
+
+    #[test]
+    fn invalid_value_is_explicit_error() {
+        let e = flag_f64(&args(&["--accumulated", "soon"]), "--accumulated").unwrap_err();
+        assert!(e.contains("--accumulated") && e.contains("soon"), "{e}");
+        let e = flag_f64(&args(&["--transient", "inf"]), "--transient").unwrap_err();
+        assert!(e.contains("finite"), "{e}");
+        let e = flag_u64(&args(&["--reps", "2.7"]), "--reps").unwrap_err();
+        assert!(e.contains("integer"), "{e}");
+        let e = flag_u64(&args(&["--seed", "-1"]), "--seed").unwrap_err();
+        assert!(e.contains("--seed"), "{e}");
+    }
+
+    #[test]
+    fn negative_values_accepted_for_f64() {
+        // `-1` is a value, not a flag: only `--`-prefixed tokens are.
+        let flags = args(&["--transient", "-1"]);
+        assert_eq!(flag_f64(&flags, "--transient").unwrap(), Some(-1.0));
+    }
+
+    #[test]
+    fn obs_flags_parse_formats() {
+        let f = parse_obs_flags(&args(&["--metrics", "json"])).unwrap();
+        assert_eq!(f.metrics, Some(MetricsFormat::Json));
+        assert!(!f.trace);
+        assert!(f.active());
+        let f = parse_obs_flags(&args(&["--metrics", "pretty", "--trace"])).unwrap();
+        assert_eq!(f.format(), MetricsFormat::Pretty);
+        assert!(f.trace);
+    }
+
+    #[test]
+    fn obs_flags_errors() {
+        let e = parse_obs_flags(&args(&["--metrics", "xml"])).unwrap_err();
+        assert!(e.contains("pretty") && e.contains("json"), "{e}");
+        let e = parse_obs_flags(&args(&["--metrics"])).unwrap_err();
+        assert!(e.contains("--metrics needs a value"), "{e}");
+        let e = parse_obs_flags(&args(&["--metrics-out", "--trace"])).unwrap_err();
+        assert!(e.contains("--metrics-out needs a value"), "{e}");
+    }
+
+    #[test]
+    fn metrics_out_and_trace_default_format() {
+        let f = parse_obs_flags(&args(&["--trace", "--metrics-out", "/tmp/x.jsonl"])).unwrap();
+        assert_eq!(f.out.as_deref(), Some("/tmp/x.jsonl"));
+        assert_eq!(f.format(), MetricsFormat::Pretty);
+        assert!(f.active());
+    }
+}

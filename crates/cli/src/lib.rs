@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod commands;
+pub mod flags;
 pub mod parser;
 
 pub use parser::{parse_model, ParseError, ParsedModel};

@@ -7,16 +7,84 @@
 //! mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]
 //! mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]
 //! ```
+//!
+//! All subcommands also take `--metrics pretty|json` (span events plus a
+//! final counter/timing report), `--trace` (additionally stream span-start
+//! and point events) and `--metrics-out FILE` (write the stream to `FILE`
+//! instead of stderr, keeping stdout for the command's own output).
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mdl_cli::commands::{self, Measure};
+use mdl_cli::flags::{self, MetricsFormat, ObsFlags};
 use mdl_cli::parse_model;
 use mdl_core::LumpKind;
+use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
+}
+
+/// The configured metrics emitter: the subscriber receiving live events,
+/// kept so the final report can be written to the same destination.
+enum Emitter {
+    Pretty(Arc<PrettySubscriber>),
+    Json(Arc<JsonlSubscriber>),
+}
+
+impl Emitter {
+    fn write_line(&self, line: &str) {
+        match self {
+            Emitter::Pretty(s) => s.write_line(line),
+            Emitter::Json(s) => s.write_line(line),
+        }
+    }
+}
+
+/// Enables observability per `cfg` and attaches the requested emitter.
+fn setup_obs(cfg: &ObsFlags) -> Result<Option<Emitter>, String> {
+    if !cfg.active() {
+        return Ok(None);
+    }
+    mdl_obs::set_enabled(true);
+    if cfg.trace {
+        mdl_obs::set_tracing(true);
+    }
+    let emitter = match (cfg.format(), cfg.out.as_deref()) {
+        (MetricsFormat::Pretty, None) => Emitter::Pretty(Arc::new(PrettySubscriber::stderr())),
+        (MetricsFormat::Pretty, Some(path)) => Emitter::Pretty(Arc::new(
+            PrettySubscriber::to_file(path)
+                .map_err(|e| format!("--metrics-out: cannot open {path}: {e}"))?,
+        )),
+        (MetricsFormat::Json, None) => Emitter::Json(Arc::new(JsonlSubscriber::stderr())),
+        (MetricsFormat::Json, Some(path)) => Emitter::Json(Arc::new(
+            JsonlSubscriber::to_file(path)
+                .map_err(|e| format!("--metrics-out: cannot open {path}: {e}"))?,
+        )),
+    };
+    match &emitter {
+        Emitter::Pretty(s) => mdl_obs::add_subscriber(s.clone()),
+        Emitter::Json(s) => mdl_obs::add_subscriber(s.clone()),
+    }
+    Ok(Some(emitter))
+}
+
+/// Writes the end-of-run counter/timing report to the emitter's
+/// destination, in its format.
+fn emit_report(emitter: &Emitter) {
+    let report = mdl_obs::snapshot();
+    if report.is_empty() {
+        return;
+    }
+    let rendered = match emitter {
+        Emitter::Pretty(_) => report.render_pretty(),
+        Emitter::Json(_) => report.render_jsonl(),
+    };
+    for line in rendered.lines() {
+        emitter.write_line(line);
+    }
 }
 
 fn run() -> Result<String, String> {
@@ -25,35 +93,28 @@ fn run() -> Result<String, String> {
         [c, f, ..] => (c.as_str(), f.as_str()),
         _ => return Err(usage()),
     };
-    let flags = &args[2..];
-    let kind = if flags.iter().any(|f| f == "--exact") {
+    let flag_args = &args[2..];
+    let kind = if flag_args.iter().any(|f| f == "--exact") {
         LumpKind::Exact
     } else {
         LumpKind::Ordinary
     };
 
+    let obs = setup_obs(&flags::parse_obs_flags(flag_args)?)?;
+
     let input = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let parsed = parse_model(&input).map_err(|e| e.to_string())?;
 
-    match command {
+    let result = match command {
         "info" => commands::info(&parsed),
         "lump" => {
-            let iterate = flags.iter().any(|f| f == "--iterate");
+            let iterate = flag_args.iter().any(|f| f == "--iterate");
             commands::lump(&parsed, kind, iterate)
         }
         "solve" => {
-            let value_of = |flag: &str| -> Result<Option<f64>, String> {
-                match flags.iter().position(|f| f == flag) {
-                    None => Ok(None),
-                    Some(i) => flags
-                        .get(i + 1)
-                        .ok_or_else(|| format!("{flag} needs a time horizon"))?
-                        .parse()
-                        .map(Some)
-                        .map_err(|_| format!("{flag}: bad time horizon")),
-                }
-            };
-            let measure = match (value_of("--transient")?, value_of("--accumulated")?) {
+            let transient = flags::flag_f64(flag_args, "--transient")?;
+            let accumulated = flags::flag_f64(flag_args, "--accumulated")?;
+            let measure = match (transient, accumulated) {
                 (Some(_), Some(_)) => {
                     return Err("choose one of --transient and --accumulated".into())
                 }
@@ -64,27 +125,28 @@ fn run() -> Result<String, String> {
             commands::solve(&parsed, kind, measure, 200_000)
         }
         "simulate" => {
-            let numeric = |flag: &str, default: f64| -> Result<f64, String> {
-                match flags.iter().position(|f| f == flag) {
-                    None => Ok(default),
-                    Some(i) => flags
-                        .get(i + 1)
-                        .ok_or_else(|| format!("{flag} needs a value"))?
-                        .parse()
-                        .map_err(|_| format!("{flag}: bad value")),
-                }
-            };
-            let horizon = numeric("--horizon", 100.0)?;
-            let reps = numeric("--reps", 50.0)? as usize;
-            let seed = numeric("--seed", 0x5EED as f64)? as u64;
+            let horizon = flags::flag_f64(flag_args, "--horizon")?.unwrap_or(100.0);
+            let reps = flags::flag_u64(flag_args, "--reps")?.unwrap_or(50) as usize;
+            let seed = flags::flag_u64(flag_args, "--seed")?.unwrap_or(0x5EED);
             commands::simulate(&parsed, horizon, reps, seed)
         }
         other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+
+    if let Some(emitter) = &obs {
+        if result.is_ok() {
+            emit_report(emitter);
+        }
     }
+    result
 }
 
-fn main() -> ExitCode {
-    match run() {
+/// Turns the command outcome into an exit code, printing output to stdout
+/// and errors to stderr, and flushing any observability emitters before
+/// the process exits — buffered trace/metrics lines must not be lost on
+/// the error path.
+fn finish(result: Result<String, String>) -> ExitCode {
+    let code = match result {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
@@ -93,5 +155,11 @@ fn main() -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    mdl_obs::flush();
+    code
+}
+
+fn main() -> ExitCode {
+    finish(run())
 }

@@ -230,7 +230,10 @@ pub fn parse_model(input: &str) -> Result<ParsedModel, ParseError> {
             }
             "initial" => {
                 if tokens.len() != 1 {
-                    return Err(err(lineno, "the initial section starts with a bare `initial`"));
+                    return Err(err(
+                        lineno,
+                        "the initial section starts with a bare `initial`",
+                    ));
                 }
                 if initial_dist.is_some() {
                     return Err(err(lineno, "duplicate initial section"));
@@ -243,7 +246,9 @@ pub fn parse_model(input: &str) -> Result<ParsedModel, ParseError> {
                 if !in_initial {
                     return Err(err(lineno, "ivalue outside an initial section"));
                 }
-                let d = initial_dist.as_mut().expect("in_initial implies initial_dist");
+                let d = initial_dist
+                    .as_mut()
+                    .expect("in_initial implies initial_dist");
                 let (comp, state, value) = match tokens.as_slice() {
                     [_, comp, state, value] => (*comp, *state, *value),
                     _ => return Err(err(lineno, "expected: ivalue <component> <state> <v>")),
@@ -266,7 +271,9 @@ pub fn parse_model(input: &str) -> Result<ParsedModel, ParseError> {
                 if !in_initial {
                     return Err(err(lineno, "idefault outside an initial section"));
                 }
-                let d = initial_dist.as_mut().expect("in_initial implies initial_dist");
+                let d = initial_dist
+                    .as_mut()
+                    .expect("in_initial implies initial_dist");
                 let (comp, value) = match tokens.as_slice() {
                     [_, comp, value] => (*comp, *value),
                     _ => return Err(err(lineno, "expected: idefault <component> <v>")),
@@ -515,8 +522,7 @@ reward sum
 
     #[test]
     fn initial_without_section_is_none() {
-        let parsed =
-            parse_model("component a 2\nevent x rate 1.0\nfactor a 0 1 1.0\n").unwrap();
+        let parsed = parse_model("component a 2\nevent x rate 1.0\nfactor a 0 1 1.0\n").unwrap();
         assert!(parsed.initial.is_none());
     }
 

@@ -76,7 +76,9 @@ fn ring_ordinary_lumping_respects_the_reward() {
         let members = p.members(c);
         let indicator = |s: usize| usize::from(s == 0 || s == 3);
         assert!(
-            members.iter().all(|&s| indicator(s) == indicator(members[0])),
+            members
+                .iter()
+                .all(|&s| indicator(s) == indicator(members[0])),
             "class {members:?} mixes reward values"
         );
     }

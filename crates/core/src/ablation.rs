@@ -146,13 +146,17 @@ impl<'a> ExpandedSplitter<'a> {
     }
 }
 
+/// Per-state accumulator: for each node of the level, the
+/// child-to-coefficient sums collected from the splitter class.
+type NodeSums = Vec<(u32, HashMap<ChildId, f64>)>;
+
 impl Splitter for ExpandedSplitter<'_> {
     /// Per node of the level: the expanded class-summed block matrix.
     type Key = Vec<(u32, MatrixKey)>;
 
     fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, Self::Key)>) {
         // (state, node) -> child -> coefficient sum.
-        let mut acc: HashMap<StateId, Vec<(u32, HashMap<ChildId, f64>)>> = HashMap::new();
+        let mut acc: HashMap<StateId, NodeSums> = HashMap::new();
         for (ni, node) in self.md.nodes_at(self.level).iter().enumerate() {
             match self.kind {
                 LumpKind::Ordinary => {
@@ -198,7 +202,7 @@ impl Splitter for ExpandedSplitter<'_> {
                 .map(|(n, sums)| (n, self.matrix_key(&sums)))
                 .filter(|(_, k)| !k.is_empty())
                 .collect();
-            key.sort_by(|a, b| a.0.cmp(&b.0));
+            key.sort_by_key(|e| e.0);
             if !key.is_empty() {
                 out.push((state, key));
             }

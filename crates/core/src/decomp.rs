@@ -6,6 +6,9 @@ use mdl_partition::Partition;
 
 use crate::{CoreError, Result};
 
+/// A user-supplied combination function for [`Combiner::Custom`].
+pub type CombineFn = Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+
 /// How per-level function values combine into a global value — the paper's
 /// `g` in `r(s) = g(f₁(s₁), …, f_L(s_L))`.
 #[derive(Clone)]
@@ -18,7 +21,7 @@ pub enum Combiner {
     /// An arbitrary combination function. Supported for evaluation and
     /// materialization; symbolic lumping of custom-combined vectors is
     /// rejected with [`CoreError::CustomCombiner`].
-    Custom(Arc<dyn Fn(&[f64]) -> f64 + Send + Sync>),
+    Custom(CombineFn),
 }
 
 impl fmt::Debug for Combiner {

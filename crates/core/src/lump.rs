@@ -1,5 +1,5 @@
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use mdl_linalg::Tolerance;
 use mdl_md::{MdMatrix, MdNode};
@@ -24,7 +24,7 @@ pub enum LumpKind {
 }
 
 /// Options for [`compositional_lump_with`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LumpOptions {
     /// How rate coefficients are compared (see [`Tolerance`]).
     pub tolerance: Tolerance,
@@ -44,17 +44,6 @@ pub struct LumpOptions {
     /// partitions — coarser. Extension; the paper discusses canonical MDs
     /// as the subclass where node identity captures matrix identity.
     pub canonicalize: bool,
-}
-
-impl Default for LumpOptions {
-    fn default() -> Self {
-        LumpOptions {
-            tolerance: Tolerance::default(),
-            quasi_reduce: false,
-            per_node_fixed_point: false,
-            canonicalize: false,
-        }
-    }
 }
 
 /// Per-level work and outcome counters.
@@ -195,35 +184,54 @@ pub fn compositional_lump_with(
         };
         return compositional_lump_with(&canonical_mrp, kind, &inner);
     }
-    let start = Instant::now();
+    let run_span = mdl_obs::span("lump.run").with(
+        "kind",
+        match kind {
+            LumpKind::Ordinary => "ordinary",
+            LumpKind::Exact => "exact",
+        },
+    );
     let md = mrp.matrix().md();
     let reach = mrp.matrix().reach();
     let num_levels = md.num_levels();
+    let splitters_counter = mdl_obs::counter("lump.refine.splitters");
+    let splits_counter = mdl_obs::counter("lump.refine.splits");
+    let keys_counter = mdl_obs::counter("lump.refine.keys");
 
     // Phase 1: per-level partitions. Each level's conditions involve only
     // that level's nodes, so the partitions are independent.
     let mut partitions = Vec::with_capacity(num_levels);
     let mut per_level = Vec::with_capacity(num_levels);
     for level in 0..num_levels {
-        let t0 = Instant::now();
         let size = md.sizes()[level];
+        let mut level_span = mdl_obs::span("lump.level")
+            .with("level", level)
+            .with("original_size", size);
         let p_ini = initial_partition(mrp, level, kind, options.tolerance);
         let (partition, refinement) = if options.per_node_fixed_point {
             comp_lumping_level_per_node(md.nodes_at(level), p_ini, kind, options.tolerance)
         } else {
             comp_lumping_level(md.nodes_at(level), p_ini, kind, options.tolerance)
         };
+        splitters_counter.add(refinement.splitters_processed as u64);
+        splits_counter.add(refinement.classes_split as u64);
+        keys_counter.add(refinement.keys_emitted as u64);
+        level_span.record("lumped_size", partition.num_classes());
+        level_span.record("splitters", refinement.splitters_processed);
+        level_span.record("splits", refinement.classes_split);
+        level_span.record("keys", refinement.keys_emitted);
         per_level.push(LevelLumpStats {
             level,
             original_size: size,
             lumped_size: partition.num_classes(),
             refinement,
-            elapsed: t0.elapsed(),
+            elapsed: level_span.finish(),
         });
         partitions.push(partition);
     }
 
     // Phase 2: quotient every node (Fig. 3b lines 4-6) and the MDD.
+    let quotient_span = mdl_obs::span("lump.quotient");
     let mut lumped_md = md.clone();
     for (level, partition) in partitions.iter().enumerate() {
         let nodes: Vec<MdNode> = md
@@ -242,6 +250,7 @@ pub fn compositional_lump_with(
         (lumped_md, 0)
     };
     let lumped_reach = reach.quotient(&partitions)?;
+    quotient_span.finish();
 
     // Phase 3: lumped rewards and initial probabilities (Fig. 3b line 7):
     // r̂(C) = r(C)/|C| (per-level means), π̂(C) = π(C) (per-level sums).
@@ -266,6 +275,11 @@ pub fn compositional_lump_with(
 
     let lumped = MdMrp::new(matrix, reward, initial)?;
 
+    let mut run_span = run_span;
+    run_span.record("original_states", original_states);
+    run_span.record("lumped_states", lumped_states);
+    let elapsed = run_span.finish();
+
     Ok(LumpResult {
         mrp: lumped,
         partitions,
@@ -277,7 +291,7 @@ pub fn compositional_lump_with(
             memory_before,
             memory_after,
             nodes_merged,
-            elapsed: start.elapsed(),
+            elapsed,
         },
     })
 }
@@ -901,5 +915,61 @@ mod tests {
         assert_eq!(lumped.num_entries(), 1);
         assert_eq!(lumped.entries()[0].terms[0].coef, 3.0);
         assert_eq!((lumped.entries()[0].row, lumped.entries()[0].col), (1, 0));
+    }
+
+    #[test]
+    fn lumping_emits_obs_spans_and_counters() {
+        use mdl_obs::{EventKind, Value};
+        let _g = mdl_obs::testing::guard();
+        mdl_obs::reset();
+        mdl_obs::set_enabled(true);
+        let sub = std::sync::Arc::new(mdl_obs::MemorySubscriber::new());
+        mdl_obs::add_subscriber(sub.clone());
+
+        let mrp = symmetric_mrp();
+        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+
+        mdl_obs::clear_subscribers();
+        let report = mdl_obs::snapshot();
+        mdl_obs::set_enabled(false);
+
+        // One lump.level span per MD level, each with a duration and the
+        // sizes that also land in the public LumpStats.
+        let events = sub.take();
+        for (level, stats) in result.stats.per_level.iter().enumerate() {
+            let span = events
+                .iter()
+                .find(|e| {
+                    e.kind == EventKind::SpanEnd
+                        && e.name == "lump.level"
+                        && e.fields.contains(&("level", Value::from(level)))
+                })
+                .expect("one lump.level span per level");
+            assert!(span.nanos.is_some(), "level span carries a duration");
+            assert!(span
+                .fields
+                .contains(&("original_size", Value::from(stats.original_size))));
+            assert!(span
+                .fields
+                .contains(&("lumped_size", Value::from(stats.lumped_size))));
+        }
+        let run = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnd && e.name == "lump.run")
+            .expect("lump.run span");
+        assert!(run
+            .fields
+            .contains(&("lumped_states", Value::from(result.stats.lumped_states))));
+
+        // Refinement work feeds the registry counters.
+        let counter = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        assert!(counter("lump.refine.splitters") > 0);
+        assert!(counter("lump.refine.keys") > 0);
     }
 }

@@ -172,14 +172,13 @@ pub fn verify_exact(
             }
         }
     }
-    for ci in 0..k {
-        for cj in 0..k {
+    for (ci, row) in sums.iter().enumerate() {
+        for (cj, &expected) in row.iter().enumerate() {
             let got = lumped_flat.get(ci, cj);
-            if !tolerance.eq(sums[ci][cj], got) {
+            if !tolerance.eq(expected, got) {
                 return Err(VerifyFailure {
                     detail: format!(
-                        "lumped rate R̂({ci}, {cj}) = {got}, expected R(C, rep) = {}",
-                        sums[ci][cj]
+                        "lumped rate R̂({ci}, {cj}) = {got}, expected R(C, rep) = {expected}"
                     ),
                 });
             }

@@ -3,7 +3,7 @@ use mdl_linalg::{CsrMatrix, RateMatrix};
 /// A flat rate matrix with multi-threaded matrix-vector products.
 ///
 /// Iteration vectors dominate large-chain solution time; `ParCsr` chunks
-/// the output vector across threads (crossbeam scoped threads, no `'static`
+/// the output vector across threads (`std::thread::scope`, no `'static`
 /// bound) so both product orientations are embarrassingly parallel
 /// *gathers*: `y += R x` walks rows of `R`, `y += x R` walks rows of the
 /// precomputed transpose. Results are bit-identical to the serial kernels
@@ -70,10 +70,10 @@ impl ParCsr {
             return;
         }
         let chunk = n.div_ceil(self.threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (c, y_chunk) in y.chunks_mut(chunk).enumerate() {
                 let start = c * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (offset, yi) in y_chunk.iter_mut().enumerate() {
                         let mut acc = 0.0;
                         for (col, v) in by_row.row(start + offset) {
@@ -83,8 +83,7 @@ impl ParCsr {
                     }
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
     }
 }
 

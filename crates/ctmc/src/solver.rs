@@ -79,6 +79,48 @@ impl Solution {
     }
 }
 
+/// Per-solve observability: a span named after the method (timing feeds
+/// [`SolveStats::elapsed`], so stats stay correct with obs disabled), a
+/// `solve.check` point event per convergence check (visible under
+/// tracing), and the shared `solve.iterations` counter.
+struct SolveObs {
+    span: mdl_obs::Span,
+    method: &'static str,
+}
+
+impl SolveObs {
+    fn new(span_name: &'static str, method: &'static str, n: usize) -> Self {
+        SolveObs {
+            span: mdl_obs::span(span_name).with("n", n),
+            method,
+        }
+    }
+
+    /// Reports one convergence check (cheap no-op unless tracing is on).
+    fn check(&self, iteration: usize, residual: f64) {
+        mdl_obs::point("solve.check", || {
+            vec![
+                ("method", mdl_obs::Value::from(self.method)),
+                ("iteration", mdl_obs::Value::from(iteration)),
+                ("residual", mdl_obs::Value::from(residual)),
+            ]
+        });
+    }
+
+    /// Closes the span and builds the run's [`SolveStats`].
+    fn done(mut self, iterations: usize, residual: f64, converged: bool) -> SolveStats {
+        mdl_obs::counter("solve.iterations").add(iterations as u64);
+        self.span.record("iterations", iterations);
+        self.span.record("residual", residual);
+        self.span.record("converged", converged);
+        SolveStats {
+            iterations,
+            residual,
+            elapsed: self.span.finish(),
+        }
+    }
+}
+
 fn exit_rates<M: RateMatrix>(rates: &M) -> Result<Vec<f64>> {
     let d = rates.row_sums();
     for (s, &v) in d.iter().enumerate() {
@@ -131,7 +173,6 @@ pub fn stationary_power_with_exit_rates<M: RateMatrix>(
     exit: &[f64],
     options: &SolverOptions,
 ) -> Result<Solution> {
-    let start = std::time::Instant::now();
     let n = rates.num_states();
     if exit.len() != n {
         return Err(CtmcError::LengthMismatch {
@@ -140,6 +181,7 @@ pub fn stationary_power_with_exit_rates<M: RateMatrix>(
             expected: n,
         });
     }
+    let obs = SolveObs::new("solve.power", "power", n);
     let d = exit;
     let lambda = 1.02 * d.iter().cloned().fold(0.0, f64::max);
 
@@ -156,20 +198,18 @@ pub fn stationary_power_with_exit_rates<M: RateMatrix>(
         vec_ops::normalize_l1(&mut next);
         if it % options.check_every == 0 {
             residual = vec_ops::max_abs_diff(&pi, &next);
+            obs.check(it, residual);
             if residual < options.tolerance {
                 std::mem::swap(&mut pi, &mut next);
                 return Ok(Solution {
                     probabilities: pi,
-                    stats: SolveStats {
-                        iterations: it,
-                        residual,
-                        elapsed: start.elapsed(),
-                    },
+                    stats: obs.done(it, residual, true),
                 });
             }
         }
         std::mem::swap(&mut pi, &mut next);
     }
+    let _ = obs.done(options.max_iterations, residual, false);
     Err(CtmcError::NotConverged {
         iterations: options.max_iterations,
         residual,
@@ -186,9 +226,9 @@ pub fn stationary_power_with_exit_rates<M: RateMatrix>(
 ///
 /// Same as [`stationary_power`].
 pub fn stationary_jacobi<M: RateMatrix>(rates: &M, options: &SolverOptions) -> Result<Solution> {
-    let start = std::time::Instant::now();
     let n = rates.num_states();
     let d = exit_rates(rates)?;
+    let obs = SolveObs::new("solve.jacobi", "jacobi", n);
 
     let omega = options.jacobi_damping;
     assert!(
@@ -207,20 +247,18 @@ pub fn stationary_jacobi<M: RateMatrix>(rates: &M, options: &SolverOptions) -> R
         vec_ops::normalize_l1(&mut next);
         if it % options.check_every == 0 {
             residual = vec_ops::max_abs_diff(&pi, &next);
+            obs.check(it, residual);
             if residual < options.tolerance {
                 std::mem::swap(&mut pi, &mut next);
                 return Ok(Solution {
                     probabilities: pi,
-                    stats: SolveStats {
-                        iterations: it,
-                        residual,
-                        elapsed: start.elapsed(),
-                    },
+                    stats: obs.done(it, residual, true),
                 });
             }
         }
         std::mem::swap(&mut pi, &mut next);
     }
+    let _ = obs.done(options.max_iterations, residual, false);
     Err(CtmcError::NotConverged {
         iterations: options.max_iterations,
         residual,
@@ -238,9 +276,9 @@ pub fn stationary_jacobi<M: RateMatrix>(rates: &M, options: &SolverOptions) -> R
 ///
 /// Same as [`stationary_power`].
 pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Result<Solution> {
-    let start = std::time::Instant::now();
     let n = rates.num_states();
     let d = exit_rates(rates)?;
+    let obs = SolveObs::new("solve.gauss_seidel", "gauss_seidel", n);
     let columns = rates.transpose(); // row r of `columns` = column r of `rates`
 
     let mut pi = vec![1.0 / n as f64; n];
@@ -267,18 +305,16 @@ pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Re
         vec_ops::normalize_l1(&mut pi);
         if it % options.check_every == 0 {
             residual = vec_ops::max_abs_diff(&prev, &pi);
+            obs.check(it, residual);
             if residual < options.tolerance {
                 return Ok(Solution {
                     probabilities: pi,
-                    stats: SolveStats {
-                        iterations: it,
-                        residual,
-                        elapsed: start.elapsed(),
-                    },
+                    stats: obs.done(it, residual, true),
                 });
             }
         }
     }
+    let _ = obs.done(options.max_iterations, residual, false);
     Err(CtmcError::NotConverged {
         iterations: options.max_iterations,
         residual,
@@ -304,9 +340,9 @@ pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Re
 /// Panics unless `0 < omega < 2`.
 pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) -> Result<Solution> {
     assert!(omega > 0.0 && omega < 2.0, "SOR requires 0 < omega < 2");
-    let start = std::time::Instant::now();
     let n = rates.num_states();
     let d = exit_rates(rates)?;
+    let obs = SolveObs::new("solve.sor", "sor", n);
     let columns = rates.transpose();
 
     let mut pi = vec![1.0 / n as f64; n];
@@ -337,18 +373,16 @@ pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) ->
                 flow[j] -= pi[j] * d[j];
             }
             residual = vec_ops::max_abs(&flow);
+            obs.check(it, residual);
             if residual < options.tolerance {
                 return Ok(Solution {
                     probabilities: pi,
-                    stats: SolveStats {
-                        iterations: it,
-                        residual,
-                        elapsed: start.elapsed(),
-                    },
+                    stats: obs.done(it, residual, true),
                 });
             }
         }
     }
+    let _ = obs.done(options.max_iterations, residual, false);
     Err(CtmcError::NotConverged {
         iterations: options.max_iterations,
         residual,
@@ -530,5 +564,124 @@ mod tests {
             },
         };
         assert_eq!(sol.expected_reward(&[4.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn check_every_gt_one_reports_checked_iteration_and_residual() {
+        // With check_every = 7 the residual is only computed on multiples
+        // of 7: the reported stats must come from that final check, not a
+        // stale or never-computed value, and convergence may be detected
+        // at most one check period after the every-iteration baseline.
+        let r = birth_death(2.0, 3.0, 6);
+        let expected = analytic_birth_death(2.0, 3.0, 6);
+        type Solver = fn(&CsrMatrix, &SolverOptions) -> Result<Solution>;
+        let solvers: [(&str, Solver); 4] = [
+            ("power", stationary_power::<CsrMatrix>),
+            ("jacobi", stationary_jacobi::<CsrMatrix>),
+            ("gauss_seidel", stationary_gauss_seidel),
+            ("sor", |r, o| stationary_sor(r, 1.2, o)),
+        ];
+        for (name, solve) in solvers {
+            let base = SolverOptions {
+                tolerance: 1e-10,
+                ..Default::default()
+            };
+            let dense = solve(&r, &base).unwrap();
+            let sparse = solve(
+                &r,
+                &SolverOptions {
+                    check_every: 7,
+                    ..base
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                sparse.stats.iterations % 7,
+                0,
+                "{name}: iterations must be the checked one"
+            );
+            assert!(
+                sparse.stats.residual < 1e-10,
+                "{name}: residual {} is the converged one",
+                sparse.stats.residual
+            );
+            assert!(
+                sparse.stats.iterations >= dense.stats.iterations,
+                "{name}: cannot detect convergence before it happens"
+            );
+            assert!(
+                sparse.stats.iterations < dense.stats.iterations + 7,
+                "{name}: at most one check period late ({} vs {})",
+                sparse.stats.iterations,
+                dense.stats.iterations
+            );
+            assert_close(&sparse.probabilities, &expected, 1e-7);
+        }
+    }
+
+    #[test]
+    fn jacobi_damping_converges_on_birth_death() {
+        // The undamped (ω = 1) Jacobi iteration follows the embedded jump
+        // chain, which is periodic on a birth–death chain; damping mixes
+        // in the previous iterate and restores convergence. Any ω ∈ (0, 1)
+        // must reach the analytic fixed point.
+        let r = birth_death(1.5, 2.5, 8);
+        let expected = analytic_birth_death(1.5, 2.5, 8);
+        for omega in [0.3, 0.6, 0.9] {
+            let opts = SolverOptions {
+                jacobi_damping: omega,
+                tolerance: 1e-12,
+                ..Default::default()
+            };
+            let sol = stationary_jacobi(&r, &opts).unwrap();
+            assert_close(&sol.probabilities, &expected, 1e-8);
+            assert!(sol.stats.residual < 1e-12, "omega={omega}");
+        }
+    }
+
+    #[test]
+    fn solver_emits_span_and_check_events() {
+        use mdl_obs::{EventKind, Value};
+        let _g = mdl_obs::testing::guard();
+        mdl_obs::reset();
+        mdl_obs::set_tracing(true);
+        let sub = std::sync::Arc::new(mdl_obs::MemorySubscriber::new());
+        mdl_obs::add_subscriber(sub.clone());
+
+        // 13 states: unique in this module, so the span below is ours even
+        // if a concurrently running test also solves with obs enabled.
+        let r = birth_death(2.0, 3.0, 13);
+        let sol = stationary_power(
+            &r,
+            &SolverOptions {
+                check_every: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        mdl_obs::clear_subscribers();
+        mdl_obs::set_enabled(false);
+        let events = sub.take();
+        let span = events
+            .iter()
+            .find(|e| {
+                e.kind == EventKind::SpanEnd
+                    && e.name == "solve.power"
+                    && e.fields.contains(&("n", Value::U64(13)))
+            })
+            .expect("solve.power span emitted");
+        assert!(span.nanos.is_some(), "span carries a duration");
+        assert!(span
+            .fields
+            .contains(&("iterations", Value::U64(sol.stats.iterations as u64))));
+        assert!(span.fields.contains(&("converged", Value::Bool(true))));
+        // The last residual check was emitted as a point event.
+        assert!(events.iter().any(|e| {
+            e.kind == EventKind::Point
+                && e.name == "solve.check"
+                && e.fields
+                    .contains(&("iteration", Value::U64(sol.stats.iterations as u64)))
+        }));
     }
 }

@@ -209,20 +209,19 @@ impl RateMatrix for CsrMatrix {
     fn acc_mat_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[r] += acc;
+            *yr += acc;
         }
     }
 
     fn acc_vec_mat(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
-        for r in 0..self.nrows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }

@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn ordering_is_numeric() {
-        let mut v = vec![
+        let mut v = [
             OrderedF64::new(2.0),
             OrderedF64::new(-1.0),
             OrderedF64::new(0.5),

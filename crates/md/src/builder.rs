@@ -36,6 +36,8 @@ pub struct MdBuilder {
     sizes: Vec<usize>,
     levels: Vec<Vec<MdNode>>,
     unique: Vec<HashMap<NodeKey, u32>>,
+    hits: mdl_obs::Counter,
+    misses: mdl_obs::Counter,
 }
 
 impl MdBuilder {
@@ -53,6 +55,8 @@ impl MdBuilder {
             sizes,
             levels: vec![Vec::new(); l],
             unique: vec![HashMap::new(); l],
+            hits: mdl_obs::counter("md.unique.hit"),
+            misses: mdl_obs::counter("md.unique.miss"),
         })
     }
 
@@ -95,8 +99,10 @@ impl MdBuilder {
         validate_node(&node, level, self.sizes[level], last, next_count)?;
         let key = node.key();
         if let Some(&idx) = self.unique[level].get(&key) {
+            self.hits.inc();
             return Ok(idx);
         }
+        self.misses.inc();
         let idx = self.levels[level].len() as u32;
         self.levels[level].push(node);
         self.unique[level].insert(key, idx);

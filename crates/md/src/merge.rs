@@ -263,13 +263,13 @@ mod tests {
     #[test]
     fn three_level_view_preserves_matrix_and_shape() {
         let (md, sizes) = three_level_md();
-        for level in 0..3 {
+        for (level, &size) in sizes.iter().enumerate() {
             let view = md.three_level_view(level).unwrap();
             assert!(view.num_levels() <= 3);
             assert_eq!(flat(&md).max_abs_diff(&flat(&view)), 0.0, "level {level}");
             // The focal level's local space is unchanged.
             let focal = if level == 0 { 0 } else { 1 };
-            assert_eq!(view.sizes()[focal], sizes[level]);
+            assert_eq!(view.sizes()[focal], size);
         }
     }
 

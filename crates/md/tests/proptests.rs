@@ -11,7 +11,11 @@ use mdl_mdd::Mdd;
 const SIZES: [usize; 3] = [2, 3, 2];
 
 fn factor(size: usize) -> impl Strategy<Value = SparseFactor> {
-    let entry = (0..size, 0..size, prop::sample::select(vec![0.5, 1.0, 2.0, 3.0]));
+    let entry = (
+        0..size,
+        0..size,
+        prop::sample::select(vec![0.5, 1.0, 2.0, 3.0]),
+    );
     prop::collection::vec(entry, 0..size * 2).prop_map(move |entries| {
         let mut f = SparseFactor::new(size);
         for (r, c, v) in entries {

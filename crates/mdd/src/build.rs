@@ -9,6 +9,8 @@ pub(crate) struct Interner {
     /// Children rows per level (node payloads before finalization).
     levels: Vec<Vec<Vec<u32>>>,
     unique: Vec<HashMap<Vec<u32>, u32>>,
+    hits: mdl_obs::Counter,
+    misses: mdl_obs::Counter,
 }
 
 impl Interner {
@@ -18,6 +20,8 @@ impl Interner {
             sizes,
             levels: vec![Vec::new(); l],
             unique: vec![HashMap::new(); l],
+            hits: mdl_obs::counter("mdd.unique.hit"),
+            misses: mdl_obs::counter("mdd.unique.miss"),
         }
     }
 
@@ -29,8 +33,10 @@ impl Interner {
     pub(crate) fn intern(&mut self, level: usize, children: Vec<u32>) -> u32 {
         debug_assert_eq!(children.len(), self.sizes[level]);
         if let Some(&idx) = self.unique[level].get(&children) {
+            self.hits.inc();
             return idx;
         }
+        self.misses.inc();
         let idx = self.levels[level].len() as u32;
         self.levels[level].push(children.clone());
         self.unique[level].insert(children, idx);

@@ -56,12 +56,16 @@ fn apply(a: &Mdd, b: &Mdd, op: SetOp) -> Result<Mdd, MddError> {
     if a.sizes != b.sizes {
         return Err(MddError::InvalidShape);
     }
-    let mut interner = Interner::new(a.sizes.clone());
-    let mut memo: Vec<HashMap<(Option<u32>, Option<u32>), u32>> =
-        vec![HashMap::new(); a.sizes.len()];
+    let mut ctx = ApplyCtx {
+        interner: Interner::new(a.sizes.clone()),
+        memo: vec![HashMap::new(); a.sizes.len()],
+        hits: mdl_obs::counter("mdd.apply.hit"),
+        misses: mdl_obs::counter("mdd.apply.miss"),
+    };
     let ra = (!a.is_empty()).then_some(0u32);
     let rb = (!b.is_empty()).then_some(0u32);
-    let root = rec(a, b, op, 0, ra, rb, &mut interner, &mut memo);
+    let root = rec(a, b, op, 0, ra, rb, &mut ctx);
+    let ApplyCtx { mut interner, .. } = ctx;
     let root = match root {
         Some(r) => r,
         None => {
@@ -72,7 +76,19 @@ fn apply(a: &Mdd, b: &Mdd, op: SetOp) -> Result<Mdd, MddError> {
     Ok(interner.finish(root))
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Per-level apply cache: `(left node, right node)` pair (either side
+/// possibly absent) to the interned result, `NO_CHILD` for "empty".
+type ApplyMemo = HashMap<(Option<u32>, Option<u32>), u32>;
+
+/// Shared recursion state of [`apply`]: the hash-consing interner, the
+/// per-level apply cache, and its hit/miss counters.
+struct ApplyCtx {
+    interner: Interner,
+    memo: Vec<ApplyMemo>,
+    hits: mdl_obs::Counter,
+    misses: mdl_obs::Counter,
+}
+
 fn rec(
     a: &Mdd,
     b: &Mdd,
@@ -80,8 +96,7 @@ fn rec(
     level: usize,
     na: Option<u32>,
     nb: Option<u32>,
-    interner: &mut Interner,
-    memo: &mut [HashMap<(Option<u32>, Option<u32>), u32>],
+    ctx: &mut ApplyCtx,
 ) -> Option<u32> {
     // Short-circuits: an absent side is the empty set of suffixes.
     match (na, nb, op) {
@@ -90,15 +105,17 @@ fn rec(
         (_, None, SetOp::Intersection) => return None,
         _ => {}
     }
-    if let Some(&idx) = memo[level].get(&(na, nb)) {
+    if let Some(&idx) = ctx.memo[level].get(&(na, nb)) {
+        ctx.hits.inc();
         return (idx != NO_CHILD).then_some(idx);
     }
+    ctx.misses.inc();
 
     let size = a.sizes[level];
     let last = level == a.sizes.len() - 1;
     let mut children = vec![NO_CHILD; size];
     let mut any = false;
-    for s in 0..size {
+    for (s, child) in children.iter_mut().enumerate() {
         let ca = na
             .map(|n| a.levels[level][n as usize].children[s])
             .unwrap_or(NO_CHILD);
@@ -121,20 +138,20 @@ fn rec(
         } else {
             let oa = (ca != NO_CHILD).then_some(ca);
             let ob = (cb != NO_CHILD).then_some(cb);
-            rec(a, b, op, level + 1, oa, ob, interner, memo).unwrap_or(NO_CHILD)
+            rec(a, b, op, level + 1, oa, ob, ctx).unwrap_or(NO_CHILD)
         };
         if c != NO_CHILD {
             any = true;
         }
-        children[s] = c;
+        *child = c;
     }
 
     let result = if any {
-        Some(interner.intern(level, children))
+        Some(ctx.interner.intern(level, children))
     } else {
         None
     };
-    memo[level].insert((na, nb), result.unwrap_or(NO_CHILD));
+    ctx.memo[level].insert((na, nb), result.unwrap_or(NO_CHILD));
     result
 }
 

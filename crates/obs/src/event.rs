@@ -1,0 +1,217 @@
+//! Structured events: what subscribers see.
+//!
+//! Every observation the instrumentation layer produces flows to
+//! subscribers as an [`Event`]: span starts, span ends (with wall-clock
+//! duration), and free-standing point events such as a solver residual
+//! check. Fields are small typed values keyed by `&'static str` so that
+//! producing an event never formats strings on the hot path.
+
+use crate::json::{write_f64, JsonObject};
+use std::fmt::Write as _;
+
+/// A typed field value attached to an event or span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// What kind of observation an [`Event`] carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened (emitted only when tracing is on).
+    SpanStart,
+    /// A span closed; [`Event::nanos`] holds its wall-clock duration.
+    SpanEnd,
+    /// A free-standing point event (emitted only when tracing is on).
+    Point,
+}
+
+impl EventKind {
+    /// Stable tag used as the `"type"` field of the JSONL encoding.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span",
+            EventKind::Point => "event",
+        }
+    }
+}
+
+/// One observation, delivered to every registered subscriber.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    pub name: &'static str,
+    /// Wall-clock nanoseconds; `Some` only for [`EventKind::SpanEnd`].
+    pub nanos: Option<u64>,
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Encodes the event as one line of JSON (no trailing newline).
+    ///
+    /// Schema: `{"type":tag,"name":...,["duration_ns":n,]fields...}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.str("type", self.kind.tag()).str("name", self.name);
+        if let Some(ns) = self.nanos {
+            obj.u64("duration_ns", ns);
+        }
+        for (k, v) in &self.fields {
+            match v {
+                Value::U64(n) => obj.u64(k, *n),
+                Value::I64(n) => obj.i64(k, *n),
+                Value::F64(x) => obj.f64(k, *x),
+                Value::Bool(b) => obj.bool(k, *b),
+                Value::Str(s) => obj.str(k, s),
+            };
+        }
+        obj.close()
+    }
+
+    /// Renders the event for terminal output (no trailing newline).
+    pub fn to_pretty(&self) -> String {
+        let mut line = match self.kind {
+            EventKind::SpanStart => format!("[begin] {}", self.name),
+            EventKind::SpanEnd => format!("[span ] {}", self.name),
+            EventKind::Point => format!("[event] {}", self.name),
+        };
+        if let Some(ns) = self.nanos {
+            let _ = write!(line, "  {}", fmt_nanos(ns));
+        }
+        for (k, v) in &self.fields {
+            let _ = write!(line, "  {k}=");
+            match v {
+                Value::U64(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                Value::I64(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                Value::F64(x) => {
+                    let mut buf = String::new();
+                    write_f64(&mut buf, *x);
+                    line.push_str(&buf);
+                }
+                Value::Bool(b) => {
+                    let _ = write!(line, "{b}");
+                }
+                Value::Str(s) => {
+                    let _ = write!(line, "{s}");
+                }
+            }
+        }
+        line
+    }
+}
+
+/// Formats a nanosecond count with a unit a human wants to read
+/// (`532ns`, `14.2µs`, `3.07ms`, `1.25s`).
+pub fn fmt_nanos(ns: u64) -> String {
+    let ns_f = ns as f64;
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2}µs", ns_f / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns_f / 1e6)
+    } else {
+        format!("{:.2}s", ns_f / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_end_json_has_duration() {
+        let e = Event {
+            kind: EventKind::SpanEnd,
+            name: "lump.level",
+            nanos: Some(1_500),
+            fields: vec![("level", Value::U64(2)), ("ratio", Value::F64(0.5))],
+        };
+        assert_eq!(
+            e.to_json(),
+            r#"{"type":"span","name":"lump.level","duration_ns":1500,"level":2,"ratio":0.5}"#
+        );
+    }
+
+    #[test]
+    fn point_pretty_lists_fields() {
+        let e = Event {
+            kind: EventKind::Point,
+            name: "solve.check",
+            nanos: None,
+            fields: vec![
+                ("iteration", Value::U64(100)),
+                ("residual", Value::F64(1e-9)),
+            ],
+        };
+        assert_eq!(
+            e.to_pretty(),
+            "[event] solve.check  iteration=100  residual=0.000000001"
+        );
+    }
+
+    #[test]
+    fn nanosecond_units() {
+        assert_eq!(fmt_nanos(532), "532ns");
+        assert_eq!(fmt_nanos(14_200), "14.20µs");
+        assert_eq!(fmt_nanos(3_070_000), "3.07ms");
+        assert_eq!(fmt_nanos(1_250_000_000), "1.25s");
+    }
+}

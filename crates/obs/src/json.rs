@@ -1,0 +1,163 @@
+//! Minimal JSON writing.
+//!
+//! The build environment is offline, so instead of `serde_json` the crate
+//! ships the few dozen lines of JSON it actually needs: string escaping and
+//! an append-only object writer. Output is always a single line (JSONL
+//! friendly) and always valid JSON — non-finite floats are emitted as
+//! `null` rather than the invalid bare tokens `NaN`/`inf`.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` per RFC 8259 and appends it to `out` (no surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `v` to `out` as a JSON number, or `null` when non-finite.
+///
+/// Rust's `Display` for `f64` is a shortest round-trip decimal, which is
+/// valid JSON for every finite value.
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Builder for one flat JSON object, written left to right.
+///
+/// # Example
+///
+/// ```
+/// let mut obj = mdl_obs::json::JsonObject::new();
+/// obj.str("type", "span").u64("duration_ns", 1500);
+/// assert_eq!(obj.close(), r#"{"type":"span","duration_ns":1500}"#);
+/// ```
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) -> &mut String {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, k);
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        let buf = self.key(k);
+        buf.push('"');
+        escape_into(buf, v);
+        buf.push('"');
+        self
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        let buf = self.key(k);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    pub fn i64(&mut self, k: &str, v: i64) -> &mut Self {
+        let buf = self.key(k);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        let buf = self.key(k);
+        write_f64(buf, v);
+        self
+    }
+
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        let buf = self.key(k);
+        buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Appends `raw` verbatim as the value; the caller guarantees it is
+    /// already valid JSON (e.g. a nested object built separately).
+    pub fn raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        let buf = self.key(k);
+        buf.push_str(raw);
+        self
+    }
+
+    pub fn close(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn object_round_trip() {
+        let mut obj = JsonObject::new();
+        obj.str("name", "lump.level")
+            .u64("level", 3)
+            .i64("delta", -2)
+            .f64("residual", 1e-9)
+            .bool("ok", true)
+            .raw("inner", "[1,2]");
+        assert_eq!(
+            obj.close(),
+            r#"{"name":"lump.level","level":3,"delta":-2,"residual":0.000000001,"ok":true,"inner":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut obj = JsonObject::new();
+        obj.f64("a", f64::NAN).f64("b", f64::INFINITY);
+        assert_eq!(obj.close(), r#"{"a":null,"b":null}"#);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObject::new().close(), "{}");
+    }
+}

@@ -1,0 +1,294 @@
+//! `mdl-obs` — zero-dependency tracing, metrics and structured events
+//! for the mdlump stack.
+//!
+//! The paper this repository reproduces (Derisavi, Kemper & Sanders,
+//! DSN 2005) makes *quantitative* claims: per-level lumping times,
+//! refinement work counts, solver iteration costs. This crate is the
+//! substrate those numbers flow through — dependency-free because the
+//! build environment is offline (no `tracing`/`metrics` from crates.io).
+//!
+//! Three primitives:
+//!
+//! - **Spans** ([`span`]) — RAII wall-clock timers around a region of
+//!   work. Spans always measure (callers feed durations into public
+//!   stats structs like `LumpStats`), and when observability is enabled
+//!   they also record a duration histogram sample and emit a `SpanEnd`
+//!   event.
+//! - **Counters / histograms** ([`counter`], [`histogram`]) — named
+//!   atomics in a global registry. Fetch the handle once outside the hot
+//!   loop; each increment is gated on one relaxed atomic load, so
+//!   disabled instrumentation is near-free.
+//! - **Events** ([`point`]) — high-frequency structured observations
+//!   (e.g. one per solver convergence check), emitted only when tracing
+//!   is on.
+//!
+//! Subscribers ([`add_subscriber`]) receive events; [`PrettySubscriber`]
+//! renders for terminals, [`JsonlSubscriber`] writes one JSON object per
+//! line. [`snapshot`] captures every non-zero metric as a [`Report`].
+//!
+//! # Naming scheme
+//!
+//! Dotted lowercase `subsystem.object.action`: `lump.level`,
+//! `mdd.unique.hit`, `solve.check`. A span's histogram shares the span's
+//! name and records nanoseconds.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let _guard = mdl_obs::testing::guard();
+//! mdl_obs::set_enabled(true);
+//! let capture = Arc::new(mdl_obs::MemorySubscriber::new());
+//! mdl_obs::add_subscriber(capture.clone());
+//!
+//! let hits = mdl_obs::counter("doc.cache.hit");
+//! let span = mdl_obs::span("doc.work").with("size", 16u64);
+//! hits.inc();
+//! span.finish();
+//!
+//! assert_eq!(mdl_obs::counter("doc.cache.hit").get(), 1);
+//! assert_eq!(capture.take().len(), 1); // the SpanEnd event
+//!
+//! mdl_obs::clear_subscribers();
+//! mdl_obs::set_enabled(false);
+//! mdl_obs::reset();
+//! ```
+
+pub mod event;
+pub mod json;
+mod registry;
+mod span;
+mod subscriber;
+
+pub use event::{fmt_nanos, Event, EventKind, Value};
+pub use registry::{Counter, CounterSnapshot, Histogram, HistogramSnapshot, Report};
+pub use span::Span;
+pub use subscriber::{JsonlSubscriber, MemorySubscriber, PrettySubscriber, Subscriber};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
+static HAS_SUBSCRIBERS: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static registry::Registry {
+    static REGISTRY: OnceLock<registry::Registry> = OnceLock::new();
+    REGISTRY.get_or_init(registry::Registry::default)
+}
+
+fn subscribers() -> &'static RwLock<Vec<Arc<dyn Subscriber>>> {
+    static SUBSCRIBERS: OnceLock<RwLock<Vec<Arc<dyn Subscriber>>>> = OnceLock::new();
+    SUBSCRIBERS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Turns metric collection and span reporting on or off, process-wide.
+/// Off is the default; instrumented code then pays only a relaxed atomic
+/// load per counter increment.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+    if !on {
+        TRACING.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Whether metric collection is on. The single gate every hot-path
+/// increment checks.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns high-frequency event tracing (span starts, [`point`] events) on
+/// or off. Tracing implies [`set_enabled`]`(true)`.
+pub fn set_tracing(on: bool) {
+    if on {
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether high-frequency tracing is on.
+#[inline]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Fetches (or creates) the named counter. Cheap, but takes a registry
+/// lock — call once outside loops and hold on to the handle.
+pub fn counter(name: &'static str) -> Counter {
+    registry().counter(name)
+}
+
+/// Fetches (or creates) the named histogram.
+pub fn histogram(name: &'static str) -> Histogram {
+    registry().histogram(name)
+}
+
+/// Opens a timed span. See [`Span`].
+pub fn span(name: &'static str) -> Span {
+    Span::new(name)
+}
+
+/// Emits a point event to subscribers — only when tracing is on, so
+/// per-iteration call sites stay cheap in every other configuration.
+///
+/// The closure builds the field list lazily; it does not run unless the
+/// event will actually be delivered.
+pub fn point(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Value)>) {
+    if !tracing() || !HAS_SUBSCRIBERS.load(Ordering::Relaxed) {
+        return;
+    }
+    emit(&Event {
+        kind: EventKind::Point,
+        name,
+        nanos: None,
+        fields: fields(),
+    });
+}
+
+/// Delivers an event to every registered subscriber.
+pub(crate) fn emit(event: &Event) {
+    if !HAS_SUBSCRIBERS.load(Ordering::Relaxed) {
+        return;
+    }
+    if let Ok(subs) = subscribers().read() {
+        for sub in subs.iter() {
+            sub.on_event(event);
+        }
+    }
+}
+
+/// Registers a subscriber; events fan out to all registered ones.
+pub fn add_subscriber(sub: Arc<dyn Subscriber>) {
+    if let Ok(mut subs) = subscribers().write() {
+        subs.push(sub);
+        HAS_SUBSCRIBERS.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Removes every subscriber (flushing them first).
+pub fn clear_subscribers() {
+    flush();
+    if let Ok(mut subs) = subscribers().write() {
+        subs.clear();
+        HAS_SUBSCRIBERS.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Flushes all subscribers' buffered output.
+pub fn flush() {
+    if let Ok(subs) = subscribers().read() {
+        for sub in subs.iter() {
+            sub.flush();
+        }
+    }
+}
+
+/// Snapshot of every metric with a non-zero value, sorted by name.
+pub fn snapshot() -> Report {
+    registry().snapshot()
+}
+
+/// Zeroes all counters and histograms (handles stay valid). Use between
+/// runs to scope a report to one command.
+pub fn reset() {
+    registry().reset();
+}
+
+/// Test support: the global flags and registry are process-wide, so
+/// tests that flip them must serialize. Hold the guard for the duration
+/// of any test calling [`set_enabled`]/[`set_tracing`]/[`reset`].
+pub mod testing {
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    /// Acquires the cross-test lock (poisoning is ignored — a panicked
+    /// test should not cascade).
+    pub fn guard() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_span_counter_event() {
+        let _guard = testing::guard();
+        reset();
+        set_tracing(true);
+        let capture = Arc::new(MemorySubscriber::new());
+        add_subscriber(capture.clone());
+
+        let c = counter("obs.e2e.count");
+        c.add(3);
+        let span = span("obs.e2e.work").with("items", 2u64);
+        point("obs.e2e.tick", || vec![("i", Value::U64(0))]);
+        span.finish();
+
+        let events = capture.take();
+        clear_subscribers();
+        set_enabled(false);
+
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::SpanStart, EventKind::Point, EventKind::SpanEnd]
+        );
+        let end = events.last().unwrap();
+        assert_eq!(end.name, "obs.e2e.work");
+        assert!(end.nanos.unwrap() > 0);
+        assert_eq!(end.fields, vec![("items", Value::U64(2))]);
+
+        let report = snapshot();
+        assert!(report
+            .counters
+            .iter()
+            .any(|c| c.name == "obs.e2e.count" && c.value == 3));
+        assert!(report
+            .histograms
+            .iter()
+            .any(|h| h.name == "obs.e2e.work" && h.count == 1));
+        reset();
+        assert!(!snapshot()
+            .counters
+            .iter()
+            .any(|c| c.name == "obs.e2e.count"));
+    }
+
+    #[test]
+    fn disabled_counters_do_not_count() {
+        let _guard = testing::guard();
+        set_enabled(false);
+        let c = counter("obs.disabled.count");
+        c.inc();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn point_events_require_tracing() {
+        let _guard = testing::guard();
+        set_enabled(true);
+        let capture = Arc::new(MemorySubscriber::new());
+        add_subscriber(capture.clone());
+        point("obs.no-trace.tick", || {
+            panic!("field closure must not run without tracing")
+        });
+        assert!(capture.take().is_empty());
+        clear_subscribers();
+        set_enabled(false);
+    }
+
+    #[test]
+    fn tracing_implies_enabled_and_disable_clears_tracing() {
+        let _guard = testing::guard();
+        set_tracing(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!tracing());
+    }
+}

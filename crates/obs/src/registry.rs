@@ -1,0 +1,402 @@
+//! Global metric registry: named atomic counters and log₂ histograms.
+//!
+//! Handles are cheap `Arc` clones; hot code fetches a handle once
+//! (outside the loop) and increments it unconditionally cheaply — the
+//! increment itself is gated on the global enable flag, a single relaxed
+//! atomic load, so disabled instrumentation costs nearly nothing.
+
+use crate::event::fmt_nanos;
+use crate::json::JsonObject;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonic event counter. Clones share the same underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one if observability is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` if observability is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (readable even while disabled).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    /// `buckets[i]` counts samples `v` with `bit_len(v) == i`,
+    /// i.e. `v == 0` → bucket 0, otherwise `floor(log2 v) + 1`.
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// Lock-free log₂-bucketed histogram of `u64` samples (span durations in
+/// nanoseconds, batch sizes, …). Clones share the same cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one sample if observability is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record_always(v);
+    }
+
+    /// Records unconditionally (used by spans, which gate earlier).
+    pub(crate) fn record_always(&self, v: u64) {
+        let h = &*self.0;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+        let b = (64 - v.leading_zeros()) as usize;
+        h.buckets[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        let h = &*self.0;
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`): the geometric midpoint of the
+    /// log₂ bucket holding the q-th sample, clamped to the observed
+    /// min/max. Accurate to a factor of √2, which is plenty for profiles.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let h = &*self.0;
+        let count = h.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return 0;
+        }
+        let min = h.min.load(Ordering::Relaxed);
+        let max = h.max.load(Ordering::Relaxed);
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        if rank == count {
+            return max;
+        }
+        let mut seen = 0u64;
+        for (i, b) in h.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket i spans [2^(i-1), 2^i); midpoint ≈ 1.5·2^(i-1).
+                let mid = match i {
+                    0 => 0,
+                    1 => 1,
+                    _ => 3u64 << (i - 2),
+                };
+                return mid.clamp(min, max);
+            }
+        }
+        max
+    }
+}
+
+/// Point-in-time view of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    pub name: &'static str,
+    pub value: u64,
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: &'static str,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// A full snapshot of the registry, renderable as a pretty table or JSONL.
+///
+/// Histograms record nanoseconds when they back a span (same name as the
+/// span) — the renderers format those with time units.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub counters: Vec<CounterSnapshot>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Report {
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Multi-line human-readable rendering (trailing newline included).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap_or(0);
+            for c in &self.counters {
+                out.push_str(&format!("  {:width$}  {}\n", c.name, c.value));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("timings:\n");
+            let width = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap_or(0);
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "  {:width$}  n={}  total={}  min={}  p50={}  p90={}  max={}\n",
+                    h.name,
+                    h.count,
+                    fmt_nanos(h.sum),
+                    fmt_nanos(h.min),
+                    fmt_nanos(h.p50),
+                    fmt_nanos(h.p90),
+                    fmt_nanos(h.max),
+                ));
+            }
+        }
+        out
+    }
+
+    /// One JSON object per counter/histogram, newline-separated
+    /// (trailing newline included when non-empty).
+    pub fn render_jsonl(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let mut obj = JsonObject::new();
+            obj.str("type", "counter")
+                .str("name", c.name)
+                .u64("value", c.value);
+            out.push_str(&obj.close());
+            out.push('\n');
+        }
+        for h in &self.histograms {
+            let mut obj = JsonObject::new();
+            obj.str("type", "histogram")
+                .str("name", h.name)
+                .u64("count", h.count)
+                .u64("sum_ns", h.sum)
+                .u64("min_ns", h.min)
+                .u64("max_ns", h.max)
+                .u64("p50_ns", h.p50)
+                .u64("p90_ns", h.p90)
+                .u64("p99_ns", h.p99);
+            out.push_str(&obj.close());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The process-wide registry; reached through [`crate::counter`],
+/// [`crate::histogram`] and [`crate::snapshot`].
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &'static str) -> Counter {
+        self.counters
+            .lock()
+            .expect("obs counter registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    pub(crate) fn histogram(&self, name: &'static str) -> Histogram {
+        self.histograms
+            .lock()
+            .expect("obs histogram registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    pub(crate) fn snapshot(&self) -> Report {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs counter registry poisoned")
+            .iter()
+            .filter(|(_, c)| c.get() > 0)
+            .map(|(name, c)| CounterSnapshot {
+                name,
+                value: c.get(),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs histogram registry poisoned")
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| HistogramSnapshot {
+                name,
+                count: h.count(),
+                sum: h.sum(),
+                min: h.0.min.load(Ordering::Relaxed),
+                max: h.0.max.load(Ordering::Relaxed),
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
+            })
+            .collect();
+        Report {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Zeroes every metric while keeping handed-out handles live.
+    pub(crate) fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .expect("obs counter registry poisoned")
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .expect("obs histogram registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_stats() {
+        let _guard = crate::testing::guard();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.0.min.load(Ordering::Relaxed), 1);
+        assert_eq!(h.0.max.load(Ordering::Relaxed), 1000);
+        // p50 lands in the bucket of 3; clamped to [1, 1000].
+        let p50 = h.quantile(0.5);
+        assert!((1..=4).contains(&p50), "p50 was {p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(Histogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn report_renders_both_formats() {
+        let report = Report {
+            counters: vec![CounterSnapshot {
+                name: "mdd.unique.hit",
+                value: 42,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "lump.level",
+                count: 2,
+                sum: 3_000,
+                min: 1_000,
+                max: 2_000,
+                p50: 1_500,
+                p90: 2_000,
+                p99: 2_000,
+            }],
+        };
+        let pretty = report.render_pretty();
+        assert!(pretty.contains("mdd.unique.hit"));
+        assert!(pretty.contains("n=2"));
+        let jsonl = report.render_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            r#"{"type":"counter","name":"mdd.unique.hit","value":42}"#
+        );
+        assert!(lines[1].contains(r#""sum_ns":3000"#));
+    }
+
+    #[test]
+    fn registry_interns_by_name() {
+        let _guard = crate::testing::guard();
+        let reg = Registry::default();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        crate::set_enabled(true);
+        a.inc();
+        crate::set_enabled(false);
+        assert_eq!(b.get(), 1, "same name shares the cell");
+    }
+}

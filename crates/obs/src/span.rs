@@ -1,0 +1,108 @@
+//! RAII spans: wall-clock timing of a region of work.
+//!
+//! A [`Span`] *always* measures (the instrumented code often feeds the
+//! duration into its own stats structs, e.g. `LumpStats.elapsed`, which
+//! must stay correct with observability off), but only *reports* —
+//! histogram sample plus `SpanEnd` event — when observability is enabled.
+
+use crate::event::{Event, EventKind, Value};
+use std::time::{Duration, Instant};
+
+/// A timed region. Create with [`crate::span`], attach fields with
+/// [`Span::with`]/[`Span::record`], and close with [`Span::finish`] to
+/// get the measured duration (dropping it reports too, but discards the
+/// duration).
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+    finished: bool,
+}
+
+impl Span {
+    pub(crate) fn new(name: &'static str) -> Self {
+        if crate::tracing() {
+            crate::emit(&Event {
+                kind: EventKind::SpanStart,
+                name,
+                nanos: None,
+                fields: Vec::new(),
+            });
+        }
+        Span {
+            name,
+            start: Instant::now(),
+            fields: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// Builder-style field attachment at creation time.
+    pub fn with(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        self.record(key, value);
+        self
+    }
+
+    /// Attaches a field discovered mid-span (e.g. a result size). Fields
+    /// ride on the `SpanEnd` event; they are skipped entirely while
+    /// observability is disabled.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if crate::enabled() {
+            self.fields.push((key, value.into()));
+        }
+    }
+
+    /// Elapsed time so far, without closing the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span and returns its wall-clock duration.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        self.finished = true;
+        let elapsed = self.start.elapsed();
+        if crate::enabled() {
+            let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+            crate::histogram(self.name).record_always(nanos);
+            crate::emit(&Event {
+                kind: EventKind::SpanEnd,
+                name: self.name,
+                nanos: Some(nanos),
+                fields: std::mem::take(&mut self.fields),
+            });
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn finish_returns_nonzero_duration() {
+        let span = crate::span("obs.test.span");
+        std::hint::black_box(1 + 1);
+        let d = span.finish();
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn disabled_span_records_no_fields() {
+        let _guard = crate::testing::guard();
+        crate::set_enabled(false);
+        let span = crate::span("obs.test.disabled").with("k", 1u64);
+        assert!(span.fields.is_empty());
+    }
+}

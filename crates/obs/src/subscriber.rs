@@ -1,0 +1,197 @@
+//! Subscribers: where events go.
+//!
+//! A [`Subscriber`] receives every emitted [`Event`]. Two emitters ship
+//! with the crate — [`PrettySubscriber`] for terminals and
+//! [`JsonlSubscriber`] for machine-readable capture — plus a
+//! [`MemorySubscriber`] for tests. Emission is already gated by the
+//! global enable/trace flags before a subscriber sees anything, so
+//! implementations don't re-check them.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::sync::Mutex;
+
+/// Sink for structured events.
+pub trait Subscriber: Send + Sync {
+    fn on_event(&self, event: &Event);
+
+    /// Flush buffered output; called by [`crate::flush`].
+    fn flush(&self) {}
+}
+
+fn locked_write(out: &Mutex<Box<dyn Write + Send>>, line: &str) {
+    // A poisoned or failed writer must never take down the instrumented
+    // computation; observability is best-effort by design.
+    if let Ok(mut w) = out.lock() {
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+fn locked_flush(out: &Mutex<Box<dyn Write + Send>>) {
+    if let Ok(mut w) = out.lock() {
+        let _ = w.flush();
+    }
+}
+
+/// Writes each event as one line of JSON.
+pub struct JsonlSubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSubscriber {
+    pub fn from_writer<W: Write + Send + 'static>(w: W) -> Self {
+        JsonlSubscriber {
+            out: Mutex::new(Box::new(w)),
+        }
+    }
+
+    pub fn stdout() -> Self {
+        Self::from_writer(io::stdout())
+    }
+
+    pub fn stderr() -> Self {
+        Self::from_writer(io::stderr())
+    }
+
+    pub fn to_file(path: &str) -> io::Result<Self> {
+        Ok(Self::from_writer(BufWriter::new(File::create(path)?)))
+    }
+
+    /// Writes a pre-serialized JSON line (used for report snapshots).
+    pub fn write_line(&self, line: &str) {
+        locked_write(&self.out, line);
+    }
+}
+
+impl Subscriber for JsonlSubscriber {
+    fn on_event(&self, event: &Event) {
+        locked_write(&self.out, &event.to_json());
+    }
+
+    fn flush(&self) {
+        locked_flush(&self.out);
+    }
+}
+
+/// Writes each event as an aligned human-readable line.
+pub struct PrettySubscriber {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl PrettySubscriber {
+    pub fn from_writer<W: Write + Send + 'static>(w: W) -> Self {
+        PrettySubscriber {
+            out: Mutex::new(Box::new(w)),
+        }
+    }
+
+    pub fn stdout() -> Self {
+        Self::from_writer(io::stdout())
+    }
+
+    pub fn stderr() -> Self {
+        Self::from_writer(io::stderr())
+    }
+
+    pub fn to_file(path: &str) -> io::Result<Self> {
+        Ok(Self::from_writer(BufWriter::new(File::create(path)?)))
+    }
+
+    pub fn write_line(&self, line: &str) {
+        locked_write(&self.out, line);
+    }
+}
+
+impl Subscriber for PrettySubscriber {
+    fn on_event(&self, event: &Event) {
+        locked_write(&self.out, &event.to_pretty());
+    }
+
+    fn flush(&self) {
+        locked_flush(&self.out);
+    }
+}
+
+/// Captures events in memory; the assertion backbone of instrumentation
+/// tests across the workspace.
+#[derive(Default)]
+pub struct MemorySubscriber {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySubscriber {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events captured so far (clones; capture keeps accumulating).
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().map(|e| e.clone()).unwrap_or_default()
+    }
+
+    /// Drains and returns the captured events.
+    pub fn take(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .map(|mut e| std::mem::take(&mut *e))
+            .unwrap_or_default()
+    }
+}
+
+impl Subscriber for MemorySubscriber {
+    fn on_event(&self, event: &Event) {
+        if let Ok(mut e) = self.events.lock() {
+            e.push(event.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use std::sync::Arc;
+
+    fn sample() -> Event {
+        Event {
+            kind: EventKind::SpanEnd,
+            name: "t",
+            nanos: Some(7),
+            fields: vec![],
+        }
+    }
+
+    #[test]
+    fn memory_subscriber_captures_and_drains() {
+        let m = MemorySubscriber::new();
+        m.on_event(&sample());
+        m.on_event(&sample());
+        assert_eq!(m.events().len(), 2);
+        assert_eq!(m.take().len(), 2);
+        assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_subscriber_writes_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::default();
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let s = JsonlSubscriber::from_writer(Shared(buf.clone()));
+        s.on_event(&sample());
+        s.write_line("{\"type\":\"counter\"}");
+        s.flush();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"span\""));
+    }
+}

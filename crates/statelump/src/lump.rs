@@ -38,7 +38,30 @@ pub fn ordinary_partition(rates: &CsrMatrix, reward: &[f64], options: &LumpOptio
     let tol = options.tolerance;
     let initial = Partition::from_key_fn(n, |s| tol.key(reward[s]));
     let mut splitter = OrdinaryFlatSplitter::new(rates, tol);
-    comp_lumping(initial, &mut splitter).partition
+    refine_instrumented("ordinary", n, initial, &mut splitter)
+}
+
+/// Runs [`comp_lumping`] inside a `statelump.partition` span, feeding the
+/// flat-refinement counters from the returned [`RefinementStats`].
+fn refine_instrumented<S: mdl_partition::Splitter>(
+    kind: &'static str,
+    n: usize,
+    initial: Partition,
+    splitter: &mut S,
+) -> Partition {
+    let mut span = mdl_obs::span("statelump.partition")
+        .with("kind", kind)
+        .with("n", n as u64);
+    let result = comp_lumping(initial, splitter);
+    mdl_obs::counter("statelump.refine.splitters").add(result.stats.splitters_processed as u64);
+    mdl_obs::counter("statelump.refine.splits").add(result.stats.classes_split as u64);
+    mdl_obs::counter("statelump.refine.keys").add(result.stats.keys_emitted as u64);
+    span.record("classes", result.partition.num_classes() as u64);
+    span.record("splitters", result.stats.splitters_processed as u64);
+    span.record("splits", result.stats.classes_split as u64);
+    span.record("keys", result.stats.keys_emitted as u64);
+    span.finish();
+    result.partition
 }
 
 /// Computes the coarsest **exactly** lumpable partition of `(R, π_ini)`:
@@ -56,7 +79,7 @@ pub fn exact_partition(rates: &CsrMatrix, initial: &[f64], options: &LumpOptions
     // P_ini: equal initial probability AND equal total exit rate R(s, S).
     let init = Partition::from_key_fn(n, |s| (tol.key(initial[s]), tol.key(row_sums[s])));
     let mut splitter = ExactFlatSplitter::new(rates, tol);
-    comp_lumping(init, &mut splitter).partition
+    refine_instrumented("exact", n, init, &mut splitter)
 }
 
 /// Builds the quotient rate matrix of Theorem 2 for an **ordinary**
@@ -89,8 +112,7 @@ fn quotient_exact(rates: &CsrMatrix, partition: &Partition) -> CsrMatrix {
     for (cj, members) in partition.iter() {
         reps[members[0]] = cj; // mark representatives with their class
     }
-    let mut sums = vec![vec![0.0; k]; 0];
-    sums.resize_with(k, || vec![0.0; k]);
+    let mut sums = vec![vec![0.0; k]; k];
     for s in 0..rates.nrows() {
         let ci = partition.class_of(s);
         for (t, v) in rates.row(s) {
@@ -347,8 +369,8 @@ mod tests {
         for s in 0..mrp.num_states() {
             agg[partition.class_of(s)] += full.probabilities[s];
         }
-        for c in 0..agg.len() {
-            assert!((agg[c] - small.probabilities[c]).abs() < 1e-7);
+        for (c, &a) in agg.iter().enumerate() {
+            assert!((a - small.probabilities[c]).abs() < 1e-7);
         }
         // Expected reward is preserved.
         assert!(

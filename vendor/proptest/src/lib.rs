@@ -1,0 +1,472 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the subset of the proptest API its test suites use: the [`Strategy`]
+//! trait with ranges, tuples, `prop_map`, `prop::collection::vec`,
+//! `prop::sample::select` and `prop::option::of`; `any::<T>()` for a few
+//! primitives; the [`proptest!`] macro with an optional
+//! `#![proptest_config(..)]` header; and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberate for a vendored test shim:
+//!
+//! * **No shrinking.** A failing case reports the test name, case index
+//!   and seed; cases are deterministic per test (seeded from the test
+//!   name), so failures reproduce exactly under `cargo test`.
+//! * **No persistence files**, no forking, no timeout handling.
+//! * Value distributions are simpler (e.g. uniform rather than biased
+//!   toward edge cases).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and generic combinators.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike the real proptest there is no value-tree/shrinking layer: a
+    /// strategy is just a sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng as _;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng as _;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident $i:tt),+);)*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitives.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_prim {
+        ($($t:ty => $e:expr),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    let f: fn(&mut StdRng) -> $t = $e;
+                    f(rng)
+                }
+            }
+        )*};
+    }
+
+    arbitrary_prim! {
+        bool => |r| r.gen::<f64>() < 0.5,
+        u8 => |r| (r.gen::<u64>() & 0xFF) as u8,
+        u16 => |r| (r.gen::<u64>() & 0xFFFF) as u16,
+        u32 => |r| r.gen::<u32>(),
+        u64 => |r| r.gen::<u64>(),
+        usize => |r| r.gen::<u64>() as usize,
+        i32 => |r| r.gen::<u32>() as i32,
+        i64 => |r| r.gen::<u64>() as i64,
+        f64 => |r| r.gen::<f64>() * 2e6 - 1e6
+    }
+
+    /// The full-domain strategy for `T`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// A length specification: an exact size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                start: *r.start(),
+                end: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.end - self.size.start <= 1 {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`prop::sample`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    /// Uniform choice among `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select of no options");
+        Select { options }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (`prop::option`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng as _;
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // The real crate defaults to Some three times out of four.
+            if rng.gen_bool(0.75) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some(inner)` most of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the per-test runner used by [`proptest!`](crate::proptest).
+
+    /// Knobs honored by the vendored runner. Only `cases` has an effect;
+    /// the other fields exist so `..ProptestConfig::default()` updates
+    /// from upstream-style code keep compiling.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Accepted but ignored (no shrinking in the vendored shim).
+        pub max_shrink_iters: u32,
+        /// Accepted but ignored (no global rejection budget).
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    /// Stable 64-bit FNV-1a, used to derive a per-test seed from its name
+    /// so runs are deterministic and independent of test order.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! Everything the seed tests import via `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` module path (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Re-exports for macro expansions, so user crates need no direct
+    //! `rand` dependency.
+    pub use rand;
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ..) { .. }`
+/// item becomes a plain `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                let mut __rng = <$crate::__rt::rand::rngs::StdRng as $crate::__rt::rand::SeedableRng>::seed_from_u64(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }));
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed (seed {:#x}); the run is \
+                         deterministic, rerun the test to reproduce",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __seed,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` inside a property body (no shrinking, so it simply asserts).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Discards the current case when its inputs are unsuitable. The vendored
+/// runner counts a discarded case as passed (no rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_in_domain() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let v = prop::collection::vec((0usize..5, 0.5f64..2.0), 1..10).sample(&mut rng);
+        assert!(!v.is_empty() && v.len() < 10);
+        for (a, b) in v {
+            assert!(a < 5);
+            assert!((0.5..2.0).contains(&b));
+        }
+        let s = prop::sample::select(vec![1, 2, 3]).sample(&mut rng);
+        assert!([1, 2, 3].contains(&s));
+        let mapped = (0u32..3).prop_map(|x| x * 10).sample(&mut rng);
+        assert!(mapped % 10 == 0 && mapped < 30);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro parses doc comments, config headers, multiple
+        /// arguments and trailing commas.
+        #[test]
+        fn macro_round_trip(x in 0usize..10, ys in prop::collection::vec(any::<bool>(), 4),) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(ys.len(), 4);
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+}
