@@ -1,0 +1,170 @@
+//! Walk vs. compiled vs. compiled+threads matrix–vector kernel comparison.
+//!
+//! Every iterative solve is dominated by `y += x·R` products over the
+//! MD×MDD pair; this binary measures the per-product cost of
+//!
+//! * the recursive walk (`MdMatrix::acc_vec_mat`),
+//! * the compiled kernel (`CompiledMdMatrix`, serial),
+//! * the compiled kernel with one worker per hardware thread,
+//! * a flat `ParCsr` baseline (explicit CSR, default threads),
+//!
+//! on the tandem model (whose three levels are the MSMQ, hypercube and
+//! pool submodels of the paper) for `J ∈ {1, 2, 3}`, verifies that all
+//! kernel products are **bit-identical** to the walk, and emits one JSONL
+//! row per configuration (see EXPERIMENTS.md for the field list).
+//!
+//! Run with `cargo run -p mdl-bench --release --bin kernel [--smoke | J…]`.
+//! `--smoke` runs only `J = 1` with few sweeps and exits nonzero if any
+//! kernel product differs from the walk — the CI contract check.
+
+use std::time::{Duration, Instant};
+
+use mdl_bench::{duration_ns, emit_jsonl};
+use mdl_ctmc::ParCsr;
+use mdl_linalg::RateMatrix;
+use mdl_md::{default_threads, CompiledMdMatrix, MdMatrix};
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_obs::json::JsonObject;
+
+/// Per-product sweep time and the final output vector (for bit-identity
+/// comparison across kernels).
+fn product_time<M: RateMatrix>(m: &M, sweeps: usize) -> (Duration, Vec<f64>) {
+    let n = m.num_states();
+    let x: Vec<f64> = (0..n).map(|i| 0.5 + 0.25 * (i % 11) as f64).collect();
+    let mut y = vec![0.0; n];
+    let t0 = Instant::now();
+    for _ in 0..sweeps {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        m.acc_vec_mat(&x, &mut y);
+    }
+    (t0.elapsed() / sweeps as u32, y)
+}
+
+struct Config {
+    jobs: Vec<usize>,
+    sweeps: usize,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return Config {
+            jobs: vec![1],
+            sweeps: 3,
+            smoke: true,
+        };
+    }
+    let jobs: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    Config {
+        jobs: if jobs.is_empty() { vec![1, 2, 3] } else { jobs },
+        sweeps: 0, // chosen per model size below
+        smoke: false,
+    }
+}
+
+fn main() {
+    let cfg = config();
+    let threads = default_threads();
+    println!("MD×MDD matrix–vector kernel: walk vs compiled vs compiled+threads");
+    println!(
+        "{:>3} {:>10} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8}",
+        "J", "states", "walk", "compiled", "threaded", "flat-par", "comp.x", "thr.x"
+    );
+    let mut lines = Vec::new();
+    let mut all_identical = true;
+    for &j in &cfg.jobs {
+        eprintln!("J = {j}: building tandem model …");
+        let model = TandemModel::new(TandemConfig {
+            jobs: j,
+            ..TandemConfig::default()
+        });
+        let mrp = model
+            .build_md_mrp_with_reward(TandemReward::Availability)
+            .expect("tandem model builds");
+        let matrix: &MdMatrix = mrp.matrix();
+        let n = matrix.num_states();
+        let sweeps = if cfg.sweeps > 0 {
+            cfg.sweeps
+        } else if n > 500_000 {
+            3
+        } else {
+            10
+        };
+
+        let t0 = Instant::now();
+        let serial = CompiledMdMatrix::compile(matrix);
+        let compile_time = t0.elapsed();
+        let threaded = CompiledMdMatrix::compile_with_threads(matrix, threads);
+        let stats = serial.stats().clone();
+
+        let (walk_t, walk_y) = product_time(matrix, sweeps);
+        let (serial_t, serial_y) = product_time(&serial, sweeps);
+        let (threaded_t, threaded_y) = product_time(&threaded, sweeps);
+
+        eprintln!("J = {j}: flattening for the flat parallel baseline …");
+        let flat = ParCsr::with_default_threads(matrix.flatten());
+        let (flat_t, flat_y) = product_time(&flat, sweeps);
+
+        let identical = walk_y == serial_y && walk_y == threaded_y;
+        all_identical &= identical;
+        let speedup_compiled = walk_t.as_secs_f64() / serial_t.as_secs_f64();
+        let speedup_threaded = walk_t.as_secs_f64() / threaded_t.as_secs_f64();
+
+        println!(
+            "{:>3} {:>10} {:>12} {:>12} {:>12} {:>12} {:>7.1}x {:>7.1}x",
+            j,
+            n,
+            format!("{walk_t:.2?}"),
+            format!("{serial_t:.2?}"),
+            format!("{threaded_t:.2?}"),
+            format!("{flat_t:.2?}"),
+            speedup_compiled,
+            speedup_threaded,
+        );
+        println!(
+            "    compile {:.2?}; {} blocks, {} leaf entries for {} flat entries \
+             (dedup ×{:.1}); bit-identical to walk: {identical}",
+            compile_time,
+            stats.blocks,
+            stats.leaf_entries,
+            stats.flat_entries,
+            stats.dedup_ratio(),
+        );
+        // The flat baseline sums duplicate formal-sum contributions at
+        // flatten time, so it is compared by tolerance, not bitwise.
+        let flat_diff = mdl_linalg::vec_ops::max_abs_diff(&walk_y, &flat_y);
+        if flat_diff > 1e-9 {
+            eprintln!("warning: flat baseline diverges from walk by {flat_diff:.3e}");
+            all_identical = false;
+        }
+
+        let mut obj = JsonObject::new();
+        obj.str("type", "kernel")
+            .str("model", "tandem")
+            .u64("jobs", j as u64)
+            .u64("states", n as u64)
+            .u64("blocks", stats.blocks as u64)
+            .u64("leaf_entries", stats.leaf_entries as u64)
+            .u64("flat_entries", stats.flat_entries)
+            .f64("dedup_ratio", stats.dedup_ratio())
+            .u64("compile_ns", duration_ns(compile_time))
+            .u64("walk_product_ns", duration_ns(walk_t))
+            .u64("compiled_product_ns", duration_ns(serial_t))
+            .u64("threaded_product_ns", duration_ns(threaded_t))
+            .u64("flat_par_product_ns", duration_ns(flat_t))
+            .u64("threads", threads as u64)
+            .f64("speedup_compiled", speedup_compiled)
+            .f64("speedup_threaded", speedup_threaded)
+            .bool("bit_identical", identical);
+        lines.push(obj.close());
+    }
+    emit_jsonl(&lines);
+    if !all_identical {
+        eprintln!("FAIL: kernel products are not bit-identical to the recursive walk");
+        std::process::exit(1);
+    }
+    if cfg.smoke {
+        println!("smoke OK: all kernels bit-identical to the walk");
+    }
+}

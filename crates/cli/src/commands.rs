@@ -4,7 +4,8 @@
 use std::fmt::Write as _;
 
 use mdl_core::{
-    compositional_lump_iterated, compositional_lump_with, LumpKind, LumpOptions, LumpResult, MdMrp,
+    compositional_lump_iterated, compositional_lump_with, KernelOptions, LumpKind, LumpOptions,
+    LumpResult, MdMrp,
 };
 use mdl_ctmc::{SolverOptions, TransientOptions};
 
@@ -134,6 +135,7 @@ pub fn solve(
     kind: LumpKind,
     measure: Measure,
     cross_check_limit: usize,
+    kernel: &KernelOptions,
 ) -> Result<String, String> {
     let mrp = parsed.build().map_err(|e| e.to_string())?;
     let (result, _) = run_lump(&mrp, kind, false)?;
@@ -153,15 +155,15 @@ pub fn solve(
     let lumped_value = match (kind, measure) {
         (LumpKind::Ordinary, Measure::Stationary) => result
             .mrp
-            .expected_stationary_reward(&sopts)
+            .expected_stationary_reward_with(&sopts, kernel)
             .map_err(|e| e.to_string())?,
         (LumpKind::Ordinary, Measure::Transient(t)) => result
             .mrp
-            .expected_transient_reward(t, &topts)
+            .expected_transient_reward_with(t, &topts, kernel)
             .map_err(|e| e.to_string())?,
         (LumpKind::Ordinary, Measure::Accumulated(t)) => result
             .mrp
-            .expected_accumulated_reward(t, &topts)
+            .expected_accumulated_reward_with(t, &topts, kernel)
             .map_err(|e| e.to_string())?,
         (LumpKind::Exact, m) => {
             let measures = result.exact_measures().expect("exact lump has exit rates");
@@ -183,13 +185,13 @@ pub fn solve(
     if mrp.num_states() <= cross_check_limit {
         let full_value = match measure {
             Measure::Stationary => mrp
-                .expected_stationary_reward(&sopts)
+                .expected_stationary_reward_with(&sopts, kernel)
                 .map_err(|e| e.to_string())?,
             Measure::Transient(t) => mrp
-                .expected_transient_reward(t, &topts)
+                .expected_transient_reward_with(t, &topts, kernel)
                 .map_err(|e| e.to_string())?,
             Measure::Accumulated(t) => mrp
-                .expected_accumulated_reward(t, &topts)
+                .expected_accumulated_reward_with(t, &topts, kernel)
                 .map_err(|e| e.to_string())?,
         };
         writeln!(
@@ -323,11 +325,49 @@ reward sum
     #[test]
     fn solve_reports_measure_and_cross_check() {
         let parsed = parse_model(MODEL).unwrap();
-        let out = solve(&parsed, LumpKind::Ordinary, Measure::Stationary, 1_000).unwrap();
+        let out = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            1_000,
+            &KernelOptions::default(),
+        )
+        .unwrap();
         assert!(out.contains("cross-check"), "{out}");
         assert!(out.contains("measure"), "{out}");
         // |Δ| printed in scientific notation and tiny.
         assert!(out.contains("e-"), "{out}");
+    }
+
+    #[test]
+    fn solve_output_identical_across_kernels() {
+        use mdl_core::{KernelKind, KernelOptions};
+        let parsed = parse_model(MODEL).unwrap();
+        let walk = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            1_000,
+            &KernelOptions {
+                kind: KernelKind::Walk,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for threads in [1usize, 4] {
+            let compiled = solve(
+                &parsed,
+                LumpKind::Ordinary,
+                Measure::Stationary,
+                1_000,
+                &KernelOptions {
+                    kind: KernelKind::Compiled,
+                    threads,
+                },
+            )
+            .unwrap();
+            assert_eq!(walk, compiled, "kernel products are bit-identical");
+        }
     }
 
     #[test]
@@ -352,7 +392,14 @@ reward sum
     fn solve_transient_and_accumulated() {
         let parsed = parse_model(MODEL).unwrap();
         for m in [Measure::Transient(1.5), Measure::Accumulated(3.0)] {
-            let out = solve(&parsed, LumpKind::Ordinary, m, 1_000).unwrap();
+            let out = solve(
+                &parsed,
+                LumpKind::Ordinary,
+                m,
+                1_000,
+                &KernelOptions::default(),
+            )
+            .unwrap();
             assert!(out.contains("measure"), "{out}");
         }
     }

@@ -62,6 +62,29 @@ pub fn parse_obs_flags(flags: &[String]) -> Result<ObsFlags, String> {
     })
 }
 
+/// Extracts `--kernel walk|compiled` and `--threads N` from `flags`.
+///
+/// Defaults: the compiled kernel with `threads = 0` (one worker per
+/// available hardware thread), so callers never hardcode worker counts.
+///
+/// # Errors
+///
+/// A message naming the flag for a missing value or an unknown kernel.
+pub fn parse_kernel_flags(flags: &[String]) -> Result<mdl_core::KernelOptions, String> {
+    use mdl_core::{KernelKind, KernelOptions};
+    let kind = match value_of(flags, "--kernel")? {
+        None | Some("compiled") => KernelKind::Compiled,
+        Some("walk") => KernelKind::Walk,
+        Some(other) => {
+            return Err(format!(
+                "--kernel: expected `walk` or `compiled`, got {other:?}"
+            ))
+        }
+    };
+    let threads = flag_u64(flags, "--threads")?.unwrap_or(0) as usize;
+    Ok(KernelOptions { kind, threads })
+}
+
 /// The value following `flag`, if present. A missing value — end of the
 /// argument list, or another `--flag` where the value should be — is an
 /// explicit error rather than silent misparsing.
@@ -169,6 +192,27 @@ mod tests {
         // `-1` is a value, not a flag: only `--`-prefixed tokens are.
         let flags = args(&["--transient", "-1"]);
         assert_eq!(flag_f64(&flags, "--transient").unwrap(), Some(-1.0));
+    }
+
+    #[test]
+    fn kernel_flags_parse() {
+        use mdl_core::{KernelKind, KernelOptions};
+        assert_eq!(
+            parse_kernel_flags(&args(&[])).unwrap(),
+            KernelOptions {
+                kind: KernelKind::Compiled,
+                threads: 0
+            }
+        );
+        let f = parse_kernel_flags(&args(&["--kernel", "walk", "--threads", "4"])).unwrap();
+        assert_eq!(f.kind, KernelKind::Walk);
+        assert_eq!(f.threads, 4);
+        let f = parse_kernel_flags(&args(&["--kernel", "compiled"])).unwrap();
+        assert_eq!(f.kind, KernelKind::Compiled);
+        let e = parse_kernel_flags(&args(&["--kernel", "magic"])).unwrap_err();
+        assert!(e.contains("walk") && e.contains("compiled"), "{e}");
+        let e = parse_kernel_flags(&args(&["--threads"])).unwrap_err();
+        assert!(e.contains("--threads needs a value"), "{e}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! mdlump-cli info     <model-file>
 //! mdlump-cli lump     <model-file> [--exact] [--iterate]
 //! mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]
+//!                     [--kernel walk|compiled] [--threads N]
 //! mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]
 //! ```
 //!
@@ -23,7 +24,7 @@ use mdl_core::LumpKind;
 use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads for compiled products\n                          (default 0 = one per hardware thread)\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
 }
 
@@ -122,7 +123,8 @@ fn run() -> Result<String, String> {
                 (None, Some(t)) => Measure::Accumulated(t),
                 (None, None) => Measure::Stationary,
             };
-            commands::solve(&parsed, kind, measure, 200_000)
+            let kernel = flags::parse_kernel_flags(flag_args)?;
+            commands::solve(&parsed, kind, measure, 200_000, &kernel)
         }
         "simulate" => {
             let horizon = flags::flag_f64(flag_args, "--horizon")?.unwrap_or(100.0);

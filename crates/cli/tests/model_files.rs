@@ -5,7 +5,7 @@ use std::path::PathBuf;
 
 use mdl_cli::commands::{self, Measure};
 use mdl_cli::parse_model;
-use mdl_core::{compositional_lump, LumpKind};
+use mdl_core::{compositional_lump, KernelOptions, LumpKind};
 
 fn load(name: &str) -> mdl_cli::ParsedModel {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -30,8 +30,14 @@ fn worker_pool_lumps_as_documented() {
 #[test]
 fn worker_pool_measures_cross_check() {
     let parsed = load("worker_pool.mdl");
-    let out =
-        commands::solve(&parsed, LumpKind::Ordinary, Measure::Stationary, 1_000).expect("solves");
+    let out = commands::solve(
+        &parsed,
+        LumpKind::Ordinary,
+        Measure::Stationary,
+        1_000,
+        &KernelOptions::default(),
+    )
+    .expect("solves");
     assert!(out.contains("cross-check"), "{out}");
 }
 

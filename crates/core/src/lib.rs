@@ -82,7 +82,7 @@ pub use lump::{
     compositional_lump, compositional_lump_iterated, compositional_lump_with, LevelLumpStats,
     LumpKind, LumpOptions, LumpResult, LumpStats,
 };
-pub use mrp::MdMrp;
+pub use mrp::{KernelKind, KernelOptions, MdMrp};
 
 /// Convenience alias for fallible operations of this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,9 +1,42 @@
 use mdl_ctmc::{Solution, SolverOptions, TransientOptions};
 use mdl_linalg::RateMatrix;
-use mdl_md::MdMatrix;
+use mdl_md::{CompiledMdMatrix, MdMatrix};
 
 use crate::decomp::DecomposableVector;
 use crate::{CoreError, Result};
+
+/// Which matrix–vector kernel a symbolic solve iterates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelKind {
+    /// Recursive MD×MDD walk on every product ([`MdMatrix`] directly).
+    Walk,
+    /// Compile the pair once into a flat block/arena program
+    /// ([`CompiledMdMatrix`]) and iterate over that. Products are
+    /// bit-identical to the walk, typically several times faster, and can
+    /// be multi-threaded.
+    #[default]
+    Compiled,
+}
+
+/// How a symbolic solve executes its per-iteration products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOptions {
+    /// Which kernel to iterate over.
+    pub kind: KernelKind,
+    /// Worker threads for compiled products; `0` means one per available
+    /// hardware thread ([`mdl_md::default_threads`]). Ignored by the walk
+    /// kernel, which is always serial.
+    pub threads: usize,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        KernelOptions {
+            kind: KernelKind::Compiled,
+            threads: 1,
+        }
+    }
+}
 
 /// A Markov reward process in fully symbolic form: the state-transition
 /// rate matrix is a matrix diagram over an MDD-indexed reachable state
@@ -114,34 +147,70 @@ impl MdMrp {
     }
 
     /// Stationary distribution over reachable states, solved symbolically
-    /// (matrix-diagram × vector products only).
+    /// (matrix-diagram × vector products only) with the default kernel
+    /// (compiled, serial).
     ///
     /// # Errors
     ///
     /// Propagates solver errors ([`mdl_ctmc::CtmcError`]).
     pub fn stationary(&self, options: &SolverOptions) -> Result<Solution> {
-        use mdl_ctmc::StationaryMethod;
-        let sol = match options.method {
-            StationaryMethod::Power => mdl_ctmc::stationary_power(&self.matrix, options)?,
-            StationaryMethod::Jacobi => mdl_ctmc::stationary_jacobi(&self.matrix, options)?,
-        };
-        Ok(sol)
+        self.stationary_with(options, &KernelOptions::default())
+    }
+
+    /// [`Self::stationary`] with an explicit kernel choice. The compiled
+    /// kernel is built once before iterating; its products are
+    /// bit-identical to the walk, so the solution does not depend on the
+    /// kernel (or thread count) chosen.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors ([`mdl_ctmc::CtmcError`]).
+    pub fn stationary_with(
+        &self,
+        options: &SolverOptions,
+        kernel: &KernelOptions,
+    ) -> Result<Solution> {
+        match kernel.kind {
+            KernelKind::Walk => solve_stationary(&self.matrix, options),
+            KernelKind::Compiled => {
+                let compiled = CompiledMdMatrix::compile_with_threads(&self.matrix, kernel.threads);
+                solve_stationary(&compiled, options)
+            }
+        }
     }
 
     /// Transient distribution at time `t` from the initial distribution,
-    /// solved symbolically.
+    /// solved symbolically with the default kernel.
     ///
     /// # Errors
     ///
     /// Propagates solver errors.
     pub fn transient(&self, t: f64, options: &TransientOptions) -> Result<Solution> {
+        self.transient_with(t, options, &KernelOptions::default())
+    }
+
+    /// [`Self::transient`] with an explicit kernel choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn transient_with(
+        &self,
+        t: f64,
+        options: &TransientOptions,
+        kernel: &KernelOptions,
+    ) -> Result<Solution> {
         let initial = self.initial_vector();
-        Ok(mdl_ctmc::transient_uniformization(
-            &self.matrix,
-            &initial,
-            t,
-            options,
-        )?)
+        let sol = match kernel.kind {
+            KernelKind::Walk => {
+                mdl_ctmc::transient_uniformization(&self.matrix, &initial, t, options)?
+            }
+            KernelKind::Compiled => {
+                let compiled = CompiledMdMatrix::compile_with_threads(&self.matrix, kernel.threads);
+                mdl_ctmc::transient_uniformization(&compiled, &initial, t, options)?
+            }
+        };
+        Ok(sol)
     }
 
     /// Expected stationary reward `Σ_s π(s) r(s)`.
@@ -150,7 +219,20 @@ impl MdMrp {
     ///
     /// Propagates solver errors.
     pub fn expected_stationary_reward(&self, options: &SolverOptions) -> Result<f64> {
-        let sol = self.stationary(options)?;
+        self.expected_stationary_reward_with(options, &KernelOptions::default())
+    }
+
+    /// [`Self::expected_stationary_reward`] with an explicit kernel choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_stationary_reward_with(
+        &self,
+        options: &SolverOptions,
+        kernel: &KernelOptions,
+    ) -> Result<f64> {
+        let sol = self.stationary_with(options, kernel)?;
         Ok(sol.expected_reward(&self.reward_vector()))
     }
 
@@ -160,7 +242,21 @@ impl MdMrp {
     ///
     /// Propagates solver errors.
     pub fn expected_transient_reward(&self, t: f64, options: &TransientOptions) -> Result<f64> {
-        let sol = self.transient(t, options)?;
+        self.expected_transient_reward_with(t, options, &KernelOptions::default())
+    }
+
+    /// [`Self::expected_transient_reward`] with an explicit kernel choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_transient_reward_with(
+        &self,
+        t: f64,
+        options: &TransientOptions,
+        kernel: &KernelOptions,
+    ) -> Result<f64> {
+        let sol = self.transient_with(t, options, kernel)?;
         Ok(sol.expected_reward(&self.reward_vector()))
     }
 
@@ -171,15 +267,39 @@ impl MdMrp {
     ///
     /// Propagates solver errors.
     pub fn expected_accumulated_reward(&self, t: f64, options: &TransientOptions) -> Result<f64> {
+        self.expected_accumulated_reward_with(t, options, &KernelOptions::default())
+    }
+
+    /// [`Self::expected_accumulated_reward`] with an explicit kernel
+    /// choice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn expected_accumulated_reward_with(
+        &self,
+        t: f64,
+        options: &TransientOptions,
+        kernel: &KernelOptions,
+    ) -> Result<f64> {
         let initial = self.initial_vector();
         let reward = self.reward_vector();
-        Ok(mdl_ctmc::accumulated_reward(
-            &self.matrix,
-            &initial,
-            &reward,
-            t,
-            options,
-        )?)
+        let value = match kernel.kind {
+            KernelKind::Walk => {
+                mdl_ctmc::accumulated_reward(&self.matrix, &initial, &reward, t, options)?
+            }
+            KernelKind::Compiled => {
+                let compiled = CompiledMdMatrix::compile_with_threads(&self.matrix, kernel.threads);
+                mdl_ctmc::accumulated_reward(&compiled, &initial, &reward, t, options)?
+            }
+        };
+        Ok(value)
+    }
+
+    /// Compiles this MRP's matrix into the flat execute-many kernel
+    /// (`threads == 0` means one worker per hardware thread).
+    pub fn compile_matrix(&self, threads: usize) -> CompiledMdMatrix {
+        CompiledMdMatrix::compile_with_threads(&self.matrix, threads)
     }
 
     /// Materializes the whole MRP as a flat [`Mrp`](mdl_ctmc::Mrp) over an
@@ -202,6 +322,15 @@ impl MdMrp {
     pub fn into_parts(self) -> (MdMatrix, DecomposableVector, DecomposableVector) {
         (self.matrix, self.reward, self.initial)
     }
+}
+
+fn solve_stationary<M: RateMatrix>(matrix: &M, options: &SolverOptions) -> Result<Solution> {
+    use mdl_ctmc::StationaryMethod;
+    let sol = match options.method {
+        StationaryMethod::Power => mdl_ctmc::stationary_power(matrix, options)?,
+        StationaryMethod::Jacobi => mdl_ctmc::stationary_jacobi(matrix, options)?,
+    };
+    Ok(sol)
 }
 
 #[cfg(test)]
@@ -289,6 +418,58 @@ mod tests {
         assert!(
             mdl_linalg::vec_ops::max_abs_diff(&sym.probabilities, &explicit.probabilities) < 1e-10
         );
+    }
+
+    #[test]
+    fn kernels_agree_bit_for_bit() {
+        // Compiled products are bit-identical to the walk, so whole solves
+        // agree exactly — for any thread count.
+        let mrp = sample_mrp();
+        let opts = SolverOptions::default();
+        let walk = mrp
+            .stationary_with(
+                &opts,
+                &KernelOptions {
+                    kind: KernelKind::Walk,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+        for threads in [1usize, 2, 4] {
+            let compiled = mrp
+                .stationary_with(
+                    &opts,
+                    &KernelOptions {
+                        kind: KernelKind::Compiled,
+                        threads,
+                    },
+                )
+                .unwrap();
+            assert_eq!(walk.probabilities, compiled.probabilities);
+            assert_eq!(walk.stats.iterations, compiled.stats.iterations);
+        }
+        let wt = mrp
+            .transient_with(
+                0.7,
+                &TransientOptions::default(),
+                &KernelOptions {
+                    kind: KernelKind::Walk,
+                    threads: 1,
+                },
+            )
+            .unwrap();
+        let ct = mrp
+            .transient_with(0.7, &TransientOptions::default(), &KernelOptions::default())
+            .unwrap();
+        assert_eq!(wt.probabilities, ct.probabilities);
+    }
+
+    #[test]
+    fn compile_matrix_exposes_kernel() {
+        let mrp = sample_mrp();
+        let compiled = mrp.compile_matrix(0);
+        assert_eq!(compiled.num_states(), mrp.num_states());
+        assert!(compiled.threads() >= 1);
     }
 
     #[test]

@@ -50,6 +50,21 @@ impl ParCsr {
         }
     }
 
+    /// Wraps a square matrix using one worker per available hardware
+    /// thread ([`std::thread::available_parallelism`], falling back to `1`
+    /// when it cannot be determined) — callers no longer hardcode worker
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn with_default_threads(matrix: CsrMatrix) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::new(matrix, threads)
+    }
+
     /// The wrapped matrix.
     pub fn matrix(&self) -> &CsrMatrix {
         &self.forward
@@ -154,6 +169,19 @@ mod tests {
         let serial = crate::stationary_power(&m, &opts).unwrap();
         let parallel = crate::stationary_power(&par, &opts).unwrap();
         assert!(vec_ops::max_abs_diff(&serial.probabilities, &parallel.probabilities) < 1e-10);
+    }
+
+    #[test]
+    fn default_threads_matches_hardware() {
+        let m = random_chain(100, 17);
+        let par = ParCsr::with_default_threads(m.clone());
+        assert!(par.threads() >= 1);
+        let x = vec![1.0; 100];
+        let mut a = vec![0.0; 100];
+        let mut b = vec![0.0; 100];
+        m.acc_mat_vec(&x, &mut a);
+        par.acc_mat_vec(&x, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

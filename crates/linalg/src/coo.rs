@@ -40,6 +40,24 @@ impl CooMatrix {
         }
     }
 
+    /// Creates an empty `nrows` × `ncols` matrix with room for `capacity`
+    /// entries before reallocating. Useful when the producer knows the
+    /// entry count up front (e.g. `MdMatrix::count_entries`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension exceeds `u32::MAX`.
+    pub fn with_capacity(nrows: usize, ncols: usize, capacity: usize) -> Self {
+        let mut m = CooMatrix::new(nrows, ncols);
+        m.entries.reserve_exact(capacity);
+        m
+    }
+
+    /// Number of entries the matrix can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.nrows
@@ -168,6 +186,17 @@ mod tests {
         assert_eq!(m.nrows(), 4);
         assert_eq!(m.ncols(), 5);
         assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let mut m = CooMatrix::with_capacity(3, 3, 7);
+        assert!(m.capacity() >= 7);
+        for i in 0..3 {
+            m.push(i, i, 1.0);
+        }
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_csr().nnz(), 3);
     }
 
     #[test]

@@ -57,6 +57,42 @@ pub fn normalize_l1(x: &mut [f64]) -> f64 {
     s
 }
 
+/// Normalizes `x` to unit L1 sum (same arithmetic as [`normalize_l1`])
+/// while computing the ∞-norm difference between the *normalized* `x` and
+/// `reference` in the same pass; returns that difference.
+///
+/// This fuses the two vector passes an iterative solver performs per
+/// iteration (normalize, then compare against the previous iterate), so
+/// convergence can be checked every iteration at no extra traversal cost.
+/// The result is bit-identical to `normalize_l1(x)` followed by
+/// `max_abs_diff(x, reference)`. A zero-sum `x` is left unscaled, exactly
+/// like [`normalize_l1`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn normalize_l1_max_diff(x: &mut [f64], reference: &[f64]) -> f64 {
+    assert_eq!(
+        x.len(),
+        reference.len(),
+        "normalize_l1_max_diff length mismatch"
+    );
+    let s = sum(x);
+    let mut diff = 0.0f64;
+    if s != 0.0 {
+        let inv = 1.0 / s;
+        for (xi, r) in x.iter_mut().zip(reference) {
+            *xi *= inv;
+            diff = f64::max(diff, (r - *xi).abs());
+        }
+    } else {
+        for (xi, r) in x.iter().zip(reference) {
+            diff = f64::max(diff, (r - xi).abs());
+        }
+    }
+    diff
+}
+
 /// Maximum absolute difference between two equal-length slices.
 ///
 /// # Panics
@@ -105,6 +141,25 @@ mod tests {
         let mut x = vec![0.0, 0.0];
         assert_eq!(normalize_l1(&mut x), 0.0);
         assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalize_l1_max_diff_matches_two_pass() {
+        let reference = vec![0.2, 0.3, 0.5];
+        let mut fused = vec![1.0, 3.0, 4.0];
+        let mut two_pass = fused.clone();
+        let d = normalize_l1_max_diff(&mut fused, &reference);
+        normalize_l1(&mut two_pass);
+        assert_eq!(fused, two_pass, "bit-identical normalization");
+        assert_eq!(d, max_abs_diff(&two_pass, &reference));
+    }
+
+    #[test]
+    fn normalize_l1_max_diff_zero_sum_skips_scaling() {
+        let mut x = vec![0.0, 0.0];
+        let d = normalize_l1_max_diff(&mut x, &[0.25, 0.75]);
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(d, 0.75);
     }
 
     #[test]

@@ -1,3 +1,5 @@
+use std::collections::HashMap;
+
 use mdl_linalg::{CooMatrix, CsrMatrix, RateMatrix};
 use mdl_mdd::{Mdd, MddNodeId};
 
@@ -116,12 +118,73 @@ impl MdMatrix {
         }
     }
 
+    /// Number of entry visits a full traversal performs — the exact number
+    /// of `(row, col, value)` triples [`Self::for_each_entry`] yields.
+    ///
+    /// Computed by a memoized count over distinct
+    /// `(MD node, row MDD node, col MDD node)` triples, so the cost is
+    /// proportional to the *shared* structure, not the flat entry count.
+    pub fn count_entries(&self) -> u64 {
+        if self.reach.is_empty() {
+            return 0;
+        }
+        let mut memo: Vec<HashMap<(u32, u32, u32), u64>> =
+            vec![HashMap::new(); self.md.num_levels()];
+        let root_mdd = self.reach.root();
+        self.count_walk(self.md.root(), root_mdd, root_mdd, &mut memo)
+    }
+
+    fn count_walk(
+        &self,
+        md_node: MdNodeId,
+        row_n: MddNodeId,
+        col_n: MddNodeId,
+        memo: &mut Vec<HashMap<(u32, u32, u32), u64>>,
+    ) -> u64 {
+        let level = md_node.level as usize;
+        let key = (md_node.index, row_n.index, col_n.index);
+        if let Some(&n) = memo[level].get(&key) {
+            return n;
+        }
+        let last = level == self.md.num_levels() - 1;
+        let mut total = 0u64;
+        for entry in self.md.node(md_node).entries() {
+            let (s, s2) = (entry.row as usize, entry.col as usize);
+            if !self.reach.is_present(row_n, s) || !self.reach.is_present(col_n, s2) {
+                continue;
+            }
+            if last {
+                total += entry.terms.len() as u64;
+            } else {
+                let rc = self.reach.child(row_n, s).expect("present child");
+                let cc = self.reach.child(col_n, s2).expect("present child");
+                for t in &entry.terms {
+                    let ChildId::Node(n) = t.child else {
+                        unreachable!("terminal above last level")
+                    };
+                    total += self.count_walk(
+                        MdNodeId {
+                            level: md_node.level + 1,
+                            index: n,
+                        },
+                        rc,
+                        cc,
+                        memo,
+                    );
+                }
+            }
+        }
+        memo[level].insert(key, total);
+        total
+    }
+
     /// Materializes the represented matrix over reachable states as an
     /// explicit sparse matrix (verification / flat baselines; memory is
     /// O(nnz)).
     pub fn flatten(&self) -> CsrMatrix {
         let n = self.reach.count() as usize;
-        let mut coo = CooMatrix::new(n, n);
+        let cap = usize::try_from(self.count_entries()).unwrap_or(usize::MAX);
+        let mut coo = CooMatrix::with_capacity(n, n, cap);
         self.for_each_entry(|r, c, v| coo.push(r as usize, c as usize, v));
         coo.to_csr()
     }

@@ -1,0 +1,720 @@
+//! Compile-once, execute-many kernel for [`MdMatrix`] products.
+//!
+//! Every iteration of a symbolic solve is a `y += x·R` product over the
+//! MD×MDD pair, and the recursive walk in [`MdMatrix::for_each_entry`]
+//! re-derives the same structure on every call: offsets are recomputed,
+//! shared sub-diagrams are re-descended once per incoming path, and the
+//! traversal order is pointer-chasing rather than streaming. This module
+//! walks the pair **once** and lowers it to a flat program:
+//!
+//! * each distinct `(MdNodeId, row MddNodeId, col MddNodeId)` triple is
+//!   compiled exactly once (hash-consing happens at compile time only);
+//! * bottom-level triples become **leaf runs** — contiguous
+//!   `(row, col, coef)` triples in shared arenas, with offsets relative to
+//!   the enclosing block;
+//! * the levels above are linearized into a flat list of **blocks**
+//!   `(row_base, col_base, scale, leaf)` in exactly the order the
+//!   recursive walk would visit them.
+//!
+//! Executing a product is then two nested loops over contiguous arrays —
+//! no recursion, no hashing, no offset arithmetic beyond one add per
+//! index — and the shared leaf runs stay hot in cache across blocks.
+//!
+//! # Determinism
+//!
+//! The serial product applies blocks in walk order, so every output entry
+//! accumulates its contributions in the same order as
+//! [`MdMatrix::acc_mat_vec`] / [`MdMatrix::acc_vec_mat`] — products are
+//! **bit-identical** to the recursive walk. The threaded product keeps
+//! this guarantee: the MDD offset labelling makes the row (resp. column)
+//! intervals of two blocks either disjoint or identical, so blocks can be
+//! partitioned into contiguous, disjoint output ranges; each output entry
+//! is owned by exactly one thread, which applies its blocks in walk order
+//! (the same discipline as `ParCsr::gather` in `mdl-ctmc`).
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use mdl_linalg::RateMatrix;
+use mdl_mdd::MddNodeId;
+
+use crate::apply::MdMatrix;
+use crate::md::{ChildId, MdNodeId};
+
+/// Products over fewer states than this run serially even when the kernel
+/// was compiled for several threads (same threshold as `ParCsr`).
+const PAR_MIN_STATES: usize = 1024;
+
+/// One linearized top-level invocation: apply leaf run `leaf`, offset by
+/// `(row_base, col_base)` and scaled by `scale` (the product of the formal
+/// sum coefficients along the path, accumulated in walk order).
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    row_base: u64,
+    col_base: u64,
+    scale: f64,
+    leaf: u32,
+}
+
+/// A deterministic schedule for one product orientation: block indices in
+/// walk order grouped into per-thread runs over disjoint output ranges.
+#[derive(Debug, Clone)]
+struct Plan {
+    /// Block indices, stably sorted by the orientation's output base —
+    /// walk order is preserved among blocks sharing an output interval.
+    order: Vec<u32>,
+    /// `order[splits[k]..splits[k + 1]]` is thread `k`'s run.
+    splits: Vec<usize>,
+    /// Thread `k` owns output indices `bounds[k]..bounds[k + 1]`.
+    bounds: Vec<u64>,
+}
+
+/// Size and sharing statistics of a compiled kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileStats {
+    /// Linearized top-level block invocations.
+    pub blocks: usize,
+    /// Distinct bottom-level `(MD node, row MDD node, col MDD node)`
+    /// triples, i.e. compiled leaf programs.
+    pub leaf_programs: usize,
+    /// Total `(row, col, coef)` triples stored across all leaf arenas
+    /// (after sharing).
+    pub leaf_entries: usize,
+    /// Total matrix entries one product touches: `Σ_blocks |leaf run|`.
+    /// Equals the number of `(r, c, v)` visits of
+    /// [`MdMatrix::for_each_entry`].
+    pub flat_entries: u64,
+    /// Triples reached during compilation, counted once per incoming path.
+    pub triples_visited: u64,
+    /// Distinct triples compiled (the rest were sub-program cache hits).
+    pub triples_compiled: u64,
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+}
+
+impl CompileStats {
+    /// Sharing factor exploited by compilation: visited / compiled triples
+    /// (`1.0` means no sharing; higher is better).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.triples_compiled == 0 {
+            1.0
+        } else {
+            self.triples_visited as f64 / self.triples_compiled as f64
+        }
+    }
+}
+
+/// Per-level memoized sub-programs built during compilation and discarded
+/// after linearization.
+struct Compiler<'a> {
+    m: &'a MdMatrix,
+    /// `memo[level]` maps `(md index, row mdd index, col mdd index)` to the
+    /// sub-program (upper levels) or leaf program (last level) id.
+    memo: Vec<HashMap<(u32, u32, u32), u32>>,
+    /// Upper-level programs: lists of relative invocations.
+    segments: Vec<Vec<Segment>>,
+    /// Leaf arena bounds: leaf `p` is `leaf_*[bounds[p]..bounds[p + 1]]`.
+    leaf_bounds: Vec<u32>,
+    leaf_rows: Vec<u32>,
+    leaf_cols: Vec<u32>,
+    leaf_coefs: Vec<f64>,
+    visited: u64,
+    compiled: u64,
+}
+
+/// One invocation of a next-level program, relative to the caller's
+/// offsets.
+#[derive(Debug, Clone, Copy)]
+struct SegmentCall {
+    d_row: u64,
+    d_col: u64,
+    coef: f64,
+    child: u32,
+}
+
+type Segment = Vec<SegmentCall>;
+
+impl<'a> Compiler<'a> {
+    fn new(m: &'a MdMatrix) -> Self {
+        let levels = m.md().num_levels();
+        Compiler {
+            m,
+            memo: vec![HashMap::new(); levels],
+            segments: vec![Vec::new(); levels.saturating_sub(1)],
+            leaf_bounds: vec![0],
+            leaf_rows: Vec::new(),
+            leaf_cols: Vec::new(),
+            leaf_coefs: Vec::new(),
+            visited: 0,
+            compiled: 0,
+        }
+    }
+
+    /// Compiles the triple once, returning its program id (leaf id at the
+    /// last level, segment id above).
+    fn compile_triple(&mut self, md_node: MdNodeId, row_n: MddNodeId, col_n: MddNodeId) -> u32 {
+        self.visited += 1;
+        let level = md_node.level as usize;
+        let key = (md_node.index, row_n.index, col_n.index);
+        if let Some(&id) = self.memo[level].get(&key) {
+            return id;
+        }
+        self.compiled += 1;
+        let reach = self.m.reach();
+        let last = level == self.m.md().num_levels() - 1;
+        let id = if last {
+            for entry in self.m.md().node(md_node).entries() {
+                let (s, s2) = (entry.row as usize, entry.col as usize);
+                if !reach.is_present(row_n, s) || !reach.is_present(col_n, s2) {
+                    continue;
+                }
+                let ro = reach.offset(row_n, s);
+                let co = reach.offset(col_n, s2);
+                for t in &entry.terms {
+                    debug_assert_eq!(t.child, ChildId::Terminal);
+                    self.leaf_rows.push(ro as u32);
+                    self.leaf_cols.push(co as u32);
+                    self.leaf_coefs.push(t.coef);
+                }
+            }
+            let end = u32::try_from(self.leaf_rows.len()).expect("leaf arena fits in u32");
+            self.leaf_bounds.push(end);
+            (self.leaf_bounds.len() - 2) as u32
+        } else {
+            // Reserve the segment id before recursing so ids stay dense.
+            let seg_id = self.segments[level].len() as u32;
+            self.segments[level].push(Vec::new());
+            let mut calls = Vec::new();
+            for entry in self.m.md().node(md_node).entries() {
+                let (s, s2) = (entry.row as usize, entry.col as usize);
+                if !reach.is_present(row_n, s) || !reach.is_present(col_n, s2) {
+                    continue;
+                }
+                let d_row = reach.offset(row_n, s);
+                let d_col = reach.offset(col_n, s2);
+                let rc = reach.child(row_n, s).expect("present child");
+                let cc = reach.child(col_n, s2).expect("present child");
+                for t in &entry.terms {
+                    let ChildId::Node(n) = t.child else {
+                        unreachable!("terminal above last level")
+                    };
+                    let child = self.compile_triple(
+                        MdNodeId {
+                            level: md_node.level + 1,
+                            index: n,
+                        },
+                        rc,
+                        cc,
+                    );
+                    calls.push(SegmentCall {
+                        d_row,
+                        d_col,
+                        coef: t.coef,
+                        child,
+                    });
+                }
+            }
+            self.segments[level][seg_id as usize] = calls;
+            seg_id
+        };
+        self.memo[level].insert(key, id);
+        id
+    }
+
+    /// Expands the root program into the flat block list, accumulating
+    /// offsets and scales in walk order.
+    fn linearize(&self, root: u32, blocks: &mut Vec<Block>) {
+        let levels = self.m.md().num_levels();
+        if levels == 1 {
+            blocks.push(Block {
+                row_base: 0,
+                col_base: 0,
+                scale: 1.0,
+                leaf: root,
+            });
+            return;
+        }
+        self.expand(0, root, 0, 0, 1.0, blocks);
+    }
+
+    fn expand(
+        &self,
+        level: usize,
+        segment: u32,
+        row_base: u64,
+        col_base: u64,
+        scale: f64,
+        blocks: &mut Vec<Block>,
+    ) {
+        let last_segment_level = level == self.m.md().num_levels() - 2;
+        for call in &self.segments[level][segment as usize] {
+            let ro = row_base + call.d_row;
+            let co = col_base + call.d_col;
+            let sc = scale * call.coef;
+            if last_segment_level {
+                blocks.push(Block {
+                    row_base: ro,
+                    col_base: co,
+                    scale: sc,
+                    leaf: call.child,
+                });
+            } else {
+                self.expand(level + 1, call.child, ro, co, sc, blocks);
+            }
+        }
+    }
+}
+
+/// A compiled [`MdMatrix`]: the same matrix over the same reachable state
+/// space, with products that run over flat arrays instead of re-walking
+/// the diagrams, optionally on several threads.
+///
+/// Products are bit-identical to the recursive walk in either form; see
+/// the [module docs](self) for the determinism argument.
+///
+/// # Example
+///
+/// ```
+/// use mdl_md::{CompiledMdMatrix, KroneckerExpr, MdMatrix, SparseFactor};
+/// use mdl_mdd::Mdd;
+/// use mdl_linalg::RateMatrix;
+///
+/// let mut w = SparseFactor::new(2);
+/// w.push(0, 1, 1.0);
+/// let mut expr = KroneckerExpr::new(vec![2, 2]);
+/// expr.add_term(2.0, vec![Some(w), None]);
+/// let m = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 2]).unwrap()).unwrap();
+///
+/// let compiled = CompiledMdMatrix::compile(&m);
+/// let x = vec![1.0; 4];
+/// let (mut y_walk, mut y_comp) = (vec![0.0; 4], vec![0.0; 4]);
+/// m.acc_mat_vec(&x, &mut y_walk);
+/// compiled.acc_mat_vec(&x, &mut y_comp);
+/// assert_eq!(y_walk, y_comp); // bit-identical
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledMdMatrix {
+    num_states: usize,
+    threads: usize,
+    blocks: Vec<Block>,
+    leaf_bounds: Vec<u32>,
+    leaf_rows: Vec<u32>,
+    leaf_cols: Vec<u32>,
+    leaf_coefs: Vec<f64>,
+    row_plan: Plan,
+    col_plan: Plan,
+    stats: CompileStats,
+}
+
+/// Number of worker threads to use when the caller does not care:
+/// [`std::thread::available_parallelism`], or `1` when it is unavailable.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl CompiledMdMatrix {
+    /// Compiles a serial kernel (`threads == 1`).
+    pub fn compile(m: &MdMatrix) -> Self {
+        Self::compile_with_threads(m, 1)
+    }
+
+    /// Compiles a kernel whose products use `threads` workers
+    /// (`0` means [`default_threads`]). Small matrices
+    /// (< 1024 states) and `threads == 1` never spawn.
+    pub fn compile_with_threads(m: &MdMatrix, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let mut span = mdl_obs::span("md.compile").with("threads", threads);
+        let t0 = std::time::Instant::now();
+
+        let mut compiler = Compiler::new(m);
+        let mut blocks = Vec::new();
+        if !m.reach().is_empty() {
+            let root_mdd = m.reach().root();
+            let root = compiler.compile_triple(m.md().root(), root_mdd, root_mdd);
+            compiler.linearize(root, &mut blocks);
+        }
+
+        let flat_entries: u64 = blocks
+            .iter()
+            .map(|b| {
+                (compiler.leaf_bounds[b.leaf as usize + 1] - compiler.leaf_bounds[b.leaf as usize])
+                    as u64
+            })
+            .sum();
+        let stats = CompileStats {
+            blocks: blocks.len(),
+            leaf_programs: compiler.leaf_bounds.len() - 1,
+            leaf_entries: compiler.leaf_rows.len(),
+            flat_entries,
+            triples_visited: compiler.visited,
+            triples_compiled: compiler.compiled,
+            compile_time: Duration::ZERO, // patched below, after the plans
+        };
+
+        let leaf_len = |b: &Block| {
+            (compiler.leaf_bounds[b.leaf as usize + 1] - compiler.leaf_bounds[b.leaf as usize])
+                as u64
+        };
+        let n = m.num_states();
+        let row_plan = build_plan(&blocks, threads, n as u64, |b| b.row_base, &leaf_len);
+        let col_plan = build_plan(&blocks, threads, n as u64, |b| b.col_base, &leaf_len);
+
+        let mut out = CompiledMdMatrix {
+            num_states: n,
+            threads,
+            blocks,
+            leaf_bounds: compiler.leaf_bounds,
+            leaf_rows: compiler.leaf_rows,
+            leaf_cols: compiler.leaf_cols,
+            leaf_coefs: compiler.leaf_coefs,
+            row_plan,
+            col_plan,
+            stats,
+        };
+        out.stats.compile_time = t0.elapsed();
+
+        mdl_obs::counter("md.compile.blocks").add(out.stats.blocks as u64);
+        mdl_obs::counter("md.compile.leaf_entries").add(out.stats.leaf_entries as u64);
+        mdl_obs::counter("md.compile.triples_visited").add(out.stats.triples_visited);
+        mdl_obs::counter("md.compile.triples_compiled").add(out.stats.triples_compiled);
+        span.record("blocks", out.stats.blocks);
+        span.record("leaf_entries", out.stats.leaf_entries);
+        span.record("flat_entries", out.stats.flat_entries);
+        span.record("dedup_ratio", out.stats.dedup_ratio());
+        span.finish();
+        out
+    }
+
+    /// Compilation statistics (sizes, sharing, time).
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Number of worker threads products use (before the small-matrix
+    /// serial fallback).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Memory of the compiled program in bytes (blocks, arenas and
+    /// schedules).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<Block>()
+            + self.leaf_bounds.len() * 4
+            + self.leaf_rows.len() * 4
+            + self.leaf_cols.len() * 4
+            + self.leaf_coefs.len() * 8
+            + (self.row_plan.order.len() + self.col_plan.order.len()) * 4
+    }
+
+    /// Applies one block in the `y[row] += v·x[col]` orientation.
+    #[inline]
+    fn apply_block_by_row(&self, b: &Block, x: &[f64], y: &mut [f64], y_offset: u64) {
+        let lo = self.leaf_bounds[b.leaf as usize] as usize;
+        let hi = self.leaf_bounds[b.leaf as usize + 1] as usize;
+        let base = b.row_base - y_offset;
+        for i in lo..hi {
+            let v = b.scale * self.leaf_coefs[i];
+            y[(base + self.leaf_rows[i] as u64) as usize] +=
+                v * x[(b.col_base + self.leaf_cols[i] as u64) as usize];
+        }
+    }
+
+    /// Applies one block in the `y[col] += v·x[row]` orientation.
+    #[inline]
+    fn apply_block_by_col(&self, b: &Block, x: &[f64], y: &mut [f64], y_offset: u64) {
+        let lo = self.leaf_bounds[b.leaf as usize] as usize;
+        let hi = self.leaf_bounds[b.leaf as usize + 1] as usize;
+        let base = b.col_base - y_offset;
+        for i in lo..hi {
+            let v = b.scale * self.leaf_coefs[i];
+            y[(base + self.leaf_cols[i] as u64) as usize] +=
+                v * x[(b.row_base + self.leaf_rows[i] as u64) as usize];
+        }
+    }
+
+    /// Shared gather driver: serial in walk order, or threaded over the
+    /// orientation's plan (each thread owns a disjoint output range and
+    /// applies its blocks in walk order — bit-identical either way).
+    fn gather(&self, x: &[f64], y: &mut [f64], by_row: bool) {
+        assert_eq!(x.len(), self.num_states);
+        assert_eq!(y.len(), self.num_states);
+        let mut span = mdl_obs::span("md.kernel.product").with("n", self.num_states);
+        span.record("threads", self.threads);
+        if self.threads == 1 || self.num_states < PAR_MIN_STATES {
+            for b in &self.blocks {
+                if by_row {
+                    self.apply_block_by_row(b, x, y, 0);
+                } else {
+                    self.apply_block_by_col(b, x, y, 0);
+                }
+            }
+            span.finish();
+            return;
+        }
+        let plan = if by_row {
+            &self.row_plan
+        } else {
+            &self.col_plan
+        };
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            let mut offset = 0u64;
+            for k in 0..self.threads {
+                let end = plan.bounds[k + 1];
+                let (chunk, tail) = rest.split_at_mut((end - offset) as usize);
+                let run = &plan.order[plan.splits[k]..plan.splits[k + 1]];
+                let y_offset = offset;
+                scope.spawn(move || {
+                    for &idx in run {
+                        let b = &self.blocks[idx as usize];
+                        if by_row {
+                            self.apply_block_by_row(b, x, chunk, y_offset);
+                        } else {
+                            self.apply_block_by_col(b, x, chunk, y_offset);
+                        }
+                    }
+                });
+                rest = tail;
+                offset = end;
+            }
+        });
+        span.finish();
+    }
+}
+
+/// Builds a deterministic `threads`-way schedule: blocks stably sorted by
+/// `base`, split at base-change boundaries into weight-balanced runs over
+/// disjoint output ranges.
+fn build_plan(
+    blocks: &[Block],
+    threads: usize,
+    n: u64,
+    base: impl Fn(&Block) -> u64,
+    weight: &impl Fn(&Block) -> u64,
+) -> Plan {
+    let mut order: Vec<u32> = (0..blocks.len() as u32).collect();
+    order.sort_by_key(|&i| base(&blocks[i as usize])); // stable: walk order within a base
+    let total: u64 = blocks.iter().map(weight).sum();
+    let mut splits = vec![0usize];
+    let mut bounds = vec![0u64];
+    let mut acc = 0u64;
+    let mut cursor = 0usize;
+    for k in 1..threads {
+        let target = total * k as u64 / threads as u64;
+        while cursor < order.len() && acc < target {
+            acc += weight(&blocks[order[cursor] as usize]);
+            cursor += 1;
+        }
+        // Never split a group of blocks sharing an output interval.
+        while cursor > 0
+            && cursor < order.len()
+            && base(&blocks[order[cursor] as usize]) == base(&blocks[order[cursor - 1] as usize])
+        {
+            acc += weight(&blocks[order[cursor] as usize]);
+            cursor += 1;
+        }
+        splits.push(cursor);
+        bounds.push(if cursor < order.len() {
+            base(&blocks[order[cursor] as usize])
+        } else {
+            n
+        });
+    }
+    splits.push(order.len());
+    bounds.push(n);
+    Plan {
+        order,
+        splits,
+        bounds,
+    }
+}
+
+impl RateMatrix for CompiledMdMatrix {
+    fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    fn acc_mat_vec(&self, x: &[f64], y: &mut [f64]) {
+        self.gather(x, y, true);
+    }
+
+    fn acc_vec_mat(&self, x: &[f64], y: &mut [f64]) {
+        self.gather(x, y, false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kronecker::{KroneckerExpr, SparseFactor};
+    use mdl_linalg::vec_ops;
+    use mdl_mdd::Mdd;
+
+    fn cycle(size: usize, rate: f64) -> SparseFactor {
+        let mut f = SparseFactor::new(size);
+        for s in 0..size {
+            f.push(s, (s + 1) % size, rate);
+        }
+        f
+    }
+
+    fn three_level_expr() -> KroneckerExpr {
+        let mut expr = KroneckerExpr::new(vec![2, 3, 2]);
+        expr.add_term(2.0, vec![Some(cycle(2, 1.0)), None, None]);
+        expr.add_term(1.5, vec![None, Some(cycle(3, 1.0)), Some(cycle(2, 0.5))]);
+        expr.add_term(0.7, vec![None, None, Some(cycle(2, 2.0))]);
+        expr
+    }
+
+    fn full_matrix() -> MdMatrix {
+        let expr = three_level_expr();
+        MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3, 2]).unwrap()).unwrap()
+    }
+
+    fn probe(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 0.1 + 0.37 * (i % 13) as f64).collect()
+    }
+
+    #[test]
+    fn products_bit_identical_to_walk() {
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile(&m);
+        let n = m.num_states();
+        let x = probe(n);
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        m.acc_mat_vec(&x, &mut a);
+        c.acc_mat_vec(&x, &mut b);
+        assert_eq!(a, b, "mat·vec bit-identical");
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        m.acc_vec_mat(&x, &mut a);
+        c.acc_vec_mat(&x, &mut b);
+        assert_eq!(a, b, "vec·mat bit-identical");
+    }
+
+    #[test]
+    fn products_match_flat_matrix() {
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile(&m);
+        let flat = m.flatten();
+        let n = m.num_states();
+        let x = probe(n);
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        flat.acc_mat_vec(&x, &mut a);
+        c.acc_mat_vec(&x, &mut b);
+        assert!(vec_ops::max_abs_diff(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn restricted_reachability_compiles() {
+        let expr = three_level_expr();
+        let tuples: Vec<Vec<u32>> = (0..12u32)
+            .filter(|i| i % 3 != 1)
+            .map(|i| vec![i / 6, (i / 2) % 3, i % 2])
+            .collect();
+        let reach = Mdd::from_tuples(vec![2, 3, 2], tuples).unwrap();
+        let m = MdMatrix::new(expr.to_md().unwrap(), reach).unwrap();
+        let c = CompiledMdMatrix::compile(&m);
+        let n = m.num_states();
+        let x = probe(n);
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        m.acc_vec_mat(&x, &mut a);
+        c.acc_vec_mat(&x, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(c.stats().flat_entries, m.count_entries());
+    }
+
+    #[test]
+    fn threaded_products_bit_identical() {
+        // 2 × 3 × 2 is far below the parallel threshold, so force the
+        // threaded path indirectly by checking plan-partitioned execution
+        // on a model large enough to cross it.
+        let mut expr = KroneckerExpr::new(vec![16, 16, 8]);
+        expr.add_term(1.0, vec![Some(cycle(16, 1.0)), None, None]);
+        expr.add_term(2.0, vec![None, Some(cycle(16, 1.5)), Some(cycle(8, 0.5))]);
+        expr.add_term(0.3, vec![None, None, Some(cycle(8, 2.0))]);
+        let m = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![16, 16, 8]).unwrap()).unwrap();
+        assert!(m.num_states() >= PAR_MIN_STATES);
+        let serial = CompiledMdMatrix::compile(&m);
+        let n = m.num_states();
+        let x = probe(n);
+        let mut y_walk = vec![0.0; n];
+        m.acc_mat_vec(&x, &mut y_walk);
+        let mut z_walk = vec![0.0; n];
+        m.acc_vec_mat(&x, &mut z_walk);
+        for threads in [1, 2, 3, 4, 7] {
+            let c = CompiledMdMatrix::compile_with_threads(&m, threads);
+            let mut y = vec![0.0; n];
+            c.acc_mat_vec(&x, &mut y);
+            assert_eq!(y_walk, y, "mat·vec, {threads} threads");
+            let mut z = vec![0.0; n];
+            c.acc_vec_mat(&x, &mut z);
+            assert_eq!(z_walk, z, "vec·mat, {threads} threads");
+            let mut y_ser = vec![0.0; n];
+            serial.acc_mat_vec(&x, &mut y_ser);
+            assert_eq!(y, y_ser, "threaded equals serial");
+        }
+    }
+
+    #[test]
+    fn empty_reachability_compiles_to_nothing() {
+        let expr = three_level_expr();
+        let empty = Mdd::from_tuples(vec![2, 3, 2], vec![]).unwrap();
+        let m = MdMatrix::new(expr.to_md().unwrap(), empty).unwrap();
+        let c = CompiledMdMatrix::compile(&m);
+        assert_eq!(c.num_states(), 0);
+        assert_eq!(c.stats().blocks, 0);
+        assert_eq!(c.stats().flat_entries, 0);
+    }
+
+    #[test]
+    fn single_level_md_compiles() {
+        let mut expr = KroneckerExpr::new(vec![4]);
+        expr.add_term(1.0, vec![Some(cycle(4, 2.0))]);
+        let m = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![4]).unwrap()).unwrap();
+        let c = CompiledMdMatrix::compile(&m);
+        assert_eq!(c.stats().blocks, 1);
+        let x = probe(4);
+        let (mut a, mut b) = (vec![0.0; 4], vec![0.0; 4]);
+        m.acc_mat_vec(&x, &mut a);
+        c.acc_mat_vec(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharing_deduplicates_subprograms() {
+        // A full cross-product MDD has one node per level, and the second
+        // term's bottom factor is referenced from every level-1 entry: the
+        // bottom triples are shared across all incoming paths.
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile(&m);
+        let s = c.stats();
+        assert!(s.triples_visited >= s.triples_compiled);
+        assert!(s.dedup_ratio() >= 1.0);
+        assert!(s.leaf_entries as u64 <= s.flat_entries);
+        assert_eq!(s.flat_entries, m.count_entries());
+        assert!(c.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn row_sums_match_walk() {
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile(&m);
+        assert_eq!(RateMatrix::row_sums(&m), RateMatrix::row_sums(&c));
+        assert_eq!(RateMatrix::col_sums(&m), RateMatrix::col_sums(&c));
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile_with_threads(&m, 0);
+        assert_eq!(c.threads(), default_threads());
+        assert!(c.threads() >= 1);
+    }
+}

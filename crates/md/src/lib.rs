@@ -25,6 +25,9 @@
 //!   [`RateMatrix`](mdl_linalg::RateMatrix), so the iterative solvers of
 //!   `mdl-ctmc` run directly over the symbolic representation with
 //!   iteration vectors indexed over reachable states only;
+//! * [`CompiledMdMatrix`] — a compile-once, execute-many lowering of an
+//!   [`MdMatrix`] to flat block/arena programs whose products are
+//!   bit-identical to the recursive walk, optionally multi-threaded;
 //! * [`MdMatrix::flatten`] — the explicit sparse matrix, for verification
 //!   and the flat baselines.
 //!
@@ -56,6 +59,7 @@
 mod apply;
 mod builder;
 mod canonical;
+mod compiled;
 mod error;
 mod kronecker;
 mod md;
@@ -67,6 +71,7 @@ pub use kronecker::{KroneckerExpr, KroneckerTerm, SparseFactor};
 pub use md::{ChildId, Md, MdEntry, MdNode, MdNodeId, Term};
 
 pub use apply::MdMatrix;
+pub use compiled::{default_threads, CompileStats, CompiledMdMatrix};
 
 /// Convenience alias for fallible MD operations.
 pub type Result<T> = std::result::Result<T, MdError>;
