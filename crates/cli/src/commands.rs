@@ -2,14 +2,27 @@
 //! only parses arguments and prints.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use mdl_core::{
-    compositional_lump_iterated, compositional_lump_with, KernelOptions, LumpKind, LumpOptions,
-    LumpResult, MdMrp,
+    compositional_lump_budgeted, compositional_lump_iterated_budgeted, KernelOptions, KernelRung,
+    LumpKind, LumpOptions, LumpResult, MdMrp, MdResilientOptions,
 };
-use mdl_ctmc::{SolverOptions, TransientOptions};
+use mdl_ctmc::{RunReport, SolverOptions, TransientOptions};
+use mdl_obs::Budget;
 
+use crate::error::CliError;
+use crate::flags::ResilienceFlags;
 use crate::parser::ParsedModel;
+
+/// The wall-clock budget for a command: a deadline when one was given on
+/// the command line, unlimited otherwise.
+fn budget_for(deadline: Option<Duration>) -> Budget {
+    match deadline {
+        Some(d) => Budget::unlimited().deadline_in(d),
+        None => Budget::unlimited(),
+    }
+}
 
 /// Which measure `solve` computes.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,15 +40,15 @@ pub enum Measure {
 ///
 /// # Errors
 ///
-/// Propagates build errors as strings (the CLI's error type).
-pub fn info(parsed: &ParsedModel) -> Result<String, String> {
+/// Propagates build errors as [`CliError`]s.
+pub fn info(parsed: &ParsedModel) -> Result<String, CliError> {
     let mut out = String::new();
     let sizes = parsed.model.sizes();
-    writeln!(out, "components ({} levels):", sizes.len()).unwrap();
+    writeln!(out, "components ({} levels):", sizes.len())?;
     for (name, size) in parsed.component_names.iter().zip(&sizes) {
-        writeln!(out, "  {name:<20} {size} local states").unwrap();
+        writeln!(out, "  {name:<20} {size} local states")?;
     }
-    writeln!(out, "events: {}", parsed.model.events().len()).unwrap();
+    writeln!(out, "events: {}", parsed.model.events().len())?;
     for e in parsed.model.events() {
         let touched: Vec<&str> = e
             .factors
@@ -49,37 +62,39 @@ pub fn info(parsed: &ParsedModel) -> Result<String, String> {
             e.name,
             e.rate,
             touched.join(", ")
-        )
-        .unwrap();
+        )?;
     }
     let mrp = parsed.build().map_err(|e| e.to_string())?;
     let product: u64 = sizes.iter().map(|&s| s as u64).product();
-    writeln!(out, "state space:").unwrap();
-    writeln!(out, "  potential (product): {product}").unwrap();
-    writeln!(out, "  reachable:           {}", mrp.num_states()).unwrap();
+    writeln!(out, "state space:")?;
+    writeln!(out, "  potential (product): {product}")?;
+    writeln!(out, "  reachable:           {}", mrp.num_states())?;
     writeln!(
         out,
         "  MD nodes per level:  {:?}",
         mrp.matrix().md().nodes_per_level()
-    )
-    .unwrap();
+    )?;
     writeln!(
         out,
         "  symbolic memory:     {} bytes",
         mrp.matrix().memory_bytes()
-    )
-    .unwrap();
+    )?;
     Ok(out)
 }
 
-fn run_lump(mrp: &MdMrp, kind: LumpKind, iterate: bool) -> Result<(LumpResult, usize), String> {
+fn run_lump(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    iterate: bool,
+    budget: &Budget,
+) -> Result<(LumpResult, usize), CliError> {
     let options = LumpOptions::default();
     if iterate {
-        compositional_lump_iterated(mrp, kind, &options).map_err(|e| e.to_string())
+        compositional_lump_iterated_budgeted(mrp, kind, &options, budget).map_err(CliError::from)
     } else {
-        compositional_lump_with(mrp, kind, &options)
+        compositional_lump_budgeted(mrp, kind, &options, budget)
             .map(|r| (r, 1))
-            .map_err(|e| e.to_string())
+            .map_err(CliError::from)
     }
 }
 
@@ -87,10 +102,16 @@ fn run_lump(mrp: &MdMrp, kind: LumpKind, iterate: bool) -> Result<(LumpResult, u
 ///
 /// # Errors
 ///
-/// Propagates build and lumping errors as strings.
-pub fn lump(parsed: &ParsedModel, kind: LumpKind, iterate: bool) -> Result<String, String> {
+/// Propagates build and lumping errors as [`CliError`]s; a `deadline`
+/// that expires mid-lump surfaces as [`CliError::Interrupted`].
+pub fn lump(
+    parsed: &ParsedModel,
+    kind: LumpKind,
+    iterate: bool,
+    deadline: Option<Duration>,
+) -> Result<String, CliError> {
     let mrp = parsed.build().map_err(|e| e.to_string())?;
-    let (result, rounds) = run_lump(&mrp, kind, iterate)?;
+    let (result, rounds) = run_lump(&mrp, kind, iterate, &budget_for(deadline))?;
     let mut out = String::new();
     writeln!(
         out,
@@ -102,8 +123,7 @@ pub fn lump(parsed: &ParsedModel, kind: LumpKind, iterate: bool) -> Result<Strin
         result.stats.elapsed,
         rounds,
         if rounds == 1 { "" } else { "s" },
-    )
-    .unwrap();
+    )?;
     for (l, stats) in result.stats.per_level.iter().enumerate() {
         writeln!(
             out,
@@ -112,94 +132,150 @@ pub fn lump(parsed: &ParsedModel, kind: LumpKind, iterate: bool) -> Result<Strin
             parsed.component_names[l],
             stats.original_size,
             stats.lumped_size
-        )
-        .unwrap();
+        )?;
     }
     writeln!(
         out,
         "  symbolic memory: {} -> {} bytes",
         result.stats.memory_before, result.stats.memory_after
-    )
-    .unwrap();
+    )?;
     Ok(out)
+}
+
+/// Solves one measure directly on a single kernel/method configuration
+/// (no fallback ladder). Used for the lumped chain and the cross-check.
+fn solve_direct(
+    mrp: &MdMrp,
+    exact: Option<&LumpResult>,
+    measure: Measure,
+    sopts: &SolverOptions,
+    topts: &TransientOptions,
+    kernel: &KernelOptions,
+) -> Result<f64, CliError> {
+    let value = match exact {
+        None => match measure {
+            Measure::Stationary => mrp.expected_stationary_reward_with(sopts, kernel)?,
+            Measure::Transient(t) => mrp.expected_transient_reward_with(t, topts, kernel)?,
+            Measure::Accumulated(t) => mrp.expected_accumulated_reward_with(t, topts, kernel)?,
+        },
+        Some(result) => {
+            let measures = result.exact_measures().expect("exact lump has exit rates");
+            match measure {
+                Measure::Stationary => measures.expected_stationary_reward(sopts)?,
+                Measure::Transient(t) => measures.expected_transient_reward(t, topts)?,
+                Measure::Accumulated(t) => measures.expected_accumulated_reward(t, topts)?,
+            }
+        }
+    };
+    Ok(value)
+}
+
+/// Solves the lumped chain through the resilient fallback ladder where
+/// one exists (ordinary stationary/transient measures); other
+/// configurations solve directly and report no attempts.
+fn solve_with_fallback(
+    result: &LumpResult,
+    kind: LumpKind,
+    measure: Measure,
+    sopts: &SolverOptions,
+    topts: &TransientOptions,
+    kernel: &KernelOptions,
+) -> Result<(f64, Option<RunReport>), CliError> {
+    const KERNEL_LADDER: [KernelRung; 3] =
+        [KernelRung::Compiled, KernelRung::Walk, KernelRung::FlatCsr];
+    match (kind, measure) {
+        (LumpKind::Ordinary, Measure::Stationary) => {
+            let ropts = MdResilientOptions {
+                options: sopts.clone(),
+                threads: kernel.threads,
+                ..MdResilientOptions::default()
+            };
+            let (sol, report) = result.mrp.solve_resilient(&ropts);
+            let value = sol?.try_expected_reward(&result.mrp.reward_vector())?;
+            Ok((value, Some(report)))
+        }
+        (LumpKind::Ordinary, Measure::Transient(t)) => {
+            let (sol, report) =
+                result
+                    .mrp
+                    .transient_resilient(t, topts, &KERNEL_LADDER, kernel.threads);
+            let value = sol?.try_expected_reward(&result.mrp.reward_vector())?;
+            Ok((value, Some(report)))
+        }
+        _ => {
+            let exact = (kind == LumpKind::Exact).then_some(result);
+            let value = solve_direct(&result.mrp, exact, measure, sopts, topts, kernel)?;
+            Ok((value, None))
+        }
+    }
 }
 
 /// `solve`: lump, solve the lumped chain, report the measure (with a
 /// cross-check against the unlumped chain when it is small enough).
 ///
+/// With `--fallback` the lumped chain solves through the resilient
+/// `(method, kernel)` ladder; `--report` appends the per-attempt log;
+/// `--deadline` bounds the whole run (lump, compile, solve,
+/// cross-check).
+///
 /// # Errors
 ///
-/// Propagates build, lumping and solver errors as strings.
+/// Propagates build, lumping and solver errors as [`CliError`]s; budget
+/// interruptions surface as [`CliError::Interrupted`].
 pub fn solve(
     parsed: &ParsedModel,
     kind: LumpKind,
     measure: Measure,
     cross_check_limit: usize,
     kernel: &KernelOptions,
-) -> Result<String, String> {
+    resilience: &ResilienceFlags,
+) -> Result<String, CliError> {
     let mrp = parsed.build().map_err(|e| e.to_string())?;
-    let (result, _) = run_lump(&mrp, kind, false)?;
+    let budget = resilience.budget();
+    let (result, _) = run_lump(&mrp, kind, false, &budget)?;
     let mut out = String::new();
     writeln!(
         out,
         "lumped {} -> {} states; solving the lumped chain",
         result.stats.original_states, result.stats.lumped_states
-    )
-    .unwrap();
+    )?;
 
     let sopts = SolverOptions {
         tolerance: 1e-12,
+        budget: budget.clone(),
         ..SolverOptions::default()
     };
-    let topts = TransientOptions::default();
-    let lumped_value = match (kind, measure) {
-        (LumpKind::Ordinary, Measure::Stationary) => result
-            .mrp
-            .expected_stationary_reward_with(&sopts, kernel)
-            .map_err(|e| e.to_string())?,
-        (LumpKind::Ordinary, Measure::Transient(t)) => result
-            .mrp
-            .expected_transient_reward_with(t, &topts, kernel)
-            .map_err(|e| e.to_string())?,
-        (LumpKind::Ordinary, Measure::Accumulated(t)) => result
-            .mrp
-            .expected_accumulated_reward_with(t, &topts, kernel)
-            .map_err(|e| e.to_string())?,
-        (LumpKind::Exact, m) => {
-            let measures = result.exact_measures().expect("exact lump has exit rates");
-            match m {
-                Measure::Stationary => measures
-                    .expected_stationary_reward(&sopts)
-                    .map_err(|e| e.to_string())?,
-                Measure::Transient(t) => measures
-                    .expected_transient_reward(t, &topts)
-                    .map_err(|e| e.to_string())?,
-                Measure::Accumulated(t) => measures
-                    .expected_accumulated_reward(t, &topts)
-                    .map_err(|e| e.to_string())?,
-            }
-        }
+    let topts = TransientOptions {
+        budget: budget.clone(),
+        ..TransientOptions::default()
     };
-    writeln!(out, "measure ({measure:?}): {lumped_value:.10}").unwrap();
+    let (lumped_value, report) = if resilience.fallback {
+        solve_with_fallback(&result, kind, measure, &sopts, &topts, kernel)?
+    } else {
+        let exact = (kind == LumpKind::Exact).then_some(&result);
+        (
+            solve_direct(&result.mrp, exact, measure, &sopts, &topts, kernel)?,
+            None,
+        )
+    };
+    writeln!(out, "measure ({measure:?}): {lumped_value:.10}")?;
+    if resilience.report {
+        match &report {
+            Some(r) => out.push_str(&r.render()),
+            None => writeln!(
+                out,
+                "no fallback ladder for this configuration; solved directly"
+            )?,
+        }
+    }
 
     if mrp.num_states() <= cross_check_limit {
-        let full_value = match measure {
-            Measure::Stationary => mrp
-                .expected_stationary_reward_with(&sopts, kernel)
-                .map_err(|e| e.to_string())?,
-            Measure::Transient(t) => mrp
-                .expected_transient_reward_with(t, &topts, kernel)
-                .map_err(|e| e.to_string())?,
-            Measure::Accumulated(t) => mrp
-                .expected_accumulated_reward_with(t, &topts, kernel)
-                .map_err(|e| e.to_string())?,
-        };
+        let full_value = solve_direct(&mrp, None, measure, &sopts, &topts, kernel)?;
         writeln!(
             out,
             "cross-check (unlumped chain): {full_value:.10}  |Δ| = {:.3e}",
             (full_value - lumped_value).abs()
-        )
-        .unwrap();
+        )?;
     }
     Ok(out)
 }
@@ -211,15 +287,19 @@ pub fn solve(
 ///
 /// # Errors
 ///
-/// Propagates build, lumping and solver errors as strings.
+/// Propagates build, lumping and solver errors as [`CliError`]s; a
+/// `deadline` bounds the numerical cross-check (the simulation itself
+/// runs a fixed number of replications).
 pub fn simulate(
     parsed: &ParsedModel,
     horizon: f64,
     replications: usize,
     seed: u64,
-) -> Result<String, String> {
+    deadline: Option<Duration>,
+) -> Result<String, CliError> {
     use mdl_models::sim::SimOptions;
     let options = SimOptions { seed, replications };
+    let budget = budget_for(deadline);
     let mut out = String::new();
 
     let est = parsed
@@ -229,28 +309,25 @@ pub fn simulate(
         out,
         "simulated long-run reward: {:.6} ± {:.6} ({} batches of length {horizon})",
         est.mean, est.std_error, est.replications
-    )
-    .unwrap();
+    )?;
 
     let mrp = parsed.build().map_err(|e| e.to_string())?;
-    let (result, _) = run_lump(&mrp, LumpKind::Ordinary, false)?;
-    let numerical = result
-        .mrp
-        .expected_stationary_reward(&SolverOptions::default())
-        .map_err(|e| e.to_string())?;
+    let (result, _) = run_lump(&mrp, LumpKind::Ordinary, false, &budget)?;
+    let numerical = result.mrp.expected_stationary_reward(&SolverOptions {
+        budget,
+        ..SolverOptions::default()
+    })?;
     writeln!(
         out,
         "numerical (lumped {} -> {} states): {numerical:.10}",
         result.stats.original_states, result.stats.lumped_states
-    )
-    .unwrap();
+    )?;
     writeln!(
         out,
         "|simulated − numerical| = {:.3e} ({:.1} standard errors)",
         (est.mean - numerical).abs(),
         (est.mean - numerical).abs() / est.std_error.max(1e-300)
-    )
-    .unwrap();
+    )?;
     Ok(out)
 }
 
@@ -317,7 +394,7 @@ reward sum
     #[test]
     fn lump_finds_worker_bit_symmetry() {
         let parsed = parse_model(MODEL).unwrap();
-        let out = lump(&parsed, LumpKind::Ordinary, false).unwrap();
+        let out = lump(&parsed, LumpKind::Ordinary, false, None).unwrap();
         // The 8 worker bitmask states lump to 4 counts: 2×8 -> 2×4.
         assert!(out.contains("16 -> 8 states"), "{out}");
     }
@@ -331,6 +408,7 @@ reward sum
             Measure::Stationary,
             1_000,
             &KernelOptions::default(),
+            &ResilienceFlags::default(),
         )
         .unwrap();
         assert!(out.contains("cross-check"), "{out}");
@@ -352,6 +430,7 @@ reward sum
                 kind: KernelKind::Walk,
                 threads: 1,
             },
+            &ResilienceFlags::default(),
         )
         .unwrap();
         for threads in [1usize, 4] {
@@ -364,6 +443,7 @@ reward sum
                     kind: KernelKind::Compiled,
                     threads,
                 },
+                &ResilienceFlags::default(),
             )
             .unwrap();
             assert_eq!(walk, compiled, "kernel products are bit-identical");
@@ -371,9 +451,86 @@ reward sum
     }
 
     #[test]
+    fn solve_with_fallback_matches_direct_and_reports_attempts() {
+        let parsed = parse_model(MODEL).unwrap();
+        let direct = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            1_000,
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+        )
+        .unwrap();
+        let resilient = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            1_000,
+            &KernelOptions::default(),
+            &ResilienceFlags {
+                fallback: true,
+                report: true,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        assert!(resilient.contains("solve attempts:"), "{resilient}");
+        assert!(resilient.contains("jacobi"), "{resilient}");
+        // Same measure line in both outputs.
+        let measure_line = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("measure"))
+                .map(String::from)
+        };
+        assert_eq!(measure_line(&direct), measure_line(&resilient));
+
+        // Measures without a ladder still solve, and say so when asked
+        // for a report.
+        let accumulated = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Accumulated(1.0),
+            0,
+            &KernelOptions::default(),
+            &ResilienceFlags {
+                fallback: true,
+                report: true,
+                deadline: None,
+            },
+        )
+        .unwrap();
+        assert!(accumulated.contains("solved directly"), "{accumulated}");
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_distinct_error() {
+        let parsed = parse_model(MODEL).unwrap();
+        let err = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            1_000,
+            &KernelOptions::default(),
+            &ResilienceFlags {
+                deadline: Some(Duration::ZERO),
+                fallback: false,
+                report: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Interrupted(_)), "{err:?}");
+        assert_eq!(err.exit_code(), crate::error::EXIT_INTERRUPTED);
+        assert!(err.to_string().contains("interrupted"), "{err}");
+
+        let err = lump(&parsed, LumpKind::Ordinary, true, Some(Duration::ZERO)).unwrap_err();
+        assert!(matches!(err, CliError::Interrupted(_)), "{err:?}");
+    }
+
+    #[test]
     fn simulate_agrees_with_numerical() {
         let parsed = parse_model(MODEL).unwrap();
-        let out = simulate(&parsed, 50.0, 30, 99).unwrap();
+        let out = simulate(&parsed, 50.0, 30, 99, None).unwrap();
         assert!(out.contains("simulated long-run reward"), "{out}");
         assert!(out.contains("numerical"), "{out}");
         // The report itself contains the discrepancy in standard errors;
@@ -398,6 +555,7 @@ reward sum
                 m,
                 1_000,
                 &KernelOptions::default(),
+                &ResilienceFlags::default(),
             )
             .unwrap();
             assert!(out.contains("measure"), "{out}");

@@ -1,0 +1,122 @@
+//! The CLI's error type: every failure carries a message, and budget
+//! interruptions are kept distinct so `main` can map them to their own
+//! exit code (scripts driving `--deadline` need to tell "ran out of
+//! time" apart from "the model is broken").
+
+use std::fmt;
+
+/// Exit code for ordinary failures (bad flags, malformed models, solver
+/// errors).
+pub const EXIT_FAILURE: u8 = 1;
+/// Exit code when a `--deadline` (or other budget limit) interrupted the
+/// run before it finished.
+pub const EXIT_INTERRUPTED: u8 = 2;
+
+/// A CLI failure: what to print on stderr, classified by exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A compute budget interrupted the run (`--deadline` expired,
+    /// cancellation, node cap). Exits with [`EXIT_INTERRUPTED`].
+    Interrupted(String),
+    /// Any other failure. Exits with [`EXIT_FAILURE`].
+    Failed(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Interrupted(_) => EXIT_INTERRUPTED,
+            CliError::Failed(_) => EXIT_FAILURE,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Interrupted(msg) | CliError::Failed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Failed(msg)
+    }
+}
+
+/// Formatting into the output `String` cannot fail in practice, but the
+/// commands propagate instead of unwrapping so a surprise is an error
+/// message, not a panic.
+impl From<fmt::Error> for CliError {
+    fn from(e: fmt::Error) -> Self {
+        CliError::Failed(format!("cannot format output: {e}"))
+    }
+}
+
+impl From<mdl_ctmc::CtmcError> for CliError {
+    fn from(e: mdl_ctmc::CtmcError) -> Self {
+        match e {
+            mdl_ctmc::CtmcError::Interrupted { .. } => CliError::Interrupted(e.to_string()),
+            _ => CliError::Failed(e.to_string()),
+        }
+    }
+}
+
+impl From<mdl_core::CoreError> for CliError {
+    fn from(e: mdl_core::CoreError) -> Self {
+        let interrupted = matches!(
+            &e,
+            mdl_core::CoreError::Interrupted { .. }
+                | mdl_core::CoreError::Ctmc(mdl_ctmc::CtmcError::Interrupted { .. })
+                | mdl_core::CoreError::Md(mdl_md::MdError::Interrupted { .. })
+        );
+        if interrupted {
+            CliError::Interrupted(e.to_string())
+        } else {
+            CliError::Failed(e.to_string())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interruptions_get_their_own_exit_code() {
+        let e = CliError::from(mdl_core::CoreError::Interrupted {
+            phase: "lump.level",
+            reason: mdl_obs::BudgetExceeded::Cancelled,
+        });
+        assert_eq!(e.exit_code(), EXIT_INTERRUPTED);
+        assert!(e.to_string().contains("interrupted"), "{e}");
+
+        let e = CliError::from(mdl_core::CoreError::Ctmc(mdl_ctmc::CtmcError::interrupted(
+            "solve.power",
+            3,
+            0.5,
+            vec![],
+            mdl_obs::BudgetExceeded::Cancelled,
+        )));
+        assert_eq!(e.exit_code(), EXIT_INTERRUPTED);
+
+        let e = CliError::from(mdl_core::CoreError::Md(mdl_md::MdError::Interrupted {
+            phase: "md.compile",
+            nodes: 1,
+            reason: mdl_obs::BudgetExceeded::Cancelled,
+        }));
+        assert_eq!(e.exit_code(), EXIT_INTERRUPTED);
+    }
+
+    #[test]
+    fn other_failures_exit_one() {
+        let e = CliError::from("no such flag".to_string());
+        assert_eq!(e.exit_code(), EXIT_FAILURE);
+        let e = CliError::from(mdl_ctmc::CtmcError::AbsorbingState { state: 0 });
+        assert_eq!(e.exit_code(), EXIT_FAILURE);
+        let e = CliError::from(mdl_core::CoreError::NotProductForm { what: "initial" });
+        assert_eq!(e.exit_code(), EXIT_FAILURE);
+    }
+}

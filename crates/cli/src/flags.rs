@@ -123,6 +123,81 @@ pub fn flag_f64(flags: &[String], flag: &str) -> Result<Option<f64>, String> {
     }
 }
 
+/// Parsed resilience options shared by the long-running subcommands.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceFlags {
+    /// `--deadline DUR`: wall-clock budget for the whole run.
+    pub deadline: Option<std::time::Duration>,
+    /// `--fallback`: solve through the resilient `(method, kernel)`
+    /// fallback ladder instead of a single configuration.
+    pub fallback: bool,
+    /// `--report`: append the per-attempt run report to the output.
+    pub report: bool,
+}
+
+impl ResilienceFlags {
+    /// The compute budget these flags describe: a deadline when
+    /// `--deadline` was given, unlimited otherwise.
+    pub fn budget(&self) -> mdl_obs::Budget {
+        match self.deadline {
+            Some(d) => mdl_obs::Budget::unlimited().deadline_in(d),
+            None => mdl_obs::Budget::unlimited(),
+        }
+    }
+}
+
+/// Extracts `--deadline DUR`, `--fallback` and `--report` from `flags`.
+///
+/// # Errors
+///
+/// A message naming the flag for a missing or malformed value, and for
+/// `--report` without `--fallback` (there is no attempt log to report).
+pub fn parse_resilience_flags(flags: &[String]) -> Result<ResilienceFlags, String> {
+    let deadline = flag_duration(flags, "--deadline")?;
+    let fallback = flags.iter().any(|f| f == "--fallback");
+    let report = flags.iter().any(|f| f == "--report");
+    if report && !fallback {
+        return Err("--report needs --fallback (it renders the fallback attempt log)".into());
+    }
+    Ok(ResilienceFlags {
+        deadline,
+        fallback,
+        report,
+    })
+}
+
+/// Parses the value of `flag` as a duration: a non-negative number with
+/// an optional `us`, `ms` or `s` suffix (bare numbers are seconds), e.g.
+/// `--deadline 250ms` or `--deadline 1.5`.
+///
+/// # Errors
+///
+/// Explicit messages for a missing value, an unknown unit, and a
+/// negative or non-finite amount.
+pub fn flag_duration(flags: &[String], flag: &str) -> Result<Option<std::time::Duration>, String> {
+    let Some(v) = value_of(flags, flag)? else {
+        return Ok(None);
+    };
+    let (number, scale) = if let Some(n) = v.strip_suffix("us") {
+        (n, 1e-6)
+    } else if let Some(n) = v.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1.0)
+    } else {
+        (v, 1.0)
+    };
+    let x: f64 = number.parse().map_err(|_| {
+        format!("{flag}: invalid duration {v:?} (expected e.g. `250ms`, `1.5s` or seconds)")
+    })?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(format!(
+            "{flag}: duration must be finite and non-negative, got {v:?}"
+        ));
+    }
+    Ok(Some(std::time::Duration::from_secs_f64(x * scale)))
+}
+
 /// Parses the value of `flag` as a `u64` (also used for counts, which
 /// must be whole — `--reps 2.7` is rejected rather than truncated).
 ///
@@ -213,6 +288,48 @@ mod tests {
         assert!(e.contains("walk") && e.contains("compiled"), "{e}");
         let e = parse_kernel_flags(&args(&["--threads"])).unwrap_err();
         assert!(e.contains("--threads needs a value"), "{e}");
+    }
+
+    #[test]
+    fn durations_parse_with_units() {
+        use std::time::Duration;
+        let d = |list: &[&str]| flag_duration(&args(list), "--deadline").unwrap();
+        assert_eq!(d(&[]), None);
+        assert_eq!(
+            d(&["--deadline", "250ms"]),
+            Some(Duration::from_millis(250))
+        );
+        assert_eq!(d(&["--deadline", "2s"]), Some(Duration::from_secs(2)));
+        assert_eq!(d(&["--deadline", "40us"]), Some(Duration::from_micros(40)));
+        // Bare numbers are seconds, fractions allowed.
+        assert_eq!(d(&["--deadline", "1.5"]), Some(Duration::from_millis(1500)));
+        assert_eq!(d(&["--deadline", "0ms"]), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn bad_durations_are_explicit_errors() {
+        let e = |list: &[&str]| flag_duration(&args(list), "--deadline").unwrap_err();
+        assert!(e(&["--deadline"]).contains("needs a value"));
+        assert!(e(&["--deadline", "soonish"]).contains("invalid duration"));
+        assert!(e(&["--deadline", "5m"]).contains("invalid duration"));
+        assert!(e(&["--deadline", "-3ms"]).contains("non-negative"));
+        assert!(e(&["--deadline", "infs"]).contains("non-negative"));
+    }
+
+    #[test]
+    fn resilience_flags_parse() {
+        assert_eq!(
+            parse_resilience_flags(&args(&[])).unwrap(),
+            ResilienceFlags::default()
+        );
+        let f =
+            parse_resilience_flags(&args(&["--fallback", "--report", "--deadline", "2s"])).unwrap();
+        assert!(f.fallback && f.report);
+        assert_eq!(f.deadline, Some(std::time::Duration::from_secs(2)));
+        assert!(!f.budget().is_unlimited());
+        assert!(ResilienceFlags::default().budget().is_unlimited());
+        let e = parse_resilience_flags(&args(&["--report"])).unwrap_err();
+        assert!(e.contains("--fallback"), "{e}");
     }
 
     #[test]

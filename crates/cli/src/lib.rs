@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod commands;
+pub mod error;
 pub mod flags;
 pub mod parser;
 

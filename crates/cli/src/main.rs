@@ -3,28 +3,34 @@
 //!
 //! ```text
 //! mdlump-cli info     <model-file>
-//! mdlump-cli lump     <model-file> [--exact] [--iterate]
+//! mdlump-cli lump     <model-file> [--exact] [--iterate] [--deadline DUR]
 //! mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]
 //!                     [--kernel walk|compiled] [--threads N]
+//!                     [--deadline DUR] [--fallback] [--report]
 //! mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]
+//!                     [--deadline DUR]
 //! ```
 //!
 //! All subcommands also take `--metrics pretty|json` (span events plus a
 //! final counter/timing report), `--trace` (additionally stream span-start
 //! and point events) and `--metrics-out FILE` (write the stream to `FILE`
 //! instead of stderr, keeping stdout for the command's own output).
+//!
+//! Exit codes: `0` success, `1` failure, `2` a `--deadline` (or other
+//! budget limit) interrupted the run.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use mdl_cli::commands::{self, Measure};
+use mdl_cli::error::CliError;
 use mdl_cli::flags::{self, MetricsFormat, ObsFlags};
 use mdl_cli::parse_model;
 use mdl_core::LumpKind;
 use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads for compiled products\n                          (default 0 = one per hardware thread)\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--deadline DUR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads for compiled products\n                          (default 0 = one per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
 }
 
@@ -88,11 +94,11 @@ fn emit_report(emitter: &Emitter) {
     }
 }
 
-fn run() -> Result<String, String> {
+fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (command, file) = match args.as_slice() {
         [c, f, ..] => (c.as_str(), f.as_str()),
-        _ => return Err(usage()),
+        _ => return Err(CliError::Failed(usage())),
     };
     let flag_args = &args[2..];
     let kind = if flag_args.iter().any(|f| f == "--exact") {
@@ -110,29 +116,37 @@ fn run() -> Result<String, String> {
         "info" => commands::info(&parsed),
         "lump" => {
             let iterate = flag_args.iter().any(|f| f == "--iterate");
-            commands::lump(&parsed, kind, iterate)
+            let deadline = flags::flag_duration(flag_args, "--deadline")?;
+            commands::lump(&parsed, kind, iterate, deadline)
         }
         "solve" => {
             let transient = flags::flag_f64(flag_args, "--transient")?;
             let accumulated = flags::flag_f64(flag_args, "--accumulated")?;
             let measure = match (transient, accumulated) {
                 (Some(_), Some(_)) => {
-                    return Err("choose one of --transient and --accumulated".into())
+                    return Err(CliError::Failed(
+                        "choose one of --transient and --accumulated".into(),
+                    ))
                 }
                 (Some(t), None) => Measure::Transient(t),
                 (None, Some(t)) => Measure::Accumulated(t),
                 (None, None) => Measure::Stationary,
             };
             let kernel = flags::parse_kernel_flags(flag_args)?;
-            commands::solve(&parsed, kind, measure, 200_000, &kernel)
+            let resilience = flags::parse_resilience_flags(flag_args)?;
+            commands::solve(&parsed, kind, measure, 200_000, &kernel, &resilience)
         }
         "simulate" => {
             let horizon = flags::flag_f64(flag_args, "--horizon")?.unwrap_or(100.0);
             let reps = flags::flag_u64(flag_args, "--reps")?.unwrap_or(50) as usize;
             let seed = flags::flag_u64(flag_args, "--seed")?.unwrap_or(0x5EED);
-            commands::simulate(&parsed, horizon, reps, seed)
+            let deadline = flags::flag_duration(flag_args, "--deadline")?;
+            commands::simulate(&parsed, horizon, reps, seed, deadline)
         }
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => Err(CliError::Failed(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
     };
 
     if let Some(emitter) = &obs {
@@ -143,19 +157,37 @@ fn run() -> Result<String, String> {
     result
 }
 
+/// Writes the command output to stdout. A closed pipe (`mdlump-cli … |
+/// head`) is the consumer's normal way to stop reading, not a failure,
+/// so `BrokenPipe` exits cleanly instead of panicking like `print!`
+/// would.
+fn write_stdout(out: &str) -> ExitCode {
+    use std::io::Write as _;
+    let mut stdout = std::io::stdout().lock();
+    match stdout
+        .write_all(out.as_bytes())
+        .and_then(|()| stdout.flush())
+    {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("cannot write output: {e}");
+            ExitCode::from(mdl_cli::error::EXIT_FAILURE)
+        }
+    }
+}
+
 /// Turns the command outcome into an exit code, printing output to stdout
 /// and errors to stderr, and flushing any observability emitters before
 /// the process exits — buffered trace/metrics lines must not be lost on
-/// the error path.
-fn finish(result: Result<String, String>) -> ExitCode {
+/// the error path. Budget interruptions get their own exit code so
+/// scripts can tell "ran out of time" apart from "failed".
+fn finish(result: Result<String, CliError>) -> ExitCode {
     let code = match result {
-        Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
-        }
+        Ok(out) => write_stdout(&out),
         Err(e) => {
             eprintln!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     };
     mdl_obs::flush();

@@ -1,0 +1,50 @@
+//! End-to-end tests of the `mdlump-cli` binary: exit codes and output
+//! routing only exist at the process boundary, so they are checked by
+//! actually running the compiled binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn model(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../models")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mdlump-cli"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn expired_deadline_exits_with_distinct_code_and_message() {
+    let path = model("worker_pool.mdl");
+    let out = run(&["solve", path.to_str().unwrap(), "--deadline", "0ms"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interrupted"), "{stderr}");
+}
+
+#[test]
+fn fallback_with_report_solves_and_prints_attempts() {
+    let path = model("worker_pool.mdl");
+    let out = run(&["solve", path.to_str().unwrap(), "--fallback", "--report"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("solve attempts:"), "{stdout}");
+    assert!(stdout.contains("cross-check"), "{stdout}");
+}
+
+#[test]
+fn ordinary_failures_exit_one() {
+    let path = model("worker_pool.mdl");
+    let out = run(&["solve", path.to_str().unwrap(), "--deadline"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--deadline needs a value"), "{stderr}");
+
+    let out = run(&["frobnicate", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}

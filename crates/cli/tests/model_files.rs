@@ -36,6 +36,7 @@ fn worker_pool_measures_cross_check() {
         Measure::Stationary,
         1_000,
         &KernelOptions::default(),
+        &mdl_cli::flags::ResilienceFlags::default(),
     )
     .expect("solves");
     assert!(out.contains("cross-check"), "{out}");

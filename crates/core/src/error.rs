@@ -31,6 +31,15 @@ pub enum CoreError {
         /// Human-readable description.
         detail: String,
     },
+    /// A compute budget expired during a core-level phase (e.g. per-level
+    /// lumping). Budget failures inside solvers or MD compilation arrive
+    /// wrapped as [`CoreError::Ctmc`] / [`CoreError::Md`] instead.
+    Interrupted {
+        /// Which phase was interrupted (e.g. `"lump.level"`).
+        phase: &'static str,
+        /// Why the work was cut short.
+        reason: mdl_obs::BudgetExceeded,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -50,6 +59,9 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            CoreError::Interrupted { phase, reason } => {
+                write!(f, "interrupted during {phase}: {reason}")
+            }
         }
     }
 }
@@ -105,5 +117,12 @@ mod tests {
 
         let custom = CoreError::CustomCombiner { what: "reward" };
         assert!(custom.to_string().contains("custom combiner"));
+
+        let interrupted = CoreError::Interrupted {
+            phase: "lump.level",
+            reason: mdl_obs::BudgetExceeded::Cancelled,
+        };
+        assert!(interrupted.to_string().contains("lump.level"));
+        assert!(interrupted.to_string().contains("cancelled"));
     }
 }

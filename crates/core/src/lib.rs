@@ -72,6 +72,7 @@ pub mod exact;
 mod local;
 mod lump;
 mod mrp;
+mod resilient;
 mod splitter;
 pub mod verify;
 
@@ -79,10 +80,12 @@ pub use decomp::{Combiner, DecomposableVector};
 pub use error::CoreError;
 pub use local::{comp_lumping_level, comp_lumping_level_per_node};
 pub use lump::{
-    compositional_lump, compositional_lump_iterated, compositional_lump_with, LevelLumpStats,
-    LumpKind, LumpOptions, LumpResult, LumpStats,
+    compositional_lump, compositional_lump_budgeted, compositional_lump_iterated,
+    compositional_lump_iterated_budgeted, compositional_lump_with, LevelLumpStats, LumpKind,
+    LumpOptions, LumpResult, LumpStats,
 };
 pub use mrp::{KernelKind, KernelOptions, MdMrp};
+pub use resilient::{KernelRung, MdResilientOptions};
 
 /// Convenience alias for fallible operations of this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -169,6 +169,26 @@ pub fn compositional_lump_with(
     kind: LumpKind,
     options: &LumpOptions,
 ) -> Result<LumpResult> {
+    compositional_lump_budgeted(mrp, kind, options, &mdl_obs::Budget::unlimited())
+}
+
+/// [`compositional_lump_with`] under a compute
+/// [`Budget`](mdl_obs::Budget): the deadline/cancellation is checked
+/// before each level's partition refinement (levels are the unit of work
+/// whose cost is unbounded by the caller), and the `lump.level` failpoint
+/// is consulted at the same point for deterministic fault injection.
+///
+/// # Errors
+///
+/// As for [`compositional_lump`], plus
+/// [`CoreError`](crate::CoreError)`::Interrupted` when the budget expires
+/// or a failpoint injects a failure.
+pub fn compositional_lump_budgeted(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+    budget: &mdl_obs::Budget,
+) -> Result<LumpResult> {
     if options.canonicalize {
         // Rebuild the MD in canonical form (same sizes, same represented
         // matrix, scale-multiples merged) and lump that: the computed
@@ -182,7 +202,7 @@ pub fn compositional_lump_with(
             canonicalize: false,
             ..*options
         };
-        return compositional_lump_with(&canonical_mrp, kind, &inner);
+        return compositional_lump_budgeted(&canonical_mrp, kind, &inner, budget);
     }
     let run_span = mdl_obs::span("lump.run").with(
         "kind",
@@ -203,6 +223,18 @@ pub fn compositional_lump_with(
     let mut partitions = Vec::with_capacity(num_levels);
     let mut per_level = Vec::with_capacity(num_levels);
     for level in 0..num_levels {
+        if let Err(reason) = budget.check() {
+            return Err(crate::CoreError::Interrupted {
+                phase: "lump.level",
+                reason,
+            });
+        }
+        if mdl_obs::failpoint::hit("lump.level").is_some() {
+            return Err(crate::CoreError::Interrupted {
+                phase: "lump.level",
+                reason: mdl_obs::BudgetExceeded::Injected,
+            });
+        }
         let size = md.sizes()[level];
         let mut level_span = mdl_obs::span("lump.level")
             .with("level", level)
@@ -341,14 +373,32 @@ pub fn compositional_lump_iterated(
     kind: LumpKind,
     options: &LumpOptions,
 ) -> Result<(LumpResult, usize)> {
+    compositional_lump_iterated_budgeted(mrp, kind, options, &mdl_obs::Budget::unlimited())
+}
+
+/// [`compositional_lump_iterated`] under a compute
+/// [`Budget`](mdl_obs::Budget): every lumping round runs budgeted, so a
+/// deadline or cancellation interrupts between levels.
+///
+/// # Errors
+///
+/// As for [`compositional_lump`], plus
+/// [`CoreError::Interrupted`](crate::CoreError::Interrupted) when the
+/// budget fires.
+pub fn compositional_lump_iterated_budgeted(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+    budget: &mdl_obs::Budget,
+) -> Result<(LumpResult, usize)> {
     let opts = LumpOptions {
         quasi_reduce: true,
         ..*options
     };
-    let mut result = compositional_lump_with(mrp, kind, &opts)?;
+    let mut result = compositional_lump_budgeted(mrp, kind, &opts, budget)?;
     let mut rounds = 1;
     loop {
-        let again = compositional_lump_with(&result.mrp, kind, &opts)?;
+        let again = compositional_lump_budgeted(&result.mrp, kind, &opts, budget)?;
         rounds += 1;
         let progressed = again.stats.lumped_states < result.stats.original_states
             && again.stats.lumped_states < result.stats.lumped_states;

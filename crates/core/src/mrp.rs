@@ -173,7 +173,13 @@ impl MdMrp {
         match kernel.kind {
             KernelKind::Walk => solve_stationary(&self.matrix, options),
             KernelKind::Compiled => {
-                let compiled = CompiledMdMatrix::compile_with_threads(&self.matrix, kernel.threads);
+                // Compilation runs under the same budget as the solve, so
+                // a deadline covers the end-to-end wall-clock cost.
+                let compiled = CompiledMdMatrix::compile_budgeted(
+                    &self.matrix,
+                    kernel.threads,
+                    &options.budget,
+                )?;
                 solve_stationary(&compiled, options)
             }
         }
@@ -206,7 +212,11 @@ impl MdMrp {
                 mdl_ctmc::transient_uniformization(&self.matrix, &initial, t, options)?
             }
             KernelKind::Compiled => {
-                let compiled = CompiledMdMatrix::compile_with_threads(&self.matrix, kernel.threads);
+                let compiled = CompiledMdMatrix::compile_budgeted(
+                    &self.matrix,
+                    kernel.threads,
+                    &options.budget,
+                )?;
                 mdl_ctmc::transient_uniformization(&compiled, &initial, t, options)?
             }
         };
@@ -233,7 +243,7 @@ impl MdMrp {
         kernel: &KernelOptions,
     ) -> Result<f64> {
         let sol = self.stationary_with(options, kernel)?;
-        Ok(sol.expected_reward(&self.reward_vector()))
+        Ok(sol.try_expected_reward(&self.reward_vector())?)
     }
 
     /// Expected reward at time `t`.
@@ -257,7 +267,7 @@ impl MdMrp {
         kernel: &KernelOptions,
     ) -> Result<f64> {
         let sol = self.transient_with(t, options, kernel)?;
-        Ok(sol.expected_reward(&self.reward_vector()))
+        Ok(sol.try_expected_reward(&self.reward_vector())?)
     }
 
     /// Expected reward **accumulated** over `[0, t]`
@@ -289,7 +299,11 @@ impl MdMrp {
                 mdl_ctmc::accumulated_reward(&self.matrix, &initial, &reward, t, options)?
             }
             KernelKind::Compiled => {
-                let compiled = CompiledMdMatrix::compile_with_threads(&self.matrix, kernel.threads);
+                let compiled = CompiledMdMatrix::compile_budgeted(
+                    &self.matrix,
+                    kernel.threads,
+                    &options.budget,
+                )?;
                 mdl_ctmc::accumulated_reward(&compiled, &initial, &reward, t, options)?
             }
         };
@@ -324,7 +338,10 @@ impl MdMrp {
     }
 }
 
-fn solve_stationary<M: RateMatrix>(matrix: &M, options: &SolverOptions) -> Result<Solution> {
+pub(crate) fn solve_stationary<M: RateMatrix>(
+    matrix: &M,
+    options: &SolverOptions,
+) -> Result<Solution> {
     use mdl_ctmc::StationaryMethod;
     let sol = match options.method {
         StationaryMethod::Power => mdl_ctmc::stationary_power(matrix, options)?,

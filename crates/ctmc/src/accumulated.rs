@@ -94,7 +94,17 @@ pub fn accumulated_reward_with_exit_rates<M: RateMatrix>(
     let mut cdf = 0.0f64;
     let mut acc = 0.0f64;
     let mut k = 0usize;
+    let mut ticker = options.budget.ticker(32);
     loop {
+        if let Err(reason) = ticker.tick() {
+            return Err(CtmcError::interrupted(
+                "solve.accumulated",
+                k,
+                (1.0 - cdf).max(0.0),
+                v,
+                reason,
+            ));
+        }
         let w = ln_weight.exp();
         cdf += w;
         let tail = (1.0 - cdf).max(0.0);
@@ -115,6 +125,12 @@ pub fn accumulated_reward_with_exit_rates<M: RateMatrix>(
         rates.acc_vec_mat(&v, &mut next);
         for s in 0..n {
             next[s] = v[s] + (next[s] - v[s] * exit[s]) / lambda;
+        }
+        if !vec_ops::sum(&next).is_finite() {
+            return Err(CtmcError::Diverged {
+                iteration: k + 1,
+                residual: f64::NAN,
+            });
         }
         std::mem::swap(&mut v, &mut next);
         k += 1;

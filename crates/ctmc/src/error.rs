@@ -1,5 +1,22 @@
 use std::fmt;
 
+use mdl_obs::BudgetExceeded;
+
+/// Progress captured when a budget interrupts an iterative phase, so
+/// callers can resume from or report the partial result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterruptedProgress {
+    /// Iterations (or steps) completed before the interruption.
+    pub iterations: usize,
+    /// Last observed residual, `f64::INFINITY` if none was computed yet.
+    pub residual: f64,
+    /// The partial iterate at the point of interruption (normalized for
+    /// the stationary solvers). Empty when the phase has no iterate.
+    pub partial: Vec<f64>,
+    /// Which budget limit fired.
+    pub reason: BudgetExceeded,
+}
+
 /// Errors produced when constructing or solving Markov reward processes.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -40,6 +57,47 @@ pub enum CtmcError {
         /// Index of the absorbing state.
         state: usize,
     },
+    /// The iterate became non-finite. Unlike [`NotConverged`]
+    /// (slow but sane), a diverged iterate is garbage and reported the
+    /// moment it appears.
+    ///
+    /// [`NotConverged`]: CtmcError::NotConverged
+    Diverged {
+        /// The iteration whose iterate first went non-finite.
+        iteration: usize,
+        /// The ∞-norm residual of that iteration (may itself be NaN).
+        residual: f64,
+    },
+    /// A [`Budget`](mdl_obs::Budget) limit interrupted the phase.
+    Interrupted {
+        /// Which phase was interrupted (e.g. `solve.power`,
+        /// `solve.transient`).
+        phase: &'static str,
+        /// Work completed so far, including the partial iterate.
+        progress: Box<InterruptedProgress>,
+    },
+}
+
+impl CtmcError {
+    /// Builds an [`Interrupted`](CtmcError::Interrupted) error from a
+    /// failed budget check.
+    pub fn interrupted(
+        phase: &'static str,
+        iterations: usize,
+        residual: f64,
+        partial: Vec<f64>,
+        reason: BudgetExceeded,
+    ) -> Self {
+        CtmcError::Interrupted {
+            phase,
+            progress: Box::new(InterruptedProgress {
+                iterations,
+                residual,
+                partial,
+                reason,
+            }),
+        }
+    }
 }
 
 impl fmt::Display for CtmcError {
@@ -68,6 +126,22 @@ impl fmt::Display for CtmcError {
                 write!(
                     f,
                     "state {state} is absorbing; stationary solution is not unique"
+                )
+            }
+            CtmcError::Diverged {
+                iteration,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "iterate diverged (non-finite) at iteration {iteration} (residual {residual})"
+                )
+            }
+            CtmcError::Interrupted { phase, progress } => {
+                write!(
+                    f,
+                    "interrupted during {phase} after {} iterations: {}",
+                    progress.iterations, progress.reason
                 )
             }
         }
@@ -108,6 +182,17 @@ mod tests {
                 "10 iterations",
             ),
             (CtmcError::AbsorbingState { state: 7 }, "state 7"),
+            (
+                CtmcError::Diverged {
+                    iteration: 42,
+                    residual: f64::NAN,
+                },
+                "iteration 42",
+            ),
+            (
+                CtmcError::interrupted("solve.power", 9, 0.5, vec![], BudgetExceeded::Cancelled),
+                "solve.power",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

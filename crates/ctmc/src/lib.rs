@@ -27,9 +27,16 @@
 //!
 //! let sol = mrp.stationary(&SolverOptions::default())?;
 //! // π = (1/3, 2/3); expected reward = probability of state 1.
-//! assert!((sol.expected_reward(mrp.reward()) - 2.0 / 3.0).abs() < 1e-8);
+//! assert!((sol.try_expected_reward(mrp.reward())? - 2.0 / 3.0).abs() < 1e-8);
 //! # Ok::<(), mdl_ctmc::CtmcError>(())
 //! ```
+//!
+//! Solves can be bounded and made fail-safe: [`SolverOptions`] carries a
+//! [`Budget`](mdl_obs::Budget) (deadline/cancellation, reported as
+//! [`CtmcError::Interrupted`] with the partial iterate), non-finite
+//! iterates surface immediately as [`CtmcError::Diverged`], and
+//! [`Mrp::solve_resilient`] retries across a ladder of methods while
+//! recording every attempt in a [`RunReport`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,14 +45,18 @@ mod accumulated;
 mod error;
 mod mrp;
 mod parallel;
+mod resilient;
 mod solver;
 mod transient;
 
 pub use accumulated::{accumulated_reward, accumulated_reward_with_exit_rates};
-pub use error::CtmcError;
+pub use error::{CtmcError, InterruptedProgress};
 pub use mdl_linalg::RateMatrix;
 pub use mrp::Mrp;
 pub use parallel::ParCsr;
+pub use resilient::{
+    solve_ladder, AttemptOutcome, AttemptRecord, ResilientError, ResilientOptions, RunReport,
+};
 pub use solver::{
     stationary_gauss_seidel, stationary_jacobi, stationary_power, stationary_power_with_exit_rates,
     stationary_sor, Solution, SolveStats, SolverOptions, StationaryMethod,

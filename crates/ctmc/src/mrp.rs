@@ -1,5 +1,6 @@
 use mdl_linalg::RateMatrix;
 
+use crate::resilient::{self, ResilientOptions, RunReport};
 use crate::solver::{self, Solution, SolverOptions, StationaryMethod};
 use crate::transient::{self, TransientOptions};
 use crate::{CtmcError, Result};
@@ -129,6 +130,34 @@ impl<M: RateMatrix> Mrp<M> {
             StationaryMethod::Power => solver::stationary_power(&self.rates, options),
             StationaryMethod::Jacobi => solver::stationary_jacobi(&self.rates, options),
         }
+    }
+
+    /// Computes the stationary distribution through a fallback ladder:
+    /// each method in `options.ladder` is attempted in order (with
+    /// `options.options` as the shared solver configuration) until one
+    /// converges; [`CtmcError::NotConverged`], [`CtmcError::Diverged`]
+    /// and [`CtmcError::Interrupted`] fall through to the next rung,
+    /// structural errors stop immediately.
+    ///
+    /// The [`RunReport`] is returned in both outcomes and records every
+    /// attempt (method, iterations, residual, outcome, elapsed); on
+    /// failure the error is the *last* attempt's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.ladder` is empty.
+    pub fn solve_resilient(&self, options: &ResilientOptions) -> (Result<Solution>, RunReport) {
+        resilient::solve_ladder(
+            &options.ladder,
+            |m| (resilient::method_label(*m), None),
+            |m| {
+                let opts = SolverOptions {
+                    method: *m,
+                    ..options.options.clone()
+                };
+                self.stationary(&opts)
+            },
+        )
     }
 
     /// Computes the transient distribution `π(t)` by uniformization,

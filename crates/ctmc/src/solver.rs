@@ -41,6 +41,19 @@ pub struct SolverOptions {
     /// period-2 oscillation Jacobi exhibits on bipartite transition
     /// structures (e.g. birth–death chains) without moving the fixed point.
     pub jacobi_damping: f64,
+    /// Compute budget (wall-clock deadline, cancellation). Checked
+    /// amortized from the iteration loop; on failure the solver returns
+    /// [`CtmcError::Interrupted`] carrying the partial iterate. The
+    /// default is unlimited.
+    pub budget: mdl_obs::Budget,
+    /// Stagnation window: if the residual fails to improve by at least
+    /// 0.1% (relative, vs the best seen) for this many consecutive
+    /// iterations — or shows a sustained period-2 oscillation — the
+    /// Jacobi solver tightens its damping (halving `ω`, up to three
+    /// times) and the other solvers give up early with
+    /// [`CtmcError::NotConverged`] instead of burning the rest of the
+    /// iteration budget. `0` disables the guard.
+    pub stagnation_window: usize,
 }
 
 impl Default for SolverOptions {
@@ -51,7 +64,98 @@ impl Default for SolverOptions {
             max_iterations: 200_000,
             check_every: 1,
             jacobi_damping: 0.75,
+            budget: mdl_obs::Budget::unlimited(),
+            stagnation_window: 1000,
         }
+    }
+}
+
+/// How many consecutive period-2 observations the stagnation guard
+/// requires before flagging an oscillation.
+const OSCILLATION_RUN: usize = 64;
+
+/// The relative improvement the stagnation guard demands within each
+/// window (0.1% better than the best residual seen so far).
+const STAGNATION_IMPROVEMENT: f64 = 1e-3;
+
+/// How often the Jacobi solver may halve its damping in response to
+/// detected stagnation before giving up.
+const MAX_DAMPING_TIGHTENINGS: u32 = 3;
+
+/// Detects two failure shapes in a residual sequence: *stagnation* (no
+/// relative improvement over the best seen for a whole window) and
+/// *period-2 oscillation* (`r_t ≈ r_{t−2}` with no improvement, the
+/// signature of an iterate bouncing between two points — on bipartite
+/// structures the residual is then locked constant or alternating).
+///
+/// Both bars are far below any genuinely converging iteration: geometric
+/// convergence improves the best residual every few iterations, and its
+/// residual ratio over two steps stays well clear of the `1e-9` equality
+/// tolerance used for the oscillation test.
+struct StagnationGuard {
+    window: usize,
+    best: f64,
+    since_best: usize,
+    prev: f64,
+    prev2: f64,
+    osc_run: usize,
+}
+
+impl StagnationGuard {
+    fn new(window: usize) -> Self {
+        StagnationGuard {
+            window,
+            best: f64::INFINITY,
+            since_best: 0,
+            prev: f64::NAN,
+            prev2: f64::NAN,
+            osc_run: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = StagnationGuard::new(self.window);
+    }
+
+    /// Feeds one residual; returns `true` when the sequence has
+    /// stagnated or oscillates.
+    fn observe(&mut self, residual: f64) -> bool {
+        if self.window == 0 {
+            return false;
+        }
+        let improving = residual < self.best * (1.0 - STAGNATION_IMPROVEMENT);
+        if improving {
+            self.best = residual;
+            self.since_best = 0;
+        } else {
+            self.since_best += 1;
+        }
+        let near = |a: f64, b: f64| (a - b).abs() <= 1e-9 * f64::max(a.abs(), b.abs());
+        let oscillating = !improving && self.prev2.is_finite() && near(residual, self.prev2);
+        self.osc_run = if oscillating { self.osc_run + 1 } else { 0 };
+        self.prev2 = self.prev;
+        self.prev = residual;
+        self.since_best >= self.window || self.osc_run >= OSCILLATION_RUN
+    }
+}
+
+/// The `solver.iterate` failpoint: `nan` poisons the freshly computed
+/// iterate (caught by the divergence guard in the same iteration), `err`
+/// aborts immediately as an injected divergence.
+#[inline]
+fn inject_iterate(next: &mut [f64], iteration: usize) -> Result<()> {
+    match mdl_obs::failpoint::hit("solver.iterate") {
+        None => Ok(()),
+        Some(mdl_obs::failpoint::Injection::Nan) => {
+            if let Some(x) = next.first_mut() {
+                *x = f64::NAN;
+            }
+            Ok(())
+        }
+        Some(mdl_obs::failpoint::Injection::Err) => Err(CtmcError::Diverged {
+            iteration,
+            residual: f64::NAN,
+        }),
     }
 }
 
@@ -78,9 +182,28 @@ pub struct Solution {
 impl Solution {
     /// Expected instantaneous reward `Σ_s π(s)·r(s)`.
     ///
+    /// # Errors
+    ///
+    /// [`CtmcError::LengthMismatch`] if `reward` has a different length
+    /// than the solution vector.
+    pub fn try_expected_reward(&self, reward: &[f64]) -> Result<f64> {
+        if reward.len() != self.probabilities.len() {
+            return Err(CtmcError::LengthMismatch {
+                what: "reward vector",
+                got: reward.len(),
+                expected: self.probabilities.len(),
+            });
+        }
+        Ok(vec_ops::dot(&self.probabilities, reward))
+    }
+
+    /// Expected instantaneous reward `Σ_s π(s)·r(s)`.
+    ///
     /// # Panics
     ///
     /// Panics if `reward` has a different length than the solution vector.
+    #[deprecated(note = "use try_expected_reward, which reports a LengthMismatch \
+                         instead of panicking on a bad reward vector")]
     pub fn expected_reward(&self, reward: &[f64]) -> f64 {
         vec_ops::dot(&self.probabilities, reward)
     }
@@ -193,25 +316,55 @@ pub fn stationary_power_with_exit_rates<M: RateMatrix>(
     let lambda = 1.02 * d.iter().cloned().fold(0.0, f64::max);
     let check_every = options.check_every.max(1);
 
+    let mut ticker = options.budget.ticker(32);
+    let mut guard = StagnationGuard::new(options.stagnation_window);
     let mut pi = vec![1.0 / n as f64; n];
     let mut next = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
+        if let Err(reason) = ticker.tick() {
+            let _ = obs.done(it - 1, residual, false);
+            return Err(CtmcError::interrupted(
+                "solve.power",
+                it - 1,
+                residual,
+                pi,
+                reason,
+            ));
+        }
         // next = pi + (pi·R − pi∘d) / Λ  =  pi·P
         vec_ops::fill(&mut next, 0.0);
         rates.acc_vec_mat(&pi, &mut next);
         for s in 0..n {
             next[s] = pi[s] + (next[s] - pi[s] * d[s]) / lambda;
         }
+        inject_iterate(&mut next, it)?;
         // Fused normalize + residual: convergence is tested every
-        // iteration, so the reported count is the true one.
-        residual = vec_ops::normalize_l1_max_diff(&mut next, &pi);
+        // iteration, so the reported count is the true one. The L1 sum
+        // doubles as the divergence sentinel (f64::max can mask a NaN
+        // lane in the residual; the sum cannot stay finite).
+        let (diff, sum) = vec_ops::normalize_l1_max_diff_guarded(&mut next, &pi);
+        residual = diff;
+        if !sum.is_finite() {
+            let _ = obs.done(it, residual, false);
+            return Err(CtmcError::Diverged {
+                iteration: it,
+                residual,
+            });
+        }
         std::mem::swap(&mut pi, &mut next);
         if residual < options.tolerance {
             obs.check(it, residual);
             return Ok(Solution {
                 probabilities: pi,
                 stats: obs.done(it, residual, true),
+            });
+        }
+        if guard.observe(residual) {
+            let _ = obs.done(it, residual, false);
+            return Err(CtmcError::NotConverged {
+                iterations: it,
+                residual,
             });
         }
         if it % check_every == 0 {
@@ -239,28 +392,75 @@ pub fn stationary_jacobi<M: RateMatrix>(rates: &M, options: &SolverOptions) -> R
     let d = exit_rates(rates)?;
     let obs = SolveObs::new("solve.jacobi", "jacobi", n);
 
-    let omega = options.jacobi_damping;
+    let mut omega = options.jacobi_damping;
     assert!(
         omega > 0.0 && omega <= 1.0,
         "jacobi_damping must be in (0, 1]"
     );
     let check_every = options.check_every.max(1);
+    let mut ticker = options.budget.ticker(32);
+    let mut guard = StagnationGuard::new(options.stagnation_window);
+    let mut tightenings = 0u32;
     let mut pi = vec![1.0 / n as f64; n];
     let mut next = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
+        if let Err(reason) = ticker.tick() {
+            let _ = obs.done(it - 1, residual, false);
+            return Err(CtmcError::interrupted(
+                "solve.jacobi",
+                it - 1,
+                residual,
+                pi,
+                reason,
+            ));
+        }
         vec_ops::fill(&mut next, 0.0);
         rates.acc_vec_mat(&pi, &mut next);
         for s in 0..n {
             next[s] = (1.0 - omega) * pi[s] + omega * next[s] / d[s];
         }
-        residual = vec_ops::normalize_l1_max_diff(&mut next, &pi);
+        inject_iterate(&mut next, it)?;
+        let (diff, sum) = vec_ops::normalize_l1_max_diff_guarded(&mut next, &pi);
+        residual = diff;
+        if !sum.is_finite() {
+            let _ = obs.done(it, residual, false);
+            return Err(CtmcError::Diverged {
+                iteration: it,
+                residual,
+            });
+        }
         std::mem::swap(&mut pi, &mut next);
         if residual < options.tolerance {
             obs.check(it, residual);
             return Ok(Solution {
                 probabilities: pi,
                 stats: obs.done(it, residual, true),
+            });
+        }
+        if guard.observe(residual) {
+            // Stagnation or oscillation: tighten the damping before
+            // giving up — a smaller ω breaks period-2 cycling without
+            // moving the fixed point.
+            if tightenings < MAX_DAMPING_TIGHTENINGS {
+                tightenings += 1;
+                omega *= 0.5;
+                guard.reset();
+                mdl_obs::counter("solve.guard.tighten").inc();
+                mdl_obs::point("solve.guard", || {
+                    vec![
+                        ("method", mdl_obs::Value::from("jacobi")),
+                        ("iteration", mdl_obs::Value::from(it)),
+                        ("omega", mdl_obs::Value::from(omega)),
+                        ("residual", mdl_obs::Value::from(residual)),
+                    ]
+                });
+                continue;
+            }
+            let _ = obs.done(it, residual, false);
+            return Err(CtmcError::NotConverged {
+                iterations: it,
+                residual,
             });
         }
         if it % check_every == 0 {
@@ -291,10 +491,22 @@ pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Re
     let columns = rates.transpose(); // row r of `columns` = column r of `rates`
     let check_every = options.check_every.max(1);
 
+    let mut ticker = options.budget.ticker(32);
+    let mut guard = StagnationGuard::new(options.stagnation_window);
     let mut pi = vec![1.0 / n as f64; n];
     let mut prev = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
+        if let Err(reason) = ticker.tick() {
+            let _ = obs.done(it - 1, residual, false);
+            return Err(CtmcError::interrupted(
+                "solve.gauss_seidel",
+                it - 1,
+                residual,
+                pi,
+                reason,
+            ));
+        }
         prev.copy_from_slice(&pi);
         for j in 0..n {
             let mut acc = 0.0;
@@ -312,12 +524,28 @@ pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Re
             }
             pi[j] = acc / denom;
         }
-        residual = vec_ops::normalize_l1_max_diff(&mut pi, &prev);
+        inject_iterate(&mut pi, it)?;
+        let (diff, sum) = vec_ops::normalize_l1_max_diff_guarded(&mut pi, &prev);
+        residual = diff;
+        if !sum.is_finite() {
+            let _ = obs.done(it, residual, false);
+            return Err(CtmcError::Diverged {
+                iteration: it,
+                residual,
+            });
+        }
         if residual < options.tolerance {
             obs.check(it, residual);
             return Ok(Solution {
                 probabilities: pi,
                 stats: obs.done(it, residual, true),
+            });
+        }
+        if guard.observe(residual) {
+            let _ = obs.done(it, residual, false);
+            return Err(CtmcError::NotConverged {
+                iterations: it,
+                residual,
             });
         }
         if it % check_every == 0 {
@@ -356,10 +584,22 @@ pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) ->
     let columns = rates.transpose();
     let check_every = options.check_every.max(1);
 
+    let mut ticker = options.budget.ticker(32);
+    let mut guard = StagnationGuard::new(options.stagnation_window);
     let mut pi = vec![1.0 / n as f64; n];
     let mut flow = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
+        if let Err(reason) = ticker.tick() {
+            let _ = obs.done(it - 1, residual, false);
+            return Err(CtmcError::interrupted(
+                "solve.sor",
+                it - 1,
+                residual,
+                pi,
+                reason,
+            ));
+        }
         for j in 0..n {
             let mut acc = 0.0;
             for (i, v) in columns.row(j) {
@@ -375,7 +615,15 @@ pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) ->
             let gs = acc / denom;
             pi[j] = (1.0 - omega) * pi[j] + omega * gs;
         }
-        vec_ops::normalize_l1(&mut pi);
+        inject_iterate(&mut pi, it)?;
+        let sum = vec_ops::normalize_l1(&mut pi);
+        if !sum.is_finite() {
+            let _ = obs.done(it, residual, false);
+            return Err(CtmcError::Diverged {
+                iteration: it,
+                residual: f64::NAN,
+            });
+        }
         if it % check_every == 0 {
             // ‖π Q‖∞ = max_j |(π R)(j) − π(j)·d(j)|.
             vec_ops::fill(&mut flow, 0.0);
@@ -389,6 +637,15 @@ pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) ->
                 return Ok(Solution {
                     probabilities: pi,
                     stats: obs.done(it, residual, true),
+                });
+            }
+            // The guard sees one sample per *check*, so its window counts
+            // checks here — still a fixed multiple of real iterations.
+            if guard.observe(residual) {
+                let _ = obs.done(it, residual, false);
+                return Err(CtmcError::NotConverged {
+                    iterations: it,
+                    residual,
                 });
             }
         }
@@ -574,7 +831,19 @@ mod tests {
                 elapsed: std::time::Duration::ZERO,
             },
         };
-        assert_eq!(sol.expected_reward(&[4.0, 0.0]), 1.0);
+        assert_eq!(sol.try_expected_reward(&[4.0, 0.0]).unwrap(), 1.0);
+        // The deprecated panicking path stays behaviorally identical.
+        #[allow(deprecated)]
+        let legacy = sol.expected_reward(&[4.0, 0.0]);
+        assert_eq!(legacy, 1.0);
+        assert!(matches!(
+            sol.try_expected_reward(&[1.0]),
+            Err(CtmcError::LengthMismatch {
+                what: "reward vector",
+                got: 1,
+                expected: 2,
+            })
+        ));
     }
 
     #[test]
@@ -681,6 +950,179 @@ mod tests {
             let sol = stationary_jacobi(&r, &opts).unwrap();
             assert_close(&sol.probabilities, &expected, 1e-8);
             assert!(sol.stats.residual < 1e-12, "omega={omega}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_partial_iterate() {
+        let r = birth_death(1.0, 2.0, 8);
+        let opts = SolverOptions {
+            budget: mdl_obs::Budget::unlimited().deadline_in(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let err = stationary_power(&r, &opts).unwrap_err();
+        match err {
+            CtmcError::Interrupted { phase, progress } => {
+                assert_eq!(phase, "solve.power");
+                assert_eq!(progress.iterations, 0);
+                assert_eq!(progress.partial.len(), 8);
+                assert!(matches!(
+                    progress.reason,
+                    mdl_obs::BudgetExceeded::Deadline { .. }
+                ));
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        // The other solvers honor the same budget.
+        let jac = stationary_jacobi(&r, &opts).unwrap_err();
+        assert!(matches!(
+            jac,
+            CtmcError::Interrupted {
+                phase: "solve.jacobi",
+                ..
+            }
+        ));
+        let gs = stationary_gauss_seidel(&r, &opts).unwrap_err();
+        assert!(matches!(
+            gs,
+            CtmcError::Interrupted {
+                phase: "solve.gauss_seidel",
+                ..
+            }
+        ));
+        let sor = stationary_sor(&r, 1.2, &opts).unwrap_err();
+        assert!(matches!(
+            sor,
+            CtmcError::Interrupted {
+                phase: "solve.sor",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cancellation_interrupts_mid_solve() {
+        let token = mdl_obs::CancelToken::new();
+        token.cancel();
+        let r = birth_death(2.0, 3.0, 5);
+        let opts = SolverOptions {
+            budget: mdl_obs::Budget::unlimited().cancelled_by(&token),
+            ..Default::default()
+        };
+        let err = stationary_power(&r, &opts).unwrap_err();
+        assert!(matches!(
+            err,
+            CtmcError::Interrupted { progress, .. }
+                if progress.reason == mdl_obs::BudgetExceeded::Cancelled
+        ));
+    }
+
+    #[test]
+    fn injected_nan_is_caught_as_diverged_at_exact_iteration() {
+        let _g = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        mdl_obs::failpoint::set("solver.iterate", "nan@5").unwrap();
+        let r = birth_death(2.0, 3.0, 12);
+        let err = stationary_power(
+            &r,
+            &SolverOptions {
+                tolerance: 1e-15,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        mdl_obs::failpoint::clear();
+        assert!(
+            matches!(err, CtmcError::Diverged { iteration: 5, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_err_aborts_immediately() {
+        let _g = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        mdl_obs::failpoint::set("solver.iterate", "err@2").unwrap();
+        let r = birth_death(2.0, 3.0, 6);
+        let err = stationary_jacobi(
+            &r,
+            &SolverOptions {
+                tolerance: 1e-15,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        mdl_obs::failpoint::clear();
+        assert!(matches!(err, CtmcError::Diverged { iteration: 2, .. }));
+    }
+
+    #[test]
+    fn undamped_jacobi_auto_tightens_and_converges() {
+        // ω = 1 Jacobi follows the embedded jump chain, which is periodic
+        // on a birth–death chain: the residual locks constant. Instead of
+        // burning 200k iterations into NotConverged (the old behavior),
+        // the oscillation guard now halves ω and the iteration converges.
+        let r = birth_death(1.5, 2.5, 8);
+        let expected = analytic_birth_death(1.5, 2.5, 8);
+        let sol = stationary_jacobi(
+            &r,
+            &SolverOptions {
+                jacobi_damping: 1.0,
+                tolerance: 1e-12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_close(&sol.probabilities, &expected, 1e-8);
+        assert!(
+            sol.stats.iterations < 5_000,
+            "guard should rescue ω=1 quickly, took {}",
+            sol.stats.iterations
+        );
+    }
+
+    #[test]
+    fn stagnation_guard_disabled_with_zero_window() {
+        // With the guard off, ω = 1 Jacobi oscillates to the iteration cap.
+        let r = birth_death(1.5, 2.5, 8);
+        let err = stationary_jacobi(
+            &r,
+            &SolverOptions {
+                jacobi_damping: 1.0,
+                stagnation_window: 0,
+                max_iterations: 500,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CtmcError::NotConverged {
+                iterations: 500,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn stagnation_guard_stops_hopeless_power_iteration_early() {
+        // An unreachable tolerance: the residual bottoms out at rounding
+        // noise, and the guard ends the run well before max_iterations.
+        let r = birth_death(2.0, 3.0, 6);
+        let err = stationary_power(
+            &r,
+            &SolverOptions {
+                tolerance: 0.0,
+                stagnation_window: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            CtmcError::NotConverged { iterations, .. } => {
+                assert!(iterations < 200_000, "early stop, got {iterations}")
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
         }
     }
 

@@ -16,6 +16,10 @@ pub struct TransientOptions {
     /// iterate — the standard optimization for long horizons `Λt ≫ mixing
     /// time`. Set to `0.0` to disable.
     pub steady_state_epsilon: f64,
+    /// Compute budget, checked amortized from the step loop; on failure
+    /// the solver returns [`CtmcError::Interrupted`] carrying the partial
+    /// accumulated distribution. Unlimited by default.
+    pub budget: mdl_obs::Budget,
 }
 
 impl Default for TransientOptions {
@@ -24,6 +28,7 @@ impl Default for TransientOptions {
             epsilon: 1e-12,
             max_steps: 10_000_000,
             steady_state_epsilon: 1e-14,
+            budget: mdl_obs::Budget::unlimited(),
         }
     }
 }
@@ -124,7 +129,17 @@ pub fn transient_uniformization_with_exit_rates<M: RateMatrix>(
     let mut ln_weight = ln_weight0;
     let mut accumulated = 0.0f64;
     let mut k = 0usize;
+    let mut ticker = options.budget.ticker(32);
     loop {
+        if let Err(reason) = ticker.tick() {
+            return Err(CtmcError::interrupted(
+                "solve.transient",
+                k,
+                1.0 - accumulated,
+                result,
+                reason,
+            ));
+        }
         let w = ln_weight.exp();
         if w > 0.0 {
             vec_ops::axpy(w, &v, &mut result);
@@ -149,6 +164,21 @@ pub fn transient_uniformization_with_exit_rates<M: RateMatrix>(
         rates.acc_vec_mat(&v, &mut next);
         for s in 0..n {
             next[s] = v[s] + (next[s] - v[s] * d[s]) / lambda;
+        }
+        if let Some(mdl_obs::failpoint::Injection::Nan | mdl_obs::failpoint::Injection::Err) =
+            mdl_obs::failpoint::hit("transient.step")
+        {
+            if let Some(x) = next.first_mut() {
+                *x = f64::NAN;
+            }
+        }
+        // Any non-finite entry makes the sum non-finite (infinities
+        // cannot cancel back), so this one pass is a complete guard.
+        if !vec_ops::sum(&next).is_finite() {
+            return Err(CtmcError::Diverged {
+                iteration: k + 1,
+                residual: f64::NAN,
+            });
         }
         // Steady-state detection: once the iterates stop moving, the
         // remaining Poisson mass all lands on (essentially) this vector.

@@ -1,0 +1,56 @@
+//! Environment-driven failpoint suite, run twice by CI: once with
+//! `MDL_FAILPOINTS=solver.iterate=nan@3` and once with the variable
+//! unset. The same test asserts the matching behaviour in each mode, so
+//! both the injection path and the no-op fast path stay covered.
+//!
+//! Kept to a single test: hit counters are process-global, so a second
+//! test in this binary would race the one-shot `@3` injection.
+
+use mdl_ctmc::{stationary_power, CtmcError, Mrp, ResilientOptions, SolverOptions};
+use mdl_linalg::{CooMatrix, CsrMatrix};
+
+/// A small ergodic birth–death chain.
+fn chain(n: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for s in 0..n - 1 {
+        coo.push(s, s + 1, 2.0);
+        coo.push(s + 1, s, 3.0);
+    }
+    coo.to_csr()
+}
+
+#[test]
+fn suite_matches_environment() {
+    let _g = mdl_obs::testing::guard();
+    mdl_obs::failpoint::init_from_env();
+    let configured = std::env::var(mdl_obs::failpoint::ENV_VAR)
+        .map(|v| !v.trim().is_empty())
+        .unwrap_or(false);
+    let r = chain(10);
+    let opts = SolverOptions {
+        tolerance: 1e-15,
+        ..SolverOptions::default()
+    };
+
+    if configured {
+        // CI sets `solver.iterate=nan@3`: the third iterate is poisoned
+        // and the divergence guard reports it at exactly that iteration.
+        let err = stationary_power(&r, &opts).unwrap_err();
+        assert!(
+            matches!(err, CtmcError::Diverged { iteration: 3, .. }),
+            "under {}={:?} expected Diverged at 3, got {err:?}",
+            mdl_obs::failpoint::ENV_VAR,
+            std::env::var(mdl_obs::failpoint::ENV_VAR).ok(),
+        );
+        // The one-shot injection is now exhausted; later solves run clean.
+    }
+
+    // With no failpoints (or the one-shot already spent) everything
+    // converges, including through the resilient ladder.
+    let n = r.nrows();
+    let mrp = Mrp::new(r, vec![1.0; n], vec![1.0 / n as f64; n]).unwrap();
+    let (result, report) = mrp.solve_resilient(&ResilientOptions::default());
+    let sol = result.expect("clean solve converges");
+    assert!(report.converged());
+    assert!(sol.probabilities.iter().all(|p| p.is_finite()));
+}

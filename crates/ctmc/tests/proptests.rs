@@ -4,7 +4,8 @@ use proptest::prelude::*;
 
 use mdl_ctmc::{
     accumulated_reward, stationary_gauss_seidel, stationary_jacobi, stationary_power,
-    stationary_sor, transient_uniformization, SolverOptions, TransientOptions,
+    stationary_sor, transient_uniformization, AttemptOutcome, CtmcError, Mrp, ResilientOptions,
+    SolverOptions, TransientOptions,
 };
 use mdl_linalg::{vec_ops, CooMatrix, CsrMatrix, RateMatrix};
 
@@ -37,6 +38,7 @@ proptest! {
     /// converge on strongly cyclic chains) agrees whenever it converges.
     #[test]
     fn stationary_solvers_agree(r in ergodic_chain(8)) {
+        let _g = mdl_obs::testing::guard();
         let opts = SolverOptions { tolerance: 1e-12, ..SolverOptions::default() };
         let p = stationary_power(&r, &opts).unwrap().probabilities;
         let j = stationary_jacobi(&r, &opts).unwrap().probabilities;
@@ -63,6 +65,7 @@ proptest! {
     /// The stationary vector actually satisfies π Q = 0.
     #[test]
     fn stationary_vector_is_a_fixed_point(r in ergodic_chain(7)) {
+        let _g = mdl_obs::testing::guard();
         let opts = SolverOptions { tolerance: 1e-13, ..SolverOptions::default() };
         let pi = stationary_power(&r, &opts).unwrap().probabilities;
         let d = r.row_sums_vec();
@@ -78,6 +81,7 @@ proptest! {
     /// stationary one.
     #[test]
     fn transient_is_stochastic_and_converges(r in ergodic_chain(6)) {
+        let _g = mdl_obs::testing::guard();
         let topts = TransientOptions::default();
         for &t in &[0.1, 1.0, 10.0] {
             let sol = transient_uniformization(&r, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0], t, &topts)
@@ -97,6 +101,7 @@ proptest! {
     /// Chapman–Kolmogorov: evolving for s then t equals evolving for s+t.
     #[test]
     fn transient_semigroup_property(r in ergodic_chain(5), s in 0.1f64..2.0, t in 0.1f64..2.0) {
+        let _g = mdl_obs::testing::guard();
         let topts = TransientOptions::default();
         let initial = [0.2, 0.2, 0.2, 0.2, 0.2];
         let direct =
@@ -111,6 +116,7 @@ proptest! {
     /// [s, s+t] started from π(s).
     #[test]
     fn accumulated_reward_is_interval_additive(r in ergodic_chain(5), s in 0.1f64..2.0, t in 0.1f64..2.0) {
+        let _g = mdl_obs::testing::guard();
         let topts = TransientOptions::default();
         let initial = [1.0, 0.0, 0.0, 0.0, 0.0];
         let reward = [1.0, 0.0, 2.0, 0.0, 0.5];
@@ -125,6 +131,7 @@ proptest! {
     /// bounded by `t · max r`.
     #[test]
     fn accumulated_reward_bounds(r in ergodic_chain(6), t in 0.1f64..5.0) {
+        let _g = mdl_obs::testing::guard();
         let topts = TransientOptions::default();
         let initial = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let reward = [0.0, 1.0, 2.0, 0.0, 1.0, 3.0];
@@ -133,5 +140,80 @@ proptest! {
         prop_assert!(a >= -1e-12);
         prop_assert!(b >= a - 1e-10);
         prop_assert!(a <= t * 3.0 + 1e-9);
+    }
+
+    /// `solve_resilient` never hands back a non-finite probability
+    /// vector, and the run report is consistent with the returned result:
+    /// converged report iff `Ok`, with the last attempt carrying the
+    /// converged outcome. (Guarded: the solvers consult the process-global
+    /// failpoint registry.)
+    #[test]
+    fn resilient_solve_is_finite_and_report_consistent(r in ergodic_chain(7)) {
+        let _g = mdl_obs::testing::guard();
+        let n = r.nrows();
+        let mrp = Mrp::new(r, vec![1.0; n], vec![1.0 / n as f64; n]).unwrap();
+        let (result, report) = mrp.solve_resilient(&ResilientOptions::default());
+        prop_assert!(!report.attempts.is_empty());
+        match result {
+            Ok(sol) => {
+                prop_assert!(sol.probabilities.iter().all(|p| p.is_finite() && *p >= 0.0));
+                let sum: f64 = sol.probabilities.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+                prop_assert!(report.converged());
+                prop_assert_eq!(
+                    report.attempts.last().unwrap().outcome,
+                    AttemptOutcome::Converged
+                );
+            }
+            Err(_) => {
+                prop_assert!(!report.converged());
+                prop_assert!(report
+                    .attempts
+                    .iter()
+                    .all(|a| a.outcome != AttemptOutcome::Converged));
+            }
+        }
+    }
+
+    /// A NaN injected into the iterate at hit `k` is caught by the
+    /// divergence guard as `Diverged` at exactly iteration `k`, for any
+    /// `k`, on any chain.
+    #[test]
+    fn injected_nan_is_diverged_at_exact_iteration(r in ergodic_chain(8), k in 2usize..=6) {
+        let _g = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        mdl_obs::failpoint::set("solver.iterate", &format!("nan@{k}")).unwrap();
+        let err = stationary_power(
+            &r,
+            &SolverOptions { tolerance: 1e-15, ..SolverOptions::default() },
+        )
+        .unwrap_err();
+        mdl_obs::failpoint::clear();
+        prop_assert!(
+            matches!(err, CtmcError::Diverged { iteration, .. } if iteration == k),
+            "got {err:?}, wanted Diverged at {k}"
+        );
+    }
+
+    /// A divergence injected into the first ladder rung makes
+    /// `solve_resilient` fall back and still converge, recording both
+    /// attempts.
+    #[test]
+    fn resilient_ladder_recovers_from_injected_divergence(r in ergodic_chain(6)) {
+        let _g = mdl_obs::testing::guard();
+        let n = r.nrows();
+        let reference = stationary_power(&r, &SolverOptions::default()).unwrap();
+        let mrp = Mrp::new(r, vec![1.0; n], vec![1.0 / n as f64; n]).unwrap();
+        mdl_obs::failpoint::clear();
+        mdl_obs::failpoint::set("solver.iterate", "nan@1").unwrap();
+        let (result, report) = mrp.solve_resilient(&ResilientOptions::default());
+        mdl_obs::failpoint::clear();
+        let sol = result.unwrap();
+        prop_assert_eq!(report.attempts.len(), 2);
+        prop_assert_eq!(report.attempts[0].outcome, AttemptOutcome::Diverged);
+        prop_assert!(report.converged());
+        prop_assert!(
+            vec_ops::max_abs_diff(&sol.probabilities, &reference.probabilities) < 1e-7
+        );
     }
 }

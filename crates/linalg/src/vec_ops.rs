@@ -72,6 +72,24 @@ pub fn normalize_l1(x: &mut [f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn normalize_l1_max_diff(x: &mut [f64], reference: &[f64]) -> f64 {
+    normalize_l1_max_diff_guarded(x, reference).0
+}
+
+/// The guarded form of [`normalize_l1_max_diff`]: identical arithmetic,
+/// but the pre-normalization L1 sum is returned alongside the residual
+/// as `(diff, sum)`.
+///
+/// The sum is the right divergence sentinel: `f64::max` propagates a
+/// *finite* result past NaN operands, so a poisoned iterate can leave
+/// the ∞-norm residual looking healthy — but any non-finite element
+/// makes the sum non-finite (NaN contaminates addition, and infinities
+/// cannot cancel back to a finite value: `inf + (-inf)` is NaN). Callers
+/// should treat a non-finite sum as a diverged iterate.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn normalize_l1_max_diff_guarded(x: &mut [f64], reference: &[f64]) -> (f64, f64) {
     assert_eq!(
         x.len(),
         reference.len(),
@@ -90,7 +108,7 @@ pub fn normalize_l1_max_diff(x: &mut [f64], reference: &[f64]) -> f64 {
             diff = f64::max(diff, (r - xi).abs());
         }
     }
-    diff
+    (diff, s)
 }
 
 /// Maximum absolute difference between two equal-length slices.
@@ -160,6 +178,38 @@ mod tests {
         let d = normalize_l1_max_diff(&mut x, &[0.25, 0.75]);
         assert_eq!(x, vec![0.0, 0.0]);
         assert_eq!(d, 0.75);
+    }
+
+    #[test]
+    fn guarded_pass_returns_sum_and_matches_unguarded() {
+        let mut a = vec![1.0, 3.0];
+        let mut b = a.clone();
+        let reference = [0.5, 0.5];
+        let d = normalize_l1_max_diff(&mut a, &reference);
+        let (dg, s) = normalize_l1_max_diff_guarded(&mut b, &reference);
+        assert_eq!(a, b);
+        assert_eq!(d, dg);
+        assert_eq!(s, 4.0);
+    }
+
+    #[test]
+    fn guarded_pass_exposes_nan_masked_by_max() {
+        // A NaN in the iterate: f64::max skips it, so the residual can
+        // come out finite — the sum is the reliable sentinel.
+        let mut x = vec![0.5, f64::NAN];
+        let (d, s) = normalize_l1_max_diff_guarded(&mut x, &[0.5, 0.5]);
+        assert!(s.is_nan());
+        assert!(d == 0.0 || d.is_nan()); // max masked the NaN lane
+    }
+
+    #[test]
+    fn guarded_pass_exposes_infinite_iterate() {
+        let mut x = vec![f64::INFINITY, 1.0];
+        let (_, s) = normalize_l1_max_diff_guarded(&mut x, &[0.5, 0.5]);
+        assert!(!s.is_finite());
+        let mut y = vec![f64::INFINITY, f64::NEG_INFINITY];
+        let (_, s) = normalize_l1_max_diff_guarded(&mut y, &[0.5, 0.5]);
+        assert!(s.is_nan(), "opposing infinities cannot cancel to finite");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use mdl_mdd::MddNodeId;
 
 use crate::apply::MdMatrix;
 use crate::md::{ChildId, MdNodeId};
+use crate::MdError;
 
 /// Products over fewer states than this run serially even when the kernel
 /// was compiled for several threads (same threshold as `ParCsr`).
@@ -120,6 +121,9 @@ struct Compiler<'a> {
     leaf_coefs: Vec<f64>,
     visited: u64,
     compiled: u64,
+    /// Amortized budget checks, run against `visited` so node caps bound
+    /// the traversal even when no deadline is set.
+    ticker: mdl_obs::Ticker<'a>,
 }
 
 /// One invocation of a next-level program, relative to the caller's
@@ -135,7 +139,7 @@ struct SegmentCall {
 type Segment = Vec<SegmentCall>;
 
 impl<'a> Compiler<'a> {
-    fn new(m: &'a MdMatrix) -> Self {
+    fn new(m: &'a MdMatrix, budget: &'a mdl_obs::Budget) -> Self {
         let levels = m.md().num_levels();
         Compiler {
             m,
@@ -147,17 +151,30 @@ impl<'a> Compiler<'a> {
             leaf_coefs: Vec::new(),
             visited: 0,
             compiled: 0,
+            ticker: budget.ticker(64),
         }
     }
 
     /// Compiles the triple once, returning its program id (leaf id at the
     /// last level, segment id above).
-    fn compile_triple(&mut self, md_node: MdNodeId, row_n: MddNodeId, col_n: MddNodeId) -> u32 {
+    fn compile_triple(
+        &mut self,
+        md_node: MdNodeId,
+        row_n: MddNodeId,
+        col_n: MddNodeId,
+    ) -> Result<u32, MdError> {
+        self.ticker
+            .tick_nodes(self.visited)
+            .map_err(|reason| MdError::Interrupted {
+                phase: "md.compile",
+                nodes: self.visited,
+                reason,
+            })?;
         self.visited += 1;
         let level = md_node.level as usize;
         let key = (md_node.index, row_n.index, col_n.index);
         if let Some(&id) = self.memo[level].get(&key) {
-            return id;
+            return Ok(id);
         }
         self.compiled += 1;
         let reach = self.m.reach();
@@ -205,7 +222,7 @@ impl<'a> Compiler<'a> {
                         },
                         rc,
                         cc,
-                    );
+                    )?;
                     calls.push(SegmentCall {
                         d_row,
                         d_col,
@@ -218,7 +235,7 @@ impl<'a> Compiler<'a> {
             seg_id
         };
         self.memo[level].insert(key, id);
-        id
+        Ok(id)
     }
 
     /// Expands the root program into the flat block list, accumulating
@@ -324,6 +341,41 @@ impl CompiledMdMatrix {
     /// (`0` means [`default_threads`]). Small matrices
     /// (< 1024 states) and `threads == 1` never spawn.
     pub fn compile_with_threads(m: &MdMatrix, threads: usize) -> Self {
+        Self::compile_inner(m, threads, &mdl_obs::Budget::unlimited())
+            .expect("unlimited budget cannot interrupt compilation")
+    }
+
+    /// [`compile_with_threads`](Self::compile_with_threads) under a
+    /// compute [`Budget`](mdl_obs::Budget): the triple traversal checks
+    /// the deadline, cancellation token and node cap amortized (every 64
+    /// visited triples), and the `md.compile` failpoint is consulted at
+    /// entry for deterministic fault injection.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::Interrupted`] when a budget limit is hit or a failpoint
+    /// injects a failure; the `nodes` field reports how far the traversal
+    /// got.
+    pub fn compile_budgeted(
+        m: &MdMatrix,
+        threads: usize,
+        budget: &mdl_obs::Budget,
+    ) -> Result<Self, MdError> {
+        if mdl_obs::failpoint::hit("md.compile").is_some() {
+            return Err(MdError::Interrupted {
+                phase: "md.compile",
+                nodes: 0,
+                reason: mdl_obs::BudgetExceeded::Injected,
+            });
+        }
+        Self::compile_inner(m, threads, budget)
+    }
+
+    fn compile_inner(
+        m: &MdMatrix,
+        threads: usize,
+        budget: &mdl_obs::Budget,
+    ) -> Result<Self, MdError> {
         let threads = if threads == 0 {
             default_threads()
         } else {
@@ -332,11 +384,20 @@ impl CompiledMdMatrix {
         let mut span = mdl_obs::span("md.compile").with("threads", threads);
         let t0 = std::time::Instant::now();
 
-        let mut compiler = Compiler::new(m);
+        let mut compiler = Compiler::new(m, budget);
         let mut blocks = Vec::new();
         if !m.reach().is_empty() {
             let root_mdd = m.reach().root();
-            let root = compiler.compile_triple(m.md().root(), root_mdd, root_mdd);
+            let root = compiler.compile_triple(m.md().root(), root_mdd, root_mdd)?;
+            // The amortized ticker can undershoot a node cap on small
+            // diagrams; settle the cap exactly once traversal is done.
+            budget
+                .check_nodes(compiler.visited)
+                .map_err(|reason| MdError::Interrupted {
+                    phase: "md.compile",
+                    nodes: compiler.visited,
+                    reason,
+                })?;
             compiler.linearize(root, &mut blocks);
         }
 
@@ -388,7 +449,7 @@ impl CompiledMdMatrix {
         span.record("flat_entries", out.stats.flat_entries);
         span.record("dedup_ratio", out.stats.dedup_ratio());
         span.finish();
-        out
+        Ok(out)
     }
 
     /// Compilation statistics (sizes, sharing, time).
@@ -716,5 +777,106 @@ mod tests {
         let c = CompiledMdMatrix::compile_with_threads(&m, 0);
         assert_eq!(c.threads(), default_threads());
         assert!(c.threads() >= 1);
+    }
+
+    #[test]
+    fn unlimited_budget_compiles_identically() {
+        let _guard = mdl_obs::testing::guard();
+        let m = full_matrix();
+        let plain = CompiledMdMatrix::compile(&m);
+        let budgeted =
+            CompiledMdMatrix::compile_budgeted(&m, 1, &mdl_obs::Budget::unlimited()).unwrap();
+        let mut a = plain.stats().clone();
+        let mut b = budgeted.stats().clone();
+        a.compile_time = Duration::ZERO;
+        b.compile_time = Duration::ZERO;
+        assert_eq!(a, b);
+        let n = m.num_states();
+        let x = probe(n);
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        plain.acc_mat_vec(&x, &mut a);
+        budgeted.acc_mat_vec(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_compilation() {
+        let _guard = mdl_obs::testing::guard();
+        let m = full_matrix();
+        let budget = mdl_obs::Budget::unlimited().deadline_in(Duration::ZERO);
+        let err = CompiledMdMatrix::compile_budgeted(&m, 1, &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            MdError::Interrupted {
+                phase: "md.compile",
+                reason: mdl_obs::BudgetExceeded::Deadline { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn node_cap_interrupts_compilation() {
+        let _guard = mdl_obs::testing::guard();
+        // A model large enough that the traversal crosses the amortized
+        // check period (64) several times.
+        let mut expr = KroneckerExpr::new(vec![16, 16, 8]);
+        expr.add_term(1.0, vec![Some(cycle(16, 1.0)), None, None]);
+        expr.add_term(2.0, vec![None, Some(cycle(16, 1.5)), Some(cycle(8, 0.5))]);
+        let m = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![16, 16, 8]).unwrap()).unwrap();
+        let full = CompiledMdMatrix::compile(&m);
+        assert!(full.stats().triples_visited > 64);
+        let budget = mdl_obs::Budget::unlimited().node_cap(1);
+        let err = CompiledMdMatrix::compile_budgeted(&m, 1, &budget).unwrap_err();
+        let MdError::Interrupted {
+            phase,
+            nodes,
+            reason: mdl_obs::BudgetExceeded::NodeCap { cap, .. },
+        } = err
+        else {
+            panic!("expected node-cap interruption, got {err:?}");
+        };
+        assert_eq!(phase, "md.compile");
+        assert_eq!(cap, 1);
+        assert!(nodes <= full.stats().triples_visited);
+    }
+
+    #[test]
+    fn cancellation_interrupts_compilation() {
+        let _guard = mdl_obs::testing::guard();
+        let m = full_matrix();
+        let token = mdl_obs::CancelToken::new();
+        token.cancel();
+        let budget = mdl_obs::Budget::unlimited().cancelled_by(&token);
+        let err = CompiledMdMatrix::compile_budgeted(&m, 1, &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            MdError::Interrupted {
+                reason: mdl_obs::BudgetExceeded::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn failpoint_injects_compile_interruption() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        mdl_obs::failpoint::set("md.compile", "err").unwrap();
+        let m = full_matrix();
+        let err =
+            CompiledMdMatrix::compile_budgeted(&m, 1, &mdl_obs::Budget::unlimited()).unwrap_err();
+        // The infallible path ignores failpoints entirely.
+        let c = CompiledMdMatrix::compile(&m);
+        mdl_obs::failpoint::clear();
+        assert!(matches!(
+            err,
+            MdError::Interrupted {
+                phase: "md.compile",
+                reason: mdl_obs::BudgetExceeded::Injected,
+                ..
+            }
+        ));
+        assert!(c.stats().blocks > 0);
     }
 }

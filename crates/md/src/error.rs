@@ -49,6 +49,16 @@ pub enum MdError {
         /// Number of levels.
         num_levels: usize,
     },
+    /// A compute budget expired mid-compilation (deadline, cancellation,
+    /// node cap, or an injected failpoint).
+    Interrupted {
+        /// Which phase was interrupted (e.g. `"md.compile"`).
+        phase: &'static str,
+        /// Node triples visited before the interruption.
+        nodes: u64,
+        /// Why the work was cut short.
+        reason: mdl_obs::BudgetExceeded,
+    },
 }
 
 impl fmt::Display for MdError {
@@ -79,6 +89,16 @@ impl fmt::Display for MdError {
             }
             MdError::NoSuchLevel { level, num_levels } => {
                 write!(f, "level {level} out of range for {num_levels} levels")
+            }
+            MdError::Interrupted {
+                phase,
+                nodes,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "interrupted during {phase} after visiting {nodes} node triples: {reason}"
+                )
             }
         }
     }
@@ -121,5 +141,12 @@ mod tests {
             mdd_sizes: vec![3],
         };
         assert!(e.to_string().contains("[2]"));
+        let e = MdError::Interrupted {
+            phase: "md.compile",
+            nodes: 42,
+            reason: mdl_obs::BudgetExceeded::Cancelled,
+        };
+        assert!(e.to_string().contains("md.compile"));
+        assert!(e.to_string().contains("42"));
     }
 }

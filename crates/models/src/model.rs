@@ -168,6 +168,19 @@ impl ComposedModel {
                         ),
                     });
                 }
+                // Weights multiply the event rate; a NaN or negative one
+                // silently poisons the generator, so reject it here where
+                // the event and component are still nameable.
+                if let Some((row, col, w)) =
+                    f.iter().find(|&(_, _, w)| !(w.is_finite() && w >= 0.0))
+                {
+                    return Err(ModelError::Malformed {
+                        detail: format!(
+                            "event {name}: invalid weight {w} at ({row}, {col}) in component {}",
+                            self.components[l].name
+                        ),
+                    });
+                }
             }
         }
         self.events.push(Event {
@@ -440,6 +453,28 @@ mod tests {
         assert!(m.add_event("bad_arity", 1.0, vec![None, None]).is_err());
         let wrong = SparseFactor::new(3);
         assert!(m.add_event("bad_size", 1.0, vec![Some(wrong)]).is_err());
+    }
+
+    #[test]
+    fn invalid_factor_weights_rejected_with_context() {
+        // Non-finite weights already panic in SparseFactor::push, so the
+        // reachable invalid case is a negative weight.
+        let mut m = ComposedModel::new();
+        m.add_component("pump", 2, 0);
+        let mut f = SparseFactor::new(2);
+        f.push(0, 1, -0.5);
+        let err = m.add_event("fail", 1.0, vec![Some(f)]).unwrap_err();
+        let ModelError::Malformed { detail } = &err else {
+            panic!("expected Malformed, got {err:?}");
+        };
+        assert!(detail.contains("fail"), "{detail}");
+        assert!(detail.contains("pump"), "{detail}");
+        assert!(detail.contains("-0.5"), "{detail}");
+        // NaN and infinities in the rate itself are already rejected.
+        let mut m = ComposedModel::new();
+        m.add_component("pump", 2, 0);
+        assert!(m.add_event("nan_rate", f64::NAN, vec![None]).is_err());
+        assert!(m.add_event("inf_rate", f64::INFINITY, vec![None]).is_err());
     }
 
     #[test]

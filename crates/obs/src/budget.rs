@@ -1,0 +1,352 @@
+//! Cooperative compute budgets: wall-clock deadlines, cancellation
+//! tokens and node caps, checked cheaply from the inner loops of every
+//! long-running phase (solvers, MD compilation, per-level lumping).
+//!
+//! A [`Budget`] is immutable and cheap to clone; the mutable amortizing
+//! state lives in a per-loop [`Ticker`] so a single budget can be shared
+//! across phases and threads. The default budget is unlimited and its
+//! checks reduce to a single branch.
+//!
+//! ```
+//! use mdl_obs::{Budget, BudgetExceeded};
+//! use std::time::Duration;
+//!
+//! let budget = Budget::unlimited().deadline_in(Duration::ZERO);
+//! let mut ticker = budget.ticker(64);
+//! assert!(matches!(
+//!     ticker.tick(),
+//!     Err(BudgetExceeded::Deadline { .. })
+//! ));
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cooperative-cancellation flag. Cloning shares the flag;
+/// any clone may cancel, and every [`Budget`] holding the token observes
+/// the cancellation at its next check.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+impl PartialEq for CancelToken {
+    /// Tokens compare by identity: two tokens are equal when they share
+    /// the same underlying flag.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+/// Why a budget check failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed. `budget` is the originally
+    /// configured allowance.
+    Deadline {
+        /// The configured wall-clock allowance.
+        budget: Duration,
+    },
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+    /// More nodes were visited than the configured cap allows.
+    NodeCap {
+        /// Nodes visited when the cap check fired.
+        visited: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// A [`failpoint`](crate::failpoint) injected this failure.
+    Injected,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetExceeded::Deadline { budget } => {
+                write!(f, "wall-clock deadline of {budget:?} exceeded")
+            }
+            BudgetExceeded::Cancelled => write!(f, "cancelled"),
+            BudgetExceeded::NodeCap { visited, cap } => {
+                write!(f, "node cap of {cap} exceeded ({visited} visited)")
+            }
+            BudgetExceeded::Injected => write!(f, "failpoint-injected interruption"),
+        }
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// A compute budget: an optional wall-clock deadline, an optional
+/// cancellation token and an optional node cap. The default is
+/// unlimited; every check then short-circuits on one branch.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<(Instant, Duration)>,
+    cancel: Option<CancelToken>,
+    node_cap: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with no limits; [`check`](Self::check) always succeeds.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Returns a budget that additionally expires `allowance` from now.
+    #[must_use]
+    pub fn deadline_in(mut self, allowance: Duration) -> Self {
+        self.deadline = Some((Instant::now() + allowance, allowance));
+        self
+    }
+
+    /// Returns a budget that additionally observes `token`.
+    #[must_use]
+    pub fn cancelled_by(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Returns a budget that additionally caps visited nodes at `cap`
+    /// (enforced by phases that report node counts, e.g. MD compile).
+    #[must_use]
+    pub fn node_cap(mut self, cap: u64) -> Self {
+        self.node_cap = Some(cap);
+        self
+    }
+
+    /// Whether this budget can never fail a check.
+    #[inline]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none() && self.node_cap.is_none()
+    }
+
+    /// The configured node cap, if any.
+    pub fn node_cap_limit(&self) -> Option<u64> {
+        self.node_cap
+    }
+
+    /// Checks the cancellation flag and the deadline (in that order:
+    /// cancellation is the caller's explicit ask, so it wins ties).
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] naming the first limit that was hit.
+    #[inline]
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(BudgetExceeded::Cancelled);
+            }
+        }
+        if let Some((deadline, budget)) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetExceeded::Deadline { budget });
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`check`](Self::check), also enforcing the node cap against
+    /// `visited`.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] naming the first limit that was hit.
+    pub fn check_nodes(&self, visited: u64) -> Result<(), BudgetExceeded> {
+        self.check()?;
+        if let Some(cap) = self.node_cap {
+            if visited > cap {
+                return Err(BudgetExceeded::NodeCap { visited, cap });
+            }
+        }
+        Ok(())
+    }
+
+    /// A per-loop ticker that runs the full check roughly once every
+    /// `every` ticks (rounded up to a power of two), including on the
+    /// very first tick so an already-expired deadline aborts before any
+    /// work. A tick on an unlimited budget is a single branch.
+    pub fn ticker(&self, every: u32) -> Ticker<'_> {
+        Ticker {
+            budget: self,
+            mask: every.max(1).next_power_of_two() - 1,
+            // Wraps to 0 on the first tick, forcing an immediate check.
+            count: u32::MAX,
+            unlimited: self.is_unlimited(),
+        }
+    }
+}
+
+impl PartialEq for Budget {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && self.cancel == other.cancel
+            && self.node_cap == other.node_cap
+    }
+}
+
+/// Amortizes [`Budget::check`] over a loop: cheap counter arithmetic on
+/// most ticks, a real check (which reads the clock) once per period.
+#[derive(Debug)]
+pub struct Ticker<'a> {
+    budget: &'a Budget,
+    mask: u32,
+    count: u32,
+    unlimited: bool,
+}
+
+impl Ticker<'_> {
+    /// Counts one loop iteration; runs the full budget check when the
+    /// period elapses (and on the first tick).
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] from the underlying [`Budget::check`].
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), BudgetExceeded> {
+        if self.unlimited {
+            return Ok(());
+        }
+        self.count = self.count.wrapping_add(1);
+        if self.count & self.mask != 0 {
+            return Ok(());
+        }
+        self.budget.check()
+    }
+
+    /// Like [`tick`](Self::tick), additionally enforcing the node cap
+    /// against `visited` whenever the periodic check runs.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetExceeded`] from the underlying [`Budget::check_nodes`].
+    #[inline]
+    pub fn tick_nodes(&mut self, visited: u64) -> Result<(), BudgetExceeded> {
+        if self.unlimited {
+            return Ok(());
+        }
+        self.count = self.count.wrapping_add(1);
+        if self.count & self.mask != 0 {
+            return Ok(());
+        }
+        self.budget.check_nodes(visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_always_passes() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check().is_ok());
+        assert!(b.check_nodes(u64::MAX).is_ok());
+        let mut t = b.ticker(1);
+        for _ in 0..1000 {
+            assert!(t.tick().is_ok());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_first_tick() {
+        let b = Budget::unlimited().deadline_in(Duration::ZERO);
+        let mut t = b.ticker(1024);
+        assert_eq!(
+            t.tick(),
+            Err(BudgetExceeded::Deadline {
+                budget: Duration::ZERO
+            })
+        );
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let b = Budget::unlimited().deadline_in(Duration::from_secs(3600));
+        assert!(b.check().is_ok());
+    }
+
+    #[test]
+    fn cancellation_is_observed_and_wins_over_deadline() {
+        let token = CancelToken::new();
+        let b = Budget::unlimited()
+            .deadline_in(Duration::ZERO)
+            .cancelled_by(&token);
+        token.cancel();
+        assert_eq!(b.check(), Err(BudgetExceeded::Cancelled));
+    }
+
+    #[test]
+    fn node_cap_enforced_only_via_check_nodes() {
+        let b = Budget::unlimited().node_cap(10);
+        assert!(b.check().is_ok());
+        assert!(b.check_nodes(10).is_ok());
+        assert_eq!(
+            b.check_nodes(11),
+            Err(BudgetExceeded::NodeCap {
+                visited: 11,
+                cap: 10
+            })
+        );
+    }
+
+    #[test]
+    fn ticker_amortizes_clock_reads() {
+        // A deadline in the future: the ticker must not fail, and must
+        // only check periodically — verified indirectly by the mask.
+        let b = Budget::unlimited().deadline_in(Duration::from_secs(3600));
+        let t = b.ticker(100);
+        assert_eq!(t.mask, 127); // rounded up to a power of two
+        let mut t = b.ticker(1);
+        for _ in 0..100 {
+            assert!(t.tick().is_ok());
+        }
+    }
+
+    #[test]
+    fn budget_equality_is_structural_and_token_identity() {
+        let token = CancelToken::new();
+        let a = Budget::unlimited().cancelled_by(&token);
+        let b = Budget::unlimited().cancelled_by(&token);
+        assert_eq!(a, b);
+        assert_ne!(a, Budget::unlimited().cancelled_by(&CancelToken::new()));
+        assert_eq!(Budget::unlimited(), Budget::default());
+    }
+
+    #[test]
+    fn exceeded_messages_name_the_limit() {
+        let d = BudgetExceeded::Deadline {
+            budget: Duration::from_millis(5),
+        };
+        assert!(d.to_string().contains("deadline"));
+        assert!(BudgetExceeded::Cancelled.to_string().contains("cancelled"));
+        let n = BudgetExceeded::NodeCap {
+            visited: 11,
+            cap: 10,
+        };
+        assert!(n.to_string().contains("cap of 10"));
+        assert!(BudgetExceeded::Injected.to_string().contains("failpoint"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Deterministic fault injection, in the style of the `fail` crate but
+//! vendored and zero-dependency.
+//!
+//! Failpoints are named call sites (`solver.iterate`, `md.compile`,
+//! `lump.level`, …) that production code consults via [`hit`]. With no
+//! configuration the whole facility is a single relaxed atomic load —
+//! safe to leave in release builds and hot loops.
+//!
+//! Configuration comes from the `MDL_FAILPOINTS` environment variable
+//! (parsed once, lazily) or programmatically via [`configure`]/[`set`]
+//! for tests:
+//!
+//! ```text
+//! MDL_FAILPOINTS=solver.iterate=nan@100;md.compile=sleep:50ms
+//! ```
+//!
+//! Each entry is `name=action[@hit]`:
+//!
+//! - `nan` — the site receives [`Injection::Nan`] and poisons its value.
+//! - `err` — the site receives [`Injection::Err`] and returns its
+//!   injected-failure error.
+//! - `sleep:DUR` — the calling thread sleeps for `DUR` (`50ms`, `2s`,
+//!   `10us`) inside [`hit`]; the site sees nothing. Used to force
+//!   deadline overruns deterministically.
+//!
+//! With `@hit` the action triggers exactly once, on the `hit`-th call
+//! (1-based) across the process; without it, on every call. Tests that
+//! configure failpoints must hold [`crate::testing::guard`] — the
+//! registry is process-global.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// The environment variable read (once) for failpoint configuration.
+pub const ENV_VAR: &str = "MDL_FAILPOINTS";
+
+/// What a triggered failpoint asks the call site to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Injection {
+    /// Poison the site's value with a NaN.
+    Nan,
+    /// Return the site's injected-failure error.
+    Err,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Action {
+    Nan,
+    Err,
+    Sleep(Duration),
+}
+
+#[derive(Debug)]
+struct Spec {
+    action: Action,
+    /// 1-based hit count at which the action triggers; `None` = always.
+    at: Option<u64>,
+    hits: AtomicU64,
+}
+
+static INITIALIZED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static RwLock<HashMap<String, Arc<Spec>>> {
+    static REGISTRY: OnceLock<RwLock<HashMap<String, Arc<Spec>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Consults the failpoint `name`. The fast path — no failpoints ever
+/// configured, or all cleared — is one relaxed atomic load.
+///
+/// Returns the injection the call site must act on, or `None` (also for
+/// `sleep:` actions, which complete inside this call).
+#[inline]
+pub fn hit(name: &str) -> Option<Injection> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        if INITIALIZED.load(Ordering::Relaxed) {
+            return None;
+        }
+        init_from_env();
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return None;
+        }
+    }
+    hit_slow(name)
+}
+
+#[cold]
+fn hit_slow(name: &str) -> Option<Injection> {
+    let spec = registry().read().ok()?.get(name)?.clone();
+    let count = spec.hits.fetch_add(1, Ordering::SeqCst) + 1;
+    let triggered = match spec.at {
+        Some(at) => count == at,
+        None => true,
+    };
+    if !triggered {
+        return None;
+    }
+    match spec.action {
+        Action::Nan => Some(Injection::Nan),
+        Action::Err => Some(Injection::Err),
+        Action::Sleep(d) => {
+            std::thread::sleep(d);
+            None
+        }
+    }
+}
+
+/// Parses `MDL_FAILPOINTS` if it has not been looked at yet. Called
+/// lazily by [`hit`]; callable eagerly for deterministic startup. Parse
+/// errors in the environment value are reported on stderr and the bad
+/// entry skipped — a typo must not crash production code.
+pub fn init_from_env() {
+    if INITIALIZED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    if let Ok(value) = std::env::var(ENV_VAR) {
+        if !value.trim().is_empty() {
+            if let Err(e) = configure(&value) {
+                eprintln!("{ENV_VAR}: {e}");
+            }
+        }
+    }
+}
+
+/// Installs every `name=action[@hit]` entry from `config` (`;`
+/// separated), replacing any existing entry of the same name, and
+/// activates the facility.
+///
+/// # Errors
+///
+/// A message naming the first malformed entry; entries before it are
+/// already installed.
+pub fn configure(config: &str) -> Result<usize, String> {
+    let mut installed = 0;
+    for entry in config.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (name, spec) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("malformed failpoint entry {entry:?} (want name=action)"))?;
+        set(name.trim(), spec.trim())?;
+        installed += 1;
+    }
+    Ok(installed)
+}
+
+/// Installs one failpoint: `name` with `spec` = `action[@hit]`.
+///
+/// # Errors
+///
+/// A message describing the malformed action or hit count.
+pub fn set(name: &str, spec: &str) -> Result<(), String> {
+    let (action_str, at) = match spec.split_once('@') {
+        None => (spec, None),
+        Some((a, n)) => {
+            let at: u64 = n
+                .parse()
+                .map_err(|_| format!("failpoint {name}: invalid hit count {n:?}"))?;
+            if at == 0 {
+                return Err(format!("failpoint {name}: hit counts are 1-based"));
+            }
+            (a, Some(at))
+        }
+    };
+    let action = match action_str {
+        "nan" => Action::Nan,
+        "err" => Action::Err,
+        other => match other.strip_prefix("sleep:") {
+            Some(dur) => {
+                Action::Sleep(parse_duration(dur).map_err(|e| format!("failpoint {name}: {e}"))?)
+            }
+            None => {
+                return Err(format!(
+                    "failpoint {name}: unknown action {other:?} (want nan|err|sleep:DUR)"
+                ))
+            }
+        },
+    };
+    if let Ok(mut reg) = registry().write() {
+        reg.insert(
+            name.to_string(),
+            Arc::new(Spec {
+                action,
+                at,
+                hits: AtomicU64::new(0),
+            }),
+        );
+    }
+    INITIALIZED.store(true, Ordering::SeqCst);
+    ACTIVE.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Removes every failpoint and restores the no-op fast path.
+pub fn clear() {
+    if let Ok(mut reg) = registry().write() {
+        reg.clear();
+    }
+    INITIALIZED.store(true, Ordering::SeqCst);
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// Whether any failpoint is currently installed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (digits, unit): (&str, &str) = match s.find(|c: char| !c.is_ascii_digit()) {
+        Some(i) => s.split_at(i),
+        None => (s, ""),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("invalid duration {s:?}"))?;
+    match unit {
+        "us" => Ok(Duration::from_micros(n)),
+        "ms" | "" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        _ => Err(format!("invalid duration unit in {s:?} (want us|ms|s)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_hit_is_noop() {
+        let _guard = crate::testing::guard();
+        clear();
+        assert!(!active());
+        assert_eq!(hit("fp.test.unconfigured"), None);
+    }
+
+    #[test]
+    fn nan_at_k_triggers_exactly_once() {
+        let _guard = crate::testing::guard();
+        clear();
+        set("fp.test.nan", "nan@3").unwrap();
+        assert!(active());
+        assert_eq!(hit("fp.test.nan"), None);
+        assert_eq!(hit("fp.test.nan"), None);
+        assert_eq!(hit("fp.test.nan"), Some(Injection::Nan));
+        assert_eq!(hit("fp.test.nan"), None);
+        clear();
+    }
+
+    #[test]
+    fn unconditional_err_triggers_every_hit() {
+        let _guard = crate::testing::guard();
+        clear();
+        set("fp.test.err", "err").unwrap();
+        assert_eq!(hit("fp.test.err"), Some(Injection::Err));
+        assert_eq!(hit("fp.test.err"), Some(Injection::Err));
+        // Other names stay untouched.
+        assert_eq!(hit("fp.test.other"), None);
+        clear();
+    }
+
+    #[test]
+    fn sleep_action_delays_and_returns_none() {
+        let _guard = crate::testing::guard();
+        clear();
+        set("fp.test.sleep", "sleep:10ms").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(hit("fp.test.sleep"), None);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        clear();
+    }
+
+    #[test]
+    fn configure_parses_multiple_entries() {
+        let _guard = crate::testing::guard();
+        clear();
+        let n = configure("fp.test.a=nan@2; fp.test.b=sleep:1ms;").unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(hit("fp.test.a"), None);
+        assert_eq!(hit("fp.test.a"), Some(Injection::Nan));
+        clear();
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _guard = crate::testing::guard();
+        clear();
+        assert!(set("fp.t", "explode").is_err());
+        assert!(set("fp.t", "nan@0").is_err());
+        assert!(set("fp.t", "nan@soon").is_err());
+        assert!(set("fp.t", "sleep:fast").is_err());
+        assert!(set("fp.t", "sleep:5y").is_err());
+        assert!(configure("just-a-name").is_err());
+        clear();
+    }
+
+    #[test]
+    fn durations_parse_with_units() {
+        assert_eq!(parse_duration("50ms").unwrap(), Duration::from_millis(50));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("10us").unwrap(), Duration::from_micros(10));
+        assert_eq!(parse_duration("7").unwrap(), Duration::from_millis(7));
+    }
+}

@@ -22,6 +22,11 @@
 //!   (e.g. one per solver convergence check), emitted only when tracing
 //!   is on.
 //!
+//! Two resilience primitives ride along, sharing the zero-dependency
+//! contract: [`budget`] (wall-clock deadlines, cancellation tokens and
+//! node caps checked cheaply from inner loops) and [`failpoint`]
+//! (deterministic fault injection configured via `MDL_FAILPOINTS`).
+//!
 //! Subscribers ([`add_subscriber`]) receive events; [`PrettySubscriber`]
 //! renders for terminals, [`JsonlSubscriber`] writes one JSON object per
 //! line. [`snapshot`] captures every non-zero metric as a [`Report`].
@@ -55,12 +60,15 @@
 //! mdl_obs::reset();
 //! ```
 
+pub mod budget;
 pub mod event;
+pub mod failpoint;
 pub mod json;
 mod registry;
 mod span;
 mod subscriber;
 
+pub use budget::{Budget, BudgetExceeded, CancelToken, Ticker};
 pub use event::{fmt_nanos, Event, EventKind, Value};
 pub use registry::{Counter, CounterSnapshot, Histogram, HistogramSnapshot, Report};
 pub use span::Span;

@@ -12,7 +12,9 @@
 //! * [`md`] — matrix diagrams: the symbolic matrix representation being lumped;
 //! * [`core`] — the paper's contribution: level-local compositional lumping of MDs;
 //! * [`models`] — a compositional modeling formalism and the paper's tandem
-//!   MSMQ + hypercube example.
+//!   MSMQ + hypercube example;
+//! * [`obs`] — zero-dependency observability: metrics, tracing, compute
+//!   budgets and deterministic fault injection.
 //!
 //! # Quickstart
 //!
@@ -32,5 +34,6 @@ pub use mdl_linalg as linalg;
 pub use mdl_md as md;
 pub use mdl_mdd as mdd;
 pub use mdl_models as models;
+pub use mdl_obs as obs;
 pub use mdl_partition as partition;
 pub use mdl_statelump as statelump;

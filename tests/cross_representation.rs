@@ -104,7 +104,7 @@ fn lumped_chain_measures_match_flat_lumped_measures() {
 
     let symbolic = comp.mrp.expected_stationary_reward(&opts).unwrap();
     let flat_sol = mdlump::ctmc::stationary_power(&flat.rates, &opts).unwrap();
-    let explicit = flat_sol.expected_reward(&flat.reward);
+    let explicit = flat_sol.try_expected_reward(&flat.reward).unwrap();
     assert!((symbolic - explicit).abs() < 1e-8);
 }
 

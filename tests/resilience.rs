@@ -1,0 +1,85 @@
+//! End-to-end resilience: deterministic fault injection and deadlines
+//! driving the fallback ladder on the paper's tandem model.
+
+use std::time::Duration;
+
+use mdlump::core::{compositional_lump, KernelRung, LumpKind, MdResilientOptions};
+use mdlump::ctmc::{AttemptOutcome, SolverOptions, StationaryMethod};
+use mdlump::linalg::vec_ops;
+use mdlump::models::tandem::{TandemConfig, TandemModel};
+use mdlump::obs::Budget;
+
+fn tandem_mrp() -> mdlump::core::MdMrp {
+    let model = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let mrp = model.build_md_mrp().expect("tandem model builds");
+    compositional_lump(&mrp, LumpKind::Ordinary)
+        .expect("tandem model lumps")
+        .mrp
+}
+
+#[test]
+fn faulted_jacobi_falls_back_to_power_and_matches_unfaulted_run() {
+    let _g = mdlump::obs::testing::guard();
+    mdlump::obs::failpoint::clear();
+    let mrp = tandem_mrp();
+    let options = MdResilientOptions {
+        options: SolverOptions {
+            tolerance: 1e-13,
+            ..SolverOptions::default()
+        },
+        ..MdResilientOptions::default()
+    };
+
+    // Unfaulted reference: the first rung (Jacobi on the compiled
+    // kernel) converges.
+    let (reference, clean_report) = mrp.solve_resilient(&options);
+    let reference = reference.expect("clean solve converges");
+    assert_eq!(clean_report.attempts.len(), 1);
+
+    // Poison the first Jacobi iterate: the divergence guard catches the
+    // NaN, the ladder falls back to power, and the answer matches the
+    // unfaulted run.
+    mdlump::obs::failpoint::set("solver.iterate", "nan@1").unwrap();
+    let (result, report) = mrp.solve_resilient(&options);
+    mdlump::obs::failpoint::clear();
+
+    let sol = result.expect("fallback run converges");
+    assert_eq!(report.attempts.len(), 2, "{}", report.render());
+    assert_eq!(report.attempts[0].method, "jacobi");
+    assert_eq!(report.attempts[0].outcome, AttemptOutcome::Diverged);
+    assert_eq!(report.attempts[1].method, "power");
+    assert_eq!(report.attempts[1].outcome, AttemptOutcome::Converged);
+    assert!(report.converged());
+    assert!(
+        vec_ops::max_abs_diff(&sol.probabilities, &reference.probabilities) < 1e-10,
+        "fallback answer drifted from the unfaulted run"
+    );
+}
+
+#[test]
+fn expired_deadline_interrupts_every_rung() {
+    let _g = mdlump::obs::testing::guard();
+    let mrp = tandem_mrp();
+    let options = MdResilientOptions {
+        ladder: vec![
+            (StationaryMethod::Jacobi, KernelRung::Compiled),
+            (StationaryMethod::Power, KernelRung::Walk),
+            (StationaryMethod::Power, KernelRung::FlatCsr),
+        ],
+        options: SolverOptions {
+            budget: Budget::unlimited().deadline_in(Duration::ZERO),
+            ..SolverOptions::default()
+        },
+        ..MdResilientOptions::default()
+    };
+    let (result, report) = mrp.solve_resilient(&options);
+    assert!(result.is_err());
+    assert!(!report.converged());
+    assert_eq!(report.attempts.len(), 3, "{}", report.render());
+    for attempt in &report.attempts {
+        assert_eq!(attempt.outcome, AttemptOutcome::Interrupted, "{attempt:?}");
+    }
+}
