@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mdl_core::{compositional_lump, compositional_lump_with, LumpKind, LumpOptions};
+use mdl_core::{LumpKind, LumpRequest};
 use mdl_models::shared_repair::{SharedRepairConfig, SharedRepairModel};
 use mdl_models::tandem::{TandemConfig, TandemModel};
 
@@ -18,49 +18,38 @@ fn bench_lumping(c: &mut Criterion) {
     });
     let mrp = tandem.build_md_mrp().expect("tandem builds");
     group.bench_function("tandem_j1_ordinary", |b| {
-        b.iter(|| compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps"))
+        b.iter(|| {
+            LumpRequest::new(LumpKind::Ordinary)
+                .run(&mrp)
+                .expect("lumps")
+        })
     });
     group.bench_function("tandem_j1_ordinary_per_node", |b| {
         b.iter(|| {
-            compositional_lump_with(
-                &mrp,
-                LumpKind::Ordinary,
-                &LumpOptions {
-                    per_node_fixed_point: true,
-                    ..Default::default()
-                },
-            )
-            .expect("lumps")
+            LumpRequest::new(LumpKind::Ordinary)
+                .per_node_fixed_point(true)
+                .run(&mrp)
+                .expect("lumps")
         })
     });
     group.bench_function("tandem_j1_ordinary_quasi_reduce", |b| {
         b.iter(|| {
-            compositional_lump_with(
-                &mrp,
-                LumpKind::Ordinary,
-                &LumpOptions {
-                    quasi_reduce: true,
-                    ..Default::default()
-                },
-            )
-            .expect("lumps")
+            LumpRequest::new(LumpKind::Ordinary)
+                .quasi_reduce(true)
+                .run(&mrp)
+                .expect("lumps")
         })
     });
     group.bench_function("tandem_j1_ordinary_canonicalize", |b| {
         b.iter(|| {
-            compositional_lump_with(
-                &mrp,
-                LumpKind::Ordinary,
-                &LumpOptions {
-                    canonicalize: true,
-                    ..Default::default()
-                },
-            )
-            .expect("lumps")
+            LumpRequest::new(LumpKind::Ordinary)
+                .canonicalize(true)
+                .run(&mrp)
+                .expect("lumps")
         })
     });
     group.bench_function("tandem_j1_exact", |b| {
-        b.iter(|| compositional_lump(&mrp, LumpKind::Exact).expect("lumps"))
+        b.iter(|| LumpRequest::new(LumpKind::Exact).run(&mrp).expect("lumps"))
     });
 
     // Overhead of the observability layer: the same lump with metrics
@@ -69,7 +58,11 @@ fn bench_lumping(c: &mut Criterion) {
     // disabled no-op path must not regress it.
     group.bench_function("tandem_j1_ordinary_obs_enabled", |b| {
         mdl_obs::set_enabled(true);
-        b.iter(|| compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps"));
+        b.iter(|| {
+            LumpRequest::new(LumpKind::Ordinary)
+                .run(&mrp)
+                .expect("lumps")
+        });
         mdl_obs::set_enabled(false);
         mdl_obs::reset();
     });
@@ -80,7 +73,11 @@ fn bench_lumping(c: &mut Criterion) {
     });
     let repair_mrp = repair.build_md_mrp().expect("repair builds");
     group.bench_function("shared_repair_m10_ordinary", |b| {
-        b.iter(|| compositional_lump(&repair_mrp, LumpKind::Ordinary).expect("lumps"))
+        b.iter(|| {
+            LumpRequest::new(LumpKind::Ordinary)
+                .run(&repair_mrp)
+                .expect("lumps")
+        })
     });
 
     group.finish();

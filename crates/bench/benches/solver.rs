@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mdl_core::{compositional_lump, LumpKind};
+use mdl_core::{LumpKind, LumpRequest};
 use mdl_ctmc::SolverOptions;
 use mdl_linalg::RateMatrix;
 use mdl_models::tandem::{TandemConfig, TandemModel};
@@ -18,7 +18,9 @@ fn bench_solver(c: &mut Criterion) {
         ..TandemConfig::default()
     });
     let mrp = tandem.build_md_mrp().expect("tandem builds");
-    let lumped = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let lumped = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
 
     let n_full = mrp.num_states();
     let x_full = vec![1.0 / n_full as f64; n_full];

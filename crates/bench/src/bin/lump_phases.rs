@@ -1,0 +1,146 @@
+//! Thread-scaling of the parallel lumping engine's two hot phases.
+//!
+//! The multi-threaded lumping engine (DESIGN.md §12) parallelizes the
+//! formal-sum **key** computations and evaluates per-level **refinement**
+//! with block-owned output ranges, so results are bit-identical to the
+//! serial engine at any worker count. This binary runs
+//! `LumpRequest::new(..).threads(t)` on the tandem model for
+//! `t ∈ {1, 2, 4}`, splits the wall clock into the keys and refine
+//! phases from the `mdl-obs` span histograms (`lump.keys.serial`,
+//! `lump.keys.parallel`, `lump.level`), verifies that every thread count
+//! reproduces the same lumped sizes, and emits one JSONL row per
+//! `(threads, phase)` pair.
+//!
+//! Run with `cargo run -p mdl-bench --release --bin lump_phases
+//! [--smoke | J]`.
+//! `--smoke` runs `J = 1` only and exits nonzero unless keys-phase rows
+//! were recorded at every thread count — the CI contract check.
+//!
+//! Row fields: `type="lump_phases"`, `model`, `jobs`, `kind`, `threads`,
+//! `phase` (`"keys"` or `"refine"`), `ns` (phase time, summed over
+//! spans), `spans`, `total_ns` (whole lump), `lumped_states`. The refine
+//! rows time whole per-level refinements, so they *include* the keys
+//! time. On a single-core container the timings are still emitted —
+//! speedups are environment-dependent and never asserted.
+
+use std::time::Instant;
+
+use mdl_bench::{duration_ns, emit_jsonl};
+use mdl_core::{LumpKind, LumpRequest};
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_obs::json::JsonObject;
+
+struct Config {
+    jobs: usize,
+    threads: Vec<usize>,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return Config {
+            jobs: 1,
+            threads: vec![1, 2, 4],
+            smoke: true,
+        };
+    }
+    let jobs = args.iter().find_map(|a| a.parse().ok()).unwrap_or(3);
+    Config {
+        jobs,
+        threads: vec![1, 2, 4],
+        smoke: false,
+    }
+}
+
+/// Sum and count of one span histogram in the current obs snapshot.
+fn histogram_ns(report: &mdl_obs::Report, name: &str) -> (u64, u64) {
+    report
+        .histograms
+        .iter()
+        .find(|h| h.name == name)
+        .map_or((0, 0), |h| (h.sum, h.count))
+}
+
+fn main() {
+    let cfg = config();
+    println!("parallel lumping engine: keys/refine phase times by thread count");
+    let model = TandemModel::new(TandemConfig {
+        jobs: cfg.jobs,
+        ..TandemConfig::default()
+    });
+    let mrp = model
+        .build_md_mrp_with_reward(TandemReward::Availability)
+        .expect("tandem model builds");
+
+    println!(
+        "{:>7} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "threads", "states", "keys", "refine", "total", "lumped"
+    );
+    let mut lines = Vec::new();
+    let mut lumped_sizes: Vec<u64> = Vec::new();
+    let mut keys_rows_ok = true;
+    for &t in &cfg.threads {
+        mdl_obs::set_enabled(true);
+        mdl_obs::reset();
+        let t0 = Instant::now();
+        let result = LumpRequest::new(LumpKind::Ordinary)
+            .threads(t)
+            .run(&mrp)
+            .expect("tandem model lumps");
+        let total = t0.elapsed();
+        let report = mdl_obs::snapshot();
+        mdl_obs::set_enabled(false);
+
+        let (serial_ns, serial_spans) = histogram_ns(&report, "lump.keys.serial");
+        let (par_ns, par_spans) = histogram_ns(&report, "lump.keys.parallel");
+        let keys_ns = serial_ns + par_ns;
+        let keys_spans = serial_spans + par_spans;
+        let (refine_ns, refine_spans) = histogram_ns(&report, "lump.level");
+        lumped_sizes.push(result.stats.lumped_states);
+        keys_rows_ok &= keys_spans > 0;
+
+        println!(
+            "{:>7} {:>10} {:>12} {:>12} {:>12} {:>8}",
+            t,
+            mrp.matrix().reach().count(),
+            format!("{:.2?}", std::time::Duration::from_nanos(keys_ns)),
+            format!("{:.2?}", std::time::Duration::from_nanos(refine_ns)),
+            format!("{total:.2?}"),
+            result.stats.lumped_states,
+        );
+
+        for (phase, ns, spans) in [
+            ("keys", keys_ns, keys_spans),
+            ("refine", refine_ns, refine_spans),
+        ] {
+            let mut obj = JsonObject::new();
+            obj.str("type", "lump_phases")
+                .str("model", "tandem")
+                .u64("jobs", cfg.jobs as u64)
+                .str("kind", "ordinary")
+                .u64("threads", t as u64)
+                .str("phase", phase)
+                .u64("ns", ns)
+                .u64("spans", spans)
+                .u64("parallel_spans", par_spans)
+                .u64("total_ns", duration_ns(total))
+                .u64("lumped_states", result.stats.lumped_states);
+            lines.push(obj.close());
+        }
+    }
+    emit_jsonl(&lines);
+
+    let all_equal = lumped_sizes.windows(2).all(|w| w[0] == w[1]);
+    if !all_equal {
+        eprintln!("FAIL: lumped sizes differ across thread counts: {lumped_sizes:?}");
+        std::process::exit(1);
+    }
+    if !keys_rows_ok {
+        eprintln!("FAIL: a thread count recorded no keys-phase spans");
+        std::process::exit(1);
+    }
+    if cfg.smoke {
+        println!("smoke OK: keys-phase rows recorded at every thread count, lumped sizes agree");
+    }
+}

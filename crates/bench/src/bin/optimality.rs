@@ -41,6 +41,7 @@ fn main() {
     };
     let options = LumpOptions {
         tolerance: Tolerance::default(),
+        ..Default::default()
     };
 
     println!("Optimality of compositional lumping on the tandem model");

@@ -6,7 +6,7 @@
 //! Run with `cargo run -p mdl-bench --release --bin scaling`.
 
 use mdl_bench::{duration_ns, emit_jsonl, json_usize_array};
-use mdl_core::{compositional_lump, LumpKind};
+use mdl_core::{LumpKind, LumpRequest};
 use mdl_models::multi_bank::{MultiBankConfig, MultiBankModel};
 use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
 use mdl_obs::json::JsonObject;
@@ -44,7 +44,9 @@ fn run(label: &str, config: TandemConfig) -> Option<String> {
     };
     let gen = t0.elapsed();
     let t1 = std::time::Instant::now();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lump");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lump");
     let lump = t1.elapsed();
     println!(
         "{label:<24} states {:>10} -> {:>8}  (x{:>6.1})  gen {:>9} lump {:>9}  nodes {:?}",
@@ -129,7 +131,9 @@ fn main() {
         let mrp = model.build_md_mrp().expect("build");
         let gen = t0.elapsed();
         let t1 = std::time::Instant::now();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lump");
+        let result = LumpRequest::new(LumpKind::Ordinary)
+            .run(&mrp)
+            .expect("lump");
         let lump = t1.elapsed();
         println!(
             "G = {banks} ({} levels)      states {:>10} -> {:>8}  (x{:>6.1})  gen {:>9} lump {:>9}",

@@ -20,7 +20,7 @@
 
 use std::time::{Duration, Instant};
 
-use mdl_core::{compositional_lump, LumpKind, LumpResult, MdMrp};
+use mdl_core::{LumpKind, LumpRequest, LumpResult, MdMrp};
 use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
 use mdl_obs::json::JsonObject;
 
@@ -71,7 +71,9 @@ pub fn tandem_row(jobs: usize, reward: TandemReward) -> (TandemRow, MdMrp, LumpR
     let generation = t0.elapsed();
 
     let t1 = Instant::now();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("tandem model lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("tandem model lumps");
     let lumping = t1.elapsed();
 
     let row = TandemRow {

@@ -5,8 +5,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use mdl_core::{
-    compositional_lump_budgeted, compositional_lump_iterated_budgeted, KernelOptions, KernelRung,
-    LumpKind, LumpOptions, LumpResult, MdMrp, MdResilientOptions,
+    KernelOptions, LumpKind, LumpRequest, LumpResult, MdMrp, SolveOutcome, SolveRequest,
 };
 use mdl_ctmc::{RunReport, SolverOptions, TransientOptions};
 use mdl_obs::Budget;
@@ -87,15 +86,14 @@ fn run_lump(
     kind: LumpKind,
     iterate: bool,
     budget: &Budget,
-) -> Result<(LumpResult, usize), CliError> {
-    let options = LumpOptions::default();
-    if iterate {
-        compositional_lump_iterated_budgeted(mrp, kind, &options, budget).map_err(CliError::from)
-    } else {
-        compositional_lump_budgeted(mrp, kind, &options, budget)
-            .map(|r| (r, 1))
-            .map_err(CliError::from)
-    }
+    threads: usize,
+) -> Result<LumpResult, CliError> {
+    LumpRequest::new(kind)
+        .threads(threads)
+        .budget(budget.clone())
+        .iterate(iterate)
+        .run(mrp)
+        .map_err(CliError::from)
 }
 
 /// `lump`: run compositional lumping and report the reduction.
@@ -109,9 +107,11 @@ pub fn lump(
     kind: LumpKind,
     iterate: bool,
     deadline: Option<Duration>,
+    threads: usize,
 ) -> Result<String, CliError> {
     let mrp = parsed.build().map_err(|e| e.to_string())?;
-    let (result, rounds) = run_lump(&mrp, kind, iterate, &budget_for(deadline))?;
+    let result = run_lump(&mrp, kind, iterate, &budget_for(deadline), threads)?;
+    let rounds = result.stats.rounds;
     let mut out = String::new();
     writeln!(
         out,
@@ -142,6 +142,35 @@ pub fn lump(
     Ok(out)
 }
 
+/// The [`SolveRequest`] for `measure` with the shared CLI options
+/// applied (fallback still off — callers enable it when asked to).
+fn request_for(
+    measure: Measure,
+    sopts: &SolverOptions,
+    topts: &TransientOptions,
+    kernel: &KernelOptions,
+) -> SolveRequest {
+    let request = match measure {
+        Measure::Stationary => SolveRequest::stationary(),
+        Measure::Transient(t) => SolveRequest::transient(t),
+        Measure::Accumulated(t) => SolveRequest::accumulated_reward(t),
+    };
+    request
+        .solver_options(sopts.clone())
+        .transient_options(topts.clone())
+        .kernel(kernel.kind)
+        .threads(kernel.threads)
+}
+
+/// The expected reward a solve outcome denotes: the scalar itself, or
+/// the distribution dotted with `mrp`'s reward vector.
+fn expected_reward(mrp: &MdMrp, outcome: SolveOutcome) -> Result<f64, CliError> {
+    match outcome {
+        SolveOutcome::Distribution(sol) => Ok(sol.try_expected_reward(&mrp.reward_vector())?),
+        SolveOutcome::Value(v) => Ok(v),
+    }
+}
+
 /// Solves one measure directly on a single kernel/method configuration
 /// (no fallback ladder). Used for the lumped chain and the cross-check.
 fn solve_direct(
@@ -152,27 +181,26 @@ fn solve_direct(
     topts: &TransientOptions,
     kernel: &KernelOptions,
 ) -> Result<f64, CliError> {
-    let value = match exact {
-        None => match measure {
-            Measure::Stationary => mrp.expected_stationary_reward_with(sopts, kernel)?,
-            Measure::Transient(t) => mrp.expected_transient_reward_with(t, topts, kernel)?,
-            Measure::Accumulated(t) => mrp.expected_accumulated_reward_with(t, topts, kernel)?,
-        },
+    match exact {
+        None => {
+            let (outcome, _) = request_for(measure, sopts, topts, kernel).run(mrp);
+            expected_reward(mrp, outcome?)
+        }
         Some(result) => {
             let measures = result.exact_measures().expect("exact lump has exit rates");
-            match measure {
+            let value = match measure {
                 Measure::Stationary => measures.expected_stationary_reward(sopts)?,
                 Measure::Transient(t) => measures.expected_transient_reward(t, topts)?,
                 Measure::Accumulated(t) => measures.expected_accumulated_reward(t, topts)?,
-            }
+            };
+            Ok(value)
         }
-    };
-    Ok(value)
+    }
 }
 
-/// Solves the lumped chain through the resilient fallback ladder where
-/// one exists (ordinary stationary/transient measures); other
-/// configurations solve directly and report no attempts.
+/// Solves the lumped chain through the resilient fallback ladder.
+/// Exact lumps solve through their embedded measures instead (the exact
+/// path has no ladder) and report no attempts.
 fn solve_with_fallback(
     result: &LumpResult,
     kind: LumpKind,
@@ -181,33 +209,15 @@ fn solve_with_fallback(
     topts: &TransientOptions,
     kernel: &KernelOptions,
 ) -> Result<(f64, Option<RunReport>), CliError> {
-    const KERNEL_LADDER: [KernelRung; 3] =
-        [KernelRung::Compiled, KernelRung::Walk, KernelRung::FlatCsr];
-    match (kind, measure) {
-        (LumpKind::Ordinary, Measure::Stationary) => {
-            let ropts = MdResilientOptions {
-                options: sopts.clone(),
-                threads: kernel.threads,
-                ..MdResilientOptions::default()
-            };
-            let (sol, report) = result.mrp.solve_resilient(&ropts);
-            let value = sol?.try_expected_reward(&result.mrp.reward_vector())?;
-            Ok((value, Some(report)))
-        }
-        (LumpKind::Ordinary, Measure::Transient(t)) => {
-            let (sol, report) =
-                result
-                    .mrp
-                    .transient_resilient(t, topts, &KERNEL_LADDER, kernel.threads);
-            let value = sol?.try_expected_reward(&result.mrp.reward_vector())?;
-            Ok((value, Some(report)))
-        }
-        _ => {
-            let exact = (kind == LumpKind::Exact).then_some(result);
-            let value = solve_direct(&result.mrp, exact, measure, sopts, topts, kernel)?;
-            Ok((value, None))
-        }
+    if kind == LumpKind::Exact {
+        let value = solve_direct(&result.mrp, Some(result), measure, sopts, topts, kernel)?;
+        return Ok((value, None));
     }
+    let (outcome, report) = request_for(measure, sopts, topts, kernel)
+        .fallback(true)
+        .run(&result.mrp);
+    let value = expected_reward(&result.mrp, outcome?)?;
+    Ok((value, Some(report)))
 }
 
 /// `solve`: lump, solve the lumped chain, report the measure (with a
@@ -232,7 +242,7 @@ pub fn solve(
 ) -> Result<String, CliError> {
     let mrp = parsed.build().map_err(|e| e.to_string())?;
     let budget = resilience.budget();
-    let (result, _) = run_lump(&mrp, kind, false, &budget)?;
+    let result = run_lump(&mrp, kind, false, &budget, kernel.threads)?;
     let mut out = String::new();
     writeln!(
         out,
@@ -312,7 +322,7 @@ pub fn simulate(
     )?;
 
     let mrp = parsed.build().map_err(|e| e.to_string())?;
-    let (result, _) = run_lump(&mrp, LumpKind::Ordinary, false, &budget)?;
+    let result = run_lump(&mrp, LumpKind::Ordinary, false, &budget, 0)?;
     let numerical = result.mrp.expected_stationary_reward(&SolverOptions {
         budget,
         ..SolverOptions::default()
@@ -394,7 +404,7 @@ reward sum
     #[test]
     fn lump_finds_worker_bit_symmetry() {
         let parsed = parse_model(MODEL).unwrap();
-        let out = lump(&parsed, LumpKind::Ordinary, false, None).unwrap();
+        let out = lump(&parsed, LumpKind::Ordinary, false, None, 0).unwrap();
         // The 8 worker bitmask states lump to 4 counts: 2×8 -> 2×4.
         assert!(out.contains("16 -> 8 states"), "{out}");
     }
@@ -485,8 +495,8 @@ reward sum
         };
         assert_eq!(measure_line(&direct), measure_line(&resilient));
 
-        // Measures without a ladder still solve, and say so when asked
-        // for a report.
+        // The accumulated measure rides the kernel-rung ladder too and
+        // reports its (synthesized) attempt log.
         let accumulated = solve(
             &parsed,
             LumpKind::Ordinary,
@@ -500,7 +510,8 @@ reward sum
             },
         )
         .unwrap();
-        assert!(accumulated.contains("solved directly"), "{accumulated}");
+        assert!(accumulated.contains("solve attempts:"), "{accumulated}");
+        assert!(accumulated.contains("uniformization"), "{accumulated}");
     }
 
     #[test]
@@ -523,7 +534,7 @@ reward sum
         assert_eq!(err.exit_code(), crate::error::EXIT_INTERRUPTED);
         assert!(err.to_string().contains("interrupted"), "{err}");
 
-        let err = lump(&parsed, LumpKind::Ordinary, true, Some(Duration::ZERO)).unwrap_err();
+        let err = lump(&parsed, LumpKind::Ordinary, true, Some(Duration::ZERO), 1).unwrap_err();
         assert!(matches!(err, CliError::Interrupted(_)), "{err:?}");
     }
 

@@ -81,8 +81,67 @@ pub fn parse_kernel_flags(flags: &[String]) -> Result<mdl_core::KernelOptions, S
             ))
         }
     };
-    let threads = flag_u64(flags, "--threads")?.unwrap_or(0) as usize;
+    let threads = flag_threads(flags)?.unwrap_or(0);
     Ok(KernelOptions { kind, threads })
+}
+
+/// Parses `--threads N`, requiring `N >= 1`: an explicit `--threads 0`
+/// is rejected rather than silently meaning "auto" (omit the flag for
+/// one worker per hardware thread).
+///
+/// # Errors
+///
+/// Explicit messages for a missing, non-integer or zero value.
+pub fn flag_threads(flags: &[String]) -> Result<Option<usize>, String> {
+    match flag_u64(flags, "--threads")? {
+        Some(0) => Err(
+            "--threads: must be at least 1 (omit the flag for one worker per hardware thread)"
+                .into(),
+        ),
+        other => Ok(other.map(|n| n as usize)),
+    }
+}
+
+/// Parses the value of `flag` as a count that must be at least 1
+/// (`--reps 0` would silently do nothing — reject it instead).
+///
+/// # Errors
+///
+/// Explicit messages for a missing, non-integer or zero value.
+pub fn flag_count(flags: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match flag_u64(flags, flag)? {
+        Some(0) => Err(format!("{flag}: must be at least 1, got 0")),
+        other => Ok(other),
+    }
+}
+
+/// Parses the value of `flag` as a non-negative finite `f64` — time
+/// points like `--transient T` and `--accumulated T` have no meaning
+/// before 0.
+///
+/// # Errors
+///
+/// Explicit messages for a missing, non-numeric, non-finite or negative
+/// value.
+pub fn flag_f64_nonneg(flags: &[String], flag: &str) -> Result<Option<f64>, String> {
+    match flag_f64(flags, flag)? {
+        Some(x) if x < 0.0 => Err(format!("{flag}: must be non-negative, got {x}")),
+        other => Ok(other),
+    }
+}
+
+/// Parses the value of `flag` as a strictly positive finite `f64` — a
+/// `--horizon 0` simulation observes nothing.
+///
+/// # Errors
+///
+/// Explicit messages for a missing, non-numeric, non-finite, zero or
+/// negative value.
+pub fn flag_f64_positive(flags: &[String], flag: &str) -> Result<Option<f64>, String> {
+    match flag_f64(flags, flag)? {
+        Some(x) if x <= 0.0 => Err(format!("{flag}: must be positive, got {x}")),
+        other => Ok(other),
+    }
 }
 
 /// The value following `flag`, if present. A missing value — end of the
@@ -263,10 +322,67 @@ mod tests {
     }
 
     #[test]
-    fn negative_values_accepted_for_f64() {
-        // `-1` is a value, not a flag: only `--`-prefixed tokens are.
+    fn negative_values_parse_but_time_points_reject_them() {
+        // `-1` is a value, not a flag: only `--`-prefixed tokens are. The
+        // generic parser accepts it; the time-point wrapper rejects it
+        // with an explicit message.
         let flags = args(&["--transient", "-1"]);
         assert_eq!(flag_f64(&flags, "--transient").unwrap(), Some(-1.0));
+        let e = flag_f64_nonneg(&flags, "--transient").unwrap_err();
+        assert!(e.contains("non-negative"), "{e}");
+    }
+
+    #[test]
+    fn zero_threads_is_explicit_error() {
+        let e = parse_kernel_flags(&args(&["--threads", "0"])).unwrap_err();
+        assert!(e.contains("--threads") && e.contains("at least 1"), "{e}");
+        let e = flag_threads(&args(&["--threads", "0"])).unwrap_err();
+        assert!(e.contains("hardware thread"), "{e}");
+        // Absent stays "auto"; explicit positive counts pass through.
+        assert_eq!(flag_threads(&args(&[])).unwrap(), None);
+        assert_eq!(flag_threads(&args(&["--threads", "4"])).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn zero_reps_is_explicit_error() {
+        let e = flag_count(&args(&["--reps", "0"]), "--reps").unwrap_err();
+        assert!(e.contains("--reps") && e.contains("at least 1"), "{e}");
+        assert_eq!(
+            flag_count(&args(&["--reps", "30"]), "--reps").unwrap(),
+            Some(30)
+        );
+        assert_eq!(flag_count(&args(&[]), "--reps").unwrap(), None);
+    }
+
+    #[test]
+    fn nonpositive_horizon_is_explicit_error() {
+        let e = flag_f64_positive(&args(&["--horizon", "0"]), "--horizon").unwrap_err();
+        assert!(e.contains("--horizon") && e.contains("positive"), "{e}");
+        let e = flag_f64_positive(&args(&["--horizon", "-2.5"]), "--horizon").unwrap_err();
+        assert!(e.contains("positive"), "{e}");
+        assert_eq!(
+            flag_f64_positive(&args(&["--horizon", "50"]), "--horizon").unwrap(),
+            Some(50.0)
+        );
+    }
+
+    #[test]
+    fn negative_time_points_are_explicit_errors() {
+        for flag in ["--transient", "--accumulated"] {
+            let e = flag_f64_nonneg(&args(&[flag, "-0.5"]), flag).unwrap_err();
+            assert!(e.contains(flag) && e.contains("non-negative"), "{e}");
+            // Zero is a legal time point (the initial distribution).
+            assert_eq!(
+                flag_f64_nonneg(&args(&[flag, "0"]), flag).unwrap(),
+                Some(0.0)
+            );
+        }
+        // A zero deadline stays legal: it means "interrupt immediately",
+        // which the resilience tests rely on.
+        assert_eq!(
+            flag_duration(&args(&["--deadline", "0"]), "--deadline").unwrap(),
+            Some(std::time::Duration::ZERO)
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! mdlump-cli info     <model-file>
-//! mdlump-cli lump     <model-file> [--exact] [--iterate] [--deadline DUR]
+//! mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]
+//!                     [--deadline DUR]
 //! mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]
 //!                     [--kernel walk|compiled] [--threads N]
 //!                     [--deadline DUR] [--fallback] [--report]
@@ -30,7 +31,7 @@ use mdl_core::LumpKind;
 use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--deadline DUR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads for compiled products\n                          (default 0 = one per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
 }
 
@@ -117,11 +118,12 @@ fn run() -> Result<String, CliError> {
         "lump" => {
             let iterate = flag_args.iter().any(|f| f == "--iterate");
             let deadline = flags::flag_duration(flag_args, "--deadline")?;
-            commands::lump(&parsed, kind, iterate, deadline)
+            let threads = flags::flag_threads(flag_args)?.unwrap_or(0);
+            commands::lump(&parsed, kind, iterate, deadline, threads)
         }
         "solve" => {
-            let transient = flags::flag_f64(flag_args, "--transient")?;
-            let accumulated = flags::flag_f64(flag_args, "--accumulated")?;
+            let transient = flags::flag_f64_nonneg(flag_args, "--transient")?;
+            let accumulated = flags::flag_f64_nonneg(flag_args, "--accumulated")?;
             let measure = match (transient, accumulated) {
                 (Some(_), Some(_)) => {
                     return Err(CliError::Failed(
@@ -137,8 +139,8 @@ fn run() -> Result<String, CliError> {
             commands::solve(&parsed, kind, measure, 200_000, &kernel, &resilience)
         }
         "simulate" => {
-            let horizon = flags::flag_f64(flag_args, "--horizon")?.unwrap_or(100.0);
-            let reps = flags::flag_u64(flag_args, "--reps")?.unwrap_or(50) as usize;
+            let horizon = flags::flag_f64_positive(flag_args, "--horizon")?.unwrap_or(100.0);
+            let reps = flags::flag_count(flag_args, "--reps")?.unwrap_or(50) as usize;
             let seed = flags::flag_u64(flag_args, "--seed")?.unwrap_or(0x5EED);
             let deadline = flags::flag_duration(flag_args, "--deadline")?;
             commands::simulate(&parsed, horizon, reps, seed, deadline)

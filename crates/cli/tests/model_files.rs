@@ -5,7 +5,7 @@ use std::path::PathBuf;
 
 use mdl_cli::commands::{self, Measure};
 use mdl_cli::parse_model;
-use mdl_core::{compositional_lump, KernelOptions, LumpKind};
+use mdl_core::{KernelOptions, LumpKind, LumpRequest};
 
 fn load(name: &str) -> mdl_cli::ParsedModel {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -21,7 +21,9 @@ fn worker_pool_lumps_as_documented() {
     let parsed = load("worker_pool.mdl");
     let mrp = parsed.build().expect("builds");
     assert_eq!(mrp.num_states(), 16);
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     // The 2^3 worker bitmask collapses to 4 busy-counts: 16 -> 8.
     assert_eq!(result.stats.lumped_states, 8);
     assert_eq!(result.partitions[1].num_classes(), 4);
@@ -51,7 +53,7 @@ fn ring_collapses_fully_under_exact_lumping() {
     let parsed = load("ring.mdl");
     let mrp = parsed.build().expect("builds");
     assert_eq!(mrp.num_states(), 18);
-    let result = compositional_lump(&mrp, LumpKind::Exact).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Exact).run(&mrp).expect("lumps");
     assert_eq!(result.partitions[1].num_classes(), 1);
     assert_eq!(result.stats.lumped_states, 3);
 
@@ -76,7 +78,9 @@ fn ring_ordinary_lumping_respects_the_reward() {
     // positions in indicator-compatible classes only.
     let parsed = load("ring.mdl");
     let mrp = parsed.build().expect("builds");
-    let ordinary = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let ordinary = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     let p = &ordinary.partitions[1];
     assert!(p.num_classes() > 1, "reward must block the full collapse");
     for c in 0..p.num_classes() {

@@ -10,7 +10,7 @@
 //! diagonal uses the original exit rates `R(s, S)`, which Theorem 1(b)
 //! guarantees are constant per class.
 //!
-//! [`compositional_lump`](crate::compositional_lump) therefore records, for
+//! [`LumpRequest`](crate::LumpRequest) runs therefore record, for
 //! exact lumps, the representative exit rates alongside the quotient MD,
 //! and this module exposes the measure computations that use them:
 //!
@@ -164,7 +164,7 @@ impl<'a> ExactMeasures<'a> {
 #[cfg(test)]
 mod tests {
     use crate::decomp::DecomposableVector;
-    use crate::lump::{compositional_lump, LumpKind};
+    use crate::lump::{LumpKind, LumpRequest};
     use crate::mrp::MdMrp;
     use mdl_ctmc::{SolverOptions, TransientOptions};
     use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn class_sizes_sum_to_original() {
         let mrp = fixture();
-        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let result = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
         let m = result.exact_measures().unwrap();
         assert_eq!(m.class_sizes().iter().sum::<u64>(), 6);
     }
@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn stationary_aggregated_is_a_distribution() {
         let mrp = fixture();
-        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let result = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
         let m = result.exact_measures().unwrap();
         let agg = m.stationary_aggregated(&SolverOptions::default()).unwrap();
         let sum: f64 = agg.iter().sum();
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn transient_aggregated_is_a_distribution_at_all_times() {
         let mrp = fixture();
-        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let result = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
         let m = result.exact_measures().unwrap();
         for &t in &[0.0, 0.3, 2.0] {
             let agg = m
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn constant_reward_gives_unit_measures() {
         let mrp = fixture();
-        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let result = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
         let m = result.exact_measures().unwrap();
         let stat = m
             .expected_stationary_reward(&SolverOptions::default())

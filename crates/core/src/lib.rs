@@ -3,7 +3,7 @@
 //! Representations of Markov Models”, DSN 2005*.
 //!
 //! Given a Markov reward process whose state-transition rate matrix is a
-//! matrix diagram ([`MdMrp`]), [`compositional_lump`] computes, **per level
+//! matrix diagram ([`MdMrp`]), a [`LumpRequest`] run computes, **per level
 //! of the MD**, the coarsest partition of the level's local state space
 //! satisfying the paper's *local* lumpability conditions (Definition 3):
 //!
@@ -31,7 +31,7 @@
 //! # Example
 //!
 //! ```
-//! use mdl_core::{compositional_lump, Combiner, DecomposableVector, LumpKind, MdMrp};
+//! use mdl_core::{Combiner, DecomposableVector, LumpKind, LumpRequest, MdMrp};
 //! use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
 //! use mdl_mdd::Mdd;
 //!
@@ -56,7 +56,7 @@
 //! let initial = DecomposableVector::uniform(&[2, 3], 6)?;
 //! let mrp = MdMrp::new(matrix, reward, initial)?;
 //!
-//! let result = compositional_lump(&mrp, LumpKind::Ordinary)?;
+//! let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp)?;
 //! // States 1 and 2 of level 2 merge: 2 × 3 = 6 states become 2 × 2 = 4.
 //! assert_eq!(result.mrp.num_states(), 4);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -73,19 +73,22 @@ mod local;
 mod lump;
 mod mrp;
 mod resilient;
+mod solve;
 mod splitter;
 pub mod verify;
 
 pub use decomp::{Combiner, DecomposableVector};
 pub use error::CoreError;
-pub use local::{comp_lumping_level, comp_lumping_level_per_node};
+pub use local::{comp_lumping_level, comp_lumping_level_per_node, comp_lumping_level_pooled};
+#[allow(deprecated)]
 pub use lump::{
     compositional_lump, compositional_lump_budgeted, compositional_lump_iterated,
-    compositional_lump_iterated_budgeted, compositional_lump_with, LevelLumpStats, LumpKind,
-    LumpOptions, LumpResult, LumpStats,
+    compositional_lump_iterated_budgeted, compositional_lump_with,
 };
+pub use lump::{LevelLumpStats, LumpKind, LumpOptions, LumpRequest, LumpResult, LumpStats};
 pub use mrp::{KernelKind, KernelOptions, MdMrp};
 pub use resilient::{KernelRung, MdResilientOptions};
+pub use solve::{SolveOutcome, SolveRequest, SolveTarget};
 
 /// Convenience alias for fallible operations of this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,6 +1,7 @@
 use mdl_linalg::Tolerance;
 use mdl_md::MdNode;
-use mdl_partition::{comp_lumping, Partition, RefinementStats};
+use mdl_obs::{Budget, BudgetExceeded, ThreadPool};
+use mdl_partition::{comp_lumping, comp_lumping_fallible, Partition, RefinementStats};
 
 use crate::lump::LumpKind;
 use crate::splitter::{
@@ -18,24 +19,57 @@ use crate::splitter::{
 /// node-by-node iteration is available as
 /// [`comp_lumping_level_per_node`]; both compute the same partition (a
 /// property the test suite asserts).
+///
+/// Serial, unlimited-budget convenience wrapper around
+/// [`comp_lumping_level_pooled`].
 pub fn comp_lumping_level(
     nodes: &[MdNode],
     initial: Partition,
     kind: LumpKind,
     tolerance: Tolerance,
 ) -> (Partition, RefinementStats) {
-    match kind {
+    comp_lumping_level_pooled(
+        nodes,
+        initial,
+        kind,
+        tolerance,
+        ThreadPool::serial(),
+        &Budget::unlimited(),
+    )
+    .unwrap_or_else(|_| unreachable!("unlimited budgets never interrupt the key phase"))
+}
+
+/// [`comp_lumping_level`] with an explicit [`ThreadPool`] and [`Budget`]:
+/// the formal-sum key computations fan out block-parallel over the pool
+/// (bit-identical to serial for any worker count — see DESIGN.md §12),
+/// and a limited budget is honored at block granularity.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] when `budget` expires (or a `lump.keys` failpoint
+/// fires) during a key computation; the partial refinement is discarded.
+pub fn comp_lumping_level_pooled(
+    nodes: &[MdNode],
+    initial: Partition,
+    kind: LumpKind,
+    tolerance: Tolerance,
+    pool: ThreadPool,
+    budget: &Budget,
+) -> Result<(Partition, RefinementStats), BudgetExceeded> {
+    let size = initial.num_states();
+    let r = match kind {
         LumpKind::Ordinary => {
-            let mut splitter = OrdinaryMdSplitter::new(nodes, tolerance);
-            let r = comp_lumping(initial, &mut splitter);
-            (r.partition, r.stats)
+            let mut splitter =
+                OrdinaryMdSplitter::with_pool(nodes, size, tolerance, pool, budget.clone());
+            comp_lumping_fallible(initial, &mut splitter)?
         }
         LumpKind::Exact => {
-            let mut splitter = ExactMdSplitter::new(nodes, tolerance);
-            let r = comp_lumping(initial, &mut splitter);
-            (r.partition, r.stats)
+            let mut splitter =
+                ExactMdSplitter::with_pool(nodes, size, tolerance, pool, budget.clone());
+            comp_lumping_fallible(initial, &mut splitter)?
         }
-    }
+    };
+    Ok((r.partition, r.stats))
 }
 
 /// The literal Fig. 3a loop: repeatedly applies single-node `CompLumping`

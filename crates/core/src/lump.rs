@@ -3,10 +3,11 @@ use std::time::Duration;
 
 use mdl_linalg::Tolerance;
 use mdl_md::{MdMatrix, MdNode};
+use mdl_obs::{Budget, ThreadPool};
 use mdl_partition::{Partition, RefinementStats};
 
 use crate::decomp::LumpMode;
-use crate::local::{comp_lumping_level, comp_lumping_level_per_node};
+use crate::local::{comp_lumping_level_per_node, comp_lumping_level_pooled};
 use crate::mrp::MdMrp;
 use crate::Result;
 
@@ -23,8 +24,9 @@ pub enum LumpKind {
     Exact,
 }
 
-/// Options for [`compositional_lump_with`].
-#[derive(Debug, Clone, Copy, Default)]
+/// Options for [`LumpRequest`] (and the deprecated `compositional_lump*`
+/// wrappers).
+#[derive(Debug, Clone, Copy)]
 pub struct LumpOptions {
     /// How rate coefficients are compared (see [`Tolerance`]).
     pub tolerance: Tolerance,
@@ -44,6 +46,25 @@ pub struct LumpOptions {
     /// partitions — coarser. Extension; the paper discusses canonical MDs
     /// as the subclass where node identity captures matrix identity.
     pub canonicalize: bool,
+    /// Worker threads for the lumping engine: the per-level initial
+    /// partitions are computed concurrently and the formal-sum key phase
+    /// fans out block-parallel. `0` means one worker per hardware thread;
+    /// the default is `1` (serial). The computed partitions — and the
+    /// lumped MD — are bit-identical for every thread count (DESIGN.md
+    /// §12).
+    pub threads: usize,
+}
+
+impl Default for LumpOptions {
+    fn default() -> Self {
+        LumpOptions {
+            tolerance: Tolerance::default(),
+            quasi_reduce: false,
+            per_node_fixed_point: false,
+            canonicalize: false,
+            threads: 1,
+        }
+    }
 }
 
 /// Per-level work and outcome counters.
@@ -76,6 +97,10 @@ pub struct LumpStats {
     pub memory_after: usize,
     /// Nodes merged by the optional quasi-reduction post-pass.
     pub nodes_merged: usize,
+    /// Lumping rounds executed: `1` for a single pass; for an iterated
+    /// lump ([`LumpRequest::iterate`]) the number of passes until the
+    /// fixed point (the final, unproductive pass included).
+    pub rounds: usize,
     /// Total wall-clock time of the lump.
     pub elapsed: Duration,
 }
@@ -137,57 +162,147 @@ impl LumpResult {
     }
 }
 
-/// Compositionally lumps a matrix-diagram MRP with default options — the
-/// paper's `CompositionalLump` (Fig. 3b).
+/// Builder for a compositional lump — the paper's `CompositionalLump`
+/// (Fig. 3b) plus this workspace's extensions (iteration, budgets,
+/// parallelism), unified behind one entry point.
 ///
-/// For each level: computes the initial partition (reward / initial-
-/// probability and structural conditions), refines it to the coarsest
-/// partition satisfying the local lumpability conditions of Definition 3,
-/// then replaces every node of the level by its Theorem-2 quotient and
-/// quotients the reachable-state MDD. Theorems 3/4 guarantee the result
-/// represents an (ordinarily/exactly) lumped CTMC.
+/// For each level the run computes the initial partition (reward /
+/// initial-probability and structural conditions), refines it to the
+/// coarsest partition satisfying the local lumpability conditions of
+/// Definition 3, then replaces every node of the level by its Theorem-2
+/// quotient and quotients the reachable-state MDD. Theorems 3/4
+/// guarantee the result represents an (ordinarily/exactly) lumped CTMC.
 ///
-/// # Errors
+/// ```no_run
+/// use mdl_core::{LumpKind, LumpRequest};
 ///
-/// Propagates structural errors; on well-formed inputs produced by this
-/// workspace's builders, lumping cannot fail.
-///
-/// # Example
-///
-/// See the [crate-level example](crate).
-pub fn compositional_lump(mrp: &MdMrp, kind: LumpKind) -> Result<LumpResult> {
-    compositional_lump_with(mrp, kind, &LumpOptions::default())
+/// # fn demo(mrp: &mdl_core::MdMrp) -> mdl_core::Result<()> {
+/// let result = LumpRequest::new(LumpKind::Ordinary)
+///     .iterate(true)
+///     .threads(4)
+///     .budget(mdl_obs::Budget::unlimited().deadline_in(std::time::Duration::from_secs(30)))
+///     .run(mrp)?;
+/// println!("{} -> {} states", result.stats.original_states, result.stats.lumped_states);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LumpRequest {
+    kind: LumpKind,
+    options: LumpOptions,
+    budget: Budget,
+    iterate: bool,
 }
 
-/// [`compositional_lump`] with explicit [`LumpOptions`].
-///
-/// # Errors
-///
-/// As for [`compositional_lump`].
-pub fn compositional_lump_with(
+impl LumpRequest {
+    /// A request for a single lumping pass of the given kind with default
+    /// options, serial, under an unlimited budget.
+    pub fn new(kind: LumpKind) -> Self {
+        LumpRequest {
+            kind,
+            options: LumpOptions::default(),
+            budget: Budget::unlimited(),
+            iterate: false,
+        }
+    }
+
+    /// Replaces the whole option block at once.
+    #[must_use]
+    pub fn options(mut self, options: LumpOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the rate-comparison [`Tolerance`].
+    #[must_use]
+    pub fn tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.options.tolerance = tolerance;
+        self
+    }
+
+    /// Enables the quasi-reduction post-pass (see
+    /// [`LumpOptions::quasi_reduce`]).
+    #[must_use]
+    pub fn quasi_reduce(mut self, on: bool) -> Self {
+        self.options.quasi_reduce = on;
+        self
+    }
+
+    /// Uses the literal per-node fixed point of Fig. 3a (see
+    /// [`LumpOptions::per_node_fixed_point`]).
+    #[must_use]
+    pub fn per_node_fixed_point(mut self, on: bool) -> Self {
+        self.options.per_node_fixed_point = on;
+        self
+    }
+
+    /// Canonicalizes the MD before lumping (see
+    /// [`LumpOptions::canonicalize`]).
+    #[must_use]
+    pub fn canonicalize(mut self, on: bool) -> Self {
+        self.options.canonicalize = on;
+        self
+    }
+
+    /// Worker threads for the run (see [`LumpOptions::threads`]): `0`
+    /// means one per hardware thread, `1` (the default) is serial. Any
+    /// value yields bit-identical partitions and lumped MD.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Runs under `budget`: the deadline/cancellation is checked before
+    /// each level's refinement (phase `"lump.level"`) and at block
+    /// granularity inside the parallel key computations (phase
+    /// `"lump.keys"`).
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Iterates lumping rounds (with quasi-reduction between rounds)
+    /// until a fixed point instead of the paper's single pass. The number
+    /// of rounds lands in [`LumpStats::rounds`].
+    #[must_use]
+    pub fn iterate(mut self, on: bool) -> Self {
+        self.iterate = on;
+        self
+    }
+
+    /// Executes the request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural errors (on well-formed inputs produced by
+    /// this workspace's builders, lumping cannot fail), plus
+    /// [`CoreError`](crate::CoreError)`::Interrupted` when the budget
+    /// expires or a failpoint injects a failure.
+    pub fn run(&self, mrp: &MdMrp) -> Result<LumpResult> {
+        if self.iterate {
+            run_iterated(mrp, self.kind, &self.options, &self.budget)
+        } else {
+            run_single(mrp, self.kind, &self.options, &self.budget)
+        }
+    }
+}
+
+impl Default for LumpKind {
+    /// Ordinary lumpability — the kind that preserves all reward
+    /// measures.
+    fn default() -> Self {
+        LumpKind::Ordinary
+    }
+}
+
+/// One lumping pass (Fig. 3b) with explicit options and budget.
+fn run_single(
     mrp: &MdMrp,
     kind: LumpKind,
     options: &LumpOptions,
-) -> Result<LumpResult> {
-    compositional_lump_budgeted(mrp, kind, options, &mdl_obs::Budget::unlimited())
-}
-
-/// [`compositional_lump_with`] under a compute
-/// [`Budget`](mdl_obs::Budget): the deadline/cancellation is checked
-/// before each level's partition refinement (levels are the unit of work
-/// whose cost is unbounded by the caller), and the `lump.level` failpoint
-/// is consulted at the same point for deterministic fault injection.
-///
-/// # Errors
-///
-/// As for [`compositional_lump`], plus
-/// [`CoreError`](crate::CoreError)`::Interrupted` when the budget expires
-/// or a failpoint injects a failure.
-pub fn compositional_lump_budgeted(
-    mrp: &MdMrp,
-    kind: LumpKind,
-    options: &LumpOptions,
-    budget: &mdl_obs::Budget,
+    budget: &Budget,
 ) -> Result<LumpResult> {
     if options.canonicalize {
         // Rebuild the MD in canonical form (same sizes, same represented
@@ -202,7 +317,7 @@ pub fn compositional_lump_budgeted(
             canonicalize: false,
             ..*options
         };
-        return compositional_lump_budgeted(&canonical_mrp, kind, &inner, budget);
+        return run_single(&canonical_mrp, kind, &inner, budget);
     }
     let run_span = mdl_obs::span("lump.run").with(
         "kind",
@@ -219,10 +334,23 @@ pub fn compositional_lump_budgeted(
     let keys_counter = mdl_obs::counter("lump.refine.keys");
 
     // Phase 1: per-level partitions. Each level's conditions involve only
-    // that level's nodes, so the partitions are independent.
+    // that level's nodes, so the levels are independent: the initial
+    // partitions are computed concurrently up front, then each level is
+    // refined in turn (the formal-sum key computations inside one level's
+    // refinement fan out over the same pool).
+    let pool = ThreadPool::new(options.threads);
+    if let Err(reason) = budget.check() {
+        return Err(crate::CoreError::Interrupted {
+            phase: "lump.level",
+            reason,
+        });
+    }
+    let initials = pool.run(num_levels, |level| {
+        initial_partition(mrp, level, kind, options.tolerance)
+    });
     let mut partitions = Vec::with_capacity(num_levels);
     let mut per_level = Vec::with_capacity(num_levels);
-    for level in 0..num_levels {
+    for (level, p_ini) in initials.into_iter().enumerate() {
         if let Err(reason) = budget.check() {
             return Err(crate::CoreError::Interrupted {
                 phase: "lump.level",
@@ -239,11 +367,21 @@ pub fn compositional_lump_budgeted(
         let mut level_span = mdl_obs::span("lump.level")
             .with("level", level)
             .with("original_size", size);
-        let p_ini = initial_partition(mrp, level, kind, options.tolerance);
         let (partition, refinement) = if options.per_node_fixed_point {
             comp_lumping_level_per_node(md.nodes_at(level), p_ini, kind, options.tolerance)
         } else {
-            comp_lumping_level(md.nodes_at(level), p_ini, kind, options.tolerance)
+            comp_lumping_level_pooled(
+                md.nodes_at(level),
+                p_ini,
+                kind,
+                options.tolerance,
+                pool,
+                budget,
+            )
+            .map_err(|reason| crate::CoreError::Interrupted {
+                phase: "lump.keys",
+                reason,
+            })?
         };
         splitters_counter.add(refinement.splitters_processed as u64);
         splits_counter.add(refinement.classes_split as u64);
@@ -323,6 +461,7 @@ pub fn compositional_lump_budgeted(
             memory_before,
             memory_after,
             nodes_merged,
+            rounds: 1,
             elapsed,
         },
     })
@@ -351,9 +490,8 @@ fn representative_exit_rates(
     exit
 }
 
-/// Iterated compositional lumping (extension): alternates
-/// [`compositional_lump_with`] (with the quasi-reduction post-pass) until
-/// a fixed point.
+/// Iterated compositional lumping (extension): alternates single passes
+/// (with the quasi-reduction post-pass) until a fixed point.
 ///
 /// The paper's single pass keeps node identity fixed, so two nodes whose
 /// quotients coincide stay distinct — and parents referencing them keep
@@ -361,51 +499,30 @@ fn representative_exit_rates(
 /// unlock strictly coarser partitions in the next round (see the
 /// `iteration_can_beat_single_pass` test for a witness). Each round only
 /// ever merges states, so the loop terminates in at most
-/// `Σ log|S_i|`-ish rounds; in practice 1–2.
-///
-/// Returns the final result plus the number of lumping rounds executed.
-///
-/// # Errors
-///
-/// As for [`compositional_lump`].
-pub fn compositional_lump_iterated(
+/// `Σ log|S_i|`-ish rounds; in practice 1–2. The round count lands in
+/// [`LumpStats::rounds`].
+fn run_iterated(
     mrp: &MdMrp,
     kind: LumpKind,
     options: &LumpOptions,
-) -> Result<(LumpResult, usize)> {
-    compositional_lump_iterated_budgeted(mrp, kind, options, &mdl_obs::Budget::unlimited())
-}
-
-/// [`compositional_lump_iterated`] under a compute
-/// [`Budget`](mdl_obs::Budget): every lumping round runs budgeted, so a
-/// deadline or cancellation interrupts between levels.
-///
-/// # Errors
-///
-/// As for [`compositional_lump`], plus
-/// [`CoreError::Interrupted`](crate::CoreError::Interrupted) when the
-/// budget fires.
-pub fn compositional_lump_iterated_budgeted(
-    mrp: &MdMrp,
-    kind: LumpKind,
-    options: &LumpOptions,
-    budget: &mdl_obs::Budget,
-) -> Result<(LumpResult, usize)> {
+    budget: &Budget,
+) -> Result<LumpResult> {
     let opts = LumpOptions {
         quasi_reduce: true,
         ..*options
     };
-    let mut result = compositional_lump_budgeted(mrp, kind, &opts, budget)?;
+    let mut result = run_single(mrp, kind, &opts, budget)?;
     let mut rounds = 1;
     loop {
-        let again = compositional_lump_budgeted(&result.mrp, kind, &opts, budget)?;
+        let again = run_single(&result.mrp, kind, &opts, budget)?;
         rounds += 1;
         let progressed = again.stats.lumped_states < result.stats.original_states
             && again.stats.lumped_states < result.stats.lumped_states;
         if !progressed {
             // Keep the first result's provenance (partitions relative to
             // the *original* chain) when the extra round found nothing.
-            return Ok((result, rounds));
+            result.stats.rounds = rounds;
+            return Ok(result);
         }
         // Compose the partitions: class of original state s at level l is
         // the second round's class of the first round's class.
@@ -438,10 +555,101 @@ pub fn compositional_lump_iterated_budgeted(
                 memory_before: result.stats.memory_before,
                 memory_after: again.stats.memory_after,
                 nodes_merged: result.stats.nodes_merged + again.stats.nodes_merged,
+                rounds,
                 elapsed: result.stats.elapsed + again.stats.elapsed,
             },
         };
     }
+}
+
+/// Deprecated single-pass entry point.
+///
+/// # Errors
+///
+/// As for [`LumpRequest::run`].
+#[deprecated(note = "use `LumpRequest::new(kind).run(mrp)` instead")]
+pub fn compositional_lump(mrp: &MdMrp, kind: LumpKind) -> Result<LumpResult> {
+    LumpRequest::new(kind).run(mrp)
+}
+
+/// Deprecated single-pass entry point with explicit options.
+///
+/// # Errors
+///
+/// As for [`LumpRequest::run`].
+#[deprecated(note = "use `LumpRequest::new(kind).options(*options).run(mrp)` instead")]
+pub fn compositional_lump_with(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+) -> Result<LumpResult> {
+    LumpRequest::new(kind).options(*options).run(mrp)
+}
+
+/// Deprecated single-pass entry point with options and budget.
+///
+/// # Errors
+///
+/// As for [`LumpRequest::run`].
+#[deprecated(
+    note = "use `LumpRequest::new(kind).options(*options).budget(budget.clone()).run(mrp)` instead"
+)]
+pub fn compositional_lump_budgeted(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+    budget: &Budget,
+) -> Result<LumpResult> {
+    LumpRequest::new(kind)
+        .options(*options)
+        .budget(budget.clone())
+        .run(mrp)
+}
+
+/// Deprecated iterated entry point; the round count now also lives in
+/// [`LumpStats::rounds`].
+///
+/// # Errors
+///
+/// As for [`LumpRequest::run`].
+#[deprecated(
+    note = "use `LumpRequest::new(kind).options(*options).iterate(true).run(mrp)` instead"
+)]
+pub fn compositional_lump_iterated(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+) -> Result<(LumpResult, usize)> {
+    let result = LumpRequest::new(kind)
+        .options(*options)
+        .iterate(true)
+        .run(mrp)?;
+    let rounds = result.stats.rounds;
+    Ok((result, rounds))
+}
+
+/// Deprecated iterated entry point with a budget; the round count now
+/// also lives in [`LumpStats::rounds`].
+///
+/// # Errors
+///
+/// As for [`LumpRequest::run`].
+#[deprecated(
+    note = "use `LumpRequest::new(kind).options(*options).iterate(true).budget(budget.clone()).run(mrp)` instead"
+)]
+pub fn compositional_lump_iterated_budgeted(
+    mrp: &MdMrp,
+    kind: LumpKind,
+    options: &LumpOptions,
+    budget: &Budget,
+) -> Result<(LumpResult, usize)> {
+    let result = LumpRequest::new(kind)
+        .options(*options)
+        .iterate(true)
+        .budget(budget.clone())
+        .run(mrp)?;
+    let rounds = result.stats.rounds;
+    Ok((result, rounds))
 }
 
 /// The initial partition `P_i^ini` of Fig. 3b line 2, intersected with the
@@ -566,7 +774,7 @@ mod tests {
     #[test]
     fn ordinary_lump_merges_symmetric_level() {
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         assert_eq!(result.stats.original_states, 6);
         assert_eq!(result.stats.lumped_states, 4);
         assert_eq!(result.partitions[1].num_classes(), 2);
@@ -577,7 +785,7 @@ mod tests {
     #[test]
     fn lumped_md_flat_matches_quotient_of_flat() {
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
 
         // Quotient the flat matrix by the induced global partition and
         // compare with the lumped MD's flat matrix.
@@ -621,7 +829,7 @@ mod tests {
     fn stationary_measure_preserved() {
         use mdl_ctmc::SolverOptions;
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let full = mrp
             .expected_stationary_reward(&SolverOptions::default())
             .unwrap();
@@ -651,7 +859,7 @@ mod tests {
         let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
         let mrp = MdMrp::new(matrix, reward, initial).unwrap();
 
-        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let result = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
         assert!(result.stats.lumped_states < result.stats.original_states);
         let measures = result
             .exact_measures()
@@ -719,30 +927,25 @@ mod tests {
                 .unwrap();
         let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
         let mrp = MdMrp::new(matrix, reward, initial).unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         assert_eq!(result.stats.lumped_states, 6, "reward must block the merge");
     }
 
     #[test]
     fn per_node_option_gives_same_result() {
         let mrp = symmetric_mrp();
-        let a = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
-        let b = compositional_lump_with(
-            &mrp,
-            LumpKind::Ordinary,
-            &LumpOptions {
-                per_node_fixed_point: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let a = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+        let b = LumpRequest::new(LumpKind::Ordinary)
+            .per_node_fixed_point(true)
+            .run(&mrp)
+            .unwrap();
         assert_eq!(a.partitions, b.partitions);
     }
 
     #[test]
     fn node_counts_do_not_grow() {
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let before = mrp.matrix().md().nodes_per_level();
         let after = result.mrp.matrix().md().nodes_per_level();
         assert_eq!(before, after, "plain lumping preserves node counts");
@@ -751,16 +954,11 @@ mod tests {
     #[test]
     fn quasi_reduce_never_increases_nodes() {
         let mrp = symmetric_mrp();
-        let plain = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
-        let reduced = compositional_lump_with(
-            &mrp,
-            LumpKind::Ordinary,
-            &LumpOptions {
-                quasi_reduce: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let plain = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+        let reduced = LumpRequest::new(LumpKind::Ordinary)
+            .quasi_reduce(true)
+            .run(&mrp)
+            .unwrap();
         assert!(reduced.mrp.matrix().md().num_nodes() <= plain.mrp.matrix().md().num_nodes());
         // Same represented matrix either way.
         assert_eq!(
@@ -824,13 +1022,15 @@ mod tests {
     #[test]
     fn iteration_can_beat_single_pass() {
         let mrp = two_round_mrp();
-        let single = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let single = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         // Single pass: level 0 cannot merge (distinct children A, B).
         assert_eq!(single.stats.lumped_states, 4);
 
-        let (iterated, rounds) =
-            compositional_lump_iterated(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
-        assert!(rounds >= 2);
+        let iterated = LumpRequest::new(LumpKind::Ordinary)
+            .iterate(true)
+            .run(&mrp)
+            .unwrap();
+        assert!(iterated.stats.rounds >= 2);
         // After quasi-reduction merges lump(A) = lump(B), level 0 lumps too.
         assert_eq!(iterated.stats.lumped_states, 2);
         assert_eq!(iterated.stats.original_states, 6);
@@ -841,10 +1041,12 @@ mod tests {
     #[test]
     fn iteration_is_noop_when_single_pass_suffices() {
         let mrp = symmetric_mrp();
-        let single = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
-        let (iterated, rounds) =
-            compositional_lump_iterated(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
-        assert_eq!(rounds, 2); // one productive round + one fixpoint check
+        let single = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+        let iterated = LumpRequest::new(LumpKind::Ordinary)
+            .iterate(true)
+            .run(&mrp)
+            .unwrap();
+        assert_eq!(iterated.stats.rounds, 2); // one productive round + one fixpoint check
         assert_eq!(single.stats.lumped_states, iterated.stats.lumped_states);
     }
 
@@ -852,8 +1054,10 @@ mod tests {
     fn iterated_exact_lump_keeps_correct_exit_rates() {
         use mdl_ctmc::TransientOptions;
         let mrp = two_round_mrp();
-        let (iterated, _) =
-            compositional_lump_iterated(&mrp, LumpKind::Exact, &LumpOptions::default()).unwrap();
+        let iterated = LumpRequest::new(LumpKind::Exact)
+            .iterate(true)
+            .run(&mrp)
+            .unwrap();
         crate::verify::verify_exact(&mrp, &iterated, mdl_linalg::Tolerance::default()).unwrap();
         let measures = iterated
             .exact_measures()
@@ -922,18 +1126,13 @@ mod tests {
         let initial = DecomposableVector::uniform(&[2, 2], 4).unwrap();
         let mrp = MdMrp::new(matrix, reward, initial).unwrap();
 
-        let plain = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let plain = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         assert!(!plain.partitions[0].same_class(0, 1));
 
-        let canon = compositional_lump_with(
-            &mrp,
-            LumpKind::Ordinary,
-            &LumpOptions {
-                canonicalize: true,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let canon = LumpRequest::new(LumpKind::Ordinary)
+            .canonicalize(true)
+            .run(&mrp)
+            .unwrap();
         assert!(canon.partitions[0].same_class(0, 1));
         assert!(canon.stats.lumped_states < plain.stats.lumped_states);
         // Still a genuine lumping of the original chain.
@@ -977,7 +1176,7 @@ mod tests {
         mdl_obs::add_subscriber(sub.clone());
 
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
 
         mdl_obs::clear_subscribers();
         let report = mdl_obs::snapshot();
@@ -1021,5 +1220,77 @@ mod tests {
         };
         assert!(counter("lump.refine.splitters") > 0);
         assert!(counter("lump.refine.keys") > 0);
+    }
+
+    #[test]
+    fn threaded_lump_is_bit_identical_to_serial() {
+        for mrp in [symmetric_mrp(), two_round_mrp()] {
+            for kind in [LumpKind::Ordinary, LumpKind::Exact] {
+                let serial = LumpRequest::new(kind).iterate(true).run(&mrp).unwrap();
+                for threads in [2usize, 4, 0] {
+                    let par = LumpRequest::new(kind)
+                        .iterate(true)
+                        .threads(threads)
+                        .run(&mrp)
+                        .unwrap();
+                    assert_eq!(par.partitions, serial.partitions, "threads = {threads}");
+                    assert_eq!(
+                        par.mrp
+                            .matrix()
+                            .flatten()
+                            .max_abs_diff(&serial.mrp.matrix().flatten()),
+                        0.0,
+                        "lumped MD bitwise equal at threads = {threads}"
+                    );
+                    assert_eq!(par.exact_exit_rates, serial.exact_exit_rates);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_delegate_to_request() {
+        let mrp = symmetric_mrp();
+        let via_request = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+        let a = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let b = compositional_lump_with(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
+        let c = compositional_lump_budgeted(
+            &mrp,
+            LumpKind::Ordinary,
+            &LumpOptions::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        for r in [&a, &b, &c] {
+            assert_eq!(r.partitions, via_request.partitions);
+        }
+        let (d, rounds) =
+            compositional_lump_iterated(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
+        assert_eq!(rounds, d.stats.rounds);
+        let (e, rounds_budgeted) = compositional_lump_iterated_budgeted(
+            &mrp,
+            LumpKind::Ordinary,
+            &LumpOptions::default(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(rounds_budgeted, e.stats.rounds);
+        assert_eq!(d.partitions, e.partitions);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_lumping() {
+        let mrp = symmetric_mrp();
+        let err = LumpRequest::new(LumpKind::Ordinary)
+            .budget(Budget::unlimited().deadline_in(Duration::ZERO))
+            .run(&mrp)
+            .unwrap_err();
+        match err {
+            crate::CoreError::Interrupted { phase, .. } => {
+                assert!(phase.starts_with("lump."), "{phase}")
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
     }
 }

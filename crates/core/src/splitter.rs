@@ -1,8 +1,10 @@
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
 
 use mdl_linalg::Tolerance;
 use mdl_md::{ChildId, MdNode};
-use mdl_partition::{Splitter, StateId};
+use mdl_obs::{Budget, BudgetExceeded, ThreadPool};
+use mdl_partition::{FallibleSplitter, Splitter, StateId};
 
 /// A refinement key for one level of an MD: for each node of the level (by
 /// index) the class-summed formal sum, as canonical
@@ -11,6 +13,10 @@ use mdl_partition::{Splitter, StateId};
 /// a tuple over all nodes of the level (Definition 3 quantifies over
 /// `n₂ ∈ N₂`).
 pub(crate) type LevelKey = Vec<(u32, Vec<(ChildId, i128)>)>;
+
+/// Levels smaller than this never parallelize a key computation: the
+/// per-block re-scan of the splitter class costs more than it saves.
+const PAR_MIN_STATES: usize = 64;
 
 /// Per-node column index: for each node, entries grouped by column as
 /// `(col, row, entry index)` sorted by column.
@@ -30,88 +36,264 @@ fn column_index(nodes: &[MdNode]) -> Vec<Vec<(u32, u32, usize)>> {
         .collect()
 }
 
+/// Accumulates the **ordinary** formal row sums into `class` — restricted
+/// to rows in `owned` when given. Contributions to each row arrive in the
+/// same (node, class column, column entry) order regardless of `owned`,
+/// which is what makes the block-parallel key computation bit-identical
+/// to the serial one: every row is accumulated by exactly one block, in
+/// serial iteration order (float addition is not associative, so the
+/// scheme must — and does — preserve per-row addition order).
+fn ordinary_sums(
+    nodes: &[MdNode],
+    columns: &[Vec<(u32, u32, usize)>],
+    class: &[StateId],
+    owned: Option<&Range<usize>>,
+) -> HashMap<StateId, BTreeMap<(u32, ChildId), f64>> {
+    let mut acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>> = HashMap::new();
+    for (ni, (node, cols)) in nodes.iter().zip(columns).enumerate() {
+        for &col in class {
+            let col = col as u32;
+            let start = cols.partition_point(|&(c, _, _)| c < col);
+            for &(c, row, k) in &cols[start..] {
+                if c != col {
+                    break;
+                }
+                if let Some(range) = owned {
+                    if !range.contains(&(row as usize)) {
+                        continue;
+                    }
+                }
+                let sums = acc.entry(row as StateId).or_default();
+                for t in &node.entries()[k].terms {
+                    *sums.entry((ni as u32, t.child)).or_insert(0.0) += t.coef;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Accumulates the **exact** formal column sums from `class` — restricted
+/// to columns in `owned` when given. Same per-state addition-order
+/// argument as [`ordinary_sums`], with column ownership instead of row
+/// ownership.
+fn exact_sums(
+    nodes: &[MdNode],
+    class: &[StateId],
+    owned: Option<&Range<usize>>,
+) -> HashMap<StateId, BTreeMap<(u32, ChildId), f64>> {
+    let mut acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>> = HashMap::new();
+    for (ni, node) in nodes.iter().enumerate() {
+        for &row in class {
+            for e in node.row(row as u32) {
+                if let Some(range) = owned {
+                    if !range.contains(&(e.col as usize)) {
+                        continue;
+                    }
+                }
+                let sums = acc.entry(e.col as StateId).or_default();
+                for t in &e.terms {
+                    *sums.entry((ni as u32, t.child)).or_insert(0.0) += t.coef;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Shared budget/failpoint preamble of one `try_keys` call. Consulted
+/// only under a *limited* budget so the unlimited path (including the
+/// infallible legacy entry points) stays guaranteed error-free.
+fn guard_call(budget: &Budget) -> Result<(), BudgetExceeded> {
+    if budget.is_unlimited() {
+        return Ok(());
+    }
+    if mdl_obs::failpoint::hit("lump.keys").is_some() {
+        return Err(BudgetExceeded::Injected);
+    }
+    budget.check()
+}
+
 /// Splitter computing the **ordinary** local condition (Definition 3,
 /// Eq. 2): `K(s, C) = (formal row sums into C, per node)`.
 ///
 /// Touches only states with an entry *into* the splitter class in some
 /// node, via per-node column indices built once at construction.
+///
+/// With a multi-worker [`ThreadPool`] (and a level of at least
+/// [`PAR_MIN_STATES`] states) the per-state sums fan out block-parallel:
+/// each block owns a contiguous row range, walks the class columns of
+/// every node and accumulates only its own rows — so the resulting keys,
+/// and therefore the refinement, are bit-identical for any thread count.
+/// The compute [`Budget`] is honored at block granularity.
 pub(crate) struct OrdinaryMdSplitter<'a> {
     nodes: &'a [MdNode],
     columns: Vec<Vec<(u32, u32, usize)>>,
     tolerance: Tolerance,
     zero_key: i128,
+    /// Number of local states of the level (the row-ownership domain).
+    size: usize,
+    pool: ThreadPool,
+    budget: Budget,
 }
 
 impl<'a> OrdinaryMdSplitter<'a> {
+    /// Serial, unlimited-budget splitter (the single-node helpers and the
+    /// paper-faithful per-node fixed point use this).
     pub(crate) fn new(nodes: &'a [MdNode], tolerance: Tolerance) -> Self {
+        Self::with_pool(
+            nodes,
+            0,
+            tolerance,
+            ThreadPool::serial(),
+            Budget::unlimited(),
+        )
+    }
+
+    /// Splitter over a level of `size` local states, fanning key
+    /// computations out over `pool` under `budget`.
+    pub(crate) fn with_pool(
+        nodes: &'a [MdNode],
+        size: usize,
+        tolerance: Tolerance,
+        pool: ThreadPool,
+        budget: Budget,
+    ) -> Self {
         OrdinaryMdSplitter {
             nodes,
             columns: column_index(nodes),
             tolerance,
             zero_key: tolerance.key(0.0),
+            size,
+            pool,
+            budget,
         }
     }
 }
 
-impl Splitter for OrdinaryMdSplitter<'_> {
+impl FallibleSplitter for OrdinaryMdSplitter<'_> {
     type Key = LevelKey;
+    type Error = BudgetExceeded;
 
-    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
-        // (row, node, child) -> coefficient sum over the class's columns.
-        let mut acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>> = HashMap::new();
-        for (ni, (node, cols)) in self.nodes.iter().zip(&self.columns).enumerate() {
-            for &col in class {
-                let col = col as u32;
-                let start = cols.partition_point(|&(c, _, _)| c < col);
-                for &(c, row, k) in &cols[start..] {
-                    if c != col {
-                        break;
-                    }
-                    let sums = acc.entry(row as StateId).or_default();
-                    for t in &node.entries()[k].terms {
-                        *sums.entry((ni as u32, t.child)).or_insert(0.0) += t.coef;
-                    }
-                }
-            }
+    fn try_keys(
+        &mut self,
+        class: &[StateId],
+        out: &mut Vec<(StateId, LevelKey)>,
+    ) -> Result<(), BudgetExceeded> {
+        guard_call(&self.budget)?;
+        if self.pool.threads() == 1 || self.size < PAR_MIN_STATES {
+            let span = mdl_obs::span("lump.keys.serial");
+            let acc = ordinary_sums(self.nodes, &self.columns, class, None);
+            emit(acc, self.tolerance, self.zero_key, out);
+            span.finish();
+            return Ok(());
         }
-        emit(acc, self.tolerance, self.zero_key, out);
+        let blocks = mdl_obs::pool::chunk_ranges(self.size, self.pool.threads());
+        let mut span = mdl_obs::span("lump.keys.parallel")
+            .with("blocks", blocks.len())
+            .with("class", class.len());
+        let per_block = self.pool.run(blocks.len(), |b| {
+            self.budget.check()?;
+            let acc = ordinary_sums(self.nodes, &self.columns, class, Some(&blocks[b]));
+            let mut local = Vec::new();
+            emit(acc, self.tolerance, self.zero_key, &mut local);
+            Ok::<_, BudgetExceeded>(local)
+        });
+        let mut keys = 0usize;
+        for block in per_block {
+            let block = block?;
+            keys += block.len();
+            out.extend(block);
+        }
+        span.record("keys", keys);
+        span.finish();
+        Ok(())
     }
 }
 
 /// Splitter computing the **exact** local condition (Definition 3, Eq. 5):
 /// `K(s, C) = (formal column sums from C, per node)`.
+///
+/// Parallelizes like [`OrdinaryMdSplitter`], with blocks owning
+/// contiguous *column* ranges (the exact key accumulates per column).
 pub(crate) struct ExactMdSplitter<'a> {
     nodes: &'a [MdNode],
     tolerance: Tolerance,
     zero_key: i128,
+    size: usize,
+    pool: ThreadPool,
+    budget: Budget,
 }
 
 impl<'a> ExactMdSplitter<'a> {
+    /// Serial, unlimited-budget splitter.
     pub(crate) fn new(nodes: &'a [MdNode], tolerance: Tolerance) -> Self {
+        Self::with_pool(
+            nodes,
+            0,
+            tolerance,
+            ThreadPool::serial(),
+            Budget::unlimited(),
+        )
+    }
+
+    /// Splitter over a level of `size` local states, fanning key
+    /// computations out over `pool` under `budget`.
+    pub(crate) fn with_pool(
+        nodes: &'a [MdNode],
+        size: usize,
+        tolerance: Tolerance,
+        pool: ThreadPool,
+        budget: Budget,
+    ) -> Self {
         ExactMdSplitter {
             nodes,
             tolerance,
             zero_key: tolerance.key(0.0),
+            size,
+            pool,
+            budget,
         }
     }
 }
 
-impl Splitter for ExactMdSplitter<'_> {
+impl FallibleSplitter for ExactMdSplitter<'_> {
     type Key = LevelKey;
+    type Error = BudgetExceeded;
 
-    fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
-        let mut acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>> = HashMap::new();
-        for (ni, node) in self.nodes.iter().enumerate() {
-            for &row in class {
-                for e in node.row(row as u32) {
-                    let sums = acc.entry(e.col as StateId).or_default();
-                    for t in &e.terms {
-                        *sums.entry((ni as u32, t.child)).or_insert(0.0) += t.coef;
-                    }
-                }
-            }
+    fn try_keys(
+        &mut self,
+        class: &[StateId],
+        out: &mut Vec<(StateId, LevelKey)>,
+    ) -> Result<(), BudgetExceeded> {
+        guard_call(&self.budget)?;
+        if self.pool.threads() == 1 || self.size < PAR_MIN_STATES {
+            let span = mdl_obs::span("lump.keys.serial");
+            let acc = exact_sums(self.nodes, class, None);
+            emit(acc, self.tolerance, self.zero_key, out);
+            span.finish();
+            return Ok(());
         }
-        emit(acc, self.tolerance, self.zero_key, out);
+        let blocks = mdl_obs::pool::chunk_ranges(self.size, self.pool.threads());
+        let mut span = mdl_obs::span("lump.keys.parallel")
+            .with("blocks", blocks.len())
+            .with("class", class.len());
+        let per_block = self.pool.run(blocks.len(), |b| {
+            self.budget.check()?;
+            let acc = exact_sums(self.nodes, class, Some(&blocks[b]));
+            let mut local = Vec::new();
+            emit(acc, self.tolerance, self.zero_key, &mut local);
+            Ok::<_, BudgetExceeded>(local)
+        });
+        let mut keys = 0usize;
+        for block in per_block {
+            let block = block?;
+            keys += block.len();
+            out.extend(block);
+        }
+        span.record("keys", keys);
+        span.finish();
+        Ok(())
     }
 }
 
@@ -143,7 +325,7 @@ fn emit(
 }
 
 /// Single-node variants used by the paper-faithful per-node fixed point
-/// (Fig. 3a) and the ablation experiments.
+/// (Fig. 3a) and the ablation experiments. Always serial and infallible.
 pub(crate) struct SingleNodeOrdinarySplitter<'a> {
     inner: OrdinaryMdSplitter<'a>,
 }
@@ -159,7 +341,8 @@ impl<'a> SingleNodeOrdinarySplitter<'a> {
 impl Splitter for SingleNodeOrdinarySplitter<'_> {
     type Key = LevelKey;
     fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
-        self.inner.keys(class, out);
+        let acc = ordinary_sums(self.inner.nodes, &self.inner.columns, class, None);
+        emit(acc, self.inner.tolerance, self.inner.zero_key, out);
     }
 }
 
@@ -178,7 +361,8 @@ impl<'a> SingleNodeExactSplitter<'a> {
 impl Splitter for SingleNodeExactSplitter<'_> {
     type Key = LevelKey;
     fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, LevelKey)>) {
-        self.inner.keys(class, out);
+        let acc = exact_sums(self.inner.nodes, class, None);
+        emit(acc, self.inner.tolerance, self.inner.zero_key, out);
     }
 }
 
@@ -209,6 +393,16 @@ mod tests {
         md.node(md.root()).clone()
     }
 
+    fn try_keys_of(
+        s: &mut impl FallibleSplitter<Key = LevelKey, Error = BudgetExceeded>,
+        class: &[StateId],
+    ) -> Vec<(StateId, LevelKey)> {
+        let mut out = Vec::new();
+        s.try_keys(class, &mut out).unwrap();
+        out.sort_by_key(|(st, _)| *st);
+        out
+    }
+
     #[test]
     fn ordinary_key_sums_row_into_class() {
         let n = node(vec![
@@ -218,9 +412,7 @@ mod tests {
         ]);
         let nodes = vec![n];
         let mut s = OrdinaryMdSplitter::new(&nodes, Tolerance::Exact);
-        let mut out = Vec::new();
-        s.keys(&[2, 3], &mut out);
-        out.sort_by_key(|(st, _)| *st);
+        let out = try_keys_of(&mut s, &[2, 3]);
         assert_eq!(out.len(), 2);
         // State 0: 1.0 + 2.0 into class; state 1: 3.0.
         assert_eq!(out[0].0, 0);
@@ -240,9 +432,7 @@ mod tests {
         ]);
         let nodes = vec![n];
         let mut s = ExactMdSplitter::new(&nodes, Tolerance::Exact);
-        let mut out = Vec::new();
-        s.keys(&[2, 3], &mut out);
-        out.sort_by_key(|(st, _)| *st);
+        let out = try_keys_of(&mut s, &[2, 3]);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].0, 0); // column 0 receives 1+2
         assert_eq!(out[0].1[0].1[0].1, Tolerance::Exact.key(3.0));
@@ -258,8 +448,85 @@ mod tests {
         ]);
         let nodes = vec![n];
         let mut s = OrdinaryMdSplitter::new(&nodes, Tolerance::Exact);
-        let mut out = Vec::new();
-        s.keys(&[2, 3], &mut out);
+        let out = try_keys_of(&mut s, &[2, 3]);
         assert!(out.is_empty(), "cancelled sums must be omitted: {out:?}");
+    }
+
+    /// Dense-ish random node over `size` states for bit-identity checks.
+    fn dense_node(size: usize) -> MdNode {
+        let mut b = mdl_md::MdBuilder::new(vec![size, 2]).unwrap();
+        let child = b.intern_identity(1, ChildId::Terminal).unwrap();
+        let mut entries = Vec::new();
+        for r in 0..size as u32 {
+            for step in [1usize, 3, 7] {
+                let c = (r as usize + step) % size;
+                // Awkward fractions so addition order would show up.
+                let coef = 0.1 + (r as f64 * 0.37 + step as f64 * 0.011) / 3.0;
+                entries.push((r, c as u32, vec![Term::new(coef, ChildId::Node(child))]));
+            }
+        }
+        let idx = b.intern_node(0, entries).unwrap();
+        let md = b.finish(idx).unwrap();
+        md.node(md.root()).clone()
+    }
+
+    #[test]
+    fn parallel_keys_bit_identical_to_serial() {
+        let size = 200; // above PAR_MIN_STATES
+        let nodes = vec![dense_node(size), dense_node(size)];
+        let class: Vec<StateId> = (0..size).step_by(3).collect();
+        for kind in ["ordinary", "exact"] {
+            let mut serial_out = Vec::new();
+            let mut outs = Vec::new();
+            for threads in [1usize, 2, 4] {
+                let pool = ThreadPool::new(threads);
+                let mut out = Vec::new();
+                if kind == "ordinary" {
+                    let mut s = OrdinaryMdSplitter::with_pool(
+                        &nodes,
+                        size,
+                        Tolerance::Exact,
+                        pool,
+                        Budget::unlimited(),
+                    );
+                    s.try_keys(&class, &mut out).unwrap();
+                } else {
+                    let mut s = ExactMdSplitter::with_pool(
+                        &nodes,
+                        size,
+                        Tolerance::Exact,
+                        pool,
+                        Budget::unlimited(),
+                    );
+                    s.try_keys(&class, &mut out).unwrap();
+                }
+                out.sort_by_key(|(st, _)| *st);
+                if threads == 1 {
+                    serial_out = out.clone();
+                }
+                outs.push(out);
+            }
+            for out in &outs {
+                assert_eq!(out, &serial_out, "{kind} keys bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_key_computation() {
+        let size = 200;
+        let nodes = vec![dense_node(size)];
+        let class: Vec<StateId> = (0..size).collect();
+        let budget = Budget::unlimited().deadline_in(std::time::Duration::ZERO);
+        let mut s = OrdinaryMdSplitter::with_pool(
+            &nodes,
+            size,
+            Tolerance::Exact,
+            ThreadPool::new(4),
+            budget,
+        );
+        let mut out = Vec::new();
+        let err = s.try_keys(&class, &mut out).unwrap_err();
+        assert!(matches!(err, BudgetExceeded::Deadline { .. }), "{err:?}");
     }
 }

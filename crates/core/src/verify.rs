@@ -37,7 +37,7 @@ impl std::error::Error for VerifyFailure {}
 /// # Panics
 ///
 /// Panics if a class tuple is missing from the lumped state space (cannot
-/// happen for partitions produced by `compositional_lump`).
+/// happen for partitions produced by [`LumpRequest`](crate::LumpRequest)).
 pub fn global_state_map(
     original_reach: &Mdd,
     lumped_reach: &Mdd,
@@ -204,7 +204,7 @@ pub fn verify_exact(
 mod tests {
     use super::*;
     use crate::decomp::DecomposableVector;
-    use crate::lump::{compositional_lump, LumpKind};
+    use crate::lump::{LumpKind, LumpRequest};
     use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
 
     fn symmetric_mrp() -> MdMrp {
@@ -228,21 +228,21 @@ mod tests {
     #[test]
     fn ordinary_result_verifies() {
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
     }
 
     #[test]
     fn exact_result_verifies() {
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+        let result = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
         verify_exact(&mrp, &result, Tolerance::default()).unwrap();
     }
 
     #[test]
     fn global_map_is_consistent_with_partitions() {
         let mrp = symmetric_mrp();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let p = global_partition(
             mrp.matrix().reach(),
             result.mrp.matrix().reach(),
@@ -256,7 +256,7 @@ mod tests {
     fn tampered_result_fails_verification() {
         use mdl_md::{MdNode, Term};
         let mrp = symmetric_mrp();
-        let mut result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let mut result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         // Corrupt the lumped MD: scale every coefficient of the last
         // level's nodes. Shapes stay valid; the quotient rates are now
         // wrong and verification must notice.

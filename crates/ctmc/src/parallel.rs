@@ -51,18 +51,15 @@ impl ParCsr {
     }
 
     /// Wraps a square matrix using one worker per available hardware
-    /// thread ([`std::thread::available_parallelism`], falling back to `1`
-    /// when it cannot be determined) — callers no longer hardcode worker
-    /// counts.
+    /// thread ([`mdl_obs::default_threads`], the same "auto" resolution
+    /// as the compiled MD kernels and the lumping engine's pool) —
+    /// callers no longer hardcode worker counts.
     ///
     /// # Panics
     ///
     /// Panics if the matrix is not square.
     pub fn with_default_threads(matrix: CsrMatrix) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        Self::new(matrix, threads)
+        Self::new(matrix, mdl_obs::default_threads())
     }
 
     /// The wrapped matrix.
@@ -84,10 +81,13 @@ impl ParCsr {
             by_row.acc_mat_vec(x, y);
             return;
         }
-        let chunk = n.div_ceil(self.threads);
+        let blocks = mdl_obs::pool::chunk_ranges(n, self.threads);
         std::thread::scope(|scope| {
-            for (c, y_chunk) in y.chunks_mut(chunk).enumerate() {
-                let start = c * chunk;
+            let mut rest = y;
+            for block in &blocks {
+                let (y_chunk, tail) = rest.split_at_mut(block.len());
+                rest = tail;
+                let start = block.start;
                 scope.spawn(move || {
                     for (offset, yi) in y_chunk.iter_mut().enumerate() {
                         let mut acc = 0.0;

@@ -325,10 +325,12 @@ pub struct CompiledMdMatrix {
 
 /// Number of worker threads to use when the caller does not care:
 /// [`std::thread::available_parallelism`], or `1` when it is unavailable.
+///
+/// Re-exported from [`mdl_obs::default_threads`] so every layer of the
+/// stack (compiled kernels, `ParCsr`, the lumping engine's
+/// [`ThreadPool`](mdl_obs::ThreadPool)) resolves "auto" identically.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    mdl_obs::default_threads()
 }
 
 impl CompiledMdMatrix {

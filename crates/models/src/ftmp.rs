@@ -236,7 +236,7 @@ impl FtmpModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdl_core::{compositional_lump, LumpKind};
+    use mdl_core::{LumpKind, LumpRequest};
     use mdl_ctmc::{SolverOptions, TransientOptions};
 
     #[test]
@@ -244,7 +244,7 @@ mod tests {
         let model = FtmpModel::new(FtmpConfig::default());
         let mrp = model.build_md_mrp().unwrap();
         assert_eq!(mrp.num_states(), 2 * 16 * 8);
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         // Processors: 2^4 -> 5; memories: 2^3 -> 4; controller: 2.
         assert_eq!(result.partitions[1].num_classes(), 5);
         assert_eq!(result.partitions[2].num_classes(), 4);
@@ -269,7 +269,7 @@ mod tests {
             ..FtmpConfig::default()
         });
         let mrp = model.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         assert_eq!(result.partitions[1].num_classes(), 4);
     }
 
@@ -277,7 +277,7 @@ mod tests {
     fn availability_measures_agree_after_lumping() {
         let model = FtmpModel::new(FtmpConfig::default());
         let mrp = model.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let opts = SolverOptions::default();
         let full = mrp.expected_stationary_reward(&opts).unwrap();
         let lumped = result.mrp.expected_stationary_reward(&opts).unwrap();
@@ -291,7 +291,7 @@ mod tests {
         // with t (failures accumulate faster than repairs early on).
         let model = FtmpModel::new(FtmpConfig::default());
         let mrp = model.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let opts = TransientOptions::default();
         let short = result.mrp.expected_accumulated_reward(1.0, &opts).unwrap() / 1.0;
         let long = result.mrp.expected_accumulated_reward(50.0, &opts).unwrap() / 50.0;

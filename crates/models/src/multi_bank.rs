@@ -170,7 +170,7 @@ impl MultiBankModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdl_core::{compositional_lump, verify, LumpKind};
+    use mdl_core::{verify, LumpKind, LumpRequest};
     use mdl_linalg::Tolerance;
 
     #[test]
@@ -183,7 +183,7 @@ mod tests {
         let mrp = model.build_md_mrp().unwrap();
         assert_eq!(mrp.matrix().md().num_levels(), 5);
         assert_eq!(mrp.num_states(), 2 * 8usize.pow(4));
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         for level in 1..=4 {
             assert_eq!(result.partitions[level].num_classes(), 4, "level {level}");
         }
@@ -202,7 +202,7 @@ mod tests {
             ..MultiBankConfig::default()
         });
         let mrp = model.build_md_mrp().unwrap();
-        let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let comp = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         assert_eq!(comp.stats.lumped_states, 2 * 9);
         let optimal = ordinary_partition(
             &mrp.matrix().flatten(),
@@ -219,7 +219,7 @@ mod tests {
         use mdl_ctmc::SolverOptions;
         let model = MultiBankModel::new(MultiBankConfig::default());
         let mrp = model.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let full = mrp
             .expected_stationary_reward(&SolverOptions::default())
             .unwrap();
@@ -240,7 +240,7 @@ mod tests {
             ..MultiBankConfig::default()
         });
         let mrp = model.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         assert_eq!(result.stats.lumped_states, 2 * 6);
     }
 }

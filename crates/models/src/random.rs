@@ -154,7 +154,7 @@ fn unfolded_factor(rng: &mut StdRng, spec: &LevelSpec, kind: LumpKind) -> Sparse
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdl_core::{compositional_lump, verify, Combiner, DecomposableVector, LumpKind, MdMrp};
+    use mdl_core::{verify, Combiner, DecomposableVector, LumpKind, LumpRequest, MdMrp};
     use mdl_linalg::Tolerance;
     use mdl_md::MdMatrix;
     use mdl_mdd::Mdd;
@@ -183,7 +183,7 @@ mod tests {
                 1,
             );
             let mrp = build_mrp(&pm, LumpKind::Ordinary);
-            let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+            let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
             for (l, planted) in pm.planted.iter().enumerate() {
                 assert!(
                     planted.is_refinement_of(&result.partitions[l]),
@@ -205,7 +205,7 @@ mod tests {
                 1,
             );
             let mrp = build_mrp(&pm, LumpKind::Exact);
-            let result = compositional_lump(&mrp, LumpKind::Exact).unwrap();
+            let result = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
             for (l, planted) in pm.planted.iter().enumerate() {
                 assert!(
                     planted.is_refinement_of(&result.partitions[l]),

@@ -154,7 +154,7 @@ impl SharedRepairModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdl_core::{compositional_lump, LumpKind};
+    use mdl_core::{LumpKind, LumpRequest};
 
     #[test]
     fn exponential_level_collapses_to_counts() {
@@ -164,7 +164,7 @@ mod tests {
         });
         let mrp = model.build_md_mrp().unwrap();
         assert_eq!(mrp.num_states(), 2 * 32);
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         // 2^5 = 32 machine states -> 6 down-counts.
         assert_eq!(result.partitions[1].num_classes(), 6);
         assert_eq!(result.stats.lumped_states, 12);
@@ -182,7 +182,7 @@ mod tests {
             ..SharedRepairConfig::default()
         });
         let mrp = model.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let full = mrp
             .expected_stationary_reward(&SolverOptions::default())
             .unwrap();
@@ -219,7 +219,7 @@ mod tests {
             ..SharedRepairConfig::default()
         });
         let mrp = model.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         // Normal and degraded modes behave differently: no level-1 lumping.
         assert_eq!(result.partitions[0].num_classes(), 2);
     }

@@ -334,13 +334,13 @@ mod tests {
     #[test]
     fn simulation_validates_lumped_tandem_availability() {
         use crate::tandem::{TandemConfig, TandemModel, TandemReward};
-        use mdl_core::{compositional_lump, LumpKind};
+        use mdl_core::{LumpKind, LumpRequest};
         let model = TandemModel::new(TandemConfig {
             jobs: 1,
             ..TandemConfig::default()
         });
         let mrp = model.build_md_mrp().unwrap();
-        let lumped = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let lumped = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let numerical = lumped
             .mrp
             .expected_stationary_reward(&SolverOptions::default())

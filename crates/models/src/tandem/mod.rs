@@ -317,7 +317,7 @@ impl TandemModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdl_core::{compositional_lump, LumpKind};
+    use mdl_core::{LumpKind, LumpRequest};
 
     fn small() -> TandemModel {
         TandemModel::new(TandemConfig {
@@ -374,7 +374,7 @@ mod tests {
     fn compositional_lump_finds_symmetries() {
         let m = small();
         let mrp = m.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         // The MSMQ level must shrink (3 interchangeable servers, rotatable
         // queues) and the hypercube level must shrink (A/A′ and the
         // six-server orbit).
@@ -396,7 +396,7 @@ mod tests {
         use mdl_ctmc::SolverOptions;
         let m = small();
         let mrp = m.build_md_mrp().unwrap();
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
         let full = mrp
             .expected_stationary_reward(&SolverOptions::default())
             .unwrap();

@@ -26,6 +26,10 @@
 //! contract: [`budget`] (wall-clock deadlines, cancellation tokens and
 //! node caps checked cheaply from inner loops) and [`failpoint`]
 //! (deterministic fault injection configured via `MDL_FAILPOINTS`).
+//! So does [`pool`] — the `ThreadPool`-lite every parallel subsystem
+//! (compiled kernel, `ParCsr`, the lumping engine) shares for
+//! thread-count resolution and scoped fan-out, placed here because this
+//! is the one leaf crate they all already depend on.
 //!
 //! Subscribers ([`add_subscriber`]) receive events; [`PrettySubscriber`]
 //! renders for terminals, [`JsonlSubscriber`] writes one JSON object per
@@ -64,12 +68,14 @@ pub mod budget;
 pub mod event;
 pub mod failpoint;
 pub mod json;
+pub mod pool;
 mod registry;
 mod span;
 mod subscriber;
 
 pub use budget::{Budget, BudgetExceeded, CancelToken, Ticker};
 pub use event::{fmt_nanos, Event, EventKind, Value};
+pub use pool::{default_threads, ThreadPool};
 pub use registry::{Counter, CounterSnapshot, Histogram, HistogramSnapshot, Report};
 pub use span::Span;
 pub use subscriber::{JsonlSubscriber, MemorySubscriber, PrettySubscriber, Subscriber};

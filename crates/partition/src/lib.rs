@@ -54,4 +54,7 @@ mod partition;
 mod refine;
 
 pub use partition::{ClassId, Partition, StateId};
-pub use refine::{comp_lumping, RefinementResult, RefinementStats, Splitter};
+pub use refine::{
+    comp_lumping, comp_lumping_fallible, FallibleSplitter, RefinementResult, RefinementStats,
+    Splitter,
+};

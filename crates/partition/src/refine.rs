@@ -31,6 +31,47 @@ pub trait Splitter {
     fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, Self::Key)>);
 }
 
+/// A [`Splitter`] whose key computation can abort — the hook through
+/// which compute budgets (deadlines, cancellation) and fault injection
+/// reach the refinement inner loop without this crate depending on any
+/// budget machinery. The same key contract as [`Splitter`] applies.
+///
+/// Every infallible [`Splitter`] is a `FallibleSplitter` with
+/// `Error = Infallible` (blanket impl), so [`comp_lumping_fallible`]
+/// subsumes [`comp_lumping`].
+pub trait FallibleSplitter {
+    /// The comparable key type — the paper's "data type `T`".
+    type Key: Clone + Eq + Hash + Ord + Debug;
+    /// Why a key computation aborted (e.g. a budget ran out).
+    type Error;
+
+    /// As [`Splitter::keys`], or `Err` to abort the whole refinement.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; an error propagates out of
+    /// [`comp_lumping_fallible`] unchanged.
+    fn try_keys(
+        &mut self,
+        class: &[StateId],
+        out: &mut Vec<(StateId, Self::Key)>,
+    ) -> Result<(), Self::Error>;
+}
+
+impl<S: Splitter> FallibleSplitter for S {
+    type Key = S::Key;
+    type Error = std::convert::Infallible;
+
+    fn try_keys(
+        &mut self,
+        class: &[StateId],
+        out: &mut Vec<(StateId, Self::Key)>,
+    ) -> Result<(), Self::Error> {
+        self.keys(class, out);
+        Ok(())
+    }
+}
+
 /// Counters describing one [`comp_lumping`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RefinementStats {
@@ -71,6 +112,28 @@ pub struct RefinementResult {
 ///
 /// See the [crate-level example](crate).
 pub fn comp_lumping<S: Splitter>(initial: Partition, splitter: &mut S) -> RefinementResult {
+    match comp_lumping_fallible(initial, splitter) {
+        Ok(result) => result,
+        Err(never) => match never {},
+    }
+}
+
+/// [`comp_lumping`] over a [`FallibleSplitter`]: identical algorithm and
+/// identical result for identical keys, but a key computation returning
+/// `Err` aborts the refinement and propagates the error.
+///
+/// The worklist order — and therefore the sequence of splitter classes
+/// each `try_keys` call sees — does not depend on anything the splitter
+/// does besides the keys it emits, so a parallel splitter that emits the
+/// same keys as its serial counterpart yields a bit-identical partition.
+///
+/// # Errors
+///
+/// The first error returned by `splitter.try_keys`.
+pub fn comp_lumping_fallible<S: FallibleSplitter>(
+    initial: Partition,
+    splitter: &mut S,
+) -> Result<RefinementResult, S::Error> {
     let mut partition = initial;
     let mut stats = RefinementStats::default();
     let mut worklist: VecDeque<Vec<StateId>> = partition.iter().map(|(_, m)| m.to_vec()).collect();
@@ -79,7 +142,7 @@ pub fn comp_lumping<S: Splitter>(initial: Partition, splitter: &mut S) -> Refine
     while let Some(splitter_class) = worklist.pop_front() {
         stats.splitters_processed += 1;
         buf.clear();
-        splitter.keys(&splitter_class, &mut buf);
+        splitter.try_keys(&splitter_class, &mut buf)?;
         stats.keys_emitted += buf.len();
         if buf.is_empty() {
             continue;
@@ -139,7 +202,7 @@ pub fn comp_lumping<S: Splitter>(initial: Partition, splitter: &mut S) -> Refine
 
     partition.canonicalize();
     debug_assert!(partition.validate());
-    RefinementResult { partition, stats }
+    Ok(RefinementResult { partition, stats })
 }
 
 #[cfg(test)]
@@ -273,5 +336,68 @@ mod tests {
         let rates = vec![vec![0.0; 3]; 3];
         let p = refine(rates, Partition::discrete(3));
         assert!(p.is_discrete());
+    }
+
+    /// Fails on the `fail_on`-th `try_keys` call; delegates otherwise.
+    struct FailingSplitter {
+        inner: DenseOrdinary,
+        calls: usize,
+        fail_on: usize,
+    }
+
+    impl FallibleSplitter for FailingSplitter {
+        type Key = u64;
+        type Error = &'static str;
+        fn try_keys(
+            &mut self,
+            class: &[StateId],
+            out: &mut Vec<(StateId, u64)>,
+        ) -> Result<(), &'static str> {
+            self.calls += 1;
+            if self.calls == self.fail_on {
+                return Err("budget expired");
+            }
+            self.inner.keys(class, out);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn fallible_error_aborts_refinement() {
+        let rates = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 2.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let mut s = FailingSplitter {
+            inner: DenseOrdinary { rates },
+            calls: 0,
+            fail_on: 1,
+        };
+        let err = comp_lumping_fallible(Partition::single_class(3), &mut s).unwrap_err();
+        assert_eq!(err, "budget expired");
+    }
+
+    #[test]
+    fn fallible_without_error_matches_infallible() {
+        let rates = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 2.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let plain = comp_lumping(
+            Partition::single_class(3),
+            &mut DenseOrdinary {
+                rates: rates.clone(),
+            },
+        );
+        let mut never = FailingSplitter {
+            inner: DenseOrdinary { rates },
+            calls: 0,
+            fail_on: usize::MAX,
+        };
+        let fallible = comp_lumping_fallible(Partition::single_class(3), &mut never).unwrap();
+        assert_eq!(plain.partition, fallible.partition);
+        assert_eq!(plain.stats, fallible.stats);
     }
 }

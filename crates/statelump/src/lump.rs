@@ -1,14 +1,29 @@
 use mdl_ctmc::Mrp;
 use mdl_linalg::{CooMatrix, CsrMatrix, Tolerance};
+use mdl_obs::ThreadPool;
 use mdl_partition::{comp_lumping, Partition};
 
 use crate::splitters::{ExactFlatSplitter, OrdinaryFlatSplitter};
 
 /// Options controlling flat lumping.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LumpOptions {
     /// How rate sums are compared (see [`Tolerance`]).
     pub tolerance: Tolerance,
+    /// Worker threads for splitter-key evaluation (`1` = serial, `0` =
+    /// one per hardware thread). The partition is bit-identical for any
+    /// count — block ownership keeps every rate sum in serial addition
+    /// order (DESIGN.md §12).
+    pub threads: usize,
+}
+
+impl Default for LumpOptions {
+    fn default() -> Self {
+        LumpOptions {
+            tolerance: Tolerance::default(),
+            threads: 1,
+        }
+    }
 }
 
 /// Result of lumping a flat CTMC: the quotient matrix, vectors, and the
@@ -37,7 +52,8 @@ pub fn ordinary_partition(rates: &CsrMatrix, reward: &[f64], options: &LumpOptio
     assert_eq!(reward.len(), n, "reward must have one entry per state");
     let tol = options.tolerance;
     let initial = Partition::from_key_fn(n, |s| tol.key(reward[s]));
-    let mut splitter = OrdinaryFlatSplitter::new(rates, tol);
+    let mut splitter =
+        OrdinaryFlatSplitter::with_pool(rates, tol, ThreadPool::new(options.threads));
     refine_instrumented("ordinary", n, initial, &mut splitter)
 }
 
@@ -78,7 +94,7 @@ pub fn exact_partition(rates: &CsrMatrix, initial: &[f64], options: &LumpOptions
     let row_sums = rates.row_sums_vec();
     // P_ini: equal initial probability AND equal total exit rate R(s, S).
     let init = Partition::from_key_fn(n, |s| (tol.key(initial[s]), tol.key(row_sums[s])));
-    let mut splitter = ExactFlatSplitter::new(rates, tol);
+    let mut splitter = ExactFlatSplitter::with_pool(rates, tol, ThreadPool::new(options.threads));
     refine_instrumented("exact", n, init, &mut splitter)
 }
 
@@ -439,6 +455,7 @@ mod tests {
             &reward,
             &LumpOptions {
                 tolerance: Tolerance::Exact,
+                ..Default::default()
             },
         );
         assert!(!exact.same_class(0, 1));
@@ -447,6 +464,7 @@ mod tests {
             &reward,
             &LumpOptions {
                 tolerance: Tolerance::Decimals(9),
+                ..Default::default()
             },
         );
         assert!(rounded.same_class(0, 1));

@@ -1,7 +1,83 @@
 use std::collections::HashMap;
+use std::ops::Range;
 
 use mdl_linalg::{CsrMatrix, Tolerance};
+use mdl_obs::{pool::chunk_ranges, ThreadPool};
 use mdl_partition::{Splitter, StateId};
+
+/// Below this many states the parallel path is pure overhead: evaluate
+/// the splitter serially.
+const PAR_MIN_STATES: usize = 64;
+
+/// Accumulates `Σ_{s ∈ class} matrix(s, j)` per column index `j`, walking
+/// the rows of `class` in order. With `owned`, only column indices inside
+/// the range are accumulated — each index still sees its contributions in
+/// exactly the serial iteration order, which is what makes block-parallel
+/// evaluation bit-identical to serial (DESIGN.md §12).
+fn class_sums(
+    matrix: &CsrMatrix,
+    class: &[StateId],
+    owned: Option<&Range<usize>>,
+) -> HashMap<StateId, f64> {
+    let mut sums: HashMap<StateId, f64> = HashMap::new();
+    for &s in class {
+        for (j, v) in matrix.row(s) {
+            if owned.map_or(true, |r| r.contains(&j)) {
+                *sums.entry(j).or_insert(0.0) += v;
+            }
+        }
+    }
+    sums
+}
+
+/// Converts per-state rate sums into refinement keys, dropping exact
+/// zeros (the default key, per the [`Splitter`] contract).
+fn emit(sums: HashMap<StateId, f64>, tolerance: Tolerance, out: &mut Vec<(StateId, i128)>) {
+    out.extend(
+        sums.into_iter()
+            .filter(|&(_, sum)| sum != 0.0)
+            .map(|(s, sum)| (s, tolerance.key(sum))),
+    );
+}
+
+/// Evaluates `class_sums` over `matrix` on `pool`, block-parallel over
+/// the column index space. Each worker owns a contiguous range of output
+/// indices and walks **all** of the class's rows, so per-index addition
+/// order equals the serial order and the emitted keys are bit-identical
+/// for any worker count.
+fn keys_pooled(
+    matrix: &CsrMatrix,
+    pool: &ThreadPool,
+    tolerance: Tolerance,
+    class: &[StateId],
+    out: &mut Vec<(StateId, i128)>,
+) {
+    let n = matrix.ncols();
+    if pool.threads() == 1 || n < PAR_MIN_STATES {
+        emit(class_sums(matrix, class, None), tolerance, out);
+        return;
+    }
+    let blocks = chunk_ranges(n, pool.threads());
+    let mut span = mdl_obs::span("refine.split.parallel")
+        .with("blocks", blocks.len())
+        .with("class", class.len());
+    let per_block = pool.run(blocks.len(), |b| {
+        let mut local = Vec::new();
+        emit(
+            class_sums(matrix, class, Some(&blocks[b])),
+            tolerance,
+            &mut local,
+        );
+        local
+    });
+    let mut keys = 0usize;
+    for block in per_block {
+        keys += block.len();
+        out.extend(block);
+    }
+    span.record("keys", keys as u64);
+    span.finish();
+}
 
 /// Key function for **ordinary** lumpability on a flat rate matrix:
 /// `K(R, s, C) = R(s, C)`.
@@ -14,15 +90,24 @@ use mdl_partition::{Splitter, StateId};
 pub struct OrdinaryFlatSplitter {
     transpose: CsrMatrix,
     tolerance: Tolerance,
+    pool: ThreadPool,
 }
 
 impl OrdinaryFlatSplitter {
     /// Prepares the splitter for rate matrix `rates` (builds its
-    /// transpose once).
+    /// transpose once). Serial evaluation; see [`Self::with_pool`].
     pub fn new(rates: &CsrMatrix, tolerance: Tolerance) -> Self {
+        Self::with_pool(rates, tolerance, ThreadPool::serial())
+    }
+
+    /// As [`Self::new`], evaluating keys block-parallel on `pool` — the
+    /// keys (and hence the refinement) are bit-identical to serial for
+    /// any worker count.
+    pub fn with_pool(rates: &CsrMatrix, tolerance: Tolerance, pool: ThreadPool) -> Self {
         OrdinaryFlatSplitter {
             transpose: rates.transpose(),
             tolerance,
+            pool,
         }
     }
 }
@@ -31,17 +116,9 @@ impl Splitter for OrdinaryFlatSplitter {
     type Key = i128;
 
     fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, i128)>) {
-        let mut sums: HashMap<StateId, f64> = HashMap::new();
-        for &target in class {
-            for (source, v) in self.transpose.row(target) {
-                *sums.entry(source).or_insert(0.0) += v;
-            }
-        }
-        out.extend(
-            sums.into_iter()
-                .filter(|&(_, sum)| sum != 0.0)
-                .map(|(s, sum)| (s, self.tolerance.key(sum))),
-        );
+        // Rows of the transpose are columns of R: accumulating over the
+        // class's transpose-rows sums R(source, C) per source.
+        keys_pooled(&self.transpose, &self.pool, self.tolerance, class, out);
     }
 }
 
@@ -54,15 +131,23 @@ impl Splitter for OrdinaryFlatSplitter {
 pub struct ExactFlatSplitter {
     rates: CsrMatrix,
     tolerance: Tolerance,
+    pool: ThreadPool,
 }
 
 impl ExactFlatSplitter {
     /// Prepares the splitter for rate matrix `rates` (clones it; the
     /// splitter needs row access for the lifetime of refinement).
     pub fn new(rates: &CsrMatrix, tolerance: Tolerance) -> Self {
+        Self::with_pool(rates, tolerance, ThreadPool::serial())
+    }
+
+    /// As [`Self::new`], evaluating keys block-parallel on `pool` with
+    /// bit-identical results for any worker count.
+    pub fn with_pool(rates: &CsrMatrix, tolerance: Tolerance, pool: ThreadPool) -> Self {
         ExactFlatSplitter {
             rates: rates.clone(),
             tolerance,
+            pool,
         }
     }
 }
@@ -71,17 +156,7 @@ impl Splitter for ExactFlatSplitter {
     type Key = i128;
 
     fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, i128)>) {
-        let mut sums: HashMap<StateId, f64> = HashMap::new();
-        for &source in class {
-            for (target, v) in self.rates.row(source) {
-                *sums.entry(target).or_insert(0.0) += v;
-            }
-        }
-        out.extend(
-            sums.into_iter()
-                .filter(|&(_, sum)| sum != 0.0)
-                .map(|(s, sum)| (s, self.tolerance.key(sum))),
-        );
+        keys_pooled(&self.rates, &self.pool, self.tolerance, class, out);
     }
 }
 
@@ -140,5 +215,42 @@ mod tests {
         let mut out = Vec::new();
         s.keys(&[0, 1], &mut out);
         assert!(out.is_empty());
+    }
+
+    /// A 200-state matrix with awkward (non-dyadic) rates so any change
+    /// in summation order would show up in the low bits.
+    fn awkward(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for s in 0..n {
+            for step in [1usize, 3, 7, 11] {
+                let t = (s + step) % n;
+                coo.push(s, t, 0.1 + (s % 13) as f64 * 0.3 + step as f64 * 0.7);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn parallel_keys_bit_identical_to_serial() {
+        let rates = awkward(200);
+        let class: Vec<StateId> = (0..200).step_by(3).collect();
+        let mut serial_ord = Vec::new();
+        OrdinaryFlatSplitter::new(&rates, Tolerance::Exact).keys(&class, &mut serial_ord);
+        serial_ord.sort();
+        let mut serial_ex = Vec::new();
+        ExactFlatSplitter::new(&rates, Tolerance::Exact).keys(&class, &mut serial_ex);
+        serial_ex.sort();
+        for threads in [2usize, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut out = Vec::new();
+            OrdinaryFlatSplitter::with_pool(&rates, Tolerance::Exact, pool).keys(&class, &mut out);
+            out.sort();
+            assert_eq!(out, serial_ord, "ordinary, {threads} threads");
+            let pool = ThreadPool::new(threads);
+            let mut out = Vec::new();
+            ExactFlatSplitter::with_pool(&rates, Tolerance::Exact, pool).keys(&class, &mut out);
+            out.sort();
+            assert_eq!(out, serial_ex, "exact, {threads} threads");
+        }
     }
 }

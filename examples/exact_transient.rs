@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release --example exact_transient`.
 
-use mdlump::core::{compositional_lump, Combiner, DecomposableVector, LumpKind, MdMrp};
+use mdlump::core::{Combiner, DecomposableVector, LumpKind, LumpRequest, MdMrp};
 use mdlump::ctmc::TransientOptions;
 use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
 use mdlump::mdd::Mdd;
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mrp = MdMrp::new(matrix, reward, initial)?;
     println!("unlumped states: {}", mrp.num_states());
 
-    let result = compositional_lump(&mrp, LumpKind::Exact)?;
+    let result = LumpRequest::new(LumpKind::Exact).run(&mrp)?;
     println!(
         "exactly lumped:  {} states (ring partition: {} classes)",
         result.stats.lumped_states,

@@ -5,14 +5,14 @@
 //!
 //! Run with `cargo run --release --example ftmp_dependability`.
 
-use mdlump::core::{compositional_lump, LumpKind};
+use mdlump::core::{LumpKind, LumpRequest};
 use mdlump::ctmc::{SolverOptions, TransientOptions};
 use mdlump::models::ftmp::{FtmpConfig, FtmpModel};
 
 fn analyze(label: &str, config: FtmpConfig) -> Result<(), Box<dyn std::error::Error>> {
     let model = FtmpModel::new(config);
     let mrp = model.build_md_mrp()?;
-    let result = compositional_lump(&mrp, LumpKind::Ordinary)?;
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp)?;
     let avail = result
         .mrp
         .expected_stationary_reward(&SolverOptions::default())?;

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use mdlump::core::{compositional_lump, Combiner, DecomposableVector, LumpKind};
+use mdlump::core::{Combiner, DecomposableVector, LumpKind, LumpRequest};
 use mdlump::ctmc::SolverOptions;
 use mdlump::md::SparseFactor;
 use mdlump::models::ComposedModel;
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("unlumped states: {}", mrp.num_states());
 
     // Compositionally lump it (the DSN 2005 algorithm).
-    let result = compositional_lump(&mrp, LumpKind::Ordinary)?;
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp)?;
     println!(
         "lumped states:   {}  (x{:.1} reduction, lump took {:?})",
         result.stats.lumped_states,

@@ -7,7 +7,7 @@
 //! Run with `cargo run --release --example shared_repair_fleet -- [M]`
 //! (default `M = 12`).
 
-use mdlump::core::{compositional_lump, LumpKind};
+use mdlump::core::{LumpKind, LumpRequest};
 use mdlump::ctmc::SolverOptions;
 use mdlump::models::shared_repair::{SharedRepairConfig, SharedRepairModel};
 
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let t1 = std::time::Instant::now();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary)?;
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp)?;
     println!(
         "  lumped states:   {} (x{:.0} reduction in {:?})",
         result.stats.lumped_states,

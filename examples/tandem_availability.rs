@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example tandem_availability -- [J]`
 //! (default `J = 1`).
 
-use mdlump::core::{compositional_lump, LumpKind};
+use mdlump::core::{LumpKind, LumpRequest};
 use mdlump::ctmc::SolverOptions;
 use mdlump::models::tandem::{TandemConfig, TandemModel, TandemReward};
 
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let t1 = std::time::Instant::now();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary)?;
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp)?;
     println!(
         "  lumped states:    {} (x{:.1} in {:?})",
         result.stats.lumped_states,
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  steady-state availability (< 2 servers down): {availability:.6}");
 
     let throughput_mrp = model.build_md_mrp_with_reward(TandemReward::Throughput)?;
-    let throughput_lump = compositional_lump(&throughput_mrp, LumpKind::Ordinary)?;
+    let throughput_lump = LumpRequest::new(LumpKind::Ordinary).run(&throughput_mrp)?;
     let throughput = throughput_lump.mrp.expected_stationary_reward(&opts)?;
     println!(
         "  hypercube throughput: {throughput:.6} jobs/time  (lumped to {} states)",
@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let qlen_mrp = model.build_md_mrp_with_reward(TandemReward::MsmqQueueLength)?;
-    let qlen_lump = compositional_lump(&qlen_mrp, LumpKind::Ordinary)?;
+    let qlen_lump = LumpRequest::new(LumpKind::Ordinary).run(&qlen_mrp)?;
     let qlen = qlen_lump.mrp.expected_stationary_reward(&opts)?;
     println!(
         "  mean MSMQ queue length: {qlen:.6}  (lumped to {} states)",

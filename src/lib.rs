@@ -20,11 +20,11 @@
 //!
 //! ```
 //! use mdlump::models::tandem::{TandemConfig, TandemModel};
-//! use mdlump::core::{compositional_lump, LumpKind};
+//! use mdlump::core::{LumpKind, LumpRequest};
 //!
 //! let model = TandemModel::new(TandemConfig { jobs: 1, ..TandemConfig::default() });
 //! let mrp = model.build_md_mrp().expect("model builds");
-//! let lumped = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumpable input");
+//! let lumped = LumpRequest::new(LumpKind::Ordinary).run(&mrp).expect("lumpable input");
 //! assert!(lumped.mrp.num_states() <= mrp.num_states());
 //! ```
 

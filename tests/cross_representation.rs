@@ -2,7 +2,7 @@
 //! sparse matrix and as a matrix diagram must give identical results, and
 //! degenerate cases must collapse to the classical algorithms.
 
-use mdlump::core::{compositional_lump, Combiner, DecomposableVector, LumpKind, MdMrp};
+use mdlump::core::{Combiner, DecomposableVector, LumpKind, LumpRequest, MdMrp};
 use mdlump::ctmc::{
     stationary_gauss_seidel, Mrp, SolverOptions, StationaryMethod, TransientOptions,
 };
@@ -51,7 +51,7 @@ fn single_level_compositional_lumping_equals_state_level_lumping() {
     let (r, reward) = flat_chain();
     let flat = ordinary_lump(&r, &reward, &LumpOptions::default());
     let mrp = as_single_level_md(&r, &reward);
-    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let comp = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert_eq!(
         flat.partition.num_classes() as u64,
         comp.stats.lumped_states,
@@ -95,7 +95,7 @@ fn md_and_flat_transient_agree() {
 fn lumped_chain_measures_match_flat_lumped_measures() {
     let (r, reward) = flat_chain();
     let mrp = as_single_level_md(&r, &reward);
-    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let comp = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     let flat = ordinary_lump(&r, &reward, &LumpOptions::default());
     let opts = SolverOptions {
         method: StationaryMethod::Power,
@@ -153,6 +153,7 @@ fn tolerance_modes_agree_on_exact_arithmetic() {
         &reward,
         &LumpOptions {
             tolerance: Tolerance::Exact,
+            ..Default::default()
         },
     );
     let rounded = ordinary_lump(
@@ -160,6 +161,7 @@ fn tolerance_modes_agree_on_exact_arithmetic() {
         &reward,
         &LumpOptions {
             tolerance: Tolerance::Decimals(9),
+            ..Default::default()
         },
     );
     assert_eq!(

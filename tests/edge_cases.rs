@@ -1,6 +1,6 @@
 //! Edge cases and degenerate inputs across the stack.
 
-use mdlump::core::{compositional_lump, verify, Combiner, DecomposableVector, LumpKind, MdMrp};
+use mdlump::core::{verify, Combiner, DecomposableVector, LumpKind, LumpRequest, MdMrp};
 use mdlump::linalg::Tolerance;
 use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
 use mdlump::mdd::Mdd;
@@ -45,7 +45,7 @@ fn asymmetric_reachability_blocks_matrix_symmetry() {
     let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
 
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert!(
         !result.partitions[1].same_class(1, 2),
         "reachability asymmetry must block the merge"
@@ -77,7 +77,7 @@ fn symmetric_reachability_allows_matrix_symmetry() {
     let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
     let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert!(result.partitions[1].same_class(1, 2));
     verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
 }
@@ -100,7 +100,7 @@ fn minimal_chain_lumps_to_itself() {
         DecomposableVector::new(vec![vec![1.0, 2.0], vec![1.0, 5.0]], Combiner::Product).unwrap();
     let initial = DecomposableVector::uniform(&[2, 2], 4).unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert_eq!(result.stats.lumped_states, 4);
     assert_eq!(result.stats.reduction_factor(), 1.0);
     // Flat matrices are identical up to state order (here: identical).
@@ -121,7 +121,7 @@ fn zero_matrix_collapses_completely() {
     let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
     let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert_eq!(result.stats.lumped_states, 1);
     verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
 }
@@ -138,7 +138,7 @@ fn single_state_levels_are_harmless() {
     let reward = DecomposableVector::constant(&[1, 3, 1], 1.0).unwrap();
     let initial = DecomposableVector::uniform(&[1, 3, 1], 3).unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert_eq!(result.partitions[0].num_classes(), 1);
     assert_eq!(result.partitions[2].num_classes(), 1);
     verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
@@ -163,7 +163,7 @@ fn self_loops_in_r_are_preserved_by_lumping() {
     let reward = DecomposableVector::constant(&[2, 3], 1.0).unwrap();
     let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert!(result.partitions[1].same_class(1, 2));
     verify::verify_ordinary(&mrp, &result, Tolerance::default()).unwrap();
 
@@ -191,25 +191,14 @@ fn tolerant_lumping_merges_noisy_rates() {
     let initial = DecomposableVector::uniform(&[2, 3], 6).unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
 
-    use mdlump::core::{compositional_lump_with, LumpOptions};
-    let exact = compositional_lump_with(
-        &mrp,
-        LumpKind::Ordinary,
-        &LumpOptions {
-            tolerance: Tolerance::Exact,
-            ..Default::default()
-        },
-    )
-    .unwrap();
-    let tolerant = compositional_lump_with(
-        &mrp,
-        LumpKind::Ordinary,
-        &LumpOptions {
-            tolerance: Tolerance::Decimals(9),
-            ..Default::default()
-        },
-    )
-    .unwrap();
+    let exact = LumpRequest::new(LumpKind::Ordinary)
+        .tolerance(Tolerance::Exact)
+        .run(&mrp)
+        .unwrap();
+    let tolerant = LumpRequest::new(LumpKind::Ordinary)
+        .tolerance(Tolerance::Decimals(9))
+        .run(&mrp)
+        .unwrap();
     assert!(tolerant.stats.lumped_states < exact.stats.lumped_states);
     verify::verify_ordinary(&mrp, &tolerant, Tolerance::Decimals(9)).unwrap();
 }

@@ -4,7 +4,7 @@
 //! CTMC by a state-level lumping algorithm that has a flat (i.e., global)
 //! view". These tests pin down two concrete mechanisms.
 
-use mdlump::core::{compositional_lump, DecomposableVector, LumpKind, MdMrp};
+use mdlump::core::{DecomposableVector, LumpKind, LumpRequest, MdMrp};
 use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
 use mdlump::mdd::Mdd;
 use mdlump::statelump::{ordinary_partition, LumpOptions};
@@ -28,7 +28,7 @@ fn cross_level_symmetry_is_out_of_scope() {
 
     // Per-level: each 2-state component is asymmetric (rates 1 vs 2), so
     // the compositional algorithm cannot reduce anything.
-    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let comp = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert_eq!(comp.stats.lumped_states, 4);
 
     // Flat state-level lumping sees (0,1) ≈ (1,0) and finds 3 classes.
@@ -98,7 +98,7 @@ fn formal_sum_condition_is_only_sufficient() {
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
 
     // Compositional: states 1 and 2 stay apart (different formal sums).
-    let comp = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+    let comp = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
     assert!(!comp.partitions[0].same_class(1, 2));
 
     // Flat: rows of (1, *) and (2, *) are equal (2·I = B + C), so the

@@ -2,7 +2,7 @@
 //! supports (stationary, transient, accumulated) must be preserved by both
 //! kinds of compositional lumping.
 
-use mdlump::core::{compositional_lump, Combiner, DecomposableVector, LumpKind, MdMrp};
+use mdlump::core::{Combiner, DecomposableVector, LumpKind, LumpRequest, MdMrp};
 use mdlump::ctmc::{SolverOptions, TransientOptions};
 use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
 use mdlump::mdd::Mdd;
@@ -21,7 +21,9 @@ fn tandem_mrp() -> MdMrp {
 #[test]
 fn ordinary_lump_preserves_transient_reward() {
     let mrp = tandem_mrp();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     let opts = TransientOptions::default();
     for &t in &[0.5, 2.0, 10.0] {
         let full = mrp
@@ -38,7 +40,9 @@ fn ordinary_lump_preserves_transient_reward() {
 #[test]
 fn ordinary_lump_preserves_accumulated_reward() {
     let mrp = tandem_mrp();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     let opts = TransientOptions::default();
     for &t in &[1.0, 5.0] {
         let full = mrp
@@ -62,7 +66,9 @@ fn shared_repair_interval_of_time_measures_preserved() {
         ..SharedRepairConfig::default()
     });
     let mrp = model.build_md_mrp().expect("builds");
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     let opts = TransientOptions::default();
     // Expected machine-uptime accumulated over a mission of length 20.
     let full = mrp.expected_accumulated_reward(20.0, &opts).expect("full");
@@ -104,7 +110,7 @@ fn exact_lump_preserves_accumulated_reward() {
     .unwrap();
     let mrp = MdMrp::new(matrix, reward, initial).unwrap();
 
-    let result = compositional_lump(&mrp, LumpKind::Exact).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Exact).run(&mrp).expect("lumps");
     let measures = result.exact_measures().expect("exact");
     let opts = TransientOptions::default();
     for &t in &[0.5, 2.0, 8.0] {

@@ -2,7 +2,7 @@
 //! diagram + MDD → compositional lumping → verification → numerical
 //! solution → measures.
 
-use mdlump::core::{compositional_lump, compositional_lump_with, verify, LumpKind, LumpOptions};
+use mdlump::core::{verify, LumpKind, LumpRequest};
 use mdlump::ctmc::{SolverOptions, StationaryMethod};
 use mdlump::linalg::Tolerance;
 use mdlump::models::shared_repair::{SharedRepairConfig, SharedRepairModel};
@@ -19,7 +19,9 @@ fn tandem_j1() -> mdlump::core::MdMrp {
 #[test]
 fn tandem_lump_verifies_against_flat_theorems() {
     let mrp = tandem_j1();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     verify::verify_ordinary(&mrp, &result, Tolerance::default())
         .expect("independent Theorem 1/2 verification");
 }
@@ -27,7 +29,9 @@ fn tandem_lump_verifies_against_flat_theorems() {
 #[test]
 fn tandem_lumped_chain_gives_same_availability_with_both_solvers() {
     let mrp = tandem_j1();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     let power = SolverOptions {
         method: StationaryMethod::Power,
         ..Default::default()
@@ -50,7 +54,9 @@ fn tandem_lumped_chain_gives_same_availability_with_both_solvers() {
 #[test]
 fn tandem_lumped_flat_and_symbolic_solutions_agree() {
     let mrp = tandem_j1();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     let opts = SolverOptions::default();
     let symbolic = result.mrp.stationary(&opts).expect("symbolic solve");
     let flat = result.mrp.to_flat_mrp().expect("flattens");
@@ -63,16 +69,13 @@ fn tandem_lumped_flat_and_symbolic_solutions_agree() {
 #[test]
 fn tandem_quasi_reduce_changes_nothing_semantically() {
     let mrp = tandem_j1();
-    let plain = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
-    let reduced = compositional_lump_with(
-        &mrp,
-        LumpKind::Ordinary,
-        &LumpOptions {
-            quasi_reduce: true,
-            ..Default::default()
-        },
-    )
-    .expect("lumps");
+    let plain = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
+    let reduced = LumpRequest::new(LumpKind::Ordinary)
+        .quasi_reduce(true)
+        .run(&mrp)
+        .expect("lumps");
     assert_eq!(plain.stats.lumped_states, reduced.stats.lumped_states);
     let diff = plain
         .mrp
@@ -90,35 +93,37 @@ fn tandem_rewards_constrain_lumping_monotonically() {
         jobs: 1,
         ..TandemConfig::default()
     });
-    let free = compositional_lump(
-        &model
-            .build_md_mrp_with_reward(TandemReward::Constant)
-            .unwrap(),
-        LumpKind::Ordinary,
-    )
-    .unwrap();
-    let avail = compositional_lump(
-        &model
-            .build_md_mrp_with_reward(TandemReward::Availability)
-            .unwrap(),
-        LumpKind::Ordinary,
-    )
-    .unwrap();
+    let free = LumpRequest::new(LumpKind::Ordinary)
+        .run(
+            &model
+                .build_md_mrp_with_reward(TandemReward::Constant)
+                .unwrap(),
+        )
+        .unwrap();
+    let avail = LumpRequest::new(LumpKind::Ordinary)
+        .run(
+            &model
+                .build_md_mrp_with_reward(TandemReward::Availability)
+                .unwrap(),
+        )
+        .unwrap();
     assert!(free.stats.lumped_states <= avail.stats.lumped_states);
-    let qlen = compositional_lump(
-        &model
-            .build_md_mrp_with_reward(TandemReward::MsmqQueueLength)
-            .unwrap(),
-        LumpKind::Ordinary,
-    )
-    .unwrap();
+    let qlen = LumpRequest::new(LumpKind::Ordinary)
+        .run(
+            &model
+                .build_md_mrp_with_reward(TandemReward::MsmqQueueLength)
+                .unwrap(),
+        )
+        .unwrap();
     assert!(free.stats.lumped_states <= qlen.stats.lumped_states);
 }
 
 #[test]
 fn tandem_lump_stats_are_consistent() {
     let mrp = tandem_j1();
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     // Per-level class counts multiply up to at least the lumped count
     // (reachability can only prune the product).
     let product: u64 = result
@@ -145,7 +150,9 @@ fn shared_repair_scales_past_the_unlumped_horizon() {
     });
     let mrp = model.build_md_mrp().expect("builds");
     assert_eq!(mrp.num_states(), 2 * (1 << 14));
-    let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("lumps");
     assert_eq!(result.stats.lumped_states, 2 * 15);
     let mean_up = result
         .mrp
@@ -165,6 +172,6 @@ fn exact_lump_of_tandem_verifies() {
     let mrp = model
         .build_md_mrp_with_reward(TandemReward::Constant)
         .expect("builds");
-    let result = compositional_lump(&mrp, LumpKind::Exact).expect("lumps");
+    let result = LumpRequest::new(LumpKind::Exact).run(&mrp).expect("lumps");
     verify::verify_exact(&mrp, &result, Tolerance::default()).expect("verifies");
 }

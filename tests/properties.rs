@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use mdlump::core::{compositional_lump, verify, DecomposableVector, LumpKind, MdMrp};
+use mdlump::core::{verify, DecomposableVector, LumpKind, LumpRequest, MdMrp};
 use mdlump::linalg::{vec_ops, RateMatrix, Tolerance};
 use mdlump::md::{KroneckerExpr, MdMatrix, SparseFactor};
 use mdlump::mdd::Mdd;
@@ -98,7 +98,7 @@ proptest! {
         let reward = DecomposableVector::constant(&sizes, 1.0).expect("reward");
         let initial = DecomposableVector::uniform(&sizes, 16).expect("initial");
         let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
-        let result = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
+        let result = LumpRequest::new(LumpKind::Ordinary).run(&mrp).expect("lumps");
         prop_assert!(verify::verify_ordinary(&mrp, &result, Tolerance::default()).is_ok());
     }
 
@@ -113,7 +113,7 @@ proptest! {
         let reward = DecomposableVector::constant(&sizes, 1.0).expect("reward");
         let initial = DecomposableVector::uniform(&sizes, 12).expect("initial");
         let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
-        let result = compositional_lump(&mrp, LumpKind::Exact).expect("lumps");
+        let result = LumpRequest::new(LumpKind::Exact).run(&mrp).expect("lumps");
         prop_assert!(verify::verify_exact(&mrp, &result, Tolerance::default()).is_ok());
     }
 
@@ -142,7 +142,7 @@ proptest! {
             let initial =
                 DecomposableVector::uniform(&sizes, count as u64).expect("initial");
             let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
-            let result = compositional_lump(&mrp, kind).expect("lumps");
+            let result = LumpRequest::new(kind).run(&mrp).expect("lumps");
             for (l, planted) in pm.planted.iter().enumerate() {
                 prop_assert!(
                     planted.is_refinement_of(&result.partitions[l]),
@@ -161,8 +161,8 @@ proptest! {
         let reward = DecomposableVector::constant(&sizes, 1.0).expect("reward");
         let initial = DecomposableVector::uniform(&sizes, 16).expect("initial");
         let mrp = MdMrp::new(matrix, reward, initial).expect("mrp");
-        let once = compositional_lump(&mrp, LumpKind::Ordinary).expect("lumps");
-        let twice = compositional_lump(&once.mrp, LumpKind::Ordinary).expect("lumps again");
+        let once = LumpRequest::new(LumpKind::Ordinary).run(&mrp).expect("lumps");
+        let twice = LumpRequest::new(LumpKind::Ordinary).run(&once.mrp).expect("lumps again");
         prop_assert_eq!(once.stats.lumped_states, twice.stats.lumped_states);
     }
 }

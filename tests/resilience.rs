@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use mdlump::core::{compositional_lump, KernelRung, LumpKind, MdResilientOptions};
+use mdlump::core::{KernelRung, LumpKind, LumpRequest, MdResilientOptions};
 use mdlump::ctmc::{AttemptOutcome, SolverOptions, StationaryMethod};
 use mdlump::linalg::vec_ops;
 use mdlump::models::tandem::{TandemConfig, TandemModel};
@@ -15,7 +15,8 @@ fn tandem_mrp() -> mdlump::core::MdMrp {
         ..TandemConfig::default()
     });
     let mrp = model.build_md_mrp().expect("tandem model builds");
-    compositional_lump(&mrp, LumpKind::Ordinary)
+    LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
         .expect("tandem model lumps")
         .mrp
 }
