@@ -1,0 +1,191 @@
+//! Cold-vs-warm timing of the staged pipeline's content-addressed cache.
+//!
+//! Runs the full staged solve — build → lump → kernel compile → solve →
+//! measure — on the tandem model twice against one cache directory
+//! (DESIGN.md §13). The first pass populates the store; the second pass
+//! must restore every stage from it, so its wall clock is pure
+//! deserialization. Emits one JSONL row per pass.
+//!
+//! Run with `cargo run -p mdl-bench --release --bin cache_warm
+//! [--smoke | J]`. `--smoke` runs `J = 1` and exits nonzero unless the
+//! warm pass was all hits (no misses, no writes) and reproduced the
+//! cold pass's measure bit-for-bit — the CI contract check.
+//!
+//! Row fields: `type="cache_warm"`, `model`, `jobs`, `run`
+//! (`"cold"`/`"warm"`), `ns`, `store_hit`, `store_miss`,
+//! `store_write_bytes`, `measure` (the stationary expected reward).
+//! Speedups are environment-dependent and printed, never asserted.
+
+use std::path::Path;
+use std::time::Instant;
+
+use mdl_bench::{duration_ns, emit_jsonl};
+use mdl_core::{CoreError, LumpKind, LumpRequest, Pipeline, SolveOutcome, SolveRequest, Staged};
+use mdl_ctmc::SolverOptions;
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_obs::json::JsonObject;
+use mdl_obs::Budget;
+use mdl_store::Store;
+
+struct Config {
+    jobs: usize,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return Config {
+            jobs: 1,
+            smoke: true,
+        };
+    }
+    let jobs = args.iter().find_map(|a| a.parse().ok()).unwrap_or(3);
+    Config { jobs, smoke: false }
+}
+
+/// One counter out of an obs snapshot (0 when it never fired).
+fn counter(report: &mdl_obs::Report, name: &str) -> u64 {
+    report
+        .counters
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0, |c| c.value)
+}
+
+struct Pass {
+    ns: u64,
+    hit: u64,
+    miss: u64,
+    write_bytes: u64,
+    measure: f64,
+}
+
+/// One full staged solve against the cache directory, mirroring the
+/// CLI's `solve` path: every stage keyed off the model text and the
+/// result-relevant options, so the second call is pure cache hits.
+fn pass(cache_dir: &Path, jobs: usize) -> Pass {
+    mdl_obs::set_enabled(true);
+    mdl_obs::reset();
+    let key = mdl_core::model_source_key(&format!("bench:cache_warm tandem jobs={jobs}"));
+    let store = Store::open(cache_dir).expect("cache directory opens");
+    let pipeline = Pipeline::with_store(key, store);
+
+    let t0 = Instant::now();
+    let built = pipeline
+        .build(|| {
+            TandemModel::new(TandemConfig {
+                jobs,
+                ..TandemConfig::default()
+            })
+            .build_md_mrp_with_reward(TandemReward::Availability)
+            .map_err(|e| CoreError::Build {
+                detail: e.to_string(),
+            })
+        })
+        .expect("tandem model builds");
+    let lumped = pipeline
+        .lump(&built, &LumpRequest::new(LumpKind::Ordinary))
+        .expect("tandem model lumps");
+    let lumped_mrp = Staged {
+        value: lumped.value.mrp.clone(),
+        key: lumped.key,
+        cached: lumped.cached,
+    };
+    let kernel = pipeline
+        .compile(&lumped_mrp, 0, &Budget::unlimited())
+        .expect("kernel compiles");
+    let request = SolveRequest::stationary()
+        .solver_options(SolverOptions {
+            tolerance: 1e-12,
+            ..SolverOptions::default()
+        })
+        .prebuilt_kernel(kernel.value.clone());
+    let (outcome, _report) = pipeline.solve(&lumped_mrp, &request);
+    let staged = outcome.expect("stationary solve succeeds");
+    let measure = pipeline
+        .measure(staged.key, "expected-reward", || match &staged.value {
+            SolveOutcome::Distribution(sol) => Ok(vec![
+                sol.try_expected_reward(&lumped_mrp.value.reward_vector())?
+            ]),
+            SolveOutcome::Value(v) => Ok(vec![*v]),
+        })
+        .expect("measure computes");
+    let elapsed = t0.elapsed();
+
+    let report = mdl_obs::snapshot();
+    mdl_obs::set_enabled(false);
+    Pass {
+        ns: duration_ns(elapsed),
+        hit: counter(&report, "store.hit"),
+        miss: counter(&report, "store.miss"),
+        write_bytes: counter(&report, "store.write_bytes"),
+        measure: measure.value[0],
+    }
+}
+
+fn main() {
+    let cfg = config();
+    println!("staged pipeline cache: cold vs warm pass on the tandem model");
+    let cache_dir = std::env::temp_dir().join(format!(
+        "mdl-bench-cache-warm-{}-j{}",
+        std::process::id(),
+        cfg.jobs
+    ));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let cold = pass(&cache_dir, cfg.jobs);
+    let warm = pass(&cache_dir, cfg.jobs);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    println!(
+        "{:>6} {:>12} {:>6} {:>6} {:>12} {:>20}",
+        "run", "time", "hits", "miss", "written", "measure"
+    );
+    let mut lines = Vec::new();
+    for (run, p) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "{:>6} {:>12} {:>6} {:>6} {:>12} {:>20.12}",
+            run,
+            format!("{:.2?}", std::time::Duration::from_nanos(p.ns)),
+            p.hit,
+            p.miss,
+            format!("{} B", p.write_bytes),
+            p.measure,
+        );
+        let mut obj = JsonObject::new();
+        obj.str("type", "cache_warm")
+            .str("model", "tandem")
+            .u64("jobs", cfg.jobs as u64)
+            .str("run", run)
+            .u64("ns", p.ns)
+            .u64("store_hit", p.hit)
+            .u64("store_miss", p.miss)
+            .u64("store_write_bytes", p.write_bytes)
+            .f64("measure", p.measure);
+        lines.push(obj.close());
+    }
+    emit_jsonl(&lines);
+    if warm.ns > 0 {
+        println!("speedup: {:.1}x", cold.ns as f64 / warm.ns as f64);
+    }
+
+    let all_hits = warm.miss == 0 && warm.write_bytes == 0 && warm.hit >= 4;
+    if !all_hits {
+        eprintln!(
+            "FAIL: warm pass was not pure cache hits (hit={}, miss={}, written={})",
+            warm.hit, warm.miss, warm.write_bytes
+        );
+        std::process::exit(1);
+    }
+    if warm.measure.to_bits() != cold.measure.to_bits() {
+        eprintln!(
+            "FAIL: warm measure {} != cold measure {}",
+            warm.measure, cold.measure
+        );
+        std::process::exit(1);
+    }
+    if cfg.smoke {
+        println!("smoke OK: warm pass restored every stage, measures bit-identical");
+    }
+}

@@ -5,9 +5,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use mdl_core::{
-    KernelOptions, LumpKind, LumpRequest, LumpResult, MdMrp, SolveOutcome, SolveRequest,
+    CoreError, KernelKind, KernelOptions, LumpKind, LumpRequest, LumpResult, MdMrp, Pipeline,
+    SolveOutcome, SolveRequest, Staged,
 };
-use mdl_ctmc::{RunReport, SolverOptions, TransientOptions};
+use mdl_ctmc::{SolverOptions, TransientOptions};
 use mdl_obs::Budget;
 
 use crate::error::CliError;
@@ -32,6 +33,75 @@ pub enum Measure {
     Transient(f64),
     /// Expected reward accumulated over `[0, t]`.
     Accumulated(f64),
+}
+
+/// Everything `solve` needs from the staged pipeline: the engine itself
+/// (with or without an attached artifact store) plus the
+/// checkpoint/resume options riding on its store.
+#[derive(Debug, Clone)]
+pub struct SolveSetup {
+    /// The staged pipeline the solve runs through.
+    pub pipeline: Pipeline,
+    /// `Some(n)`: snapshot long solves into the pipeline's store every
+    /// `n` iterations (stationary) or uniformization steps (transient).
+    pub checkpoint_every: Option<usize>,
+    /// Resume from the snapshot of a previous interrupted run, when one
+    /// exists under the solve's key.
+    pub resume: bool,
+}
+
+impl SolveSetup {
+    /// A setup without persistence: every stage computes, checkpointing
+    /// is off.
+    pub fn ephemeral(model_key: u64) -> Self {
+        SolveSetup {
+            pipeline: Pipeline::new(model_key),
+            checkpoint_every: None,
+            resume: false,
+        }
+    }
+}
+
+/// Runs the pipeline's build stage for the parsed model, carrying
+/// model-layer failures through as [`CoreError::Build`] (whose `Display`
+/// is the original message, so CLI output is unchanged).
+fn build_stage(pipeline: &Pipeline, parsed: &ParsedModel) -> Result<Staged<MdMrp>, CliError> {
+    pipeline
+        .build(|| {
+            parsed.build().map_err(|e| match e {
+                mdl_models::ModelError::Core(c) => c,
+                other => CoreError::Build {
+                    detail: other.to_string(),
+                },
+            })
+        })
+        .map_err(CliError::from)
+}
+
+/// The stationary-solver options every `solve` path shares.
+fn solver_options(budget: &Budget) -> SolverOptions {
+    SolverOptions {
+        tolerance: 1e-12,
+        budget: budget.clone(),
+        ..SolverOptions::default()
+    }
+}
+
+/// The uniformization options every `solve` path shares.
+fn transient_options(budget: &Budget) -> TransientOptions {
+    TransientOptions {
+        budget: budget.clone(),
+        ..TransientOptions::default()
+    }
+}
+
+/// The single scalar a measure stage stored. Defensive rather than
+/// indexed: a damaged cache must never panic the CLI.
+fn scalar(values: &[f64]) -> Result<f64, CliError> {
+    values
+        .first()
+        .copied()
+        .ok_or_else(|| CliError::Failed("cached measure artifact is empty".into()))
 }
 
 /// `info`: structural description of the model and its symbolic
@@ -96,7 +166,9 @@ fn run_lump(
         .map_err(CliError::from)
 }
 
-/// `lump`: run compositional lumping and report the reduction.
+/// `lump`: run compositional lumping and report the reduction. Both
+/// stages (build, lump) go through `pipeline`, so with a cache directory
+/// a repeated lump is two artifact loads.
 ///
 /// # Errors
 ///
@@ -108,9 +180,17 @@ pub fn lump(
     iterate: bool,
     deadline: Option<Duration>,
     threads: usize,
+    pipeline: &Pipeline,
 ) -> Result<String, CliError> {
-    let mrp = parsed.build().map_err(|e| e.to_string())?;
-    let result = run_lump(&mrp, kind, iterate, &budget_for(deadline), threads)?;
+    let built = build_stage(pipeline, parsed)?;
+    let request = LumpRequest::new(kind)
+        .threads(threads)
+        .budget(budget_for(deadline))
+        .iterate(iterate);
+    let result = &pipeline
+        .lump(&built, &request)
+        .map_err(CliError::from)?
+        .value;
     let rounds = result.stats.rounds;
     let mut out = String::new();
     writeln!(
@@ -171,62 +251,76 @@ fn expected_reward(mrp: &MdMrp, outcome: SolveOutcome) -> Result<f64, CliError> 
     }
 }
 
-/// Solves one measure directly on a single kernel/method configuration
-/// (no fallback ladder). Used for the lumped chain and the cross-check.
-fn solve_direct(
-    mrp: &MdMrp,
-    exact: Option<&LumpResult>,
+/// Solves the measure on an exact lump through its embedded exit-rate
+/// measures (the exact path has no kernel or fallback ladder), cached as
+/// a measure stage under the lump's key.
+fn solve_exact(
+    pipeline: &Pipeline,
+    lumped: &Staged<LumpResult>,
     measure: Measure,
-    sopts: &SolverOptions,
-    topts: &TransientOptions,
-    kernel: &KernelOptions,
+    budget: &Budget,
 ) -> Result<f64, CliError> {
-    match exact {
-        None => {
-            let (outcome, _) = request_for(measure, sopts, topts, kernel).run(mrp);
-            expected_reward(mrp, outcome?)
-        }
-        Some(result) => {
-            let measures = result.exact_measures().expect("exact lump has exit rates");
+    let label = format!("exact:{measure:?}");
+    let staged = pipeline
+        .measure(lumped.key, &label, || {
+            let measures = lumped
+                .value
+                .exact_measures()
+                .expect("exact lump has exit rates");
+            let sopts = solver_options(budget);
+            let topts = transient_options(budget);
             let value = match measure {
-                Measure::Stationary => measures.expected_stationary_reward(sopts)?,
-                Measure::Transient(t) => measures.expected_transient_reward(t, topts)?,
-                Measure::Accumulated(t) => measures.expected_accumulated_reward(t, topts)?,
+                Measure::Stationary => measures.expected_stationary_reward(&sopts)?,
+                Measure::Transient(t) => measures.expected_transient_reward(t, &topts)?,
+                Measure::Accumulated(t) => measures.expected_accumulated_reward(t, &topts)?,
             };
-            Ok(value)
-        }
-    }
+            Ok(vec![value])
+        })
+        .map_err(CliError::from)?;
+    scalar(&staged.value)
 }
 
-/// Solves the lumped chain through the resilient fallback ladder.
-/// Exact lumps solve through their embedded measures instead (the exact
-/// path has no ladder) and report no attempts.
-fn solve_with_fallback(
-    result: &LumpResult,
-    kind: LumpKind,
+/// Cross-checks the lumped measure against the unlumped chain, cached as
+/// a measure stage under the build key so a warm run skips the (much
+/// larger) unlumped solve too.
+fn cross_check(
+    pipeline: &Pipeline,
+    built: &Staged<MdMrp>,
     measure: Measure,
-    sopts: &SolverOptions,
-    topts: &TransientOptions,
     kernel: &KernelOptions,
-) -> Result<(f64, Option<RunReport>), CliError> {
-    if kind == LumpKind::Exact {
-        let value = solve_direct(&result.mrp, Some(result), measure, sopts, topts, kernel)?;
-        return Ok((value, None));
-    }
-    let (outcome, report) = request_for(measure, sopts, topts, kernel)
-        .fallback(true)
-        .run(&result.mrp);
-    let value = expected_reward(&result.mrp, outcome?)?;
-    Ok((value, Some(report)))
+    budget: &Budget,
+) -> Result<f64, CliError> {
+    let label = format!("cross-check:{measure:?}");
+    let staged = pipeline
+        .measure(built.key, &label, || {
+            let sopts = solver_options(budget);
+            let topts = transient_options(budget);
+            let (outcome, _) = request_for(measure, &sopts, &topts, kernel).run(&built.value);
+            let value = match outcome? {
+                SolveOutcome::Distribution(sol) => {
+                    sol.try_expected_reward(&built.value.reward_vector())?
+                }
+                SolveOutcome::Value(v) => v,
+            };
+            Ok(vec![value])
+        })
+        .map_err(CliError::from)?;
+    scalar(&staged.value)
 }
 
-/// `solve`: lump, solve the lumped chain, report the measure (with a
-/// cross-check against the unlumped chain when it is small enough).
+/// `solve`: run the staged pipeline — build, lump, compile the kernel,
+/// solve the lumped chain, report the measure (with a cross-check
+/// against the unlumped chain when it is small enough). With a cache
+/// directory every stage persists its artifacts and a repeated solve is
+/// pure cache hits.
 ///
 /// With `--fallback` the lumped chain solves through the resilient
 /// `(method, kernel)` ladder; `--report` appends the per-attempt log;
 /// `--deadline` bounds the whole run (lump, compile, solve,
-/// cross-check).
+/// cross-check). `setup` carries the pipeline plus checkpoint/resume:
+/// with `checkpoint_every`, stationary and transient solves snapshot
+/// their iterate into the store, and with `resume` an interrupted solve
+/// continues from its snapshot (the snapshot is cleared on success).
 ///
 /// # Errors
 ///
@@ -239,34 +333,101 @@ pub fn solve(
     cross_check_limit: usize,
     kernel: &KernelOptions,
     resilience: &ResilienceFlags,
+    setup: &SolveSetup,
 ) -> Result<String, CliError> {
-    let mrp = parsed.build().map_err(|e| e.to_string())?;
+    let pipeline = &setup.pipeline;
     let budget = resilience.budget();
-    let result = run_lump(&mrp, kind, false, &budget, kernel.threads)?;
+    let built = build_stage(pipeline, parsed)?;
+    let lump_request = LumpRequest::new(kind)
+        .threads(kernel.threads)
+        .budget(budget.clone());
+    let lumped = pipeline
+        .lump(&built, &lump_request)
+        .map_err(CliError::from)?;
     let mut out = String::new();
     writeln!(
         out,
         "lumped {} -> {} states; solving the lumped chain",
-        result.stats.original_states, result.stats.lumped_states
+        lumped.value.stats.original_states, lumped.value.stats.lumped_states
     )?;
 
-    let sopts = SolverOptions {
-        tolerance: 1e-12,
-        budget: budget.clone(),
-        ..SolverOptions::default()
-    };
-    let topts = TransientOptions {
-        budget: budget.clone(),
-        ..TransientOptions::default()
-    };
-    let (lumped_value, report) = if resilience.fallback {
-        solve_with_fallback(&result, kind, measure, &sopts, &topts, kernel)?
+    let (lumped_value, report) = if kind == LumpKind::Exact {
+        (solve_exact(pipeline, &lumped, measure, &budget)?, None)
     } else {
-        let exact = (kind == LumpKind::Exact).then_some(&result);
-        (
-            solve_direct(&result.mrp, exact, measure, &sopts, &topts, kernel)?,
-            None,
-        )
+        // The lumped MRP re-staged under the lump key: the input to the
+        // kernel-compile and solve stages.
+        let lumped_mrp = Staged {
+            value: lumped.value.mrp.clone(),
+            key: lumped.key,
+            cached: lumped.cached,
+        };
+        let mut sopts = solver_options(&budget);
+        let mut topts = transient_options(&budget);
+        // The solve key ignores checkpoint sinks, warm starts and
+        // prebuilt kernels, so it can be derived before they are wired.
+        let base = request_for(measure, &sopts, &topts, kernel).fallback(resilience.fallback);
+        let solve_key = pipeline.solve_key(lumped_mrp.key, &base);
+        if let Some(every) = setup.checkpoint_every {
+            match measure {
+                Measure::Stationary => {
+                    sopts.checkpoint = pipeline.stationary_checkpoint_sink(solve_key, every);
+                }
+                Measure::Transient(_) => {
+                    topts.checkpoint = pipeline.transient_checkpoint_sink(solve_key, every);
+                }
+                // The accumulated-reward scalar has no snapshot form.
+                Measure::Accumulated(_) => {}
+            }
+        }
+        if setup.resume {
+            if let Some(ck) = pipeline.load_checkpoint(solve_key) {
+                writeln!(
+                    out,
+                    "resuming from checkpoint ({} iterations in)",
+                    ck.iterations
+                )?;
+                match measure {
+                    Measure::Stationary => sopts.warm_start = Some(ck.iterate),
+                    Measure::Transient(_) => {
+                        topts.resume_from = mdl_core::transient_resume(&ck);
+                    }
+                    Measure::Accumulated(_) => {}
+                }
+            }
+        }
+
+        // Compile (or restore) the kernel whenever a compiled product
+        // may run. A compile failure under --fallback is not fatal — the
+        // ladder degrades through the walk and flat-CSR rungs.
+        let wants_kernel = kernel.kind == KernelKind::Compiled || resilience.fallback;
+        let prebuilt = if wants_kernel {
+            match pipeline.compile(&lumped_mrp, kernel.threads, &budget) {
+                Ok(staged) => Some(staged.value),
+                Err(_) if resilience.fallback => {
+                    mdl_obs::counter("pipeline.compile.failed").inc();
+                    None
+                }
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            None
+        };
+        let mut request =
+            request_for(measure, &sopts, &topts, kernel).fallback(resilience.fallback);
+        if let Some(k) = prebuilt {
+            request = request.prebuilt_kernel(k);
+        }
+        let (outcome, run_report) = pipeline.solve(&lumped_mrp, &request);
+        let staged = outcome.map_err(CliError::from)?;
+        let value = expected_reward(&lumped_mrp.value, staged.value)?;
+        // The solve finished: its checkpoint (if any) must not be
+        // replayed by a later --resume.
+        if setup.checkpoint_every.is_some() || setup.resume {
+            pipeline
+                .clear_checkpoint(solve_key)
+                .map_err(CliError::from)?;
+        }
+        (value, resilience.fallback.then_some(run_report))
     };
     writeln!(out, "measure ({measure:?}): {lumped_value:.10}")?;
     if resilience.report {
@@ -279,8 +440,8 @@ pub fn solve(
         }
     }
 
-    if mrp.num_states() <= cross_check_limit {
-        let full_value = solve_direct(&mrp, None, measure, &sopts, &topts, kernel)?;
+    if built.value.num_states() <= cross_check_limit {
+        let full_value = cross_check(pipeline, &built, measure, kernel, &budget)?;
         writeln!(
             out,
             "cross-check (unlumped chain): {full_value:.10}  |Δ| = {:.3e}",
@@ -345,6 +506,20 @@ pub fn simulate(
 mod tests {
     use super::*;
     use crate::parser::parse_model;
+    use mdl_core::model_source_key;
+
+    /// The default ephemeral setup tests solve through.
+    fn setup() -> SolveSetup {
+        SolveSetup::ephemeral(model_source_key(MODEL))
+    }
+
+    /// A per-test cache directory under the system temp dir, cleaned
+    /// before use so every run starts cold.
+    fn cache_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdl-cli-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     const MODEL: &str = "
 component ctrl 2 initial 0
@@ -404,7 +579,15 @@ reward sum
     #[test]
     fn lump_finds_worker_bit_symmetry() {
         let parsed = parse_model(MODEL).unwrap();
-        let out = lump(&parsed, LumpKind::Ordinary, false, None, 0).unwrap();
+        let out = lump(
+            &parsed,
+            LumpKind::Ordinary,
+            false,
+            None,
+            0,
+            &setup().pipeline,
+        )
+        .unwrap();
         // The 8 worker bitmask states lump to 4 counts: 2×8 -> 2×4.
         assert!(out.contains("16 -> 8 states"), "{out}");
     }
@@ -419,6 +602,7 @@ reward sum
             1_000,
             &KernelOptions::default(),
             &ResilienceFlags::default(),
+            &setup(),
         )
         .unwrap();
         assert!(out.contains("cross-check"), "{out}");
@@ -441,6 +625,7 @@ reward sum
                 threads: 1,
             },
             &ResilienceFlags::default(),
+            &setup(),
         )
         .unwrap();
         for threads in [1usize, 4] {
@@ -454,6 +639,7 @@ reward sum
                     threads,
                 },
                 &ResilienceFlags::default(),
+                &setup(),
             )
             .unwrap();
             assert_eq!(walk, compiled, "kernel products are bit-identical");
@@ -470,6 +656,7 @@ reward sum
             1_000,
             &KernelOptions::default(),
             &ResilienceFlags::default(),
+            &setup(),
         )
         .unwrap();
         let resilient = solve(
@@ -483,6 +670,7 @@ reward sum
                 report: true,
                 deadline: None,
             },
+            &setup(),
         )
         .unwrap();
         assert!(resilient.contains("solve attempts:"), "{resilient}");
@@ -508,6 +696,7 @@ reward sum
                 report: true,
                 deadline: None,
             },
+            &setup(),
         )
         .unwrap();
         assert!(accumulated.contains("solve attempts:"), "{accumulated}");
@@ -528,14 +717,115 @@ reward sum
                 fallback: false,
                 report: false,
             },
+            &setup(),
         )
         .unwrap_err();
         assert!(matches!(err, CliError::Interrupted(_)), "{err:?}");
         assert_eq!(err.exit_code(), crate::error::EXIT_INTERRUPTED);
         assert!(err.to_string().contains("interrupted"), "{err}");
 
-        let err = lump(&parsed, LumpKind::Ordinary, true, Some(Duration::ZERO), 1).unwrap_err();
+        let err = lump(
+            &parsed,
+            LumpKind::Ordinary,
+            true,
+            Some(Duration::ZERO),
+            1,
+            &setup().pipeline,
+        )
+        .unwrap_err();
         assert!(matches!(err, CliError::Interrupted(_)), "{err:?}");
+    }
+
+    #[test]
+    fn warm_cache_solve_output_is_identical_and_all_stages_hit() {
+        let _g = mdl_obs::testing::guard();
+        let dir = cache_dir("warm-solve");
+        let store = mdl_store::Store::open(&dir).unwrap();
+        let parsed = parse_model(MODEL).unwrap();
+        let warm_setup = || SolveSetup {
+            pipeline: Pipeline::with_store(model_source_key(MODEL), store.clone()),
+            checkpoint_every: None,
+            resume: false,
+        };
+        let run = || {
+            solve(
+                &parsed,
+                LumpKind::Ordinary,
+                Measure::Stationary,
+                1_000,
+                &KernelOptions::default(),
+                &ResilienceFlags::default(),
+                &warm_setup(),
+            )
+            .unwrap()
+        };
+        let cold = run();
+
+        mdl_obs::reset();
+        mdl_obs::set_enabled(true);
+        let warm = run();
+        assert_eq!(cold, warm, "warm output must be byte-identical");
+        let report = mdl_obs::snapshot();
+        let count = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap_or(0)
+        };
+        // Build, lump, compile, solve and the two measures (lumped value
+        // is the solve stage; cross-check is a measure stage) all hit.
+        assert!(count("store.hit") >= 5, "{report:?}");
+        assert_eq!(count("store.miss"), 0, "{report:?}");
+        assert_eq!(count("store.write_bytes"), 0, "{report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_solve_writes_and_clears_its_snapshot() {
+        let _g = mdl_obs::testing::guard();
+        mdl_obs::set_enabled(true);
+        let dir = cache_dir("checkpoint");
+        let store = mdl_store::Store::open(&dir).unwrap();
+        let parsed = parse_model(MODEL).unwrap();
+        let setup = SolveSetup {
+            pipeline: Pipeline::with_store(model_source_key(MODEL), store.clone()),
+            checkpoint_every: Some(1),
+            resume: true,
+        };
+        let out = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            0,
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup,
+        )
+        .unwrap();
+        assert!(out.contains("measure"), "{out}");
+        // Snapshots were written during the run…
+        let report = mdl_obs::snapshot();
+        let written = report
+            .counters
+            .iter()
+            .find(|c| c.name == "checkpoint.written")
+            .map(|c| c.value)
+            .unwrap_or(0);
+        assert!(written >= 1, "{report:?}");
+        // …and cleared on success, so nothing is left to resume.
+        let base = mdl_core::SolveRequest::stationary()
+            .solver_options(solver_options(&Budget::unlimited()));
+        // Rebuild the solve key the same way solve() does.
+        let built = build_stage(&setup.pipeline, &parsed).unwrap();
+        let lumped = setup
+            .pipeline
+            .lump(&built, &LumpRequest::new(LumpKind::Ordinary))
+            .unwrap();
+        let solve_key = setup.pipeline.solve_key(lumped.key, &base);
+        assert!(setup.pipeline.load_checkpoint(solve_key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -567,6 +857,7 @@ reward sum
                 1_000,
                 &KernelOptions::default(),
                 &ResilienceFlags::default(),
+                &setup(),
             )
             .unwrap();
             assert!(out.contains("measure"), "{out}");

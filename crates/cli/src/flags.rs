@@ -161,6 +161,26 @@ pub fn value_of<'a>(flags: &'a [String], flag: &str) -> Result<Option<&'a str>, 
     }
 }
 
+/// The one checked-parse path every valued flag goes through: looks up
+/// `flag`'s value (missing values are explicit errors via [`value_of`])
+/// and runs it through `parse`, prefixing any parse failure with the
+/// flag name so the user always learns *which* flag was malformed.
+///
+/// # Errors
+///
+/// "`<flag>` needs a value" for a present flag without a value, and
+/// "`<flag>`: `<why>`" when `parse` rejects the value.
+pub fn flag_parsed<T>(
+    flags: &[String],
+    flag: &str,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Result<Option<T>, String> {
+    match value_of(flags, flag)? {
+        None => Ok(None),
+        Some(v) => parse(v).map(Some).map_err(|why| format!("{flag}: {why}")),
+    }
+}
+
 /// Parses the value of `flag` as a finite `f64`.
 ///
 /// # Errors
@@ -168,18 +188,15 @@ pub fn value_of<'a>(flags: &'a [String], flag: &str) -> Result<Option<&'a str>, 
 /// Explicit messages for a missing value, a non-numeric value, and a
 /// non-finite value.
 pub fn flag_f64(flags: &[String], flag: &str) -> Result<Option<f64>, String> {
-    match value_of(flags, flag)? {
-        None => Ok(None),
-        Some(v) => {
-            let x: f64 = v
-                .parse()
-                .map_err(|_| format!("{flag}: invalid value {v:?} (expected a number)"))?;
-            if !x.is_finite() {
-                return Err(format!("{flag}: value must be finite, got {v:?}"));
-            }
-            Ok(Some(x))
+    flag_parsed(flags, flag, |v| {
+        let x: f64 = v
+            .parse()
+            .map_err(|_| format!("invalid value {v:?} (expected a number)"))?;
+        if !x.is_finite() {
+            return Err(format!("value must be finite, got {v:?}"));
         }
-    }
+        Ok(x)
+    })
 }
 
 /// Parsed resilience options shared by the long-running subcommands.
@@ -234,27 +251,26 @@ pub fn parse_resilience_flags(flags: &[String]) -> Result<ResilienceFlags, Strin
 /// Explicit messages for a missing value, an unknown unit, and a
 /// negative or non-finite amount.
 pub fn flag_duration(flags: &[String], flag: &str) -> Result<Option<std::time::Duration>, String> {
-    let Some(v) = value_of(flags, flag)? else {
-        return Ok(None);
-    };
-    let (number, scale) = if let Some(n) = v.strip_suffix("us") {
-        (n, 1e-6)
-    } else if let Some(n) = v.strip_suffix("ms") {
-        (n, 1e-3)
-    } else if let Some(n) = v.strip_suffix('s') {
-        (n, 1.0)
-    } else {
-        (v, 1.0)
-    };
-    let x: f64 = number.parse().map_err(|_| {
-        format!("{flag}: invalid duration {v:?} (expected e.g. `250ms`, `1.5s` or seconds)")
-    })?;
-    if !x.is_finite() || x < 0.0 {
-        return Err(format!(
-            "{flag}: duration must be finite and non-negative, got {v:?}"
-        ));
-    }
-    Ok(Some(std::time::Duration::from_secs_f64(x * scale)))
+    flag_parsed(flags, flag, |v| {
+        let (number, scale) = if let Some(n) = v.strip_suffix("us") {
+            (n, 1e-6)
+        } else if let Some(n) = v.strip_suffix("ms") {
+            (n, 1e-3)
+        } else if let Some(n) = v.strip_suffix('s') {
+            (n, 1.0)
+        } else {
+            (v, 1.0)
+        };
+        let x: f64 = number.parse().map_err(|_| {
+            format!("invalid duration {v:?} (expected e.g. `250ms`, `1.5s` or seconds)")
+        })?;
+        if !x.is_finite() || x < 0.0 {
+            return Err(format!(
+                "duration must be finite and non-negative, got {v:?}"
+            ));
+        }
+        Ok(std::time::Duration::from_secs_f64(x * scale))
+    })
 }
 
 /// Parses the value of `flag` as a `u64` (also used for counts, which
@@ -264,13 +280,71 @@ pub fn flag_duration(flags: &[String], flag: &str) -> Result<Option<std::time::D
 ///
 /// Explicit messages for a missing or non-integer value.
 pub fn flag_u64(flags: &[String], flag: &str) -> Result<Option<u64>, String> {
-    match value_of(flags, flag)? {
-        None => Ok(None),
-        Some(v) => v
-            .parse()
-            .map(Some)
-            .map_err(|_| format!("{flag}: invalid value {v:?} (expected a non-negative integer)")),
+    flag_parsed(flags, flag, |v| {
+        v.parse()
+            .map_err(|_| format!("invalid value {v:?} (expected a non-negative integer)"))
+    })
+}
+
+/// Parsed artifact-cache and checkpoint/resume options for the staged
+/// pipeline. All default to off: caching only activates when a cache
+/// directory is configured, by flag or environment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineFlags {
+    /// The artifact cache directory: `--cache-dir DIR`, falling back to
+    /// the `MDL_CACHE` environment variable. `None` disables caching.
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// `--checkpoint-every N`: snapshot long solves into the cache every
+    /// `N` iterations (stationary) or uniformization steps (transient).
+    pub checkpoint_every: Option<u64>,
+    /// `--resume`: continue an interrupted solve from its snapshot.
+    pub resume: bool,
+}
+
+/// The environment variable naming a default cache directory when
+/// `--cache-dir` is not given.
+pub const CACHE_ENV_VAR: &str = "MDL_CACHE";
+
+/// Extracts `--cache-dir DIR`, `--checkpoint-every N` and `--resume`
+/// from `flags`. `env_cache` is the value of [`CACHE_ENV_VAR`] (passed
+/// in, not read here, so tests stay hermetic); an explicit `--cache-dir`
+/// wins over it, and an empty value reads as unset.
+///
+/// # Errors
+///
+/// A message naming the flag for a missing or malformed value, and for
+/// `--checkpoint-every` / `--resume` without a cache directory — both
+/// store their snapshots there, so without one they silently would do
+/// nothing.
+pub fn parse_pipeline_flags(
+    flags: &[String],
+    env_cache: Option<&str>,
+) -> Result<PipelineFlags, String> {
+    let explicit = flag_parsed(flags, "--cache-dir", |v| Ok(std::path::PathBuf::from(v)))?;
+    let cache_dir = explicit.or_else(|| {
+        env_cache
+            .filter(|v| !v.trim().is_empty())
+            .map(std::path::PathBuf::from)
+    });
+    let checkpoint_every = flag_count(flags, "--checkpoint-every")?;
+    let resume = flags.iter().any(|f| f == "--resume");
+    if cache_dir.is_none() {
+        if checkpoint_every.is_some() {
+            return Err(format!(
+                "--checkpoint-every needs a cache directory (--cache-dir DIR or {CACHE_ENV_VAR}) to write snapshots into"
+            ));
+        }
+        if resume {
+            return Err(format!(
+                "--resume needs a cache directory (--cache-dir DIR or {CACHE_ENV_VAR}) to read snapshots from"
+            ));
+        }
     }
+    Ok(PipelineFlags {
+        cache_dir,
+        checkpoint_every,
+        resume,
+    })
 }
 
 #[cfg(test)]
@@ -467,6 +541,95 @@ mod tests {
         assert!(e.contains("--metrics needs a value"), "{e}");
         let e = parse_obs_flags(&args(&["--metrics-out", "--trace"])).unwrap_err();
         assert!(e.contains("--metrics-out needs a value"), "{e}");
+    }
+
+    #[test]
+    fn flag_parsed_reports_the_flag_and_the_reason() {
+        // The generic path: absent flag is None, value flows through…
+        let ok = flag_parsed(&args(&["--cache-dir", "/tmp/c"]), "--cache-dir", |v| {
+            Ok(v.len())
+        })
+        .unwrap();
+        assert_eq!(ok, Some(6));
+        assert_eq!(
+            flag_parsed(&args(&[]), "--cache-dir", |v| Ok(v.len())).unwrap(),
+            None
+        );
+        // …missing values error before parse runs…
+        let e = flag_parsed(&args(&["--cache-dir"]), "--cache-dir", |v| Ok(v.len())).unwrap_err();
+        assert!(e.contains("--cache-dir needs a value"), "{e}");
+        // …and parse rejections come back prefixed with the flag.
+        let e = flag_parsed(&args(&["--level", "loud"]), "--level", |_| {
+            Err::<usize, _>("unknown level".into())
+        })
+        .unwrap_err();
+        assert_eq!(e, "--level: unknown level");
+    }
+
+    #[test]
+    fn pipeline_flags_parse_and_env_fallback() {
+        use std::path::PathBuf;
+        assert_eq!(
+            parse_pipeline_flags(&args(&[]), None).unwrap(),
+            PipelineFlags::default()
+        );
+        // The flag wins over the environment; the environment fills in
+        // when the flag is absent; empty environment values read as unset.
+        let f = parse_pipeline_flags(&args(&["--cache-dir", "/tmp/a"]), Some("/tmp/b")).unwrap();
+        assert_eq!(f.cache_dir, Some(PathBuf::from("/tmp/a")));
+        let f = parse_pipeline_flags(&args(&[]), Some("/tmp/b")).unwrap();
+        assert_eq!(f.cache_dir, Some(PathBuf::from("/tmp/b")));
+        assert_eq!(
+            parse_pipeline_flags(&args(&[]), Some("  "))
+                .unwrap()
+                .cache_dir,
+            None
+        );
+
+        let f = parse_pipeline_flags(
+            &args(&[
+                "--cache-dir",
+                "/tmp/a",
+                "--checkpoint-every",
+                "500",
+                "--resume",
+            ]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(f.checkpoint_every, Some(500));
+        assert!(f.resume);
+    }
+
+    #[test]
+    fn pipeline_flags_errors_are_explicit() {
+        let e = parse_pipeline_flags(&args(&["--cache-dir"]), None).unwrap_err();
+        assert!(e.contains("--cache-dir needs a value"), "{e}");
+        let e = parse_pipeline_flags(
+            &args(&["--cache-dir", "/c", "--checkpoint-every", "0"]),
+            None,
+        )
+        .unwrap_err();
+        assert!(
+            e.contains("--checkpoint-every") && e.contains("at least 1"),
+            "{e}"
+        );
+        let e = parse_pipeline_flags(
+            &args(&["--cache-dir", "/c", "--checkpoint-every", "9.5"]),
+            None,
+        )
+        .unwrap_err();
+        assert!(e.contains("integer"), "{e}");
+        // Checkpointing and resuming are meaningless without a store.
+        let e = parse_pipeline_flags(&args(&["--checkpoint-every", "100"]), None).unwrap_err();
+        assert!(e.contains("cache directory"), "{e}");
+        let e = parse_pipeline_flags(&args(&["--resume"]), None).unwrap_err();
+        assert!(
+            e.contains("cache directory") && e.contains("--resume"),
+            "{e}"
+        );
+        // An environment-provided cache satisfies the requirement.
+        assert!(parse_pipeline_flags(&args(&["--resume"]), Some("/tmp/c")).is_ok());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]
 //!                     [--kernel walk|compiled] [--threads N]
 //!                     [--deadline DUR] [--fallback] [--report]
+//!                     [--cache-dir DIR] [--checkpoint-every N] [--resume]
 //! mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]
 //!                     [--deadline DUR]
 //! ```
@@ -31,7 +32,7 @@ use mdl_core::LumpKind;
 use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR] [--cache-dir DIR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n                      [--cache-dir DIR] [--checkpoint-every N] [--resume]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nartifact cache (lump and solve):\n  --cache-dir DIR         content-addressed cache of every pipeline\n                          stage (build, lump, kernel compile, solve,\n                          measures): artifacts persist under keys\n                          derived from the model text and the\n                          result-relevant options, so a repeated run is\n                          pure cache hits (the MDL_CACHE environment\n                          variable supplies a default directory)\n  --checkpoint-every N    with a cache: snapshot long stationary /\n                          transient solves every N iterations so an\n                          interrupted run can continue\n  --resume                with a cache: continue an interrupted solve\n                          from its checkpoint (cleared on success)\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
 }
 
@@ -95,6 +96,20 @@ fn emit_report(emitter: &Emitter) {
     }
 }
 
+/// The staged pipeline for this invocation: keyed by the raw model text,
+/// persistent when a cache directory is configured.
+fn pipeline_for(pf: &flags::PipelineFlags, input: &str) -> Result<mdl_core::Pipeline, CliError> {
+    let key = mdl_core::model_source_key(input);
+    Ok(match &pf.cache_dir {
+        None => mdl_core::Pipeline::new(key),
+        Some(dir) => mdl_core::Pipeline::with_store(
+            key,
+            mdl_store::Store::open(dir)
+                .map_err(|e| format!("cache directory {}: {e}", dir.display()))?,
+        ),
+    })
+}
+
 fn run() -> Result<String, CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (command, file) = match args.as_slice() {
@@ -109,6 +124,10 @@ fn run() -> Result<String, CliError> {
     };
 
     let obs = setup_obs(&flags::parse_obs_flags(flag_args)?)?;
+    let pipeline_flags = flags::parse_pipeline_flags(
+        flag_args,
+        std::env::var(flags::CACHE_ENV_VAR).ok().as_deref(),
+    )?;
 
     let input = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let parsed = parse_model(&input).map_err(|e| e.to_string())?;
@@ -119,7 +138,8 @@ fn run() -> Result<String, CliError> {
             let iterate = flag_args.iter().any(|f| f == "--iterate");
             let deadline = flags::flag_duration(flag_args, "--deadline")?;
             let threads = flags::flag_threads(flag_args)?.unwrap_or(0);
-            commands::lump(&parsed, kind, iterate, deadline, threads)
+            let pipeline = pipeline_for(&pipeline_flags, &input)?;
+            commands::lump(&parsed, kind, iterate, deadline, threads, &pipeline)
         }
         "solve" => {
             let transient = flags::flag_f64_nonneg(flag_args, "--transient")?;
@@ -136,7 +156,20 @@ fn run() -> Result<String, CliError> {
             };
             let kernel = flags::parse_kernel_flags(flag_args)?;
             let resilience = flags::parse_resilience_flags(flag_args)?;
-            commands::solve(&parsed, kind, measure, 200_000, &kernel, &resilience)
+            let setup = commands::SolveSetup {
+                pipeline: pipeline_for(&pipeline_flags, &input)?,
+                checkpoint_every: pipeline_flags.checkpoint_every.map(|n| n as usize),
+                resume: pipeline_flags.resume,
+            };
+            commands::solve(
+                &parsed,
+                kind,
+                measure,
+                200_000,
+                &kernel,
+                &resilience,
+                &setup,
+            )
         }
         "simulate" => {
             let horizon = flags::flag_f64_positive(flag_args, "--horizon")?.unwrap_or(100.0);

@@ -39,6 +39,7 @@ fn worker_pool_measures_cross_check() {
         1_000,
         &KernelOptions::default(),
         &mdl_cli::flags::ResilienceFlags::default(),
+        &commands::SolveSetup::ephemeral(0),
     )
     .expect("solves");
     assert!(out.contains("cross-check"), "{out}");

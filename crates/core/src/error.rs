@@ -40,6 +40,18 @@ pub enum CoreError {
         /// Why the work was cut short.
         reason: mdl_obs::BudgetExceeded,
     },
+    /// The pipeline's artifact store failed (I/O on save, typically).
+    /// Unreadable *cached* artifacts never surface here — the pipeline
+    /// treats them as cache misses and recomputes.
+    Store(mdl_store::StoreError),
+    /// A [`Pipeline::build`](crate::Pipeline::build) builder closure
+    /// failed for a reason outside this crate (e.g. a malformed model
+    /// description). The detail is the original error's full message, so
+    /// `Display` passes it through unchanged.
+    Build {
+        /// The original error, stringified.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -62,6 +74,8 @@ impl fmt::Display for CoreError {
             CoreError::Interrupted { phase, reason } => {
                 write!(f, "interrupted during {phase}: {reason}")
             }
+            CoreError::Store(e) => write!(f, "artifact store error: {e}"),
+            CoreError::Build { detail } => write!(f, "{detail}"),
         }
     }
 }
@@ -72,6 +86,7 @@ impl std::error::Error for CoreError {
             CoreError::Md(e) => Some(e),
             CoreError::Quotient(e) => Some(e),
             CoreError::Ctmc(e) => Some(e),
+            CoreError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -92,6 +107,12 @@ impl From<mdl_mdd::QuotientError> for CoreError {
 impl From<mdl_ctmc::CtmcError> for CoreError {
     fn from(e: mdl_ctmc::CtmcError) -> Self {
         CoreError::Ctmc(e)
+    }
+}
+
+impl From<mdl_store::StoreError> for CoreError {
+    fn from(e: mdl_store::StoreError) -> Self {
+        CoreError::Store(e)
     }
 }
 

@@ -72,6 +72,7 @@ pub mod exact;
 mod local;
 mod lump;
 mod mrp;
+mod pipeline;
 mod resilient;
 mod solve;
 mod splitter;
@@ -87,6 +88,7 @@ pub use lump::{
 };
 pub use lump::{LevelLumpStats, LumpKind, LumpOptions, LumpRequest, LumpResult, LumpStats};
 pub use mrp::{KernelKind, KernelOptions, MdMrp};
+pub use pipeline::{model_source_key, transient_resume, Pipeline, Staged};
 pub use resilient::{KernelRung, MdResilientOptions};
 pub use solve::{SolveOutcome, SolveRequest, SolveTarget};
 

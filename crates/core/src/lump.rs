@@ -287,6 +287,31 @@ impl LumpRequest {
             run_single(mrp, self.kind, &self.options, &self.budget)
         }
     }
+
+    /// Feeds every **result-relevant** field into a cache-key hash: the
+    /// lump kind, the comparison tolerance, the quasi-reduce /
+    /// per-node-fixed-point / canonicalize switches and the iterate flag.
+    /// Thread counts and budgets are excluded — the computed partitions
+    /// and the lumped MD are bit-identical for every thread count
+    /// (DESIGN.md §12), and a budget changes whether the run finishes,
+    /// never what it produces.
+    pub fn write_cache_key(&self, h: &mut mdl_store::Fnv1a) {
+        h.write_u64(match self.kind {
+            LumpKind::Ordinary => 0,
+            LumpKind::Exact => 1,
+        });
+        match self.options.tolerance {
+            Tolerance::Exact => h.write_u64(0),
+            Tolerance::Decimals(d) => {
+                h.write_u64(1);
+                h.write_u64(d as u64);
+            }
+        }
+        h.write_u64(self.options.quasi_reduce as u64);
+        h.write_u64(self.options.per_node_fixed_point as u64);
+        h.write_u64(self.options.canonicalize as u64);
+        h.write_u64(self.iterate as u64);
+    }
 }
 
 impl Default for LumpKind {

@@ -13,6 +13,8 @@
 //! once and shared across rungs, so falling back does not redo the
 //! expensive preparation that already succeeded.
 
+use std::sync::Arc;
+
 use mdl_ctmc::{
     solve_ladder, AttemptOutcome, ResilientError, RunReport, Solution, SolverOptions,
     StationaryMethod, TransientOptions,
@@ -49,7 +51,7 @@ impl KernelRung {
     }
 }
 
-fn method_label(method: StationaryMethod) -> &'static str {
+pub(crate) fn method_label(method: StationaryMethod) -> &'static str {
     match method {
         StationaryMethod::Power => "power",
         StationaryMethod::Jacobi => "jacobi",
@@ -106,14 +108,23 @@ impl ResilientError for CoreError {
 }
 
 /// Kernels shared across ladder rungs: each expensive preparation runs
-/// at most once even when several rungs use it.
+/// at most once even when several rungs use it. The compiled slot can be
+/// pre-seeded with a kernel deserialized from the artifact store, in
+/// which case no rung ever pays the compile.
 #[derive(Default)]
-struct KernelCache {
-    compiled: Option<CompiledMdMatrix>,
+pub(crate) struct KernelCache {
+    compiled: Option<Arc<CompiledMdMatrix>>,
     flat: Option<CsrMatrix>,
 }
 
 impl KernelCache {
+    pub(crate) fn seeded(prebuilt: Option<Arc<CompiledMdMatrix>>) -> Self {
+        KernelCache {
+            compiled: prebuilt,
+            flat: None,
+        }
+    }
+
     fn compiled(
         &mut self,
         mrp: &MdMrp,
@@ -121,13 +132,13 @@ impl KernelCache {
         budget: &mdl_obs::Budget,
     ) -> Result<&CompiledMdMatrix> {
         if self.compiled.is_none() {
-            self.compiled = Some(CompiledMdMatrix::compile_budgeted(
+            self.compiled = Some(Arc::new(CompiledMdMatrix::compile_budgeted(
                 mrp.matrix(),
                 threads,
                 budget,
-            )?);
+            )?));
         }
-        Ok(self.compiled.as_ref().expect("just compiled"))
+        Ok(self.compiled.as_deref().expect("just compiled"))
     }
 
     fn flat(&mut self, mrp: &MdMrp) -> &CsrMatrix {
@@ -150,7 +161,18 @@ impl MdMrp {
     ///
     /// Panics if `options.ladder` is empty.
     pub fn solve_resilient(&self, options: &MdResilientOptions) -> (Result<Solution>, RunReport) {
-        let mut cache = KernelCache::default();
+        self.solve_resilient_with_kernel(options, None)
+    }
+
+    /// [`Self::solve_resilient`] with a pre-built compiled kernel (e.g.
+    /// deserialized from the pipeline's artifact store): compiled rungs
+    /// use it directly instead of compiling.
+    pub fn solve_resilient_with_kernel(
+        &self,
+        options: &MdResilientOptions,
+        prebuilt: Option<Arc<CompiledMdMatrix>>,
+    ) -> (Result<Solution>, RunReport) {
+        let mut cache = KernelCache::seeded(prebuilt);
         solve_ladder(
             &options.ladder,
             |(m, k)| (method_label(*m), Some(k.label())),
@@ -186,8 +208,22 @@ impl MdMrp {
         rungs: &[KernelRung],
         threads: usize,
     ) -> (Result<Solution>, RunReport) {
+        self.transient_resilient_with_kernel(t, options, rungs, threads, None)
+    }
+
+    /// [`Self::transient_resilient`] with a pre-built compiled kernel;
+    /// semantics as for
+    /// [`solve_resilient_with_kernel`](Self::solve_resilient_with_kernel).
+    pub fn transient_resilient_with_kernel(
+        &self,
+        t: f64,
+        options: &TransientOptions,
+        rungs: &[KernelRung],
+        threads: usize,
+        prebuilt: Option<Arc<CompiledMdMatrix>>,
+    ) -> (Result<Solution>, RunReport) {
         let initial = self.initial_vector();
-        let mut cache = KernelCache::default();
+        let mut cache = KernelCache::seeded(prebuilt);
         solve_ladder(
             rungs,
             |k| ("uniformization", Some(k.label())),
@@ -315,6 +351,51 @@ mod tests {
         assert_eq!(report.attempts.len(), 1);
         assert_eq!(report.attempts[0].method, "uniformization");
         assert_eq!(sol.probabilities, direct.probabilities);
+    }
+
+    #[test]
+    fn seeded_kernel_is_used_and_bit_identical() {
+        // With a pre-built kernel seeded, the compiled rung answers even
+        // under a zero node cap (which would interrupt any fresh compile),
+        // and the solution matches the unseeded run bit for bit.
+        let mrp = sample_mrp();
+        let (plain, _) = mrp.solve_resilient(&MdResilientOptions::default());
+        let plain = plain.unwrap();
+
+        let prebuilt = Arc::new(mrp.compile_matrix(1));
+        let opts = MdResilientOptions {
+            ladder: vec![(StationaryMethod::Jacobi, KernelRung::Compiled)],
+            options: SolverOptions {
+                budget: mdl_obs::Budget::unlimited().node_cap(0),
+                ..SolverOptions::default()
+            },
+            threads: 1,
+        };
+        let (seeded, report) = mrp.solve_resilient_with_kernel(&opts, Some(prebuilt.clone()));
+        let seeded = seeded.unwrap();
+        assert_eq!(report.attempts.len(), 1);
+        assert_eq!(seeded.probabilities, plain.probabilities);
+
+        let (direct, _) = mrp.transient_resilient(
+            0.7,
+            &TransientOptions::default(),
+            &[KernelRung::Compiled],
+            1,
+        );
+        let (tseeded, _) = mrp.transient_resilient_with_kernel(
+            0.7,
+            &TransientOptions {
+                budget: mdl_obs::Budget::unlimited().node_cap(0),
+                ..TransientOptions::default()
+            },
+            &[KernelRung::Compiled],
+            1,
+            Some(prebuilt),
+        );
+        assert_eq!(
+            tseeded.unwrap().probabilities,
+            direct.unwrap().probabilities
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! or resilient — returns the same `(result, RunReport)` shape, so
 //! callers render attempts uniformly.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mdl_ctmc::{
@@ -17,9 +18,10 @@ use mdl_ctmc::{
 };
 use mdl_md::CompiledMdMatrix;
 use mdl_obs::Budget;
+use mdl_store::Fnv1a;
 
 use crate::mrp::{KernelKind, KernelOptions, MdMrp};
-use crate::resilient::{KernelRung, MdResilientOptions};
+use crate::resilient::{method_label, KernelRung, MdResilientOptions};
 use crate::Result;
 
 /// What a [`SolveRequest`] computes.
@@ -98,6 +100,7 @@ pub struct SolveRequest {
     fallback: bool,
     ladder: Option<Vec<(StationaryMethod, KernelRung)>>,
     rungs: Option<Vec<KernelRung>>,
+    prebuilt: Option<Arc<CompiledMdMatrix>>,
 }
 
 impl SolveRequest {
@@ -111,6 +114,7 @@ impl SolveRequest {
             fallback: false,
             ladder: None,
             rungs: None,
+            prebuilt: None,
         }
     }
 
@@ -202,6 +206,76 @@ impl SolveRequest {
         self
     }
 
+    /// Supplies a pre-built compiled kernel (e.g. deserialized from the
+    /// pipeline's artifact store): compiled rungs use it directly instead
+    /// of compiling. The kernel must belong to the MRP the request is run
+    /// against (the pipeline guarantees this by deriving both from the
+    /// same stage key). Does not enter the cache key — the products are
+    /// bit-identical either way.
+    #[must_use]
+    pub fn prebuilt_kernel(mut self, kernel: Arc<CompiledMdMatrix>) -> Self {
+        self.prebuilt = Some(kernel);
+        self
+    }
+
+    /// What this request computes.
+    pub fn target(&self) -> SolveTarget {
+        self.target
+    }
+
+    /// Feeds every **result-relevant** field into a cache-key hash.
+    ///
+    /// Included: the target (and its time point), the stationary method
+    /// and its convergence parameters, the uniformization parameters, the
+    /// kernel kind, and the fallback ladder/rungs. Excluded — because the
+    /// result is bit-identical regardless (DESIGN.md §12) or they only
+    /// change *where* the iteration starts, not which fixed point it
+    /// reaches: thread counts, budgets, warm starts, checkpoint sinks,
+    /// resume snapshots, and any pre-built kernel.
+    pub fn write_cache_key(&self, h: &mut Fnv1a) {
+        match self.target {
+            SolveTarget::Stationary => h.write_u64(0),
+            SolveTarget::Transient(t) => {
+                h.write_u64(1);
+                h.write_f64(t);
+            }
+            SolveTarget::AccumulatedReward(t) => {
+                h.write_u64(2);
+                h.write_f64(t);
+            }
+        }
+        h.write_str(method_label(self.solver.method));
+        h.write_f64(self.solver.tolerance);
+        h.write_usize(self.solver.max_iterations);
+        h.write_usize(self.solver.check_every);
+        h.write_f64(self.solver.jacobi_damping);
+        h.write_usize(self.solver.stagnation_window);
+        h.write_f64(self.transient.epsilon);
+        h.write_usize(self.transient.max_steps);
+        h.write_f64(self.transient.steady_state_epsilon);
+        h.write_str(self.direct_rung().label());
+        h.write_u64(self.fallback as u64);
+        match &self.ladder {
+            None => h.write_u64(0),
+            Some(ladder) => {
+                h.write_usize(1 + ladder.len());
+                for (m, k) in ladder {
+                    h.write_str(method_label(*m));
+                    h.write_str(k.label());
+                }
+            }
+        }
+        match &self.rungs {
+            None => h.write_u64(0),
+            Some(rungs) => {
+                h.write_usize(1 + rungs.len());
+                for k in rungs {
+                    h.write_str(k.label());
+                }
+            }
+        }
+    }
+
     fn direct_rung(&self) -> KernelRung {
         match self.kernel.kind {
             KernelKind::Walk => KernelRung::Walk,
@@ -236,15 +310,17 @@ impl SolveRequest {
                     options: self.solver.clone(),
                     threads: self.kernel.threads,
                 };
-                let (result, report) = mrp.solve_resilient(&options);
+                let (result, report) =
+                    mrp.solve_resilient_with_kernel(&options, self.prebuilt.clone());
                 (result.map(SolveOutcome::Distribution), report)
             }
             SolveTarget::Transient(t) => {
-                let (result, report) = mrp.transient_resilient(
+                let (result, report) = mrp.transient_resilient_with_kernel(
                     t,
                     &self.transient,
                     &self.kernel_rungs(),
                     self.kernel.threads,
+                    self.prebuilt.clone(),
                 );
                 (result.map(SolveOutcome::Distribution), report)
             }
@@ -258,7 +334,7 @@ impl SolveRequest {
     fn run_accumulated(&self, mrp: &MdMrp, t: f64) -> (Result<SolveOutcome>, RunReport) {
         let initial = mrp.initial_vector();
         let reward = mrp.reward_vector();
-        let mut compiled: Option<CompiledMdMatrix> = None;
+        let mut compiled: Option<Arc<CompiledMdMatrix>> = self.prebuilt.clone();
         let mut report = RunReport::default();
         let mut last_err = None;
         for rung in self.kernel_rungs() {
@@ -267,13 +343,13 @@ impl SolveRequest {
                 let value = match rung {
                     KernelRung::Compiled => {
                         if compiled.is_none() {
-                            compiled = Some(CompiledMdMatrix::compile_budgeted(
+                            compiled = Some(Arc::new(CompiledMdMatrix::compile_budgeted(
                                 mrp.matrix(),
                                 self.kernel.threads,
                                 &self.transient.budget,
-                            )?);
+                            )?));
                         }
-                        let kernel = compiled.as_ref().expect("just compiled");
+                        let kernel = compiled.as_deref().expect("just compiled");
                         mdl_ctmc::accumulated_reward(kernel, &initial, &reward, t, &self.transient)?
                     }
                     KernelRung::Walk => mdl_ctmc::accumulated_reward(

@@ -59,10 +59,11 @@ pub use resilient::{
 };
 pub use solver::{
     stationary_gauss_seidel, stationary_jacobi, stationary_power, stationary_power_with_exit_rates,
-    stationary_sor, Solution, SolveStats, SolverOptions, StationaryMethod,
+    stationary_sor, CheckpointSink, Solution, SolveStats, SolverOptions, StationaryMethod,
 };
 pub use transient::{
     transient_uniformization, transient_uniformization_with_exit_rates, TransientOptions,
+    TransientProgress, TransientSink,
 };
 
 /// Convenience alias for fallible CTMC operations.

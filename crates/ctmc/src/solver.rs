@@ -17,6 +17,42 @@ pub enum StationaryMethod {
     Jacobi,
 }
 
+/// The [`CheckpointSink`] callback: `(iterations_completed, residual,
+/// iterate)`.
+pub type StationarySinkFn = dyn Fn(usize, f64, &[f64]) + Send + Sync;
+
+/// Periodic snapshot hook for long stationary solves.
+///
+/// The sink receives `(iterations, residual, iterate)` every
+/// [`every`](CheckpointSink::every) iterations, and once more with the
+/// partial iterate when the compute budget interrupts the solve — so an
+/// interrupted run always leaves a fresh snapshot, however large the
+/// period. The iterate is normalized (`Σ = 1`) and can warm-start a later
+/// run via [`SolverOptions::warm_start`]; power and Jacobi converge to
+/// the same fixed point from any positive start, so a resumed solve
+/// agrees with an uninterrupted one to within the solver tolerance.
+#[derive(Clone)]
+pub struct CheckpointSink {
+    /// Snapshot period in iterations (values `< 1` are treated as `1`).
+    pub every: usize,
+    /// The callback: `(iterations_completed, residual, iterate)`.
+    pub sink: std::sync::Arc<StationarySinkFn>,
+}
+
+impl std::fmt::Debug for CheckpointSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointSink")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for CheckpointSink {
+    fn eq(&self, other: &Self) -> bool {
+        self.every == other.every && std::sync::Arc::ptr_eq(&self.sink, &other.sink)
+    }
+}
+
 /// Options shared by the stationary solvers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
@@ -54,6 +90,15 @@ pub struct SolverOptions {
     /// [`CtmcError::NotConverged`] instead of burning the rest of the
     /// iteration budget. `0` disables the guard.
     pub stagnation_window: usize,
+    /// Initial iterate. `None` starts from the uniform distribution;
+    /// `Some(v)` starts from `v` (validated: right length, finite,
+    /// non-negative, positive sum) after L1 normalization. Used to resume
+    /// an interrupted solve from a [`CheckpointSink`] snapshot. The warm
+    /// start does not enter any cache key: it changes where the iteration
+    /// starts, not which fixed point it converges to.
+    pub warm_start: Option<Vec<f64>>,
+    /// Periodic snapshot hook; `None` disables checkpointing.
+    pub checkpoint: Option<CheckpointSink>,
 }
 
 impl Default for SolverOptions {
@@ -66,6 +111,59 @@ impl Default for SolverOptions {
             jacobi_damping: 0.75,
             budget: mdl_obs::Budget::unlimited(),
             stagnation_window: 1000,
+            warm_start: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// The starting iterate: a validated, L1-normalized warm start if one was
+/// supplied, the uniform distribution otherwise.
+fn initial_iterate(n: usize, options: &SolverOptions) -> Result<Vec<f64>> {
+    let Some(start) = &options.warm_start else {
+        return Ok(vec![1.0 / n as f64; n]);
+    };
+    if start.len() != n {
+        return Err(CtmcError::LengthMismatch {
+            what: "warm start",
+            got: start.len(),
+            expected: n,
+        });
+    }
+    let mut pi = start.clone();
+    let mut sum = 0.0;
+    for (s, &v) in pi.iter().enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(CtmcError::InvalidValue {
+                what: "warm start",
+                index: s,
+                value: v,
+            });
+        }
+        sum += v;
+    }
+    if sum <= 0.0 || !sum.is_finite() {
+        return Err(CtmcError::InvalidValue {
+            what: "warm start sum",
+            index: 0,
+            value: sum,
+        });
+    }
+    for v in pi.iter_mut() {
+        *v /= sum;
+    }
+    Ok(pi)
+}
+
+/// Feeds one periodic snapshot to the checkpoint sink (if configured and
+/// due at this iteration). `force` bypasses the period — used on budget
+/// interrupts so the final snapshot is never stale.
+#[inline]
+fn maybe_checkpoint(options: &SolverOptions, it: usize, residual: f64, pi: &[f64], force: bool) {
+    if let Some(ck) = &options.checkpoint {
+        if force || (it > 0 && it % ck.every.max(1) == 0) {
+            (ck.sink)(it, residual, pi);
+            mdl_obs::counter("solve.checkpoint").inc();
         }
     }
 }
@@ -318,12 +416,13 @@ pub fn stationary_power_with_exit_rates<M: RateMatrix>(
 
     let mut ticker = options.budget.ticker(32);
     let mut guard = StagnationGuard::new(options.stagnation_window);
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = initial_iterate(n, options)?;
     let mut next = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
         if let Err(reason) = ticker.tick() {
             let _ = obs.done(it - 1, residual, false);
+            maybe_checkpoint(options, it - 1, residual, &pi, true);
             return Err(CtmcError::interrupted(
                 "solve.power",
                 it - 1,
@@ -360,6 +459,7 @@ pub fn stationary_power_with_exit_rates<M: RateMatrix>(
                 stats: obs.done(it, residual, true),
             });
         }
+        maybe_checkpoint(options, it, residual, &pi, false);
         if guard.observe(residual) {
             let _ = obs.done(it, residual, false);
             return Err(CtmcError::NotConverged {
@@ -401,12 +501,13 @@ pub fn stationary_jacobi<M: RateMatrix>(rates: &M, options: &SolverOptions) -> R
     let mut ticker = options.budget.ticker(32);
     let mut guard = StagnationGuard::new(options.stagnation_window);
     let mut tightenings = 0u32;
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = initial_iterate(n, options)?;
     let mut next = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
         if let Err(reason) = ticker.tick() {
             let _ = obs.done(it - 1, residual, false);
+            maybe_checkpoint(options, it - 1, residual, &pi, true);
             return Err(CtmcError::interrupted(
                 "solve.jacobi",
                 it - 1,
@@ -438,6 +539,7 @@ pub fn stationary_jacobi<M: RateMatrix>(rates: &M, options: &SolverOptions) -> R
                 stats: obs.done(it, residual, true),
             });
         }
+        maybe_checkpoint(options, it, residual, &pi, false);
         if guard.observe(residual) {
             // Stagnation or oscillation: tighten the damping before
             // giving up — a smaller ω breaks period-2 cycling without
@@ -493,12 +595,13 @@ pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Re
 
     let mut ticker = options.budget.ticker(32);
     let mut guard = StagnationGuard::new(options.stagnation_window);
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = initial_iterate(n, options)?;
     let mut prev = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
         if let Err(reason) = ticker.tick() {
             let _ = obs.done(it - 1, residual, false);
+            maybe_checkpoint(options, it - 1, residual, &pi, true);
             return Err(CtmcError::interrupted(
                 "solve.gauss_seidel",
                 it - 1,
@@ -541,6 +644,7 @@ pub fn stationary_gauss_seidel(rates: &CsrMatrix, options: &SolverOptions) -> Re
                 stats: obs.done(it, residual, true),
             });
         }
+        maybe_checkpoint(options, it, residual, &pi, false);
         if guard.observe(residual) {
             let _ = obs.done(it, residual, false);
             return Err(CtmcError::NotConverged {
@@ -586,12 +690,13 @@ pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) ->
 
     let mut ticker = options.budget.ticker(32);
     let mut guard = StagnationGuard::new(options.stagnation_window);
-    let mut pi = vec![1.0 / n as f64; n];
+    let mut pi = initial_iterate(n, options)?;
     let mut flow = vec![0.0; n];
     let mut residual = f64::INFINITY;
     for it in 1..=options.max_iterations {
         if let Err(reason) = ticker.tick() {
             let _ = obs.done(it - 1, residual, false);
+            maybe_checkpoint(options, it - 1, residual, &pi, true);
             return Err(CtmcError::interrupted(
                 "solve.sor",
                 it - 1,
@@ -639,6 +744,7 @@ pub fn stationary_sor(rates: &CsrMatrix, omega: f64, options: &SolverOptions) ->
                     stats: obs.done(it, residual, true),
                 });
             }
+            maybe_checkpoint(options, it, residual, &pi, false);
             // The guard sees one sample per *check*, so its window counts
             // checks here — still a fixed multiple of real iterations.
             if guard.observe(residual) {
@@ -1170,5 +1276,166 @@ mod tests {
                 && e.fields
                     .contains(&("iteration", Value::U64(sol.stats.iterations as u64)))
         }));
+    }
+
+    #[test]
+    fn warm_start_near_fixed_point_converges_fast() {
+        let r = birth_death(1.0, 2.0, 20);
+        let cold = stationary_power(&r, &SolverOptions::default()).unwrap();
+        let warm = stationary_power(
+            &r,
+            &SolverOptions {
+                warm_start: Some(cold.probabilities.clone()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            warm.stats.iterations < cold.stats.iterations / 2,
+            "warm {} vs cold {}",
+            warm.stats.iterations,
+            cold.stats.iterations
+        );
+        assert_close(&warm.probabilities, &cold.probabilities, 1e-9);
+    }
+
+    #[test]
+    fn warm_start_is_normalized_not_trusted() {
+        // An unnormalized warm start must be scaled to a distribution, so
+        // the fixed point reached is identical to the cold solve's.
+        let r = birth_death(2.0, 3.0, 5);
+        let cold = stationary_power(&r, &SolverOptions::default()).unwrap();
+        let scaled: Vec<f64> = cold.probabilities.iter().map(|p| 7.0 * p).collect();
+        let warm = stationary_power(
+            &r,
+            &SolverOptions {
+                warm_start: Some(scaled),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_close(&warm.probabilities, &cold.probabilities, 1e-9);
+    }
+
+    #[test]
+    fn warm_start_validation_errors() {
+        let r = birth_death(1.0, 1.0, 4);
+        let short = SolverOptions {
+            warm_start: Some(vec![1.0; 3]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            stationary_power(&r, &short),
+            Err(CtmcError::LengthMismatch {
+                what: "warm start",
+                got: 3,
+                expected: 4,
+            })
+        ));
+        let negative = SolverOptions {
+            warm_start: Some(vec![0.5, -0.1, 0.3, 0.3]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            stationary_jacobi(&r, &negative),
+            Err(CtmcError::InvalidValue {
+                what: "warm start",
+                index: 1,
+                ..
+            })
+        ));
+        let zero = SolverOptions {
+            warm_start: Some(vec![0.0; 4]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            stationary_gauss_seidel(&r, &zero),
+            Err(CtmcError::InvalidValue {
+                what: "warm start sum",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_sink_fires_periodically_and_resumes_identically() {
+        use std::sync::{Arc, Mutex};
+        let r = birth_death(1.0, 2.0, 30);
+        let opts = SolverOptions {
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let uninterrupted = stationary_power(&r, &opts).unwrap();
+
+        let snaps: Arc<Mutex<Vec<(usize, f64, Vec<f64>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_snaps = snaps.clone();
+        let with_sink = SolverOptions {
+            checkpoint: Some(CheckpointSink {
+                every: 10,
+                sink: std::sync::Arc::new(move |it, res, pi| {
+                    sink_snaps.lock().unwrap().push((it, res, pi.to_vec()));
+                }),
+            }),
+            ..opts.clone()
+        };
+        let sol = stationary_power(&r, &with_sink).unwrap();
+        assert_eq!(sol.probabilities, uninterrupted.probabilities);
+        let snaps = snaps.lock().unwrap();
+        assert!(!snaps.is_empty(), "sink never fired");
+        for (it, _, pi) in snaps.iter() {
+            assert_eq!(it % 10, 0);
+            assert!(
+                (vec_ops::sum(pi) - 1.0).abs() < 1e-12,
+                "snapshot normalized"
+            );
+        }
+
+        // Resuming from a mid-run snapshot reaches the same fixed point.
+        let (mid_it, _, mid_pi) = snaps[snaps.len() / 2].clone();
+        let resumed = stationary_power(
+            &r,
+            &SolverOptions {
+                warm_start: Some(mid_pi),
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_close(&resumed.probabilities, &uninterrupted.probabilities, 1e-10);
+        assert!(
+            mid_it + resumed.stats.iterations
+                <= uninterrupted.stats.iterations + uninterrupted.stats.iterations / 4 + 2,
+            "resume must not redo substantially more work: {} after {} vs {}",
+            resumed.stats.iterations,
+            mid_it,
+            uninterrupted.stats.iterations
+        );
+    }
+
+    #[test]
+    fn interrupt_flushes_a_final_checkpoint() {
+        use std::sync::{Arc, Mutex};
+        let r = birth_death(1.0, 2.0, 8);
+        let snaps: Arc<Mutex<Vec<(usize, Vec<f64>)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_snaps = snaps.clone();
+        let opts = SolverOptions {
+            budget: mdl_obs::Budget::unlimited().deadline_in(std::time::Duration::ZERO),
+            checkpoint: Some(CheckpointSink {
+                // Far larger than the run: only the forced interrupt flush
+                // can fire.
+                every: 1_000_000,
+                sink: std::sync::Arc::new(move |it, _res, pi| {
+                    sink_snaps.lock().unwrap().push((it, pi.to_vec()));
+                }),
+            }),
+            ..Default::default()
+        };
+        let err = stationary_power(&r, &opts).unwrap_err();
+        let snaps = snaps.lock().unwrap();
+        assert_eq!(snaps.len(), 1, "exactly the forced flush");
+        let CtmcError::Interrupted { progress, .. } = err else {
+            panic!("expected Interrupted");
+        };
+        assert_eq!(snaps[0].0, progress.iterations);
+        assert_eq!(snaps[0].1, progress.partial);
     }
 }

@@ -3,6 +3,71 @@ use mdl_linalg::{vec_ops, RateMatrix};
 use crate::solver::{Solution, SolveStats};
 use crate::{CtmcError, Result};
 
+/// Mid-run state of a uniformization solve, sufficient to resume it.
+///
+/// The invariant at every snapshot point: `result` holds the weighted
+/// Poisson terms `0 .. steps`, `v = π₀ Pˢᵗᵉᵖˢ` is the next power iterate
+/// to weigh, and `ln_weight = ln PoissonΛt(steps)`. Resuming via
+/// [`TransientOptions::resume_from`] is only meaningful against the same
+/// matrix, initial distribution and horizon `t` — content-addressed
+/// callers guarantee that by keying checkpoints on those inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientProgress {
+    /// Uniformization steps applied so far (the next Poisson term index).
+    pub steps: usize,
+    /// `ln PoissonΛt(steps)`, the log-weight of the next term.
+    pub ln_weight: f64,
+    /// Poisson mass already accumulated into `result`.
+    pub accumulated: f64,
+    /// The current power iterate `π₀ Pˢᵗᵉᵖˢ`.
+    pub v: Vec<f64>,
+    /// The weighted partial sum `Σ_{k<steps} PoissonΛt(k) · π₀ Pᵏ`.
+    pub result: Vec<f64>,
+}
+
+/// Periodic snapshot hook for long transient solves: the sink receives a
+/// full [`TransientProgress`] every [`every`](TransientSink::every) steps
+/// and once more when the compute budget interrupts the solve.
+#[derive(Clone)]
+pub struct TransientSink {
+    /// Snapshot period in uniformization steps (`< 1` treated as `1`).
+    pub every: usize,
+    /// The callback.
+    pub sink: std::sync::Arc<dyn Fn(&TransientProgress) + Send + Sync>,
+}
+
+impl std::fmt::Debug for TransientSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransientSink")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for TransientSink {
+    fn eq(&self, other: &Self) -> bool {
+        self.every == other.every && std::sync::Arc::ptr_eq(&self.sink, &other.sink)
+    }
+}
+
+fn emit_checkpoint(
+    ck: &TransientSink,
+    steps: usize,
+    ln_weight: f64,
+    accumulated: f64,
+    v: &[f64],
+    result: &[f64],
+) {
+    (ck.sink)(&TransientProgress {
+        steps,
+        ln_weight,
+        accumulated,
+        v: v.to_vec(),
+        result: result.to_vec(),
+    });
+    mdl_obs::counter("solve.checkpoint").inc();
+}
+
 /// Options for transient solution by uniformization.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientOptions {
@@ -20,6 +85,13 @@ pub struct TransientOptions {
     /// the solver returns [`CtmcError::Interrupted`] carrying the partial
     /// accumulated distribution. Unlimited by default.
     pub budget: mdl_obs::Budget,
+    /// Resume from a previous run's snapshot instead of starting at
+    /// `π₀`. Must come from a solve of the same matrix, initial
+    /// distribution and horizon; lengths are validated, provenance is the
+    /// caller's contract. Does not enter any cache key.
+    pub resume_from: Option<TransientProgress>,
+    /// Periodic snapshot hook; `None` disables checkpointing.
+    pub checkpoint: Option<TransientSink>,
 }
 
 impl Default for TransientOptions {
@@ -29,6 +101,8 @@ impl Default for TransientOptions {
             max_steps: 10_000_000,
             steady_state_epsilon: 1e-14,
             budget: mdl_obs::Budget::unlimited(),
+            resume_from: None,
+            checkpoint: None,
         }
     }
 }
@@ -118,20 +192,52 @@ pub fn transient_uniformization_with_exit_rates<M: RateMatrix>(
     let lambda = 1.02 * max_rate;
     let lt = lambda * t;
 
-    // v_k = π₀ Pᵏ, accumulated with Poisson(Λt) weights.
-    let mut v = initial.to_vec();
+    // v_k = π₀ Pᵏ, accumulated with Poisson(Λt) weights. The Poisson
+    // weights are generated iteratively in log space (underflow-safe);
+    // accumulated mass decides truncation. A resume snapshot replaces the
+    // k = 0 initial state wholesale.
+    let (mut v, mut result, mut ln_weight, mut accumulated, mut k);
+    if let Some(p) = &options.resume_from {
+        if p.v.len() != n {
+            return Err(CtmcError::LengthMismatch {
+                what: "resume iterate",
+                got: p.v.len(),
+                expected: n,
+            });
+        }
+        if p.result.len() != n {
+            return Err(CtmcError::LengthMismatch {
+                what: "resume accumulation",
+                got: p.result.len(),
+                expected: n,
+            });
+        }
+        if !(0.0..=1.0 + 1e-9).contains(&p.accumulated) {
+            return Err(CtmcError::InvalidValue {
+                what: "resume accumulated mass",
+                index: 0,
+                value: p.accumulated,
+            });
+        }
+        v = p.v.clone();
+        result = p.result.clone();
+        ln_weight = p.ln_weight;
+        accumulated = p.accumulated;
+        k = p.steps;
+    } else {
+        v = initial.to_vec();
+        result = vec![0.0; n];
+        ln_weight = -lt; // ln P(k=0)
+        accumulated = 0.0;
+        k = 0;
+    }
     let mut next = vec![0.0; n];
-    let mut result = vec![0.0; n];
-
-    // Iterative Poisson weights with underflow-safe scaling: we track the
-    // weight in log space and accumulate mass to decide truncation.
-    let ln_weight0 = -lt; // ln P(k=0)
-    let mut ln_weight = ln_weight0;
-    let mut accumulated = 0.0f64;
-    let mut k = 0usize;
     let mut ticker = options.budget.ticker(32);
     loop {
         if let Err(reason) = ticker.tick() {
+            if let Some(ck) = &options.checkpoint {
+                emit_checkpoint(ck, k, ln_weight, accumulated, &v, &result);
+            }
             return Err(CtmcError::interrupted(
                 "solve.transient",
                 k,
@@ -193,6 +299,11 @@ pub fn transient_uniformization_with_exit_rates<M: RateMatrix>(
         std::mem::swap(&mut v, &mut next);
         k += 1;
         ln_weight += (lt / k as f64).ln();
+        if let Some(ck) = &options.checkpoint {
+            if k % ck.every.max(1) == 0 {
+                emit_checkpoint(ck, k, ln_weight, accumulated, &v, &result);
+            }
+        }
     }
 
     // Compensate the truncated tail by renormalizing (probability vectors
@@ -300,5 +411,110 @@ mod tests {
         let sum: f64 = sol.probabilities.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
         assert!(sol.probabilities.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn checkpoint_snapshot_resumes_bit_identically() {
+        use std::sync::{Arc, Mutex};
+        let r = two_state(3.0, 2.0);
+        let t = 8.0;
+        // Disable steady-state detection so the run is long enough for
+        // several snapshots and the resumed arithmetic replays the same
+        // term sequence.
+        let base = TransientOptions {
+            steady_state_epsilon: 0.0,
+            ..TransientOptions::default()
+        };
+        let full = transient_uniformization(&r, &[1.0, 0.0], t, &base).unwrap();
+
+        let snaps: Arc<Mutex<Vec<TransientProgress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_snaps = snaps.clone();
+        let with_sink = TransientOptions {
+            checkpoint: Some(TransientSink {
+                every: 5,
+                sink: Arc::new(move |p| sink_snaps.lock().unwrap().push(p.clone())),
+            }),
+            ..base.clone()
+        };
+        let observed = transient_uniformization(&r, &[1.0, 0.0], t, &with_sink).unwrap();
+        assert_eq!(observed.probabilities, full.probabilities);
+        let snaps = snaps.lock().unwrap();
+        assert!(snaps.len() >= 2, "expected several snapshots");
+        for p in snaps.iter() {
+            assert_eq!(p.steps % 5, 0);
+        }
+
+        // Resuming from a mid-run snapshot replays the identical floating
+        // point sequence: the final distribution matches bit for bit.
+        let mid = snaps[snaps.len() / 2].clone();
+        let resumed = transient_uniformization(
+            &r,
+            &[1.0, 0.0],
+            t,
+            &TransientOptions {
+                resume_from: Some(mid.clone()),
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed.probabilities, full.probabilities);
+        assert_eq!(resumed.stats.iterations, full.stats.iterations);
+        assert!(mid.steps > 0 && mid.steps < full.stats.iterations);
+    }
+
+    #[test]
+    fn resume_snapshot_is_validated() {
+        let r = two_state(1.0, 1.0);
+        let bad = TransientOptions {
+            resume_from: Some(TransientProgress {
+                steps: 3,
+                ln_weight: -1.0,
+                accumulated: 0.5,
+                v: vec![1.0], // wrong length
+                result: vec![0.0, 0.0],
+            }),
+            ..TransientOptions::default()
+        };
+        let err = transient_uniformization(&r, &[1.0, 0.0], 1.0, &bad).unwrap_err();
+        assert!(matches!(
+            err,
+            CtmcError::LengthMismatch {
+                what: "resume iterate",
+                ..
+            }
+        ));
+        let bad_mass = TransientOptions {
+            resume_from: Some(TransientProgress {
+                steps: 3,
+                ln_weight: -1.0,
+                accumulated: 1.5,
+                v: vec![0.5, 0.5],
+                result: vec![0.0, 0.0],
+            }),
+            ..TransientOptions::default()
+        };
+        let err = transient_uniformization(&r, &[1.0, 0.0], 1.0, &bad_mass).unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidValue { .. }));
+    }
+
+    #[test]
+    fn interrupt_flushes_transient_checkpoint() {
+        use std::sync::{Arc, Mutex};
+        let r = two_state(2.0, 1.0);
+        let snaps: Arc<Mutex<Vec<TransientProgress>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_snaps = snaps.clone();
+        let opts = TransientOptions {
+            budget: mdl_obs::Budget::unlimited().deadline_in(std::time::Duration::ZERO),
+            checkpoint: Some(TransientSink {
+                every: 1_000_000,
+                sink: Arc::new(move |p| sink_snaps.lock().unwrap().push(p.clone())),
+            }),
+            ..TransientOptions::default()
+        };
+        let err = transient_uniformization(&r, &[1.0, 0.0], 5.0, &opts).unwrap_err();
+        assert!(matches!(err, CtmcError::Interrupted { .. }));
+        let snaps = snaps.lock().unwrap();
+        assert_eq!(snaps.len(), 1, "exactly the forced flush");
+        assert_eq!(snaps[0].v.len(), 2);
     }
 }

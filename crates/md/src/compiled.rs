@@ -93,6 +93,32 @@ pub struct CompileStats {
     pub compile_time: Duration,
 }
 
+/// The serializable content of a [`CompiledMdMatrix`]: everything the
+/// products read, minus the per-thread schedules (rebuilt for the loading
+/// machine's thread count) and wall-clock stats. Produced by
+/// [`CompiledMdMatrix::to_parts`], consumed by
+/// [`CompiledMdMatrix::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledParts {
+    /// Number of reachable states the kernel addresses.
+    pub num_states: u64,
+    /// Linearized blocks as `(row_base, col_base, scale, leaf)` tuples, in
+    /// walk order.
+    pub blocks: Vec<(u64, u64, f64, u32)>,
+    /// Leaf arena bounds: program `p` is entries `bounds[p]..bounds[p+1]`.
+    pub leaf_bounds: Vec<u32>,
+    /// Leaf-relative row offsets, parallel to `leaf_cols`/`leaf_coefs`.
+    pub leaf_rows: Vec<u32>,
+    /// Leaf-relative column offsets.
+    pub leaf_cols: Vec<u32>,
+    /// Leaf coefficients.
+    pub leaf_coefs: Vec<f64>,
+    /// [`CompileStats::triples_visited`] of the original compilation.
+    pub triples_visited: u64,
+    /// [`CompileStats::triples_compiled`] of the original compilation.
+    pub triples_compiled: u64,
+}
+
 impl CompileStats {
     /// Sharing factor exploited by compilation: visited / compiled triples
     /// (`1.0` means no sharing; higher is better).
@@ -452,6 +478,149 @@ impl CompiledMdMatrix {
         span.record("dedup_ratio", out.stats.dedup_ratio());
         span.finish();
         Ok(out)
+    }
+
+    /// Decomposes the kernel into its serializable content — block list
+    /// and leaf arenas. The per-thread schedules and wall-clock stats are
+    /// derived data and are rebuilt by [`Self::from_parts`].
+    pub fn to_parts(&self) -> CompiledParts {
+        CompiledParts {
+            num_states: self.num_states as u64,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| (b.row_base, b.col_base, b.scale, b.leaf))
+                .collect(),
+            leaf_bounds: self.leaf_bounds.clone(),
+            leaf_rows: self.leaf_rows.clone(),
+            leaf_cols: self.leaf_cols.clone(),
+            leaf_coefs: self.leaf_coefs.clone(),
+            triples_visited: self.stats.triples_visited,
+            triples_compiled: self.stats.triples_compiled,
+        }
+    }
+
+    /// Rebuilds a kernel from [`Self::to_parts`] output, validating every
+    /// array and reference, then recomputing the per-thread schedules for
+    /// `threads` workers (`0` means [`default_threads`]). The rebuilt
+    /// kernel's products are bit-identical to the original's; its
+    /// `compile_time` stat is zero (nothing was compiled).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first structural
+    /// defect: malformed leaf bounds, misaligned arenas, a non-finite
+    /// coefficient, or a block referencing a missing leaf program or an
+    /// out-of-range output position.
+    pub fn from_parts(parts: CompiledParts, threads: usize) -> Result<Self, String> {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        let n = parts.num_states;
+        if n > usize::MAX as u64 {
+            return Err(format!("num_states {n} exceeds the address space"));
+        }
+        let bounds = &parts.leaf_bounds;
+        if bounds.first() != Some(&0) {
+            return Err("leaf_bounds must start at 0".into());
+        }
+        if let Some(w) = bounds.windows(2).find(|w| w[0] > w[1]) {
+            return Err(format!(
+                "leaf_bounds is not monotonic ({} > {})",
+                w[0], w[1]
+            ));
+        }
+        let entries = parts.leaf_rows.len();
+        if *bounds.last().unwrap() as usize != entries {
+            return Err(format!(
+                "leaf_bounds ends at {} but there are {entries} leaf entries",
+                bounds.last().unwrap()
+            ));
+        }
+        if parts.leaf_cols.len() != entries || parts.leaf_coefs.len() != entries {
+            return Err(format!(
+                "leaf arenas misaligned: {} rows, {} cols, {} coefs",
+                entries,
+                parts.leaf_cols.len(),
+                parts.leaf_coefs.len()
+            ));
+        }
+        if let Some((i, &v)) = parts
+            .leaf_coefs
+            .iter()
+            .enumerate()
+            .find(|&(_, &v)| !v.is_finite())
+        {
+            return Err(format!("non-finite leaf coefficient {v} at entry {i}"));
+        }
+        let leaf_programs = bounds.len() - 1;
+        // Per-leaf-program output extents, to bound block offsets.
+        let mut max_row = vec![0u32; leaf_programs];
+        let mut max_col = vec![0u32; leaf_programs];
+        for p in 0..leaf_programs {
+            for i in bounds[p] as usize..bounds[p + 1] as usize {
+                max_row[p] = max_row[p].max(parts.leaf_rows[i]);
+                max_col[p] = max_col[p].max(parts.leaf_cols[i]);
+            }
+        }
+        let mut blocks = Vec::with_capacity(parts.blocks.len());
+        for (i, &(row_base, col_base, scale, leaf)) in parts.blocks.iter().enumerate() {
+            if leaf as usize >= leaf_programs {
+                return Err(format!(
+                    "block {i} references leaf program {leaf} of {leaf_programs}"
+                ));
+            }
+            if !scale.is_finite() {
+                return Err(format!("block {i} has non-finite scale {scale}"));
+            }
+            let nonempty = bounds[leaf as usize] < bounds[leaf as usize + 1];
+            if nonempty {
+                let r = row_base.checked_add(max_row[leaf as usize] as u64);
+                let c = col_base.checked_add(max_col[leaf as usize] as u64);
+                match (r, c) {
+                    (Some(r), Some(c)) if r < n && c < n => {}
+                    _ => return Err(format!("block {i} writes outside the {n}-state space")),
+                }
+            } else if row_base >= n || col_base >= n {
+                return Err(format!("block {i} writes outside the {n}-state space"));
+            }
+            blocks.push(Block {
+                row_base,
+                col_base,
+                scale,
+                leaf,
+            });
+        }
+        let flat_entries: u64 = blocks
+            .iter()
+            .map(|b| (bounds[b.leaf as usize + 1] - bounds[b.leaf as usize]) as u64)
+            .sum();
+        let leaf_len = |b: &Block| (bounds[b.leaf as usize + 1] - bounds[b.leaf as usize]) as u64;
+        let row_plan = build_plan(&blocks, threads, n, |b| b.row_base, &leaf_len);
+        let col_plan = build_plan(&blocks, threads, n, |b| b.col_base, &leaf_len);
+        let stats = CompileStats {
+            blocks: blocks.len(),
+            leaf_programs,
+            leaf_entries: entries,
+            flat_entries,
+            triples_visited: parts.triples_visited,
+            triples_compiled: parts.triples_compiled,
+            compile_time: Duration::ZERO,
+        };
+        Ok(CompiledMdMatrix {
+            num_states: n as usize,
+            threads,
+            blocks,
+            leaf_bounds: parts.leaf_bounds,
+            leaf_rows: parts.leaf_rows,
+            leaf_cols: parts.leaf_cols,
+            leaf_coefs: parts.leaf_coefs,
+            row_plan,
+            col_plan,
+            stats,
+        })
     }
 
     /// Compilation statistics (sizes, sharing, time).

@@ -71,7 +71,7 @@ pub use kronecker::{KroneckerExpr, KroneckerTerm, SparseFactor};
 pub use md::{ChildId, Md, MdEntry, MdNode, MdNodeId, Term};
 
 pub use apply::MdMatrix;
-pub use compiled::{default_threads, CompileStats, CompiledMdMatrix};
+pub use compiled::{default_threads, CompileStats, CompiledMdMatrix, CompiledParts};
 
 /// Convenience alias for fallible MD operations.
 pub type Result<T> = std::result::Result<T, MdError>;

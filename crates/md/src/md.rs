@@ -174,6 +174,36 @@ pub struct Md {
 }
 
 impl Md {
+    /// Assembles an MD directly from per-level node lists, validating the
+    /// full shape — sizes and levels must align, the root level must hold
+    /// at least one node, and every entry/child reference must be in range.
+    /// Intended for format converters (deserialization); normal
+    /// construction goes through [`MdBuilder`](crate::MdBuilder).
+    ///
+    /// # Errors
+    ///
+    /// * [`MdError::InvalidShape`] if `sizes` is empty, contains a zero, or
+    ///   does not match `levels` in length, or level 0 is empty;
+    /// * [`MdError::IndexOutOfBounds`] / [`MdError::BadChild`] /
+    ///   [`MdError::InvalidCoefficient`] for invalid node content.
+    pub fn from_levels(sizes: Vec<usize>, levels: Vec<Vec<MdNode>>) -> Result<Md> {
+        if sizes.is_empty() || sizes.contains(&0) || sizes.len() != levels.len() {
+            return Err(MdError::InvalidShape);
+        }
+        if levels[0].is_empty() {
+            return Err(MdError::InvalidShape);
+        }
+        let num_levels = sizes.len();
+        for (level, nodes) in levels.iter().enumerate() {
+            let last = level == num_levels - 1;
+            let next_count = if last { 0 } else { levels[level + 1].len() };
+            for node in nodes {
+                validate_node(node, level, sizes[level], last, next_count)?;
+            }
+        }
+        Ok(Md { sizes, levels })
+    }
+
     /// Number of levels `L`.
     pub fn num_levels(&self) -> usize {
         self.sizes.len()

@@ -52,6 +52,16 @@ pub enum MddError {
     },
     /// `sizes` was empty or contained a zero.
     InvalidShape,
+    /// A raw child slot held an invalid reference (see
+    /// [`Mdd::from_raw_levels`]).
+    InvalidChild {
+        /// Level of the offending node (0-based).
+        level: usize,
+        /// Index of the node within its level.
+        node: usize,
+        /// Local-state slot within the node.
+        slot: usize,
+    },
 }
 
 impl fmt::Display for MddError {
@@ -67,6 +77,12 @@ impl fmt::Display for MddError {
                 write!(f, "tuple has {got} components, expected {expected}")
             }
             MddError::InvalidShape => write!(f, "sizes must be non-empty and positive"),
+            MddError::InvalidChild { level, node, slot } => {
+                write!(
+                    f,
+                    "node {node} at level {level} has an invalid child reference in slot {slot}"
+                )
+            }
         }
     }
 }
@@ -120,6 +136,113 @@ impl Mdd {
     /// Total number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Raw child tables, one flat row per level: node `i`'s slots occupy
+    /// `[i * sizes[l], (i + 1) * sizes[l])`. Slots hold
+    /// [`Mdd::RAW_NO_CHILD`], [`Mdd::RAW_TERMINAL`] (last level only) or a
+    /// next-level node index. Counts and offsets are derived data and are
+    /// not included; [`Mdd::from_raw_levels`] recomputes them.
+    pub fn raw_children(&self) -> Vec<Vec<u32>> {
+        self.levels
+            .iter()
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .flat_map(|n| n.children.iter().copied())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Sentinel in [`Mdd::raw_children`]: the slot has no child.
+    pub const RAW_NO_CHILD: u32 = NO_CHILD;
+    /// Sentinel in [`Mdd::raw_children`]: the slot reaches the accepting
+    /// terminal (valid at the last level only).
+    pub const RAW_TERMINAL: u32 = TERMINAL;
+
+    /// Rebuilds an MDD from [`Mdd::raw_children`] output, validating every
+    /// reference and recomputing counts, offsets and the total — intended
+    /// for format converters (deserialization); normal construction goes
+    /// through [`Mdd::from_tuples`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MddError::InvalidShape`] if `sizes` is empty/zero, level counts
+    ///   mismatch, a level's row is not a multiple of its size, or the
+    ///   root level does not hold exactly one node;
+    /// * [`MddError::InvalidChild`] for a slot holding `RAW_TERMINAL` above
+    ///   the last level or an out-of-range node index.
+    pub fn from_raw_levels(sizes: Vec<usize>, children: Vec<Vec<u32>>) -> Result<Mdd, MddError> {
+        if sizes.is_empty() || sizes.contains(&0) || sizes.len() != children.len() {
+            return Err(MddError::InvalidShape);
+        }
+        let num_levels = sizes.len();
+        let mut levels: Vec<Vec<Node>> = Vec::with_capacity(num_levels);
+        for (level, row) in children.iter().enumerate() {
+            let size = sizes[level];
+            if row.len() % size != 0 {
+                return Err(MddError::InvalidShape);
+            }
+            // Inner levels may be empty (the empty-set MDD keeps only its
+            // root); the root level must hold exactly one node.
+            if level == 0 && row.len() / size != 1 {
+                return Err(MddError::InvalidShape);
+            }
+            levels.push(
+                row.chunks(size)
+                    .map(|slots| Node {
+                        children: slots.to_vec(),
+                        count: 0,
+                        offsets: Vec::new(),
+                    })
+                    .collect(),
+            );
+        }
+        for level in 0..num_levels {
+            let last = level == num_levels - 1;
+            let next_count = if last { 0 } else { levels[level + 1].len() };
+            for (ni, node) in levels[level].iter().enumerate() {
+                for (slot, &c) in node.children.iter().enumerate() {
+                    let ok = c == NO_CHILD
+                        || (last && c == TERMINAL)
+                        || (!last && c != TERMINAL && (c as usize) < next_count);
+                    if !ok {
+                        return Err(MddError::InvalidChild {
+                            level,
+                            node: ni,
+                            slot,
+                        });
+                    }
+                }
+            }
+        }
+        // Bottom-up count/offset labelling, mirroring the interner's
+        // finish pass.
+        for l in (0..num_levels).rev() {
+            let (upper, lower) = levels.split_at_mut(l + 1);
+            let nodes = &mut upper[l];
+            let lower: Option<&[Node]> = lower.first().map(|v| v.as_slice());
+            for node in nodes.iter_mut() {
+                let mut acc = 0u64;
+                node.offsets = Vec::with_capacity(node.children.len());
+                for &c in &node.children {
+                    node.offsets.push(acc);
+                    if c == TERMINAL {
+                        acc += 1;
+                    } else if c != NO_CHILD {
+                        acc += lower.expect("inner level has a lower level")[c as usize].count;
+                    }
+                }
+                node.count = acc;
+            }
+        }
+        let total = levels[0].first().map_or(0, |n| n.count);
+        Ok(Mdd {
+            sizes,
+            levels,
+            total,
+        })
     }
 
     /// The child of `node` at local state `local`: `None` if absent, the

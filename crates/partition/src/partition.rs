@@ -112,6 +112,39 @@ impl Partition {
         Partition { class_of, members }
     }
 
+    /// Fallible [`Self::from_classes`], for class lists that crossed a
+    /// serialization boundary and cannot be trusted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first defect: an empty
+    /// class list, an empty class, an out-of-range state, or a state in
+    /// two classes.
+    pub fn try_from_classes(classes: Vec<Vec<StateId>>) -> Result<Self, String> {
+        let n: usize = classes.iter().map(Vec::len).sum();
+        if n == 0 {
+            return Err("partition of an empty state space".into());
+        }
+        let mut class_of = vec![usize::MAX; n];
+        let mut members = classes;
+        for (c, m) in members.iter_mut().enumerate() {
+            if m.is_empty() {
+                return Err(format!("class {c} is empty"));
+            }
+            m.sort_unstable();
+            for &s in m.iter() {
+                if s >= n {
+                    return Err(format!("state {s} out of range for {n} states"));
+                }
+                if class_of[s] != usize::MAX {
+                    return Err(format!("state {s} appears in two classes"));
+                }
+                class_of[s] = c;
+            }
+        }
+        Ok(Partition { class_of, members })
+    }
+
     /// Number of states the partition covers.
     pub fn num_states(&self) -> usize {
         self.class_of.len()

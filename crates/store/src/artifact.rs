@@ -1,0 +1,144 @@
+//! The container format and the [`Artifact`] trait.
+//!
+//! Every serialized artifact is one self-describing container:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"MDLS"
+//! 4       2     format version (little-endian u16)
+//! 6       2     artifact kind tag (little-endian u16)
+//! 8       8     payload length in bytes (little-endian u64)
+//! 16      n     payload (artifact-specific, little-endian throughout)
+//! 16+n    8     FNV-1a 64-bit hash of the payload (little-endian u64)
+//! ```
+//!
+//! All integers are little-endian and `f64`s travel as IEEE-754 bit
+//! patterns, so files written on any machine decode bit-exactly on any
+//! other. Decoding validates magic, version, kind, length and checksum
+//! before touching the payload, and the payload decoder itself is
+//! bounds-checked — malformed input of any shape yields a
+//! [`StoreError`], never a panic.
+
+use crate::bytes::{ByteReader, ByteWriter};
+use crate::hash::Fnv1a;
+use crate::StoreError;
+
+/// The four magic bytes every artifact starts with.
+pub const MAGIC: [u8; 4] = *b"MDLS";
+
+/// Current format version. Bump on any payload layout change; decoders
+/// reject anything newer than what they were built against.
+pub const FORMAT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = 4 + 2 + 2 + 8;
+const TRAILER_LEN: usize = 8;
+
+/// A type with a canonical binary payload encoding, wrapped in the
+/// versioned, checksummed container above.
+///
+/// Implementations define only the payload codec; the container logic
+/// (header, checksum, validation) is shared.
+pub trait Artifact: Sized {
+    /// Kind tag distinguishing this artifact in the container header.
+    /// Tags below 100 are reserved for this crate's impls; downstream
+    /// crates (e.g. `mdl-core` pipeline artifacts) use 100 and up.
+    const KIND: u16;
+
+    /// Short lower-case name, used in store filenames and messages.
+    const NAME: &'static str;
+
+    /// Writes the payload (everything but the container frame).
+    fn encode_payload(&self, w: &mut ByteWriter);
+
+    /// Reads the payload. Implementations must validate what they read
+    /// (the container only guarantees the bytes are the ones written).
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError>;
+
+    /// Serializes into a complete container.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut pw = ByteWriter::new();
+        self.encode_payload(&mut pw);
+        let payload = pw.into_bytes();
+        let mut w = ByteWriter::new();
+        w.bytes(&MAGIC);
+        w.u16(FORMAT_VERSION);
+        w.u16(Self::KIND);
+        w.usize(payload.len());
+        w.bytes(&payload);
+        w.u64(Fnv1a::hash_bytes(&payload));
+        w.into_bytes()
+    }
+
+    /// The FNV-1a hash of this artifact's payload — its content address.
+    fn content_hash(&self) -> u64 {
+        let mut pw = ByteWriter::new();
+        self.encode_payload(&mut pw);
+        Fnv1a::hash_bytes(&pw.into_bytes())
+    }
+
+    /// Deserializes a complete container, validating frame and payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`]; see the [module docs](self) for the checks.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.bytes(4)?;
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        // Version 0 never existed; rejecting it means *every* single-byte
+        // corruption of the frame is detectable (a flipped version byte
+        // cannot masquerade as an older, laxer format).
+        if version == 0 {
+            return Err(StoreError::corrupted("format version 0 is invalid"));
+        }
+        let kind = r.u16()?;
+        if kind != Self::KIND {
+            return Err(StoreError::WrongKind {
+                found: kind,
+                expected: Self::KIND,
+            });
+        }
+        let payload_len = r.usize()?;
+        match r.remaining().checked_sub(TRAILER_LEN) {
+            Some(have) if have == payload_len => {}
+            Some(have) if have < payload_len => {
+                return Err(StoreError::Truncated {
+                    needed: payload_len + TRAILER_LEN,
+                    available: r.remaining(),
+                })
+            }
+            Some(_) => {
+                return Err(StoreError::corrupted(
+                    "container longer than header + payload + checksum",
+                ))
+            }
+            None => {
+                return Err(StoreError::Truncated {
+                    needed: payload_len + TRAILER_LEN,
+                    available: r.remaining(),
+                })
+            }
+        }
+        let payload = r.bytes(payload_len)?;
+        let stored = r.u64()?;
+        if Fnv1a::hash_bytes(payload) != stored {
+            return Err(StoreError::ChecksumMismatch);
+        }
+        let mut pr = ByteReader::new(payload);
+        let artifact = Self::decode_payload(&mut pr)?;
+        pr.expect_end()?;
+        Ok(artifact)
+    }
+}
+
+/// Sanity: the fixed frame overhead of every container, in bytes.
+pub const FRAME_OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;

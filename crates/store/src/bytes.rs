@@ -1,0 +1,296 @@
+//! Little-endian byte writer/reader. The reader is the crate's safety
+//! boundary: every read is bounds-checked and returns
+//! [`StoreError::Truncated`] instead of panicking, and length prefixes
+//! are validated against the bytes actually remaining before any
+//! allocation, so corrupted lengths cannot trigger huge allocations.
+
+use crate::StoreError;
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Starts an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` by IEEE-754 bit pattern — decoding restores the
+    /// exact bits, including NaN payloads and signed zeros.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64_slice(&mut self, vs: &[f64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn u32_slice(&mut self, vs: &[u32]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.u32(v);
+        }
+    }
+
+    /// Appends a length-prefixed `u64`-widened `usize` slice.
+    pub fn usize_slice(&mut self, vs: &[usize]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a buffer; reading starts at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless the buffer was consumed exactly — surplus bytes mean
+    /// the payload length lied, which counts as corruption.
+    pub fn expect_end(&self) -> Result<(), StoreError> {
+        if self.remaining() != 0 {
+            return Err(StoreError::corrupted(format!(
+                "{} trailing bytes after the payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, StoreError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, StoreError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, StoreError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` that must fit a `usize`.
+    pub fn usize(&mut self) -> Result<usize, StoreError> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::corrupted(format!("length {v} exceeds the address space")))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length prefix for a sequence whose elements occupy at
+    /// least `min_elem_bytes` each, rejecting lengths the remaining input
+    /// cannot possibly hold (so corrupt prefixes fail fast instead of
+    /// allocating).
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let len = self.usize()?;
+        let needed = len.saturating_mul(min_elem_bytes.max(1));
+        if needed > self.remaining() {
+            return Err(StoreError::Truncated {
+                needed,
+                available: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.seq_len(1)?;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::corrupted("invalid UTF-8 in string"))
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, StoreError> {
+        let len = self.seq_len(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u32` vector.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, StoreError> {
+        let len = self.seq_len(4)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `usize` vector (stored as `u64`s).
+    pub fn usize_vec(&mut self) -> Result<Vec<usize>, StoreError> {
+        let len = self.seq_len(8)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.usize()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(513);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f64(-0.0);
+        w.str("héllo");
+        w.f64_slice(&[1.5, f64::NAN]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str().unwrap(), "héllo");
+        let vs = r.f64_vec().unwrap();
+        assert_eq!(vs[0], 1.5);
+        assert!(vs[1].is_nan());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(matches!(r.u64(), Err(StoreError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.f64_vec(), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_corruption() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(matches!(r.expect_end(), Err(StoreError::Corrupted { .. })));
+    }
+}

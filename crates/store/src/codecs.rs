@@ -1,0 +1,403 @@
+//! [`Artifact`] impls for the stack's building-block types: dense
+//! vectors, CSR matrices, partitions, matrix diagrams, MDDs, solver
+//! solutions, run reports, compiled-kernel parts and solver checkpoints.
+//!
+//! Every codec round-trips **bit-exactly** (f64s travel as bit patterns)
+//! and decodes through each type's validating constructor, so corrupted
+//! payloads surface as [`StoreError`]s rather than invalid values.
+
+use std::time::Duration;
+
+use mdl_ctmc::{AttemptOutcome, AttemptRecord, RunReport, Solution, SolveStats};
+use mdl_linalg::CsrMatrix;
+use mdl_md::{ChildId, CompiledParts, Md, MdNode, Term};
+use mdl_mdd::Mdd;
+use mdl_partition::Partition;
+
+use crate::artifact::Artifact;
+use crate::bytes::{ByteReader, ByteWriter};
+use crate::StoreError;
+
+/// Known method/kernel labels, so decoded [`AttemptRecord`]s reuse the
+/// interned `&'static str`s the rest of the stack compares against.
+/// Unknown labels (from a newer writer) are leaked — they are a few bytes
+/// and only appear when decoding foreign reports.
+fn intern_label(s: String) -> &'static str {
+    const KNOWN: &[&str] = &[
+        "power",
+        "jacobi",
+        "gauss_seidel",
+        "sor",
+        "uniformization",
+        "compiled",
+        "walk",
+        "flat-csr",
+    ];
+    for &k in KNOWN {
+        if k == s {
+            return k;
+        }
+    }
+    Box::leak(s.into_boxed_str())
+}
+
+impl Artifact for Vec<f64> {
+    const KIND: u16 = 1;
+    const NAME: &'static str = "vector";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.f64_slice(self);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        r.f64_vec()
+    }
+}
+
+impl Artifact for CsrMatrix {
+    const KIND: u16 = 2;
+    const NAME: &'static str = "csr";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.usize(self.nrows());
+        w.usize(self.ncols());
+        w.usize_slice(self.row_ptr_raw());
+        w.u32_slice(self.col_idx_raw());
+        w.f64_slice(self.values_raw());
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let nrows = r.usize()?;
+        let ncols = r.usize()?;
+        let row_ptr = r.usize_vec()?;
+        let col_idx = r.u32_vec()?;
+        let values = r.f64_vec()?;
+        CsrMatrix::try_from_raw_parts(nrows, ncols, row_ptr, col_idx, values)
+            .map_err(StoreError::corrupted)
+    }
+}
+
+impl Artifact for Partition {
+    const KIND: u16 = 3;
+    const NAME: &'static str = "partition";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.usize(self.num_classes());
+        for c in 0..self.num_classes() {
+            w.usize_slice(self.members(c));
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let classes = r.seq_len(8)?;
+        let mut members = Vec::with_capacity(classes);
+        for _ in 0..classes {
+            members.push(r.usize_vec()?);
+        }
+        Partition::try_from_classes(members).map_err(StoreError::corrupted)
+    }
+}
+
+impl Artifact for Md {
+    const KIND: u16 = 4;
+    const NAME: &'static str = "md";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.usize_slice(self.sizes());
+        for level in 0..self.num_levels() {
+            let nodes = self.nodes_at(level);
+            w.usize(nodes.len());
+            for node in nodes {
+                w.usize(node.num_entries());
+                for e in node.entries() {
+                    w.u32(e.row);
+                    w.u32(e.col);
+                    w.usize(e.terms.len());
+                    for t in &e.terms {
+                        w.f64(t.coef);
+                        match t.child {
+                            ChildId::Terminal => w.u8(0),
+                            ChildId::Node(n) => {
+                                w.u8(1);
+                                w.u32(n);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let sizes = r.usize_vec()?;
+        let mut levels = Vec::with_capacity(sizes.len());
+        for _ in 0..sizes.len() {
+            let num_nodes = r.seq_len(8)?;
+            let mut nodes = Vec::with_capacity(num_nodes);
+            for _ in 0..num_nodes {
+                let num_entries = r.seq_len(8)?;
+                let mut raw = Vec::with_capacity(num_entries);
+                for _ in 0..num_entries {
+                    let row = r.u32()?;
+                    let col = r.u32()?;
+                    let num_terms = r.seq_len(9)?;
+                    let mut terms = Vec::with_capacity(num_terms);
+                    for _ in 0..num_terms {
+                        let coef = r.f64()?;
+                        let child = match r.u8()? {
+                            0 => ChildId::Terminal,
+                            1 => ChildId::Node(r.u32()?),
+                            t => {
+                                return Err(StoreError::corrupted(format!("unknown child tag {t}")))
+                            }
+                        };
+                        terms.push(Term::new(coef, child));
+                    }
+                    raw.push((row, col, terms));
+                }
+                // `MdNode::new` canonicalizes; canonical input (which is
+                // what we wrote) is a fixed point, so this round-trips
+                // bit-exactly.
+                nodes.push(MdNode::new(raw));
+            }
+            levels.push(nodes);
+        }
+        Md::from_levels(sizes, levels).map_err(|e| StoreError::corrupted(e.to_string()))
+    }
+}
+
+impl Artifact for Mdd {
+    const KIND: u16 = 5;
+    const NAME: &'static str = "mdd";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.usize_slice(self.sizes());
+        let rows = self.raw_children();
+        w.usize(rows.len());
+        for row in &rows {
+            w.u32_slice(row);
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let sizes = r.usize_vec()?;
+        let num_levels = r.seq_len(8)?;
+        let mut rows = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            rows.push(r.u32_vec()?);
+        }
+        Mdd::from_raw_levels(sizes, rows).map_err(|e| StoreError::corrupted(e.to_string()))
+    }
+}
+
+impl Artifact for Solution {
+    const KIND: u16 = 6;
+    const NAME: &'static str = "solution";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.f64_slice(&self.probabilities);
+        w.usize(self.stats.iterations);
+        w.f64(self.stats.residual);
+        w.u64(duration_nanos(self.stats.elapsed));
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let probabilities = r.f64_vec()?;
+        let iterations = r.usize()?;
+        let residual = r.f64()?;
+        let elapsed = Duration::from_nanos(r.u64()?);
+        Ok(Solution {
+            probabilities,
+            stats: SolveStats {
+                iterations,
+                residual,
+                elapsed,
+            },
+        })
+    }
+}
+
+impl Artifact for RunReport {
+    const KIND: u16 = 7;
+    const NAME: &'static str = "report";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.usize(self.attempts.len());
+        for a in &self.attempts {
+            w.str(a.method);
+            match a.kernel {
+                Some(k) => {
+                    w.u8(1);
+                    w.str(k);
+                }
+                None => w.u8(0),
+            }
+            w.usize(a.iterations);
+            w.f64(a.residual);
+            w.u8(outcome_tag(a.outcome));
+            match &a.error {
+                Some(e) => {
+                    w.u8(1);
+                    w.str(e);
+                }
+                None => w.u8(0),
+            }
+            w.u64(duration_nanos(a.elapsed));
+        }
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let n = r.seq_len(1)?;
+        let mut attempts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let method = intern_label(r.str()?);
+            let kernel = match r.u8()? {
+                0 => None,
+                1 => Some(intern_label(r.str()?)),
+                t => return Err(StoreError::corrupted(format!("unknown option tag {t}"))),
+            };
+            let iterations = r.usize()?;
+            let residual = r.f64()?;
+            let outcome = outcome_from_tag(r.u8()?)?;
+            let error = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                t => return Err(StoreError::corrupted(format!("unknown option tag {t}"))),
+            };
+            let elapsed = Duration::from_nanos(r.u64()?);
+            attempts.push(AttemptRecord {
+                method,
+                kernel,
+                iterations,
+                residual,
+                outcome,
+                error,
+                elapsed,
+            });
+        }
+        Ok(RunReport { attempts })
+    }
+}
+
+impl Artifact for CompiledParts {
+    const KIND: u16 = 8;
+    const NAME: &'static str = "kernel";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.u64(self.num_states);
+        w.usize(self.blocks.len());
+        for &(row_base, col_base, scale, leaf) in &self.blocks {
+            w.u64(row_base);
+            w.u64(col_base);
+            w.f64(scale);
+            w.u32(leaf);
+        }
+        w.u32_slice(&self.leaf_bounds);
+        w.u32_slice(&self.leaf_rows);
+        w.u32_slice(&self.leaf_cols);
+        w.f64_slice(&self.leaf_coefs);
+        w.u64(self.triples_visited);
+        w.u64(self.triples_compiled);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let num_states = r.u64()?;
+        let n = r.seq_len(28)?;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            blocks.push((r.u64()?, r.u64()?, r.f64()?, r.u32()?));
+        }
+        let leaf_bounds = r.u32_vec()?;
+        let leaf_rows = r.u32_vec()?;
+        let leaf_cols = r.u32_vec()?;
+        let leaf_coefs = r.f64_vec()?;
+        let triples_visited = r.u64()?;
+        let triples_compiled = r.u64()?;
+        // Structural validation (bounds monotonicity, block references)
+        // happens in `CompiledMdMatrix::from_parts`, which every consumer
+        // goes through to obtain a usable kernel.
+        Ok(CompiledParts {
+            num_states,
+            blocks,
+            leaf_bounds,
+            leaf_rows,
+            leaf_cols,
+            leaf_coefs,
+            triples_visited,
+            triples_compiled,
+        })
+    }
+}
+
+/// A resumable snapshot of an interrupted (or periodically checkpointed)
+/// iterative solve: the phase label, progress counters and the full
+/// iterate. Written by the pipeline's checkpoint sink; consumed by
+/// `--resume`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The interrupted phase (e.g. `solve.power`).
+    pub phase: String,
+    /// Iterations completed when the snapshot was taken.
+    pub iterations: u64,
+    /// Residual at the snapshot (`f64::INFINITY` if none yet).
+    pub residual: f64,
+    /// The primary iterate vector (normalized for stationary solves; the
+    /// power iterate `v` for transient solves).
+    pub iterate: Vec<f64>,
+    /// Secondary state vector — the weighted partial accumulation of a
+    /// transient solve. Empty for stationary solves.
+    pub aux: Vec<f64>,
+    /// Phase-specific scalars — `[ln_weight, accumulated]` for transient
+    /// solves. Empty for stationary solves.
+    pub scalars: Vec<f64>,
+}
+
+impl Artifact for Checkpoint {
+    const KIND: u16 = 9;
+    const NAME: &'static str = "checkpoint";
+
+    fn encode_payload(&self, w: &mut ByteWriter) {
+        w.str(&self.phase);
+        w.u64(self.iterations);
+        w.f64(self.residual);
+        w.f64_slice(&self.iterate);
+        w.f64_slice(&self.aux);
+        w.f64_slice(&self.scalars);
+    }
+
+    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        Ok(Checkpoint {
+            phase: r.str()?,
+            iterations: r.u64()?,
+            residual: r.f64()?,
+            iterate: r.f64_vec()?,
+            aux: r.f64_vec()?,
+            scalars: r.f64_vec()?,
+        })
+    }
+}
+
+fn outcome_tag(o: AttemptOutcome) -> u8 {
+    match o {
+        AttemptOutcome::Converged => 0,
+        AttemptOutcome::NotConverged => 1,
+        AttemptOutcome::Diverged => 2,
+        AttemptOutcome::Interrupted => 3,
+        AttemptOutcome::Failed => 4,
+    }
+}
+
+fn outcome_from_tag(t: u8) -> Result<AttemptOutcome, StoreError> {
+    Ok(match t {
+        0 => AttemptOutcome::Converged,
+        1 => AttemptOutcome::NotConverged,
+        2 => AttemptOutcome::Diverged,
+        3 => AttemptOutcome::Interrupted,
+        4 => AttemptOutcome::Failed,
+        _ => return Err(StoreError::corrupted(format!("unknown outcome tag {t}"))),
+    })
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}

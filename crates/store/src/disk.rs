@@ -1,0 +1,190 @@
+//! The on-disk content-addressed artifact store.
+//!
+//! One directory, one file per artifact: `<name>-<key as hex>.mdls`,
+//! where `name` is the artifact's [`Artifact::NAME`] and `key` is the
+//! caller's cache key (a 64-bit content hash of the stage's inputs).
+//! Writes go through a temp file + rename so a crash mid-write never
+//! leaves a half-written artifact under a valid name; reads validate the
+//! full container (magic, version, kind, checksum) before decoding.
+//!
+//! Obs counters: `store.hit`, `store.miss` and `store.write_bytes`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::artifact::Artifact;
+use crate::StoreError;
+
+/// A directory of serialized artifacts, addressed by `(kind, key)`.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let root = dir.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The file an artifact of type `A` under `key` lives at.
+    pub fn path_for<A: Artifact>(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{}-{key:016x}.mdls", A::NAME))
+    }
+
+    /// Whether an artifact of type `A` exists under `key` (without
+    /// reading or validating it).
+    pub fn contains<A: Artifact>(&self, key: u64) -> bool {
+        self.path_for::<A>(key).exists()
+    }
+
+    /// Loads the artifact stored under `key`, if any.
+    ///
+    /// A missing file is `Ok(None)` (a cache miss, counted on
+    /// `store.miss`); a present, valid file is `Ok(Some(_))` (counted on
+    /// `store.hit`). A present but unreadable/corrupt file is an error —
+    /// callers deciding to treat that as a miss must do so explicitly.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failure, any decode [`StoreError`] on
+    /// invalid content.
+    pub fn load<A: Artifact>(&self, key: u64) -> Result<Option<A>, StoreError> {
+        let path = self.path_for::<A>(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                mdl_obs::counter("store.miss").inc();
+                return Ok(None);
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let artifact = A::from_bytes(&bytes)?;
+        mdl_obs::counter("store.hit").inc();
+        Ok(Some(artifact))
+    }
+
+    /// Serializes and stores an artifact under `key`, atomically
+    /// (temp file + rename). Overwrites any previous artifact under the
+    /// same key. The serialized size lands on `store.write_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write failure.
+    pub fn save<A: Artifact>(&self, key: u64, artifact: &A) -> Result<(), StoreError> {
+        let path = self.path_for::<A>(key);
+        let bytes = artifact.to_bytes();
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, &bytes).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        mdl_obs::counter("store.write_bytes").add(bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Removes the artifact stored under `key`, if present.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on removal failure (missing files are fine).
+    pub fn remove<A: Artifact>(&self, key: u64) -> Result<(), StoreError> {
+        let path = self.path_for::<A>(key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mdl-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_remove_round_trip() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::reset();
+        mdl_obs::set_enabled(true);
+        let store = Store::open(temp_dir("rt")).unwrap();
+        let v: Vec<f64> = vec![1.0, -0.0, f64::MIN_POSITIVE];
+        assert_eq!(store.load::<Vec<f64>>(7).unwrap(), None);
+        store.save(7, &v).unwrap();
+        assert!(store.contains::<Vec<f64>>(7));
+        assert_eq!(store.load::<Vec<f64>>(7).unwrap(), Some(v));
+        store.remove::<Vec<f64>>(7).unwrap();
+        assert_eq!(store.load::<Vec<f64>>(7).unwrap(), None);
+
+        let report = mdl_obs::snapshot();
+        let get = |n: &str| {
+            report
+                .counters
+                .iter()
+                .find(|c| c.name == n)
+                .map_or(0, |c| c.value)
+        };
+        assert_eq!(get("store.hit"), 1);
+        assert_eq!(get("store.miss"), 2);
+        assert!(get("store.write_bytes") > 0);
+        mdl_obs::set_enabled(false);
+        mdl_obs::reset();
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_not_a_miss() {
+        let store = Store::open(temp_dir("corrupt")).unwrap();
+        store.save(1, &vec![1.0f64, 2.0]).unwrap();
+        let path = store.path_for::<Vec<f64>>(1);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.load::<Vec<f64>>(1).is_err());
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn keys_and_kinds_do_not_collide() {
+        let store = Store::open(temp_dir("keys")).unwrap();
+        store.save(1, &vec![1.0f64]).unwrap();
+        store.save(2, &vec![2.0f64]).unwrap();
+        assert_eq!(store.load::<Vec<f64>>(1).unwrap(), Some(vec![1.0]));
+        assert_eq!(store.load::<Vec<f64>>(2).unwrap(), Some(vec![2.0]));
+        // Same key, different kind: separate files.
+        let sol = mdl_ctmc::Solution {
+            probabilities: vec![0.5, 0.5],
+            stats: mdl_ctmc::SolveStats {
+                iterations: 3,
+                residual: 1e-12,
+                elapsed: std::time::Duration::from_millis(1),
+            },
+        };
+        store.save(1, &sol).unwrap();
+        assert_eq!(store.load::<Vec<f64>>(1).unwrap(), Some(vec![1.0]));
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Errors from encoding, decoding or the on-disk store. Decoding **never
+/// panics**: truncated, corrupted or future-versioned input always comes
+/// back as one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The input ended before the decoder read everything it needed.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The input does not start with the `MDLS` magic.
+    BadMagic,
+    /// The input was written by a newer format version than this build
+    /// understands.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Highest version this build supports.
+        supported: u16,
+    },
+    /// The container holds a different artifact kind than the caller asked
+    /// to decode.
+    WrongKind {
+        /// Kind tag found in the header.
+        found: u16,
+        /// Kind tag expected.
+        expected: u16,
+    },
+    /// The payload's FNV-1a hash does not match the stored one.
+    ChecksumMismatch,
+    /// The bytes parsed but described something structurally impossible
+    /// (bad lengths, out-of-range references, invalid UTF-8, trailing
+    /// garbage).
+    Corrupted {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A filesystem operation of the on-disk store failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The rendered I/O error.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Truncated { needed, available } => {
+                write!(f, "input truncated: needed {needed} bytes, had {available}")
+            }
+            StoreError::BadMagic => write!(f, "not an mdl-store artifact (bad magic)"),
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "artifact format version {found} is newer than the supported {supported}"
+                )
+            }
+            StoreError::WrongKind { found, expected } => {
+                write!(f, "artifact kind {found} found, expected {expected}")
+            }
+            StoreError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            StoreError::Corrupted { detail } => write!(f, "corrupted artifact: {detail}"),
+            StoreError::Io { path, detail } => write!(f, "store I/O error on {path}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Shorthand for a [`StoreError::Corrupted`] with a rendered detail.
+    pub fn corrupted(detail: impl Into<String>) -> Self {
+        StoreError::Corrupted {
+            detail: detail.into(),
+        }
+    }
+}

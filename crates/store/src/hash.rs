@@ -1,0 +1,111 @@
+//! FNV-1a 64-bit hashing — the content hash of the artifact format and
+//! the key-derivation hash of the pipeline cache. Chosen because it is
+//! trivially reimplementable (the format is meant to outlive this code),
+//! byte-order independent by construction, and fast enough for payloads
+//! in the tens of megabytes.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+///
+/// ```
+/// use mdl_store::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"hello");
+/// assert_eq!(h.finish(), Fnv1a::hash_bytes(b"hello"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// Feeds a `u64` in little-endian byte order (the format's fixed
+    /// endianness, so keys agree across machines).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern (so keys distinguish
+    /// `0.0` from `-0.0` and are bit-exact, matching the codec).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feeds a string as length + UTF-8 bytes (length-prefixed so
+    /// concatenations cannot collide).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The hash of everything fed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// One-shot hash of a byte slice.
+    pub fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values for FNV-1a 64-bit.
+        assert_eq!(Fnv1a::hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv1a::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), Fnv1a::hash_bytes(b"foobar"));
+    }
+
+    #[test]
+    fn typed_writes_are_length_prefixed() {
+        let mut a = Fnv1a::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv1a::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,293 @@
+//! Round-trip and adversarial-input properties of the artifact format:
+//! encode∘decode is bit-exact identity for every artifact type, and
+//! truncated, corrupted or future-versioned bytes always decode to a
+//! [`StoreError`] — never a panic, never a silently wrong value.
+
+use proptest::prelude::*;
+
+use mdl_ctmc::{Solution, SolveStats};
+use mdl_linalg::{CooMatrix, CsrMatrix};
+use mdl_md::{CompiledMdMatrix, KroneckerExpr, Md, MdMatrix, SparseFactor};
+use mdl_mdd::Mdd;
+use mdl_partition::Partition;
+use mdl_store::{Artifact, Checkpoint, StoreError, FORMAT_VERSION};
+
+const SIZES: [usize; 3] = [3, 4, 2];
+
+/// Arbitrary f64 bit patterns — NaNs, infinities, signed zeros and all.
+/// (The vendored rand shim cannot sample a full-width inclusive range,
+/// so special values are mixed in explicitly.)
+fn any_bits() -> impl Strategy<Value = f64> {
+    (0u64..u64::MAX, 0u8..8).prop_map(|(bits, sel)| match sel {
+        0 => f64::NAN,
+        1 => -0.0,
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        _ => f64::from_bits(bits),
+    })
+}
+
+fn vectors() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(any_bits(), 0..40)
+}
+
+fn csr_matrices() -> impl Strategy<Value = CsrMatrix> {
+    let entry = (0usize..5, 0usize..6, -1.0e6..1.0e6);
+    (prop::collection::vec(entry, 0..25)).prop_map(|entries| {
+        let mut coo = CooMatrix::new(5, 6);
+        for (r, c, v) in entries {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    })
+}
+
+fn partitions() -> impl Strategy<Value = Partition> {
+    (1usize..12, prop::collection::vec(0usize..4, 12))
+        .prop_map(|(n, keys)| Partition::from_key_fn(n, |s| keys[s]))
+}
+
+fn mdds() -> impl Strategy<Value = Mdd> {
+    let one = (0..SIZES[0] as u32, 0..SIZES[1] as u32, 0..SIZES[2] as u32)
+        .prop_map(|(a, b, c)| vec![a, b, c]);
+    prop::collection::vec(one, 0..30).prop_map(|ts| Mdd::from_tuples(SIZES.to_vec(), ts).unwrap())
+}
+
+fn factors(size: usize) -> impl Strategy<Value = SparseFactor> {
+    let entry = (0..size as u32, 0..size as u32, 0.1..10.0f64);
+    prop::collection::vec(entry, 0..6).prop_map(move |entries| {
+        let mut f = SparseFactor::new(size);
+        for (r, c, v) in entries {
+            f.push(r as usize, c as usize, v);
+        }
+        f
+    })
+}
+
+fn mds() -> impl Strategy<Value = Md> {
+    (factors(2), factors(3), factors(2), factors(3)).prop_map(|(a1, b1, a2, b2)| {
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(1.0, vec![Some(a1), Some(b1)]);
+        expr.add_term(2.5, vec![Some(a2), None]);
+        expr.add_term(0.5, vec![None, Some(b2)]);
+        expr.to_md().unwrap()
+    })
+}
+
+fn solutions() -> impl Strategy<Value = Solution> {
+    (vectors(), 0usize..1_000_000, any_bits(), 0u64..u64::MAX / 2).prop_map(
+        |(probabilities, iterations, residual, nanos)| Solution {
+            probabilities,
+            stats: SolveStats {
+                iterations,
+                residual,
+                elapsed: std::time::Duration::from_nanos(nanos),
+            },
+        },
+    )
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Every prefix of a valid container must decode to an error, and a
+/// flip of any single byte must too (the checksum plus strict frame
+/// checks leave no blind spots).
+fn assert_adversarial_inputs_fail<A: Artifact>(encoded: &[u8]) {
+    for cut in 0..encoded.len() {
+        assert!(
+            A::from_bytes(&encoded[..cut]).is_err(),
+            "truncation at byte {cut} of {} decoded successfully",
+            encoded.len()
+        );
+    }
+    for i in 0..encoded.len() {
+        let mut corrupt = encoded.to_vec();
+        corrupt[i] ^= 0x41;
+        assert!(
+            A::from_bytes(&corrupt).is_err(),
+            "corruption at byte {i} of {} decoded successfully",
+            encoded.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vectors_round_trip_bit_exactly(v in vectors()) {
+        let decoded = Vec::<f64>::from_bytes(&v.to_bytes()).unwrap();
+        prop_assert_eq!(bits(&decoded), bits(&v));
+    }
+
+    #[test]
+    fn csr_round_trips(m in csr_matrices()) {
+        let decoded = CsrMatrix::from_bytes(&m.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &m);
+        prop_assert_eq!(bits(decoded.values_raw()), bits(m.values_raw()));
+    }
+
+    #[test]
+    fn partitions_round_trip(p in partitions()) {
+        let decoded = Partition::from_bytes(&p.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn mdds_round_trip(m in mdds()) {
+        let decoded = Mdd::from_bytes(&m.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.sizes(), m.sizes());
+        prop_assert_eq!(decoded.count(), m.count());
+        prop_assert_eq!(decoded.raw_children(), m.raw_children());
+        prop_assert_eq!(decoded.tuples(), m.tuples());
+    }
+
+    #[test]
+    fn mds_round_trip(md in mds()) {
+        let decoded = Md::from_bytes(&md.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.sizes(), md.sizes());
+        prop_assert_eq!(decoded.num_nodes(), md.num_nodes());
+        for level in 0..md.num_levels() {
+            prop_assert_eq!(decoded.nodes_at(level), md.nodes_at(level));
+        }
+        // Re-encoding is byte-identical: the canonical form is stable.
+        prop_assert_eq!(decoded.to_bytes(), md.to_bytes());
+    }
+
+    #[test]
+    fn solutions_round_trip_bit_exactly(s in solutions()) {
+        let decoded = Solution::from_bytes(&s.to_bytes()).unwrap();
+        prop_assert_eq!(bits(&decoded.probabilities), bits(&s.probabilities));
+        prop_assert_eq!(decoded.stats.iterations, s.stats.iterations);
+        prop_assert_eq!(decoded.stats.residual.to_bits(), s.stats.residual.to_bits());
+        prop_assert_eq!(decoded.stats.elapsed, s.stats.elapsed);
+    }
+
+    #[test]
+    fn truncation_and_corruption_never_panic_vectors(v in vectors()) {
+        assert_adversarial_inputs_fail::<Vec<f64>>(&v.to_bytes());
+    }
+
+    #[test]
+    fn truncation_and_corruption_never_panic_mdds(m in mdds()) {
+        assert_adversarial_inputs_fail::<Mdd>(&m.to_bytes());
+    }
+
+    #[test]
+    fn truncation_and_corruption_never_panic_solutions(s in solutions()) {
+        assert_adversarial_inputs_fail::<Solution>(&s.to_bytes());
+    }
+}
+
+#[test]
+fn truncation_and_corruption_never_panic_structured() {
+    let coo = {
+        let mut c = CooMatrix::new(3, 3);
+        c.push(0, 1, 1.5);
+        c.push(2, 0, -2.0);
+        c
+    };
+    assert_adversarial_inputs_fail::<CsrMatrix>(&coo.to_csr().to_bytes());
+    let p = Partition::from_classes(vec![vec![0, 2], vec![1]]);
+    assert_adversarial_inputs_fail::<Partition>(&p.to_bytes());
+    let mut expr = KroneckerExpr::new(vec![2, 2]);
+    let mut f = SparseFactor::new(2);
+    f.push(0, 1, 1.0);
+    f.push(1, 0, 2.0);
+    expr.add_term(1.0, vec![Some(f), None]);
+    let md = expr.to_md().unwrap();
+    assert_adversarial_inputs_fail::<Md>(&md.to_bytes());
+    let ck = Checkpoint {
+        phase: "solve.power".into(),
+        iterations: 42,
+        residual: 1e-9,
+        iterate: vec![0.25, 0.75],
+        aux: vec![],
+        scalars: vec![],
+    };
+    assert_adversarial_inputs_fail::<Checkpoint>(&ck.to_bytes());
+}
+
+#[test]
+fn future_version_is_rejected() {
+    let v: Vec<f64> = vec![1.0, 2.0];
+    let mut bytes = v.to_bytes();
+    // Bump the version field (offset 4, little-endian u16).
+    let bumped = FORMAT_VERSION + 1;
+    bytes[4..6].copy_from_slice(&bumped.to_le_bytes());
+    match Vec::<f64>::from_bytes(&bytes) {
+        Err(StoreError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, bumped);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_kind_is_rejected() {
+    let v: Vec<f64> = vec![1.0];
+    let bytes = v.to_bytes();
+    match Solution::from_bytes(&bytes) {
+        Err(StoreError::WrongKind { found, expected }) => {
+            assert_eq!(found, <Vec<f64> as Artifact>::KIND);
+            assert_eq!(expected, Solution::KIND);
+        }
+        other => panic!("expected WrongKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_round_trips() {
+    let ck = Checkpoint {
+        phase: "solve.jacobi".into(),
+        iterations: 1234,
+        residual: 3.5e-7,
+        iterate: vec![0.1, -0.0, f64::MIN_POSITIVE],
+        aux: vec![0.4, 0.6],
+        scalars: vec![-2.5, 0.97],
+    };
+    let decoded = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+    assert_eq!(decoded.phase, ck.phase);
+    assert_eq!(decoded.iterations, ck.iterations);
+    assert_eq!(decoded.residual.to_bits(), ck.residual.to_bits());
+    assert_eq!(bits(&decoded.iterate), bits(&ck.iterate));
+    assert_eq!(bits(&decoded.aux), bits(&ck.aux));
+    assert_eq!(bits(&decoded.scalars), bits(&ck.scalars));
+}
+
+#[test]
+fn compiled_kernel_round_trips_through_parts() {
+    let mut w = SparseFactor::new(3);
+    w.push(0, 1, 1.0);
+    w.push(1, 2, 2.0);
+    w.push(2, 0, 0.5);
+    let mut cyc = SparseFactor::new(2);
+    cyc.push(0, 1, 3.0);
+    cyc.push(1, 0, 3.0);
+    let mut expr = KroneckerExpr::new(vec![2, 3]);
+    expr.add_term(1.0, vec![Some(cyc), None]);
+    expr.add_term(1.0, vec![None, Some(w)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+    let compiled = CompiledMdMatrix::compile(&matrix);
+
+    let parts = compiled.to_parts();
+    let decoded = mdl_md::CompiledParts::from_bytes(&parts.to_bytes()).expect("parts decode");
+    assert_eq!(decoded, parts);
+    let rebuilt = CompiledMdMatrix::from_parts(decoded, 2).expect("parts validate");
+
+    use mdl_linalg::RateMatrix;
+    let x: Vec<f64> = (0..6).map(|i| 1.0 + i as f64).collect();
+    let (mut y_orig, mut y_rebuilt) = (vec![0.0; 6], vec![0.0; 6]);
+    compiled.acc_mat_vec(&x, &mut y_orig);
+    rebuilt.acc_mat_vec(&x, &mut y_rebuilt);
+    assert_eq!(bits(&y_orig), bits(&y_rebuilt));
+    let (mut z_orig, mut z_rebuilt) = (vec![0.0; 6], vec![0.0; 6]);
+    compiled.acc_vec_mat(&x, &mut z_orig);
+    rebuilt.acc_vec_mat(&x, &mut z_rebuilt);
+    assert_eq!(bits(&z_orig), bits(&z_rebuilt));
+
+    assert_adversarial_inputs_fail::<mdl_md::CompiledParts>(&parts.to_bytes());
+}
