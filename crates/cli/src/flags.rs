@@ -199,6 +199,37 @@ pub fn flag_f64(flags: &[String], flag: &str) -> Result<Option<f64>, String> {
     })
 }
 
+/// Parsed profiling options (any subcommand).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileFlags {
+    /// `--profile`: collect a timeline and render the aggregated span
+    /// tree (inclusive/exclusive time, call counts, alloc deltas) to
+    /// stderr at exit.
+    pub profile: bool,
+    /// `--profile-out FILE`: write the timeline as Chrome trace-event
+    /// JSON to `FILE` (loadable in Perfetto / `chrome://tracing`).
+    pub out: Option<String>,
+}
+
+impl ProfileFlags {
+    /// `true` when any profiling output was requested.
+    pub fn active(&self) -> bool {
+        self.profile || self.out.is_some()
+    }
+}
+
+/// Extracts `--profile` and `--profile-out` from `flags`.
+///
+/// # Errors
+///
+/// "`--profile-out` needs a value" when the flag is present without one.
+pub fn parse_profile_flags(flags: &[String]) -> Result<ProfileFlags, String> {
+    Ok(ProfileFlags {
+        profile: flags.iter().any(|f| f == "--profile"),
+        out: value_of(flags, "--profile-out")?.map(String::from),
+    })
+}
+
 /// Parsed resilience options shared by the long-running subcommands.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ResilienceFlags {
@@ -361,6 +392,21 @@ mod tests {
         assert_eq!(flag_f64(&flags, "--transient").unwrap(), None);
         assert_eq!(flag_u64(&flags, "--reps").unwrap(), None);
         assert_eq!(parse_obs_flags(&flags).unwrap(), ObsFlags::default());
+        let pf = parse_profile_flags(&flags).unwrap();
+        assert_eq!(pf, ProfileFlags::default());
+        assert!(!pf.active());
+    }
+
+    #[test]
+    fn profile_flags_parse() {
+        let pf = parse_profile_flags(&args(&["--profile"])).unwrap();
+        assert!(pf.profile && pf.out.is_none() && pf.active());
+        let pf = parse_profile_flags(&args(&["--profile-out", "trace.json"])).unwrap();
+        assert!(!pf.profile);
+        assert_eq!(pf.out.as_deref(), Some("trace.json"));
+        assert!(pf.active(), "--profile-out alone enables profiling");
+        let e = parse_profile_flags(&args(&["--profile-out", "--exact"])).unwrap_err();
+        assert!(e.contains("--profile-out needs a value"), "{e}");
     }
 
     #[test]

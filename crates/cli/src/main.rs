@@ -15,8 +15,15 @@
 //!
 //! All subcommands also take `--metrics pretty|json` (span events plus a
 //! final counter/timing report), `--trace` (additionally stream span-start
-//! and point events) and `--metrics-out FILE` (write the stream to `FILE`
-//! instead of stderr, keeping stdout for the command's own output).
+//! and point events), `--metrics-out FILE` (write the stream to `FILE`
+//! instead of stderr, keeping stdout for the command's own output),
+//! `--profile` (an aggregated self-profile tree on stderr at exit) and
+//! `--profile-out FILE` (a Chrome trace-event JSON timeline for
+//! Perfetto / `chrome://tracing`).
+//!
+//! The metrics report, the profile tree and the trace file are written on
+//! every exit path — a run that fails or blows its `--deadline` still
+//! leaves complete telemetry behind, which is exactly when it is needed.
 //!
 //! Exit codes: `0` success, `1` failure, `2` a `--deadline` (or other
 //! budget limit) interrupted the run.
@@ -26,13 +33,20 @@ use std::sync::Arc;
 
 use mdl_cli::commands::{self, Measure};
 use mdl_cli::error::CliError;
-use mdl_cli::flags::{self, MetricsFormat, ObsFlags};
+use mdl_cli::flags::{self, MetricsFormat, ObsFlags, ProfileFlags};
 use mdl_cli::parse_model;
 use mdl_core::LumpKind;
 use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 
+/// The counting allocator wrapper: free (one relaxed load per
+/// allocation) until `--profile`/`--profile-out` switch tracking on, at
+/// which point every pipeline stage reports bytes allocated and the
+/// heap high-water mark alongside wall time.
+#[global_allocator]
+static ALLOC: mdl_obs::CountingAllocator = mdl_obs::CountingAllocator;
+
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR] [--cache-dir DIR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n                      [--cache-dir DIR] [--checkpoint-every N] [--resume]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nartifact cache (lump and solve):\n  --cache-dir DIR         content-addressed cache of every pipeline\n                          stage (build, lump, kernel compile, solve,\n                          measures): artifacts persist under keys\n                          derived from the model text and the\n                          result-relevant options, so a repeated run is\n                          pure cache hits (the MDL_CACHE environment\n                          variable supplies a default directory)\n  --checkpoint-every N    with a cache: snapshot long stationary /\n                          transient solves every N iterations so an\n                          interrupted run can continue\n  --resume                with a cache: continue an interrupted solve\n                          from its checkpoint (cleared on success)\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR] [--cache-dir DIR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n                      [--cache-dir DIR] [--checkpoint-every N] [--resume]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nartifact cache (lump and solve):\n  --cache-dir DIR         content-addressed cache of every pipeline\n                          stage (build, lump, kernel compile, solve,\n                          measures): artifacts persist under keys\n                          derived from the model text and the\n                          result-relevant options, so a repeated run is\n                          pure cache hits (the MDL_CACHE environment\n                          variable supplies a default directory)\n  --checkpoint-every N    with a cache: snapshot long stationary /\n                          transient solves every N iterations so an\n                          interrupted run can continue\n  --resume                with a cache: continue an interrupted solve\n                          from its checkpoint (cleared on success)\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n  --profile               print an aggregated self-profile to stderr at\n                          exit: the span tree with call counts,\n                          inclusive/exclusive wall time and allocation\n                          deltas per stage (JSON with --metrics json)\n  --profile-out FILE      write the run's timeline as Chrome\n                          trace-event JSON to FILE; load it in Perfetto\n                          or chrome://tracing to see pipeline stages\n                          and worker threads on a zoomable time axis\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
 }
 
@@ -96,6 +110,72 @@ fn emit_report(emitter: &Emitter) {
     }
 }
 
+/// Everything configured before the command body runs, kept so the
+/// teardown in [`main`] can write the final report and profile outputs
+/// no matter how the command exits.
+struct Session {
+    emitter: Option<Emitter>,
+    profile: ProfileFlags,
+    json: bool,
+}
+
+/// Parses the observability/profiling flags and switches the requested
+/// instrumentation on. Runs before the command body so that even a
+/// run that fails while parsing its own flags tears down cleanly.
+fn setup(flag_args: &[String]) -> Result<Session, String> {
+    let obs_flags = flags::parse_obs_flags(flag_args)?;
+    let profile = flags::parse_profile_flags(flag_args)?;
+    let emitter = setup_obs(&obs_flags)?;
+    if profile.active() {
+        mdl_obs::set_profiling(true);
+        mdl_obs::set_mem_tracking(true);
+    }
+    Ok(Session {
+        emitter,
+        profile,
+        json: obs_flags.format() == MetricsFormat::Json,
+    })
+}
+
+/// Writes the profile outputs (`--profile-out` trace file, `--profile`
+/// tree on stderr). Called on every exit path.
+fn write_profile_outputs(session: &Session) -> Result<(), String> {
+    if !session.profile.active() {
+        return Ok(());
+    }
+    let trace = mdl_obs::take_trace();
+    if let Some(path) = &session.profile.out {
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("--profile-out: cannot write {path}: {e}"))?;
+    }
+    if session.profile.profile {
+        let tree = trace.profile();
+        let rendered = if session.json {
+            tree.to_json()
+        } else {
+            tree.render_pretty()
+        };
+        eprintln!("{}", rendered.trim_end());
+        if mdl_obs::mem_tracking() {
+            let m = mdl_obs::mem_stats();
+            if session.json {
+                eprintln!(
+                    "{{\"type\":\"mem\",\"allocated_bytes\":{},\"alloc_calls\":{},\"peak_bytes\":{}}}",
+                    m.allocated_bytes, m.alloc_calls, m.peak_bytes
+                );
+            } else {
+                eprintln!(
+                    "heap: {} allocated over {} calls, peak {}",
+                    mdl_obs::fmt_bytes(m.allocated_bytes),
+                    m.alloc_calls,
+                    mdl_obs::fmt_bytes(m.peak_bytes)
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The staged pipeline for this invocation: keyed by the raw model text,
 /// persistent when a cache directory is configured.
 fn pipeline_for(pf: &flags::PipelineFlags, input: &str) -> Result<mdl_core::Pipeline, CliError> {
@@ -110,9 +190,8 @@ fn pipeline_for(pf: &flags::PipelineFlags, input: &str) -> Result<mdl_core::Pipe
     })
 }
 
-fn run() -> Result<String, CliError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (command, file) = match args.as_slice() {
+fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, file) = match args {
         [c, f, ..] => (c.as_str(), f.as_str()),
         _ => return Err(CliError::Failed(usage())),
     };
@@ -123,7 +202,6 @@ fn run() -> Result<String, CliError> {
         LumpKind::Ordinary
     };
 
-    let obs = setup_obs(&flags::parse_obs_flags(flag_args)?)?;
     let pipeline_flags = flags::parse_pipeline_flags(
         flag_args,
         std::env::var(flags::CACHE_ENV_VAR).ok().as_deref(),
@@ -132,7 +210,7 @@ fn run() -> Result<String, CliError> {
     let input = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let parsed = parse_model(&input).map_err(|e| e.to_string())?;
 
-    let result = match command {
+    match command {
         "info" => commands::info(&parsed),
         "lump" => {
             let iterate = flag_args.iter().any(|f| f == "--iterate");
@@ -182,14 +260,7 @@ fn run() -> Result<String, CliError> {
             "unknown command {other:?}\n{}",
             usage()
         ))),
-    };
-
-    if let Some(emitter) = &obs {
-        if result.is_ok() {
-            emit_report(emitter);
-        }
     }
-    result
 }
 
 /// Writes the command output to stdout. A closed pipe (`mdlump-cli … |
@@ -230,5 +301,37 @@ fn finish(result: Result<String, CliError>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    finish(run())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_args: &[String] = if args.len() >= 2 { &args[2..] } else { &[] };
+    let session = match setup(flag_args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(mdl_cli::error::EXIT_FAILURE);
+        }
+    };
+    let result = run(&args);
+    let ok = result.is_ok();
+    // Teardown runs on every exit path: a failed or interrupted run
+    // still gets its final counter report, profile tree and trace file
+    // — the telemetry of a run that blew its deadline is precisely the
+    // evidence of where the budget went.
+    if let Some(emitter) = &session.emitter {
+        emit_report(emitter);
+    }
+    let profile_outcome = write_profile_outputs(&session);
+    let code = finish(result);
+    match profile_outcome {
+        Ok(()) => code,
+        Err(e) => {
+            eprintln!("{e}");
+            // A lost trace file fails an otherwise-successful run, but
+            // never masks the command's own failure/interrupted code.
+            if ok {
+                ExitCode::from(mdl_cli::error::EXIT_FAILURE)
+            } else {
+                code
+            }
+        }
+    }
 }

@@ -155,6 +155,7 @@ impl Pipeline {
     pub fn build(&self, builder: impl FnOnce() -> Result<MdMrp>) -> Result<Staged<MdMrp>> {
         let key = stage_key("build", self.model_key, |_| {});
         let mut span = mdl_obs::span("pipeline.stage").with("stage", "build");
+        span.trace_label("pipeline.build");
         if let Some(mrp) = self.fetch_mrp(key) {
             record_memory(&mrp, "md.memory_bytes", "mdd.memory_bytes");
             span.record("cache", "hit");
@@ -189,6 +190,7 @@ impl Pipeline {
     pub fn lump(&self, input: &Staged<MdMrp>, request: &LumpRequest) -> Result<Staged<LumpResult>> {
         let key = stage_key("lump", input.key, |h| request.write_cache_key(h));
         let mut span = mdl_obs::span("pipeline.stage").with("stage", "lump");
+        span.trace_label("pipeline.lump");
         if let Some(result) = self.fetch_lump(key) {
             record_memory(&result.mrp, "lump.md.memory_bytes", "lump.mdd.memory_bytes");
             span.record("cache", "hit");
@@ -237,6 +239,7 @@ impl Pipeline {
     ) -> Result<Staged<Arc<CompiledMdMatrix>>> {
         let key = stage_key("kernel", input.key, |_| {});
         let mut span = mdl_obs::span("pipeline.stage").with("stage", "compile");
+        span.trace_label("pipeline.compile");
         if let Some(parts) = self.fetch::<CompiledParts>(key) {
             match CompiledMdMatrix::from_parts(parts, threads) {
                 Ok(kernel) => {
@@ -282,6 +285,7 @@ impl Pipeline {
     ) -> (Result<Staged<SolveOutcome>>, RunReport) {
         let key = self.solve_key(input.key, request);
         let mut span = mdl_obs::span("pipeline.stage").with("stage", "solve");
+        span.trace_label("pipeline.solve");
         if let Some((outcome, report)) = self.fetch_solve(key, request.target()) {
             span.record("cache", "hit");
             span.finish();
@@ -340,6 +344,7 @@ impl Pipeline {
     ) -> Result<Staged<Vec<f64>>> {
         let key = stage_key("measure", input_key, |h| h.write_str(label));
         let mut span = mdl_obs::span("pipeline.stage").with("stage", "measure");
+        span.trace_label("pipeline.measure");
         if let Some(value) = self.fetch::<Vec<f64>>(key) {
             span.record("cache", "hit");
             span.finish();

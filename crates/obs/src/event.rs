@@ -208,6 +208,29 @@ mod tests {
     }
 
     #[test]
+    fn json_escapes_nasty_names_and_values() {
+        // Span/model names full of quotes, backslashes and control
+        // characters must survive the JSONL encoding byte-exactly.
+        let nasty = "tandem \"J=3\"\\path\nline\ttab\u{1}\u{1f}";
+        let e = Event {
+            kind: EventKind::Point,
+            name: "model \"quoted\"\\name",
+            nanos: None,
+            fields: vec![("model", Value::Str(nasty.to_owned()))],
+        };
+        let json = e.to_json();
+        let parsed = crate::json::parse(&json).expect("escaped event parses");
+        assert_eq!(
+            parsed.get("name").and_then(crate::json::Json::as_str),
+            Some("model \"quoted\"\\name")
+        );
+        assert_eq!(
+            parsed.get("model").and_then(crate::json::Json::as_str),
+            Some(nasty)
+        );
+    }
+
+    #[test]
     fn nanosecond_units() {
         assert_eq!(fmt_nanos(532), "532ns");
         assert_eq!(fmt_nanos(14_200), "14.20µs");

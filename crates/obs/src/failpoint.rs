@@ -98,6 +98,17 @@ fn hit_slow(name: &str) -> Option<Injection> {
     if !triggered {
         return None;
     }
+    // Fault telemetry carries stage attribution: which span was active
+    // when the injection fired (see `crate::current_span`).
+    crate::counter("failpoint.hit").inc();
+    crate::point("failpoint.hit", || {
+        let mut fields: Vec<(&'static str, crate::Value)> = vec![("failpoint", name.into())];
+        if let Some(ctx) = crate::profile::current_span() {
+            fields.push(("span", ctx.name.into()));
+            fields.push(("span_id", ctx.id.into()));
+        }
+        fields
+    });
     match spec.action {
         Action::Nan => Some(Injection::Nan),
         Action::Err => Some(Injection::Err),
@@ -296,6 +307,41 @@ mod tests {
         assert!(set("fp.t", "sleep:5y").is_err());
         assert!(configure("just-a-name").is_err());
         clear();
+    }
+
+    #[test]
+    fn triggered_hit_reports_active_span() {
+        let _guard = crate::testing::guard();
+        crate::reset();
+        clear();
+        crate::set_tracing(true);
+        let capture = std::sync::Arc::new(crate::MemorySubscriber::new());
+        crate::add_subscriber(capture.clone());
+        set("fp.test.attr", "sleep:1us").unwrap();
+        let span = crate::span("fp.test.stage");
+        let span_id = span.id();
+        assert_eq!(hit("fp.test.attr"), None);
+        span.finish();
+        let events = capture.take();
+        crate::clear_subscribers();
+        crate::set_enabled(false);
+        clear();
+        let hit_ev = events
+            .iter()
+            .find(|e| e.name == "failpoint.hit")
+            .expect("triggered failpoint emits a point event");
+        let field = |k: &str| hit_ev.fields.iter().find(|(n, _)| *n == k).map(|(_, v)| v);
+        assert_eq!(
+            field("failpoint"),
+            Some(&crate::Value::Str("fp.test.attr".into()))
+        );
+        assert_eq!(
+            field("span"),
+            Some(&crate::Value::Str("fp.test.stage".into()))
+        );
+        assert_eq!(field("span_id"), Some(&crate::Value::U64(span_id)));
+        assert!(crate::counter("failpoint.hit").get() >= 1);
+        crate::reset();
     }
 
     #[test]

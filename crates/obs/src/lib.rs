@@ -31,6 +31,14 @@
 //! thread-count resolution and scoped fan-out, placed here because this
 //! is the one leaf crate they all already depend on.
 //!
+//! Profiling extends spans into a timeline: [`set_profiling`] turns on a
+//! lock-light ring buffer of completed spans ([`profile`]) with ids,
+//! parent links and thread ordinals, exportable as Chrome trace-event
+//! JSON or aggregated into a self-profile tree; the optional
+//! [`CountingAllocator`] ([`alloc`]) adds bytes-allocated deltas and a
+//! process high-water mark. [`current_span`] exposes the active span for
+//! stage attribution of point telemetry.
+//!
 //! Subscribers ([`add_subscriber`]) receive events; [`PrettySubscriber`]
 //! renders for terminals, [`JsonlSubscriber`] writes one JSON object per
 //! line. [`snapshot`] captures every non-zero metric as a [`Report`].
@@ -64,18 +72,27 @@
 //! mdl_obs::reset();
 //! ```
 
+pub mod alloc;
 pub mod budget;
 pub mod event;
 pub mod failpoint;
 pub mod json;
 pub mod pool;
+pub mod profile;
 mod registry;
 mod span;
 mod subscriber;
 
+pub use alloc::{
+    mem_stats, mem_tracking, reset_mem_peak, set_mem_tracking, CountingAllocator, MemStats,
+};
 pub use budget::{Budget, BudgetExceeded, CancelToken, Ticker};
 pub use event::{fmt_nanos, Event, EventKind, Value};
 pub use pool::{default_threads, ThreadPool};
+pub use profile::{
+    current_span, enter_context, fmt_bytes, profiling, set_profiling, take_trace, ProfileNode,
+    SpanContext, Trace, TraceEvent,
+};
 pub use registry::{Counter, CounterSnapshot, Histogram, HistogramSnapshot, Report};
 pub use span::Span;
 pub use subscriber::{JsonlSubscriber, MemorySubscriber, PrettySubscriber, Subscriber};
@@ -99,11 +116,13 @@ fn subscribers() -> &'static RwLock<Vec<Arc<dyn Subscriber>>> {
 
 /// Turns metric collection and span reporting on or off, process-wide.
 /// Off is the default; instrumented code then pays only a relaxed atomic
-/// load per counter increment.
+/// load per counter increment. Disabling also stops tracing and
+/// profiling — both require span identities, which disabled spans skip.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
     if !on {
         TRACING.store(false, Ordering::Relaxed);
+        profile::stop_profiling();
     }
 }
 

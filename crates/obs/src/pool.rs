@@ -102,6 +102,12 @@ impl ThreadPool {
     /// into the `pool.worker.tasks` histogram (the "did work actually
     /// spread across threads?" signal) and counts jobs in `pool.tasks`.
     ///
+    /// Span context crosses the fan-out: each worker re-enters the
+    /// caller's current span (see [`crate::profile::enter_context`]), so
+    /// spans opened inside jobs attribute to the stage that launched
+    /// them, and when profiling is on each worker wraps its run in a
+    /// `pool.worker` span so the timeline shows the parallel region.
+    ///
     /// # Panics
     ///
     /// Propagates a panic from `f`.
@@ -114,12 +120,16 @@ impl ThreadPool {
         if workers <= 1 {
             return (0..jobs).map(f).collect();
         }
+        let parent = crate::profile::current_span();
         let cursor = AtomicUsize::new(0);
         let mut per_worker: Vec<Vec<(usize, T)>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _ctx = crate::profile::enter_context(parent);
+                        let _worker_span =
+                            crate::profile::profiling().then(|| crate::span("pool.worker"));
                         let mut local = Vec::new();
                         loop {
                             let j = cursor.fetch_add(1, Ordering::Relaxed);

@@ -358,6 +358,67 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_across_bucket_boundaries() {
+        let _guard = crate::testing::guard();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        crate::set_enabled(false);
+        // Ranks 1..=99 land in the bucket of 1000 ([512, 1024), midpoint
+        // 768) and clamp up to the observed min.
+        assert_eq!(h.quantile(0.0), 1_000);
+        assert_eq!(h.quantile(0.5), 1_000);
+        assert_eq!(h.quantile(0.99), 1_000);
+        // The top rank returns the exact observed max.
+        assert_eq!(h.quantile(0.999), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn quantile_midpoint_is_geometric_within_a_bucket() {
+        let _guard = crate::testing::guard();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        // Rank 2 lands in the bucket [2, 4); its geometric midpoint is 3
+        // — a factor-√2 approximation of the true sample 2.
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.25), 1);
+        assert_eq!(h.quantile(1.0), 8);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_that_sample() {
+        let _guard = crate::testing::guard();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        h.record(777);
+        crate::set_enabled(false);
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile(q), 777, "q = {q}");
+        }
+    }
+
+    #[test]
+    fn quantile_handles_zero_samples_bucket() {
+        let _guard = crate::testing::guard();
+        crate::set_enabled(true);
+        let h = Histogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(100);
+        crate::set_enabled(false);
+        assert_eq!(h.quantile(0.5), 0, "zeros land in bucket 0");
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
     fn report_renders_both_formats() {
         let report = Report {
             counters: vec![CounterSnapshot {

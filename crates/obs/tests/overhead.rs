@@ -1,0 +1,70 @@
+//! The disabled fast path must stay near-free: with observability off,
+//! no subscribers and no allocator tracking, counters, failpoints and
+//! point events are one relaxed atomic load each, and a span is two
+//! clock reads. Profiling must never tax production solves.
+//!
+//! The per-op bound defaults to a CI-noise-tolerant 25 ns (the smoke
+//! machine measures ~1–2 ns; override with `MDL_NOOP_NS_BOUND`). The
+//! measured values are also emitted by `mdl-bench report` as
+//! `obs.noop.*` metrics, where the regression gate watches them.
+
+use std::time::Instant;
+
+fn per_op<F: FnMut()>(n: u64, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..n {
+        f();
+    }
+    t0.elapsed().as_nanos() as f64 / n as f64
+}
+
+#[test]
+fn disabled_fast_paths_are_near_free() {
+    let _guard = mdl_obs::testing::guard();
+    mdl_obs::set_enabled(false);
+    mdl_obs::failpoint::clear();
+    let bound: f64 = std::env::var("MDL_NOOP_NS_BOUND")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+
+    const N: u64 = 5_000_000;
+    let c = mdl_obs::counter("overhead.test.counter");
+    let counter_ns = per_op(N, || std::hint::black_box(&c).inc());
+    let failpoint_ns = per_op(N, || {
+        std::hint::black_box(mdl_obs::failpoint::hit("overhead.test.fp"));
+    });
+    let point_ns = per_op(N, || {
+        mdl_obs::point("overhead.test.point", || {
+            panic!("field closure must not run while tracing is off")
+        });
+    });
+    // Spans always measure (two `Instant::now` calls even when
+    // disabled), so they get a wider envelope than the pure gates.
+    let span_bound = bound.max(10.0) * 20.0;
+    let span_ns = per_op(200_000, || {
+        mdl_obs::span("overhead.test.span").finish();
+    });
+
+    eprintln!(
+        "noop overhead per op: counter={counter_ns:.2}ns failpoint={failpoint_ns:.2}ns \
+         point={point_ns:.2}ns span={span_ns:.2}ns (bounds {bound}ns / {span_bound}ns)"
+    );
+    assert!(c.get() == 0, "disabled counter must not count");
+    assert!(
+        counter_ns < bound,
+        "disabled counter inc took {counter_ns:.2}ns/op (bound {bound}ns)"
+    );
+    assert!(
+        failpoint_ns < bound,
+        "unconfigured failpoint hit took {failpoint_ns:.2}ns/op (bound {bound}ns)"
+    );
+    assert!(
+        point_ns < bound,
+        "untraced point event took {point_ns:.2}ns/op (bound {bound}ns)"
+    );
+    assert!(
+        span_ns < span_bound,
+        "disabled span took {span_ns:.2}ns/op (bound {span_bound}ns)"
+    );
+}

@@ -1,0 +1,82 @@
+//! Property test: the Chrome trace-event JSON export parses as valid
+//! JSON for arbitrary span nestings and labels — including labels full
+//! of quotes, backslashes and control characters, which must survive
+//! escaping.
+
+use proptest::prelude::*;
+
+/// Labels drawn from the characters most likely to break JSON encoding.
+fn label_strategy() -> impl Strategy<Value = String> {
+    let chars = prop::sample::select(vec![
+        'a', 'Z', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', 'π', '🦀', '{', '}', '[', ']',
+        ',', ':', '/',
+    ]);
+    prop::collection::vec(chars, 0..12).prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chrome_trace_parses_for_arbitrary_nestings(
+        ops in prop::collection::vec((0u8..3u8, label_strategy()), 1..40)
+    ) {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::set_profiling(true);
+        let mut open: Vec<mdl_obs::Span> = Vec::new();
+        let mut created = 0usize;
+        for (op, label) in &ops {
+            match op {
+                0 => {
+                    let mut s = mdl_obs::span("prop.trace.nested");
+                    s.trace_label(label);
+                    open.push(s);
+                    created += 1;
+                }
+                1 => {
+                    if let Some(s) = open.pop() {
+                        s.finish();
+                    }
+                }
+                _ => {
+                    let mut s = mdl_obs::span("prop.trace.leaf");
+                    s.trace_label(label);
+                    s.finish();
+                    created += 1;
+                }
+            }
+        }
+        while let Some(s) = open.pop() {
+            s.finish();
+        }
+        let trace = mdl_obs::take_trace();
+        mdl_obs::set_enabled(false);
+        mdl_obs::reset();
+
+        prop_assert_eq!(trace.events.len(), created);
+        let json = trace.to_chrome_json();
+        let doc = mdl_obs::json::parse(&json);
+        prop_assert!(doc.is_ok(), "trace must parse as JSON: {:?}", doc.err());
+        let doc = doc.unwrap();
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array present");
+        let complete = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        prop_assert_eq!(complete, created);
+        // Every complete event carries id, parent, tid, ts, dur.
+        for e in events {
+            if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+                continue;
+            }
+            prop_assert!(e.get("args").and_then(|a| a.get("id")).is_some());
+            prop_assert!(e.get("args").and_then(|a| a.get("parent")).is_some());
+            prop_assert!(e.get("tid").is_some());
+            prop_assert!(e.get("ts").is_some());
+            prop_assert!(e.get("dur").is_some());
+        }
+    }
+}

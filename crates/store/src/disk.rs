@@ -66,12 +66,14 @@ impl Store {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 mdl_obs::counter("store.miss").inc();
+                attributed_point("store.miss", A::NAME, key);
                 return Ok(None);
             }
             Err(e) => return Err(io_err(&path, e)),
         };
         let artifact = A::from_bytes(&bytes)?;
         mdl_obs::counter("store.hit").inc();
+        attributed_point("store.hit", A::NAME, key);
         Ok(Some(artifact))
     }
 
@@ -105,6 +107,23 @@ impl Store {
             Err(e) => Err(io_err(&path, e)),
         }
     }
+}
+
+/// Emits a tracing point for a cache hit/miss carrying stage
+/// attribution: which span (pipeline stage) was active when the store
+/// was consulted. No-op unless tracing is on.
+fn attributed_point(name: &'static str, artifact: &'static str, key: u64) {
+    mdl_obs::point(name, || {
+        let mut fields: Vec<(&'static str, mdl_obs::Value)> = vec![
+            ("artifact", artifact.into()),
+            ("key", format!("{key:016x}").into()),
+        ];
+        if let Some(ctx) = mdl_obs::current_span() {
+            fields.push(("span", ctx.name.into()));
+            fields.push(("span_id", ctx.id.into()));
+        }
+        fields
+    });
 }
 
 fn io_err(path: &Path, e: std::io::Error) -> StoreError {
@@ -151,6 +170,41 @@ mod tests {
         assert!(get("store.write_bytes") > 0);
         mdl_obs::set_enabled(false);
         mdl_obs::reset();
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn hit_miss_points_carry_stage_attribution() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::reset();
+        mdl_obs::set_tracing(true);
+        let capture = std::sync::Arc::new(mdl_obs::MemorySubscriber::new());
+        mdl_obs::add_subscriber(capture.clone());
+        let store = Store::open(temp_dir("attr")).unwrap();
+        let span = mdl_obs::span("pipeline.stage");
+        let span_id = span.id();
+        assert_eq!(store.load::<Vec<f64>>(9).unwrap(), None);
+        store.save(9, &vec![1.0f64]).unwrap();
+        let _ = store.load::<Vec<f64>>(9).unwrap();
+        span.finish();
+        let events = capture.take();
+        mdl_obs::clear_subscribers();
+        mdl_obs::set_enabled(false);
+        mdl_obs::reset();
+        for name in ["store.miss", "store.hit"] {
+            let ev = events
+                .iter()
+                .find(|e| e.name == name)
+                .unwrap_or_else(|| panic!("{name} point emitted"));
+            let field = |k: &str| ev.fields.iter().find(|(n, _)| *n == k).map(|(_, v)| v);
+            assert_eq!(
+                field("span"),
+                Some(&mdl_obs::Value::Str("pipeline.stage".into())),
+                "{name} names the active stage"
+            );
+            assert_eq!(field("span_id"), Some(&mdl_obs::Value::U64(span_id)));
+            assert!(field("artifact").is_some());
+        }
         let _ = fs::remove_dir_all(store.root());
     }
 
