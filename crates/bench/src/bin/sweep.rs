@@ -1,0 +1,298 @@
+//! Parameter-sweep economics: naive repeated full solves vs the sweep
+//! engine (DESIGN.md §15).
+//!
+//! Sweeps the tandem network's hypercube service rate `mu_h` over an
+//! inclusive grid. The **naive** baseline treats every point as a fresh
+//! model: reachability exploration, lumping from scratch, kernel
+//! compilation, cold solve. The **sweep** engine computes reachability
+//! once, re-lumps only the levels whose local matrices the point
+//! changed, and (in its warm pass) seeds each solve from the nearest
+//! solved neighbor.
+//!
+//! Run with `cargo run -p mdl-bench --release --bin sweep
+//! [--smoke | J [POINTS]]` (defaults `J = 3`, 32 points). `--smoke` runs
+//! `J = 1` with 5 points and exits nonzero unless every cold-sweep
+//! measure is bit-identical to its naive counterpart and the sweep total
+//! beats the naive total — the CI contract check. Speedup magnitudes are
+//! environment-dependent: printed, never asserted.
+//!
+//! Per-point row fields: `type="sweep_point"`, `model`, `jobs`, `mu`,
+//! `naive_ns`, `cold_ns`, `warm_ns`, `levels_relumped`, `naive_iters`,
+//! `warm_iters`, `measure`, `bit_identical`. Summary row:
+//! `type="sweep_total"` with grid shape, totals and speedups.
+
+use std::time::Instant;
+
+use mdl_bench::{duration_ns, emit_jsonl};
+use mdl_core::{
+    model_source_key, sweep_grid, CoreError, DecomposableVector, LumpKind, LumpRequest, Pipeline,
+    SolveRequest, SweepOutcome, SweepRequest,
+};
+use mdl_ctmc::SolverOptions;
+use mdl_mdd::Mdd;
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_models::ComposedModel;
+use mdl_obs::json::JsonObject;
+
+/// The swept event: the hypercube pool's service rate `mu_h`.
+const EVENT: &str = "hyper_service";
+
+struct Config {
+    jobs: usize,
+    points: usize,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        return Config {
+            jobs: 1,
+            points: 5,
+            smoke: true,
+        };
+    }
+    let mut nums = args.iter().filter_map(|a| a.parse::<usize>().ok());
+    Config {
+        jobs: nums.next().unwrap_or(3),
+        points: nums.next().unwrap_or(32),
+        smoke: false,
+    }
+}
+
+/// The inclusive `mu_h` grid: 0.5..2.0, `count` points.
+fn mu_grid(count: usize) -> Vec<f64> {
+    (0..count)
+        .map(|i| 0.5 + 1.5 * i as f64 / (count - 1).max(1) as f64)
+        .collect()
+}
+
+fn solve_request() -> SolveRequest {
+    SolveRequest::stationary().solver_options(SolverOptions {
+        tolerance: 1e-12,
+        ..SolverOptions::default()
+    })
+}
+
+struct PointRun {
+    measure: f64,
+    iterations: usize,
+    ns: u64,
+    levels_relumped: usize,
+}
+
+/// One naive point: re-rate, then rebuild *everything* — reachability,
+/// lumping, kernel, cold solve — exactly as independent CLI invocations
+/// would.
+fn naive_point(base: &ComposedModel, reward: &DecomposableVector, mu: f64) -> PointRun {
+    let t0 = Instant::now();
+    let mut model = base.clone();
+    model.set_event_rate(EVENT, mu).expect("event re-rates");
+    let mrp = model
+        .build_md_mrp(reward.clone())
+        .expect("tandem model builds");
+    let lumped = LumpRequest::new(LumpKind::Ordinary)
+        .run(&mrp)
+        .expect("tandem model lumps");
+    let (outcome, _) = solve_request().run(&lumped.mrp);
+    let sol = outcome
+        .expect("stationary solve succeeds")
+        .into_solution()
+        .expect("stationary outcome is a distribution");
+    let measure = sol
+        .try_expected_reward(&lumped.mrp.reward_vector())
+        .expect("reward lengths match");
+    PointRun {
+        measure,
+        iterations: sol.stats.iterations,
+        ns: duration_ns(t0.elapsed()),
+        levels_relumped: lumped.partitions.len(),
+    }
+}
+
+/// One sweep pass over the whole grid: shared reachability, seeded
+/// re-lumping, and (when `warm`) neighbor warm starts.
+fn sweep_pass(
+    base: &ComposedModel,
+    reward: &DecomposableVector,
+    reach: &Mdd,
+    mus: &[f64],
+    jobs: usize,
+    warm: bool,
+) -> (Vec<PointRun>, SweepOutcome) {
+    let pipeline = Pipeline::new(model_source_key(&format!(
+        "bench:sweep tandem jobs={jobs} warm={warm}"
+    )));
+    let points = sweep_grid(&[(EVENT.to_string(), mus.to_vec())]);
+    let request = SweepRequest::new(LumpRequest::new(LumpKind::Ordinary), solve_request())
+        .warm_start(warm)
+        .threads(0);
+    let outcome = pipeline
+        .sweep(&points, &request, |pt| {
+            let mut model = base.clone();
+            model
+                .set_event_rate(EVENT, pt.params[0].1)
+                .map_err(|e| CoreError::Build {
+                    detail: e.to_string(),
+                })?;
+            model
+                .build_md_mrp_with_reach(reward.clone(), reach.clone())
+                .map_err(|e| CoreError::Build {
+                    detail: e.to_string(),
+                })
+        })
+        .expect("sweep succeeds");
+    let runs = outcome
+        .points
+        .iter()
+        .map(|r| {
+            let sol = r.outcome.solution().expect("stationary distribution");
+            PointRun {
+                measure: sol
+                    .try_expected_reward(&r.lump.mrp.reward_vector())
+                    .expect("reward lengths match"),
+                iterations: sol.stats.iterations,
+                ns: duration_ns(r.elapsed),
+                levels_relumped: r.levels_relumped,
+            }
+        })
+        .collect();
+    (runs, outcome)
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+fn main() {
+    let cfg = config();
+    let mus = mu_grid(cfg.points);
+    println!(
+        "parameter sweep: tandem J={}, {} points of {EVENT} in [{:.2}, {:.2}]",
+        cfg.jobs,
+        mus.len(),
+        mus[0],
+        mus[mus.len() - 1]
+    );
+
+    let model = TandemModel::new(TandemConfig {
+        jobs: cfg.jobs,
+        ..TandemConfig::default()
+    });
+    let base = model.composed().clone();
+    // Availability is rate-independent, so one reward serves every point.
+    let reward = model
+        .reward(TandemReward::Availability)
+        .expect("reward builds");
+    let reach = base.reachable().expect("tandem model explores");
+
+    let t0 = Instant::now();
+    let naive: Vec<PointRun> = mus
+        .iter()
+        .map(|&mu| naive_point(&base, &reward, mu))
+        .collect();
+    let naive_total = duration_ns(t0.elapsed());
+
+    let (cold, cold_outcome) = sweep_pass(&base, &reward, &reach, &mus, cfg.jobs, false);
+    let cold_total = duration_ns(cold_outcome.elapsed);
+    let (warm, warm_outcome) = sweep_pass(&base, &reward, &reach, &mus, cfg.jobs, true);
+    let warm_total = duration_ns(warm_outcome.elapsed);
+
+    println!(
+        "{:>6} {:>8} {:>10} {:>10} {:>10} {:>8} {:>12} {:>12} {:>20}",
+        "point", "mu", "naive", "sweep", "warm", "relump", "naive_iters", "warm_iters", "measure"
+    );
+    let mut lines = Vec::new();
+    let mut bit_identical = true;
+    for (i, mu) in mus.iter().enumerate() {
+        let same = naive[i].measure.to_bits() == cold[i].measure.to_bits();
+        bit_identical &= same;
+        println!(
+            "{:>6} {:>8.4} {:>10} {:>10} {:>10} {:>5}/{:<2} {:>12} {:>12} {:>20.12}{}",
+            i,
+            mu,
+            ms(naive[i].ns),
+            ms(cold[i].ns),
+            ms(warm[i].ns),
+            cold[i].levels_relumped,
+            naive[i].levels_relumped,
+            naive[i].iterations,
+            warm[i].iterations,
+            naive[i].measure,
+            if same { "" } else { "  MISMATCH" },
+        );
+        let mut obj = JsonObject::new();
+        obj.str("type", "sweep_point")
+            .str("model", "tandem")
+            .u64("jobs", cfg.jobs as u64)
+            .f64("mu", *mu)
+            .u64("naive_ns", naive[i].ns)
+            .u64("cold_ns", cold[i].ns)
+            .u64("warm_ns", warm[i].ns)
+            .u64("levels_relumped", cold[i].levels_relumped as u64)
+            .u64("naive_iters", naive[i].iterations as u64)
+            .u64("warm_iters", warm[i].iterations as u64)
+            .f64("measure", naive[i].measure)
+            .bool("bit_identical", same);
+        lines.push(obj.close());
+    }
+
+    let naive_iters: usize = naive.iter().map(|p| p.iterations).sum();
+    let warm_iters: usize = warm.iter().map(|p| p.iterations).sum();
+    let speedup = |total: u64| {
+        if total > 0 {
+            naive_total as f64 / total as f64
+        } else {
+            f64::INFINITY
+        }
+    };
+    println!(
+        "totals: naive {} | sweep {} ({:.1}x) | warm sweep {} ({:.1}x)",
+        ms(naive_total),
+        ms(cold_total),
+        speedup(cold_total),
+        ms(warm_total),
+        speedup(warm_total),
+    );
+    println!(
+        "levels: {} reused, {} re-lumped of {} naive; iterations: {} naive -> {} warm ({:.0}% saved)",
+        cold_outcome.levels_reused,
+        cold_outcome.levels_relumped,
+        naive.iter().map(|p| p.levels_relumped).sum::<usize>(),
+        naive_iters,
+        warm_iters,
+        100.0 * (1.0 - warm_iters as f64 / naive_iters.max(1) as f64),
+    );
+    let mut total = JsonObject::new();
+    total
+        .str("type", "sweep_total")
+        .str("model", "tandem")
+        .u64("jobs", cfg.jobs as u64)
+        .u64("points", mus.len() as u64)
+        .u64("naive_ns", naive_total)
+        .u64("cold_ns", cold_total)
+        .u64("warm_ns", warm_total)
+        .u64("levels_reused", cold_outcome.levels_reused as u64)
+        .u64("levels_relumped", cold_outcome.levels_relumped as u64)
+        .u64("naive_iters", naive_iters as u64)
+        .u64("warm_iters", warm_iters as u64)
+        .bool("bit_identical", bit_identical);
+    lines.push(total.close());
+    emit_jsonl(&lines);
+
+    if !bit_identical {
+        eprintln!("FAIL: cold-sweep measures are not bit-identical to the naive path");
+        std::process::exit(1);
+    }
+    if cfg.smoke {
+        if cold_total >= naive_total {
+            eprintln!(
+                "FAIL: sweep ({}) not faster than naive ({})",
+                ms(cold_total),
+                ms(naive_total)
+            );
+            std::process::exit(1);
+        }
+        println!("smoke OK: measures bit-identical, sweep beat naive");
+    }
+}

@@ -451,6 +451,188 @@ pub fn solve(
     Ok(out)
 }
 
+/// One JSONL row of the `--sweep-out` stream: the point's parameters,
+/// its measure, and its reuse/warm-start provenance.
+fn sweep_jsonl_row(r: &mdl_core::SweepPointResult, measure: f64) -> String {
+    let mut params = String::from("{");
+    for (i, (name, value)) in r.params.iter().enumerate() {
+        if i > 0 {
+            params.push(',');
+        }
+        params.push('"');
+        mdl_obs::json::escape_into(&mut params, name);
+        params.push_str("\":");
+        mdl_obs::json::write_f64(&mut params, *value);
+    }
+    params.push('}');
+    let mut row = mdl_obs::json::JsonObject::new();
+    row.u64("point", r.index as u64)
+        .raw("params", &params)
+        .f64("measure", measure)
+        .u64("lumped_states", r.lump.stats.lumped_states)
+        .u64("levels_reused", r.levels_reused as u64)
+        .u64("levels_relumped", r.levels_relumped as u64)
+        .bool("warm_started", r.warm_started)
+        .u64(
+            "iterations",
+            r.outcome
+                .solution()
+                .map(|s| s.stats.iterations as u64)
+                .unwrap_or(0),
+        )
+        .bool("lump_cached", r.lump_cached)
+        .bool("solve_cached", r.solve_cached)
+        .f64("elapsed_ms", r.elapsed.as_secs_f64() * 1e3);
+    row.close()
+}
+
+/// `sweep`: solve the stationary measure across a parameter grid,
+/// compiling the model structure once. Reachability is computed a single
+/// time (rates are positive, so the reach set is rate-invariant), levels
+/// whose local matrices a point left unchanged reuse their partition
+/// from earlier points, and each solve warm-starts from the nearest
+/// already-solved neighbor. With a cache directory every per-point
+/// artifact persists, so a repeated sweep is pure cache hits.
+///
+/// `axes` come from `--set name=lo:hi:count` flags (Cartesian product);
+/// axis names must name events of the model. `sweep_out` streams one
+/// JSON object per point to the given file.
+///
+/// # Errors
+///
+/// Propagates build, lumping and solver errors as [`CliError`]s; an
+/// unknown event name and an unwritable `--sweep-out` file are explicit
+/// failures; an expired `--deadline` surfaces as
+/// [`CliError::Interrupted`].
+pub fn sweep(
+    parsed: &ParsedModel,
+    axes: &[(String, Vec<f64>)],
+    kernel: &KernelOptions,
+    resilience: &ResilienceFlags,
+    pipeline: &Pipeline,
+    sweep_out: Option<&str>,
+) -> Result<String, CliError> {
+    if axes.is_empty() {
+        return Err(CliError::Failed(
+            "sweep needs at least one --set axis (e.g. --set mu=0.5:2.0:16)".into(),
+        ));
+    }
+    for (name, _) in axes {
+        if !parsed.model.events().iter().any(|e| &e.name == name) {
+            let known: Vec<&str> = parsed
+                .model
+                .events()
+                .iter()
+                .map(|e| e.name.as_str())
+                .collect();
+            return Err(CliError::Failed(format!(
+                "--set {name}: no event named {name:?} (events: {})",
+                known.join(", ")
+            )));
+        }
+    }
+
+    let budget = resilience.budget();
+    // Reachability once: every grid point shares it.
+    let reach = parsed
+        .model
+        .reachable()
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let points = mdl_core::sweep_grid(axes);
+    let request = mdl_core::SweepRequest::new(
+        LumpRequest::new(LumpKind::Ordinary)
+            .threads(kernel.threads)
+            .budget(budget.clone()),
+        SolveRequest::stationary()
+            .solver_options(solver_options(&budget))
+            .kernel(kernel.kind)
+            .threads(kernel.threads)
+            .fallback(resilience.fallback),
+    )
+    .compile_kernel(kernel.kind == KernelKind::Compiled || resilience.fallback)
+    .threads(kernel.threads)
+    .budget(budget);
+
+    let outcome = pipeline
+        .sweep(&points, &request, |point| {
+            let mut model = parsed.model.clone();
+            for (name, value) in &point.params {
+                model.set_event_rate(name, *value).map_err(|e| match e {
+                    mdl_models::ModelError::Core(c) => c,
+                    other => CoreError::Build {
+                        detail: other.to_string(),
+                    },
+                })?;
+            }
+            model
+                .build_md_mrp_with_reach(parsed.reward.clone(), reach.clone())
+                .map_err(|e| match e {
+                    mdl_models::ModelError::Core(c) => c,
+                    other => CoreError::Build {
+                        detail: other.to_string(),
+                    },
+                })
+        })
+        .map_err(CliError::from)?;
+
+    let mut out = String::new();
+    let axis_names: Vec<&str> = axes.iter().map(|(n, _)| n.as_str()).collect();
+    writeln!(
+        out,
+        "sweep: {} points over {} (reachability computed once)",
+        points.len(),
+        axis_names.join(" x ")
+    )?;
+    let mut rows = String::new();
+    let mut warm_points = 0usize;
+    for r in &outcome.points {
+        let measure = expected_reward(&r.lump.mrp, r.outcome.clone())?;
+        let params: Vec<String> = r
+            .params
+            .iter()
+            .map(|(n, v)| format!("{n}={v:.6}"))
+            .collect();
+        writeln!(
+            out,
+            "  point {:<4} {}  measure {:.10}  lumped {:>6} states  reuse {}/{}{}{}",
+            r.index,
+            params.join(" "),
+            measure,
+            r.lump.stats.lumped_states,
+            r.levels_reused,
+            r.levels_reused + r.levels_relumped,
+            if r.warm_started { "  warm" } else { "" },
+            if r.lump_cached && r.solve_cached {
+                "  cached"
+            } else {
+                ""
+            },
+        )?;
+        if r.warm_started {
+            warm_points += 1;
+        }
+        if sweep_out.is_some() {
+            rows.push_str(&sweep_jsonl_row(r, measure));
+            rows.push('\n');
+        }
+    }
+    writeln!(
+        out,
+        "total: {} points in {:?}; levels reused {}, re-lumped {}; {} warm-started",
+        outcome.points.len(),
+        outcome.elapsed,
+        outcome.levels_reused,
+        outcome.levels_relumped,
+        warm_points,
+    )?;
+    if let Some(path) = sweep_out {
+        std::fs::write(path, rows)
+            .map_err(|e| CliError::Failed(format!("--sweep-out: cannot write {path}: {e}")))?;
+        writeln!(out, "per-point JSONL written to {path}")?;
+    }
+    Ok(out)
+}
+
 /// `simulate`: Monte Carlo estimate of the stationary (or accumulated)
 /// reward, cross-checked against the lumped numerical solution — the
 /// simulator shares only the model semantics with the symbolic stack, so
@@ -826,6 +1008,114 @@ reward sum
         let solve_key = setup.pipeline.solve_key(lumped.key, &base);
         assert!(setup.pipeline.load_checkpoint(solve_key).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_measures_match_independent_solves() {
+        let parsed = parse_model(MODEL).unwrap();
+        let axes = vec![("finish".to_string(), vec![0.5, 1.0, 2.0])];
+        let out = sweep(
+            &parsed,
+            &axes,
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup().pipeline,
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("3 points"), "{out}");
+        // The ctrl level never changes; finish touches only workers. So
+        // points 1 and 2 reuse the ctrl partition.
+        assert!(out.contains("reuse 1/2"), "{out}");
+        assert!(out.contains("warm"), "{out}");
+        // The finish=1.0 point is the base model: its measure must equal
+        // the plain solve's measure line.
+        let direct = solve(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            0,
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup(),
+        )
+        .unwrap();
+        let direct_measure = direct
+            .lines()
+            .find(|l| l.starts_with("measure"))
+            .and_then(|l| l.split(": ").nth(1))
+            .unwrap()
+            .trim()
+            .to_string();
+        let base_point = out
+            .lines()
+            .find(|l| l.contains("finish=1.000000"))
+            .unwrap_or_else(|| panic!("no base point line in {out}"));
+        // Warm starts shift low-order bits, so compare to solver
+        // tolerance rather than textually.
+        let sweep_measure: f64 = base_point
+            .split("measure ")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let direct_measure: f64 = direct_measure.parse().unwrap();
+        assert!(
+            (sweep_measure - direct_measure).abs() < 1e-9,
+            "{sweep_measure} vs {direct_measure}"
+        );
+    }
+
+    #[test]
+    fn sweep_writes_jsonl_and_rejects_unknown_events() {
+        let parsed = parse_model(MODEL).unwrap();
+        let err = sweep(
+            &parsed,
+            &[("nope".to_string(), vec![1.0])],
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup().pipeline,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no event named"), "{err}");
+        assert!(err.to_string().contains("toggle"), "{err}");
+        let err = sweep(
+            &parsed,
+            &[],
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup().pipeline,
+            None,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--set"), "{err}");
+
+        let path = std::env::temp_dir().join(format!("mdl-sweep-out-{}.jsonl", std::process::id()));
+        let out = sweep(
+            &parsed,
+            &[("toggle".to_string(), vec![0.1, 0.2])],
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup().pipeline,
+            Some(path.to_str().unwrap()),
+        )
+        .unwrap();
+        assert!(out.contains("JSONL written"), "{out}");
+        let rows = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = rows.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let row = mdl_obs::json::parse(line).unwrap();
+            assert_eq!(row.get("point").unwrap().as_u64(), Some(i as u64));
+            assert!(row.get("measure").unwrap().as_f64().is_some());
+            assert!(row.get("params").unwrap().get("toggle").is_some());
+            assert!(row.get("levels_reused").unwrap().as_u64().is_some());
+        }
     }
 
     #[test]

@@ -378,6 +378,82 @@ pub fn parse_pipeline_flags(
     })
 }
 
+/// Extracts every `--set name=lo:hi:count` / `--set name=value` axis
+/// from `flags`, in order. Each grid spec is an **inclusive** linspace
+/// (`mu=0.5:2.0:16` is 16 points from 0.5 to 2.0, both ends included);
+/// multiple `--set` flags sweep their Cartesian product. Values must be
+/// positive and finite — they re-rate events, and positive rates are
+/// what keeps reachability sweep-invariant.
+///
+/// # Errors
+///
+/// Explicit messages for a missing value, a malformed spec, a
+/// non-positive or non-finite number, and a grid count below 2.
+pub fn parse_sweep_axes(flags: &[String]) -> Result<Vec<(String, Vec<f64>)>, String> {
+    let mut axes = Vec::new();
+    let mut i = 0;
+    while i < flags.len() {
+        if flags[i] == "--set" {
+            let spec = match flags.get(i + 1).map(String::as_str) {
+                Some(v) if !v.starts_with("--") => v,
+                _ => return Err("--set needs a value (e.g. --set mu=0.5:2.0:16)".into()),
+            };
+            axes.push(parse_sweep_axis(spec).map_err(|why| format!("--set: {why}"))?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(axes)
+}
+
+fn parse_sweep_axis(spec: &str) -> Result<(String, Vec<f64>), String> {
+    let (name, range) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("expected name=lo:hi:count or name=value, got {spec:?}"))?;
+    if name.is_empty() {
+        return Err(format!("missing event name in {spec:?}"));
+    }
+    let rate = |s: &str| -> Result<f64, String> {
+        let x: f64 = s
+            .parse()
+            .map_err(|_| format!("invalid number {s:?} in {spec:?}"))?;
+        if !(x.is_finite() && x > 0.0) {
+            return Err(format!(
+                "rates must be positive and finite, got {s:?} in {spec:?}"
+            ));
+        }
+        Ok(x)
+    };
+    let parts: Vec<&str> = range.split(':').collect();
+    let values = match parts.as_slice() {
+        [v] => vec![rate(v)?],
+        [lo, hi, count] => {
+            let lo = rate(lo)?;
+            let hi = rate(hi)?;
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("invalid count {count:?} in {spec:?}"))?;
+            if count < 2 {
+                return Err(format!(
+                    "count must be at least 2 in {spec:?} (use {name}=value for a single point)"
+                ));
+            }
+            // Inclusive linspace; interior points are convex combinations
+            // of two positive endpoints, so positivity is preserved.
+            (0..count)
+                .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+                .collect()
+        }
+        _ => {
+            return Err(format!(
+                "expected name=lo:hi:count or name=value, got {spec:?}"
+            ))
+        }
+    };
+    Ok((name.to_string(), values))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,6 +752,41 @@ mod tests {
         );
         // An environment-provided cache satisfies the requirement.
         assert!(parse_pipeline_flags(&args(&["--resume"]), Some("/tmp/c")).is_ok());
+    }
+
+    #[test]
+    fn sweep_axes_parse_grids_and_single_values() {
+        assert!(parse_sweep_axes(&args(&[])).unwrap().is_empty());
+        let axes = parse_sweep_axes(&args(&["--set", "mu=0.5:2.0:16"])).unwrap();
+        assert_eq!(axes.len(), 1);
+        assert_eq!(axes[0].0, "mu");
+        assert_eq!(axes[0].1.len(), 16);
+        assert_eq!(axes[0].1[0], 0.5);
+        assert_eq!(axes[0].1[15], 2.0, "linspace is inclusive of both ends");
+        assert_eq!(axes[0].1[1], 0.5 + 1.5 / 15.0);
+        // Multiple axes keep command-line order; single values allowed.
+        let axes = parse_sweep_axes(&args(&["--set", "mu=1:2:3", "--set", "lambda=4.5"])).unwrap();
+        assert_eq!(axes[0].1, vec![1.0, 1.5, 2.0]);
+        assert_eq!(axes[1], ("lambda".to_string(), vec![4.5]));
+        // Descending grids work.
+        let axes = parse_sweep_axes(&args(&["--set", "mu=2:1:2"])).unwrap();
+        assert_eq!(axes[0].1, vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn sweep_axis_errors_are_explicit() {
+        let e = |list: &[&str]| parse_sweep_axes(&args(list)).unwrap_err();
+        assert!(e(&["--set"]).contains("--set needs a value"));
+        assert!(e(&["--set", "--trace"]).contains("--set needs a value"));
+        assert!(e(&["--set", "mu"]).contains("name=lo:hi:count"));
+        assert!(e(&["--set", "=1:2:3"]).contains("missing event name"));
+        assert!(e(&["--set", "mu=1:2"]).contains("name=lo:hi:count"));
+        assert!(e(&["--set", "mu=1:2:3:4"]).contains("name=lo:hi:count"));
+        assert!(e(&["--set", "mu=a:2:3"]).contains("invalid number"));
+        assert!(e(&["--set", "mu=0:2:3"]).contains("positive"));
+        assert!(e(&["--set", "mu=1:inf:3"]).contains("positive"));
+        assert!(e(&["--set", "mu=1:2:1"]).contains("at least 2"));
+        assert!(e(&["--set", "mu=1:2:x"]).contains("invalid count"));
     }
 
     #[test]

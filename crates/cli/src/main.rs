@@ -9,6 +9,10 @@
 //!                     [--kernel walk|compiled] [--threads N]
 //!                     [--deadline DUR] [--fallback] [--report]
 //!                     [--cache-dir DIR] [--checkpoint-every N] [--resume]
+//! mdlump-cli sweep    <model-file> --set name=lo:hi:count [--set ...]
+//!                     [--sweep-out FILE] [--kernel walk|compiled]
+//!                     [--threads N] [--deadline DUR] [--fallback]
+//!                     [--cache-dir DIR]
 //! mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]
 //!                     [--deadline DUR]
 //! ```
@@ -46,7 +50,7 @@ use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 static ALLOC: mdl_obs::CountingAllocator = mdl_obs::CountingAllocator;
 
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR] [--cache-dir DIR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n                      [--cache-dir DIR] [--checkpoint-every N] [--resume]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nartifact cache (lump and solve):\n  --cache-dir DIR         content-addressed cache of every pipeline\n                          stage (build, lump, kernel compile, solve,\n                          measures): artifacts persist under keys\n                          derived from the model text and the\n                          result-relevant options, so a repeated run is\n                          pure cache hits (the MDL_CACHE environment\n                          variable supplies a default directory)\n  --checkpoint-every N    with a cache: snapshot long stationary /\n                          transient solves every N iterations so an\n                          interrupted run can continue\n  --resume                with a cache: continue an interrupted solve\n                          from its checkpoint (cleared on success)\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n  --profile               print an aggregated self-profile to stderr at\n                          exit: the span tree with call counts,\n                          inclusive/exclusive wall time and allocation\n                          deltas per stage (JSON with --metrics json)\n  --profile-out FILE      write the run's timeline as Chrome\n                          trace-event JSON to FILE; load it in Perfetto\n                          or chrome://tracing to see pipeline stages\n                          and worker threads on a zoomable time axis\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR] [--cache-dir DIR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n                      [--cache-dir DIR] [--checkpoint-every N] [--resume]\n  mdlump-cli sweep    <model-file> --set name=lo:hi:count [--set ...]\n                      [--sweep-out FILE] [--kernel walk|compiled]\n                      [--threads N] [--deadline DUR] [--fallback]\n                      [--cache-dir DIR]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nparameter sweep:\n  --set name=lo:hi:count  sweep the named event's rate over an inclusive\n                          linspace (count >= 2 points), or name=value for\n                          a single point; repeat --set to sweep the\n                          Cartesian product of several axes; the\n                          structure compiles once, unchanged levels\n                          reuse their partition across points, and each\n                          stationary solve warm-starts from its nearest\n                          solved neighbor\n  --sweep-out FILE        write one JSON object per point to FILE\n                          (params, measure, lumped states, level reuse,\n                          warm start, iterations, timings)\n\nartifact cache (lump, solve and sweep):\n  --cache-dir DIR         content-addressed cache of every pipeline\n                          stage (build, lump, kernel compile, solve,\n                          measures): artifacts persist under keys\n                          derived from the model text and the\n                          result-relevant options, so a repeated run is\n                          pure cache hits (the MDL_CACHE environment\n                          variable supplies a default directory)\n  --checkpoint-every N    with a cache: snapshot long stationary /\n                          transient solves every N iterations so an\n                          interrupted run can continue\n  --resume                with a cache: continue an interrupted solve\n                          from its checkpoint (cleared on success)\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n  --profile               print an aggregated self-profile to stderr at\n                          exit: the span tree with call counts,\n                          inclusive/exclusive wall time and allocation\n                          deltas per stage (JSON with --metrics json)\n  --profile-out FILE      write the run's timeline as Chrome\n                          trace-event JSON to FILE; load it in Perfetto\n                          or chrome://tracing to see pipeline stages\n                          and worker threads on a zoomable time axis\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
 }
 
@@ -248,6 +252,19 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 &resilience,
                 &setup,
             )
+        }
+        "sweep" => {
+            if kind == LumpKind::Exact {
+                return Err(CliError::Failed(
+                    "sweep solves the ordinary-lumped chain; --exact is not supported".into(),
+                ));
+            }
+            let axes = flags::parse_sweep_axes(flag_args)?;
+            let kernel = flags::parse_kernel_flags(flag_args)?;
+            let resilience = flags::parse_resilience_flags(flag_args)?;
+            let sweep_out = flags::value_of(flag_args, "--sweep-out")?;
+            let pipeline = pipeline_for(&pipeline_flags, &input)?;
+            commands::sweep(&parsed, &axes, &kernel, &resilience, &pipeline, sweep_out)
         }
         "simulate" => {
             let horizon = flags::flag_f64_positive(flag_args, "--horizon")?.unwrap_or(100.0);

@@ -76,6 +76,7 @@ mod pipeline;
 mod resilient;
 mod solve;
 mod splitter;
+mod sweep;
 pub mod verify;
 
 pub use decomp::{Combiner, DecomposableVector};
@@ -91,6 +92,7 @@ pub use mrp::{KernelKind, KernelOptions, MdMrp};
 pub use pipeline::{model_source_key, transient_resume, Pipeline, Staged};
 pub use resilient::{KernelRung, MdResilientOptions};
 pub use solve::{SolveOutcome, SolveRequest, SolveTarget};
+pub use sweep::{sweep_grid, SweepOutcome, SweepPoint, SweepPointResult, SweepRequest};
 
 /// Convenience alias for fallible operations of this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -192,6 +192,7 @@ pub struct LumpRequest {
     options: LumpOptions,
     budget: Budget,
     iterate: bool,
+    seeds: Vec<Option<Partition>>,
 }
 
 impl LumpRequest {
@@ -203,6 +204,7 @@ impl LumpRequest {
             options: LumpOptions::default(),
             budget: Budget::unlimited(),
             iterate: false,
+            seeds: Vec::new(),
         }
     }
 
@@ -272,6 +274,31 @@ impl LumpRequest {
         self
     }
 
+    /// Seeds per-level partitions: a level with `Some(partition)` skips
+    /// its initial-partition and refinement work entirely and uses the
+    /// seed as its computed partition (an iterated run applies seeds to
+    /// the first round only; [`canonicalize`](Self::canonicalize) ignores
+    /// them — canonicalization merges nodes *across* levels, so a seed
+    /// computed against the pre-canonical diagram is not trustworthy).
+    ///
+    /// Seeds are a pure acceleration and are **excluded** from the cache
+    /// key: the caller asserts each seed is bit-identical to the
+    /// partition a fresh run would compute for that level. The sweep
+    /// engine upholds this by keying seeds on the full per-level lumping
+    /// input (node entries, compatibility structure, per-level reward /
+    /// initial values and the request options — see
+    /// `Pipeline::sweep`); handing over anything else silently produces
+    /// a wrong quotient.
+    ///
+    /// Seeds whose state count does not match the level's size are
+    /// ignored (that level is refined normally), as are entries beyond
+    /// the diagram's level count.
+    #[must_use]
+    pub fn seed_partitions(mut self, seeds: Vec<Option<Partition>>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
     /// Executes the request.
     ///
     /// # Errors
@@ -281,10 +308,15 @@ impl LumpRequest {
     /// [`CoreError`](crate::CoreError)`::Interrupted` when the budget
     /// expires or a failpoint injects a failure.
     pub fn run(&self, mrp: &MdMrp) -> Result<LumpResult> {
-        if self.iterate {
-            run_iterated(mrp, self.kind, &self.options, &self.budget)
+        let seeds: &[Option<Partition>] = if self.options.canonicalize {
+            &[]
         } else {
-            run_single(mrp, self.kind, &self.options, &self.budget)
+            &self.seeds
+        };
+        if self.iterate {
+            run_iterated(mrp, self.kind, &self.options, &self.budget, seeds)
+        } else {
+            run_single(mrp, self.kind, &self.options, &self.budget, seeds)
         }
     }
 
@@ -322,12 +354,16 @@ impl Default for LumpKind {
     }
 }
 
-/// One lumping pass (Fig. 3b) with explicit options and budget.
+/// One lumping pass (Fig. 3b) with explicit options and budget. A level
+/// with a (size-matching) entry in `seeds` skips its initial-partition
+/// and refinement work and adopts the seed verbatim; see
+/// [`LumpRequest::seed_partitions`] for the contract.
 fn run_single(
     mrp: &MdMrp,
     kind: LumpKind,
     options: &LumpOptions,
     budget: &Budget,
+    seeds: &[Option<Partition>],
 ) -> Result<LumpResult> {
     if options.canonicalize {
         // Rebuild the MD in canonical form (same sizes, same represented
@@ -342,7 +378,7 @@ fn run_single(
             canonicalize: false,
             ..*options
         };
-        return run_single(&canonical_mrp, kind, &inner, budget);
+        return run_single(&canonical_mrp, kind, &inner, budget, &[]);
     }
     let run_span = mdl_obs::span("lump.run").with(
         "kind",
@@ -370,8 +406,21 @@ fn run_single(
             reason,
         });
     }
+    // A valid seed replaces the level's whole partition computation;
+    // mis-sized seeds are ignored rather than rejected (the level is
+    // simply refined from scratch).
+    let seed_for = |level: usize| -> Option<&Partition> {
+        seeds
+            .get(level)
+            .and_then(|s| s.as_ref())
+            .filter(|s| s.num_states() == md.sizes()[level])
+    };
     let initials = pool.run(num_levels, |level| {
-        initial_partition(mrp, level, kind, options.tolerance)
+        if seed_for(level).is_some() {
+            None
+        } else {
+            Some(initial_partition(mrp, level, kind, options.tolerance))
+        }
     });
     let mut partitions = Vec::with_capacity(num_levels);
     let mut per_level = Vec::with_capacity(num_levels);
@@ -392,6 +441,26 @@ fn run_single(
         let mut level_span = mdl_obs::span("lump.level")
             .with("level", level)
             .with("original_size", size);
+        if let Some(seed) = seed_for(level) {
+            let partition = seed.clone();
+            mdl_obs::counter("lump.level.seeded").inc();
+            level_span.record("lumped_size", partition.num_classes());
+            level_span.record("seeded", 1usize);
+            per_level.push(LevelLumpStats {
+                level,
+                original_size: size,
+                lumped_size: partition.num_classes(),
+                refinement: RefinementStats {
+                    splitters_processed: 0,
+                    classes_split: 0,
+                    keys_emitted: 0,
+                },
+                elapsed: level_span.finish(),
+            });
+            partitions.push(partition);
+            continue;
+        }
+        let p_ini = p_ini.expect("unseeded level has an initial partition");
         let (partition, refinement) = if options.per_node_fixed_point {
             comp_lumping_level_per_node(md.nodes_at(level), p_ini, kind, options.tolerance)
         } else {
@@ -531,15 +600,19 @@ fn run_iterated(
     kind: LumpKind,
     options: &LumpOptions,
     budget: &Budget,
+    seeds: &[Option<Partition>],
 ) -> Result<LumpResult> {
     let opts = LumpOptions {
         quasi_reduce: true,
         ..*options
     };
-    let mut result = run_single(mrp, kind, &opts, budget)?;
+    // Seeds describe partitions of the *original* chain, so they apply to
+    // the first round only; later rounds run over already-lumped state
+    // spaces the seeds know nothing about.
+    let mut result = run_single(mrp, kind, &opts, budget, seeds)?;
     let mut rounds = 1;
     loop {
-        let again = run_single(&result.mrp, kind, &opts, budget)?;
+        let again = run_single(&result.mrp, kind, &opts, budget, &[])?;
         rounds += 1;
         let progressed = again.stats.lumped_states < result.stats.original_states
             && again.stats.lumped_states < result.stats.lumped_states;
@@ -1273,35 +1346,165 @@ mod tests {
         }
     }
 
+    // One smoke test per deprecated shim: each must delegate to the
+    // equivalent `LumpRequest` and produce identical partitions, so the
+    // deprecation surface stays honest until the shims are removed.
+
     #[test]
     #[allow(deprecated)]
-    fn deprecated_entry_points_delegate_to_request() {
+    fn deprecated_compositional_lump_delegates() {
         let mrp = symmetric_mrp();
         let via_request = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
-        let a = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
-        let b = compositional_lump_with(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
-        let c = compositional_lump_budgeted(
+        let shim = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
+        assert_eq!(shim.partitions, via_request.partitions);
+        assert_eq!(shim.stats.lumped_states, via_request.stats.lumped_states);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compositional_lump_with_delegates() {
+        let mrp = symmetric_mrp();
+        let options = LumpOptions {
+            quasi_reduce: true,
+            ..LumpOptions::default()
+        };
+        let via_request = LumpRequest::new(LumpKind::Ordinary)
+            .options(options)
+            .run(&mrp)
+            .unwrap();
+        let shim = compositional_lump_with(&mrp, LumpKind::Ordinary, &options).unwrap();
+        assert_eq!(shim.partitions, via_request.partitions);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compositional_lump_budgeted_delegates() {
+        let mrp = symmetric_mrp();
+        let via_request = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
+        let shim = compositional_lump_budgeted(
             &mrp,
-            LumpKind::Ordinary,
+            LumpKind::Exact,
             &LumpOptions::default(),
             &Budget::unlimited(),
         )
         .unwrap();
-        for r in [&a, &b, &c] {
-            assert_eq!(r.partitions, via_request.partitions);
-        }
-        let (d, rounds) =
+        assert_eq!(shim.partitions, via_request.partitions);
+        assert_eq!(shim.exact_exit_rates, via_request.exact_exit_rates);
+        // The budget is honored, not dropped, by the delegation.
+        let err = compositional_lump_budgeted(
+            &mrp,
+            LumpKind::Exact,
+            &LumpOptions::default(),
+            &Budget::unlimited().deadline_in(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::CoreError::Interrupted { .. }));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compositional_lump_iterated_delegates() {
+        let mrp = two_round_mrp();
+        let via_request = LumpRequest::new(LumpKind::Ordinary)
+            .iterate(true)
+            .run(&mrp)
+            .unwrap();
+        let (shim, rounds) =
             compositional_lump_iterated(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
-        assert_eq!(rounds, d.stats.rounds);
-        let (e, rounds_budgeted) = compositional_lump_iterated_budgeted(
+        assert_eq!(rounds, shim.stats.rounds);
+        assert_eq!(shim.partitions, via_request.partitions);
+        assert_eq!(shim.stats.lumped_states, via_request.stats.lumped_states);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_compositional_lump_iterated_budgeted_delegates() {
+        let mrp = two_round_mrp();
+        let via_request = LumpRequest::new(LumpKind::Ordinary)
+            .iterate(true)
+            .run(&mrp)
+            .unwrap();
+        let (shim, rounds) = compositional_lump_iterated_budgeted(
             &mrp,
             LumpKind::Ordinary,
             &LumpOptions::default(),
             &Budget::unlimited(),
         )
         .unwrap();
-        assert_eq!(rounds_budgeted, e.stats.rounds);
-        assert_eq!(d.partitions, e.partitions);
+        assert_eq!(rounds, shim.stats.rounds);
+        assert_eq!(shim.partitions, via_request.partitions);
+    }
+
+    #[test]
+    fn seeded_lump_is_bit_identical_and_skips_refinement() {
+        for kind in [LumpKind::Ordinary, LumpKind::Exact] {
+            let mrp = symmetric_mrp();
+            let fresh = LumpRequest::new(kind).run(&mrp).unwrap();
+            let seeds: Vec<Option<Partition>> =
+                fresh.partitions.iter().cloned().map(Some).collect();
+            let seeded = LumpRequest::new(kind)
+                .seed_partitions(seeds)
+                .run(&mrp)
+                .unwrap();
+            assert_eq!(seeded.partitions, fresh.partitions);
+            assert_eq!(seeded.exact_exit_rates, fresh.exact_exit_rates);
+            assert_eq!(
+                seeded
+                    .mrp
+                    .matrix()
+                    .flatten()
+                    .max_abs_diff(&fresh.mrp.matrix().flatten()),
+                0.0,
+                "seeded lumped MD bitwise equal"
+            );
+            for l in &seeded.stats.per_level {
+                assert_eq!(l.refinement.splitters_processed, 0, "no refinement work");
+                assert_eq!(l.refinement.keys_emitted, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_and_mis_sized_seeds_fall_back_to_refinement() {
+        let mrp = symmetric_mrp();
+        let fresh = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+        // Seed only level 1; level 0 (None) and a mis-sized level-1 seed
+        // must refine normally and still land on the same partitions.
+        let seeded = LumpRequest::new(LumpKind::Ordinary)
+            .seed_partitions(vec![None, Some(fresh.partitions[1].clone())])
+            .run(&mrp)
+            .unwrap();
+        assert_eq!(seeded.partitions, fresh.partitions);
+        let mis_sized = LumpRequest::new(LumpKind::Ordinary)
+            .seed_partitions(vec![
+                Some(Partition::from_key_fn(7, |s| s)), // wrong size: ignored
+                None,
+            ])
+            .run(&mrp)
+            .unwrap();
+        assert_eq!(mis_sized.partitions, fresh.partitions);
+        assert!(
+            mis_sized.stats.per_level[0].refinement.splitters_processed > 0,
+            "ignored seed means the level was refined"
+        );
+    }
+
+    #[test]
+    fn canonicalize_ignores_seeds() {
+        let mrp = symmetric_mrp();
+        let canon = LumpRequest::new(LumpKind::Ordinary)
+            .canonicalize(true)
+            .run(&mrp)
+            .unwrap();
+        // A deliberately wrong (but size-matching) seed must not leak into
+        // a canonicalizing run.
+        let wrong = Partition::from_key_fn(mrp.matrix().md().sizes()[1], |s| s);
+        let seeded = LumpRequest::new(LumpKind::Ordinary)
+            .canonicalize(true)
+            .seed_partitions(vec![None, Some(wrong)])
+            .run(&mrp)
+            .unwrap();
+        assert_eq!(seeded.partitions, canon.partitions);
     }
 
     #[test]

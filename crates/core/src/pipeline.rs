@@ -120,7 +120,7 @@ impl Pipeline {
     /// Loads an artifact, treating corrupt/unreadable files as misses
     /// (counted on `store.invalid`) so a damaged cache heals by
     /// recomputation instead of wedging the run.
-    fn fetch<A: Artifact>(&self, key: u64) -> Option<A> {
+    pub(crate) fn fetch<A: Artifact>(&self, key: u64) -> Option<A> {
         let store = self.store.as_ref()?;
         match store.load::<A>(key) {
             Ok(found) => found,
@@ -133,7 +133,7 @@ impl Pipeline {
 
     /// Saves an artifact if a store is attached. Write failures are real
     /// errors — the user asked for caching.
-    fn persist<A: Artifact>(&self, key: u64, artifact: &A) -> Result<()> {
+    pub(crate) fn persist<A: Artifact>(&self, key: u64, artifact: &A) -> Result<()> {
         if let Some(store) = &self.store {
             store.save(key, artifact)?;
         }
@@ -153,7 +153,18 @@ impl Pipeline {
     /// Whatever `builder` raises, plus [`CoreError::Store`](crate::CoreError::Store)
     /// on persist failure.
     pub fn build(&self, builder: impl FnOnce() -> Result<MdMrp>) -> Result<Staged<MdMrp>> {
-        let key = stage_key("build", self.model_key, |_| {});
+        self.build_under(stage_key("build", self.model_key, |_| {}), builder)
+    }
+
+    /// [`build`](Self::build) with an explicit stage key — the sweep
+    /// stage derives one key per sweep point (the model key plus the
+    /// point's parameter assignment) and stages each point's MRP under
+    /// it.
+    pub(crate) fn build_under(
+        &self,
+        key: u64,
+        builder: impl FnOnce() -> Result<MdMrp>,
+    ) -> Result<Staged<MdMrp>> {
         let mut span = mdl_obs::span("pipeline.stage").with("stage", "build");
         span.trace_label("pipeline.build");
         if let Some(mrp) = self.fetch_mrp(key) {
@@ -526,7 +537,7 @@ pub fn transient_resume(ck: &Checkpoint) -> Option<TransientProgress> {
 
 /// Derives a stage's key from its name, the upstream stage's key, and
 /// the stage-specific request fields.
-fn stage_key(stage: &str, upstream: u64, extra: impl FnOnce(&mut Fnv1a)) -> u64 {
+pub(crate) fn stage_key(stage: &str, upstream: u64, extra: impl FnOnce(&mut Fnv1a)) -> u64 {
     let mut h = Fnv1a::new();
     h.write_str(stage);
     h.write_u64(upstream);
@@ -537,7 +548,7 @@ fn stage_key(stage: &str, upstream: u64, extra: impl FnOnce(&mut Fnv1a)) -> u64 
 /// A named sub-artifact of a stage (stages store several artifacts of
 /// the same type — e.g. the reward and initial vectors — which would
 /// otherwise collide on one filename).
-fn sub_key(key: u64, name: &str) -> u64 {
+pub(crate) fn sub_key(key: u64, name: &str) -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(key);
     h.write_str(name);

@@ -180,6 +180,18 @@ impl SolveRequest {
         self
     }
 
+    /// Seeds the stationary iteration from `start` (ignored by transient
+    /// targets). A warm start changes where the iteration begins, never
+    /// the fixed point it converges to, so it is excluded from the cache
+    /// key; the solver validates, L1-normalizes and otherwise does not
+    /// trust the vector, and the divergence/stagnation guards fall back
+    /// to a cold restart through the usual ladder on a bad seed.
+    #[must_use]
+    pub fn warm_start(mut self, start: Option<Vec<f64>>) -> Self {
+        self.solver.warm_start = start;
+        self
+    }
+
     /// Enables the fallback ladder: on retryable failures the solve
     /// degrades through `(method, kernel)` rungs instead of stopping.
     #[must_use]

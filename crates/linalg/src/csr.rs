@@ -245,7 +245,7 @@ impl CsrMatrix {
 
     /// Converts back to coordinate format.
     pub fn to_coo(&self) -> CooMatrix {
-        let mut coo = CooMatrix::new(self.nrows, self.ncols);
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
         coo.extend(self.iter());
         coo
     }

@@ -22,7 +22,12 @@ use crate::{CooMatrix, CsrMatrix};
 /// assert_eq!(k.get(1, 2), 6.0);
 /// ```
 pub fn kron(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
-    let mut out = CooMatrix::new(a.nrows() * b.nrows(), a.ncols() * b.ncols());
+    // Every (a, b) entry pair produces exactly one product entry.
+    let mut out = CooMatrix::with_capacity(
+        a.nrows() * b.nrows(),
+        a.ncols() * b.ncols(),
+        a.nnz() * b.nnz(),
+    );
     for (i, j, av) in a.iter() {
         for (k, l, bv) in b.iter() {
             out.push(i * b.nrows() + k, j * b.ncols() + l, av * bv);
@@ -36,7 +41,7 @@ pub fn kron(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
 ///
 /// An empty factor list yields the 1×1 matrix `[rate]`.
 pub fn kron_many(rate: f64, factors: &[CsrMatrix]) -> CsrMatrix {
-    let mut scaled = CooMatrix::new(1, 1);
+    let mut scaled = CooMatrix::with_capacity(1, 1, 1);
     scaled.push(0, 0, rate);
     let mut acc = scaled.to_csr();
     for f in factors {
@@ -50,7 +55,8 @@ mod tests {
     use super::*;
 
     fn dense(rows: &[&[f64]]) -> CsrMatrix {
-        let mut coo = CooMatrix::new(rows.len(), rows[0].len());
+        let mut coo =
+            CooMatrix::with_capacity(rows.len(), rows[0].len(), rows.len() * rows[0].len());
         for (i, r) in rows.iter().enumerate() {
             for (j, &v) in r.iter().enumerate() {
                 if v != 0.0 {

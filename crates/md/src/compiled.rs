@@ -671,6 +671,115 @@ impl CompiledMdMatrix {
         }
     }
 
+    /// Applies one block to `B` stacked right-hand sides at once: the leaf
+    /// run is traversed a single time and each `(row, col, coef)` entry is
+    /// applied to every RHS before moving on — the entry (and the indices
+    /// derived from it) stays in registers across the B-way inner loop, so
+    /// the shared arenas are read once per block instead of once per RHS.
+    #[inline]
+    fn apply_block_multi(
+        &self,
+        b: &Block,
+        xs: &[&[f64]],
+        ys: &mut [&mut [f64]],
+        y_offset: u64,
+        by_row: bool,
+    ) {
+        let lo = self.leaf_bounds[b.leaf as usize] as usize;
+        let hi = self.leaf_bounds[b.leaf as usize + 1] as usize;
+        let (out_base, in_base) = if by_row {
+            (b.row_base - y_offset, b.col_base)
+        } else {
+            (b.col_base - y_offset, b.row_base)
+        };
+        for i in lo..hi {
+            let v = b.scale * self.leaf_coefs[i];
+            let (o, c) = if by_row {
+                (self.leaf_rows[i], self.leaf_cols[i])
+            } else {
+                (self.leaf_cols[i], self.leaf_rows[i])
+            };
+            let yi = (out_base + o as u64) as usize;
+            let xi = (in_base + c as u64) as usize;
+            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                y[yi] += v * x[xi];
+            }
+        }
+    }
+
+    /// Blocked multi-RHS product: accumulates `B = xs.len()` products into
+    /// `ys` in one pass over the block list and the shared leaf arenas
+    /// (`ys[b] += xs[b]·R` when `by_row`, `ys[b] += R·xs[b]` otherwise —
+    /// matching [`acc_mat_vec`](RateMatrix::acc_mat_vec) /
+    /// [`acc_vec_mat`](RateMatrix::acc_vec_mat) respectively).
+    ///
+    /// Each RHS accumulates its contributions in exactly the order the
+    /// single-vector product would, so every `ys[b]` is **bit-identical**
+    /// to an independent [`RateMatrix::acc_mat_vec`] /
+    /// [`RateMatrix::acc_vec_mat`] call on `xs[b]` — at any thread count
+    /// (the threaded path reuses the same per-orientation [`Plan`], with
+    /// every thread owning the same disjoint output range across all B
+    /// outputs).
+    ///
+    /// # Panics
+    ///
+    /// When `xs.len() != ys.len()` or any vector's length differs from
+    /// [`num_states`](RateMatrix::num_states).
+    pub fn product_multi(&self, xs: &[&[f64]], ys: &mut [Vec<f64>], by_row: bool) {
+        assert_eq!(xs.len(), ys.len(), "one output per right-hand side");
+        for x in xs {
+            assert_eq!(x.len(), self.num_states);
+        }
+        for y in ys.iter() {
+            assert_eq!(y.len(), self.num_states);
+        }
+        if xs.is_empty() {
+            return;
+        }
+        let mut span = mdl_obs::span("md.kernel.product_multi").with("n", self.num_states);
+        span.record("rhs", xs.len());
+        span.record("threads", self.threads);
+        let mut outs: Vec<&mut [f64]> = ys.iter_mut().map(|y| y.as_mut_slice()).collect();
+        if self.threads == 1 || self.num_states < PAR_MIN_STATES {
+            for b in &self.blocks {
+                self.apply_block_multi(b, xs, &mut outs, 0, by_row);
+            }
+            span.finish();
+            return;
+        }
+        let plan = if by_row {
+            &self.row_plan
+        } else {
+            &self.col_plan
+        };
+        std::thread::scope(|scope| {
+            let mut rests = outs;
+            let mut offset = 0u64;
+            for k in 0..self.threads {
+                let end = plan.bounds[k + 1];
+                let mut chunks = Vec::with_capacity(rests.len());
+                let mut tails = Vec::with_capacity(rests.len());
+                for rest in rests {
+                    let (chunk, tail) = rest.split_at_mut((end - offset) as usize);
+                    chunks.push(chunk);
+                    tails.push(tail);
+                }
+                rests = tails;
+                let run = &plan.order[plan.splits[k]..plan.splits[k + 1]];
+                let y_offset = offset;
+                scope.spawn(move || {
+                    let mut chunks = chunks;
+                    for &idx in run {
+                        let b = &self.blocks[idx as usize];
+                        self.apply_block_multi(b, xs, &mut chunks, y_offset, by_row);
+                    }
+                });
+                offset = end;
+            }
+        });
+        span.finish();
+    }
+
     /// Shared gather driver: serial in walk order, or threaded over the
     /// orientation's plan (each thread owns a disjoint output range and
     /// applies its blocks in walk order — bit-identical either way).
@@ -892,6 +1001,77 @@ mod tests {
             serial.acc_mat_vec(&x, &mut y_ser);
             assert_eq!(y, y_ser, "threaded equals serial");
         }
+    }
+
+    fn probe_b(n: usize, b: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| 0.2 + 0.29 * ((i + 3 * b) % 11) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn product_multi_bit_identical_to_independent_products() {
+        // Small model (serial path) and a model crossing PAR_MIN_STATES
+        // (threaded path), both orientations, B ∈ {1, 2, 3, 8}.
+        let small = full_matrix();
+        let mut expr = KroneckerExpr::new(vec![16, 16, 8]);
+        expr.add_term(1.0, vec![Some(cycle(16, 1.0)), None, None]);
+        expr.add_term(2.0, vec![None, Some(cycle(16, 1.5)), Some(cycle(8, 0.5))]);
+        expr.add_term(0.3, vec![None, None, Some(cycle(8, 2.0))]);
+        let large =
+            MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![16, 16, 8]).unwrap()).unwrap();
+        assert!(large.num_states() >= PAR_MIN_STATES);
+        for m in [&small, &large] {
+            let n = m.num_states();
+            for threads in [1usize, 2, 4] {
+                let c = CompiledMdMatrix::compile_with_threads(m, threads);
+                for b_count in [1usize, 2, 3, 8] {
+                    let inputs: Vec<Vec<f64>> = (0..b_count).map(|b| probe_b(n, b)).collect();
+                    let xs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+                    for by_row in [true, false] {
+                        let mut multi = vec![vec![0.0; n]; b_count];
+                        c.product_multi(&xs, &mut multi, by_row);
+                        for (b, x) in xs.iter().enumerate() {
+                            let mut single = vec![0.0; n];
+                            if by_row {
+                                c.acc_mat_vec(x, &mut single);
+                            } else {
+                                c.acc_vec_mat(x, &mut single);
+                            }
+                            assert_eq!(
+                                multi[b], single,
+                                "B={b_count} rhs={b} threads={threads} by_row={by_row}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_multi_accumulates_and_handles_empty() {
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile(&m);
+        let n = m.num_states();
+        c.product_multi(&[], &mut [], true);
+        // Accumulation: a non-zero initial output is added to, not reset.
+        let x = probe(n);
+        let mut y = vec![1.0; n];
+        let mut expect = vec![1.0; n];
+        c.acc_mat_vec(&x, &mut expect);
+        let mut multi = vec![std::mem::take(&mut y)];
+        c.product_multi(&[&x], &mut multi, true);
+        assert_eq!(multi[0], expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output per right-hand side")]
+    fn product_multi_rejects_mismatched_arity() {
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile(&m);
+        let x = probe(m.num_states());
+        c.product_multi(&[&x], &mut [], true);
     }
 
     #[test]

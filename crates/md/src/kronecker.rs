@@ -78,8 +78,9 @@ impl SparseFactor {
 
     /// Converts to a flat sparse matrix.
     pub fn to_csr(&self) -> CsrMatrix {
-        let mut coo = CooMatrix::new(self.size, self.size);
-        for (r, c, v) in self.canonical() {
+        let canonical = self.canonical();
+        let mut coo = CooMatrix::with_capacity(self.size, self.size, canonical.len());
+        for (r, c, v) in canonical {
             coo.push(r as usize, c as usize, v);
         }
         coo.to_csr()
@@ -257,18 +258,25 @@ impl KroneckerExpr {
     /// independent baseline MDs are verified against.
     pub fn flatten_full(&self) -> CsrMatrix {
         let n: usize = self.sizes.iter().product();
-        let mut acc = CooMatrix::new(n, n);
-        for term in &self.terms {
-            let factors: Vec<CsrMatrix> = term
-                .factors
-                .iter()
-                .enumerate()
-                .map(|(l, f)| match f {
-                    None => CsrMatrix::identity(self.sizes[l]),
-                    Some(f) => f.to_csr(),
-                })
-                .collect();
-            let flat = mdl_linalg::kron_many(term.rate, &factors);
+        let flats: Vec<CsrMatrix> = self
+            .terms
+            .iter()
+            .map(|term| {
+                let factors: Vec<CsrMatrix> = term
+                    .factors
+                    .iter()
+                    .enumerate()
+                    .map(|(l, f)| match f {
+                        None => CsrMatrix::identity(self.sizes[l]),
+                        Some(f) => f.to_csr(),
+                    })
+                    .collect();
+                mdl_linalg::kron_many(term.rate, &factors)
+            })
+            .collect();
+        let nnz = flats.iter().map(CsrMatrix::nnz).sum();
+        let mut acc = CooMatrix::with_capacity(n, n, nnz);
+        for flat in &flats {
             acc.extend(flat.iter());
         }
         acc.to_csr()

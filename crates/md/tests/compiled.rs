@@ -86,6 +86,43 @@ proptest! {
         }
     }
 
+    /// `product_multi` with B ∈ {1, 2, 3, 8} right-hand sides is bitwise
+    /// equal to B independent single-vector products, both orientations,
+    /// at 1/2/4 threads.
+    #[test]
+    fn product_multi_matches_independent_products(e in expr()) {
+        let md = e.to_md().unwrap();
+        let full = Mdd::full(SIZES.to_vec()).unwrap();
+        let m = MdMatrix::new(md, full).unwrap();
+        let n = m.num_states();
+
+        for threads in [1usize, 2, 4] {
+            let c = CompiledMdMatrix::compile_with_threads(&m, threads);
+            for b_count in [1usize, 2, 3, 8] {
+                let inputs: Vec<Vec<f64>> = (0..b_count)
+                    .map(|b| (0..n).map(|i| 0.2 + 0.29 * ((i + 5 * b) % 11) as f64).collect())
+                    .collect();
+                let xs: Vec<&[f64]> = inputs.iter().map(|v| v.as_slice()).collect();
+                for by_row in [true, false] {
+                    let mut multi = vec![vec![0.0; n]; b_count];
+                    c.product_multi(&xs, &mut multi, by_row);
+                    for (b, x) in xs.iter().enumerate() {
+                        let mut single = vec![0.0; n];
+                        if by_row {
+                            c.acc_mat_vec(x, &mut single);
+                        } else {
+                            c.acc_vec_mat(x, &mut single);
+                        }
+                        prop_assert_eq!(
+                            &multi[b], &single,
+                            "B={} rhs={} threads={} by_row={}", b_count, b, threads, by_row
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// The same parity holds when the reachable set is a strict subset of
     /// the cross product (restricted MDD offsets).
     #[test]

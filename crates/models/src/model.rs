@@ -191,6 +191,36 @@ impl ComposedModel {
         Ok(())
     }
 
+    /// Re-rates the named event in place — the parameter-sweep primitive.
+    ///
+    /// Rates must stay positive (they are validated exactly like
+    /// [`ComposedModel::add_event`]), which keeps the reachable state
+    /// space rate-invariant: a reachability MDD computed before the
+    /// re-rate is still exact afterwards, so sweeps compute it once and
+    /// rebuild each point via
+    /// [`ComposedModel::build_md_mrp_with_reach`].
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Malformed`] when no event has that name or the rate
+    /// is non-finite or non-positive.
+    pub fn set_event_rate(&mut self, name: &str, rate: f64) -> Result<(), ModelError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(ModelError::Malformed {
+                detail: format!("event {name}: bad rate {rate}"),
+            });
+        }
+        match self.events.iter_mut().find(|e| e.name == name) {
+            Some(event) => {
+                event.rate = rate;
+                Ok(())
+            }
+            None => Err(ModelError::Malformed {
+                detail: format!("no event named {name}"),
+            }),
+        }
+    }
+
     /// The components.
     pub fn components(&self) -> &[Component] {
         &self.components
@@ -358,6 +388,29 @@ impl ComposedModel {
         let matrix = MdMatrix::new(md, reach)?;
         Ok(MdMrp::new(matrix, reward, initial)?)
     }
+
+    /// [`ComposedModel::build_md_mrp`] with a precomputed reachability
+    /// MDD instead of a fresh exploration. For sweeps: reachability is
+    /// rate-invariant (rates are validated positive), so one
+    /// [`ComposedModel::reachable`] result serves every re-rated variant
+    /// of the model — exploration is usually the dominant build cost.
+    ///
+    /// The MDD's validity is the caller's obligation; structural
+    /// mismatches (wrong level sizes) still error in the symbolic layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates symbolic-layer errors.
+    pub fn build_md_mrp_with_reach(
+        &self,
+        reward: DecomposableVector,
+        reach: Mdd,
+    ) -> Result<MdMrp, ModelError> {
+        let initial = DecomposableVector::point_mass(&self.sizes(), &self.initial_state())?;
+        let md = self.kronecker().to_md()?;
+        let matrix = MdMatrix::new(md, reach)?;
+        Ok(MdMrp::new(matrix, reward, initial)?)
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +469,34 @@ mod tests {
             flat.get(s11, reach.index_of(&[1, 0]).unwrap() as usize),
             1.5
         );
+    }
+
+    #[test]
+    fn re_rated_model_reuses_reachability() {
+        let mut m = toy();
+        assert!(m.set_event_rate("no_such_event", 1.0).is_err());
+        assert!(m.set_event_rate("sync_up", 0.0).is_err());
+        assert!(m.set_event_rate("sync_up", f64::NAN).is_err());
+
+        // Reach computed at the original rates stays exact after a
+        // re-rate, and the rebuilt matrix is bit-identical to a from-
+        // scratch build of the re-rated model.
+        let reach = m.reachable().unwrap();
+        m.set_event_rate("sync_up", 5.0).unwrap();
+        let reward = mdl_core::DecomposableVector::constant(&[2, 2], 1.0).unwrap();
+        let with_reach = m.build_md_mrp_with_reach(reward.clone(), reach).unwrap();
+        let fresh = m.build_md_mrp(reward).unwrap();
+        assert_eq!(
+            with_reach
+                .matrix()
+                .flatten()
+                .max_abs_diff(&fresh.matrix().flatten()),
+            0.0
+        );
+        let reach = with_reach.matrix().reach();
+        let from = reach.index_of(&[0, 0]).unwrap() as usize;
+        let to = reach.index_of(&[1, 1]).unwrap() as usize;
+        assert_eq!(with_reach.matrix().flatten().get(from, to), 5.0);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! End-to-end bit-identity contract of the parameter-sweep engine
+//! (DESIGN.md §15).
+//!
+//! On random composed models, a sweep that re-rates one event must
+//! produce, at every grid point, per-level partitions and a lumped
+//! matrix **bitwise identical** to a full from-scratch re-lump of the
+//! re-rated model — even though the sweep reuses the unchanged levels'
+//! partitions as seeds and skips their refinement entirely.
+//!
+//! Event rates fold into the root level's coefficients when the
+//! Kronecker expression is aggregated into an MD, so re-rating any
+//! event perturbs exactly one level: the sweep must re-lump the root
+//! and reuse every deeper level's partition.
+
+use proptest::prelude::*;
+
+use mdlump::core::{
+    model_source_key, sweep_grid, CoreError, LumpKind, LumpRequest, Pipeline, SolveRequest,
+    SweepRequest,
+};
+use mdlump::md::SparseFactor;
+use mdlump::models::ComposedModel;
+
+/// The swept event's rates: three well-separated grid points.
+const GRID: [f64; 3] = [0.5, 1.25, 2.0];
+
+/// A cyclic factor `s -> s+1 (mod n)` with the given per-step weights —
+/// keeps every local space (and thus the product chain) irreducible, so
+/// the stationary solve inside the sweep always converges.
+fn cycle(n: usize, weights: &[f64]) -> SparseFactor {
+    let mut f = SparseFactor::new(n);
+    for s in 0..n {
+        f.push(s, (s + 1) % n, weights[s % weights.len()]);
+    }
+    f
+}
+
+#[derive(Debug, Clone)]
+struct Spec {
+    sizes: [usize; 2],
+    /// Extra local transitions per level: `(row, col, weight)` scaled
+    /// into range by the level size.
+    extras: Vec<(usize, usize, f64)>,
+    /// Whether a synchronized two-level event is present.
+    sync: bool,
+    /// Rates of the fixed (non-swept) events.
+    rates: [f64; 2],
+}
+
+fn spec() -> impl Strategy<Value = Spec> {
+    (
+        (2usize..=4, 3usize..=5),
+        prop::collection::vec(
+            (
+                0usize..20,
+                0usize..20,
+                prop::sample::select(vec![0.5, 1.0, 2.0]),
+            ),
+            0..6,
+        ),
+        any::<bool>(),
+        (
+            prop::sample::select(vec![0.3, 0.7, 1.1]),
+            prop::sample::select(vec![0.4, 0.9, 1.6]),
+        ),
+    )
+        .prop_map(|((a, b), extras, sync, (r0, r1))| Spec {
+            sizes: [a, b],
+            extras,
+            sync,
+            rates: [r0, r1],
+        })
+}
+
+/// Builds the composed model at the swept event's base rate 1.0.
+fn model(spec: &Spec) -> ComposedModel {
+    let [a, b] = spec.sizes;
+    let mut m = ComposedModel::new();
+    m.add_component("alpha", a, 0);
+    m.add_component("beta", b, 0);
+    // The swept event: a level-1 cycle whose rate the grid re-rates.
+    m.add_event("swept", 1.0, vec![Some(cycle(a, &[1.0, 2.0])), None])
+        .unwrap();
+    // A fixed cycle on level 2 keeps it irreducible.
+    m.add_event(
+        "beta_cycle",
+        spec.rates[0],
+        vec![None, Some(cycle(b, &[1.0, 1.0, 0.5]))],
+    )
+    .unwrap();
+    // Random extra local structure on level 2 (level 1's structure stays
+    // fixed so only the swept *rate* distinguishes grid points).
+    let mut extra = SparseFactor::new(b);
+    for &(r, c, w) in &spec.extras {
+        extra.push(r % b, c % b, w);
+    }
+    if extra.iter().next().is_some() {
+        m.add_event("beta_extra", spec.rates[1], vec![None, Some(extra)])
+            .unwrap();
+    }
+    if spec.sync {
+        m.add_event(
+            "sync",
+            0.6,
+            vec![Some(cycle(a, &[1.0])), Some(cycle(b, &[1.0]))],
+        )
+        .unwrap();
+    }
+    m
+}
+
+fn reward(sizes: &[usize]) -> mdlump::core::DecomposableVector {
+    mdlump::core::DecomposableVector::constant(sizes, 1.0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every sweep point's partitions and lumped matrix are bitwise
+    /// equal to a full re-lump of the re-rated model, and only the root
+    /// level (where rates fold) is ever re-lumped after the first point.
+    #[test]
+    fn sweep_is_bit_identical_to_full_relump(spec in spec()) {
+        let base = model(&spec);
+        let sizes = base.sizes();
+        let reach = base.reachable().unwrap();
+
+        let pipeline = Pipeline::new(model_source_key(&format!("sweep-proptest {spec:?}")));
+        let points = sweep_grid(&[("swept".to_string(), GRID.to_vec())]);
+        let request = SweepRequest::new(
+            LumpRequest::new(LumpKind::Ordinary),
+            SolveRequest::stationary(),
+        )
+        .warm_start(false);
+        let outcome = pipeline
+            .sweep(&points, &request, |pt| {
+                let mut m = base.clone();
+                m.set_event_rate("swept", pt.params[0].1)
+                    .map_err(|e| CoreError::Build { detail: e.to_string() })?;
+                m.build_md_mrp_with_reach(reward(&sizes), reach.clone())
+                    .map_err(|e| CoreError::Build { detail: e.to_string() })
+            })
+            .unwrap();
+
+        for (i, (mu, r)) in GRID.iter().zip(&outcome.points).enumerate() {
+            // The naive path: re-rate, re-explore, re-lump from scratch.
+            let mut m = base.clone();
+            m.set_event_rate("swept", *mu).unwrap();
+            let mrp = m.build_md_mrp(reward(&sizes)).unwrap();
+            let naive = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+
+            prop_assert_eq!(&r.lump.partitions, &naive.partitions,
+                "partitions at point {} (mu={})", i, mu);
+            prop_assert_eq!(
+                r.lump.mrp.matrix().flatten().max_abs_diff(&naive.mrp.matrix().flatten()),
+                0.0,
+                "lumped matrix at point {} (mu={})", i, mu
+            );
+            // Rates fold into the root level's coefficients: after the
+            // first point only that level re-lumps.
+            if i == 0 {
+                prop_assert_eq!(r.levels_relumped, 2);
+            } else {
+                prop_assert_eq!(r.levels_reused, 1, "deeper level reused at point {}", i);
+                prop_assert_eq!(r.levels_relumped, 1);
+            }
+        }
+    }
+}
