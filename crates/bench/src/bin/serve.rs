@@ -1,0 +1,229 @@
+//! Closed-loop throughput and tail latency of the `mdl-serve` daemon.
+//!
+//! Starts an in-process daemon over a scratch warm cache (or targets a
+//! running one via `--addr`), then drives it with closed loops of 1, 4
+//! and 16 concurrent clients — each client sends a request, waits for
+//! the response, repeats. Emits one JSONL row per client count with
+//! throughput and latency quantiles; the EXPERIMENTS.md concurrent-
+//! throughput table comes from these rows.
+//!
+//! Run with `cargo run -p mdl-bench --release --bin serve
+//! [--smoke | --addr HOST:PORT] [--requests N]`:
+//!
+//! * `--addr HOST:PORT` — benchmark an externally started daemon (the
+//!   CI chaos gate uses this to drive the real binary) instead of the
+//!   in-process one.
+//! * `--requests N` — requests per client per round (default 50).
+//! * `--smoke` — 1 and 4 clients, 5 requests each; exits nonzero if
+//!   any response violates the status trichotomy, no request
+//!   succeeded, or the warm single-client p50 exceeds 250 ms — the CI
+//!   latency contract, deliberately loose for shared runners.
+//!
+//! Row fields: `type="serve"`, `clients`, `requests`, `ns`,
+//! `throughput_rps`, `p50_us`, `p99_us`, `ok`, `shed`, `error`.
+
+use std::time::{Duration, Instant};
+
+use mdl_bench::{duration_ns, emit_jsonl};
+use mdl_obs::json::{self, Json, JsonObject};
+use mdl_serve::client::{Client, SolveLine};
+use mdl_serve::server::{Server, ServerConfig};
+use mdl_serve::EXAMPLE_MODEL;
+
+struct Config {
+    addr: Option<String>,
+    requests: usize,
+    smoke: bool,
+}
+
+fn config() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let requests = args
+        .iter()
+        .position(|a| a == "--requests")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 5 } else { 50 });
+    Config {
+        addr,
+        requests,
+        smoke,
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    shed: u64,
+    error: u64,
+    other: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// One closed-loop client: request, await, repeat.
+fn client_loop(addr: &str, requests: usize, tenant: &str) -> Tally {
+    let mut tally = Tally::default();
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(120)))
+        .expect("socket timeout");
+    let line = SolveLine::new(EXAMPLE_MODEL).tenant(tenant).build();
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        let reply = client.request(&line).expect("request");
+        tally
+            .latencies_us
+            .push(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        let status = json::parse(&reply)
+            .ok()
+            .and_then(|r| r.get("status").and_then(Json::as_str).map(str::to_string));
+        match status.as_deref() {
+            Some("ok") => tally.ok += 1,
+            Some("shed") => tally.shed += 1,
+            Some("error") => tally.error += 1,
+            _ => tally.other += 1,
+        }
+    }
+    tally
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+struct Round {
+    clients: usize,
+    requests: usize,
+    elapsed: Duration,
+    tally: Tally,
+}
+
+fn round(addr: &str, clients: usize, requests: usize) -> Round {
+    let t0 = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|i| scope.spawn(move || client_loop(addr, requests, &format!("bench-{}", i % 4))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed();
+    let mut tally = Tally::default();
+    for t in tallies {
+        tally.ok += t.ok;
+        tally.shed += t.shed;
+        tally.error += t.error;
+        tally.other += t.other;
+        tally.latencies_us.extend(t.latencies_us);
+    }
+    tally.latencies_us.sort_unstable();
+    Round {
+        clients,
+        requests,
+        elapsed,
+        tally,
+    }
+}
+
+fn row(r: &Round) -> String {
+    let total = (r.clients * r.requests) as u64;
+    let rps = total as f64 / r.elapsed.as_secs_f64().max(1e-9);
+    let mut obj = JsonObject::new();
+    obj.str("type", "serve")
+        .u64("clients", r.clients as u64)
+        .u64("requests", total)
+        .u64("ns", duration_ns(r.elapsed))
+        .f64("throughput_rps", rps)
+        .u64("p50_us", percentile(&r.tally.latencies_us, 0.50))
+        .u64("p99_us", percentile(&r.tally.latencies_us, 0.99))
+        .u64("ok", r.tally.ok)
+        .u64("shed", r.tally.shed)
+        .u64("error", r.tally.error);
+    obj.close()
+}
+
+fn main() {
+    let cfg = config();
+    // An in-process daemon unless --addr points at a running one. The
+    // scratch cache is pre-warmed below so every measured request hits
+    // warm stages — the steady-state number the table reports.
+    let local = if cfg.addr.is_none() {
+        let dir = std::env::temp_dir().join(format!("mdl-bench-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch cache dir");
+        let server = Server::start(ServerConfig {
+            workers: 4,
+            queue_limit: 64,
+            tenant_cap: 64,
+            cache_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .expect("daemon starts");
+        Some((server, dir))
+    } else {
+        None
+    };
+    let addr = match (&cfg.addr, &local) {
+        (Some(a), _) => a.clone(),
+        (None, Some((server, _))) => server.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    // Warm the cache and the in-memory kernel so rounds measure the
+    // steady state, not the one-time compile.
+    let warmup = client_loop(&addr, 2, "warmup");
+    if warmup.ok == 0 {
+        eprintln!("serve bench: warmup failed against {addr}");
+        std::process::exit(1);
+    }
+
+    let client_counts: &[usize] = if cfg.smoke { &[1, 4] } else { &[1, 4, 16] };
+    let mut rows = Vec::new();
+    let mut rounds = Vec::new();
+    for &clients in client_counts {
+        let r = round(&addr, clients, cfg.requests);
+        rows.push(row(&r));
+        eprintln!(
+            "serve: {:>2} clients  {:>6.1} req/s  p50 {:>7} us  p99 {:>7} us  ({} ok / {} shed / {} error)",
+            r.clients,
+            (r.clients * r.requests) as f64 / r.elapsed.as_secs_f64().max(1e-9),
+            percentile(&r.tally.latencies_us, 0.50),
+            percentile(&r.tally.latencies_us, 0.99),
+            r.tally.ok,
+            r.tally.shed,
+            r.tally.error,
+        );
+        rounds.push(r);
+    }
+    emit_jsonl(&rows);
+
+    if let Some((server, dir)) = local {
+        server.drain();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    if cfg.smoke {
+        let trichotomy_ok = rounds.iter().all(|r| r.tally.other == 0);
+        let any_ok = rounds.iter().any(|r| r.tally.ok > 0);
+        let p50 = percentile(&rounds[0].tally.latencies_us, 0.50);
+        let fast_enough = p50 <= 250_000;
+        if !(trichotomy_ok && any_ok && fast_enough) {
+            eprintln!(
+                "serve bench smoke FAILED: trichotomy_ok={trichotomy_ok} any_ok={any_ok} \
+                 single-client p50={p50}us (bound 250000us)"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("serve bench smoke OK: single-client p50 {p50} us");
+    }
+}

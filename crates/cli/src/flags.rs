@@ -454,6 +454,91 @@ fn parse_sweep_axis(spec: &str) -> Result<(String, Vec<f64>), String> {
     Ok((name.to_string(), values))
 }
 
+/// Parsed `mdl-serve` daemon options. Defaults are production-shaped:
+/// loopback bind, small worker pool, bounded queue, per-tenant caps and
+/// a default per-request deadline — an unconfigured daemon is already
+/// overload-safe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeFlags {
+    /// `--addr HOST:PORT`: bind address (port `0` picks a free port).
+    pub addr: String,
+    /// `--workers N`: solver worker threads.
+    pub workers: usize,
+    /// `--queue N`: bounded admission queue length.
+    pub queue_limit: usize,
+    /// `--tenant-cap N`: per-tenant in-flight (queued + executing) cap.
+    pub tenant_cap: usize,
+    /// `--solve-threads N`: threads each individual solve may use.
+    pub solve_threads: usize,
+    /// `--default-deadline DUR`: deadline for requests that name none.
+    pub default_deadline: Option<std::time::Duration>,
+    /// `--max-deadline DUR`: clamp on client-requested deadlines.
+    pub max_deadline: Option<std::time::Duration>,
+    /// `--cache-dir DIR` (or [`CACHE_ENV_VAR`]): shared artifact store.
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServeFlags {
+    fn default() -> Self {
+        ServeFlags {
+            addr: "127.0.0.1:7117".into(),
+            workers: 2,
+            queue_limit: 32,
+            tenant_cap: 8,
+            solve_threads: 1,
+            default_deadline: Some(std::time::Duration::from_secs(30)),
+            max_deadline: Some(std::time::Duration::from_secs(300)),
+            cache_dir: None,
+        }
+    }
+}
+
+/// Extracts the `mdl-serve` flags. `env_cache` is the value of
+/// [`CACHE_ENV_VAR`] (passed in for hermetic tests); an explicit
+/// `--cache-dir` wins over it. `--default-deadline 0` / `--max-deadline
+/// 0` disable the respective bound (an explicitly unlimited server).
+///
+/// # Errors
+///
+/// A message naming the flag for any missing, malformed or zero-valued
+/// count (`--workers 0` cannot serve anything).
+pub fn parse_serve_flags(flags: &[String], env_cache: Option<&str>) -> Result<ServeFlags, String> {
+    let defaults = ServeFlags::default();
+    let positive = |flag: &'static str| -> Result<Option<usize>, String> {
+        match flag_count(flags, flag)? {
+            Some(0) => Err(format!("{flag} must be at least 1")),
+            Some(n) => Ok(Some(n as usize)),
+            None => Ok(None),
+        }
+    };
+    let deadline = |flag: &'static str,
+                    default: Option<std::time::Duration>|
+     -> Result<Option<std::time::Duration>, String> {
+        Ok(match flag_duration(flags, flag)? {
+            Some(d) if d.is_zero() => None,
+            Some(d) => Some(d),
+            None => default,
+        })
+    };
+    let explicit_cache = flag_parsed(flags, "--cache-dir", |v| Ok(std::path::PathBuf::from(v)))?;
+    Ok(ServeFlags {
+        addr: value_of(flags, "--addr")?
+            .map(String::from)
+            .unwrap_or(defaults.addr),
+        workers: positive("--workers")?.unwrap_or(defaults.workers),
+        queue_limit: positive("--queue")?.unwrap_or(defaults.queue_limit),
+        tenant_cap: positive("--tenant-cap")?.unwrap_or(defaults.tenant_cap),
+        solve_threads: positive("--solve-threads")?.unwrap_or(defaults.solve_threads),
+        default_deadline: deadline("--default-deadline", defaults.default_deadline)?,
+        max_deadline: deadline("--max-deadline", defaults.max_deadline)?,
+        cache_dir: explicit_cache.or_else(|| {
+            env_cache
+                .filter(|v| !v.trim().is_empty())
+                .map(std::path::PathBuf::from)
+        }),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -795,5 +880,81 @@ mod tests {
         assert_eq!(f.out.as_deref(), Some("/tmp/x.jsonl"));
         assert_eq!(f.format(), MetricsFormat::Pretty);
         assert!(f.active());
+    }
+
+    #[test]
+    fn serve_flags_default_to_a_bounded_loopback_daemon() {
+        let f = parse_serve_flags(&[], None).unwrap();
+        assert_eq!(f, ServeFlags::default());
+        assert!(f.addr.starts_with("127.0.0.1"));
+        assert!(f.queue_limit > 0 && f.tenant_cap > 0);
+        assert!(f.default_deadline.is_some() && f.max_deadline.is_some());
+    }
+
+    #[test]
+    fn serve_flags_parse_every_knob() {
+        let f = parse_serve_flags(
+            &args(&[
+                "--addr",
+                "0.0.0.0:9000",
+                "--workers",
+                "8",
+                "--queue",
+                "64",
+                "--tenant-cap",
+                "4",
+                "--solve-threads",
+                "2",
+                "--default-deadline",
+                "5s",
+                "--max-deadline",
+                "60s",
+                "--cache-dir",
+                "/tmp/mdl-cache",
+            ]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(f.addr, "0.0.0.0:9000");
+        assert_eq!(f.workers, 8);
+        assert_eq!(f.queue_limit, 64);
+        assert_eq!(f.tenant_cap, 4);
+        assert_eq!(f.solve_threads, 2);
+        assert_eq!(f.default_deadline, Some(std::time::Duration::from_secs(5)));
+        assert_eq!(f.max_deadline, Some(std::time::Duration::from_secs(60)));
+        assert_eq!(
+            f.cache_dir,
+            Some(std::path::PathBuf::from("/tmp/mdl-cache"))
+        );
+    }
+
+    #[test]
+    fn serve_flags_zero_deadline_means_unlimited() {
+        let f = parse_serve_flags(
+            &args(&["--default-deadline", "0", "--max-deadline", "0"]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(f.default_deadline, None);
+        assert_eq!(f.max_deadline, None);
+    }
+
+    #[test]
+    fn serve_flags_env_cache_fallback_and_explicit_override() {
+        let f = parse_serve_flags(&[], Some("/env/cache")).unwrap();
+        assert_eq!(f.cache_dir, Some(std::path::PathBuf::from("/env/cache")));
+        let f =
+            parse_serve_flags(&args(&["--cache-dir", "/flag/cache"]), Some("/env/cache")).unwrap();
+        assert_eq!(f.cache_dir, Some(std::path::PathBuf::from("/flag/cache")));
+        assert_eq!(parse_serve_flags(&[], Some("  ")).unwrap().cache_dir, None);
+    }
+
+    #[test]
+    fn serve_flag_errors_are_explicit() {
+        let e = |list: &[&str]| parse_serve_flags(&args(list), None).unwrap_err();
+        assert!(e(&["--workers", "0"]).contains("--workers"));
+        assert!(e(&["--queue"]).contains("--queue needs a value"));
+        assert!(e(&["--tenant-cap", "many"]).contains("--tenant-cap"));
+        assert!(e(&["--default-deadline", "soon"]).contains("--default-deadline"));
     }
 }

@@ -180,6 +180,17 @@ impl SolveRequest {
         self
     }
 
+    /// Adds cooperative cancellation via `token` to whatever budget is
+    /// already configured — the server plumbs a per-request token here
+    /// so a client disconnect interrupts an in-flight solve. Order
+    /// relative to [`budget`](Self::budget) matters: call this after it.
+    #[must_use]
+    pub fn cancelled_by(mut self, token: &mdl_obs::CancelToken) -> Self {
+        self.solver.budget = self.solver.budget.clone().cancelled_by(token);
+        self.transient.budget = self.transient.budget.clone().cancelled_by(token);
+        self
+    }
+
     /// Seeds the stationary iteration from `start` (ignored by transient
     /// targets). A warm start changes where the iteration begins, never
     /// the fixed point it converges to, so it is excluded from the cache

@@ -146,6 +146,13 @@ impl Budget {
         self.node_cap
     }
 
+    /// Time left until the deadline, if one is configured (zero once the
+    /// deadline has passed). `None` means no deadline.
+    pub fn deadline_remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|(deadline, _)| deadline.saturating_duration_since(Instant::now()))
+    }
+
     /// Checks the cancellation flag and the deadline (in that order:
     /// cancellation is the caller's explicit ask, so it wins ties).
     ///
@@ -286,6 +293,16 @@ mod tests {
     fn generous_deadline_passes() {
         let b = Budget::unlimited().deadline_in(Duration::from_secs(3600));
         assert!(b.check().is_ok());
+    }
+
+    #[test]
+    fn deadline_remaining_reports_time_left() {
+        assert_eq!(Budget::unlimited().deadline_remaining(), None);
+        let b = Budget::unlimited().deadline_in(Duration::from_secs(3600));
+        let left = b.deadline_remaining().unwrap();
+        assert!(left > Duration::from_secs(3500) && left <= Duration::from_secs(3600));
+        let expired = Budget::unlimited().deadline_in(Duration::ZERO);
+        assert_eq!(expired.deadline_remaining(), Some(Duration::ZERO));
     }
 
     #[test]

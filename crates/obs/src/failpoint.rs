@@ -22,6 +22,9 @@
 //! - `sleep:DUR` — the calling thread sleeps for `DUR` (`50ms`, `2s`,
 //!   `10us`) inside [`hit`]; the site sees nothing. Used to force
 //!   deadline overruns deterministically.
+//! - `panic` — [`hit`] panics with a recognizable message. Used to
+//!   exercise `catch_unwind` worker isolation and poisoned-lock
+//!   recovery in the daemon's chaos tests.
 //!
 //! With `@hit` the action triggers exactly once, on the `hit`-th call
 //! (1-based) across the process; without it, on every call. Tests that
@@ -50,6 +53,7 @@ enum Action {
     Nan,
     Err,
     Sleep(Duration),
+    Panic,
 }
 
 #[derive(Debug)]
@@ -116,6 +120,7 @@ fn hit_slow(name: &str) -> Option<Injection> {
             std::thread::sleep(d);
             None
         }
+        Action::Panic => panic!("injected panic at failpoint {name}"),
     }
 }
 
@@ -181,13 +186,14 @@ pub fn set(name: &str, spec: &str) -> Result<(), String> {
     let action = match action_str {
         "nan" => Action::Nan,
         "err" => Action::Err,
+        "panic" => Action::Panic,
         other => match other.strip_prefix("sleep:") {
             Some(dur) => {
                 Action::Sleep(parse_duration(dur).map_err(|e| format!("failpoint {name}: {e}"))?)
             }
             None => {
                 return Err(format!(
-                    "failpoint {name}: unknown action {other:?} (want nan|err|sleep:DUR)"
+                    "failpoint {name}: unknown action {other:?} (want nan|err|sleep:DUR|panic)"
                 ))
             }
         },
@@ -282,6 +288,27 @@ mod tests {
         let t0 = std::time::Instant::now();
         assert_eq!(hit("fp.test.sleep"), None);
         assert!(t0.elapsed() >= Duration::from_millis(10));
+        clear();
+    }
+
+    #[test]
+    fn panic_action_unwinds_with_recognizable_message() {
+        let _guard = crate::testing::guard();
+        clear();
+        set("fp.test.panic", "panic@2").unwrap();
+        assert_eq!(hit("fp.test.panic"), None);
+        let caught = std::panic::catch_unwind(|| hit("fp.test.panic"));
+        let msg = match caught {
+            Ok(_) => panic!("panic action did not panic"),
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+        };
+        assert!(msg.contains("injected panic"), "payload: {msg:?}");
+        assert!(msg.contains("fp.test.panic"), "payload: {msg:?}");
+        // One-shot: subsequent hits pass through.
+        assert_eq!(hit("fp.test.panic"), None);
         clear();
     }
 

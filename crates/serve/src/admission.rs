@@ -1,0 +1,358 @@
+//! Admission control: a bounded queue with per-tenant in-flight caps
+//! and load shedding.
+//!
+//! The policy is deliberately boring — refuse early, hint honestly:
+//!
+//! * the queue is bounded (`queue_limit`); a full queue sheds with
+//!   `queue-full` and a retry-after derived from observed service time;
+//! * each tenant's *occupancy* (queued + executing) is capped
+//!   (`tenant_cap`), so one hot tenant cannot starve the rest;
+//! * a draining server sheds everything with `draining` — clients
+//!   should fail over, not retry.
+//!
+//! Shedding happens at admit time on the connection handler's thread;
+//! nothing about a shed request ever touches the worker pool. Obs:
+//! `serve.shed` (count), `serve.queue_depth` (histogram, sampled at
+//! admit), `serve.tenant_capped`.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mdl_obs::CancelToken;
+
+use crate::protocol::{Response, ShedReason, SolveParams};
+use crate::recover;
+
+/// One admitted unit of work, handed from a connection handler to a
+/// worker through the queue.
+#[derive(Debug)]
+pub struct Job {
+    /// The solve to run.
+    pub params: SolveParams,
+    /// Cancelled by the handler when its client disconnects (and
+    /// observed by the solver through its budget).
+    pub cancel: CancelToken,
+    /// Where the worker sends the single response.
+    pub respond: mpsc::Sender<Response>,
+    /// When the job entered the queue; queue wait is measured from
+    /// here.
+    pub enqueued: Instant,
+}
+
+/// Admission-control limits.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Maximum queued (not yet executing) jobs.
+    pub queue_limit: usize,
+    /// Maximum per-tenant occupancy (queued + executing).
+    pub tenant_cap: usize,
+    /// Worker count, used to scale retry-after hints.
+    pub workers: usize,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: VecDeque<Job>,
+    /// Occupancy per tenant: incremented at admit, decremented at
+    /// [`Admission::finish`]. Entries at zero are removed.
+    occupancy: HashMap<String, usize>,
+    draining: bool,
+}
+
+/// What a worker's wait for work produced.
+#[derive(Debug)]
+pub enum Next {
+    /// A job to execute.
+    Job(Box<Job>),
+    /// Timed out with the queue empty; poll again.
+    Idle,
+    /// Draining and the queue is empty: the worker should exit.
+    Drained,
+}
+
+/// The shared admission gate. One per server; handlers admit, workers
+/// take, both sides tolerate a poisoned inner lock (a panicking worker
+/// must not wedge the queue).
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    state: Mutex<State>,
+    ready: Condvar,
+    /// EWMA of service time in milliseconds (×16 fixed point), feeding
+    /// retry-after hints. Seeded with 50ms until real samples arrive.
+    service_ewma_x16: AtomicU64,
+}
+
+impl Admission {
+    /// A gate with the given limits.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Admission {
+            cfg,
+            state: Mutex::new(State::default()),
+            ready: Condvar::new(),
+            service_ewma_x16: AtomicU64::new(50 * 16),
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> AdmissionConfig {
+        self.cfg
+    }
+
+    /// Admits `job` into the queue or sheds it. On a shed, the job is
+    /// returned to the caller (which still owns the response channel).
+    ///
+    /// # Errors
+    ///
+    /// The shed response (reason + retry-after hint) the handler must
+    /// write back.
+    pub fn try_admit(&self, job: Job) -> Result<(), Box<(Job, Response)>> {
+        let mut state = recover(&self.state);
+        if state.draining {
+            mdl_obs::counter("serve.shed").inc();
+            return Err(Box::new((job, self.shed(ShedReason::Draining, 0))));
+        }
+        if state.queue.len() >= self.cfg.queue_limit {
+            mdl_obs::counter("serve.shed").inc();
+            let depth = state.queue.len();
+            return Err(Box::new((job, self.shed(ShedReason::QueueFull, depth))));
+        }
+        let occupancy = state
+            .occupancy
+            .get(&job.params.tenant)
+            .copied()
+            .unwrap_or(0);
+        if occupancy >= self.cfg.tenant_cap {
+            mdl_obs::counter("serve.shed").inc();
+            mdl_obs::counter("serve.tenant_capped").inc();
+            return Err(Box::new((job, self.shed(ShedReason::TenantCap, 1))));
+        }
+        *state
+            .occupancy
+            .entry(job.params.tenant.clone())
+            .or_insert(0) += 1;
+        state.queue.push_back(job);
+        mdl_obs::histogram("serve.queue_depth").record(state.queue.len() as u64);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Takes the next job, waiting up to `timeout`. Workers loop on
+    /// this; [`Next::Drained`] is the exit signal.
+    pub fn next(&self, timeout: Duration) -> Next {
+        let mut state = recover(&self.state);
+        loop {
+            if let Some(job) = state.queue.pop_front() {
+                return Next::Job(Box::new(job));
+            }
+            if state.draining {
+                return Next::Drained;
+            }
+            let (next, wait) = self.ready.wait_timeout(state, timeout).unwrap_or_else(|e| {
+                mdl_obs::counter("serve.lock_poisoned").inc();
+                let inner = e.into_inner();
+                (inner.0, inner.1)
+            });
+            state = next;
+            if wait.timed_out() {
+                return match state.queue.pop_front() {
+                    Some(job) => Next::Job(Box::new(job)),
+                    None if state.draining => Next::Drained,
+                    None => Next::Idle,
+                };
+            }
+        }
+    }
+
+    /// Releases one unit of `tenant`'s occupancy; called by the worker
+    /// after the response is sent (success or not).
+    pub fn finish(&self, tenant: &str) {
+        let mut state = recover(&self.state);
+        if let Some(n) = state.occupancy.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                state.occupancy.remove(tenant);
+            }
+        }
+    }
+
+    /// Folds one observed service time into the retry-after EWMA.
+    pub fn record_service(&self, elapsed: Duration) {
+        let sample_x16 = (elapsed.as_millis() as u64).saturating_mul(16);
+        // EWMA with α = 1/4: new = old + (sample - old)/4.
+        let _ = self
+            .service_ewma_x16
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+                Some(old + sample_x16.saturating_sub(old) / 4 - old.saturating_sub(sample_x16) / 4)
+            });
+    }
+
+    /// Enters drain: every future admit sheds, and workers exit once
+    /// the queue is empty. Idempotent.
+    pub fn drain(&self) {
+        recover(&self.state).draining = true;
+        self.ready.notify_all();
+    }
+
+    /// Whether drain has been initiated.
+    pub fn draining(&self) -> bool {
+        recover(&self.state).draining
+    }
+
+    /// Current queue depth (jobs admitted, not yet taken by a worker).
+    pub fn depth(&self) -> usize {
+        recover(&self.state).queue.len()
+    }
+
+    /// The retry-after hint in milliseconds for a queue that is
+    /// `pending` jobs deep: roughly how long until a slot frees, from
+    /// the service-time EWMA and the worker count.
+    fn retry_after_ms(&self, pending: usize) -> u64 {
+        let avg_ms = self.service_ewma_x16.load(Ordering::Relaxed) / 16;
+        let workers = self.cfg.workers.max(1) as u64;
+        let est = (pending as u64 / workers + 1).saturating_mul(avg_ms.max(1));
+        est.clamp(25, 30_000)
+    }
+
+    fn shed(&self, reason: ShedReason, pending: usize) -> Response {
+        Response::Shed {
+            reason,
+            retry_after_ms: match reason {
+                // Fail over, don't retry: a draining server will be gone.
+                ShedReason::Draining => 0,
+                _ => self.retry_after_ms(pending),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdl_cli::commands::Measure;
+    use mdl_core::LumpKind;
+
+    fn job(tenant: &str) -> (Job, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                params: SolveParams {
+                    model: String::new(),
+                    kind: LumpKind::Ordinary,
+                    measure: Measure::Stationary,
+                    deadline_ms: None,
+                    tenant: tenant.to_string(),
+                    fallback: true,
+                },
+                cancel: CancelToken::new(),
+                respond: tx,
+                enqueued: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    fn gate(queue: usize, cap: usize) -> Admission {
+        Admission::new(AdmissionConfig {
+            queue_limit: queue,
+            tenant_cap: cap,
+            workers: 2,
+        })
+    }
+
+    #[test]
+    fn full_queue_sheds_with_retry_hint() {
+        let adm = gate(2, 10);
+        let (a, _ra) = job("t");
+        let (b, _rb) = job("t");
+        adm.try_admit(a).unwrap();
+        adm.try_admit(b).unwrap();
+        let (c, _rc) = job("t");
+        let (_, resp) = *adm.try_admit(c).unwrap_err();
+        match resp {
+            Response::Shed {
+                reason: ShedReason::QueueFull,
+                retry_after_ms,
+            } => assert!(retry_after_ms >= 25),
+            other => panic!("expected queue-full shed, got {other:?}"),
+        }
+        assert_eq!(adm.depth(), 2);
+    }
+
+    #[test]
+    fn tenant_cap_binds_per_tenant_not_globally() {
+        let adm = gate(100, 2);
+        let (a, _ra) = job("alice");
+        let (b, _rb) = job("alice");
+        adm.try_admit(a).unwrap();
+        adm.try_admit(b).unwrap();
+        let (c, _rc) = job("alice");
+        let (_, resp) = *adm.try_admit(c).unwrap_err();
+        assert!(matches!(
+            resp,
+            Response::Shed {
+                reason: ShedReason::TenantCap,
+                ..
+            }
+        ));
+        // A different tenant is unaffected.
+        let (d, _rd) = job("bob");
+        adm.try_admit(d).unwrap();
+        // Finishing one of alice's jobs frees her slot.
+        adm.finish("alice");
+        let (e, _re) = job("alice");
+        adm.try_admit(e).unwrap();
+    }
+
+    #[test]
+    fn workers_take_jobs_in_order_then_idle() {
+        let adm = gate(10, 10);
+        let (a, _ra) = job("x");
+        adm.try_admit(a).unwrap();
+        match adm.next(Duration::from_millis(10)) {
+            Next::Job(j) => assert_eq!(j.params.tenant, "x"),
+            other => panic!("expected a job, got {other:?}"),
+        }
+        assert!(matches!(adm.next(Duration::from_millis(1)), Next::Idle));
+    }
+
+    #[test]
+    fn drain_sheds_new_work_and_releases_workers() {
+        let adm = gate(10, 10);
+        let (a, _ra) = job("x");
+        adm.try_admit(a).unwrap();
+        adm.drain();
+        assert!(adm.draining());
+        // Queued work is still delivered…
+        assert!(matches!(adm.next(Duration::from_millis(5)), Next::Job(_)));
+        // …then workers are released…
+        assert!(matches!(adm.next(Duration::from_millis(5)), Next::Drained));
+        // …and new admissions shed with reason=draining, retry 0.
+        let (b, _rb) = job("x");
+        let (_, resp) = *adm.try_admit(b).unwrap_err();
+        assert_eq!(
+            resp,
+            Response::Shed {
+                reason: ShedReason::Draining,
+                retry_after_ms: 0
+            }
+        );
+    }
+
+    #[test]
+    fn service_ewma_moves_toward_samples() {
+        let adm = gate(1, 1);
+        for _ in 0..32 {
+            adm.record_service(Duration::from_millis(400));
+        }
+        let hint = adm.retry_after_ms(0);
+        assert!(
+            (300..=800).contains(&hint),
+            "hint {hint} should approach the 400ms samples"
+        );
+    }
+}

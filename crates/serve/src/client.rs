@@ -1,0 +1,223 @@
+//! A minimal blocking client for the line-delimited JSON protocol.
+//!
+//! Shared by the acceptance suite (`tests/serve.rs`), the chaos gate
+//! and `mdl-bench serve` — one connection, strict request/response
+//! lockstep, no retry logic (shed handling is the caller's policy,
+//! that is the point of the retry-after hint).
+//!
+//! ```no_run
+//! use mdl_serve::client::{Client, SolveLine};
+//!
+//! let mut c = Client::connect("127.0.0.1:7117").unwrap();
+//! let reply = c
+//!     .request(&SolveLine::new(mdl_serve::EXAMPLE_MODEL).build())
+//!     .unwrap();
+//! assert!(reply.contains("\"status\""));
+//! ```
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mdl_obs::json::JsonObject;
+
+/// One blocking protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Bounds how long [`request`](Self::request) waits for the
+    /// response line (`None` waits forever, the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request line without waiting for the response — the
+    /// client-disconnect chaos tests send and then drop the
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()
+    }
+
+    /// Sends one request line and reads the one response line
+    /// (trailing newline stripped).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `UnexpectedEof` if the server closed the
+    /// connection without answering.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.send(line)?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        while reply.ends_with('\n') || reply.ends_with('\r') {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+}
+
+/// Builder for a `solve` request line.
+#[derive(Debug, Clone, Default)]
+pub struct SolveLine {
+    model: String,
+    lump: Option<&'static str>,
+    measure: Option<&'static str>,
+    t: Option<f64>,
+    deadline_ms: Option<u64>,
+    tenant: Option<String>,
+    fallback: Option<bool>,
+}
+
+impl SolveLine {
+    /// Starts a solve request for `model` (the `mdlump-cli` model
+    /// format); all other fields take the server-side defaults.
+    pub fn new(model: &str) -> Self {
+        SolveLine {
+            model: model.to_string(),
+            ..SolveLine::default()
+        }
+    }
+
+    /// Selects the lumping: `"ordinary"` or `"exact"`.
+    #[must_use]
+    pub fn lump(mut self, kind: &'static str) -> Self {
+        self.lump = Some(kind);
+        self
+    }
+
+    /// Selects the measure: `"stationary"`, `"transient"` or
+    /// `"accumulated"` (the latter two need [`t`](Self::t)).
+    #[must_use]
+    pub fn measure(mut self, measure: &'static str) -> Self {
+        self.measure = Some(measure);
+        self
+    }
+
+    /// Time horizon for transient/accumulated measures.
+    #[must_use]
+    pub fn t(mut self, t: f64) -> Self {
+        self.t = Some(t);
+        self
+    }
+
+    /// Per-request deadline in milliseconds.
+    #[must_use]
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Admission-control principal.
+    #[must_use]
+    pub fn tenant(mut self, tenant: &str) -> Self {
+        self.tenant = Some(tenant.to_string());
+        self
+    }
+
+    /// Whether to degrade through the fallback ladder.
+    #[must_use]
+    pub fn fallback(mut self, on: bool) -> Self {
+        self.fallback = Some(on);
+        self
+    }
+
+    /// Renders the request as its single JSON line (no trailing
+    /// newline).
+    pub fn build(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.str("cmd", "solve").str("model", &self.model);
+        if let Some(kind) = self.lump {
+            obj.str("lump", kind);
+        }
+        if let Some(measure) = self.measure {
+            obj.str("measure", measure);
+        }
+        if let Some(t) = self.t {
+            obj.f64("t", t);
+        }
+        if let Some(ms) = self.deadline_ms {
+            obj.u64("deadline_ms", ms);
+        }
+        if let Some(tenant) = &self.tenant {
+            obj.str("tenant", tenant);
+        }
+        if let Some(on) = self.fallback {
+            obj.bool("fallback", on);
+        }
+        obj.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_request, Request};
+    use mdl_cli::commands::Measure;
+    use mdl_core::LumpKind;
+
+    #[test]
+    fn built_solve_lines_parse_back_to_the_same_params() {
+        let line = SolveLine::new("component a 2\nreward sum\n")
+            .lump("exact")
+            .measure("transient")
+            .t(2.5)
+            .deadline_ms(750)
+            .tenant("alice")
+            .fallback(false)
+            .build();
+        let Request::Solve(p) = parse_request(&line).unwrap() else {
+            panic!("not a solve");
+        };
+        assert_eq!(p.model, "component a 2\nreward sum\n");
+        assert_eq!(p.kind, LumpKind::Exact);
+        assert_eq!(p.measure, Measure::Transient(2.5));
+        assert_eq!(p.deadline_ms, Some(750));
+        assert_eq!(p.tenant, "alice");
+        assert!(!p.fallback);
+    }
+
+    #[test]
+    fn minimal_solve_line_takes_server_defaults() {
+        let line = SolveLine::new("m").build();
+        let Request::Solve(p) = parse_request(&line).unwrap() else {
+            panic!("not a solve");
+        };
+        assert_eq!(p.kind, LumpKind::Ordinary);
+        assert_eq!(p.measure, Measure::Stationary);
+        assert_eq!(p.deadline_ms, None);
+        assert_eq!(p.tenant, "anon");
+        assert!(p.fallback);
+    }
+}

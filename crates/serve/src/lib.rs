@@ -1,0 +1,102 @@
+//! `mdl-serve`: a fault-tolerant solver daemon.
+//!
+//! The library half of the `mdl-serve` binary: a persistent,
+//! multi-threaded TCP server that answers solve requests over a
+//! line-delimited JSON protocol ([`protocol`]), shares one on-disk
+//! artifact store plus an in-memory kernel cache across concurrent
+//! requests ([`worker::Shared`]), and treats failure as the normal
+//! case:
+//!
+//! * **admission control** ([`admission`]) — bounded queue, per-tenant
+//!   in-flight caps, honest shed responses with retry-after hints;
+//! * **per-request isolation** ([`worker`]) — `catch_unwind` around
+//!   every solve, poisoned locks recovered ([`recover`]), deadlines and
+//!   client-disconnect cancellation enforced through [`mdl_obs::Budget`];
+//! * **graceful degradation** — retryable solver failures walk the
+//!   jacobi→power→walk→flat-CSR ladder and the attempt log rides back
+//!   to the client;
+//! * **graceful drain** ([`server`], [`signal`]) — SIGTERM stops the
+//!   accept loop, lets in-flight work finish (interrupted solves leave
+//!   resumable checkpoints), flushes metrics and sweeps cache debris.
+//!
+//! Every request terminates in exactly one of: a correct result, a
+//! structured error, or a shed-with-retry — the trichotomy the chaos
+//! suite (`tests/serve.rs`) asserts under injected faults.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+pub mod worker;
+
+use std::sync::{Mutex, MutexGuard};
+
+/// The doc example model from `mdl_cli`: two components, three events,
+/// a summed reward. Small enough to solve in microseconds, rich enough
+/// to exercise lumping — the acceptance suite and `mdl-bench serve` use
+/// it as their canonical request payload.
+pub const EXAMPLE_MODEL: &str = "\
+component ctrl 2 initial 0
+component workers 4 initial 0
+
+event toggle rate 0.2
+  factor ctrl 0 1 1.0
+  factor ctrl 1 0 1.0
+
+event work_high rate 1.5
+  factor ctrl 0 0 1.0
+  factor workers 0 1 1.0
+  factor workers 1 2 1.0
+  factor workers 2 3 1.0
+
+event finish rate 1.0
+  factor workers 1 0 1.0
+  factor workers 2 1 1.0
+  factor workers 3 2 1.0
+
+reward sum
+  value workers 1 1.0
+  value workers 2 2.0
+  value workers 3 3.0
+";
+
+/// Locks `m`, recovering from poisoning instead of propagating it: a
+/// worker that panicked while holding a shared lock must not take the
+/// daemon down with it. Recoveries are counted on
+/// `serve.lock_poisoned`; the guarded state is designed so any
+/// half-update a panicking holder left behind is safe (caches may lose
+/// an entry's worth of warmth, never correctness — artifacts are
+/// validated on read).
+pub fn recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        mdl_obs::counter("serve.lock_poisoned").inc();
+        poisoned.into_inner()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn recover_yields_the_inner_state_after_a_poisoning_panic() {
+        let shared = Arc::new(Mutex::new(7u32));
+        let clone = shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(shared.is_poisoned());
+        // A plain lock() would error; recover() hands back the state.
+        let mut guard = recover(&shared);
+        assert_eq!(*guard, 7);
+        *guard = 8;
+        drop(guard);
+        assert_eq!(*recover(&shared), 8);
+    }
+}

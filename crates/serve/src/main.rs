@@ -1,0 +1,90 @@
+//! `mdl-serve` — the persistent solver daemon.
+//!
+//! ```text
+//! mdl-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!           [--tenant-cap N] [--solve-threads N]
+//!           [--default-deadline DUR] [--max-deadline DUR]
+//!           [--cache-dir DIR] [--metrics]
+//! ```
+//!
+//! Speaks the line-delimited JSON protocol of `mdl_serve::protocol` on
+//! a TCP socket. Runs until SIGTERM/SIGINT (or a protocol `shutdown`
+//! command), then drains gracefully: stops accepting, sheds queued
+//! admissions, finishes in-flight work (interrupted solves leave
+//! resumable checkpoints in the cache), sweeps cache debris and — with
+//! `--metrics` — writes the final counter/latency report to stderr.
+//!
+//! Exit codes: `0` clean drain, `1` startup failure (bad flags, bind or
+//! cache errors).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use mdl_cli::flags::{parse_serve_flags, ServeFlags, CACHE_ENV_VAR};
+use mdl_serve::server::{Server, ServerConfig};
+use mdl_serve::signal;
+
+fn usage() -> String {
+    "usage:\n  mdl-serve [--addr HOST:PORT] [--workers N] [--queue N]\n            [--tenant-cap N] [--solve-threads N]\n            [--default-deadline DUR] [--max-deadline DUR]\n            [--cache-dir DIR] [--metrics]\n\n  --addr HOST:PORT        bind address (default 127.0.0.1:7117; port 0\n                          picks a free port, printed on startup)\n  --workers N             solver worker threads (default 2)\n  --queue N               bounded admission queue; a full queue sheds\n                          with a retry-after hint (default 32)\n  --tenant-cap N          per-tenant in-flight cap (default 8)\n  --solve-threads N       threads per individual solve (default 1; the\n                          daemon's parallelism is concurrent requests)\n  --default-deadline DUR  deadline for requests naming none (default\n                          30s; 0 disables)\n  --max-deadline DUR      clamp on requested deadlines (default 300s;\n                          0 disables)\n  --cache-dir DIR         shared artifact store (MDL_CACHE environment\n                          variable supplies a default); enables warm\n                          stages and checkpoint/resume across requests\n  --metrics               write the counter/latency report to stderr on\n                          drain\n\nprotocol: one JSON object per line; see the mdl-serve crate docs.\nsignals: SIGTERM/SIGINT drain gracefully and exit 0.\n".to_string()
+}
+
+fn config_for(flags: &ServeFlags) -> ServerConfig {
+    ServerConfig {
+        addr: flags.addr.clone(),
+        workers: flags.workers,
+        queue_limit: flags.queue_limit,
+        tenant_cap: flags.tenant_cap,
+        solve_threads: flags.solve_threads,
+        default_deadline: flags.default_deadline,
+        max_deadline: flags.max_deadline,
+        cache_dir: flags.cache_dir.clone(),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let env_cache = std::env::var(CACHE_ENV_VAR).ok();
+    let flags = match parse_serve_flags(&args, env_cache.as_deref()) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mdl-serve: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics = args.iter().any(|a| a == "--metrics");
+
+    // Counters/histograms feed the `stats` command and the drain
+    // report; failpoints come from MDL_FAILPOINTS for chaos testing.
+    mdl_obs::set_enabled(true);
+    mdl_obs::failpoint::init_from_env();
+    signal::install();
+
+    let server = match Server::start(config_for(&flags)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mdl-serve: startup failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Port 0 resolves here; scripts parse this line.
+    println!("mdl-serve: listening on {}", server.local_addr());
+    if mdl_obs::failpoint::active() {
+        eprintln!("mdl-serve: failpoints active (MDL_FAILPOINTS)");
+    }
+
+    while !signal::triggered() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("mdl-serve: draining (finishing in-flight work)");
+    server.drain();
+    server.join();
+    if metrics {
+        eprint!("{}", mdl_obs::snapshot().render_pretty());
+    }
+    eprintln!("mdl-serve: drained cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,461 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Requests name a command; every request receives exactly one response
+//! line whose `status` field realizes the trichotomy the chaos suite
+//! asserts: `"ok"` (a correct result), `"error"` (an honest structured
+//! failure) or `"shed"` (not admitted; retry after the hinted delay).
+//!
+//! ```text
+//! → {"cmd":"solve","model":"component a 2\n…","lump":"ordinary",
+//!    "measure":"stationary","deadline_ms":5000,"tenant":"alice"}
+//! ← {"status":"ok","measure":1.25,"original_states":8,
+//!    "lumped_states":3,"warm":false,"elapsed_ms":12,
+//!    "attempts":[{"method":"jacobi","kernel":"compiled",
+//!                 "outcome":"converged","iterations":41,"elapsed_ms":9}]}
+//! ```
+//!
+//! Parsing is strict about shape (unknown `cmd`, missing `model`, bad
+//! `measure` are `bad-request` errors) and lenient about extras —
+//! unknown fields are ignored so the protocol can grow.
+
+use mdl_cli::commands::Measure;
+use mdl_core::LumpKind;
+use mdl_ctmc::RunReport;
+use mdl_obs::json::{self, Json, JsonObject};
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Solve a measure on an inline model.
+    Solve(SolveParams),
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Server metrics snapshot; answered inline.
+    Stats,
+    /// Initiate graceful drain (same path as SIGTERM).
+    Shutdown,
+}
+
+/// Parameters of a `solve` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveParams {
+    /// The model file text (the `mdlump-cli` format).
+    pub model: String,
+    /// Which lumping to apply before solving.
+    pub kind: LumpKind,
+    /// The measure to compute.
+    pub measure: Measure,
+    /// Per-request wall-clock deadline; the server clamps it to its
+    /// configured maximum and substitutes its default when absent.
+    pub deadline_ms: Option<u64>,
+    /// Admission-control principal; requests without one share the
+    /// `"anon"` bucket.
+    pub tenant: String,
+    /// Whether to degrade through the fallback ladder on retryable
+    /// failures (default true — graceful degradation is the point).
+    pub fallback: bool,
+}
+
+/// How a request failed, mirrored into the response's `kind` field and
+/// onto per-kind obs counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line itself was malformed.
+    BadRequest,
+    /// A budget limit (deadline, cancellation) interrupted the solve.
+    Interrupted,
+    /// The model or solve failed structurally.
+    Failed,
+    /// The worker panicked or another server-side invariant broke; the
+    /// request was isolated, the daemon lives on.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Interrupted => "interrupted",
+            ErrorKind::Failed => "failed",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// Why admission control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue is full.
+    QueueFull,
+    /// The tenant is at its in-flight cap.
+    TenantCap,
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+impl ShedReason {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::TenantCap => "tenant-cap",
+            ShedReason::Draining => "draining",
+        }
+    }
+}
+
+/// One attempt row of a solve response, distilled from
+/// [`mdl_ctmc::AttemptRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRow {
+    /// Solver method label.
+    pub method: String,
+    /// Kernel label, when the attempt ran an MD kernel.
+    pub kernel: Option<String>,
+    /// How the attempt ended (`converged`, `interrupted`, …).
+    pub outcome: String,
+    /// Iterations performed.
+    pub iterations: u64,
+    /// Attempt wall clock in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// The successful-solve response body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OkBody {
+    /// The computed measure.
+    pub measure: f64,
+    /// States in the unlumped chain.
+    pub original_states: u64,
+    /// States after lumping.
+    pub lumped_states: u64,
+    /// Whether every pipeline stage restored from the shared store.
+    pub warm: bool,
+    /// End-to-end service time (queue wait excluded) in milliseconds.
+    pub elapsed_ms: u64,
+    /// The fallback ladder's per-attempt log (empty when the solve ran
+    /// without the resilient ladder, e.g. exact lumping).
+    pub attempts: Vec<AttemptRow>,
+}
+
+/// One response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A correct solve result.
+    Ok(OkBody),
+    /// Liveness answer.
+    Pong,
+    /// Metrics snapshot (pre-rendered JSON object text).
+    Stats(String),
+    /// Drain acknowledged.
+    Draining,
+    /// An honest structured failure.
+    Error {
+        /// Failure class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Not admitted; retry after the hint.
+    Shed {
+        /// Why the request was refused.
+        reason: ShedReason,
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+impl Response {
+    /// The `status` field this response renders with.
+    pub fn status(&self) -> &'static str {
+        match self {
+            Response::Ok(_) | Response::Pong | Response::Stats(_) | Response::Draining => "ok",
+            Response::Error { .. } => "error",
+            Response::Shed { .. } => "shed",
+        }
+    }
+
+    /// Renders the response as its single JSON line (no trailing
+    /// newline).
+    pub fn render(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.str("status", self.status());
+        match self {
+            Response::Ok(body) => {
+                obj.f64("measure", body.measure)
+                    .u64("original_states", body.original_states)
+                    .u64("lumped_states", body.lumped_states)
+                    .bool("warm", body.warm)
+                    .u64("elapsed_ms", body.elapsed_ms);
+                let mut rows = String::from("[");
+                for (i, a) in body.attempts.iter().enumerate() {
+                    if i > 0 {
+                        rows.push(',');
+                    }
+                    let mut row = JsonObject::new();
+                    row.str("method", &a.method);
+                    match &a.kernel {
+                        Some(k) => row.str("kernel", k),
+                        None => row.raw("kernel", "null"),
+                    };
+                    row.str("outcome", &a.outcome)
+                        .u64("iterations", a.iterations)
+                        .u64("elapsed_ms", a.elapsed_ms);
+                    rows.push_str(&row.close());
+                }
+                rows.push(']');
+                obj.raw("attempts", &rows);
+            }
+            Response::Pong => {
+                obj.bool("pong", true);
+            }
+            Response::Stats(stats) => {
+                obj.raw("stats", stats);
+            }
+            Response::Draining => {
+                obj.bool("draining", true);
+            }
+            Response::Error { kind, detail } => {
+                obj.str("kind", kind.label()).str("detail", detail);
+            }
+            Response::Shed {
+                reason,
+                retry_after_ms,
+            } => {
+                obj.str("reason", reason.label())
+                    .u64("retry_after_ms", *retry_after_ms);
+            }
+        }
+        obj.close()
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A `bad-request` detail string for malformed JSON, unknown commands or
+/// missing/invalid fields.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+    let cmd = value
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or("missing \"cmd\"")?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "solve" => parse_solve(&value).map(Request::Solve),
+        other => Err(format!(
+            "unknown cmd {other:?} (want solve|ping|stats|shutdown)"
+        )),
+    }
+}
+
+fn parse_solve(value: &Json) -> Result<SolveParams, String> {
+    let model = value
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or("solve: missing \"model\"")?
+        .to_string();
+    let kind = match value.get("lump").and_then(Json::as_str) {
+        None | Some("ordinary") => LumpKind::Ordinary,
+        Some("exact") => LumpKind::Exact,
+        Some(other) => {
+            return Err(format!(
+                "solve: unknown lump {other:?} (want ordinary|exact)"
+            ))
+        }
+    };
+    let t = value.get("t").and_then(Json::as_f64);
+    let measure = match value.get("measure").and_then(Json::as_str) {
+        None | Some("stationary") => Measure::Stationary,
+        Some(m @ ("transient" | "accumulated")) => {
+            let t = t.ok_or_else(|| format!("solve: measure {m:?} needs a finite \"t\""))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("solve: \"t\" must be finite and >= 0, got {t}"));
+            }
+            if m == "transient" {
+                Measure::Transient(t)
+            } else {
+                Measure::Accumulated(t)
+            }
+        }
+        Some(other) => {
+            return Err(format!(
+                "solve: unknown measure {other:?} (want stationary|transient|accumulated)"
+            ))
+        }
+    };
+    let deadline_ms = value.get("deadline_ms").and_then(Json::as_u64);
+    let tenant = value
+        .get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or("anon")
+        .to_string();
+    let fallback = value
+        .get("fallback")
+        .and_then(Json::as_bool)
+        .unwrap_or(true);
+    Ok(SolveParams {
+        model,
+        kind,
+        measure,
+        deadline_ms,
+        tenant,
+        fallback,
+    })
+}
+
+/// Distills a ladder [`RunReport`] into wire rows.
+pub fn attempt_rows(report: &RunReport) -> Vec<AttemptRow> {
+    report
+        .attempts
+        .iter()
+        .map(|a| AttemptRow {
+            method: a.method.to_string(),
+            kernel: a.kernel.map(str::to_string),
+            outcome: a.outcome.label().to_string(),
+            iterations: a.iterations as u64,
+            elapsed_ms: a.elapsed.as_millis() as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_request_round_trips_fields() {
+        let line = r#"{"cmd":"solve","model":"component a 2","lump":"exact",
+            "measure":"transient","t":1.5,"deadline_ms":250,"tenant":"alice","fallback":false}"#
+            .replace('\n', " ");
+        let req = parse_request(&line).unwrap();
+        let Request::Solve(p) = req else {
+            panic!("not a solve")
+        };
+        assert_eq!(p.model, "component a 2");
+        assert_eq!(p.kind, LumpKind::Exact);
+        assert_eq!(p.measure, Measure::Transient(1.5));
+        assert_eq!(p.deadline_ms, Some(250));
+        assert_eq!(p.tenant, "alice");
+        assert!(!p.fallback);
+    }
+
+    #[test]
+    fn solve_defaults_are_stationary_ordinary_anon_fallback() {
+        let req = parse_request(r#"{"cmd":"solve","model":"m"}"#).unwrap();
+        let Request::Solve(p) = req else {
+            panic!("not a solve")
+        };
+        assert_eq!(p.kind, LumpKind::Ordinary);
+        assert_eq!(p.measure, Measure::Stationary);
+        assert_eq!(p.deadline_ms, None);
+        assert_eq!(p.tenant, "anon");
+        assert!(p.fallback);
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        assert!(parse_request("not json").unwrap_err().contains("JSON"));
+        assert!(parse_request(r#"{"x":1}"#).unwrap_err().contains("cmd"));
+        assert!(parse_request(r#"{"cmd":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown cmd"));
+        assert!(parse_request(r#"{"cmd":"solve"}"#)
+            .unwrap_err()
+            .contains("model"));
+        assert!(
+            parse_request(r#"{"cmd":"solve","model":"m","measure":"transient"}"#)
+                .unwrap_err()
+                .contains("\"t\"")
+        );
+        assert!(
+            parse_request(r#"{"cmd":"solve","model":"m","lump":"fuzzy"}"#)
+                .unwrap_err()
+                .contains("lump")
+        );
+    }
+
+    #[test]
+    fn simple_commands_parse() {
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn responses_render_the_status_trichotomy() {
+        let ok = Response::Ok(OkBody {
+            measure: 1.25,
+            original_states: 8,
+            lumped_states: 3,
+            warm: true,
+            elapsed_ms: 12,
+            attempts: vec![AttemptRow {
+                method: "jacobi".into(),
+                kernel: Some("compiled".into()),
+                outcome: "converged".into(),
+                iterations: 41,
+                elapsed_ms: 9,
+            }],
+        });
+        let line = ok.render();
+        let parsed = json::parse(&line).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(parsed.get("measure").and_then(Json::as_f64), Some(1.25));
+        let attempts = parsed.get("attempts").and_then(Json::as_array).unwrap();
+        assert_eq!(attempts.len(), 1);
+        assert_eq!(
+            attempts[0].get("outcome").and_then(Json::as_str),
+            Some("converged")
+        );
+
+        let err = Response::Error {
+            kind: ErrorKind::Interrupted,
+            detail: "deadline of 5ms exceeded".into(),
+        };
+        let parsed = json::parse(&err.render()).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            parsed.get("kind").and_then(Json::as_str),
+            Some("interrupted")
+        );
+
+        let shed = Response::Shed {
+            reason: ShedReason::QueueFull,
+            retry_after_ms: 120,
+        };
+        let parsed = json::parse(&shed.render()).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("shed"));
+        assert_eq!(
+            parsed.get("retry_after_ms").and_then(Json::as_u64),
+            Some(120)
+        );
+    }
+
+    #[test]
+    fn measure_survives_render_parse_bit_for_bit() {
+        // The JSON layer must not perturb solve results: shortest
+        // round-trip decimal in, exact f64 back out.
+        for &m in &[1.0 / 3.0, 6.02e23, 1e-300, 0.1 + 0.2] {
+            let ok = Response::Ok(OkBody {
+                measure: m,
+                original_states: 1,
+                lumped_states: 1,
+                warm: false,
+                elapsed_ms: 0,
+                attempts: vec![],
+            });
+            let parsed = json::parse(&ok.render()).unwrap();
+            let back = parsed.get("measure").and_then(Json::as_f64).unwrap();
+            assert_eq!(m.to_bits(), back.to_bits());
+        }
+    }
+}

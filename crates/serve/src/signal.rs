@@ -1,0 +1,89 @@
+//! Minimal, dependency-free SIGTERM/SIGINT handling.
+//!
+//! The handler does the only async-signal-safe thing possible: it sets
+//! a process-global flag. The server's accept loop polls the flag and
+//! initiates graceful drain; a clean drain is the contract CI's chaos
+//! gate verifies (`kill -TERM` → finish in-flight work → exit 0).
+//!
+//! Unix-only; on other platforms [`install`] is a no-op and shutdown
+//! comes through the protocol's `shutdown` command instead.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGTERM/SIGINT has been received (or [`trigger`] called).
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag programmatically — the protocol `shutdown`
+/// command and tests share the signal path this way.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Resets the flag (test isolation only; a real daemon never unsets
+/// shutdown).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    //! The raw libc binding: `signal(2)` is in every Linux/macOS libc
+    //! that std already links; no crate dependency needed.
+    #![allow(unsafe_code)]
+
+    /// C signal-handler shape.
+    type SigHandler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: SigHandler) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe operation: store to an atomic.
+        super::TRIGGERED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handler (no-op off Unix). Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_and_reset_drive_the_flag() {
+        reset();
+        assert!(!triggered());
+        trigger();
+        assert!(triggered());
+        reset();
+        assert!(!triggered());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn installed_handler_survives_installation() {
+        // Installing must not crash or alter the flag.
+        reset();
+        install();
+        assert!(!triggered());
+    }
+}

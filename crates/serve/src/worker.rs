@@ -1,0 +1,545 @@
+//! Request execution: the staged pipeline run by every worker thread,
+//! wrapped in per-request fault isolation.
+//!
+//! A worker owns nothing; everything warm is in [`Shared`] — the
+//! on-disk artifact store (crash-safe, advisory-locked) plus an
+//! in-memory cache of compiled kernels keyed by lump-stage content key,
+//! so concurrent requests for the same model share one compile.
+//!
+//! Isolation: [`run_job`] wraps the whole solve in `catch_unwind`, so a
+//! panicking request (bug, or the `serve.request=panic` failpoint)
+//! becomes a structured `internal` error instead of a dead worker; the
+//! kernel cache is locked through [`crate::recover`], so a panic while
+//! holding it poisons nothing permanently.
+//!
+//! Failpoints consulted here: `serve.request` (`err` → injected
+//! internal error, `sleep:DUR` → deadline pressure, `panic` → the
+//! catch_unwind path).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mdl_cli::commands::Measure;
+use mdl_cli::error::CliError;
+use mdl_core::{
+    model_source_key, LumpKind, LumpRequest, Pipeline, SolveOutcome, SolveRequest, Staged,
+};
+use mdl_ctmc::{RunReport, SolverOptions, TransientOptions};
+use mdl_md::CompiledMdMatrix;
+use mdl_obs::{Budget, CancelToken};
+use mdl_store::Store;
+
+use crate::admission::Job;
+use crate::protocol::{attempt_rows, ErrorKind, OkBody, Response, SolveParams};
+use crate::recover;
+
+/// How often checkpoint sinks snapshot long solves (iterations).
+const CHECKPOINT_EVERY: usize = 256;
+
+/// State shared by every worker: the artifact store and the in-memory
+/// kernel cache. Cheap to share behind one `Arc`.
+#[derive(Debug)]
+pub struct Shared {
+    /// The on-disk artifact store; `None` runs every stage in memory.
+    pub store: Option<Store>,
+    /// Threads each solve's kernel may use. Kept low by default — the
+    /// server's parallelism axis is concurrent requests, not one solve.
+    pub solve_threads: usize,
+    /// Default deadline applied when a request names none.
+    pub default_deadline: Option<Duration>,
+    /// Upper bound any requested deadline is clamped to.
+    pub max_deadline: Option<Duration>,
+    /// Compiled kernels by lump-stage key: requests for the same model
+    /// and lumping share one compiled product without touching disk.
+    kernels: Mutex<HashMap<u64, Arc<CompiledMdMatrix>>>,
+}
+
+impl Shared {
+    /// Shared state over `store` with the given solve limits.
+    pub fn new(
+        store: Option<Store>,
+        solve_threads: usize,
+        default_deadline: Option<Duration>,
+        max_deadline: Option<Duration>,
+    ) -> Self {
+        Shared {
+            store,
+            solve_threads: solve_threads.max(1),
+            default_deadline,
+            max_deadline,
+            kernels: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The effective deadline for a request asking for `requested_ms`.
+    pub fn effective_deadline(&self, requested_ms: Option<u64>) -> Option<Duration> {
+        let requested = requested_ms.map(Duration::from_millis);
+        let wanted = requested.or(self.default_deadline);
+        match (wanted, self.max_deadline) {
+            (Some(w), Some(max)) => Some(w.min(max)),
+            (Some(w), None) => Some(w),
+            (None, max) => max,
+        }
+    }
+
+    /// Number of kernels currently held warm in memory.
+    pub fn warm_kernels(&self) -> usize {
+        recover(&self.kernels).len()
+    }
+}
+
+/// Executes one admitted job with full fault isolation and returns the
+/// response to send. Never panics; never blocks past the request's
+/// budget (modulo the cooperative check granularity of the phases).
+pub fn run_job(shared: &Shared, job: &Job) -> Response {
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        execute(shared, &job.params, &job.cancel, t0)
+    }));
+    let response = match result {
+        Ok(response) => response,
+        Err(payload) => {
+            mdl_obs::counter("serve.panic_caught").inc();
+            Response::Error {
+                kind: ErrorKind::Internal,
+                detail: format!("worker panicked: {}", panic_message(&payload)),
+            }
+        }
+    };
+    let elapsed = t0.elapsed();
+    mdl_obs::counter("serve.requests").inc();
+    mdl_obs::histogram("serve.latency_ms").record(elapsed.as_millis() as u64);
+    match &response {
+        Response::Ok(_) => mdl_obs::counter("serve.ok").inc(),
+        Response::Error { kind, .. } => {
+            mdl_obs::counter("serve.error").inc();
+            if *kind == ErrorKind::Interrupted {
+                mdl_obs::counter("serve.interrupted").inc();
+            }
+        }
+        _ => {}
+    }
+    response
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Classifies a CLI-layer error into the wire error kinds.
+fn error_response(e: CliError) -> Response {
+    match e {
+        CliError::Interrupted(detail) => Response::Error {
+            kind: ErrorKind::Interrupted,
+            detail,
+        },
+        CliError::Failed(detail) => Response::Error {
+            kind: ErrorKind::Failed,
+            detail,
+        },
+    }
+}
+
+/// The staged solve itself: parse → build → lump → compile → solve →
+/// measure, mirroring the one-shot CLI's orchestration so results are
+/// bit-identical with it for the same model and measure.
+fn execute(shared: &Shared, params: &SolveParams, cancel: &CancelToken, t0: Instant) -> Response {
+    if let Some(injection) = mdl_obs::failpoint::hit("serve.request") {
+        let _ = injection;
+        return Response::Error {
+            kind: ErrorKind::Internal,
+            detail: "injected request failure (failpoint serve.request)".into(),
+        };
+    }
+    let parsed = match mdl_cli::parse_model(&params.model) {
+        Ok(p) => p,
+        Err(e) => {
+            return Response::Error {
+                kind: ErrorKind::BadRequest,
+                detail: format!("model: {e}"),
+            }
+        }
+    };
+    // The deadline budget; the client-disconnect token is layered on
+    // via the request builders' `cancelled_by` so every phase (lump,
+    // compile, solve) observes both.
+    let deadline_budget = match shared.effective_deadline(params.deadline_ms) {
+        Some(d) => Budget::unlimited().deadline_in(d),
+        None => Budget::unlimited(),
+    };
+    let budget = deadline_budget.cancelled_by(cancel);
+
+    let model_key = model_source_key(&params.model);
+    let pipeline = match &shared.store {
+        Some(store) => Pipeline::with_store(model_key, store.clone()),
+        None => Pipeline::new(model_key),
+    };
+
+    let built = match pipeline.build(|| {
+        parsed.build().map_err(|e| match e {
+            mdl_models::ModelError::Core(c) => c,
+            other => mdl_core::CoreError::Build {
+                detail: other.to_string(),
+            },
+        })
+    }) {
+        Ok(b) => b,
+        Err(e) => return error_response(e.into()),
+    };
+    let lump_request = LumpRequest::new(params.kind)
+        .threads(shared.solve_threads)
+        .budget(budget.clone())
+        .cancelled_by(cancel);
+    let lumped = match pipeline.lump(&built, &lump_request) {
+        Ok(l) => l,
+        Err(e) => return error_response(e.into()),
+    };
+
+    let (value, warm, report) = if params.kind == LumpKind::Exact {
+        match solve_exact(&pipeline, &lumped, params.measure, &budget) {
+            Ok((v, warm)) => (
+                v,
+                built.cached && lumped.cached && warm,
+                RunReport::default(),
+            ),
+            Err(e) => return error_response(e),
+        }
+    } else {
+        let lumped_mrp = Staged {
+            value: lumped.value.mrp.clone(),
+            key: lumped.key,
+            cached: lumped.cached,
+        };
+        match solve_lumped(shared, &pipeline, &lumped_mrp, params, &budget, cancel) {
+            Ok((v, warm, report)) => (v, built.cached && lumped.cached && warm, report),
+            Err(e) => return error_response(e),
+        }
+    };
+
+    Response::Ok(OkBody {
+        measure: value,
+        original_states: built.value.num_states() as u64,
+        lumped_states: lumped.value.stats.lumped_states,
+        warm,
+        elapsed_ms: t0.elapsed().as_millis() as u64,
+        attempts: attempt_rows(&report),
+    })
+}
+
+fn solver_options(budget: &Budget) -> SolverOptions {
+    SolverOptions {
+        tolerance: 1e-12,
+        budget: budget.clone(),
+        ..SolverOptions::default()
+    }
+}
+
+fn transient_options(budget: &Budget) -> TransientOptions {
+    TransientOptions {
+        budget: budget.clone(),
+        ..TransientOptions::default()
+    }
+}
+
+/// The exact-lump path: measures come from the lump's embedded
+/// exit-rate measures; no kernel, no ladder.
+fn solve_exact(
+    pipeline: &Pipeline,
+    lumped: &Staged<mdl_core::LumpResult>,
+    measure: Measure,
+    budget: &Budget,
+) -> Result<(f64, bool), CliError> {
+    let label = format!("exact:{measure:?}");
+    let staged = pipeline.measure(lumped.key, &label, || {
+        let measures = lumped
+            .value
+            .exact_measures()
+            .expect("exact lump has exit rates");
+        let sopts = solver_options(budget);
+        let topts = transient_options(budget);
+        let value = match measure {
+            Measure::Stationary => measures.expected_stationary_reward(&sopts)?,
+            Measure::Transient(t) => measures.expected_transient_reward(t, &topts)?,
+            Measure::Accumulated(t) => measures.expected_accumulated_reward(t, &topts)?,
+        };
+        Ok(vec![value])
+    })?;
+    let value = staged
+        .value
+        .first()
+        .copied()
+        .ok_or_else(|| CliError::Failed("cached measure artifact is empty".into()))?;
+    Ok((value, staged.cached))
+}
+
+/// The ordinary-lump path: compile (or reuse) the kernel, solve through
+/// the ladder, checkpoint long solves into the store and resume from a
+/// prior interrupted run's snapshot.
+fn solve_lumped(
+    shared: &Shared,
+    pipeline: &Pipeline,
+    lumped_mrp: &Staged<mdl_core::MdMrp>,
+    params: &SolveParams,
+    budget: &Budget,
+    cancel: &CancelToken,
+) -> Result<(f64, bool, RunReport), CliError> {
+    let kernel_opts = mdl_core::KernelOptions {
+        kind: mdl_core::KernelKind::Compiled,
+        threads: shared.solve_threads,
+    };
+    let mut sopts = solver_options(budget);
+    let mut topts = transient_options(budget);
+    let base = request_for(params.measure, &sopts, &topts, &kernel_opts).fallback(params.fallback);
+    let solve_key = pipeline.solve_key(lumped_mrp.key, &base);
+
+    // Long solves snapshot into the store so a drain or deadline leaves
+    // resumable progress; a finished solve clears its snapshot.
+    if pipeline.store().is_some() {
+        match params.measure {
+            Measure::Stationary => {
+                sopts.checkpoint = pipeline.stationary_checkpoint_sink(solve_key, CHECKPOINT_EVERY);
+            }
+            Measure::Transient(_) => {
+                topts.checkpoint = pipeline.transient_checkpoint_sink(solve_key, CHECKPOINT_EVERY);
+            }
+            Measure::Accumulated(_) => {}
+        }
+        if let Some(ck) = pipeline.load_checkpoint(solve_key) {
+            mdl_obs::counter("serve.resumed").inc();
+            match params.measure {
+                Measure::Stationary => sopts.warm_start = Some(ck.iterate),
+                Measure::Transient(_) => topts.resume_from = mdl_core::transient_resume(&ck),
+                Measure::Accumulated(_) => {}
+            }
+        }
+    }
+
+    // Kernel: in-memory cache first (shared across requests), then the
+    // store, then a fresh compile. A compile failure under the fallback
+    // ladder is survivable — the walk/flat-CSR rungs need no kernel.
+    let cached_kernel = recover(&shared.kernels).get(&lumped_mrp.key).cloned();
+    let (prebuilt, kernel_warm) = match cached_kernel {
+        Some(k) => {
+            mdl_obs::counter("serve.kernel_memory_hit").inc();
+            (Some(k), true)
+        }
+        None => match pipeline.compile(lumped_mrp, shared.solve_threads, budget) {
+            Ok(staged) => {
+                recover(&shared.kernels).insert(lumped_mrp.key, staged.value.clone());
+                (Some(staged.value), staged.cached)
+            }
+            Err(_) if params.fallback => {
+                mdl_obs::counter("pipeline.compile.failed").inc();
+                (None, false)
+            }
+            Err(e) => return Err(e.into()),
+        },
+    };
+
+    let mut request = request_for(params.measure, &sopts, &topts, &kernel_opts)
+        .fallback(params.fallback)
+        .cancelled_by(cancel);
+    if let Some(k) = prebuilt {
+        request = request.prebuilt_kernel(k);
+    }
+    let (outcome, run_report) = pipeline.solve(lumped_mrp, &request);
+    let staged = outcome.map_err(CliError::from)?;
+    let value = expected_reward(&lumped_mrp.value, staged.value)?;
+    if pipeline.store().is_some() {
+        pipeline.clear_checkpoint(solve_key)?;
+    }
+    Ok((value, kernel_warm && staged.cached, run_report))
+}
+
+fn request_for(
+    measure: Measure,
+    sopts: &SolverOptions,
+    topts: &TransientOptions,
+    kernel: &mdl_core::KernelOptions,
+) -> SolveRequest {
+    let request = match measure {
+        Measure::Stationary => SolveRequest::stationary(),
+        Measure::Transient(t) => SolveRequest::transient(t),
+        Measure::Accumulated(t) => SolveRequest::accumulated_reward(t),
+    };
+    request
+        .solver_options(sopts.clone())
+        .transient_options(topts.clone())
+        .kernel(kernel.kind)
+        .threads(kernel.threads)
+}
+
+fn expected_reward(mrp: &mdl_core::MdMrp, outcome: SolveOutcome) -> Result<f64, CliError> {
+    match outcome {
+        SolveOutcome::Distribution(sol) => Ok(sol.try_expected_reward(&mrp.reward_vector())?),
+        SolveOutcome::Value(v) => Ok(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ShedReason;
+    use std::sync::mpsc;
+
+    pub(crate) const MODEL: &str = crate::EXAMPLE_MODEL;
+
+    fn shared() -> Shared {
+        Shared::new(None, 1, None, None)
+    }
+
+    fn solve_params(model: &str) -> SolveParams {
+        SolveParams {
+            model: model.to_string(),
+            kind: LumpKind::Ordinary,
+            measure: Measure::Stationary,
+            deadline_ms: None,
+            tenant: "test".into(),
+            fallback: true,
+        }
+    }
+
+    fn job_for(params: SolveParams) -> (Job, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                params,
+                cancel: CancelToken::new(),
+                respond: tx,
+                enqueued: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn solve_job_returns_ok_with_ladder_log() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        let (job, _rx) = job_for(solve_params(MODEL));
+        let shared = shared();
+        match run_job(&shared, &job) {
+            Response::Ok(body) => {
+                assert!(body.measure.is_finite());
+                assert!(body.lumped_states > 0);
+                assert!(body.lumped_states <= body.original_states);
+                assert!(!body.attempts.is_empty(), "ladder log rides along");
+                assert_eq!(body.attempts.last().unwrap().outcome, "converged");
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        // Warm kernel is retained for the next request of this model.
+        assert_eq!(shared.warm_kernels(), 1);
+    }
+
+    #[test]
+    fn malformed_model_is_a_bad_request_error() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        let (job, _rx) = job_for(solve_params("component only-half"));
+        match run_job(&shared(), &job) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::BadRequest),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_caught_as_internal_error() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::set_enabled(true);
+        mdl_obs::failpoint::clear();
+        mdl_obs::failpoint::set("serve.request", "panic").unwrap();
+        let (job, _rx) = job_for(solve_params(MODEL));
+        let before = mdl_obs::counter("serve.panic_caught").get();
+        match run_job(&shared(), &job) {
+            Response::Error { kind, detail } => {
+                assert_eq!(kind, ErrorKind::Internal);
+                assert!(detail.contains("panicked"), "detail: {detail}");
+            }
+            other => panic!("expected internal error, got {other:?}"),
+        }
+        mdl_obs::failpoint::clear();
+        assert!(mdl_obs::counter("serve.panic_caught").get() > before);
+        // The worker is still usable after the panic.
+        let (job, _rx) = job_for(solve_params(MODEL));
+        assert!(matches!(run_job(&shared(), &job), Response::Ok(_)));
+    }
+
+    #[test]
+    fn injected_failure_is_an_honest_internal_error() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        mdl_obs::failpoint::set("serve.request", "err").unwrap();
+        let (job, _rx) = job_for(solve_params(MODEL));
+        match run_job(&shared(), &job) {
+            Response::Error { kind, detail } => {
+                assert_eq!(kind, ErrorKind::Internal);
+                assert!(detail.contains("failpoint"));
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        mdl_obs::failpoint::clear();
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_with_distinct_kind() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        let mut params = solve_params(MODEL);
+        params.deadline_ms = Some(0);
+        let (job, _rx) = job_for(params);
+        match run_job(&shared(), &job) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Interrupted),
+            other => panic!("expected interrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_the_solve() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        let (mut job, _rx) = job_for(solve_params(MODEL));
+        job.cancel.cancel();
+        match run_job(&shared(), &job) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Interrupted),
+            other => panic!("expected interrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_clamping_honors_default_and_max() {
+        let s = Shared::new(
+            None,
+            1,
+            Some(Duration::from_millis(100)),
+            Some(Duration::from_millis(500)),
+        );
+        assert_eq!(s.effective_deadline(None), Some(Duration::from_millis(100)));
+        assert_eq!(
+            s.effective_deadline(Some(200)),
+            Some(Duration::from_millis(200))
+        );
+        assert_eq!(
+            s.effective_deadline(Some(10_000)),
+            Some(Duration::from_millis(500))
+        );
+        let unbounded = Shared::new(None, 1, None, None);
+        assert_eq!(unbounded.effective_deadline(None), None);
+    }
+
+    #[test]
+    fn shed_reason_labels_are_wire_stable() {
+        assert_eq!(ShedReason::QueueFull.label(), "queue-full");
+        assert_eq!(ShedReason::TenantCap.label(), "tenant-cap");
+        assert_eq!(ShedReason::Draining.label(), "draining");
+    }
+}

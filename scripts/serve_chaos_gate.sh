@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# CI chaos gate for the mdl-serve daemon.
+#
+# Starts the real binary on a free port with a scratch cache, drives it
+# with the concurrent bench client, sends SIGTERM, and asserts the
+# robustness contract:
+#
+#   * the daemon exits 0 (graceful drain, never a crash or hang),
+#   * it logs "drained cleanly",
+#   * the cache directory holds no leftover .lock or .tmp.* debris.
+#
+# Runs under whatever MDL_FAILPOINTS the environment provides; CI calls
+# it once without failpoints and once with fault injection, and the
+# contract must hold either way.
+#
+# Usage: scripts/serve_chaos_gate.sh [requests-per-client]
+
+set -euo pipefail
+
+REQUESTS="${1:-10}"
+CACHE=$(mktemp -d)
+OUT=$(mktemp)
+ERR=$(mktemp)
+trap 'rm -rf "$CACHE" "$OUT" "$ERR"' EXIT
+
+echo "chaos gate: MDL_FAILPOINTS='${MDL_FAILPOINTS:-}' cache=$CACHE"
+
+cargo run --release -p mdl-serve --bin mdl-serve -- \
+  --addr 127.0.0.1:0 --cache-dir "$CACHE" --metrics > "$OUT" 2> "$ERR" &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q 'listening on' "$OUT" 2>/dev/null && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "chaos gate: daemon died during startup" >&2
+    cat "$ERR" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+ADDR=$(sed -n 's/^mdl-serve: listening on //p' "$OUT")
+if [ -z "$ADDR" ]; then
+  echo "chaos gate: daemon never reported its address" >&2
+  cat "$ERR" >&2
+  exit 1
+fi
+echo "chaos gate: daemon up on $ADDR (pid $SERVE_PID)"
+
+# The bench client must complete against the (possibly fault-injected)
+# daemon — its own smoke-less mode asserts nothing about latency, just
+# that every request terminates. Client-side failpoints would corrupt
+# the drive, so the client runs clean.
+MDL_FAILPOINTS='' cargo run --release -p mdl-bench --bin serve -- \
+  --addr "$ADDR" --requests "$REQUESTS"
+
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+echo "chaos gate: daemon exit status $STATUS"
+test "$STATUS" -eq 0
+
+grep -q 'drained cleanly' "$ERR"
+
+DEBRIS=$(find "$CACHE" \( -name '*.lock' -o -name '*.tmp.*' \) | wc -l)
+echo "chaos gate: cache debris files: $DEBRIS"
+test "$DEBRIS" -eq 0
+
+echo "chaos gate: OK"
