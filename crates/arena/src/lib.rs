@@ -1,0 +1,93 @@
+//! Index-based arena primitives shared by `mdl-mdd`, `mdl-md` and
+//! `mdl-store`.
+//!
+//! The decision-diagram crates store their nodes as **typed slabs**:
+//! contiguous `u32`/`u64`/`f64` arrays, one per level, addressed by node
+//! index instead of by pointer. This crate provides the three pieces that
+//! make those slabs persistable without a decode step:
+//!
+//! * [`Slab<T>`] — a contiguous array that is either owned (a `Vec<T>`)
+//!   or a zero-copy view into an [`Mapping`] (an `mmap(2)`-backed
+//!   read-only region). Both deref to `&[T]`; consumers cannot tell the
+//!   difference.
+//! * [`Mapping`] — a read-only memory mapping of a whole file, created
+//!   with raw `libc`-free FFI (the same idiom as `mdl-serve`'s signal
+//!   handler). Dropped mappings are unmapped; clones share the region via
+//!   `Arc`.
+//! * [`ImageWriter`] / [`ImageView`] — a tiny fixed-endian section
+//!   format: a directory of `(tag, element kind, count, offset)` entries
+//!   followed by 8-byte-aligned section bodies. The payload written by
+//!   [`ImageWriter`] *is* the in-memory slab layout (little-endian), so a
+//!   little-endian reader can borrow sections in place; any reader can
+//!   copy-decode them.
+//!
+//! All `unsafe` in the workspace's arena path is confined to this crate
+//! (the mapping FFI and the mapped-slab views); `mdl-mdd` and `mdl-md`
+//! keep `#![forbid(unsafe_code)]`.
+//!
+//! # Safety argument for mapped slabs
+//!
+//! A mapped slab is only ever constructed over a region that (a) was
+//! mapped `PROT_READ` / `MAP_SHARED` from a file the store has already
+//! checksum-validated, (b) is kept alive by the `Arc<Mapping>` stored in
+//! the slab itself, and (c) is verified to *contain* the requested byte
+//! range and to be properly aligned for the element type. The store's
+//! write discipline (temp file + `rename(2)`, never in-place truncation)
+//! means the mapped inode's bytes are immutable for the lifetime of the
+//! mapping. See DESIGN.md §17 for the full argument.
+
+#![deny(missing_docs)]
+
+mod image;
+mod mmap;
+mod slab;
+
+pub use image::{ImageView, ImageWriter, SectionElem, SlabSource};
+pub use mmap::Mapping;
+pub use slab::{Pod, Slab};
+
+use std::fmt;
+
+/// Errors from arena image parsing and mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArenaError {
+    /// The image payload violates the section-directory layout.
+    Layout(String),
+    /// A requested section tag is absent from the image.
+    MissingSection(u32),
+    /// A section holds a different element kind than requested.
+    WrongElem {
+        /// The section tag.
+        tag: u32,
+        /// Element kind found in the directory.
+        found: SectionElem,
+        /// Element kind the caller asked for.
+        expected: SectionElem,
+    },
+    /// Memory mapping is unavailable or failed on this platform.
+    Unsupported(String),
+    /// An I/O failure while opening or mapping a file.
+    Io(String),
+}
+
+impl fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaError::Layout(detail) => write!(f, "malformed arena image: {detail}"),
+            ArenaError::MissingSection(tag) => write!(f, "arena image is missing section {tag}"),
+            ArenaError::WrongElem {
+                tag,
+                found,
+                expected,
+            } => write!(
+                f,
+                "arena image section {tag} holds {found:?} elements, expected {expected:?}"
+            ),
+            ArenaError::Unsupported(detail) => write!(f, "mapping unsupported: {detail}"),
+            ArenaError::Io(detail) => write!(f, "mapping I/O failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}

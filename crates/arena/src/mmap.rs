@@ -1,0 +1,171 @@
+//! Read-only whole-file memory mappings without a `libc` dependency.
+
+use crate::ArenaError;
+
+/// A read-only `mmap(2)` of an entire file.
+///
+/// The mapping is page-aligned (the kernel guarantees it), shared
+/// (`MAP_SHARED`) and read-only (`PROT_READ`); it is unmapped on drop.
+/// Share it across threads and consumers via `Arc<Mapping>` — the slabs
+/// built over a mapping hold such an `Arc`, so the region outlives every
+/// view into it.
+///
+/// On non-Unix platforms [`Mapping::open`] returns
+/// [`ArenaError::Unsupported`]; callers fall back to copy-decoding.
+#[derive(Debug)]
+pub struct Mapping {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the region is immutable for the lifetime of the mapping (the
+// file is opened read-only, mapped PROT_READ, and the store never
+// truncates or rewrites a published artifact in place — replacement goes
+// through rename(2), which leaves the mapped inode untouched). Shared
+// read-only memory is safe to access from any thread.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps the file at `path` read-only in its entirety.
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaError::Io`] when the file cannot be opened, is empty, or
+    /// the mapping fails; [`ArenaError::Unsupported`] off Unix.
+    pub fn open(path: &std::path::Path) -> Result<Mapping, ArenaError> {
+        imp::open(path)
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: `ptr` points at `len` readable bytes for the lifetime
+        // of `self` (see `Send`/`Sync` justification above).
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty (never true for a successful open).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        imp::unmap(self.ptr, self.len);
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    //! The raw mmap binding: `mmap(2)`/`munmap(2)` are in every
+    //! Linux/macOS libc that std already links; no crate dependency
+    //! needed. The file descriptor comes from `std::fs::File`, so only
+    //! the two mapping calls are foreign.
+    #![allow(unsafe_code)]
+
+    use std::os::unix::io::AsRawFd;
+
+    use super::Mapping;
+    use crate::ArenaError;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_SHARED: i32 = 1;
+
+    pub fn open(path: &std::path::Path) -> Result<Mapping, ArenaError> {
+        let io = |e: std::io::Error| ArenaError::Io(format!("{}: {e}", path.display()));
+        let file = std::fs::File::open(path).map_err(io)?;
+        let len = file.metadata().map_err(io)?.len();
+        if len == 0 {
+            return Err(ArenaError::Io(format!("{}: empty file", path.display())));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| ArenaError::Io(format!("{}: file exceeds address space", path.display())))?;
+        // SAFETY: fd is a valid open descriptor; len is non-zero; a
+        // read-only shared mapping of a regular file has no aliasing
+        // hazards. MAP_FAILED is (usize::MAX as *mut u8).
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as usize == usize::MAX {
+            return Err(ArenaError::Io(format!("{}: mmap failed", path.display())));
+        }
+        // The descriptor can close now: the mapping keeps the inode alive.
+        drop(file);
+        Ok(Mapping { ptr, len })
+    }
+
+    pub fn unmap(ptr: *const u8, len: usize) {
+        // SAFETY: `ptr`/`len` are exactly what mmap returned; unmapping
+        // once on drop cannot race any access (drop requires exclusive
+        // ownership of the last reference).
+        unsafe {
+            munmap(ptr as *mut u8, len);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::Mapping;
+    use crate::ArenaError;
+
+    pub fn open(_path: &std::path::Path) -> Result<Mapping, ArenaError> {
+        Err(ArenaError::Unsupported(
+            "mmap is only wired up on Unix; use the copy-decode path".into(),
+        ))
+    }
+
+    pub fn unmap(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_whole_file_and_reads_back() {
+        let path = std::env::temp_dir().join(format!("mdl-arena-mmap-{}", std::process::id()));
+        std::fs::write(&path, b"hello mapping").unwrap();
+        let m = Mapping::open(&path).unwrap();
+        assert_eq!(m.bytes(), b"hello mapping");
+        assert_eq!(m.len(), 13);
+        assert!(!m.is_empty());
+        drop(m);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_and_empty_files_error() {
+        let missing = std::path::Path::new("/nonexistent/mdl-arena-test");
+        assert!(matches!(Mapping::open(missing), Err(ArenaError::Io(_))));
+        let path = std::env::temp_dir().join(format!("mdl-arena-empty-{}", std::process::id()));
+        std::fs::write(&path, b"").unwrap();
+        assert!(matches!(Mapping::open(&path), Err(ArenaError::Io(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+}

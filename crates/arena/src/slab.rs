@@ -1,0 +1,273 @@
+//! [`Slab<T>`]: owned-or-mapped contiguous typed storage.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::Mapping;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f64 {}
+}
+
+/// Plain-old-data element types a [`Slab`] can hold: fixed-width numeric
+/// types whose little-endian byte image is their storage format. Sealed —
+/// exactly `u32`, `u64` and `f64`.
+pub trait Pod: sealed::Sealed + Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Element width in bytes.
+    const WIDTH: usize;
+
+    /// Appends the slice's little-endian byte image to `out`.
+    fn write_le(values: &[Self], out: &mut Vec<u8>);
+
+    /// Decodes a little-endian byte image (length a multiple of
+    /// [`Pod::WIDTH`]) into owned values.
+    fn read_le(bytes: &[u8]) -> Vec<Self>;
+}
+
+macro_rules! impl_pod {
+    ($t:ty, $w:expr) => {
+        impl Pod for $t {
+            const WIDTH: usize = $w;
+
+            fn write_le(values: &[Self], out: &mut Vec<u8>) {
+                if cfg!(target_endian = "little") {
+                    // One memcpy: the native image is the wire image.
+                    out.reserve(values.len() * $w);
+                    for v in values {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                } else {
+                    for v in values {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+
+            fn read_le(bytes: &[u8]) -> Vec<Self> {
+                debug_assert_eq!(bytes.len() % $w, 0);
+                bytes
+                    .chunks_exact($w)
+                    .map(|c| <$t>::from_le_bytes(c.try_into().expect("exact chunk")))
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_pod!(u32, 4);
+impl_pod!(u64, 8);
+impl_pod!(f64, 8);
+
+/// Contiguous typed storage that is either owned or a zero-copy view
+/// into a shared read-only [`Mapping`]. Derefs to `&[T]` either way, so
+/// consumers index it exactly like a `Vec<T>`.
+pub struct Slab<T: Pod>(Repr<T>);
+
+enum Repr<T: Pod> {
+    Owned(Vec<T>),
+    Mapped {
+        /// Keeps the region alive for as long as the view exists.
+        region: Arc<Mapping>,
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+// SAFETY: the mapped variant points into an immutable `MAP_SHARED`
+// read-only region owned (shared) via the Arc; see `Mapping`'s
+// `Send`/`Sync` justification.
+unsafe impl<T: Pod> Send for Slab<T> {}
+unsafe impl<T: Pod> Sync for Slab<T> {}
+
+impl<T: Pod> Slab<T> {
+    /// An empty owned slab.
+    pub fn new() -> Self {
+        Slab(Repr::Owned(Vec::new()))
+    }
+
+    /// Wraps a byte range of `region` as a typed view **without
+    /// copying**.
+    ///
+    /// `bytes` must be a subslice of `region.bytes()` (checked), with a
+    /// length that is a multiple of the element width (checked) and a
+    /// properly aligned start (checked). Only meaningful on little-endian
+    /// targets — callers gate on endianness and fall back to
+    /// [`Slab::from`] + [`Pod::read_le`] otherwise.
+    ///
+    /// Returns `None` when any check fails; this is a fallback signal,
+    /// not an error.
+    pub fn from_mapped(region: &Arc<Mapping>, bytes: &[u8]) -> Option<Self> {
+        if !cfg!(target_endian = "little") {
+            return None;
+        }
+        let region_range = region.bytes().as_ptr_range();
+        let range = bytes.as_ptr_range();
+        let contained = range.start >= region_range.start && range.end <= region_range.end;
+        if !contained || bytes.len() % T::WIDTH != 0 {
+            return None;
+        }
+        let ptr = bytes.as_ptr();
+        if (ptr as usize) % std::mem::align_of::<T>() != 0 {
+            return None;
+        }
+        Some(Slab(Repr::Mapped {
+            region: Arc::clone(region),
+            ptr: ptr.cast::<T>(),
+            len: bytes.len() / T::WIDTH,
+        }))
+    }
+
+    /// Whether the slab borrows a mapping (as opposed to owning a `Vec`).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.0, Repr::Mapped { .. })
+    }
+
+    /// The contents as an owned `Vec`, copying only if mapped.
+    pub fn into_vec(self) -> Vec<T> {
+        match self.0 {
+            Repr::Owned(v) => v,
+            Repr::Mapped { .. } => self.as_slice().to_vec(),
+        }
+    }
+
+    /// The contents as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.0 {
+            Repr::Owned(v) => v.as_slice(),
+            Repr::Mapped { ptr, len, .. } => {
+                // SAFETY: constructed only by `from_mapped`, which checked
+                // containment, alignment and width; the region is alive
+                // via the Arc.
+                #[allow(unsafe_code)]
+                unsafe {
+                    std::slice::from_raw_parts(*ptr, *len)
+                }
+            }
+        }
+    }
+
+    /// Heap bytes owned by this slab (zero when mapped — the mapping is
+    /// shared and accounted once at the store layer).
+    pub fn owned_bytes(&self) -> usize {
+        match &self.0 {
+            Repr::Owned(v) => v.len() * T::WIDTH,
+            Repr::Mapped { .. } => 0,
+        }
+    }
+}
+
+impl<T: Pod> Deref for Slab<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Slab<T> {
+    fn from(v: Vec<T>) -> Self {
+        Slab(Repr::Owned(v))
+    }
+}
+
+impl<T: Pod> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::new()
+    }
+}
+
+impl<T: Pod> Clone for Slab<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            Repr::Owned(v) => Slab(Repr::Owned(v.clone())),
+            Repr::Mapped { region, ptr, len } => Slab(Repr::Mapped {
+                region: Arc::clone(region),
+                ptr: *ptr,
+                len: *len,
+            }),
+        }
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slab")
+            .field("mapped", &self.is_mapped())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T: Pod> PartialEq for Slab<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_slab_behaves_like_a_vec() {
+        let s: Slab<u32> = vec![1, 2, 3].into();
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_mapped());
+        assert_eq!(s.owned_bytes(), 12);
+        let t = s.clone();
+        assert_eq!(s, t);
+        assert_eq!(t.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pod_round_trips_le() {
+        let vals = [1.5f64, -0.0, f64::MIN_POSITIVE];
+        let mut bytes = Vec::new();
+        f64::write_le(&vals, &mut bytes);
+        assert_eq!(bytes.len(), 24);
+        let back = f64::read_le(&bytes);
+        assert_eq!(back.len(), 3);
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mapped_slab_views_file_bytes() {
+        let path = std::env::temp_dir().join(format!("mdl-arena-slab-{}", std::process::id()));
+        let mut bytes = Vec::new();
+        u64::write_le(&[7, 8, 9], &mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        let region = Arc::new(Mapping::open(&path).unwrap());
+        let slab = Slab::<u64>::from_mapped(&region, region.bytes()).unwrap();
+        assert!(slab.is_mapped());
+        assert_eq!(&slab[..], &[7, 8, 9]);
+        assert_eq!(slab.owned_bytes(), 0);
+        // A clone shares the region; dropping the original keeps it valid.
+        let keep = slab.clone();
+        drop(slab);
+        drop(region);
+        assert_eq!(&keep[..], &[7, 8, 9]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn from_mapped_rejects_foreign_and_misaligned_slices() {
+        let path = std::env::temp_dir().join(format!("mdl-arena-slab2-{}", std::process::id()));
+        std::fs::write(&path, vec![0u8; 32]).unwrap();
+        let region = Arc::new(Mapping::open(&path).unwrap());
+        let foreign = vec![0u8; 16];
+        assert!(Slab::<u32>::from_mapped(&region, &foreign).is_none());
+        // Length not a multiple of the width.
+        assert!(Slab::<u64>::from_mapped(&region, &region.bytes()[..12]).is_none());
+        // Misaligned start (mappings are page-aligned, +1 is odd).
+        assert!(Slab::<u32>::from_mapped(&region, &region.bytes()[1..17]).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -32,7 +32,7 @@ fn bench_keys(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("formal_sum", copies), &copies, |b, _| {
             b.iter(|| {
                 comp_lumping_level(
-                    md.nodes_at(0),
+                    &md.level_nodes(0),
                     Partition::single_class(n),
                     LumpKind::Ordinary,
                     Tolerance::default(),

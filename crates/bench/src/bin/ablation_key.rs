@@ -27,7 +27,7 @@ fn compare(md: &Md, level: usize, name: &str) -> String {
 
     let t0 = Instant::now();
     let (formal, _) = comp_lumping_level(
-        md.nodes_at(level),
+        &md.level_nodes(level),
         initial.clone(),
         LumpKind::Ordinary,
         Tolerance::default(),

@@ -40,6 +40,7 @@ use mdl_linalg::RateMatrix;
 use mdl_md::CompiledMdMatrix;
 use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
 use mdl_obs::json::{self, Json, JsonObject};
+use mdl_store::{KernelImage, Store};
 
 /// Allocation tracking needs the counting wrapper installed as the
 /// global allocator; it stays dormant (one relaxed load per call) until
@@ -248,6 +249,46 @@ fn run_measurements(cfg: &Config) -> Vec<Metric> {
         stationary_power(&lumped_compiled, &SolverOptions::default()).expect("lumped tandem solves")
     }));
 
+    // Warm-open cost: re-opening the persisted kernel for a new run.
+    // `warm_open.decode` is the classic path (read, checksum, copy every
+    // slab); `warm_open.map` is the mmap(2) path (first open validates
+    // and enters the process-wide mapping cache, every open after that
+    // borrows the shared region). Both rows open the same `.mdlm` file.
+    let warm_dir = std::env::temp_dir().join(format!("mdl-bench-warmopen-{}", std::process::id()));
+    std::fs::remove_dir_all(&warm_dir).ok();
+    let warm_store = Store::open(&warm_dir).expect("warm-open store opens");
+    const WARM_KEY: u64 = 0xbead;
+    warm_store
+        .save(WARM_KEY, &KernelImage(compiled.to_parts()))
+        .expect("kernel image saves");
+    const OPENS: usize = 8;
+    // One cold map up front: entering the mapping cache (the only FNV
+    // pass the file will ever get) is not the warm path being measured.
+    if cfg!(unix) {
+        let _: Option<KernelImage> = warm_store.map(WARM_KEY).expect("cold map succeeds");
+    }
+    metrics.push(measure("warm_open.decode", reps, || {
+        for _ in 0..OPENS {
+            let img: KernelImage = warm_store
+                .load(WARM_KEY)
+                .expect("decode open succeeds")
+                .expect("kernel image present");
+            std::hint::black_box(&img);
+        }
+    }));
+    if cfg!(unix) {
+        metrics.push(measure("warm_open.map", reps, || {
+            for _ in 0..OPENS {
+                let img: KernelImage = warm_store
+                    .map(WARM_KEY)
+                    .expect("mapped open succeeds")
+                    .expect("kernel image present");
+                std::hint::black_box(&img);
+            }
+        }));
+    }
+    std::fs::remove_dir_all(&warm_dir).ok();
+
     // Observability no-op overheads: the disabled fast paths the whole
     // codebase leans on. Totals over 1M operations.
     const OPS: u64 = 1_000_000;
@@ -413,8 +454,35 @@ fn main() {
     println!("\nbaseline written to {out_path}");
     emit_jsonl(&lines);
 
+    // Warm-open speedup: the mapped path must beat the decode path by a
+    // wide margin — that is the whole point of shipping kernel images.
+    // Printed always; enforced (>= 10x) whenever the gate runs.
+    let warm_speedup = {
+        let wall = |name: &str| metrics.iter().find(|m| m.name == name).map(|m| m.wall_ns);
+        match (wall("warm_open.decode"), wall("warm_open.map")) {
+            (Some(decode), Some(map)) if map > 0 => {
+                let ratio = decode as f64 / map as f64;
+                println!("warm_open: map {ratio:.1}x faster than decode");
+                Some(ratio)
+            }
+            _ => None,
+        }
+    };
+
     if let Some(baseline) = &cfg.check {
-        match check(&cfg, &metrics, baseline) {
+        let gate = check(&cfg, &metrics, baseline).map(|mut failures| {
+            // The mapped warm open must beat the decode path by a wide
+            // margin — the arena-image artifacts exist for this.
+            if let Some(ratio) = warm_speedup {
+                if ratio < 10.0 {
+                    failures.push(format!(
+                        "warm_open: map only {ratio:.1}x faster than decode (< 10x)"
+                    ));
+                }
+            }
+            failures
+        });
+        match gate {
             Ok(failures) if failures.is_empty() => {
                 println!("gate OK: no regressions vs {baseline}");
             }

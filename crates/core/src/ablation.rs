@@ -40,11 +40,11 @@ fn expand_rec(md: &Md, node: MdNodeId, memo: &mut HashMap<MdNodeId, CsrMatrix>) 
     let below: usize = md.sizes()[level + 1..].iter().product();
     let n = size * below;
     let mut out = CooMatrix::new(n, n);
-    for e in md.node(node).entries() {
-        for t in &e.terms {
+    for e in md.node_ref(node).entries() {
+        for t in e.terms() {
             match t.child {
                 ChildId::Terminal => {
-                    out.push(e.row as usize, e.col as usize, t.coef);
+                    out.push(e.row() as usize, e.col() as usize, t.coef);
                 }
                 ChildId::Node(c) => {
                     let child = expand_rec(
@@ -57,8 +57,8 @@ fn expand_rec(md: &Md, node: MdNodeId, memo: &mut HashMap<MdNodeId, CsrMatrix>) 
                     );
                     for (r, cc, v) in child.iter() {
                         out.push(
-                            e.row as usize * below + r,
-                            e.col as usize * below + cc,
+                            e.row() as usize * below + r,
+                            e.col() as usize * below + cc,
                             t.coef * v,
                         );
                     }
@@ -90,9 +90,9 @@ impl<'a> ExpandedSplitter<'a> {
         let mut expanded = HashMap::new();
         if level + 1 < md.num_levels() {
             let mut memo = HashMap::new();
-            for node in md.nodes_at(level) {
+            for node in md.level_node_refs(level) {
                 for e in node.entries() {
-                    for t in &e.terms {
+                    for t in e.terms() {
                         if let ChildId::Node(c) = t.child {
                             expanded.entry(c).or_insert_with(|| {
                                 expand_rec(
@@ -157,14 +157,14 @@ impl Splitter for ExpandedSplitter<'_> {
     fn keys(&mut self, class: &[StateId], out: &mut Vec<(StateId, Self::Key)>) {
         // (state, node) -> child -> coefficient sum.
         let mut acc: HashMap<StateId, NodeSums> = HashMap::new();
-        for (ni, node) in self.md.nodes_at(self.level).iter().enumerate() {
+        for (ni, node) in self.md.level_node_refs(self.level).enumerate() {
             match self.kind {
                 LumpKind::Ordinary => {
                     for e in node.entries() {
-                        if class.binary_search(&(e.col as StateId)).is_err() {
+                        if class.binary_search(&(e.col() as StateId)).is_err() {
                             continue;
                         }
-                        let rows = acc.entry(e.row as StateId).or_default();
+                        let rows = acc.entry(e.row() as StateId).or_default();
                         let sums = match rows.last_mut() {
                             Some((n, s)) if *n == ni as u32 => s,
                             _ => {
@@ -172,7 +172,7 @@ impl Splitter for ExpandedSplitter<'_> {
                                 &mut rows.last_mut().expect("just pushed").1
                             }
                         };
-                        for t in &e.terms {
+                        for t in e.terms() {
                             *sums.entry(t.child).or_insert(0.0) += t.coef;
                         }
                     }
@@ -180,7 +180,7 @@ impl Splitter for ExpandedSplitter<'_> {
                 LumpKind::Exact => {
                     for &row in class {
                         for e in node.row(row as u32) {
-                            let cols = acc.entry(e.col as StateId).or_default();
+                            let cols = acc.entry(e.col() as StateId).or_default();
                             let sums = match cols.last_mut() {
                                 Some((n, s)) if *n == ni as u32 => s,
                                 _ => {
@@ -188,7 +188,7 @@ impl Splitter for ExpandedSplitter<'_> {
                                     &mut cols.last_mut().expect("just pushed").1
                                 }
                             };
-                            for t in &e.terms {
+                            for t in e.terms() {
                                 *sums.entry(t.child).or_insert(0.0) += t.coef;
                             }
                         }
@@ -283,7 +283,7 @@ mod tests {
         let md = expr.to_md().unwrap();
 
         let (formal, _) = comp_lumping_level(
-            md.nodes_at(0),
+            &md.level_nodes(0),
             Partition::single_class(3),
             LumpKind::Ordinary,
             Tolerance::Exact,
@@ -335,7 +335,7 @@ mod tests {
         let md = b.finish(root).unwrap();
 
         let (formal, _) = comp_lumping_level(
-            md.nodes_at(0),
+            &md.level_nodes(0),
             Partition::single_class(3),
             LumpKind::Ordinary,
             Tolerance::Exact,

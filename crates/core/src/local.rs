@@ -131,7 +131,7 @@ mod tests {
     fn combined_finds_symmetry() {
         let md = symmetric_level();
         let (p, _) = comp_lumping_level(
-            md.nodes_at(0),
+            &md.level_nodes(0),
             Partition::single_class(4),
             LumpKind::Ordinary,
             Tolerance::Exact,
@@ -150,13 +150,13 @@ mod tests {
         let md = symmetric_level();
         for kind in [LumpKind::Ordinary, LumpKind::Exact] {
             let (a, _) = comp_lumping_level(
-                md.nodes_at(0),
+                &md.level_nodes(0),
                 Partition::single_class(4),
                 kind,
                 Tolerance::Exact,
             );
             let (b, _) = comp_lumping_level_per_node(
-                md.nodes_at(0),
+                &md.level_nodes(0),
                 Partition::single_class(4),
                 kind,
                 Tolerance::Exact,
@@ -181,7 +181,7 @@ mod tests {
             )
             .unwrap();
         let md = builder.finish(n).unwrap();
-        md.node(md.root()).clone()
+        md.node_ref(md.root()).to_node()
     }
 
     #[test]
@@ -234,7 +234,7 @@ mod tests {
 
         let focal = 1;
         let (direct, _) = comp_lumping_level(
-            md.nodes_at(focal),
+            &md.level_nodes(focal),
             Partition::single_class(4),
             LumpKind::Ordinary,
             Tolerance::Exact,
@@ -242,7 +242,7 @@ mod tests {
 
         let view = md.three_level_view(focal).unwrap();
         let (viewed, _) = comp_lumping_level(
-            view.nodes_at(1),
+            &view.level_nodes(1),
             Partition::single_class(4),
             LumpKind::Ordinary,
             Tolerance::Exact,
@@ -264,7 +264,7 @@ mod tests {
     fn initial_partition_limits_coarseness() {
         let md = symmetric_level();
         let init = Partition::from_classes(vec![vec![0, 3], vec![1], vec![2]]);
-        let (p, _) = comp_lumping_level(md.nodes_at(0), init, LumpKind::Ordinary, Tolerance::Exact);
+        let (p, _) = comp_lumping_level(&md.level_nodes(0), init, LumpKind::Ordinary, Tolerance::Exact);
         assert!(!p.same_class(1, 2));
     }
 }

@@ -470,11 +470,12 @@ fn run_single(
             continue;
         }
         let p_ini = p_ini.expect("unseeded level has an initial partition");
+        let level_nodes = md.level_nodes(level);
         let (partition, refinement) = if options.per_node_fixed_point {
-            comp_lumping_level_per_node(md.nodes_at(level), p_ini, kind, options.tolerance)
+            comp_lumping_level_per_node(&level_nodes, p_ini, kind, options.tolerance)
         } else {
             comp_lumping_level_pooled(
-                md.nodes_at(level),
+                &level_nodes,
                 p_ini,
                 kind,
                 options.tolerance,
@@ -508,7 +509,7 @@ fn run_single(
     let mut lumped_md = md.clone();
     for (level, partition) in partitions.iter().enumerate() {
         let nodes: Vec<MdNode> = md
-            .nodes_at(level)
+            .level_nodes(level)
             .iter()
             .map(|n| match kind {
                 LumpKind::Ordinary => lump_node_ordinary(n, partition),
@@ -781,7 +782,7 @@ fn initial_partition(mrp: &MdMrp, level: usize, kind: LumpKind, tolerance: Toler
             // Per-(node, child) local row sums r_{n_i, n_{i+1}}(s, S_i).
             let zero = tolerance.key(0.0);
             let mut sums: Vec<BTreeMap<(u32, mdl_md::ChildId), f64>> = vec![BTreeMap::new(); size];
-            for (ni, node) in md.nodes_at(level).iter().enumerate() {
+            for (ni, node) in md.level_nodes(level).iter().enumerate() {
                 for e in node.entries() {
                     let row = &mut sums[e.row as usize];
                     for t in &e.terms {

@@ -49,7 +49,9 @@ use mdl_md::{CompiledMdMatrix, CompiledParts, Md, MdMatrix};
 use mdl_mdd::Mdd;
 use mdl_obs::Budget;
 use mdl_partition::{Partition, RefinementStats};
-use mdl_store::{Artifact, ByteReader, ByteWriter, Checkpoint, Fnv1a, Store, StoreError};
+use mdl_store::{
+    Artifact, ByteReader, ByteWriter, Checkpoint, Codec, Fnv1a, KernelImage, Store, StoreError,
+};
 
 use crate::decomp::{Combiner, DecomposableVector};
 use crate::lump::{LevelLumpStats, LumpRequest, LumpResult, LumpStats};
@@ -239,6 +241,13 @@ impl Pipeline {
     /// the serialized [`CompiledParts`] are thread-independent and the
     /// per-thread plans are rebuilt on load.
     ///
+    /// Restore prefers the mapped kernel image ([`Store::map`], slabs
+    /// borrowed zero-copy from a shared `mmap(2)` region), then falls
+    /// back to copy-decoding the image, then to the classic
+    /// [`CompiledParts`] artifact — so concurrent workers and repeat runs
+    /// share one physical mapping while older stores keep working. A
+    /// compute persists both forms.
+    ///
     /// # Errors
     ///
     /// Compile interruption (budget), plus store write failures.
@@ -251,10 +260,11 @@ impl Pipeline {
         let key = stage_key("kernel", input.key, |_| {});
         let mut span = mdl_obs::span("pipeline.stage").with("stage", "compile");
         span.trace_label("pipeline.compile");
-        if let Some(parts) = self.fetch::<CompiledParts>(key) {
+        if let Some((parts, source)) = self.fetch_kernel_parts(key) {
             match CompiledMdMatrix::from_parts(parts, threads) {
                 Ok(kernel) => {
                     span.record("cache", "hit");
+                    span.record("source", source);
                     span.finish();
                     return Ok(Staged {
                         value: Arc::new(kernel),
@@ -268,7 +278,9 @@ impl Pipeline {
             }
         }
         let compiled = CompiledMdMatrix::compile_budgeted(input.value.matrix(), threads, budget)?;
-        self.persist(key, &compiled.to_parts())?;
+        let parts = compiled.to_parts();
+        self.persist(key, &parts)?;
+        self.persist(key, &KernelImage(parts))?;
         span.record("cache", "miss");
         span.finish();
         Ok(Staged {
@@ -276,6 +288,24 @@ impl Pipeline {
             key,
             cached: false,
         })
+    }
+
+    /// Restores compiled-kernel parts by the cheapest available path:
+    /// mapped image → copy-decoded image → classic parts artifact.
+    /// Returns the parts and a label naming the path taken (for the
+    /// stage span). Mapping errors are *not* counted invalid here — the
+    /// copy-decode fallback re-reads the same file and classifies the
+    /// failure (`store.invalid` via [`Pipeline::fetch`]) exactly once.
+    fn fetch_kernel_parts(&self, key: u64) -> Option<(CompiledParts, &'static str)> {
+        let store = self.store.as_ref()?;
+        if let Ok(Some(img)) = store.map::<KernelImage>(key) {
+            return Some((img.into_inner(), "map"));
+        }
+        if let Some(img) = self.fetch::<KernelImage>(key) {
+            return Some((img.into_inner(), "decode"));
+        }
+        self.fetch::<CompiledParts>(key)
+            .map(|parts| (parts, "classic"))
     }
 
     /// The cache key a [`SolveRequest`] run against the MRP under
@@ -560,11 +590,11 @@ fn record_memory(mrp: &MdMrp, md_counter: &'static str, mdd_counter: &'static st
     mdl_obs::counter(mdd_counter).add(mrp.matrix().reach().memory_bytes() as u64);
 }
 
-impl Artifact for DecomposableVector {
+impl Codec for DecomposableVector {
     const KIND: u16 = 100;
     const NAME: &'static str = "decvec";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         // Custom combiners write an unknown tag on purpose: the closure
         // is not serializable, and a file that cannot round-trip must
         // not decode as something else. The pipeline never saves one.
@@ -579,7 +609,7 @@ impl Artifact for DecomposableVector {
         }
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> std::result::Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> std::result::Result<Self, StoreError> {
         let combiner = match r.u8()? {
             0 => Combiner::Sum,
             1 => Combiner::Product,
@@ -602,11 +632,11 @@ struct LumpMeta {
     exact_exit_rates: Option<Vec<f64>>,
 }
 
-impl Artifact for LumpMeta {
+impl Codec for LumpMeta {
     const KIND: u16 = 101;
     const NAME: &'static str = "lumpmeta";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.usize(self.stats.per_level.len());
         for l in &self.stats.per_level {
             w.usize(l.level);
@@ -633,7 +663,7 @@ impl Artifact for LumpMeta {
         }
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> std::result::Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> std::result::Result<Self, StoreError> {
         let levels = r.seq_len(8 * 6 + 8)?;
         let mut per_level = Vec::with_capacity(levels);
         for _ in 0..levels {

@@ -390,7 +390,7 @@ mod tests {
             .collect();
         let idx = b.intern_node(0, remapped).unwrap();
         let md = b.finish(idx).unwrap();
-        md.node(md.root()).clone()
+        md.node_ref(md.root()).to_node()
     }
 
     fn try_keys_of(
@@ -467,7 +467,7 @@ mod tests {
         }
         let idx = b.intern_node(0, entries).unwrap();
         let md = b.finish(idx).unwrap();
-        md.node(md.root()).clone()
+        md.node_ref(md.root()).to_node()
     }
 
     #[test]

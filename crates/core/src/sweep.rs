@@ -390,7 +390,7 @@ fn level_keys(mrp: &MdMrp, request: &LumpRequest) -> Vec<u64> {
             for &v in mrp.initial().level_values(level) {
                 h.write_f64(v);
             }
-            let nodes = md.nodes_at(level);
+            let nodes = md.level_nodes(level);
             h.write_usize(nodes.len());
             for node in nodes {
                 h.write_usize(node.entries().len());

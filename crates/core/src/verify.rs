@@ -264,7 +264,7 @@ mod tests {
         let last = md.num_levels() - 1;
         let size = md.sizes()[last];
         let tampered: Vec<MdNode> = md
-            .nodes_at(last)
+            .level_nodes(last)
             .iter()
             .map(|n| {
                 MdNode::new(

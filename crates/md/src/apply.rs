@@ -82,22 +82,22 @@ impl MdMatrix {
     ) {
         let level = md_node.level as usize;
         let last = level == self.md.num_levels() - 1;
-        for entry in self.md.node(md_node).entries() {
-            let (s, s2) = (entry.row as usize, entry.col as usize);
+        for entry in self.md.node_ref(md_node).entries() {
+            let (s, s2) = (entry.row() as usize, entry.col() as usize);
             if !self.reach.is_present(row_n, s) || !self.reach.is_present(col_n, s2) {
                 continue;
             }
             let ro = row_off + self.reach.offset(row_n, s);
             let co = col_off + self.reach.offset(col_n, s2);
             if last {
-                for t in &entry.terms {
+                for t in entry.terms() {
                     debug_assert_eq!(t.child, ChildId::Terminal);
                     f(ro, co, scale * t.coef);
                 }
             } else {
                 let rc = self.reach.child(row_n, s).expect("present child");
                 let cc = self.reach.child(col_n, s2).expect("present child");
-                for t in &entry.terms {
+                for t in entry.terms() {
                     let ChildId::Node(n) = t.child else {
                         unreachable!("terminal above last level")
                     };
@@ -148,17 +148,17 @@ impl MdMatrix {
         }
         let last = level == self.md.num_levels() - 1;
         let mut total = 0u64;
-        for entry in self.md.node(md_node).entries() {
-            let (s, s2) = (entry.row as usize, entry.col as usize);
+        for entry in self.md.node_ref(md_node).entries() {
+            let (s, s2) = (entry.row() as usize, entry.col() as usize);
             if !self.reach.is_present(row_n, s) || !self.reach.is_present(col_n, s2) {
                 continue;
             }
             if last {
-                total += entry.terms.len() as u64;
+                total += entry.num_terms() as u64;
             } else {
                 let rc = self.reach.child(row_n, s).expect("present child");
                 let cc = self.reach.child(col_n, s2).expect("present child");
-                for t in &entry.terms {
+                for t in entry.terms() {
                     let ChildId::Node(n) = t.child else {
                         unreachable!("terminal above last level")
                     };

@@ -214,10 +214,7 @@ impl MdBuilder {
             kept.sort_by_key(|&(i, _)| i);
             levels.push(kept.into_iter().map(|(_, n)| n).collect());
         }
-        Ok(Md {
-            sizes: self.sizes,
-            levels,
-        })
+        Ok(Md::pack(self.sizes, levels))
     }
 }
 
@@ -298,7 +295,7 @@ mod tests {
         let bottom = b.intern_identity(1, ChildId::Terminal).unwrap();
         let root = b.intern_identity(0, ChildId::Node(bottom)).unwrap();
         let md = b.finish(root).unwrap();
-        assert_eq!(md.node(md.root()).num_entries(), 3);
+        assert_eq!(md.node_ref(md.root()).num_entries(), 3);
     }
 
     #[test]
@@ -321,6 +318,6 @@ mod tests {
             .unwrap();
         let md = b.finish(root).unwrap();
         assert_eq!(md.num_levels(), 1);
-        assert_eq!(md.node(md.root()).num_entries(), 2);
+        assert_eq!(md.node_ref(md.root()).num_entries(), 2);
     }
 }

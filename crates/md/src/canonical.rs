@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use crate::md::{canonicalize_terms, ChildId, Md, MdNode, NodeKey, Term};
+use crate::md::{canonicalize_terms, ChildId, Md, MdNode, MdNodeId, NodeKey, Term};
 
 impl Md {
     /// Rebuilds the MD in canonical (scale-normalized) form: every node
@@ -33,26 +33,28 @@ impl Md {
 
         for level in (0..num_levels).rev() {
             let mut unique: HashMap<NodeKey, u32> = HashMap::new();
-            let mut level_map = Vec::with_capacity(self.levels[level].len());
-            for node in &self.levels[level] {
+            let mut level_map = Vec::with_capacity(self.num_nodes_at(level));
+            for i in 0..self.num_nodes_at(level) {
+                let node = self.node_ref(MdNodeId {
+                    level: level as u32,
+                    index: i as u32,
+                });
                 // Rewrite terms through the children's remapping, folding
                 // each child's scale into the arc coefficient.
                 let mut raw: Vec<(u32, u32, Vec<Term>)> = node
                     .entries()
-                    .iter()
                     .map(|e| {
                         let terms = e
-                            .terms
-                            .iter()
+                            .terms()
                             .map(|t| match t.child {
-                                ChildId::Terminal => *t,
+                                ChildId::Terminal => t,
                                 ChildId::Node(n) => {
                                     let (idx, scale) = remap[level + 1][n as usize];
                                     Term::new(t.coef * scale, ChildId::Node(idx))
                                 }
                             })
                             .collect();
-                        (e.row, e.col, terms)
+                        (e.row(), e.col(), terms)
                     })
                     .collect();
                 // Canonical scale: the first coefficient of the first
@@ -96,13 +98,7 @@ impl Md {
         }
 
         let removed = self.num_nodes() - new_levels.iter().map(Vec::len).sum::<usize>();
-        (
-            Md {
-                sizes: self.sizes.clone(),
-                levels: new_levels,
-            },
-            removed,
-        )
+        (Md::pack(self.sizes.clone(), new_levels), removed)
     }
 }
 

@@ -35,6 +35,7 @@
 use std::collections::HashMap;
 use std::time::Duration;
 
+use mdl_arena::{ImageView, ImageWriter, Slab, SlabSource};
 use mdl_linalg::RateMatrix;
 use mdl_mdd::MddNodeId;
 
@@ -46,15 +47,31 @@ use crate::MdError;
 /// was compiled for several threads (same threshold as `ParCsr`).
 const PAR_MIN_STATES: usize = 1024;
 
-/// One linearized top-level invocation: apply leaf run `leaf`, offset by
-/// `(row_base, col_base)` and scaled by `scale` (the product of the formal
-/// sum coefficients along the path, accumulated in walk order).
-#[derive(Debug, Clone, Copy)]
-struct Block {
-    row_base: u64,
-    col_base: u64,
-    scale: f64,
-    leaf: u32,
+/// Growable structure-of-arrays block list used during linearization,
+/// frozen into the [`CompiledParts`] slabs once compilation finishes. A
+/// "block" is one linearized top-level invocation: apply leaf run
+/// `leafs[b]`, offset by `(row_bases[b], col_bases[b])` and scaled by
+/// `scales[b]` (the product of the formal-sum coefficients along the path,
+/// accumulated in walk order).
+#[derive(Default)]
+struct BlockList {
+    row_bases: Vec<u64>,
+    col_bases: Vec<u64>,
+    scales: Vec<f64>,
+    leafs: Vec<u32>,
+}
+
+impl BlockList {
+    fn push(&mut self, row_base: u64, col_base: u64, scale: f64, leaf: u32) {
+        self.row_bases.push(row_base);
+        self.col_bases.push(col_base);
+        self.scales.push(scale);
+        self.leafs.push(leaf);
+    }
+
+    fn len(&self) -> usize {
+        self.leafs.len()
+    }
 }
 
 /// A deterministic schedule for one product orientation: block indices in
@@ -102,21 +119,105 @@ pub struct CompileStats {
 pub struct CompiledParts {
     /// Number of reachable states the kernel addresses.
     pub num_states: u64,
-    /// Linearized blocks as `(row_base, col_base, scale, leaf)` tuples, in
-    /// walk order.
-    pub blocks: Vec<(u64, u64, f64, u32)>,
+    /// Block output row bases, in walk order.
+    pub block_row_bases: Slab<u64>,
+    /// Block output column bases, parallel to `block_row_bases`.
+    pub block_col_bases: Slab<u64>,
+    /// Block scales (path coefficient products).
+    pub block_scales: Slab<f64>,
+    /// Block leaf-program references.
+    pub block_leafs: Slab<u32>,
     /// Leaf arena bounds: program `p` is entries `bounds[p]..bounds[p+1]`.
-    pub leaf_bounds: Vec<u32>,
+    pub leaf_bounds: Slab<u32>,
     /// Leaf-relative row offsets, parallel to `leaf_cols`/`leaf_coefs`.
-    pub leaf_rows: Vec<u32>,
+    pub leaf_rows: Slab<u32>,
     /// Leaf-relative column offsets.
-    pub leaf_cols: Vec<u32>,
+    pub leaf_cols: Slab<u32>,
     /// Leaf coefficients.
-    pub leaf_coefs: Vec<f64>,
+    pub leaf_coefs: Slab<f64>,
     /// [`CompileStats::triples_visited`] of the original compilation.
     pub triples_visited: u64,
     /// [`CompileStats::triples_compiled`] of the original compilation.
     pub triples_compiled: u64,
+}
+
+/// Kernel image section holding `[num_states, triples_visited,
+/// triples_compiled]` as `u64`.
+const TAG_KERNEL_META: u32 = 1;
+/// First array section; the eight kernel arrays occupy tags `16..=23` in
+/// [`CompiledParts`] field order.
+const TAG_KERNEL_ARRAYS: u32 = 16;
+
+impl CompiledParts {
+    /// Number of linearized blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.block_leafs.len()
+    }
+
+    /// `true` when any array borrows from a mapped artifact.
+    pub fn is_mapped(&self) -> bool {
+        self.block_row_bases.is_mapped()
+            || self.block_col_bases.is_mapped()
+            || self.block_scales.is_mapped()
+            || self.block_leafs.is_mapped()
+            || self.leaf_bounds.is_mapped()
+            || self.leaf_rows.is_mapped()
+            || self.leaf_cols.is_mapped()
+            || self.leaf_coefs.is_mapped()
+    }
+
+    /// Serializes the kernel into arena image sections: tag 1 holds
+    /// `[num_states, triples_visited, triples_compiled]`; tags `16..=23`
+    /// hold the eight arrays in declaration order.
+    pub fn write_image(&self, w: &mut ImageWriter) {
+        w.put_u64(
+            TAG_KERNEL_META,
+            &[self.num_states, self.triples_visited, self.triples_compiled],
+        );
+        w.put_u64(TAG_KERNEL_ARRAYS, &self.block_row_bases);
+        w.put_u64(TAG_KERNEL_ARRAYS + 1, &self.block_col_bases);
+        w.put_f64(TAG_KERNEL_ARRAYS + 2, &self.block_scales);
+        w.put_u32(TAG_KERNEL_ARRAYS + 3, &self.block_leafs);
+        w.put_u32(TAG_KERNEL_ARRAYS + 4, &self.leaf_bounds);
+        w.put_u32(TAG_KERNEL_ARRAYS + 5, &self.leaf_rows);
+        w.put_u32(TAG_KERNEL_ARRAYS + 6, &self.leaf_cols);
+        w.put_f64(TAG_KERNEL_ARRAYS + 7, &self.leaf_coefs);
+    }
+
+    /// Rebuilds kernel parts from sections written by
+    /// [`CompiledParts::write_image`]. With [`SlabSource::Mapped`] the
+    /// arrays borrow the mapped region zero-copy. Only section-level
+    /// structure is checked here; the full cross-array validation runs in
+    /// [`CompiledMdMatrix::from_parts`], which every consumer goes
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::Image`] on missing or mistyped sections, or a malformed
+    /// meta section.
+    pub fn read_image(view: &ImageView<'_>, source: SlabSource<'_>) -> Result<Self, MdError> {
+        let img = |e: mdl_arena::ArenaError| MdError::Image(e.to_string());
+        let meta = view.vec_u64(TAG_KERNEL_META).map_err(img)?;
+        let [num_states, triples_visited, triples_compiled] = meta[..] else {
+            return Err(MdError::Image(format!(
+                "kernel meta section has {} fields, expected 3",
+                meta.len()
+            )));
+        };
+        Ok(CompiledParts {
+            num_states,
+            block_row_bases: view.slab_u64(TAG_KERNEL_ARRAYS, source).map_err(img)?,
+            block_col_bases: view.slab_u64(TAG_KERNEL_ARRAYS + 1, source).map_err(img)?,
+            block_scales: view.slab_f64(TAG_KERNEL_ARRAYS + 2, source).map_err(img)?,
+            block_leafs: view.slab_u32(TAG_KERNEL_ARRAYS + 3, source).map_err(img)?,
+            leaf_bounds: view.slab_u32(TAG_KERNEL_ARRAYS + 4, source).map_err(img)?,
+            leaf_rows: view.slab_u32(TAG_KERNEL_ARRAYS + 5, source).map_err(img)?,
+            leaf_cols: view.slab_u32(TAG_KERNEL_ARRAYS + 6, source).map_err(img)?,
+            leaf_coefs: view.slab_f64(TAG_KERNEL_ARRAYS + 7, source).map_err(img)?,
+            triples_visited,
+            triples_compiled,
+        })
+    }
 }
 
 impl CompileStats {
@@ -206,14 +307,14 @@ impl<'a> Compiler<'a> {
         let reach = self.m.reach();
         let last = level == self.m.md().num_levels() - 1;
         let id = if last {
-            for entry in self.m.md().node(md_node).entries() {
-                let (s, s2) = (entry.row as usize, entry.col as usize);
+            for entry in self.m.md().node_ref(md_node).entries() {
+                let (s, s2) = (entry.row() as usize, entry.col() as usize);
                 if !reach.is_present(row_n, s) || !reach.is_present(col_n, s2) {
                     continue;
                 }
                 let ro = reach.offset(row_n, s);
                 let co = reach.offset(col_n, s2);
-                for t in &entry.terms {
+                for t in entry.terms() {
                     debug_assert_eq!(t.child, ChildId::Terminal);
                     self.leaf_rows.push(ro as u32);
                     self.leaf_cols.push(co as u32);
@@ -228,8 +329,8 @@ impl<'a> Compiler<'a> {
             let seg_id = self.segments[level].len() as u32;
             self.segments[level].push(Vec::new());
             let mut calls = Vec::new();
-            for entry in self.m.md().node(md_node).entries() {
-                let (s, s2) = (entry.row as usize, entry.col as usize);
+            for entry in self.m.md().node_ref(md_node).entries() {
+                let (s, s2) = (entry.row() as usize, entry.col() as usize);
                 if !reach.is_present(row_n, s) || !reach.is_present(col_n, s2) {
                     continue;
                 }
@@ -237,7 +338,7 @@ impl<'a> Compiler<'a> {
                 let d_col = reach.offset(col_n, s2);
                 let rc = reach.child(row_n, s).expect("present child");
                 let cc = reach.child(col_n, s2).expect("present child");
-                for t in &entry.terms {
+                for t in entry.terms() {
                     let ChildId::Node(n) = t.child else {
                         unreachable!("terminal above last level")
                     };
@@ -266,15 +367,10 @@ impl<'a> Compiler<'a> {
 
     /// Expands the root program into the flat block list, accumulating
     /// offsets and scales in walk order.
-    fn linearize(&self, root: u32, blocks: &mut Vec<Block>) {
+    fn linearize(&self, root: u32, blocks: &mut BlockList) {
         let levels = self.m.md().num_levels();
         if levels == 1 {
-            blocks.push(Block {
-                row_base: 0,
-                col_base: 0,
-                scale: 1.0,
-                leaf: root,
-            });
+            blocks.push(0, 0, 1.0, root);
             return;
         }
         self.expand(0, root, 0, 0, 1.0, blocks);
@@ -287,7 +383,7 @@ impl<'a> Compiler<'a> {
         row_base: u64,
         col_base: u64,
         scale: f64,
-        blocks: &mut Vec<Block>,
+        blocks: &mut BlockList,
     ) {
         let last_segment_level = level == self.m.md().num_levels() - 2;
         for call in &self.segments[level][segment as usize] {
@@ -295,12 +391,7 @@ impl<'a> Compiler<'a> {
             let co = col_base + call.d_col;
             let sc = scale * call.coef;
             if last_segment_level {
-                blocks.push(Block {
-                    row_base: ro,
-                    col_base: co,
-                    scale: sc,
-                    leaf: call.child,
-                });
+                blocks.push(ro, co, sc, call.child);
             } else {
                 self.expand(level + 1, call.child, ro, co, sc, blocks);
             }
@@ -339,11 +430,9 @@ impl<'a> Compiler<'a> {
 pub struct CompiledMdMatrix {
     num_states: usize,
     threads: usize,
-    blocks: Vec<Block>,
-    leaf_bounds: Vec<u32>,
-    leaf_rows: Vec<u32>,
-    leaf_cols: Vec<u32>,
-    leaf_coefs: Vec<f64>,
+    /// The block and leaf arrays the products read — either owned or
+    /// borrowed zero-copy from a mapped store artifact.
+    parts: CompiledParts,
     row_plan: Plan,
     col_plan: Plan,
     stats: CompileStats,
@@ -413,7 +502,7 @@ impl CompiledMdMatrix {
         let t0 = std::time::Instant::now();
 
         let mut compiler = Compiler::new(m, budget);
-        let mut blocks = Vec::new();
+        let mut blocks = BlockList::default();
         if !m.reach().is_empty() {
             let root_mdd = m.reach().root();
             let root = compiler.compile_triple(m.md().root(), root_mdd, root_mdd)?;
@@ -430,9 +519,10 @@ impl CompiledMdMatrix {
         }
 
         let flat_entries: u64 = blocks
+            .leafs
             .iter()
-            .map(|b| {
-                (compiler.leaf_bounds[b.leaf as usize + 1] - compiler.leaf_bounds[b.leaf as usize])
+            .map(|&leaf| {
+                (compiler.leaf_bounds[leaf as usize + 1] - compiler.leaf_bounds[leaf as usize])
                     as u64
             })
             .sum();
@@ -446,22 +536,27 @@ impl CompiledMdMatrix {
             compile_time: Duration::ZERO, // patched below, after the plans
         };
 
-        let leaf_len = |b: &Block| {
-            (compiler.leaf_bounds[b.leaf as usize + 1] - compiler.leaf_bounds[b.leaf as usize])
-                as u64
-        };
         let n = m.num_states();
-        let row_plan = build_plan(&blocks, threads, n as u64, |b| b.row_base, &leaf_len);
-        let col_plan = build_plan(&blocks, threads, n as u64, |b| b.col_base, &leaf_len);
+        let parts = CompiledParts {
+            num_states: n as u64,
+            block_row_bases: blocks.row_bases.into(),
+            block_col_bases: blocks.col_bases.into(),
+            block_scales: blocks.scales.into(),
+            block_leafs: blocks.leafs.into(),
+            leaf_bounds: compiler.leaf_bounds.into(),
+            leaf_rows: compiler.leaf_rows.into(),
+            leaf_cols: compiler.leaf_cols.into(),
+            leaf_coefs: compiler.leaf_coefs.into(),
+            triples_visited: compiler.visited,
+            triples_compiled: compiler.compiled,
+        };
+        let row_plan = build_plan(&parts, threads, n as u64, true);
+        let col_plan = build_plan(&parts, threads, n as u64, false);
 
         let mut out = CompiledMdMatrix {
             num_states: n,
             threads,
-            blocks,
-            leaf_bounds: compiler.leaf_bounds,
-            leaf_rows: compiler.leaf_rows,
-            leaf_cols: compiler.leaf_cols,
-            leaf_coefs: compiler.leaf_coefs,
+            parts,
             row_plan,
             col_plan,
             stats,
@@ -480,24 +575,12 @@ impl CompiledMdMatrix {
         Ok(out)
     }
 
-    /// Decomposes the kernel into its serializable content — block list
+    /// Decomposes the kernel into its serializable content — block arrays
     /// and leaf arenas. The per-thread schedules and wall-clock stats are
-    /// derived data and are rebuilt by [`Self::from_parts`].
+    /// derived data and are rebuilt by [`Self::from_parts`]. Cloning a
+    /// mapped kernel's parts is cheap (the slabs share the mapping).
     pub fn to_parts(&self) -> CompiledParts {
-        CompiledParts {
-            num_states: self.num_states as u64,
-            blocks: self
-                .blocks
-                .iter()
-                .map(|b| (b.row_base, b.col_base, b.scale, b.leaf))
-                .collect(),
-            leaf_bounds: self.leaf_bounds.clone(),
-            leaf_rows: self.leaf_rows.clone(),
-            leaf_cols: self.leaf_cols.clone(),
-            leaf_coefs: self.leaf_coefs.clone(),
-            triples_visited: self.stats.triples_visited,
-            triples_compiled: self.stats.triples_compiled,
-        }
+        self.parts.clone()
     }
 
     /// Rebuilds a kernel from [`Self::to_parts`] output, validating every
@@ -521,6 +604,18 @@ impl CompiledMdMatrix {
         let n = parts.num_states;
         if n > usize::MAX as u64 {
             return Err(format!("num_states {n} exceeds the address space"));
+        }
+        let num_blocks = parts.block_leafs.len();
+        if parts.block_row_bases.len() != num_blocks
+            || parts.block_col_bases.len() != num_blocks
+            || parts.block_scales.len() != num_blocks
+        {
+            return Err(format!(
+                "block arrays misaligned: {} row bases, {} col bases, {} scales, {num_blocks} leafs",
+                parts.block_row_bases.len(),
+                parts.block_col_bases.len(),
+                parts.block_scales.len()
+            ));
         }
         let bounds = &parts.leaf_bounds;
         if bounds.first() != Some(&0) {
@@ -565,20 +660,23 @@ impl CompiledMdMatrix {
                 max_col[p] = max_col[p].max(parts.leaf_cols[i]);
             }
         }
-        let mut blocks = Vec::with_capacity(parts.blocks.len());
-        for (i, &(row_base, col_base, scale, leaf)) in parts.blocks.iter().enumerate() {
-            if leaf as usize >= leaf_programs {
+        let mut flat_entries = 0u64;
+        for i in 0..num_blocks {
+            let leaf = parts.block_leafs[i] as usize;
+            if leaf >= leaf_programs {
                 return Err(format!(
                     "block {i} references leaf program {leaf} of {leaf_programs}"
                 ));
             }
+            let scale = parts.block_scales[i];
             if !scale.is_finite() {
                 return Err(format!("block {i} has non-finite scale {scale}"));
             }
-            let nonempty = bounds[leaf as usize] < bounds[leaf as usize + 1];
+            let (row_base, col_base) = (parts.block_row_bases[i], parts.block_col_bases[i]);
+            let nonempty = bounds[leaf] < bounds[leaf + 1];
             if nonempty {
-                let r = row_base.checked_add(max_row[leaf as usize] as u64);
-                let c = col_base.checked_add(max_col[leaf as usize] as u64);
+                let r = row_base.checked_add(max_row[leaf] as u64);
+                let c = col_base.checked_add(max_col[leaf] as u64);
                 match (r, c) {
                     (Some(r), Some(c)) if r < n && c < n => {}
                     _ => return Err(format!("block {i} writes outside the {n}-state space")),
@@ -586,22 +684,12 @@ impl CompiledMdMatrix {
             } else if row_base >= n || col_base >= n {
                 return Err(format!("block {i} writes outside the {n}-state space"));
             }
-            blocks.push(Block {
-                row_base,
-                col_base,
-                scale,
-                leaf,
-            });
+            flat_entries += (bounds[leaf + 1] - bounds[leaf]) as u64;
         }
-        let flat_entries: u64 = blocks
-            .iter()
-            .map(|b| (bounds[b.leaf as usize + 1] - bounds[b.leaf as usize]) as u64)
-            .sum();
-        let leaf_len = |b: &Block| (bounds[b.leaf as usize + 1] - bounds[b.leaf as usize]) as u64;
-        let row_plan = build_plan(&blocks, threads, n, |b| b.row_base, &leaf_len);
-        let col_plan = build_plan(&blocks, threads, n, |b| b.col_base, &leaf_len);
+        let row_plan = build_plan(&parts, threads, n, true);
+        let col_plan = build_plan(&parts, threads, n, false);
         let stats = CompileStats {
-            blocks: blocks.len(),
+            blocks: num_blocks,
             leaf_programs,
             leaf_entries: entries,
             flat_entries,
@@ -612,11 +700,7 @@ impl CompiledMdMatrix {
         Ok(CompiledMdMatrix {
             num_states: n as usize,
             threads,
-            blocks,
-            leaf_bounds: parts.leaf_bounds,
-            leaf_rows: parts.leaf_rows,
-            leaf_cols: parts.leaf_cols,
-            leaf_coefs: parts.leaf_coefs,
+            parts,
             row_plan,
             col_plan,
             stats,
@@ -634,40 +718,59 @@ impl CompiledMdMatrix {
         self.threads
     }
 
-    /// Memory of the compiled program in bytes (blocks, arenas and
-    /// schedules).
+    /// Memory owned by the compiled program in bytes (blocks, arenas and
+    /// schedules). Mapped slabs count zero — their pages are shared and
+    /// accounted once at the store layer.
     pub fn memory_bytes(&self) -> usize {
-        self.blocks.len() * std::mem::size_of::<Block>()
-            + self.leaf_bounds.len() * 4
-            + self.leaf_rows.len() * 4
-            + self.leaf_cols.len() * 4
-            + self.leaf_coefs.len() * 8
+        let p = &self.parts;
+        p.block_row_bases.owned_bytes()
+            + p.block_col_bases.owned_bytes()
+            + p.block_scales.owned_bytes()
+            + p.block_leafs.owned_bytes()
+            + p.leaf_bounds.owned_bytes()
+            + p.leaf_rows.owned_bytes()
+            + p.leaf_cols.owned_bytes()
+            + p.leaf_coefs.owned_bytes()
             + (self.row_plan.order.len() + self.col_plan.order.len()) * 4
     }
 
-    /// Applies one block in the `y[row] += v·x[col]` orientation.
+    /// `true` when the kernel's arrays borrow from a mapped store
+    /// artifact instead of owning copies.
+    pub fn is_mapped(&self) -> bool {
+        self.parts.is_mapped()
+    }
+
+    /// Applies block `b` in the `y[row] += v·x[col]` orientation.
     #[inline]
-    fn apply_block_by_row(&self, b: &Block, x: &[f64], y: &mut [f64], y_offset: u64) {
-        let lo = self.leaf_bounds[b.leaf as usize] as usize;
-        let hi = self.leaf_bounds[b.leaf as usize + 1] as usize;
-        let base = b.row_base - y_offset;
+    fn apply_block_by_row(&self, b: usize, x: &[f64], y: &mut [f64], y_offset: u64) {
+        let p = &self.parts;
+        let leaf = p.block_leafs[b] as usize;
+        let lo = p.leaf_bounds[leaf] as usize;
+        let hi = p.leaf_bounds[leaf + 1] as usize;
+        let scale = p.block_scales[b];
+        let base = p.block_row_bases[b] - y_offset;
+        let col_base = p.block_col_bases[b];
         for i in lo..hi {
-            let v = b.scale * self.leaf_coefs[i];
-            y[(base + self.leaf_rows[i] as u64) as usize] +=
-                v * x[(b.col_base + self.leaf_cols[i] as u64) as usize];
+            let v = scale * p.leaf_coefs[i];
+            y[(base + p.leaf_rows[i] as u64) as usize] +=
+                v * x[(col_base + p.leaf_cols[i] as u64) as usize];
         }
     }
 
-    /// Applies one block in the `y[col] += v·x[row]` orientation.
+    /// Applies block `b` in the `y[col] += v·x[row]` orientation.
     #[inline]
-    fn apply_block_by_col(&self, b: &Block, x: &[f64], y: &mut [f64], y_offset: u64) {
-        let lo = self.leaf_bounds[b.leaf as usize] as usize;
-        let hi = self.leaf_bounds[b.leaf as usize + 1] as usize;
-        let base = b.col_base - y_offset;
+    fn apply_block_by_col(&self, b: usize, x: &[f64], y: &mut [f64], y_offset: u64) {
+        let p = &self.parts;
+        let leaf = p.block_leafs[b] as usize;
+        let lo = p.leaf_bounds[leaf] as usize;
+        let hi = p.leaf_bounds[leaf + 1] as usize;
+        let scale = p.block_scales[b];
+        let base = p.block_col_bases[b] - y_offset;
+        let row_base = p.block_row_bases[b];
         for i in lo..hi {
-            let v = b.scale * self.leaf_coefs[i];
-            y[(base + self.leaf_cols[i] as u64) as usize] +=
-                v * x[(b.row_base + self.leaf_rows[i] as u64) as usize];
+            let v = scale * p.leaf_coefs[i];
+            y[(base + p.leaf_cols[i] as u64) as usize] +=
+                v * x[(row_base + p.leaf_rows[i] as u64) as usize];
         }
     }
 
@@ -679,25 +782,28 @@ impl CompiledMdMatrix {
     #[inline]
     fn apply_block_multi(
         &self,
-        b: &Block,
+        b: usize,
         xs: &[&[f64]],
         ys: &mut [&mut [f64]],
         y_offset: u64,
         by_row: bool,
     ) {
-        let lo = self.leaf_bounds[b.leaf as usize] as usize;
-        let hi = self.leaf_bounds[b.leaf as usize + 1] as usize;
+        let p = &self.parts;
+        let leaf = p.block_leafs[b] as usize;
+        let lo = p.leaf_bounds[leaf] as usize;
+        let hi = p.leaf_bounds[leaf + 1] as usize;
+        let scale = p.block_scales[b];
         let (out_base, in_base) = if by_row {
-            (b.row_base - y_offset, b.col_base)
+            (p.block_row_bases[b] - y_offset, p.block_col_bases[b])
         } else {
-            (b.col_base - y_offset, b.row_base)
+            (p.block_col_bases[b] - y_offset, p.block_row_bases[b])
         };
         for i in lo..hi {
-            let v = b.scale * self.leaf_coefs[i];
+            let v = scale * p.leaf_coefs[i];
             let (o, c) = if by_row {
-                (self.leaf_rows[i], self.leaf_cols[i])
+                (p.leaf_rows[i], p.leaf_cols[i])
             } else {
-                (self.leaf_cols[i], self.leaf_rows[i])
+                (p.leaf_cols[i], p.leaf_rows[i])
             };
             let yi = (out_base + o as u64) as usize;
             let xi = (in_base + c as u64) as usize;
@@ -741,7 +847,7 @@ impl CompiledMdMatrix {
         span.record("threads", self.threads);
         let mut outs: Vec<&mut [f64]> = ys.iter_mut().map(|y| y.as_mut_slice()).collect();
         if self.threads == 1 || self.num_states < PAR_MIN_STATES {
-            for b in &self.blocks {
+            for b in 0..self.parts.num_blocks() {
                 self.apply_block_multi(b, xs, &mut outs, 0, by_row);
             }
             span.finish();
@@ -770,8 +876,7 @@ impl CompiledMdMatrix {
                 scope.spawn(move || {
                     let mut chunks = chunks;
                     for &idx in run {
-                        let b = &self.blocks[idx as usize];
-                        self.apply_block_multi(b, xs, &mut chunks, y_offset, by_row);
+                        self.apply_block_multi(idx as usize, xs, &mut chunks, y_offset, by_row);
                     }
                 });
                 offset = end;
@@ -789,7 +894,7 @@ impl CompiledMdMatrix {
         let mut span = mdl_obs::span("md.kernel.product").with("n", self.num_states);
         span.record("threads", self.threads);
         if self.threads == 1 || self.num_states < PAR_MIN_STATES {
-            for b in &self.blocks {
+            for b in 0..self.parts.num_blocks() {
                 if by_row {
                     self.apply_block_by_row(b, x, y, 0);
                 } else {
@@ -814,11 +919,10 @@ impl CompiledMdMatrix {
                 let y_offset = offset;
                 scope.spawn(move || {
                     for &idx in run {
-                        let b = &self.blocks[idx as usize];
                         if by_row {
-                            self.apply_block_by_row(b, x, chunk, y_offset);
+                            self.apply_block_by_row(idx as usize, x, chunk, y_offset);
                         } else {
-                            self.apply_block_by_col(b, x, chunk, y_offset);
+                            self.apply_block_by_col(idx as usize, x, chunk, y_offset);
                         }
                     }
                 });
@@ -830,19 +934,24 @@ impl CompiledMdMatrix {
     }
 }
 
-/// Builds a deterministic `threads`-way schedule: blocks stably sorted by
-/// `base`, split at base-change boundaries into weight-balanced runs over
-/// disjoint output ranges.
-fn build_plan(
-    blocks: &[Block],
-    threads: usize,
-    n: u64,
-    base: impl Fn(&Block) -> u64,
-    weight: &impl Fn(&Block) -> u64,
-) -> Plan {
-    let mut order: Vec<u32> = (0..blocks.len() as u32).collect();
-    order.sort_by_key(|&i| base(&blocks[i as usize])); // stable: walk order within a base
-    let total: u64 = blocks.iter().map(weight).sum();
+/// Builds a deterministic `threads`-way schedule: block indices stably
+/// sorted by the orientation's output base, split at base-change
+/// boundaries into weight-balanced runs over disjoint output ranges.
+fn build_plan(parts: &CompiledParts, threads: usize, n: u64, by_row: bool) -> Plan {
+    let bases: &[u64] = if by_row {
+        &parts.block_row_bases
+    } else {
+        &parts.block_col_bases
+    };
+    let bounds_arr = &parts.leaf_bounds;
+    let weight = |i: usize| {
+        let leaf = parts.block_leafs[i] as usize;
+        (bounds_arr[leaf + 1] - bounds_arr[leaf]) as u64
+    };
+    let num_blocks = parts.num_blocks();
+    let mut order: Vec<u32> = (0..num_blocks as u32).collect();
+    order.sort_by_key(|&i| bases[i as usize]); // stable: walk order within a base
+    let total: u64 = (0..num_blocks).map(weight).sum();
     let mut splits = vec![0usize];
     let mut bounds = vec![0u64];
     let mut acc = 0u64;
@@ -850,20 +959,20 @@ fn build_plan(
     for k in 1..threads {
         let target = total * k as u64 / threads as u64;
         while cursor < order.len() && acc < target {
-            acc += weight(&blocks[order[cursor] as usize]);
+            acc += weight(order[cursor] as usize);
             cursor += 1;
         }
         // Never split a group of blocks sharing an output interval.
         while cursor > 0
             && cursor < order.len()
-            && base(&blocks[order[cursor] as usize]) == base(&blocks[order[cursor - 1] as usize])
+            && bases[order[cursor] as usize] == bases[order[cursor - 1] as usize]
         {
-            acc += weight(&blocks[order[cursor] as usize]);
+            acc += weight(order[cursor] as usize);
             cursor += 1;
         }
         splits.push(cursor);
         bounds.push(if cursor < order.len() {
-            base(&blocks[order[cursor] as usize])
+            bases[order[cursor] as usize]
         } else {
             n
         });
@@ -1207,6 +1316,48 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn kernel_image_round_trip_is_bit_identical() {
+        let m = full_matrix();
+        let c = CompiledMdMatrix::compile(&m);
+        let parts = c.to_parts();
+        let mut w = ImageWriter::new();
+        parts.write_image(&mut w);
+        let payload = w.finish();
+        let view = ImageView::parse(&payload).expect("image parses");
+        let back = CompiledParts::read_image(&view, SlabSource::Copy).expect("image reads");
+        assert_eq!(back, parts);
+        let rebuilt = CompiledMdMatrix::from_parts(back, 1).expect("parts validate");
+        let n = m.num_states();
+        let x = probe(n);
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        c.acc_mat_vec(&x, &mut a);
+        rebuilt.acc_mat_vec(&x, &mut b);
+        assert_eq!(a, b, "mat·vec bit-identical after image round trip");
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        c.acc_vec_mat(&x, &mut a);
+        rebuilt.acc_vec_mat(&x, &mut b);
+        assert_eq!(a, b, "vec·mat bit-identical after image round trip");
+    }
+
+    #[test]
+    fn kernel_image_rejects_truncated_sections() {
+        let c = CompiledMdMatrix::compile(&full_matrix());
+        let parts = c.to_parts();
+        let mut w = ImageWriter::new();
+        parts.write_image(&mut w);
+        let payload = w.finish();
+        // Dropping the trailing bytes must fail cleanly, not panic.
+        for cut in [1usize, 8, 16] {
+            let trimmed = &payload[..payload.len().saturating_sub(cut)];
+            let bad = match ImageView::parse(trimmed) {
+                Err(_) => continue,
+                Ok(view) => CompiledParts::read_image(&view, SlabSource::Copy),
+            };
+            assert!(bad.is_err(), "truncation by {cut} bytes not detected");
+        }
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub enum MdError {
         /// Number of levels.
         num_levels: usize,
     },
+    /// A serialized MD/kernel image had missing, mistyped or inconsistent
+    /// sections.
+    Image(
+        /// What was wrong with the image.
+        String,
+    ),
     /// A compute budget expired mid-compilation (deadline, cancellation,
     /// node cap, or an injected failpoint).
     Interrupted {
@@ -90,6 +96,7 @@ impl fmt::Display for MdError {
             MdError::NoSuchLevel { level, num_levels } => {
                 write!(f, "level {level} out of range for {num_levels} levels")
             }
+            MdError::Image(detail) => write!(f, "malformed MD image: {detail}"),
             MdError::Interrupted {
                 phase,
                 nodes,
@@ -141,6 +148,9 @@ mod tests {
             mdd_sizes: vec![3],
         };
         assert!(e.to_string().contains("[2]"));
+        assert!(MdError::Image("level 2: entry bounds not monotone".into())
+            .to_string()
+            .contains("level 2"));
         let e = MdError::Interrupted {
             phase: "md.compile",
             nodes: 42,

@@ -363,9 +363,9 @@ mod tests {
         let md = expr.to_md().unwrap();
         assert_eq!(md.nodes_per_level(), vec![1, 1]);
         // Root has the two cycle entries; coefficients carry the rate.
-        let root = md.node(md.root());
+        let root = md.node_ref(md.root());
         assert_eq!(root.num_entries(), 2);
-        assert_eq!(root.entries()[0].terms[0].coef, 2.0);
+        assert_eq!(root.entries().next().unwrap().terms().next().unwrap().coef, 2.0);
     }
 
     #[test]

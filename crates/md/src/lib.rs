@@ -68,7 +68,7 @@ mod merge;
 pub use builder::MdBuilder;
 pub use error::MdError;
 pub use kronecker::{KroneckerExpr, KroneckerTerm, SparseFactor};
-pub use md::{ChildId, Md, MdEntry, MdNode, MdNodeId, Term};
+pub use md::{ChildId, Md, MdEntry, MdEntryRef, MdNode, MdNodeId, MdNodeRef, Term};
 
 pub use apply::MdMatrix;
 pub use compiled::{default_threads, CompileStats, CompiledMdMatrix, CompiledParts};

@@ -1,6 +1,24 @@
 use std::collections::HashMap;
+use std::fmt;
+use std::ops::Range;
+
+use mdl_arena::{ImageView, ImageWriter, Slab, SlabSource};
 
 use crate::{MdError, Result};
+
+/// Sentinel in the `term_children` slab: the term references the unit
+/// terminal (valid at the last level only).
+const TERMINAL_CHILD: u32 = u32::MAX;
+
+/// Image section holding the level sizes (`u64` elements).
+const TAG_SIZES: u32 = 0;
+/// First per-level section tag; level `l` owns tags
+/// `LEVEL_TAG_BASE + 8l ..= LEVEL_TAG_BASE + 8l + 5`.
+const LEVEL_TAG_BASE: u32 = 16;
+
+fn level_tag(level: usize) -> u32 {
+    LEVEL_TAG_BASE + (level as u32) * 8
+}
 
 /// Reference from a formal-sum term to the node one level below, or to the
 /// implicit 1×1 unit terminal at the bottom.
@@ -41,8 +59,14 @@ pub struct MdEntry {
     pub terms: Vec<Term>,
 }
 
-/// A matrix-diagram node: a sparse matrix over the level's local state
-/// space whose entries are formal sums of references to next-level nodes.
+/// A matrix-diagram node in its owned, materialized form: a sparse matrix
+/// over the level's local state space whose entries are formal sums of
+/// references to next-level nodes.
+///
+/// Inside an [`Md`] nodes are stored flattened into per-level slabs and
+/// accessed through [`MdNodeRef`] handles; `MdNode` is the construction
+/// and restructuring currency ([`MdBuilder`](crate::MdBuilder),
+/// [`Md::replace_level`], [`Md::level_nodes`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MdNode {
     entries: Vec<MdEntry>, // sorted by (row, col)
@@ -78,6 +102,15 @@ impl MdNode {
             canonicalize_terms(&mut e.terms);
         }
         entries.retain(|e| !e.terms.is_empty());
+        MdNode { entries }
+    }
+
+    /// Reassembles a node from entries already in canonical form (sorted
+    /// by position, unique positions, canonical non-empty sums) — the
+    /// inverse of [`MdNodeRef::to_node`], used when materializing slab
+    /// rows.
+    pub(crate) fn from_canonical_entries(entries: Vec<MdEntry>) -> MdNode {
+        debug_assert!(entries.windows(2).all(|w| (w[0].row, w[0].col) < (w[1].row, w[1].col)));
         MdNode { entries }
     }
 
@@ -160,7 +193,229 @@ pub struct MdNodeId {
     pub index: u32,
 }
 
+/// One level of an [`Md`] as six parallel slabs (CSR-of-CSR layout): node
+/// `i`'s entries are `entry_bounds[i]..entry_bounds[i+1]`, entry `e`'s
+/// position is `(entry_rows[e], entry_cols[e])` and its formal sum the
+/// terms `term_bounds[e]..term_bounds[e+1]` of `term_coefs` /
+/// `term_children` (with [`TERMINAL_CHILD`] marking the unit terminal).
+/// Slabs are either owned or zero-copy views into a mapped artifact (see
+/// `mdl-arena`).
+#[derive(Debug, Clone)]
+pub(crate) struct MdLevel {
+    /// `num_nodes + 1` monotone entry offsets.
+    pub(crate) entry_bounds: Slab<u32>,
+    /// Entry row indices, one per stored entry.
+    pub(crate) entry_rows: Slab<u32>,
+    /// Entry column indices, parallel to `entry_rows`.
+    pub(crate) entry_cols: Slab<u32>,
+    /// `num_entries + 1` monotone term offsets.
+    pub(crate) term_bounds: Slab<u32>,
+    /// Term coefficients, one per formal-sum term.
+    pub(crate) term_coefs: Slab<f64>,
+    /// Term child references, parallel to `term_coefs`.
+    pub(crate) term_children: Slab<u32>,
+}
+
+impl MdLevel {
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.entry_bounds.len().saturating_sub(1)
+    }
+
+    fn num_entries(&self) -> usize {
+        self.entry_rows.len()
+    }
+
+    fn entry_range(&self, node: usize) -> Range<usize> {
+        self.entry_bounds[node] as usize..self.entry_bounds[node + 1] as usize
+    }
+
+    fn term_range(&self, entry: usize) -> Range<usize> {
+        self.term_bounds[entry] as usize..self.term_bounds[entry + 1] as usize
+    }
+
+    /// Flattens materialized nodes into the slab layout; `nodes` must be
+    /// canonical (the invariant every [`MdNode`] constructor maintains).
+    pub(crate) fn from_nodes(nodes: &[MdNode]) -> MdLevel {
+        let num_entries: usize = nodes.iter().map(MdNode::num_entries).sum();
+        let mut entry_bounds = Vec::with_capacity(nodes.len() + 1);
+        let mut entry_rows = Vec::with_capacity(num_entries);
+        let mut entry_cols = Vec::with_capacity(num_entries);
+        let mut term_bounds = Vec::with_capacity(num_entries + 1);
+        let mut term_coefs = Vec::new();
+        let mut term_children = Vec::new();
+        entry_bounds.push(0u32);
+        term_bounds.push(0u32);
+        for node in nodes {
+            for e in node.entries() {
+                entry_rows.push(e.row);
+                entry_cols.push(e.col);
+                for t in &e.terms {
+                    term_coefs.push(t.coef);
+                    term_children.push(match t.child {
+                        ChildId::Node(n) => {
+                            debug_assert_ne!(n, TERMINAL_CHILD);
+                            n
+                        }
+                        ChildId::Terminal => TERMINAL_CHILD,
+                    });
+                }
+                term_bounds.push(u32::try_from(term_coefs.len()).expect("term arena fits in u32"));
+            }
+            entry_bounds.push(u32::try_from(entry_rows.len()).expect("entry arena fits in u32"));
+        }
+        MdLevel {
+            entry_bounds: entry_bounds.into(),
+            entry_rows: entry_rows.into(),
+            entry_cols: entry_cols.into(),
+            term_bounds: term_bounds.into(),
+            term_coefs: term_coefs.into(),
+            term_children: term_children.into(),
+        }
+    }
+
+    fn owned_bytes(&self) -> usize {
+        self.entry_bounds.owned_bytes()
+            + self.entry_rows.owned_bytes()
+            + self.entry_cols.owned_bytes()
+            + self.term_bounds.owned_bytes()
+            + self.term_coefs.owned_bytes()
+            + self.term_children.owned_bytes()
+    }
+
+    fn is_mapped(&self) -> bool {
+        self.entry_bounds.is_mapped()
+            || self.entry_rows.is_mapped()
+            || self.entry_cols.is_mapped()
+            || self.term_bounds.is_mapped()
+            || self.term_coefs.is_mapped()
+            || self.term_children.is_mapped()
+    }
+}
+
+/// A borrowed handle to one stored entry of a node — position plus an
+/// iterator over its formal sum, reading the level slabs in place.
+#[derive(Clone, Copy)]
+pub struct MdEntryRef<'a> {
+    level: &'a MdLevel,
+    idx: usize,
+}
+
+impl<'a> MdEntryRef<'a> {
+    /// Row index within the level's local state space.
+    pub fn row(&self) -> u32 {
+        self.level.entry_rows[self.idx]
+    }
+
+    /// Column index within the level's local state space.
+    pub fn col(&self) -> u32 {
+        self.level.entry_cols[self.idx]
+    }
+
+    /// Number of formal-sum terms.
+    pub fn num_terms(&self) -> usize {
+        self.level.term_range(self.idx).len()
+    }
+
+    /// The formal sum `Σ_k r_k · R_k`, term by term in canonical (child)
+    /// order.
+    pub fn terms(&self) -> impl ExactSizeIterator<Item = Term> + 'a {
+        let level = self.level;
+        self.level.term_range(self.idx).map(move |k| Term {
+            coef: level.term_coefs[k],
+            child: match level.term_children[k] {
+                TERMINAL_CHILD => ChildId::Terminal,
+                n => ChildId::Node(n),
+            },
+        })
+    }
+
+    /// Materializes the entry.
+    pub fn to_entry(&self) -> MdEntry {
+        MdEntry {
+            row: self.row(),
+            col: self.col(),
+            terms: self.terms().collect(),
+        }
+    }
+}
+
+impl fmt::Debug for MdEntryRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MdEntryRef")
+            .field("row", &self.row())
+            .field("col", &self.col())
+            .field("num_terms", &self.num_terms())
+            .finish()
+    }
+}
+
+/// A borrowed handle to one node of an [`Md`] — the index-based
+/// replacement for handing out `&MdNode` references into per-node heap
+/// structures. Obtained from [`Md::node_ref`]; all per-node queries
+/// (entries, rows, formal sums) read the level slabs without copying.
+#[derive(Clone, Copy)]
+pub struct MdNodeRef<'a> {
+    level: &'a MdLevel,
+    id: MdNodeId,
+}
+
+impl<'a> MdNodeRef<'a> {
+    /// The node's identity.
+    pub fn id(&self) -> MdNodeId {
+        self.id
+    }
+
+    /// Number of stored entries.
+    pub fn num_entries(&self) -> usize {
+        self.level.entry_range(self.id.index as usize).len()
+    }
+
+    /// Total number of formal-sum terms across all entries.
+    pub fn num_terms(&self) -> usize {
+        let r = self.level.entry_range(self.id.index as usize);
+        (self.level.term_bounds[r.end] - self.level.term_bounds[r.start]) as usize
+    }
+
+    /// All stored entries, sorted by `(row, col)`.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = MdEntryRef<'a>> + 'a {
+        let level = self.level;
+        self.level
+            .entry_range(self.id.index as usize)
+            .map(move |idx| MdEntryRef { level, idx })
+    }
+
+    /// The stored entries of one row (empty if none).
+    pub fn row(&self, row: u32) -> impl ExactSizeIterator<Item = MdEntryRef<'a>> + 'a {
+        let level = self.level;
+        let r = self.level.entry_range(self.id.index as usize);
+        let rows = &self.level.entry_rows[r.clone()];
+        let start = r.start + rows.partition_point(|&x| x < row);
+        let end = r.start + rows.partition_point(|&x| x <= row);
+        (start..end).map(move |idx| MdEntryRef { level, idx })
+    }
+
+    /// Materializes the node (owned entries).
+    pub fn to_node(&self) -> MdNode {
+        MdNode::from_canonical_entries(self.entries().map(|e| e.to_entry()).collect())
+    }
+}
+
+impl fmt::Debug for MdNodeRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MdNodeRef")
+            .field("id", &self.id)
+            .field("num_entries", &self.num_entries())
+            .finish()
+    }
+}
+
 /// An ordered, quasi-reduced matrix diagram (Section 3 of the paper).
+///
+/// Nodes live in per-level slabs (`mdl-arena`): each level is a CSR-of-CSR
+/// flattening — entry bounds/rows/cols plus term bounds/coefs/children —
+/// addressed by node index through [`MdNodeRef`] handles. A deserialized
+/// MD can borrow those arrays zero-copy from a mapped store artifact; the
+/// API is identical either way.
 ///
 /// Immutable except through the lumping-specific
 /// [`Md::replace_level`], which is how the compositional lumping algorithm
@@ -170,10 +425,18 @@ pub struct MdNodeId {
 #[derive(Debug, Clone)]
 pub struct Md {
     pub(crate) sizes: Vec<usize>,
-    pub(crate) levels: Vec<Vec<MdNode>>,
+    pub(crate) levels: Vec<MdLevel>,
 }
 
 impl Md {
+    /// Flattens validated per-level node lists into the slab layout —
+    /// the trusted constructor behind every MD-producing operation.
+    pub(crate) fn pack(sizes: Vec<usize>, levels: Vec<Vec<MdNode>>) -> Md {
+        debug_assert_eq!(sizes.len(), levels.len());
+        let levels = levels.iter().map(|nodes| MdLevel::from_nodes(nodes)).collect();
+        Md { sizes, levels }
+    }
+
     /// Assembles an MD directly from per-level node lists, validating the
     /// full shape — sizes and levels must align, the root level must hold
     /// at least one node, and every entry/child reference must be in range.
@@ -201,7 +464,7 @@ impl Md {
                 validate_node(node, level, sizes[level], last, next_count)?;
             }
         }
-        Ok(Md { sizes, levels })
+        Ok(Md::pack(sizes, levels))
     }
 
     /// Number of levels `L`.
@@ -219,38 +482,115 @@ impl Md {
         MdNodeId { level: 0, index: 0 }
     }
 
+    /// A borrowed handle to the node `id`; panics if out of range.
+    pub fn node_ref(&self, id: MdNodeId) -> MdNodeRef<'_> {
+        let level = &self.levels[id.level as usize];
+        assert!(
+            (id.index as usize) < level.num_nodes(),
+            "node index {} out of range at level {}",
+            id.index,
+            id.level
+        );
+        MdNodeRef { level, id }
+    }
+
+    /// Borrowed handles to every node of one level, in index order — the
+    /// zero-copy counterpart of [`Md::level_nodes`] for read-only walks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level_node_refs(&self, level: usize) -> impl ExactSizeIterator<Item = MdNodeRef<'_>> {
+        let lv = &self.levels[level];
+        (0..lv.num_nodes()).map(move |i| MdNodeRef {
+            level: lv,
+            id: MdNodeId {
+                level: level as u32,
+                index: i as u32,
+            },
+        })
+    }
+
+    /// Materializes the nodes of one level (owned copies). This is the
+    /// restructuring path — passes that rebuild whole levels
+    /// (lumping, canonicalization) work on materialized nodes and re-enter
+    /// them through [`Md::replace_level`] or the builder. For read access
+    /// prefer the zero-copy [`Md::node_ref`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn level_nodes(&self, level: usize) -> Vec<MdNode> {
+        let lv = &self.levels[level];
+        (0..lv.num_nodes())
+            .map(|i| {
+                MdNodeRef {
+                    level: lv,
+                    id: MdNodeId {
+                        level: level as u32,
+                        index: i as u32,
+                    },
+                }
+                .to_node()
+            })
+            .collect()
+    }
+
     /// The nodes of one level.
     ///
     /// # Panics
     ///
     /// Panics if `level` is out of range.
-    pub fn nodes_at(&self, level: usize) -> &[MdNode] {
-        &self.levels[level]
+    #[deprecated(
+        since = "0.1.0",
+        note = "nodes live in per-level slabs; use `node_ref` for zero-copy access or `level_nodes` to materialize"
+    )]
+    pub fn nodes_at(&self, level: usize) -> Vec<MdNode> {
+        self.level_nodes(level)
     }
 
-    /// A single node.
+    /// A single node, materialized.
     ///
     /// # Panics
     ///
     /// Panics if out of range.
-    pub fn node(&self, id: MdNodeId) -> &MdNode {
-        &self.levels[id.level as usize][id.index as usize]
+    #[deprecated(
+        since = "0.1.0",
+        note = "nodes live in per-level slabs; use `node_ref` for zero-copy access"
+    )]
+    pub fn node(&self, id: MdNodeId) -> MdNode {
+        self.node_ref(id).to_node()
+    }
+
+    /// Number of nodes at one level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn num_nodes_at(&self, level: usize) -> usize {
+        self.levels[level].num_nodes()
     }
 
     /// Number of nodes on each level (the paper's `|N_i|`, Table 1).
     pub fn nodes_per_level(&self) -> Vec<usize> {
-        self.levels.iter().map(Vec::len).collect()
+        self.levels.iter().map(MdLevel::num_nodes).collect()
     }
 
     /// Total number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.levels.iter().map(Vec::len).sum()
+        self.levels.iter().map(MdLevel::num_nodes).sum()
     }
 
     /// Approximate memory footprint in bytes (the paper's "MD space"
-    /// column of Table 1).
+    /// column of Table 1): heap owned by this MD. Mapped slabs count zero
+    /// here — their pages are shared and accounted once at the store layer.
     pub fn memory_bytes(&self) -> usize {
-        self.levels.iter().flatten().map(MdNode::memory_bytes).sum()
+        self.levels.iter().map(MdLevel::owned_bytes).sum()
+    }
+
+    /// `true` when any level borrows its slabs from a mapped artifact.
+    pub fn is_mapped(&self) -> bool {
+        self.levels.iter().any(MdLevel::is_mapped)
     }
 
     /// Replaces **all** nodes of a level and the level's local state-space
@@ -278,20 +618,20 @@ impl Md {
                 num_levels: self.num_levels(),
             });
         }
-        if new_size == 0 || nodes.len() != self.levels[level].len() {
+        if new_size == 0 || nodes.len() != self.levels[level].num_nodes() {
             return Err(MdError::InvalidShape);
         }
         let last = level == self.num_levels() - 1;
         let next_count = if last {
             0
         } else {
-            self.levels[level + 1].len()
+            self.levels[level + 1].num_nodes()
         };
         for node in &nodes {
             validate_node(node, level, new_size, last, next_count)?;
         }
         self.sizes[level] = new_size;
-        self.levels[level] = nodes;
+        self.levels[level] = MdLevel::from_nodes(&nodes);
         Ok(())
     }
 
@@ -304,27 +644,27 @@ impl Md {
     /// ordinary lumpability of `Rᵀ` (plus the exit-rate and initial-
     /// distribution conditions).
     pub fn transpose(&self) -> Md {
-        let levels = self
-            .levels
-            .iter()
-            .map(|nodes| {
-                nodes
-                    .iter()
-                    .map(|n| {
+        let levels = (0..self.num_levels())
+            .map(|l| {
+                (0..self.levels[l].num_nodes())
+                    .map(|i| {
+                        let n = MdNodeRef {
+                            level: &self.levels[l],
+                            id: MdNodeId {
+                                level: l as u32,
+                                index: i as u32,
+                            },
+                        };
                         MdNode::from_raw(
-                            n.entries
-                                .iter()
-                                .map(|e| (e.col, e.row, e.terms.clone()))
+                            n.entries()
+                                .map(|e| (e.col(), e.row(), e.terms().collect()))
                                 .collect(),
                         )
                     })
                     .collect()
             })
             .collect();
-        Md {
-            sizes: self.sizes.clone(),
-            levels,
-        }
+        Md::pack(self.sizes.clone(), levels)
     }
 
     /// Re-runs quasi-reduction bottom-up: merges nodes on a level that have
@@ -342,21 +682,27 @@ impl Md {
         let mut remap: Vec<Vec<u32>> = Vec::with_capacity(self.num_levels());
         for level in (0..self.num_levels()).rev() {
             let mut unique: HashMap<NodeKey, u32> = HashMap::new();
-            let mut level_map = vec![0u32; self.levels[level].len()];
+            let old_count = self.levels[level].num_nodes();
+            let mut level_map = vec![0u32; old_count];
             let child_map = if level + 1 < self.num_levels() {
                 Some(&remap[self.num_levels() - 2 - level])
             } else {
                 None
             };
-            for (i, node) in self.levels[level].iter().enumerate() {
+            for i in 0..old_count {
+                let node = MdNodeRef {
+                    level: &self.levels[level],
+                    id: MdNodeId {
+                        level: level as u32,
+                        index: i as u32,
+                    },
+                };
                 // Rewrite children through the lower level's remapping.
                 let rewritten: Vec<(u32, u32, Vec<Term>)> = node
-                    .entries
-                    .iter()
+                    .entries()
                     .map(|e| {
                         let terms = e
-                            .terms
-                            .iter()
+                            .terms()
                             .map(|t| {
                                 let child = match (t.child, child_map) {
                                     (ChildId::Node(n), Some(map)) => ChildId::Node(map[n as usize]),
@@ -368,7 +714,7 @@ impl Md {
                                 }
                             })
                             .collect();
-                        (e.row, e.col, terms)
+                        (e.row(), e.col(), terms)
                     })
                     .collect();
                 let canon = MdNode::from_raw(rewritten);
@@ -379,17 +725,135 @@ impl Md {
                 });
                 level_map[i] = new_index;
             }
-            removed += self.levels[level].len() - new_levels[level].len();
+            removed += old_count - new_levels[level].len();
             remap.push(level_map);
         }
-        (
-            Md {
-                sizes: self.sizes.clone(),
-                levels: new_levels,
-            },
-            removed,
-        )
+        (Md::pack(self.sizes.clone(), new_levels), removed)
     }
+
+    /// Serializes the MD into arena image sections: tag [`TAG_SIZES`]
+    /// holds the level sizes; level `l` owns tags `16 + 8l` (entry bounds,
+    /// `u32`), `+1` (entry rows, `u32`), `+2` (entry cols, `u32`), `+3`
+    /// (term bounds, `u32`), `+4` (term coefficients, `f64`) and `+5`
+    /// (term children, `u32`).
+    pub fn write_image(&self, w: &mut ImageWriter) {
+        let sizes: Vec<u64> = self.sizes.iter().map(|&s| s as u64).collect();
+        w.put_u64(TAG_SIZES, &sizes);
+        for (l, level) in self.levels.iter().enumerate() {
+            let base = level_tag(l);
+            w.put_u32(base, &level.entry_bounds);
+            w.put_u32(base + 1, &level.entry_rows);
+            w.put_u32(base + 2, &level.entry_cols);
+            w.put_u32(base + 3, &level.term_bounds);
+            w.put_f64(base + 4, &level.term_coefs);
+            w.put_u32(base + 5, &level.term_children);
+        }
+    }
+
+    /// Rebuilds an MD from arena image sections written by
+    /// [`Md::write_image`]. With [`SlabSource::Mapped`] the level slabs
+    /// borrow the mapped region zero-copy (falling back to copies on
+    /// non-little-endian or misaligned layouts).
+    ///
+    /// Structure — bounds monotonicity, entry positions, child references —
+    /// is re-validated by a linear scan (a corrupt offset would otherwise
+    /// panic far from the cause); coefficient values and the canonical
+    /// entry/term ordering are trusted: the store checksums the payload
+    /// before handing it here, and the writer emitted canonical slabs.
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::Image`] on missing/mistyped sections or inconsistent
+    /// content; [`MdError::InvalidShape`] for malformed level sizes.
+    pub fn read_image(view: &ImageView<'_>, source: SlabSource<'_>) -> Result<Md> {
+        let img = |e: mdl_arena::ArenaError| MdError::Image(e.to_string());
+        let sizes_u64 = view.vec_u64(TAG_SIZES).map_err(img)?;
+        if sizes_u64.is_empty() || sizes_u64.iter().any(|&s| s == 0 || s > u32::MAX as u64) {
+            return Err(MdError::InvalidShape);
+        }
+        let sizes: Vec<usize> = sizes_u64.iter().map(|&s| s as usize).collect();
+        let num_levels = sizes.len();
+        let mut levels = Vec::with_capacity(num_levels);
+        for l in 0..num_levels {
+            let base = level_tag(l);
+            let level = MdLevel {
+                entry_bounds: view.slab_u32(base, source).map_err(img)?,
+                entry_rows: view.slab_u32(base + 1, source).map_err(img)?,
+                entry_cols: view.slab_u32(base + 2, source).map_err(img)?,
+                term_bounds: view.slab_u32(base + 3, source).map_err(img)?,
+                term_coefs: view.slab_f64(base + 4, source).map_err(img)?,
+                term_children: view.slab_u32(base + 5, source).map_err(img)?,
+            };
+            validate_level_bounds(l, &level)?;
+            levels.push(level);
+        }
+        if levels[0].num_nodes() == 0 {
+            return Err(MdError::InvalidShape);
+        }
+        for l in 0..num_levels {
+            let last = l == num_levels - 1;
+            let size = sizes[l] as u32;
+            let next_count = if last { 0 } else { levels[l + 1].num_nodes() as u32 };
+            let lv = &levels[l];
+            for e in 0..lv.num_entries() {
+                if lv.entry_rows[e] >= size || lv.entry_cols[e] >= size {
+                    return Err(MdError::Image(format!(
+                        "level {l}: entry {e} position ({}, {}) exceeds local space of size {size}",
+                        lv.entry_rows[e], lv.entry_cols[e]
+                    )));
+                }
+            }
+            for (k, &c) in lv.term_children.iter().enumerate() {
+                let ok = if last { c == TERMINAL_CHILD } else { c != TERMINAL_CHILD && c < next_count };
+                if !ok {
+                    return Err(MdError::Image(format!(
+                        "level {l}: term {k} has invalid child reference {c}"
+                    )));
+                }
+            }
+        }
+        Ok(Md { sizes, levels })
+    }
+}
+
+/// Checks one decoded level's internal slab consistency: bounds lengths,
+/// monotonicity, and agreement between the entry and term layers.
+fn validate_level_bounds(l: usize, lv: &MdLevel) -> Result<()> {
+    let err = |detail: String| Err(MdError::Image(format!("level {l}: {detail}")));
+    if lv.entry_bounds.first() != Some(&0) {
+        return err("entry bounds must start at 0".into());
+    }
+    if lv.entry_bounds.windows(2).any(|w| w[0] > w[1]) {
+        return err("entry bounds not monotone".into());
+    }
+    let entries = lv.entry_rows.len();
+    if *lv.entry_bounds.last().unwrap() as usize != entries || lv.entry_cols.len() != entries {
+        return err(format!(
+            "entry arenas misaligned ({} bounds end, {} rows, {} cols)",
+            lv.entry_bounds.last().unwrap(),
+            entries,
+            lv.entry_cols.len()
+        ));
+    }
+    if lv.term_bounds.len() != entries + 1 {
+        return err(format!(
+            "{} term bounds for {entries} entries",
+            lv.term_bounds.len()
+        ));
+    }
+    if lv.term_bounds.first() != Some(&0) || lv.term_bounds.windows(2).any(|w| w[0] > w[1]) {
+        return err("term bounds not monotone from 0".into());
+    }
+    let terms = lv.term_coefs.len();
+    if *lv.term_bounds.last().unwrap() as usize != terms || lv.term_children.len() != terms {
+        return err(format!(
+            "term arenas misaligned ({} bounds end, {} coefs, {} children)",
+            lv.term_bounds.last().unwrap(),
+            terms,
+            lv.term_children.len()
+        ));
+    }
+    Ok(())
 }
 
 pub(crate) fn validate_node(
@@ -431,7 +895,7 @@ pub(crate) fn validate_node(
                         child: format!("{:?}", t.child),
                     })
                 }
-                ChildId::Node(n) if (n as usize) >= next_count => {
+                ChildId::Node(n) if (n as usize) >= next_count || n == TERMINAL_CHILD => {
                     return Err(MdError::BadChild {
                         level,
                         child: format!("Node({n})"),
@@ -447,6 +911,7 @@ pub(crate) fn validate_node(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::MdBuilder;
 
     #[test]
     fn canonicalize_merges_and_drops() {
@@ -508,5 +973,148 @@ mod tests {
         let c = MdNode::from_raw(vec![(0, 1, vec![Term::new(2.5, ChildId::Node(0))])]);
         assert_eq!(a.key(), b.key());
         assert_ne!(a.key(), c.key());
+    }
+
+    fn two_level_md() -> Md {
+        let mut b = MdBuilder::new(vec![2, 3]).unwrap();
+        let bottom = b
+            .intern_node(
+                1,
+                vec![
+                    (0, 1, vec![Term::new(1.0, ChildId::Terminal)]),
+                    (2, 0, vec![Term::new(0.5, ChildId::Terminal)]),
+                ],
+            )
+            .unwrap();
+        let ident = b.intern_identity(1, ChildId::Terminal).unwrap();
+        let root = b
+            .intern_node(
+                0,
+                vec![
+                    (0, 1, vec![Term::new(2.0, ChildId::Node(bottom))]),
+                    (
+                        1,
+                        0,
+                        vec![
+                            Term::new(3.0, ChildId::Node(bottom)),
+                            Term::new(1.0, ChildId::Node(ident)),
+                        ],
+                    ),
+                ],
+            )
+            .unwrap();
+        b.finish(root).unwrap()
+    }
+
+    #[test]
+    fn node_ref_matches_materialized_nodes() {
+        let md = two_level_md();
+        for l in 0..md.num_levels() {
+            let nodes = md.level_nodes(l);
+            assert_eq!(nodes.len(), md.num_nodes_at(l));
+            for (i, node) in nodes.iter().enumerate() {
+                let r = md.node_ref(MdNodeId {
+                    level: l as u32,
+                    index: i as u32,
+                });
+                assert_eq!(&r.to_node(), node);
+                assert_eq!(r.num_entries(), node.num_entries());
+                assert_eq!(r.num_terms(), node.num_terms());
+                for (er, e) in r.entries().zip(node.entries()) {
+                    assert_eq!(er.row(), e.row);
+                    assert_eq!(er.col(), e.col);
+                    assert_eq!(er.terms().collect::<Vec<_>>(), e.terms);
+                }
+                for row in 0..3u32 {
+                    assert_eq!(
+                        r.row(row).map(|e| e.to_entry()).collect::<Vec<_>>(),
+                        node.row(row).to_vec()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_return_owned_nodes() {
+        let md = two_level_md();
+        assert_eq!(md.node(md.root()), md.node_ref(md.root()).to_node());
+        assert_eq!(md.nodes_at(1), md.level_nodes(1));
+    }
+
+    #[test]
+    fn image_round_trip_preserves_everything() {
+        let md = two_level_md();
+        let mut w = ImageWriter::new();
+        md.write_image(&mut w);
+        let payload = w.finish();
+        let view = ImageView::parse(&payload).unwrap();
+        let back = Md::read_image(&view, SlabSource::Copy).unwrap();
+        assert_eq!(back.sizes(), md.sizes());
+        assert_eq!(back.nodes_per_level(), md.nodes_per_level());
+        for l in 0..md.num_levels() {
+            assert_eq!(back.level_nodes(l), md.level_nodes(l));
+        }
+    }
+
+    #[test]
+    fn image_with_corrupt_child_is_rejected() {
+        let md = two_level_md();
+        // Re-emit the image with the root level's term children pointing
+        // past the bottom level.
+        let mut w = ImageWriter::new();
+        let sizes: Vec<u64> = md.sizes().iter().map(|&s| s as u64).collect();
+        w.put_u64(TAG_SIZES, &sizes);
+        for (l, level) in md.levels.iter().enumerate() {
+            let base = level_tag(l);
+            w.put_u32(base, &level.entry_bounds);
+            w.put_u32(base + 1, &level.entry_rows);
+            w.put_u32(base + 2, &level.entry_cols);
+            w.put_u32(base + 3, &level.term_bounds);
+            w.put_f64(base + 4, &level.term_coefs);
+            let mut children: Vec<u32> = level.term_children.to_vec();
+            if l == 0 {
+                children[0] = 97; // no such bottom node
+            }
+            w.put_u32(base + 5, &children);
+        }
+        let payload = w.finish();
+        let view = ImageView::parse(&payload).unwrap();
+        let err = Md::read_image(&view, SlabSource::Copy).unwrap_err();
+        assert!(matches!(err, MdError::Image(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn image_with_broken_bounds_is_rejected() {
+        let md = two_level_md();
+        let mut w = ImageWriter::new();
+        let sizes: Vec<u64> = md.sizes().iter().map(|&s| s as u64).collect();
+        w.put_u64(TAG_SIZES, &sizes);
+        for (l, level) in md.levels.iter().enumerate() {
+            let base = level_tag(l);
+            let mut bounds: Vec<u32> = level.entry_bounds.to_vec();
+            if l == 1 {
+                let n = bounds.len();
+                bounds[n - 1] += 7; // points past the entry arena
+            }
+            w.put_u32(base, &bounds);
+            w.put_u32(base + 1, &level.entry_rows);
+            w.put_u32(base + 2, &level.entry_cols);
+            w.put_u32(base + 3, &level.term_bounds);
+            w.put_f64(base + 4, &level.term_coefs);
+            w.put_u32(base + 5, &level.term_children);
+        }
+        let payload = w.finish();
+        let view = ImageView::parse(&payload).unwrap();
+        let err = Md::read_image(&view, SlabSource::Copy).unwrap_err();
+        assert!(matches!(err, MdError::Image(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn memory_accounting_positive_and_unmapped() {
+        let md = two_level_md();
+        assert!(md.memory_bytes() > 0);
+        assert!(!md.is_mapped());
     }
 }

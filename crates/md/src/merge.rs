@@ -35,7 +35,7 @@ impl Md {
         let merged_size = self.sizes[level] * below;
 
         let mut memo: HashMap<MdNodeId, Vec<(u64, u64, f64)>> = HashMap::new();
-        let merged_nodes: Vec<MdNode> = (0..self.levels[level].len() as u32)
+        let merged_nodes: Vec<MdNode> = (0..self.num_nodes_at(level) as u32)
             .map(|i| {
                 let triples = expand_entries(
                     self,
@@ -58,9 +58,9 @@ impl Md {
 
         let mut sizes = self.sizes[..level].to_vec();
         sizes.push(merged_size);
-        let mut levels = self.levels[..level].to_vec();
+        let mut levels: Vec<Vec<MdNode>> = (0..level).map(|l| self.level_nodes(l)).collect();
         levels.push(merged_nodes);
-        Ok(Md { sizes, levels })
+        Ok(Md::pack(sizes, levels))
     }
 
     /// **Top-down merge** (Section 3): replaces levels `0..=level` by a
@@ -95,8 +95,8 @@ impl Md {
         let mut sizes = vec![merged_size];
         sizes.extend_from_slice(&self.sizes[level + 1..]);
         let mut levels = vec![vec![root]];
-        levels.extend_from_slice(&self.levels[level + 1..]);
-        Ok(Md { sizes, levels })
+        levels.extend((level + 1..self.num_levels()).map(|l| self.level_nodes(l)));
+        Ok(Md::pack(sizes, levels))
     }
 
     /// The paper's 3-level view around `level`: all levels above merged
@@ -140,10 +140,14 @@ impl Md {
         last: usize,
         acc: &mut HashMap<(u64, u64), Vec<Term>>,
     ) {
-        for e in self.levels[level][node as usize].entries() {
-            let r = row_acc * self.sizes[level] as u64 + e.row as u64;
-            let c = col_acc * self.sizes[level] as u64 + e.col as u64;
-            for t in &e.terms {
+        let node_ref = self.node_ref(MdNodeId {
+            level: level as u32,
+            index: node,
+        });
+        for e in node_ref.entries() {
+            let r = row_acc * self.sizes[level] as u64 + e.row() as u64;
+            let c = col_acc * self.sizes[level] as u64 + e.col() as u64;
+            for t in e.terms() {
                 if level == last {
                     acc.entry((r, c))
                         .or_default()
@@ -172,10 +176,10 @@ fn expand_entries(
     let level = node.level as usize;
     let below: u64 = md.sizes()[level + 1..].iter().product::<usize>() as u64;
     let mut out: Vec<(u64, u64, f64)> = Vec::new();
-    for e in md.node(node).entries() {
-        for t in &e.terms {
+    for e in md.node_ref(node).entries() {
+        for t in e.terms() {
             match t.child {
-                ChildId::Terminal => out.push((e.row as u64, e.col as u64, t.coef)),
+                ChildId::Terminal => out.push((e.row() as u64, e.col() as u64, t.coef)),
                 ChildId::Node(n) => {
                     let child = expand_entries(
                         md,
@@ -187,8 +191,8 @@ fn expand_entries(
                     );
                     for &(r, c, v) in &child {
                         out.push((
-                            e.row as u64 * below + r,
-                            e.col as u64 * below + c,
+                            e.row() as u64 * below + r,
+                            e.col() as u64 * below + c,
                             t.coef * v,
                         ));
                     }
@@ -307,7 +311,7 @@ mod tests {
         assert_eq!(merged.num_levels(), 1);
         assert_eq!(merged.sizes()[0], sizes.iter().product::<usize>());
         // Its single node IS the flat matrix.
-        let root = merged.node(merged.root());
+        let root = merged.node_ref(merged.root());
         let explicit = flat(&md);
         assert_eq!(root.num_entries(), explicit.nnz());
     }

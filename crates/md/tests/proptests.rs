@@ -4,8 +4,9 @@
 
 use proptest::prelude::*;
 
-use mdl_linalg::CsrMatrix;
-use mdl_md::{KroneckerExpr, MdMatrix, SparseFactor};
+use mdl_arena::{ImageView, ImageWriter, SlabSource};
+use mdl_linalg::{CsrMatrix, RateMatrix};
+use mdl_md::{CompiledMdMatrix, KroneckerExpr, Md, MdMatrix, SparseFactor};
 use mdl_mdd::Mdd;
 
 const SIZES: [usize; 3] = [2, 3, 2];
@@ -44,6 +45,22 @@ fn expr() -> impl Strategy<Value = KroneckerExpr> {
 fn flat(md: &mdl_md::Md) -> CsrMatrix {
     let full = Mdd::full(md.sizes().to_vec()).unwrap();
     MdMatrix::new(md.clone(), full).unwrap().flatten()
+}
+
+/// Serializes the MD to its arena image and reads it back (copy mode) —
+/// the round trip every store-persisted MD takes.
+fn image_round_trip(md: &Md) -> Md {
+    let mut w = ImageWriter::new();
+    md.write_image(&mut w);
+    let payload = w.finish();
+    let view = ImageView::parse(&payload).expect("image parses");
+    Md::read_image(&view, SlabSource::Copy).expect("image reads")
+}
+
+/// A deterministic probe vector that exposes any arithmetic-order
+/// difference between two kernels.
+fn probe(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 0.5 + 0.25 * (i % 11) as f64).collect()
 }
 
 proptest! {
@@ -120,6 +137,49 @@ proptest! {
         let plain = e.to_md().unwrap();
         let merged = agg.to_md().unwrap();
         prop_assert!(merged.num_nodes() <= plain.num_nodes());
+    }
+
+    /// The arena image round trip is the identity on the MD — node for
+    /// node, entry for entry, coefficient bit for bit — and commutes
+    /// with canonicalization.
+    #[test]
+    fn image_round_trip_is_identity(e in expr()) {
+        let md = e.to_md().unwrap();
+        let back = image_round_trip(&md);
+        prop_assert_eq!(back.sizes(), md.sizes());
+        prop_assert_eq!(back.nodes_per_level(), md.nodes_per_level());
+        for level in 0..md.num_levels() {
+            prop_assert_eq!(back.level_nodes(level), md.level_nodes(level));
+        }
+        let (canon_orig, removed_orig) = md.canonicalize();
+        let (canon_back, removed_back) = back.canonicalize();
+        prop_assert_eq!(removed_back, removed_orig);
+        for level in 0..canon_orig.num_levels() {
+            prop_assert_eq!(canon_back.level_nodes(level), canon_orig.level_nodes(level));
+        }
+    }
+
+    /// Kernels compiled before and after the image round trip produce
+    /// bit-identical (0 ulp) products, at every thread count.
+    #[test]
+    fn image_round_trip_compiles_bit_identically(e in expr()) {
+        let md = e.to_md().unwrap();
+        let back = image_round_trip(&md);
+        let full = Mdd::full(md.sizes().to_vec()).unwrap();
+        let orig = MdMatrix::new(md, full.clone()).unwrap();
+        let trip = MdMatrix::new(back, full).unwrap();
+        let k_orig = CompiledMdMatrix::compile(&orig);
+        let n = k_orig.num_states();
+        let x = probe(n);
+        let mut y_orig = vec![0.0; n];
+        k_orig.acc_vec_mat(&x, &mut y_orig);
+        for threads in [1usize, 2, 4] {
+            let k_trip = CompiledMdMatrix::compile_with_threads(&trip, threads);
+            let mut y_trip = vec![0.0; n];
+            k_trip.acc_vec_mat(&x, &mut y_trip);
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<u64>>();
+            prop_assert_eq!(bits(&y_trip), bits(&y_orig), "threads {}", threads);
+        }
     }
 
     /// Restricting to a random reachable subset projects the matrix.

@@ -1,6 +1,8 @@
 use std::collections::HashMap;
 
-use crate::mdd::{Mdd, MddError, Node, NO_CHILD, TERMINAL};
+use mdl_arena::Slab;
+
+use crate::mdd::{relabel, Mdd, MddError, MddLevel, NO_CHILD, TERMINAL};
 
 /// Per-level hash-consing tables used while assembling an [`Mdd`]
 /// bottom-up. Shared by construction, set operations and quotienting.
@@ -85,72 +87,40 @@ impl Interner {
             })
             .collect();
 
-        let mut levels: Vec<Vec<Node>> = Vec::with_capacity(num_levels);
+        // Pack kept rows into the per-level flat child slabs, rewriting
+        // references through the remap.
+        let mut levels: Vec<MddLevel> = Vec::with_capacity(num_levels);
         for l in 0..num_levels {
-            let mut nodes = Vec::new();
+            let size = self.sizes[l];
+            let kept = keep[l].iter().filter(|&&k| k).count();
+            let mut flat: Vec<u32> = Vec::with_capacity(kept * size);
             for (i, row) in self.levels[l].iter().enumerate() {
                 if !keep[l][i] {
                     continue;
                 }
-                let children: Vec<u32> = row
-                    .iter()
-                    .map(|&c| {
-                        if c == NO_CHILD || c == TERMINAL {
-                            c
-                        } else {
-                            remap[l + 1][c as usize]
-                        }
-                    })
-                    .collect();
-                nodes.push(Node {
-                    children,
-                    count: 0,
-                    offsets: Vec::new(),
-                });
+                flat.extend(row.iter().map(|&c| {
+                    if c == NO_CHILD || c == TERMINAL {
+                        c
+                    } else {
+                        remap[l + 1][c as usize]
+                    }
+                }));
             }
-            levels.push(nodes);
+            levels.push(MddLevel {
+                size,
+                children: flat.into(),
+                offsets: Slab::new(),
+                counts: Slab::new(),
+            });
         }
 
         // Ensure a root exists even for the empty set.
-        if levels[0].is_empty() {
-            for (l, nodes) in levels.iter_mut().enumerate() {
-                debug_assert!(nodes.is_empty());
-                if l == 0 {
-                    nodes.push(Node {
-                        children: vec![NO_CHILD; self.sizes[0]],
-                        count: 0,
-                        offsets: vec![0; self.sizes[0]],
-                    });
-                }
-            }
+        if levels[0].children.is_empty() {
+            debug_assert!(levels.iter().all(|lv| lv.children.is_empty()));
+            levels[0].children = vec![NO_CHILD; self.sizes[0]].into();
         }
 
-        // Counts bottom-up, then offsets.
-        for l in (0..num_levels).rev() {
-            let (upper, lower) = if l + 1 < num_levels {
-                let (a, b) = levels.split_at_mut(l + 1);
-                (&mut a[l], Some(&b[0]))
-            } else {
-                (&mut levels[l], None)
-            };
-            for node in upper.iter_mut() {
-                let mut offsets = Vec::with_capacity(node.children.len());
-                let mut acc = 0u64;
-                for &c in &node.children {
-                    offsets.push(acc);
-                    if c == TERMINAL {
-                        acc += 1;
-                    } else if c != NO_CHILD {
-                        acc +=
-                            lower.expect("non-terminal child below last level")[c as usize].count;
-                    }
-                }
-                node.count = acc;
-                node.offsets = offsets;
-            }
-        }
-
-        let total = levels[0].first().map_or(0, |n| n.count);
+        let total = relabel(&mut levels);
         Mdd {
             sizes: self.sizes,
             levels,

@@ -44,5 +44,5 @@ mod mdd;
 mod ops;
 mod quotient;
 
-pub use mdd::{Mdd, MddError, MddNodeId};
+pub use mdd::{Mdd, MddError, MddNodeId, MddNodeRef};
 pub use quotient::QuotientError;

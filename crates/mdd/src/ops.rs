@@ -116,12 +116,8 @@ fn rec(
     let mut children = vec![NO_CHILD; size];
     let mut any = false;
     for (s, child) in children.iter_mut().enumerate() {
-        let ca = na
-            .map(|n| a.levels[level][n as usize].children[s])
-            .unwrap_or(NO_CHILD);
-        let cb = nb
-            .map(|n| b.levels[level][n as usize].children[s])
-            .unwrap_or(NO_CHILD);
+        let ca = na.map(|n| a.raw_child(level, n, s)).unwrap_or(NO_CHILD);
+        let cb = nb.map(|n| b.raw_child(level, n, s)).unwrap_or(NO_CHILD);
         let c = if last {
             let pa = ca != NO_CHILD;
             let pb = cb != NO_CHILD;

@@ -56,10 +56,12 @@ impl Mdd {
     /// number of local states.
     pub fn is_partition_compatible(&self, level: usize, partition: &Partition) -> bool {
         assert_eq!(partition.num_states(), self.sizes[level]);
-        self.levels[level].iter().all(|node| {
+        let lv = &self.levels[level];
+        (0..lv.num_nodes()).all(|node| {
+            let row = lv.children_of(node);
             partition.iter().all(|(_, members)| {
-                let rep = node.children[members[0]];
-                members.iter().all(|&s| node.children[s] == rep)
+                let rep = row[members[0]];
+                members.iter().all(|&s| row[s] == rep)
             })
         })
     }
@@ -78,10 +80,10 @@ impl Mdd {
     /// Panics if `level` is out of range.
     pub fn compatibility_partition(&self, level: usize) -> Partition {
         let size = self.sizes[level];
+        let lv = &self.levels[level];
         Partition::from_key_fn(size, |s| {
-            self.levels[level]
-                .iter()
-                .map(|n| n.children[s])
+            (0..lv.num_nodes())
+                .map(|n| lv.children_of(n)[s])
                 .collect::<Vec<u32>>()
         })
     }
@@ -106,10 +108,12 @@ impl Mdd {
         }
         // Exhaustive compatibility check with precise error reporting.
         for (l, p) in partitions.iter().enumerate() {
-            for (ni, node) in self.levels[l].iter().enumerate() {
+            let lv = &self.levels[l];
+            for ni in 0..lv.num_nodes() {
+                let row = lv.children_of(ni);
                 for (c, members) in p.iter() {
-                    let rep = node.children[members[0]];
-                    if members.iter().any(|&s| node.children[s] != rep) {
+                    let rep = row[members[0]];
+                    if members.iter().any(|&s| row[s] != rep) {
                         return Err(QuotientError::Incompatible {
                             level: l,
                             node: ni,
@@ -142,7 +146,7 @@ impl Mdd {
         let last = level == self.num_levels() - 1;
         let mut children = vec![NO_CHILD; p.num_classes()];
         for (c, members) in p.iter() {
-            let old = self.levels[level][node as usize].children[members[0]];
+            let old = self.raw_child(level, node, members[0]);
             children[c] = if old == NO_CHILD {
                 NO_CHILD
             } else if last {

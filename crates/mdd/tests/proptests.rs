@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
+use mdl_arena::{ImageView, ImageWriter, SlabSource};
 use mdl_mdd::Mdd;
 use mdl_partition::Partition;
 
@@ -109,6 +110,24 @@ proptest! {
             })
             .collect();
         prop_assert_eq!(as_set(&q.tuples()), expected);
+    }
+
+    /// The arena image round trip is the identity on the MDD: same
+    /// canonical child slabs level for level, same indexed set.
+    #[test]
+    fn image_round_trip_is_identity(ts in tuples()) {
+        let mdd = Mdd::from_tuples(SIZES.to_vec(), ts).unwrap();
+        let mut w = ImageWriter::new();
+        mdd.write_image(&mut w);
+        let payload = w.finish();
+        let view = ImageView::parse(&payload).expect("image parses");
+        let back = Mdd::read_image(&view, SlabSource::Copy).expect("image reads");
+        prop_assert_eq!(back.sizes(), mdd.sizes());
+        prop_assert_eq!(back.count(), mdd.count());
+        for level in 0..mdd.num_levels() {
+            prop_assert_eq!(back.raw_level_children(level), mdd.raw_level_children(level));
+        }
+        prop_assert_eq!(back.tuples(), mdd.tuples());
     }
 
     #[test]

@@ -324,8 +324,10 @@ fn solve_lumped(
     }
 
     // Kernel: in-memory cache first (shared across requests), then the
-    // store, then a fresh compile. A compile failure under the fallback
-    // ladder is survivable — the walk/flat-CSR rungs need no kernel.
+    // store (mapped kernel image preferred — concurrent workers share
+    // one mmap(2) region through the process-wide mapping cache), then
+    // a fresh compile. A compile failure under the fallback ladder is
+    // survivable — the walk/flat-CSR rungs need no kernel.
     let cached_kernel = recover(&shared.kernels).get(&lumped_mrp.key).cloned();
     let (prebuilt, kernel_warm) = match cached_kernel {
         Some(k) => {

@@ -30,15 +30,15 @@ pub const MAGIC: [u8; 4] = *b"MDLS";
 /// reject anything newer than what they were built against.
 pub const FORMAT_VERSION: u16 = 1;
 
-const HEADER_LEN: usize = 4 + 2 + 2 + 8;
-const TRAILER_LEN: usize = 8;
+pub(crate) const HEADER_LEN: usize = 4 + 2 + 2 + 8;
+pub(crate) const TRAILER_LEN: usize = 8;
 
-/// A type with a canonical binary payload encoding, wrapped in the
-/// versioned, checksummed container above.
-///
-/// Implementations define only the payload codec; the container logic
-/// (header, checksum, validation) is shared.
-pub trait Artifact: Sized {
+/// The payload codec of one artifact kind: how its bytes are written,
+/// read back, and checked for structural sanity. Implement this — and
+/// only this — per kind; the container logic (header, checksum, frame
+/// validation) lives on [`Artifact`], which every `Codec` gets for free
+/// through a blanket impl.
+pub trait Codec: Sized {
     /// Kind tag distinguishing this artifact in the container header.
     /// Tags below 100 are reserved for this crate's impls; downstream
     /// crates (e.g. `mdl-core` pipeline artifacts) use 100 and up.
@@ -47,17 +47,43 @@ pub trait Artifact: Sized {
     /// Short lower-case name, used in store filenames and messages.
     const NAME: &'static str;
 
+    /// File extension of stored containers of this kind. `"mdls"` for
+    /// ordinary decode-on-load artifacts; arena-image kinds use
+    /// `"mdlm"`, which the store treats as *mappable* — their sidecar
+    /// lock/temp files get distinct names (`.maplock`, `.new.<pid>.<n>`)
+    /// so debris sweeping and mapping-safety rules can tell them apart.
+    const EXTENSION: &'static str = "mdls";
+
     /// Writes the payload (everything but the container frame).
-    fn encode_payload(&self, w: &mut ByteWriter);
+    fn encode(&self, w: &mut ByteWriter);
 
     /// Reads the payload. Implementations must validate what they read
     /// (the container only guarantees the bytes are the ones written).
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError>;
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError>;
 
+    /// Post-decode structural check, run by [`Artifact::from_bytes`]
+    /// after [`Codec::decode`] succeeds. Kinds whose decoder already
+    /// feeds a validating constructor keep the default no-op; kinds that
+    /// decode raw arrays (e.g. compiled-kernel parts) verify their
+    /// cross-array invariants here.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupted`] describing the violated invariant.
+    fn validate(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+/// The container layer over a [`Codec`]: serialization into and out of
+/// the versioned, checksummed frame documented in the [module
+/// docs](self). Blanket-implemented for every `Codec`; do not implement
+/// directly.
+pub trait Artifact: Codec {
     /// Serializes into a complete container.
     fn to_bytes(&self) -> Vec<u8> {
         let mut pw = ByteWriter::new();
-        self.encode_payload(&mut pw);
+        self.encode(&mut pw);
         let payload = pw.into_bytes();
         let mut w = ByteWriter::new();
         w.bytes(&MAGIC);
@@ -72,7 +98,7 @@ pub trait Artifact: Sized {
     /// The FNV-1a hash of this artifact's payload — its content address.
     fn content_hash(&self) -> u64 {
         let mut pw = ByteWriter::new();
-        self.encode_payload(&mut pw);
+        self.encode(&mut pw);
         Fnv1a::hash_bytes(&pw.into_bytes())
     }
 
@@ -134,10 +160,62 @@ pub trait Artifact: Sized {
             return Err(StoreError::ChecksumMismatch);
         }
         let mut pr = ByteReader::new(payload);
-        let artifact = Self::decode_payload(&mut pr)?;
+        let artifact = Self::decode(&mut pr)?;
         pr.expect_end()?;
+        artifact.validate()?;
         Ok(artifact)
     }
+}
+
+impl<T: Codec> Artifact for T {}
+
+/// Validates the container frame of `bytes` without decoding the
+/// payload: magic, version, kind, length accounting and the FNV-1a
+/// payload checksum. Returns the payload slice on success.
+///
+/// This is the read path of [`crate::Store::map`]: a mapped artifact is
+/// frame-checked once per file version, then its payload is borrowed in
+/// place rather than decoded.
+///
+/// # Errors
+///
+/// The same frame-level [`StoreError`]s as [`Artifact::from_bytes`].
+pub fn validate_frame(bytes: &[u8], kind: u16) -> Result<&[u8], StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.bytes(4)?;
+    if magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version > FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if version == 0 {
+        return Err(StoreError::corrupted("format version 0 is invalid"));
+    }
+    let found = r.u16()?;
+    if found != kind {
+        return Err(StoreError::WrongKind {
+            found,
+            expected: kind,
+        });
+    }
+    let payload_len = r.usize()?;
+    if r.remaining() != payload_len + TRAILER_LEN {
+        return Err(StoreError::Truncated {
+            needed: payload_len + TRAILER_LEN,
+            available: r.remaining(),
+        });
+    }
+    let payload = r.bytes(payload_len)?;
+    let stored = r.u64()?;
+    if Fnv1a::hash_bytes(payload) != stored {
+        return Err(StoreError::ChecksumMismatch);
+    }
+    Ok(payload)
 }
 
 /// Sanity: the fixed frame overhead of every container, in bytes.

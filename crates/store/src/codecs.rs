@@ -14,7 +14,7 @@ use mdl_md::{ChildId, CompiledParts, Md, MdNode, Term};
 use mdl_mdd::Mdd;
 use mdl_partition::Partition;
 
-use crate::artifact::Artifact;
+use crate::artifact::Codec;
 use crate::bytes::{ByteReader, ByteWriter};
 use crate::StoreError;
 
@@ -41,24 +41,24 @@ fn intern_label(s: String) -> &'static str {
     Box::leak(s.into_boxed_str())
 }
 
-impl Artifact for Vec<f64> {
+impl Codec for Vec<f64> {
     const KIND: u16 = 1;
     const NAME: &'static str = "vector";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.f64_slice(self);
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         r.f64_vec()
     }
 }
 
-impl Artifact for CsrMatrix {
+impl Codec for CsrMatrix {
     const KIND: u16 = 2;
     const NAME: &'static str = "csr";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.usize(self.nrows());
         w.usize(self.ncols());
         w.usize_slice(self.row_ptr_raw());
@@ -66,7 +66,7 @@ impl Artifact for CsrMatrix {
         w.f64_slice(self.values_raw());
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let nrows = r.usize()?;
         let ncols = r.usize()?;
         let row_ptr = r.usize_vec()?;
@@ -77,18 +77,18 @@ impl Artifact for CsrMatrix {
     }
 }
 
-impl Artifact for Partition {
+impl Codec for Partition {
     const KIND: u16 = 3;
     const NAME: &'static str = "partition";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.usize(self.num_classes());
         for c in 0..self.num_classes() {
             w.usize_slice(self.members(c));
         }
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let classes = r.seq_len(8)?;
         let mut members = Vec::with_capacity(classes);
         for _ in 0..classes {
@@ -98,14 +98,14 @@ impl Artifact for Partition {
     }
 }
 
-impl Artifact for Md {
+impl Codec for Md {
     const KIND: u16 = 4;
     const NAME: &'static str = "md";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.usize_slice(self.sizes());
         for level in 0..self.num_levels() {
-            let nodes = self.nodes_at(level);
+            let nodes = self.level_nodes(level);
             w.usize(nodes.len());
             for node in nodes {
                 w.usize(node.num_entries());
@@ -128,7 +128,7 @@ impl Artifact for Md {
         }
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let sizes = r.usize_vec()?;
         let mut levels = Vec::with_capacity(sizes.len());
         for _ in 0..sizes.len() {
@@ -166,20 +166,19 @@ impl Artifact for Md {
     }
 }
 
-impl Artifact for Mdd {
+impl Codec for Mdd {
     const KIND: u16 = 5;
     const NAME: &'static str = "mdd";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.usize_slice(self.sizes());
-        let rows = self.raw_children();
-        w.usize(rows.len());
-        for row in &rows {
-            w.u32_slice(row);
+        w.usize(self.num_levels());
+        for level in 0..self.num_levels() {
+            w.u32_slice(self.raw_level_children(level));
         }
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let sizes = r.usize_vec()?;
         let num_levels = r.seq_len(8)?;
         let mut rows = Vec::with_capacity(num_levels);
@@ -190,18 +189,18 @@ impl Artifact for Mdd {
     }
 }
 
-impl Artifact for Solution {
+impl Codec for Solution {
     const KIND: u16 = 6;
     const NAME: &'static str = "solution";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.f64_slice(&self.probabilities);
         w.usize(self.stats.iterations);
         w.f64(self.stats.residual);
         w.u64(duration_nanos(self.stats.elapsed));
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let probabilities = r.f64_vec()?;
         let iterations = r.usize()?;
         let residual = r.f64()?;
@@ -217,11 +216,11 @@ impl Artifact for Solution {
     }
 }
 
-impl Artifact for RunReport {
+impl Codec for RunReport {
     const KIND: u16 = 7;
     const NAME: &'static str = "report";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.usize(self.attempts.len());
         for a in &self.attempts {
             w.str(a.method);
@@ -246,7 +245,7 @@ impl Artifact for RunReport {
         }
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let n = r.seq_len(1)?;
         let mut attempts = Vec::with_capacity(n);
         for _ in 0..n {
@@ -279,18 +278,21 @@ impl Artifact for RunReport {
     }
 }
 
-impl Artifact for CompiledParts {
+impl Codec for CompiledParts {
     const KIND: u16 = 8;
     const NAME: &'static str = "kernel";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.u64(self.num_states);
-        w.usize(self.blocks.len());
-        for &(row_base, col_base, scale, leaf) in &self.blocks {
-            w.u64(row_base);
-            w.u64(col_base);
-            w.f64(scale);
-            w.u32(leaf);
+        // The wire format predates the struct-of-slabs layout: blocks
+        // travel interleaved, exactly as the original array-of-structs
+        // encoding wrote them, so existing kind-8 files stay readable.
+        w.usize(self.num_blocks());
+        for b in 0..self.num_blocks() {
+            w.u64(self.block_row_bases[b]);
+            w.u64(self.block_col_bases[b]);
+            w.f64(self.block_scales[b]);
+            w.u32(self.block_leafs[b]);
         }
         w.u32_slice(&self.leaf_bounds);
         w.u32_slice(&self.leaf_rows);
@@ -300,12 +302,18 @@ impl Artifact for CompiledParts {
         w.u64(self.triples_compiled);
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         let num_states = r.u64()?;
         let n = r.seq_len(28)?;
-        let mut blocks = Vec::with_capacity(n);
+        let mut row_bases = Vec::with_capacity(n);
+        let mut col_bases = Vec::with_capacity(n);
+        let mut scales = Vec::with_capacity(n);
+        let mut leafs = Vec::with_capacity(n);
         for _ in 0..n {
-            blocks.push((r.u64()?, r.u64()?, r.f64()?, r.u32()?));
+            row_bases.push(r.u64()?);
+            col_bases.push(r.u64()?);
+            scales.push(r.f64()?);
+            leafs.push(r.u32()?);
         }
         let leaf_bounds = r.u32_vec()?;
         let leaf_rows = r.u32_vec()?;
@@ -313,19 +321,53 @@ impl Artifact for CompiledParts {
         let leaf_coefs = r.f64_vec()?;
         let triples_visited = r.u64()?;
         let triples_compiled = r.u64()?;
-        // Structural validation (bounds monotonicity, block references)
-        // happens in `CompiledMdMatrix::from_parts`, which every consumer
-        // goes through to obtain a usable kernel.
+        // Deep structural validation (bounds monotonicity, block
+        // references) happens in `CompiledMdMatrix::from_parts`, which
+        // every consumer goes through to obtain a usable kernel;
+        // `validate` below covers the cross-array length invariants.
         Ok(CompiledParts {
             num_states,
-            blocks,
-            leaf_bounds,
-            leaf_rows,
-            leaf_cols,
-            leaf_coefs,
+            block_row_bases: row_bases.into(),
+            block_col_bases: col_bases.into(),
+            block_scales: scales.into(),
+            block_leafs: leafs.into(),
+            leaf_bounds: leaf_bounds.into(),
+            leaf_rows: leaf_rows.into(),
+            leaf_cols: leaf_cols.into(),
+            leaf_coefs: leaf_coefs.into(),
             triples_visited,
             triples_compiled,
         })
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        let b = self.num_blocks();
+        if self.block_col_bases.len() != b
+            || self.block_scales.len() != b
+            || self.block_leafs.len() != b
+        {
+            return Err(StoreError::corrupted("kernel block arrays disagree in length"));
+        }
+        if self.leaf_rows.len() != self.leaf_coefs.len()
+            || self.leaf_cols.len() != self.leaf_coefs.len()
+        {
+            return Err(StoreError::corrupted("kernel leaf arrays disagree in length"));
+        }
+        match self.leaf_bounds.split_first() {
+            None if self.leaf_coefs.is_empty() => {}
+            None => return Err(StoreError::corrupted("kernel leaf bounds missing")),
+            Some((&first, rest)) => {
+                if first != 0
+                    || rest.windows(2).any(|w| w[0] > w[1])
+                    || self.leaf_bounds.windows(2).any(|w| w[0] > w[1])
+                    || *self.leaf_bounds.last().expect("nonempty") as usize
+                        != self.leaf_coefs.len()
+                {
+                    return Err(StoreError::corrupted("kernel leaf bounds malformed"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -352,11 +394,11 @@ pub struct Checkpoint {
     pub scalars: Vec<f64>,
 }
 
-impl Artifact for Checkpoint {
+impl Codec for Checkpoint {
     const KIND: u16 = 9;
     const NAME: &'static str = "checkpoint";
 
-    fn encode_payload(&self, w: &mut ByteWriter) {
+    fn encode(&self, w: &mut ByteWriter) {
         w.str(&self.phase);
         w.u64(self.iterations);
         w.f64(self.residual);
@@ -365,7 +407,7 @@ impl Artifact for Checkpoint {
         w.f64_slice(&self.scalars);
     }
 
-    fn decode_payload(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
         Ok(Checkpoint {
             phase: r.str()?,
             iterations: r.u64()?,

@@ -24,12 +24,17 @@
 //! `store.lock_wait` (writers that found the lock held) and
 //! `store.lock_stale` (stale locks broken).
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, SystemTime};
 
-use crate::artifact::Artifact;
+use mdl_arena::{ImageView, Mapping, SlabSource};
+
+use crate::artifact::{validate_frame, Artifact};
+use crate::image::MappedArtifact;
 use crate::StoreError;
 
 /// Age past which a writer lock is presumed abandoned (holder crashed or
@@ -78,7 +83,8 @@ impl Store {
 
     /// The file an artifact of type `A` under `key` lives at.
     pub fn path_for<A: Artifact>(&self, key: u64) -> PathBuf {
-        self.root.join(format!("{}-{key:016x}.mdls", A::NAME))
+        self.root
+            .join(format!("{}-{key:016x}.{}", A::NAME, A::EXTENSION))
     }
 
     /// Whether an artifact of type `A` exists under `key` (without
@@ -129,8 +135,9 @@ impl Store {
     /// [`LOCK_WAIT`].
     pub fn save<A: Artifact>(&self, key: u64, artifact: &A) -> Result<(), StoreError> {
         let path = self.path_for::<A>(key);
+        let mapped = A::EXTENSION != "mdls";
         let existed = path.exists();
-        let lock = LockGuard::acquire(&path)?;
+        let lock = LockGuard::acquire(lock_path_for(&path, mapped))?;
         // Lost the race while queued behind the lock: the winner's
         // artifact is as valid as ours would be. (Only when the artifact
         // is new — explicit overwrites of an existing key still write.)
@@ -139,11 +146,7 @@ impl Store {
             return Ok(());
         }
         let bytes = artifact.to_bytes();
-        let tmp = path.with_extension(format!(
-            "tmp.{}.{}",
-            std::process::id(),
-            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
+        let tmp = tmp_path_for(&path, mapped);
         let write = with_io_retry(|| {
             // `store.write=err` injects a transient failure (absorbed by
             // the retry loop unless it fires on every attempt).
@@ -168,11 +171,13 @@ impl Store {
         Ok(())
     }
 
-    /// Removes leftover `*.lock` and `*.tmp.*` files from the store
-    /// directory — debris from writers killed mid-write. Entries younger
-    /// than [`STALE_LOCK_AGE`] are kept unless `force` is set (they may
-    /// belong to a live writer). Returns the number removed. Never
-    /// touches artifacts.
+    /// Removes leftover writer sidecars from the store directory —
+    /// debris from writers killed mid-write. Plain artifacts leave
+    /// `*.lock` / `*.tmp.*` files; mappable image artifacts (`.mdlm`)
+    /// leave `*.maplock` / `*.new.*` files — both families are swept.
+    /// Entries younger than [`STALE_LOCK_AGE`] are kept unless `force`
+    /// is set (they may belong to a live writer). Returns the number
+    /// removed. Never touches artifacts.
     ///
     /// # Errors
     ///
@@ -184,7 +189,10 @@ impl Store {
             let path = entry.path();
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            let is_debris = name.ends_with(".lock") || name.contains(".tmp.");
+            let is_debris = name.ends_with(".lock")
+                || name.contains(".tmp.")
+                || name.ends_with(".maplock")
+                || name.contains(".new.");
             if !is_debris {
                 continue;
             }
@@ -197,6 +205,54 @@ impl Store {
             }
         }
         Ok(removed)
+    }
+
+    /// Opens the image artifact stored under `key` by **memory-mapping**
+    /// it, borrowing the payload slabs in place instead of copy-decoding
+    /// them.
+    ///
+    /// The mapping is validated once per file version (magic, format
+    /// version, kind, length accounting, FNV-1a payload checksum) and
+    /// then cached process-wide, keyed by path and invalidated on any
+    /// length/mtime change — so repeated opens, and opens from many
+    /// threads or pipelines of one process, share a single `mmap(2)`
+    /// region and skip the checksum pass (`store.map.hit` vs
+    /// `store.map.miss`). Distinct *processes* mapping the same file
+    /// share physical pages through the page cache. Replacing an
+    /// artifact goes through `rename(2)`, which leaves the mapped inode
+    /// untouched; live slabs stay valid and the cache picks up the new
+    /// file on the next open.
+    ///
+    /// A missing file is `Ok(None)` (counted on `store.miss`). On
+    /// non-Unix targets, where [`Mapping::open`] is unsupported, this
+    /// returns an error — callers fall back to [`Store::load`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when mapping fails, any frame/image
+    /// [`StoreError`] when the file is invalid.
+    pub fn map<A: MappedArtifact>(&self, key: u64) -> Result<Option<A>, StoreError> {
+        let path = self.path_for::<A>(key);
+        let meta = match fs::metadata(&path) {
+            Ok(m) => m,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                mdl_obs::counter("store.miss").inc();
+                attributed_point("store.miss", A::NAME, key);
+                return Ok(None);
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let region = cached_mapping(&path, &meta, A::KIND)?;
+        // The frame was validated when the mapping entered the cache;
+        // re-slice the payload without re-hashing it.
+        let bytes = region.bytes();
+        let payload =
+            &bytes[crate::artifact::HEADER_LEN..bytes.len() - crate::artifact::TRAILER_LEN];
+        let view = ImageView::parse(payload).map_err(|e| StoreError::corrupted(e.to_string()))?;
+        let artifact = A::from_image(&view, SlabSource::Mapped(&region))?;
+        mdl_obs::counter("store.hit").inc();
+        attributed_point("store.hit", A::NAME, key);
+        Ok(Some(artifact))
     }
 
     /// Removes the artifact stored under `key`, if present.
@@ -214,21 +270,108 @@ impl Store {
     }
 }
 
-/// An advisory writer lock on one artifact path, held as a `.lock`
-/// sentinel file created with `O_EXCL`. Dropping the guard releases the
-/// lock; a holder that dies without dropping is recovered by age-based
-/// takeover in [`LockGuard::acquire`].
+/// One process-wide cached `mmap` of an artifact file, revalidated by
+/// (length, mtime).
+struct MapEntry {
+    len: u64,
+    mtime: Option<SystemTime>,
+    kind: u16,
+    region: Arc<Mapping>,
+}
+
+/// The process-wide mapping cache behind [`Store::map`]. Entries are
+/// keyed by absolute artifact path; a hit is an `Arc` clone, a miss
+/// maps and frame-validates the file (the only FNV pass it will ever
+/// get while unchanged).
+fn map_cache() -> &'static Mutex<HashMap<PathBuf, MapEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<PathBuf, MapEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetches (or creates and validates) the cached mapping for `path`.
+fn cached_mapping(
+    path: &Path,
+    meta: &fs::Metadata,
+    kind: u16,
+) -> Result<Arc<Mapping>, StoreError> {
+    let len = meta.len();
+    let mtime = meta.modified().ok();
+    let mut cache = map_cache().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(entry) = cache.get(path) {
+        if entry.len == len && entry.mtime == mtime && entry.kind == kind {
+            mdl_obs::counter("store.map.hit").inc();
+            return Ok(Arc::clone(&entry.region));
+        }
+    }
+    let region = Arc::new(
+        Mapping::open(path).map_err(|e| StoreError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?,
+    );
+    validate_frame(region.bytes(), kind)?;
+    mdl_obs::counter("store.map.miss").inc();
+    cache.insert(
+        path.to_path_buf(),
+        MapEntry {
+            len,
+            mtime,
+            kind,
+            region: Arc::clone(&region),
+        },
+    );
+    Ok(region)
+}
+
+/// The writer-lock sidecar for `artifact`: the historical
+/// extension-replacing `<stem>.lock` for plain containers, an appended
+/// `<file>.maplock` for mappable images (keeping the full artifact name
+/// visible and the pattern distinct for [`Store::sweep_debris`]).
+fn lock_path_for(artifact: &Path, mapped: bool) -> PathBuf {
+    if mapped {
+        append_to_name(artifact, ".maplock")
+    } else {
+        artifact.with_extension("lock")
+    }
+}
+
+/// The temp-file sidecar for one write to `artifact`: `<stem>.tmp.<pid>.<n>`
+/// for plain containers, appended `<file>.new.<pid>.<n>` for mappable
+/// images. Pid plus a process-wide counter keep racers apart.
+fn tmp_path_for(artifact: &Path, mapped: bool) -> PathBuf {
+    let tag = format!(
+        "{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    );
+    if mapped {
+        append_to_name(artifact, &format!(".new.{tag}"))
+    } else {
+        artifact.with_extension(format!("tmp.{tag}"))
+    }
+}
+
+/// Appends `suffix` to the file name of `path` (no extension surgery).
+fn append_to_name(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// An advisory writer lock on one artifact path, held as a sentinel
+/// file (see [`lock_path_for`]) created with `O_EXCL`. Dropping the
+/// guard releases the lock; a holder that dies without dropping is
+/// recovered by age-based takeover in [`LockGuard::acquire`].
 #[derive(Debug)]
 struct LockGuard {
     path: PathBuf,
 }
 
 impl LockGuard {
-    /// Acquires the advisory lock for `artifact`, waiting (with backoff)
-    /// for a live holder and breaking holders older than
+    /// Acquires the advisory lock at `path`, waiting (with backoff) for
+    /// a live holder and breaking holders older than
     /// [`STALE_LOCK_AGE`].
-    fn acquire(artifact: &Path) -> Result<LockGuard, StoreError> {
-        let path = artifact.with_extension("lock");
+    fn acquire(path: PathBuf) -> Result<LockGuard, StoreError> {
         let deadline = std::time::Instant::now() + LOCK_WAIT;
         let mut backoff = Duration::from_millis(1);
         let mut waited = false;

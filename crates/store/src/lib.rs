@@ -50,10 +50,12 @@ mod codecs;
 mod disk;
 mod error;
 mod hash;
+pub mod image;
 
-pub use artifact::{Artifact, FORMAT_VERSION, FRAME_OVERHEAD, MAGIC};
+pub use artifact::{validate_frame, Artifact, Codec, FORMAT_VERSION, FRAME_OVERHEAD, MAGIC};
 pub use bytes::{ByteReader, ByteWriter};
 pub use codecs::Checkpoint;
 pub use disk::Store;
 pub use error::StoreError;
 pub use hash::Fnv1a;
+pub use image::{KernelImage, MappedArtifact, MdImage, MddImage};

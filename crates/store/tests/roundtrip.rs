@@ -10,7 +10,7 @@ use mdl_linalg::{CooMatrix, CsrMatrix};
 use mdl_md::{CompiledMdMatrix, KroneckerExpr, Md, MdMatrix, SparseFactor};
 use mdl_mdd::Mdd;
 use mdl_partition::Partition;
-use mdl_store::{Artifact, Checkpoint, StoreError, FORMAT_VERSION};
+use mdl_store::{Artifact, Checkpoint, Codec, StoreError, FORMAT_VERSION};
 
 const SIZES: [usize; 3] = [3, 4, 2];
 
@@ -140,7 +140,9 @@ proptest! {
         let decoded = Mdd::from_bytes(&m.to_bytes()).unwrap();
         prop_assert_eq!(decoded.sizes(), m.sizes());
         prop_assert_eq!(decoded.count(), m.count());
-        prop_assert_eq!(decoded.raw_children(), m.raw_children());
+        for level in 0..m.num_levels() {
+            prop_assert_eq!(decoded.raw_level_children(level), m.raw_level_children(level));
+        }
         prop_assert_eq!(decoded.tuples(), m.tuples());
     }
 
@@ -150,7 +152,7 @@ proptest! {
         prop_assert_eq!(decoded.sizes(), md.sizes());
         prop_assert_eq!(decoded.num_nodes(), md.num_nodes());
         for level in 0..md.num_levels() {
-            prop_assert_eq!(decoded.nodes_at(level), md.nodes_at(level));
+            prop_assert_eq!(decoded.level_nodes(level), md.level_nodes(level));
         }
         // Re-encoding is byte-identical: the canonical form is stable.
         prop_assert_eq!(decoded.to_bytes(), md.to_bytes());
@@ -232,7 +234,7 @@ fn wrong_kind_is_rejected() {
     let bytes = v.to_bytes();
     match Solution::from_bytes(&bytes) {
         Err(StoreError::WrongKind { found, expected }) => {
-            assert_eq!(found, <Vec<f64> as Artifact>::KIND);
+            assert_eq!(found, <Vec<f64> as Codec>::KIND);
             assert_eq!(expected, Solution::KIND);
         }
         other => panic!("expected WrongKind, got {other:?}"),
@@ -290,4 +292,113 @@ fn compiled_kernel_round_trips_through_parts() {
     assert_eq!(bits(&z_orig), bits(&z_rebuilt));
 
     assert_adversarial_inputs_fail::<mdl_md::CompiledParts>(&parts.to_bytes());
+}
+
+fn temp_store(tag: &str) -> mdl_store::Store {
+    let dir = std::env::temp_dir().join(format!("mdl-roundtrip-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    mdl_store::Store::open(dir).unwrap()
+}
+
+fn small_kernel() -> (CompiledMdMatrix, usize) {
+    let mut w = SparseFactor::new(3);
+    w.push(0, 1, 1.25);
+    w.push(2, 1, 0.75);
+    let mut cyc = SparseFactor::new(2);
+    cyc.push(0, 1, 2.0);
+    cyc.push(1, 0, 2.0);
+    let mut expr = KroneckerExpr::new(vec![2, 3]);
+    expr.add_term(1.0, vec![Some(cyc), None]);
+    expr.add_term(0.5, vec![None, Some(w)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+    let n = matrix.reach().count() as usize;
+    (CompiledMdMatrix::compile(&matrix), n)
+}
+
+/// Satellite of the arena redesign: a kernel image opened by `mmap`
+/// (zero-copy slabs) and the same image copy-decoded must rebuild
+/// kernels whose products agree to the bit, and with the classic
+/// kind-8 decode path too.
+#[cfg(unix)]
+#[test]
+fn mapped_and_decoded_kernels_are_byte_identical() {
+    use mdl_linalg::RateMatrix;
+    use mdl_store::KernelImage;
+
+    let store = temp_store("map-vs-decode");
+    let (compiled, n) = small_kernel();
+    let parts = compiled.to_parts();
+    store.save(3, &KernelImage(parts.clone())).unwrap();
+    store.save(3, &parts).unwrap(); // classic kind 8, separate file
+
+    let mapped = store.map::<KernelImage>(3).unwrap().expect("mapped open");
+    assert!(mapped.0.is_mapped(), "slabs borrow the mapping");
+    let decoded = store.load::<KernelImage>(3).unwrap().expect("copy decode");
+    assert!(!decoded.0.is_mapped());
+    let classic = store
+        .load::<mdl_md::CompiledParts>(3)
+        .unwrap()
+        .expect("classic decode");
+    assert_eq!(mapped.0, decoded.0);
+    assert_eq!(mapped.0, classic);
+
+    let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.41 * i as f64).collect();
+    let mut want = vec![0.0; n];
+    compiled.acc_mat_vec(&x, &mut want);
+    for parts in [mapped.0, decoded.0, classic] {
+        let kernel = CompiledMdMatrix::from_parts(parts, 2).unwrap();
+        let mut got = vec![0.0; n];
+        kernel.acc_mat_vec(&x, &mut got);
+        assert_eq!(bits(&want), bits(&got));
+    }
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+/// A second map of the same key reuses the cached mapping (one region,
+/// many `Arc`s), and rewriting the file invalidates the cache entry.
+#[cfg(unix)]
+#[test]
+fn mapping_cache_hits_and_invalidation() {
+    use mdl_store::MddImage;
+
+    let store = temp_store("map-cache");
+    let mdd = Mdd::from_tuples(SIZES.to_vec(), vec![vec![0, 0, 0], vec![2, 3, 1]]).unwrap();
+    store.save(9, &MddImage(mdd)).unwrap();
+    let a = store.map::<MddImage>(9).unwrap().unwrap();
+    let b = store.map::<MddImage>(9).unwrap().unwrap();
+    assert!(a.0.is_mapped() && b.0.is_mapped());
+    assert_eq!(a.0.tuples(), b.0.tuples());
+
+    // Replace with different content; the next map must see it.
+    let other = Mdd::from_tuples(SIZES.to_vec(), vec![vec![1, 1, 1]]).unwrap();
+    store.save(9, &MddImage(other.clone())).unwrap();
+    // Rewrites go through rename(2): `a` still reads the old inode.
+    assert_eq!(a.0.count(), 2);
+    let fresh = store.map::<MddImage>(9).unwrap().unwrap();
+    assert_eq!(fresh.0.tuples(), other.tuples());
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+/// Image artifacts use mapping-aware sidecar names; `sweep_debris`
+/// must collect them alongside the classic `.lock`/`.tmp.` debris.
+#[test]
+fn sweep_collects_mapped_sidecar_debris() {
+    let store = temp_store("map-sweep");
+    let (compiled, _) = small_kernel();
+    store
+        .save(1, &mdl_store::KernelImage(compiled.to_parts()))
+        .unwrap();
+    let artifact = store.path_for::<mdl_store::KernelImage>(1);
+    assert!(artifact.to_string_lossy().ends_with(".mdlm"));
+    let maplock = store.root().join("kernelimg-0000000000000001.mdlm.maplock");
+    let new_tmp = store.root().join("kernelimg-0000000000000001.mdlm.new.123.0");
+    std::fs::write(&maplock, b"").unwrap();
+    std::fs::write(&new_tmp, b"partial").unwrap();
+    // Gentle sweep keeps fresh debris (live writers), forced removes it.
+    assert_eq!(store.sweep_debris(false).unwrap(), 0);
+    assert!(maplock.exists() && new_tmp.exists());
+    assert_eq!(store.sweep_debris(true).unwrap(), 2);
+    assert!(!maplock.exists() && !new_tmp.exists());
+    assert!(artifact.exists(), "sweep never touches artifacts");
+    let _ = std::fs::remove_dir_all(store.root());
 }

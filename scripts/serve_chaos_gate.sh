@@ -1,13 +1,22 @@
 #!/usr/bin/env bash
 # CI chaos gate for the mdl-serve daemon.
 #
-# Starts the real binary on a free port with a scratch cache, drives it
-# with the concurrent bench client, sends SIGTERM, and asserts the
-# robustness contract:
+# Phase 1 starts the real binary on a free port with a scratch cache,
+# drives it with the concurrent bench client, sends SIGTERM, and asserts
+# the robustness contract:
 #
 #   * the daemon exits 0 (graceful drain, never a crash or hang),
 #   * it logs "drained cleanly",
-#   * the cache directory holds no leftover .lock or .tmp.* debris.
+#   * the cache directory holds no leftover writer sidecar debris
+#     (.lock / .tmp.* for classic artifacts, .maplock / .new.* for
+#     mapped arena images).
+#
+# Phase 2 starts TWO daemons over ONE shared cache directory and drives
+# them concurrently: both processes persist the same content-addressed
+# artifacts and restore kernels through the shared mmap(2) path. Both
+# must drain cleanly, both must report `store_invalid == 0` (no daemon
+# ever observed a corrupt artifact from the other's writes), and the
+# shared cache must hold no sidecar debris.
 #
 # Runs under whatever MDL_FAILPOINTS the environment provides; CI calls
 # it once without failpoints and once with fault injection, and the
@@ -19,31 +28,67 @@ set -euo pipefail
 
 REQUESTS="${1:-10}"
 CACHE=$(mktemp -d)
-OUT=$(mktemp)
-ERR=$(mktemp)
-trap 'rm -rf "$CACHE" "$OUT" "$ERR"' EXIT
+SHARED=$(mktemp -d)
+OUTDIR=$(mktemp -d)
+trap 'rm -rf "$CACHE" "$SHARED" "$OUTDIR"' EXIT
 
-echo "chaos gate: MDL_FAILPOINTS='${MDL_FAILPOINTS:-}' cache=$CACHE"
+echo "chaos gate: MDL_FAILPOINTS='${MDL_FAILPOINTS:-}' cache=$CACHE shared=$SHARED"
 
-cargo run --release -p mdl-serve --bin mdl-serve -- \
-  --addr 127.0.0.1:0 --cache-dir "$CACHE" --metrics > "$OUT" 2> "$ERR" &
-SERVE_PID=$!
-
-for _ in $(seq 1 100); do
-  grep -q 'listening on' "$OUT" 2>/dev/null && break
-  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
-    echo "chaos gate: daemon died during startup" >&2
-    cat "$ERR" >&2
-    exit 1
+# Starts a daemon over $2's cache; logs to $OUTDIR/$1.{out,err} and
+# sets DAEMON_PID / DAEMON_ADDR once it is accepting connections. Runs
+# in the calling shell so the pid stays wait(1)-able.
+start_daemon() {
+  local name=$1 cache=$2
+  cargo run --release -p mdl-serve --bin mdl-serve -- \
+    --addr 127.0.0.1:0 --cache-dir "$cache" --metrics \
+    > "$OUTDIR/$name.out" 2> "$OUTDIR/$name.err" &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q 'listening on' "$OUTDIR/$name.out" 2>/dev/null && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+      echo "chaos gate: daemon $name died during startup" >&2
+      cat "$OUTDIR/$name.err" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  DAEMON_ADDR=$(sed -n 's/^mdl-serve: listening on //p' "$OUTDIR/$name.out")
+  if [ -z "$DAEMON_ADDR" ]; then
+    echo "chaos gate: daemon $name never reported its address" >&2
+    cat "$OUTDIR/$name.err" >&2
+    return 1
   fi
-  sleep 0.1
-done
-ADDR=$(sed -n 's/^mdl-serve: listening on //p' "$OUT")
-if [ -z "$ADDR" ]; then
-  echo "chaos gate: daemon never reported its address" >&2
-  cat "$ERR" >&2
-  exit 1
-fi
+}
+
+# Asserts a cache directory holds none of the four writer sidecar
+# patterns the store's crash-recovery sweep owns.
+assert_no_debris() {
+  local dir=$1 label=$2 debris
+  debris=$(find "$dir" \( -name '*.lock' -o -name '*.tmp.*' \
+    -o -name '*.maplock' -o -name '*.new.*' \) | wc -l)
+  echo "chaos gate: $label debris files: $debris"
+  test "$debris" -eq 0
+}
+
+# Queries one stats field from a running daemon over the line protocol.
+stats_field() {
+  python3 - "$1" "$2" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+with socket.create_connection((host, int(port)), timeout=10) as s:
+    s.sendall(b'{"cmd":"stats"}\n')
+    line = s.makefile().readline()
+print(json.loads(line)["stats"][sys.argv[2]])
+PY
+}
+
+# ---------------------------------------------------------------------
+# Phase 1: single daemon, SIGTERM drain.
+# ---------------------------------------------------------------------
+start_daemon solo "$CACHE"
+SERVE_PID=$DAEMON_PID
+ADDR=$DAEMON_ADDR
 echo "chaos gate: daemon up on $ADDR (pid $SERVE_PID)"
 
 # The bench client must complete against the (possibly fault-injected)
@@ -59,10 +104,46 @@ wait "$SERVE_PID" || STATUS=$?
 echo "chaos gate: daemon exit status $STATUS"
 test "$STATUS" -eq 0
 
-grep -q 'drained cleanly' "$ERR"
+grep -q 'drained cleanly' "$OUTDIR/solo.err"
 
-DEBRIS=$(find "$CACHE" \( -name '*.lock' -o -name '*.tmp.*' \) | wc -l)
-echo "chaos gate: cache debris files: $DEBRIS"
-test "$DEBRIS" -eq 0
+assert_no_debris "$CACHE" "cache"
+
+# ---------------------------------------------------------------------
+# Phase 2: two daemons over one shared (mapped) store.
+# ---------------------------------------------------------------------
+start_daemon a "$SHARED"
+PID_A=$DAEMON_PID
+ADDR_A=$DAEMON_ADDR
+start_daemon b "$SHARED"
+PID_B=$DAEMON_PID
+ADDR_B=$DAEMON_ADDR
+echo "chaos gate: shared-store daemons up on $ADDR_A (pid $PID_A) and $ADDR_B (pid $PID_B)"
+
+MDL_FAILPOINTS='' cargo run --release -p mdl-bench --bin serve -- \
+  --addr "$ADDR_A" --requests "$REQUESTS" &
+CLIENT_A=$!
+MDL_FAILPOINTS='' cargo run --release -p mdl-bench --bin serve -- \
+  --addr "$ADDR_B" --requests "$REQUESTS" &
+CLIENT_B=$!
+wait "$CLIENT_A"
+wait "$CLIENT_B"
+
+INVALID_A=$(stats_field "$ADDR_A" store_invalid)
+INVALID_B=$(stats_field "$ADDR_B" store_invalid)
+echo "chaos gate: store_invalid a=$INVALID_A b=$INVALID_B"
+test "$INVALID_A" -eq 0
+test "$INVALID_B" -eq 0
+
+for pid in "$PID_A" "$PID_B"; do
+  kill -TERM "$pid"
+  STATUS=0
+  wait "$pid" || STATUS=$?
+  echo "chaos gate: shared-store daemon (pid $pid) exit status $STATUS"
+  test "$STATUS" -eq 0
+done
+grep -q 'drained cleanly' "$OUTDIR/a.err"
+grep -q 'drained cleanly' "$OUTDIR/b.err"
+
+assert_no_debris "$SHARED" "shared cache"
 
 echo "chaos gate: OK"
