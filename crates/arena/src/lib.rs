@@ -44,7 +44,7 @@ mod slab;
 
 pub use image::{ImageView, ImageWriter, SectionElem, SlabSource};
 pub use mmap::Mapping;
-pub use slab::{Pod, Slab};
+pub use slab::{Interval, Pod, Slab};
 
 use std::fmt;
 

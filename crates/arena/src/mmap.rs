@@ -75,14 +75,7 @@ mod imp {
     use crate::ArenaError;
 
     extern "C" {
-        fn mmap(
-            addr: *mut u8,
-            len: usize,
-            prot: i32,
-            flags: i32,
-            fd: i32,
-            offset: i64,
-        ) -> *mut u8;
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
         fn munmap(addr: *mut u8, len: usize) -> i32;
     }
 
@@ -96,8 +89,9 @@ mod imp {
         if len == 0 {
             return Err(ArenaError::Io(format!("{}: empty file", path.display())));
         }
-        let len = usize::try_from(len)
-            .map_err(|_| ArenaError::Io(format!("{}: file exceeds address space", path.display())))?;
+        let len = usize::try_from(len).map_err(|_| {
+            ArenaError::Io(format!("{}: file exceeds address space", path.display()))
+        })?;
         // SAFETY: fd is a valid open descriptor; len is non-zero; a
         // read-only shared mapping of a regular file has no aliasing
         // hazards. MAP_FAILED is (usize::MAX as *mut u8).

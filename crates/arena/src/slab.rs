@@ -10,11 +10,67 @@ mod sealed {
     impl Sealed for u32 {}
     impl Sealed for u64 {}
     impl Sealed for f64 {}
+    impl Sealed for super::Interval {}
+}
+
+/// A closed interval `[lo, hi]` of doubles — the 16-byte plain-old-data
+/// element type behind interval-weighted slabs. The arena crate only
+/// defines the storage layout (two consecutive little-endian `f64`s, so a
+/// mapped section can be reinterpreted in place); the outward-rounded
+/// arithmetic lives in `mdl-linalg`'s `Weight` machinery.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// The degenerate point interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Whether the interval is a single point (`lo == hi` bitwise-safe
+    /// comparison is unnecessary: equal values suffice for width zero).
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+impl Pod for Interval {
+    const WIDTH: usize = 16;
+
+    fn write_le(values: &[Self], out: &mut Vec<u8>) {
+        out.reserve(values.len() * 16);
+        for v in values {
+            out.extend_from_slice(&v.lo.to_le_bytes());
+            out.extend_from_slice(&v.hi.to_le_bytes());
+        }
+    }
+
+    fn read_le(bytes: &[u8]) -> Vec<Self> {
+        debug_assert_eq!(bytes.len() % 16, 0);
+        bytes
+            .chunks_exact(16)
+            .map(|c| Interval {
+                lo: f64::from_le_bytes(c[..8].try_into().expect("exact chunk")),
+                hi: f64::from_le_bytes(c[8..].try_into().expect("exact chunk")),
+            })
+            .collect()
+    }
 }
 
 /// Plain-old-data element types a [`Slab`] can hold: fixed-width numeric
 /// types whose little-endian byte image is their storage format. Sealed —
-/// exactly `u32`, `u64` and `f64`.
+/// exactly `u32`, `u64`, `f64` and [`Interval`].
 pub trait Pod: sealed::Sealed + Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// Element width in bytes.
     const WIDTH: usize;
@@ -221,6 +277,30 @@ mod tests {
         let t = s.clone();
         assert_eq!(s, t);
         assert_eq!(t.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn interval_pod_round_trips_le_and_maps() {
+        assert_eq!(std::mem::size_of::<Interval>(), 16);
+        assert_eq!(std::mem::align_of::<Interval>(), 8);
+        let vals = [
+            Interval { lo: 1.5, hi: 2.5 },
+            Interval::point(-0.0),
+            Interval {
+                lo: f64::MIN_POSITIVE,
+                hi: f64::MAX,
+            },
+        ];
+        let mut bytes = Vec::new();
+        Interval::write_le(&vals, &mut bytes);
+        assert_eq!(bytes.len(), 48);
+        let back = Interval::read_le(&bytes);
+        for (a, b) in vals.iter().zip(&back) {
+            assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+            assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        }
+        assert!(Interval::point(3.0).is_point());
+        assert_eq!(Interval { lo: 1.0, hi: 4.0 }.width(), 3.0);
     }
 
     #[test]

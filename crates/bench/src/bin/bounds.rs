@@ -1,0 +1,167 @@
+//! Certified-bounds smoke gate: bound width vs. lumping tolerance.
+//!
+//! Runs `certified_bounds` (the `mdlump-cli solve --bounds` engine) on
+//! two configurations and checks the certification property on each row:
+//!
+//! * the shared-repair model with a small per-machine failure spread —
+//!   tolerance-lumpable only, so the rate envelope is non-empty and the
+//!   sweeps produce a genuine interval that must **enclose** the
+//!   unlumped chain's measure;
+//! * the tandem model (`J = 1`) — exactly lumpable, so the enclosure
+//!   must degenerate to the zero-width interval of the scalar solve.
+//!
+//! The binary exits non-zero when any row violates its property (a bound
+//! is non-finite, a non-degenerate interval misses the unlumped value,
+//! or a degenerate interval has width), which makes it usable as a CI
+//! gate. Run with `cargo run -p mdl-bench --release --bin bounds`.
+
+use mdl_cli::commands::{certified_bounds, Measure};
+use mdl_core::KernelOptions;
+use mdl_ctmc::SolverOptions;
+use mdl_linalg::Tolerance;
+use mdl_models::shared_repair::{SharedRepairConfig, SharedRepairModel};
+use mdl_models::tandem::{TandemConfig, TandemModel, TandemReward};
+use mdl_obs::json::JsonObject;
+use mdl_obs::Budget;
+
+struct Row {
+    model: &'static str,
+    tolerance: String,
+    lumped: u64,
+    deviation: f64,
+    lo: f64,
+    hi: f64,
+    full: f64,
+    degenerate: bool,
+    tight: bool,
+    ok: bool,
+}
+
+fn check(model: &'static str, mrp: &mdl_core::MdMrp, tolerance: Tolerance, full: f64) -> Row {
+    let kernel = KernelOptions::default();
+    let budget = Budget::unlimited();
+    let cb = certified_bounds(mrp, Measure::Stationary, tolerance, &kernel, &budget)
+        .expect("certified bounds solve");
+    let width = cb.bounds.hi - cb.bounds.lo;
+    let mid = 0.5 * (cb.bounds.lo + cb.bounds.hi);
+    let scale = 1.0 + full.abs();
+    // Strict enclosure of the cross-check value is only meaningful when
+    // the interval is wider than the cross-check's own iteration error
+    // (the unlumped chain is solved to ~1e-9 residual, not exactly).
+    // Narrower intervals — the degenerate point included — are checked
+    // by midpoint agreement instead, mirroring `solve --bounds`'s
+    // degenerate |Δ| display.
+    let tight = width <= 1e-8 * scale;
+    let ok = cb.bounds.lo.is_finite()
+        && cb.bounds.hi.is_finite()
+        && cb.bounds.lo <= cb.bounds.hi
+        && (!cb.degenerate || width == 0.0)
+        && if tight {
+            (mid - full).abs() <= 1e-6 * scale
+        } else {
+            // The acceptance property: the certified interval encloses
+            // the unlumped chain's measure.
+            cb.bounds.lo <= full && full <= cb.bounds.hi
+        };
+    Row {
+        model,
+        tolerance: format!("{tolerance:?}"),
+        lumped: cb.lump.stats.lumped_states,
+        deviation: cb.lump.stats.max_rate_deviation,
+        lo: cb.bounds.lo,
+        hi: cb.bounds.hi,
+        full,
+        degenerate: cb.degenerate,
+        tight,
+        ok,
+    }
+}
+
+fn main() {
+    println!("Certified bounds: width vs. lumping tolerance");
+
+    let shared = SharedRepairModel::new(SharedRepairConfig {
+        machines: 6,
+        failure_spread: 1e-4,
+        ..SharedRepairConfig::default()
+    });
+    let shared_mrp = shared.build_md_mrp().expect("shared-repair model builds");
+    let shared_full = shared_mrp
+        .expected_stationary_reward(&SolverOptions::default())
+        .expect("unlumped solve");
+
+    let tandem = TandemModel::new(TandemConfig {
+        jobs: 1,
+        ..TandemConfig::default()
+    });
+    let tandem_mrp = tandem
+        .build_md_mrp_with_reward(TandemReward::Availability)
+        .expect("tandem model builds");
+    let tandem_full = tandem_mrp
+        .expected_stationary_reward(&SolverOptions::default())
+        .expect("unlumped solve");
+
+    let mut rows = Vec::new();
+    for decimals in [2, 3, 4] {
+        rows.push(check(
+            "shared-repair",
+            &shared_mrp,
+            Tolerance::Decimals(decimals),
+            shared_full,
+        ));
+    }
+    rows.push(check(
+        "shared-repair",
+        &shared_mrp,
+        Tolerance::Exact,
+        shared_full,
+    ));
+    rows.push(check(
+        "tandem-J1",
+        &tandem_mrp,
+        Tolerance::default(),
+        tandem_full,
+    ));
+
+    println!(
+        "{:<14} {:<12} {:>7} {:>10} {:>14} {:>14} {:>10} {:>11}",
+        "model", "tolerance", "lumped", "max dev", "lo", "hi", "width", "verdict"
+    );
+    let mut lines = Vec::new();
+    let mut failed = false;
+    for row in &rows {
+        let width = row.hi - row.lo;
+        let verdict = match (row.ok, row.degenerate, row.tight) {
+            (true, true, _) => "degenerate",
+            (true, false, true) => "agrees",
+            (true, false, false) => "enclosed",
+            (false, ..) => "VIOLATED",
+        };
+        failed |= !row.ok;
+        println!(
+            "{:<14} {:<12} {:>7} {:>10.3e} {:>14.10} {:>14.10} {:>10.3e} {:>11}",
+            row.model, row.tolerance, row.lumped, row.deviation, row.lo, row.hi, width, verdict
+        );
+
+        let mut obj = JsonObject::new();
+        obj.str("type", "bounds")
+            .str("model", row.model)
+            .str("tolerance", &row.tolerance)
+            .u64("lumped", row.lumped)
+            .f64("max_deviation", row.deviation)
+            .f64("lo", row.lo)
+            .f64("hi", row.hi)
+            .f64("width", width)
+            .f64("unlumped", row.full)
+            .bool("degenerate", row.degenerate)
+            .bool("ok", row.ok);
+        lines.push(obj.close());
+    }
+    mdl_bench::emit_jsonl(&lines);
+
+    if failed {
+        eprintln!("certified-bounds gate: FAILED (see VIOLATED rows above)");
+        std::process::exit(1);
+    }
+    println!("certified-bounds gate: ok ({} rows)", rows.len());
+}

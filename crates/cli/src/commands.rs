@@ -8,7 +8,8 @@ use mdl_core::{
     CoreError, KernelKind, KernelOptions, LumpKind, LumpRequest, LumpResult, MdMrp, Pipeline,
     SolveOutcome, SolveRequest, Staged,
 };
-use mdl_ctmc::{SolverOptions, TransientOptions};
+use mdl_ctmc::{BoundsOptions, RunReport, SolverOptions, TransientOptions};
+use mdl_linalg::{Interval, Tolerance};
 use mdl_obs::Budget;
 
 use crate::error::CliError;
@@ -48,16 +49,22 @@ pub struct SolveSetup {
     /// Resume from the snapshot of a previous interrupted run, when one
     /// exists under the solve's key.
     pub resume: bool,
+    /// The lumping comparison tolerance (`--tolerance exact|N`): how
+    /// close rates must be to be grouped. The default, nine decimal
+    /// digits, absorbs only floating-point noise; looser settings lump
+    /// near-symmetric models and `--bounds` certifies the consequences.
+    pub tolerance: Tolerance,
 }
 
 impl SolveSetup {
     /// A setup without persistence: every stage computes, checkpointing
-    /// is off.
+    /// is off, the lump tolerance is the library default.
     pub fn ephemeral(model_key: u64) -> Self {
         SolveSetup {
             pipeline: Pipeline::new(model_key),
             checkpoint_every: None,
             resume: false,
+            tolerance: Tolerance::default(),
         }
     }
 }
@@ -177,6 +184,7 @@ fn run_lump(
 pub fn lump(
     parsed: &ParsedModel,
     kind: LumpKind,
+    tolerance: Tolerance,
     iterate: bool,
     deadline: Option<Duration>,
     threads: usize,
@@ -184,6 +192,7 @@ pub fn lump(
 ) -> Result<String, CliError> {
     let built = build_stage(pipeline, parsed)?;
     let request = LumpRequest::new(kind)
+        .tolerance(tolerance)
         .threads(threads)
         .budget(budget_for(deadline))
         .iterate(iterate);
@@ -339,6 +348,7 @@ pub fn solve(
     let budget = resilience.budget();
     let built = build_stage(pipeline, parsed)?;
     let lump_request = LumpRequest::new(kind)
+        .tolerance(setup.tolerance)
         .threads(kernel.threads)
         .budget(budget.clone());
     let lumped = pipeline
@@ -431,6 +441,11 @@ pub fn solve(
     };
     writeln!(out, "measure ({measure:?}): {lumped_value:.10}")?;
     if resilience.report {
+        writeln!(
+            out,
+            "max rate deviation absorbed by lumping: {:.3e}",
+            lumped.value.stats.max_rate_deviation
+        )?;
         match &report {
             Some(r) => out.push_str(&r.render()),
             None => writeln!(
@@ -447,6 +462,215 @@ pub fn solve(
             "cross-check (unlumped chain): {full_value:.10}  |Δ| = {:.3e}",
             (full_value - lumped_value).abs()
         )?;
+    }
+    Ok(out)
+}
+
+/// The raw outcome of a certified-bounds computation, before any
+/// formatting: what `solve --bounds` prints and what tests assert on
+/// (the formatted interval loses the low-order bits the degenerate-path
+/// bit-identity guarantee is about).
+#[derive(Debug)]
+pub struct CertifiedBounds {
+    /// The tolerance lump whose quotient the sweeps ran on, carrying the
+    /// rate envelope and `stats.max_rate_deviation`.
+    pub lump: LumpResult,
+    /// `true` when every transition lumped exactly: the envelope is
+    /// empty, the credal box collapses to the single scalar chain, and
+    /// `bounds` is the degenerate interval `[x, x]` of the scalar solve.
+    pub degenerate: bool,
+    /// The certified enclosure of the measure.
+    pub bounds: Interval,
+    /// Whether the sweeps reached their tolerance (always `true` on the
+    /// degenerate path). Unconverged bounds are still certified, just
+    /// looser than requested.
+    pub converged: bool,
+    /// The per-sweep attempt log.
+    pub report: RunReport,
+}
+
+/// Computes a certified enclosure `[lo, hi]` of the measure under
+/// tolerance lumping. The lump records a rate envelope — per lumped
+/// transition, the hull of the member rates each stored coefficient
+/// stands in for — and the enclosure is computed by lower/upper power
+/// sweeps over the interval-weighted compiled kernel (outward-rounded
+/// arithmetic end to end), so every CTMC whose rates lie inside the
+/// envelope, including the unlumped chain, has its measure inside the
+/// returned interval.
+///
+/// # Errors
+///
+/// Accumulated rewards are rejected (the certified sweeps cover
+/// stationary and transient measures); lumping and solver failures
+/// propagate as [`CliError`]s; an expired budget surfaces as
+/// [`CliError::Interrupted`].
+pub fn certified_bounds(
+    mrp: &MdMrp,
+    measure: Measure,
+    tolerance: Tolerance,
+    kernel: &KernelOptions,
+    budget: &Budget,
+) -> Result<CertifiedBounds, CliError> {
+    let time_point = match measure {
+        Measure::Stationary => None,
+        Measure::Transient(t) => Some(t),
+        Measure::Accumulated(_) => {
+            return Err(CliError::Failed(
+                "--bounds supports the stationary and --transient measures \
+                 (accumulated rewards have no certified sweep)"
+                    .into(),
+            ))
+        }
+    };
+    // Envelopes are not persisted (the lump cache stores only the
+    // quotient), so the bounds path lumps directly: a single pass with
+    // quasi-reduction off — the configuration whose `(level, node)`
+    // keying the envelope certifies.
+    let lump = LumpRequest::new(LumpKind::Ordinary)
+        .tolerance(tolerance)
+        .threads(kernel.threads)
+        .budget(budget.clone())
+        .run(mrp)
+        .map_err(CliError::from)?;
+    // A `--tolerance exact` run compares rates bitwise and records no
+    // envelope: every merge was exact, so the bounds legitimately
+    // degenerate. A missing envelope under any other tolerance is a bug.
+    let empty_envelope = mdl_core::RateEnvelope::default();
+    let envelope = match (&lump.envelope, tolerance) {
+        (Some(env), _) => env,
+        (None, Tolerance::Exact) => &empty_envelope,
+        (None, _) => {
+            return Err(CliError::Failed(
+                "lump carried no rate envelope (internal error)".into(),
+            ))
+        }
+    };
+
+    if envelope.is_empty() {
+        let sopts = solver_options(budget);
+        let topts = transient_options(budget);
+        let (outcome, report) = request_for(measure, &sopts, &topts, kernel).run(&lump.mrp);
+        let value = expected_reward(&lump.mrp, outcome.map_err(CliError::from)?)?;
+        return Ok(CertifiedBounds {
+            degenerate: true,
+            bounds: Interval::point(value),
+            converged: true,
+            report,
+            lump,
+        });
+    }
+    let ikernel = mdl_md::CompiledMdMatrix::<Interval>::compile_weighted(
+        lump.mrp.matrix(),
+        kernel.threads,
+        budget,
+        &|site| envelope.widen(site),
+    )
+    .map_err(|e| CliError::from(CoreError::Md(e)))?;
+    let f = lump.mrp.reward_vector();
+    let options = BoundsOptions {
+        budget: budget.clone(),
+        ..BoundsOptions::default()
+    };
+    let solution = match time_point {
+        None => mdl_ctmc::stationary_bounds(&ikernel, &f, &options)?,
+        Some(t) => {
+            mdl_ctmc::transient_bounds(&ikernel, &lump.mrp.initial_vector(), &f, t, &options)?
+        }
+    };
+    Ok(CertifiedBounds {
+        degenerate: false,
+        bounds: solution.bounds,
+        converged: solution.stats.converged,
+        report: solution.report,
+        lump,
+    })
+}
+
+/// `solve --bounds`: a certified enclosure `[lo, hi]` of the measure
+/// under tolerance lumping (see [`certified_bounds`] for the
+/// mathematics). When every transition lumped exactly the enclosure
+/// degenerates to the scalar solve itself — `[x, x]`, bit-identical to
+/// the plain `solve` path at any thread count.
+///
+/// # Errors
+///
+/// `--exact` and `--accumulated` are rejected (the certified sweeps
+/// cover stationary and transient measures of the ordinary quotient);
+/// build, lumping and solver failures propagate as [`CliError`]s; an
+/// expired `--deadline` surfaces as [`CliError::Interrupted`].
+pub fn solve_bounds(
+    parsed: &ParsedModel,
+    kind: LumpKind,
+    measure: Measure,
+    cross_check_limit: usize,
+    kernel: &KernelOptions,
+    resilience: &ResilienceFlags,
+    setup: &SolveSetup,
+) -> Result<String, CliError> {
+    if kind == LumpKind::Exact {
+        return Err(CliError::Failed(
+            "--bounds encloses measures of the ordinary-lumped chain; --exact is not supported"
+                .into(),
+        ));
+    }
+    let pipeline = &setup.pipeline;
+    let budget = resilience.budget();
+    let built = build_stage(pipeline, parsed)?;
+    let cb = certified_bounds(&built.value, measure, setup.tolerance, kernel, &budget)?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "lumped {} -> {} states; computing certified bounds on the lumped chain",
+        cb.lump.stats.original_states, cb.lump.stats.lumped_states
+    )?;
+    writeln!(
+        out,
+        "max rate deviation absorbed by lumping: {:.3e}",
+        cb.lump.stats.max_rate_deviation
+    )?;
+    if cb.degenerate {
+        writeln!(
+            out,
+            "every transition lumped exactly; bounds degenerate to the scalar solve"
+        )?;
+    }
+    if !cb.converged {
+        writeln!(
+            out,
+            "sweeps stopped before the tolerance (bounds are certified but loose)"
+        )?;
+    }
+    writeln!(
+        out,
+        "measure ({measure:?}): [{:.10}, {:.10}]  width {:.3e}",
+        cb.bounds.lo,
+        cb.bounds.hi,
+        cb.bounds.hi - cb.bounds.lo
+    )?;
+    if resilience.report {
+        out.push_str(&cb.report.render());
+    }
+
+    if built.value.num_states() <= cross_check_limit {
+        let full_value = cross_check(pipeline, &built, measure, kernel, &budget)?;
+        if cb.degenerate {
+            // A zero-width interval is the scalar solve; the unlumped
+            // solve differs from it by its own iteration tolerance, so
+            // report the discrepancy like the plain solve path does
+            // rather than a meaningless strict-enclosure verdict.
+            writeln!(
+                out,
+                "cross-check (unlumped chain): {full_value:.10}  |Δ| = {:.3e}",
+                (full_value - cb.bounds.lo).abs()
+            )?;
+        } else {
+            let enclosed = cb.bounds.lo <= full_value && full_value <= cb.bounds.hi;
+            writeln!(
+                out,
+                "cross-check (unlumped chain): {full_value:.10}  enclosed: {}",
+                if enclosed { "yes" } else { "NO" }
+            )?;
+        }
     }
     Ok(out)
 }
@@ -470,6 +694,7 @@ fn sweep_jsonl_row(r: &mdl_core::SweepPointResult, measure: f64) -> String {
         .raw("params", &params)
         .f64("measure", measure)
         .u64("lumped_states", r.lump.stats.lumped_states)
+        .f64("max_rate_deviation", r.lump.stats.max_rate_deviation)
         .u64("levels_reused", r.levels_reused as u64)
         .u64("levels_relumped", r.levels_relumped as u64)
         .bool("warm_started", r.warm_started)
@@ -750,6 +975,66 @@ reward sum
   value workers 7 3.0
 ";
 
+    /// `MODEL` with one `finish` factor nudged by one part in a
+    /// thousand: no longer exactly lumpable, but tolerance-lumpable at
+    /// two decimal digits — the configuration `--bounds` exists for.
+    const NEAR_MODEL: &str = "
+component ctrl 2 initial 0
+component workers 8
+
+event toggle rate 0.2
+  factor ctrl 0 1 1.0
+  factor ctrl 1 0 1.0
+
+event start rate 2.0
+  factor ctrl 0 0 1.0
+  factor workers 0 1 1.0
+  factor workers 0 2 1.0
+  factor workers 0 4 1.0
+  factor workers 1 3 1.0
+  factor workers 1 5 1.0
+  factor workers 2 3 1.0
+  factor workers 2 6 1.0
+  factor workers 4 5 1.0
+  factor workers 4 6 1.0
+  factor workers 3 7 1.0
+  factor workers 5 7 1.0
+  factor workers 6 7 1.0
+
+event finish rate 1.0
+  factor workers 1 0 1.001
+  factor workers 2 0 1.0
+  factor workers 4 0 1.0
+  factor workers 3 1 1.0
+  factor workers 3 2 1.0
+  factor workers 5 1 1.0
+  factor workers 5 4 1.0
+  factor workers 6 2 1.0
+  factor workers 6 4 1.0
+  factor workers 7 3 1.0
+  factor workers 7 5 1.0
+  factor workers 7 6 1.0
+
+reward sum
+  value workers 1 1.0
+  value workers 2 1.0
+  value workers 4 1.0
+  value workers 3 2.0
+  value workers 5 2.0
+  value workers 6 2.0
+  value workers 7 3.0
+";
+
+    /// The `MODEL` structure with every event rate substituted: the
+    /// worker bits keep identical rates by construction, so every draw
+    /// is exactly lumpable.
+    fn symmetric_model(toggle: f64, start: f64, finish: f64) -> String {
+        MODEL
+            .replace("rate 0.2", &format!("rate {toggle}"))
+            .replace("rate 2.0", &format!("rate {start}"))
+            .replace("rate 1.0", &format!("rate {finish}"))
+    }
+
     #[test]
     fn info_reports_structure() {
         let parsed = parse_model(MODEL).unwrap();
@@ -764,6 +1049,7 @@ reward sum
         let out = lump(
             &parsed,
             LumpKind::Ordinary,
+            Tolerance::default(),
             false,
             None,
             0,
@@ -909,6 +1195,7 @@ reward sum
         let err = lump(
             &parsed,
             LumpKind::Ordinary,
+            Tolerance::default(),
             true,
             Some(Duration::ZERO),
             1,
@@ -928,6 +1215,7 @@ reward sum
             pipeline: Pipeline::with_store(model_source_key(MODEL), store.clone()),
             checkpoint_every: None,
             resume: false,
+            tolerance: Tolerance::default(),
         };
         let run = || {
             solve(
@@ -975,6 +1263,7 @@ reward sum
             pipeline: Pipeline::with_store(model_source_key(MODEL), store.clone()),
             checkpoint_every: Some(1),
             resume: true,
+            tolerance: Tolerance::default(),
         };
         let out = solve(
             &parsed,
@@ -1134,6 +1423,161 @@ reward sum
             "simulation {ses} standard errors away:
 {out}"
         );
+    }
+
+    #[test]
+    fn bounds_reject_exact_and_accumulated() {
+        let parsed = parse_model(MODEL).unwrap();
+        let err = solve_bounds(
+            &parsed,
+            LumpKind::Exact,
+            Measure::Stationary,
+            0,
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--exact"), "{err}");
+        let err = solve_bounds(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Accumulated(1.0),
+            0,
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("certified sweep"), "{err}");
+    }
+
+    #[test]
+    fn bounds_enclose_unlumped_measures_on_a_tolerance_lump() {
+        let parsed = parse_model(NEAR_MODEL).unwrap();
+        let mrp = parsed.build().unwrap();
+        let kernel = KernelOptions::default();
+        let budget = Budget::unlimited();
+        for measure in [Measure::Stationary, Measure::Transient(0.8)] {
+            let cb =
+                certified_bounds(&mrp, measure, Tolerance::Decimals(2), &kernel, &budget).unwrap();
+            assert!(!cb.degenerate, "perturbed rates must leave an envelope");
+            assert!(
+                cb.lump.stats.lumped_states < cb.lump.stats.original_states,
+                "the near-symmetric model must still lump at 2 decimals"
+            );
+            assert!(cb.lump.stats.max_rate_deviation > 0.0);
+            assert!(
+                cb.bounds.hi > cb.bounds.lo,
+                "an inexact lump must widen the enclosure"
+            );
+            // The certified interval encloses the *unlumped* chain's
+            // measure — the acceptance property of the whole feature.
+            let sopts = solver_options(&budget);
+            let topts = transient_options(&budget);
+            let (outcome, _) = request_for(measure, &sopts, &topts, &kernel).run(&mrp);
+            let full = expected_reward(&mrp, outcome.unwrap()).unwrap();
+            assert!(
+                cb.bounds.lo <= full && full <= cb.bounds.hi,
+                "{measure:?}: unlumped {full} outside [{}, {}]",
+                cb.bounds.lo,
+                cb.bounds.hi
+            );
+        }
+    }
+
+    #[test]
+    fn solve_bounds_reports_enclosure_of_the_unlumped_chain() {
+        let parsed = parse_model(NEAR_MODEL).unwrap();
+        let setup = SolveSetup {
+            tolerance: Tolerance::Decimals(2),
+            ..SolveSetup::ephemeral(model_source_key(NEAR_MODEL))
+        };
+        let out = solve_bounds(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            1_000,
+            &KernelOptions::default(),
+            &ResilienceFlags {
+                report: true,
+                ..ResilienceFlags::default()
+            },
+            &setup,
+        )
+        .unwrap();
+        assert!(out.contains("16 -> 8 states"), "{out}");
+        assert!(out.contains("max rate deviation"), "{out}");
+        assert!(out.contains("enclosed: yes"), "{out}");
+        assert!(out.contains("width"), "{out}");
+        assert!(
+            out.contains("bounds-lower") && out.contains("bounds-upper"),
+            "{out}"
+        );
+        assert!(!out.contains("degenerate"), "{out}");
+    }
+
+    #[test]
+    fn solve_bounds_degenerates_on_the_exactly_lumpable_model() {
+        let parsed = parse_model(MODEL).unwrap();
+        let out = solve_bounds(
+            &parsed,
+            LumpKind::Ordinary,
+            Measure::Stationary,
+            1_000,
+            &KernelOptions::default(),
+            &ResilienceFlags::default(),
+            &setup(),
+        )
+        .unwrap();
+        assert!(out.contains("degenerate"), "{out}");
+        assert!(out.contains("width 0.0"), "{out}");
+        // The degenerate cross-check reports the scalar discrepancy
+        // (solver-tolerance sized), not a strict-enclosure verdict.
+        assert!(out.contains("|Δ|"), "{out}");
+        assert!(!out.contains("enclosed"), "{out}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig { cases: 6, ..Default::default() })]
+        /// The 0-ulp acceptance property: on an exactly lumpable model,
+        /// `--bounds` returns a zero-width interval whose midpoint is
+        /// bit-identical to the scalar solve, at every thread count.
+        #[test]
+        fn exact_lump_bounds_are_zero_width_and_bit_identical(
+            toggle in 0.05f64..4.0,
+            start in 0.05f64..4.0,
+            finish in 0.05f64..4.0,
+        ) {
+            let text = symmetric_model(toggle, start, finish);
+            let parsed = parse_model(&text).unwrap();
+            let mrp = parsed.build().unwrap();
+            let budget = Budget::unlimited();
+            // The scalar reference: the plain solve path on the quotient.
+            let lump = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+            let sopts = solver_options(&budget);
+            let topts = transient_options(&budget);
+            let reference = KernelOptions { kind: KernelKind::Compiled, threads: 1 };
+            let (outcome, _) =
+                request_for(Measure::Stationary, &sopts, &topts, &reference).run(&lump.mrp);
+            let scalar = expected_reward(&lump.mrp, outcome.unwrap()).unwrap();
+            for threads in [1usize, 2, 4] {
+                let kernel = KernelOptions { kind: KernelKind::Compiled, threads };
+                let cb = certified_bounds(
+                    &mrp, Measure::Stationary, Tolerance::default(), &kernel, &budget,
+                ).unwrap();
+                proptest::prop_assert!(cb.degenerate, "symmetric draw must lump exactly");
+                proptest::prop_assert_eq!(cb.bounds.lo.to_bits(), cb.bounds.hi.to_bits());
+                proptest::prop_assert_eq!(
+                    cb.bounds.lo.to_bits(),
+                    scalar.to_bits(),
+                    "threads {}: {} vs {}",
+                    threads,
+                    cb.bounds.lo,
+                    scalar
+                );
+            }
+        }
     }
 
     #[test]

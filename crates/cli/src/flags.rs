@@ -258,13 +258,16 @@ impl ResilienceFlags {
 /// # Errors
 ///
 /// A message naming the flag for a missing or malformed value, and for
-/// `--report` without `--fallback` (there is no attempt log to report).
+/// `--report` without `--fallback` or `--bounds` (there is no attempt
+/// log to report).
 pub fn parse_resilience_flags(flags: &[String]) -> Result<ResilienceFlags, String> {
     let deadline = flag_duration(flags, "--deadline")?;
     let fallback = flags.iter().any(|f| f == "--fallback");
     let report = flags.iter().any(|f| f == "--report");
-    if report && !fallback {
-        return Err("--report needs --fallback (it renders the fallback attempt log)".into());
+    // Bounds runs carry a per-sweep attempt log of their own, so
+    // `--report` is meaningful there without the fallback ladder.
+    if report && !fallback && !flags.iter().any(|f| f == "--bounds") {
+        return Err("--report needs --fallback or --bounds (it renders the attempt log)".into());
     }
     Ok(ResilienceFlags {
         deadline,
@@ -301,6 +304,26 @@ pub fn flag_duration(flags: &[String], flag: &str) -> Result<Option<std::time::D
             ));
         }
         Ok(std::time::Duration::from_secs_f64(x * scale))
+    })
+}
+
+/// Parses `--tolerance exact|N` into the lumping comparison tolerance:
+/// `exact` compares rates bit-for-bit, an integer `N` compares them
+/// rounded to `N` decimal digits. Absent means the library default (9
+/// digits). Looser tolerances lump more aggressively; `--bounds`
+/// certifies exactly what the absorbed deviations can do to the measure.
+///
+/// # Errors
+///
+/// Explicit messages for a missing value and anything that is neither
+/// `exact` nor a small non-negative integer.
+pub fn flag_tolerance(flags: &[String]) -> Result<Option<mdl_linalg::Tolerance>, String> {
+    flag_parsed(flags, "--tolerance", |v| match v {
+        "exact" => Ok(mdl_linalg::Tolerance::Exact),
+        _ => v
+            .parse::<u32>()
+            .map(mdl_linalg::Tolerance::Decimals)
+            .map_err(|_| format!("expected `exact` or a number of decimal digits, got {v:?}")),
     })
 }
 
@@ -711,6 +734,30 @@ mod tests {
         assert!(e(&["--deadline", "5m"]).contains("invalid duration"));
         assert!(e(&["--deadline", "-3ms"]).contains("non-negative"));
         assert!(e(&["--deadline", "infs"]).contains("non-negative"));
+    }
+
+    #[test]
+    fn tolerance_flag_parses() {
+        use mdl_linalg::Tolerance;
+        assert_eq!(flag_tolerance(&args(&[])).unwrap(), None);
+        assert_eq!(
+            flag_tolerance(&args(&["--tolerance", "exact"])).unwrap(),
+            Some(Tolerance::Exact)
+        );
+        assert_eq!(
+            flag_tolerance(&args(&["--tolerance", "2"])).unwrap(),
+            Some(Tolerance::Decimals(2))
+        );
+        assert_eq!(
+            flag_tolerance(&args(&["--tolerance", "9"])).unwrap(),
+            Some(Tolerance::default())
+        );
+        let e = flag_tolerance(&args(&["--tolerance", "tight"])).unwrap_err();
+        assert!(e.contains("--tolerance") && e.contains("exact"), "{e}");
+        let e = flag_tolerance(&args(&["--tolerance", "-1"])).unwrap_err();
+        assert!(e.contains("decimal digits"), "{e}");
+        let e = flag_tolerance(&args(&["--tolerance"])).unwrap_err();
+        assert!(e.contains("needs a value"), "{e}");
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //!
 //! ```text
 //! mdlump-cli info     <model-file>
-//! mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]
-//!                     [--deadline DUR]
+//! mdlump-cli lump     <model-file> [--exact] [--iterate] [--tolerance exact|N]
+//!                     [--threads N] [--deadline DUR]
 //! mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]
+//!                     [--bounds] [--tolerance exact|N]
 //!                     [--kernel walk|compiled] [--threads N]
 //!                     [--deadline DUR] [--fallback] [--report]
 //!                     [--cache-dir DIR] [--checkpoint-every N] [--resume]
@@ -50,7 +51,7 @@ use mdl_obs::{JsonlSubscriber, PrettySubscriber};
 static ALLOC: mdl_obs::CountingAllocator = mdl_obs::CountingAllocator;
 
 fn usage() -> String {
-    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--threads N]\n                      [--deadline DUR] [--cache-dir DIR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n                      [--cache-dir DIR] [--checkpoint-every N] [--resume]\n  mdlump-cli sweep    <model-file> --set name=lo:hi:count [--set ...]\n                      [--sweep-out FILE] [--kernel walk|compiled]\n                      [--threads N] [--deadline DUR] [--fallback]\n                      [--cache-dir DIR]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nparameter sweep:\n  --set name=lo:hi:count  sweep the named event's rate over an inclusive\n                          linspace (count >= 2 points), or name=value for\n                          a single point; repeat --set to sweep the\n                          Cartesian product of several axes; the\n                          structure compiles once, unchanged levels\n                          reuse their partition across points, and each\n                          stationary solve warm-starts from its nearest\n                          solved neighbor\n  --sweep-out FILE        write one JSON object per point to FILE\n                          (params, measure, lumped states, level reuse,\n                          warm start, iterations, timings)\n\nartifact cache (lump, solve and sweep):\n  --cache-dir DIR         content-addressed cache of every pipeline\n                          stage (build, lump, kernel compile, solve,\n                          measures): artifacts persist under keys\n                          derived from the model text and the\n                          result-relevant options, so a repeated run is\n                          pure cache hits (the MDL_CACHE environment\n                          variable supplies a default directory)\n  --checkpoint-every N    with a cache: snapshot long stationary /\n                          transient solves every N iterations so an\n                          interrupted run can continue\n  --resume                with a cache: continue an interrupted solve\n                          from its checkpoint (cleared on success)\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n  --profile               print an aggregated self-profile to stderr at\n                          exit: the span tree with call counts,\n                          inclusive/exclusive wall time and allocation\n                          deltas per stage (JSON with --metrics json)\n  --profile-out FILE      write the run's timeline as Chrome\n                          trace-event JSON to FILE; load it in Perfetto\n                          or chrome://tracing to see pipeline stages\n                          and worker threads on a zoomable time axis\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
+    "usage:\n  mdlump-cli info     <model-file>\n  mdlump-cli lump     <model-file> [--exact] [--iterate] [--tolerance exact|N]\n                      [--threads N] [--deadline DUR] [--cache-dir DIR]\n  mdlump-cli solve    <model-file> [--exact] [--transient T | --accumulated T]\n                      [--bounds] [--tolerance exact|N]\n                      [--kernel walk|compiled] [--threads N]\n                      [--deadline DUR] [--fallback] [--report]\n                      [--cache-dir DIR] [--checkpoint-every N] [--resume]\n  mdlump-cli sweep    <model-file> --set name=lo:hi:count [--set ...]\n                      [--sweep-out FILE] [--kernel walk|compiled]\n                      [--threads N] [--deadline DUR] [--fallback]\n                      [--cache-dir DIR]\n  mdlump-cli simulate <model-file> [--horizon T] [--reps N] [--seed S]\n                      [--deadline DUR]\n\nparameter sweep:\n  --set name=lo:hi:count  sweep the named event's rate over an inclusive\n                          linspace (count >= 2 points), or name=value for\n                          a single point; repeat --set to sweep the\n                          Cartesian product of several axes; the\n                          structure compiles once, unchanged levels\n                          reuse their partition across points, and each\n                          stationary solve warm-starts from its nearest\n                          solved neighbor\n  --sweep-out FILE        write one JSON object per point to FILE\n                          (params, measure, lumped states, level reuse,\n                          warm start, iterations, timings)\n\nartifact cache (lump, solve and sweep):\n  --cache-dir DIR         content-addressed cache of every pipeline\n                          stage (build, lump, kernel compile, solve,\n                          measures): artifacts persist under keys\n                          derived from the model text and the\n                          result-relevant options, so a repeated run is\n                          pure cache hits (the MDL_CACHE environment\n                          variable supplies a default directory)\n  --checkpoint-every N    with a cache: snapshot long stationary /\n                          transient solves every N iterations so an\n                          interrupted run can continue\n  --resume                with a cache: continue an interrupted solve\n                          from its checkpoint (cleared on success)\n\nsolve kernel:\n  --kernel walk|compiled  iterate the recursive MD walk, or compile the\n                          MD\u{d7}MDD pair once into a flat kernel (default;\n                          bit-identical products, typically much faster)\n  --threads N             worker threads (at least 1) for compiled\n                          products and for the lump refinement's\n                          formal-sum key phase; the result is\n                          bit-identical for any count (omit the flag for\n                          one worker per hardware thread)\n\nlumping (lump and solve):\n  --tolerance exact|N     compare rates bit-for-bit (exact) or rounded\n                          to N decimal digits when grouping states\n                          (default 9, which absorbs only floating-point\n                          noise); looser tolerances lump near-symmetric\n                          models, trading exactness for reduction --\n                          pair with --bounds to certify the trade\n\ncertified bounds (solve):\n  --bounds                enclose the measure in a certified interval\n                          [lo, hi]: tolerance lumping records, per lumped\n                          transition, the hull of the member rates its\n                          coefficient stands in for, and lower/upper\n                          sweeps over that interval-weighted kernel\n                          (outward-rounded arithmetic throughout) bound\n                          every chain in the envelope -- including the\n                          unlumped one; an exactly lumpable model yields\n                          the degenerate interval [x, x] of the scalar\n                          solve (stationary and --transient measures)\n\nresilience:\n  --deadline DUR          wall-clock budget for the run (e.g. 250ms, 1.5s;\n                          bare numbers are seconds); an expired deadline\n                          exits with code 2 and an `interrupted` message\n  --fallback              solve through the resilient fallback ladder:\n                          jacobi/compiled -> power/compiled -> power/walk\n                          -> power/flat-csr (solve only; the ladder\n                          covers stationary and transient measures)\n  --report                with --fallback, append the per-attempt log to\n                          the output\n\nobservability (any subcommand):\n  --trace                 stream span/point events as they happen\n  --metrics pretty|json   emit spans and a final counter/timing report\n  --metrics-out FILE      write the stream to FILE instead of stderr\n  --profile               print an aggregated self-profile to stderr at\n                          exit: the span tree with call counts,\n                          inclusive/exclusive wall time and allocation\n                          deltas per stage (JSON with --metrics json)\n  --profile-out FILE      write the run's timeline as Chrome\n                          trace-event JSON to FILE; load it in Perfetto\n                          or chrome://tracing to see pipeline stages\n                          and worker threads on a zoomable time axis\n\nexit codes: 0 success, 1 failure, 2 deadline/budget interrupted\n\nsee the mdl-cli crate docs for the model file format"
         .to_string()
 }
 
@@ -220,8 +221,11 @@ fn run(args: &[String]) -> Result<String, CliError> {
             let iterate = flag_args.iter().any(|f| f == "--iterate");
             let deadline = flags::flag_duration(flag_args, "--deadline")?;
             let threads = flags::flag_threads(flag_args)?.unwrap_or(0);
+            let tolerance = flags::flag_tolerance(flag_args)?.unwrap_or_default();
             let pipeline = pipeline_for(&pipeline_flags, &input)?;
-            commands::lump(&parsed, kind, iterate, deadline, threads, &pipeline)
+            commands::lump(
+                &parsed, kind, tolerance, iterate, deadline, threads, &pipeline,
+            )
         }
         "solve" => {
             let transient = flags::flag_f64_nonneg(flag_args, "--transient")?;
@@ -242,16 +246,29 @@ fn run(args: &[String]) -> Result<String, CliError> {
                 pipeline: pipeline_for(&pipeline_flags, &input)?,
                 checkpoint_every: pipeline_flags.checkpoint_every.map(|n| n as usize),
                 resume: pipeline_flags.resume,
+                tolerance: flags::flag_tolerance(flag_args)?.unwrap_or_default(),
             };
-            commands::solve(
-                &parsed,
-                kind,
-                measure,
-                200_000,
-                &kernel,
-                &resilience,
-                &setup,
-            )
+            if flag_args.iter().any(|f| f == "--bounds") {
+                commands::solve_bounds(
+                    &parsed,
+                    kind,
+                    measure,
+                    200_000,
+                    &kernel,
+                    &resilience,
+                    &setup,
+                )
+            } else {
+                commands::solve(
+                    &parsed,
+                    kind,
+                    measure,
+                    200_000,
+                    &kernel,
+                    &resilience,
+                    &setup,
+                )
+            }
         }
         "sweep" => {
             if kind == LumpKind::Exact {

@@ -82,12 +82,9 @@ pub mod verify;
 pub use decomp::{Combiner, DecomposableVector};
 pub use error::CoreError;
 pub use local::{comp_lumping_level, comp_lumping_level_per_node, comp_lumping_level_pooled};
-#[allow(deprecated)]
 pub use lump::{
-    compositional_lump, compositional_lump_budgeted, compositional_lump_iterated,
-    compositional_lump_iterated_budgeted, compositional_lump_with,
+    LevelLumpStats, LumpKind, LumpOptions, LumpRequest, LumpResult, LumpStats, RateEnvelope,
 };
-pub use lump::{LevelLumpStats, LumpKind, LumpOptions, LumpRequest, LumpResult, LumpStats};
 pub use mrp::{KernelKind, KernelOptions, MdMrp};
 pub use pipeline::{model_source_key, transient_resume, Pipeline, Staged};
 pub use resilient::{KernelRung, MdResilientOptions};

@@ -264,7 +264,12 @@ mod tests {
     fn initial_partition_limits_coarseness() {
         let md = symmetric_level();
         let init = Partition::from_classes(vec![vec![0, 3], vec![1], vec![2]]);
-        let (p, _) = comp_lumping_level(&md.level_nodes(0), init, LumpKind::Ordinary, Tolerance::Exact);
+        let (p, _) = comp_lumping_level(
+            &md.level_nodes(0),
+            init,
+            LumpKind::Ordinary,
+            Tolerance::Exact,
+        );
         assert!(!p.same_class(1, 2));
     }
 }

@@ -1,8 +1,9 @@
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
-use mdl_linalg::Tolerance;
-use mdl_md::{MdMatrix, MdNode};
+use mdl_linalg::weight::{add_down, add_up, next_down, next_up};
+use mdl_linalg::{Interval, Tolerance};
+use mdl_md::{ChildId, MdMatrix, MdNode, TermSite};
 use mdl_obs::{Budget, ThreadPool};
 use mdl_partition::{Partition, RefinementStats};
 
@@ -24,8 +25,7 @@ pub enum LumpKind {
     Exact,
 }
 
-/// Options for [`LumpRequest`] (and the deprecated `compositional_lump*`
-/// wrappers).
+/// Options for [`LumpRequest`].
 #[derive(Debug, Clone, Copy)]
 pub struct LumpOptions {
     /// How rate coefficients are compared (see [`Tolerance`]).
@@ -101,6 +101,13 @@ pub struct LumpStats {
     /// lump ([`LumpRequest::iterate`]) the number of passes until the
     /// fixed point (the final, unproductive pass included).
     pub rounds: usize,
+    /// The largest per-lumped-transition rate deviation absorbed by a
+    /// tolerance lump: the maximum distance from a lumped term's stored
+    /// coefficient to the farthest member aggregate it stands in for.
+    /// Exactly `0.0` for [`Tolerance::Exact`] runs and for exactly
+    /// lumpable models (every member aggregate equals the
+    /// representative's).
+    pub max_rate_deviation: f64,
     /// Total wall-clock time of the lump.
     pub elapsed: Duration,
 }
@@ -130,6 +137,89 @@ pub struct LumpResult {
     /// the exact quotient's diagonal is not recoverable from its row sums;
     /// see [`crate::exact`].
     pub exact_exit_rates: Option<Vec<f64>>,
+    /// Per-lumped-term rate envelopes recorded by a tolerance lump
+    /// ([`Tolerance::Decimals`]): the certified `[min, max]` of the member
+    /// aggregates each lumped coefficient stands in for. `None` for
+    /// [`Tolerance::Exact`] runs, and after a quasi-reduction that merged
+    /// nodes or an iterated run (both invalidate the `(level, node)`
+    /// keying — run single-pass with `quasi_reduce` off for bounds).
+    pub envelope: Option<RateEnvelope>,
+}
+
+/// Certified rate envelopes of a tolerance lump, keyed by lumped-term
+/// coordinates: `(level, node index, row class, column class, child)` —
+/// exactly a [`TermSite`], because
+/// [`Md::replace_level`](mdl_md::Md::replace_level) preserves per-level
+/// node count and order, so the lumped diagram's node indices match the
+/// original's.
+///
+/// For each recorded term, the interval encloses every member aggregate
+/// the lumped coefficient stands in for (accumulated with directed
+/// rounding and widened one ulp outward), **and** the stored coefficient
+/// itself. Terms that lump exactly are not recorded: looking them up
+/// yields the degenerate point interval, so an exactly lumpable model
+/// produces an empty envelope.
+#[derive(Debug, Clone, Default)]
+pub struct RateEnvelope {
+    map: HashMap<(u32, u32, u32, u32, ChildId), Interval>,
+    max_deviation: f64,
+}
+
+impl RateEnvelope {
+    /// The certified rate interval of one compiled term: the recorded
+    /// envelope, or the degenerate point interval of the stored
+    /// coefficient when the term lumped exactly. This is the weight
+    /// source for
+    /// [`CompiledMdMatrix::compile_weighted`](mdl_md::CompiledMdMatrix)
+    /// on the bounds path.
+    pub fn widen(&self, site: &TermSite) -> Interval {
+        self.map
+            .get(&(site.level, site.node, site.row, site.col, site.child))
+            .copied()
+            .unwrap_or_else(|| Interval::point(site.coef))
+    }
+
+    /// Number of inexactly lumped terms recorded.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when every term lumped exactly (zero-width everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The largest distance from a stored coefficient to its envelope's
+    /// farther end — the headline "rate deviation absorbed" figure
+    /// surfaced in [`LumpStats::max_rate_deviation`].
+    pub fn max_deviation(&self) -> f64 {
+        self.max_deviation
+    }
+
+    /// Records one inexactly lumped term: hull of the member aggregates
+    /// `[lo, hi]` and the stored coefficient, widened one ulp outward.
+    /// Exact terms (`lo == hi == stored`) are skipped.
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        level: u32,
+        node: u32,
+        row: u32,
+        col: u32,
+        child: ChildId,
+        lo: f64,
+        hi: f64,
+        stored: f64,
+    ) {
+        if lo == hi && lo == stored {
+            return;
+        }
+        let lo = next_down(lo.min(stored));
+        let hi = next_up(hi.max(stored));
+        self.max_deviation = self.max_deviation.max(stored - lo).max(hi - stored);
+        self.map
+            .insert((level, node, row, col, child), Interval { lo, hi });
+    }
 }
 
 impl LumpResult {
@@ -474,18 +564,11 @@ fn run_single(
         let (partition, refinement) = if options.per_node_fixed_point {
             comp_lumping_level_per_node(&level_nodes, p_ini, kind, options.tolerance)
         } else {
-            comp_lumping_level_pooled(
-                &level_nodes,
-                p_ini,
-                kind,
-                options.tolerance,
-                pool,
-                budget,
-            )
-            .map_err(|reason| crate::CoreError::Interrupted {
-                phase: "lump.keys",
-                reason,
-            })?
+            comp_lumping_level_pooled(&level_nodes, p_ini, kind, options.tolerance, pool, budget)
+                .map_err(|reason| crate::CoreError::Interrupted {
+                    phase: "lump.keys",
+                    reason,
+                })?
         };
         splitters_counter.add(refinement.splitters_processed as u64);
         splits_counter.add(refinement.classes_split as u64);
@@ -504,25 +587,46 @@ fn run_single(
         partitions.push(partition);
     }
 
-    // Phase 2: quotient every node (Fig. 3b lines 4-6) and the MDD.
+    // Phase 2: quotient every node (Fig. 3b lines 4-6) and the MDD. A
+    // tolerance run additionally records the certified rate envelope of
+    // every inexactly lumped term (the basis of `--bounds` solves and the
+    // `max_rate_deviation` statistic).
     let quotient_span = mdl_obs::span("lump.quotient");
+    let mut envelope = if options.tolerance == Tolerance::Exact {
+        None
+    } else {
+        Some(RateEnvelope::default())
+    };
     let mut lumped_md = md.clone();
     for (level, partition) in partitions.iter().enumerate() {
         let nodes: Vec<MdNode> = md
             .level_nodes(level)
             .iter()
-            .map(|n| match kind {
-                LumpKind::Ordinary => lump_node_ordinary(n, partition),
-                LumpKind::Exact => lump_node_exact(n, partition),
+            .enumerate()
+            .map(|(ni, n)| match (&mut envelope, kind) {
+                (None, LumpKind::Ordinary) => lump_node_ordinary(n, partition),
+                (None, LumpKind::Exact) => lump_node_exact(n, partition),
+                (Some(env), LumpKind::Ordinary) => {
+                    lump_node_ordinary_enveloped(n, partition, level as u32, ni as u32, env)
+                }
+                (Some(env), LumpKind::Exact) => {
+                    lump_node_exact_enveloped(n, partition, level as u32, ni as u32, env)
+                }
             })
             .collect();
         lumped_md.replace_level(level, partition.num_classes(), nodes)?;
     }
+    let max_rate_deviation = envelope.as_ref().map_or(0.0, RateEnvelope::max_deviation);
     let (lumped_md, nodes_merged) = if options.quasi_reduce {
         lumped_md.quasi_reduce()
     } else {
         (lumped_md, 0)
     };
+    if nodes_merged > 0 {
+        // Quasi-reduction changed per-level node indices; the envelope's
+        // (level, node) keys no longer address the reduced diagram.
+        envelope = None;
+    }
     let lumped_reach = reach.quotient(&partitions)?;
     quotient_span.finish();
 
@@ -558,6 +662,7 @@ fn run_single(
         mrp: lumped,
         partitions,
         exact_exit_rates,
+        envelope,
         stats: LumpStats {
             per_level,
             original_states,
@@ -566,6 +671,7 @@ fn run_single(
             memory_after,
             nodes_merged,
             rounds: 1,
+            max_rate_deviation,
             elapsed,
         },
     })
@@ -656,6 +762,10 @@ fn run_iterated(
             mrp: again.mrp,
             partitions: composed,
             exact_exit_rates,
+            // Round envelopes do not compose (the second round's keys
+            // address the intermediate quotient); bounds runs are
+            // single-pass by construction.
+            envelope: None,
             stats: LumpStats {
                 per_level: again.stats.per_level.clone(),
                 original_states: result.stats.original_states,
@@ -664,100 +774,14 @@ fn run_iterated(
                 memory_after: again.stats.memory_after,
                 nodes_merged: result.stats.nodes_merged + again.stats.nodes_merged,
                 rounds,
+                max_rate_deviation: result
+                    .stats
+                    .max_rate_deviation
+                    .max(again.stats.max_rate_deviation),
                 elapsed: result.stats.elapsed + again.stats.elapsed,
             },
         };
     }
-}
-
-/// Deprecated single-pass entry point.
-///
-/// # Errors
-///
-/// As for [`LumpRequest::run`].
-#[deprecated(note = "use `LumpRequest::new(kind).run(mrp)` instead")]
-pub fn compositional_lump(mrp: &MdMrp, kind: LumpKind) -> Result<LumpResult> {
-    LumpRequest::new(kind).run(mrp)
-}
-
-/// Deprecated single-pass entry point with explicit options.
-///
-/// # Errors
-///
-/// As for [`LumpRequest::run`].
-#[deprecated(note = "use `LumpRequest::new(kind).options(*options).run(mrp)` instead")]
-pub fn compositional_lump_with(
-    mrp: &MdMrp,
-    kind: LumpKind,
-    options: &LumpOptions,
-) -> Result<LumpResult> {
-    LumpRequest::new(kind).options(*options).run(mrp)
-}
-
-/// Deprecated single-pass entry point with options and budget.
-///
-/// # Errors
-///
-/// As for [`LumpRequest::run`].
-#[deprecated(
-    note = "use `LumpRequest::new(kind).options(*options).budget(budget.clone()).run(mrp)` instead"
-)]
-pub fn compositional_lump_budgeted(
-    mrp: &MdMrp,
-    kind: LumpKind,
-    options: &LumpOptions,
-    budget: &Budget,
-) -> Result<LumpResult> {
-    LumpRequest::new(kind)
-        .options(*options)
-        .budget(budget.clone())
-        .run(mrp)
-}
-
-/// Deprecated iterated entry point; the round count now also lives in
-/// [`LumpStats::rounds`].
-///
-/// # Errors
-///
-/// As for [`LumpRequest::run`].
-#[deprecated(
-    note = "use `LumpRequest::new(kind).options(*options).iterate(true).run(mrp)` instead"
-)]
-pub fn compositional_lump_iterated(
-    mrp: &MdMrp,
-    kind: LumpKind,
-    options: &LumpOptions,
-) -> Result<(LumpResult, usize)> {
-    let result = LumpRequest::new(kind)
-        .options(*options)
-        .iterate(true)
-        .run(mrp)?;
-    let rounds = result.stats.rounds;
-    Ok((result, rounds))
-}
-
-/// Deprecated iterated entry point with a budget; the round count now
-/// also lives in [`LumpStats::rounds`].
-///
-/// # Errors
-///
-/// As for [`LumpRequest::run`].
-#[deprecated(
-    note = "use `LumpRequest::new(kind).options(*options).iterate(true).budget(budget.clone()).run(mrp)` instead"
-)]
-pub fn compositional_lump_iterated_budgeted(
-    mrp: &MdMrp,
-    kind: LumpKind,
-    options: &LumpOptions,
-    budget: &Budget,
-) -> Result<(LumpResult, usize)> {
-    let result = LumpRequest::new(kind)
-        .options(*options)
-        .iterate(true)
-        .budget(budget.clone())
-        .run(mrp)?;
-    let rounds = result.stats.rounds;
-    Ok((result, rounds))
 }
 
 /// The initial partition `P_i^ini` of Fig. 3b line 2, intersected with the
@@ -817,6 +841,193 @@ fn lump_node_ordinary(node: &MdNode, partition: &Partition) -> MdNode {
         }
     }
     MdNode::new(raw)
+}
+
+/// Directed-rounded hull of per-member (ordinary) or per-column (exact)
+/// aggregates, per lumped term `(row class, col class, child)`: `lo` is a
+/// lower bound on the smallest aggregate, `hi` an upper bound on the
+/// largest, `seen` how many members/columns contributed (those without
+/// the key aggregate to exactly zero, folded in afterwards).
+type Hull = BTreeMap<(u32, u32, ChildId), (f64, f64, usize)>;
+
+/// Folds one aggregate into the hull.
+fn hull_add(hull: &mut Hull, key: (u32, u32, ChildId), lo: f64, hi: f64) {
+    let h = hull
+        .entry(key)
+        .or_insert((f64::INFINITY, f64::NEG_INFINITY, 0));
+    h.0 = h.0.min(lo);
+    h.1 = h.1.max(hi);
+    h.2 += 1;
+}
+
+/// Finishes the hull and assembles the enveloped node for the **exact**
+/// orientation: columns missing a key contribute an exact zero
+/// aggregate (folded in against the **column** class's size).
+fn finish_enveloped_node(
+    raw: Vec<(u32, u32, Vec<mdl_md::Term>)>,
+    mut hull: Hull,
+    col_class_size: impl Fn(u32) -> usize,
+    level: u32,
+    node_idx: u32,
+    env: &mut RateEnvelope,
+) -> MdNode {
+    for (&(_, cj, _), h) in hull.iter_mut() {
+        if h.2 < col_class_size(cj) {
+            h.0 = h.0.min(0.0);
+            h.1 = h.1.max(0.0);
+        }
+    }
+    finish_enveloped_node_prefolded(raw, hull, level, node_idx, env)
+}
+
+/// [`lump_node_ordinary`] plus envelope recording: for every lumped term
+/// the hull over the class members `s ∈ C` of the member aggregates
+/// `a_s = Σ_{s′∈C′} coef(s, s′, child)` (each accumulated with directed
+/// rounding). Same quotient — the stored coefficients still come from the
+/// representative's row — except for the explicit zero-rate anchor terms
+/// described at [`finish_enveloped_node`].
+fn lump_node_ordinary_enveloped(
+    node: &MdNode,
+    partition: &Partition,
+    level: u32,
+    node_idx: u32,
+    env: &mut RateEnvelope,
+) -> MdNode {
+    let mut raw = Vec::with_capacity(node.num_entries());
+    let mut hull = Hull::new();
+    for (ci, members) in partition.iter() {
+        let rep = members[0] as u32;
+        for e in node.row(rep) {
+            raw.push((
+                ci as u32,
+                partition.class_of(e.col as usize) as u32,
+                e.terms.clone(),
+            ));
+        }
+        for &s in members {
+            // This member's aggregate per (col class, child), bracketed.
+            let mut agg: BTreeMap<(u32, ChildId), (f64, f64)> = BTreeMap::new();
+            for e in node.row(s as u32) {
+                let cj = partition.class_of(e.col as usize) as u32;
+                for t in &e.terms {
+                    let slot = agg.entry((cj, t.child)).or_insert((0.0, 0.0));
+                    slot.0 = add_down(slot.0, t.coef);
+                    slot.1 = add_up(slot.1, t.coef);
+                }
+            }
+            for ((cj, child), (lo, hi)) in agg {
+                hull_add(&mut hull, (ci as u32, cj, child), lo, hi);
+            }
+        }
+    }
+    let sizes: Vec<usize> = partition.iter().map(|(_, m)| m.len()).collect();
+    // Ordinary: the hull varies over *members of the row class*.
+    let hull = hull; // freeze
+    let row_class_sizes = move |key_row: u32| sizes[key_row as usize];
+    finish_enveloped_node_by_row(raw, hull, row_class_sizes, level, node_idx, env)
+}
+
+/// Ordinary-orientation wrapper: the `seen` count in the hull is against
+/// the **row** class's member count.
+fn finish_enveloped_node_by_row(
+    raw: Vec<(u32, u32, Vec<mdl_md::Term>)>,
+    mut hull: Hull,
+    row_class_size: impl Fn(u32) -> usize,
+    level: u32,
+    node_idx: u32,
+    env: &mut RateEnvelope,
+) -> MdNode {
+    for (&(ci, _, _), h) in hull.iter_mut() {
+        if h.2 < row_class_size(ci) {
+            h.0 = h.0.min(0.0);
+            h.1 = h.1.max(0.0);
+        }
+    }
+    finish_enveloped_node_prefolded(raw, hull, level, node_idx, env)
+}
+
+/// Core of [`finish_enveloped_node`] once zero-aggregates are folded in.
+fn finish_enveloped_node_prefolded(
+    mut raw: Vec<(u32, u32, Vec<mdl_md::Term>)>,
+    hull: Hull,
+    level: u32,
+    node_idx: u32,
+    env: &mut RateEnvelope,
+) -> MdNode {
+    let lumped = MdNode::new(raw.clone());
+    let mut stored_keys: std::collections::HashSet<(u32, u32, ChildId)> =
+        std::collections::HashSet::new();
+    for e in lumped.entries() {
+        for t in &e.terms {
+            stored_keys.insert((e.row, e.col, t.child));
+        }
+    }
+    let mut synthesized = false;
+    for (&(ci, cj, child), &(lo, hi, _)) in &hull {
+        if !stored_keys.contains(&(ci, cj, child)) && (lo < 0.0 || hi > 0.0) {
+            raw.push((ci, cj, vec![mdl_md::Term::new(0.0, child)]));
+            synthesized = true;
+        }
+    }
+    let lumped = if synthesized {
+        MdNode::new_keeping_zeros(raw)
+    } else {
+        lumped
+    };
+    for e in lumped.entries() {
+        for t in &e.terms {
+            if let Some(&(lo, hi, _)) = hull.get(&(e.row, e.col, t.child)) {
+                env.record(level, node_idx, e.row, e.col, t.child, lo, hi, t.coef);
+            }
+        }
+    }
+    lumped
+}
+
+/// [`lump_node_exact`] plus envelope recording: for every lumped term the
+/// hull over the columns `s′ ∈ C′` of the column aggregates
+/// `b_{s′} = Σ_{s∈C} coef(s, s′, child)`.
+fn lump_node_exact_enveloped(
+    node: &MdNode,
+    partition: &Partition,
+    level: u32,
+    node_idx: u32,
+    env: &mut RateEnvelope,
+) -> MdNode {
+    let mut rep_class = vec![u32::MAX; partition.num_states()];
+    for (cj, members) in partition.iter() {
+        rep_class[members[0]] = cj as u32;
+    }
+    let mut raw = Vec::with_capacity(node.num_entries());
+    // Per-column aggregates, bracketed: (row class, column, child).
+    let mut agg: BTreeMap<(u32, u32, ChildId), (f64, f64)> = BTreeMap::new();
+    for e in node.entries() {
+        let ci = partition.class_of(e.row as usize) as u32;
+        let cj = rep_class[e.col as usize];
+        if cj != u32::MAX {
+            raw.push((ci, cj, e.terms.clone()));
+        }
+        for t in &e.terms {
+            let slot = agg.entry((ci, e.col, t.child)).or_insert((0.0, 0.0));
+            slot.0 = add_down(slot.0, t.coef);
+            slot.1 = add_up(slot.1, t.coef);
+        }
+    }
+    let mut hull = Hull::new();
+    for (&(ci, col, child), &(lo, hi)) in &agg {
+        let cj = partition.class_of(col as usize) as u32;
+        hull_add(&mut hull, (ci, cj, child), lo, hi);
+    }
+    let sizes: Vec<usize> = partition.iter().map(|(_, m)| m.len()).collect();
+    // Exact: the hull varies over *columns of the column class*.
+    finish_enveloped_node(
+        raw,
+        hull,
+        move |cj| sizes[cj as usize],
+        level,
+        node_idx,
+        env,
+    )
 }
 
 /// Theorem-2 quotient of one node for an exact lumping:
@@ -1356,95 +1567,6 @@ mod tests {
         }
     }
 
-    // One smoke test per deprecated shim: each must delegate to the
-    // equivalent `LumpRequest` and produce identical partitions, so the
-    // deprecation surface stays honest until the shims are removed.
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_compositional_lump_delegates() {
-        let mrp = symmetric_mrp();
-        let via_request = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
-        let shim = compositional_lump(&mrp, LumpKind::Ordinary).unwrap();
-        assert_eq!(shim.partitions, via_request.partitions);
-        assert_eq!(shim.stats.lumped_states, via_request.stats.lumped_states);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_compositional_lump_with_delegates() {
-        let mrp = symmetric_mrp();
-        let options = LumpOptions {
-            quasi_reduce: true,
-            ..LumpOptions::default()
-        };
-        let via_request = LumpRequest::new(LumpKind::Ordinary)
-            .options(options)
-            .run(&mrp)
-            .unwrap();
-        let shim = compositional_lump_with(&mrp, LumpKind::Ordinary, &options).unwrap();
-        assert_eq!(shim.partitions, via_request.partitions);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_compositional_lump_budgeted_delegates() {
-        let mrp = symmetric_mrp();
-        let via_request = LumpRequest::new(LumpKind::Exact).run(&mrp).unwrap();
-        let shim = compositional_lump_budgeted(
-            &mrp,
-            LumpKind::Exact,
-            &LumpOptions::default(),
-            &Budget::unlimited(),
-        )
-        .unwrap();
-        assert_eq!(shim.partitions, via_request.partitions);
-        assert_eq!(shim.exact_exit_rates, via_request.exact_exit_rates);
-        // The budget is honored, not dropped, by the delegation.
-        let err = compositional_lump_budgeted(
-            &mrp,
-            LumpKind::Exact,
-            &LumpOptions::default(),
-            &Budget::unlimited().deadline_in(Duration::ZERO),
-        )
-        .unwrap_err();
-        assert!(matches!(err, crate::CoreError::Interrupted { .. }));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_compositional_lump_iterated_delegates() {
-        let mrp = two_round_mrp();
-        let via_request = LumpRequest::new(LumpKind::Ordinary)
-            .iterate(true)
-            .run(&mrp)
-            .unwrap();
-        let (shim, rounds) =
-            compositional_lump_iterated(&mrp, LumpKind::Ordinary, &LumpOptions::default()).unwrap();
-        assert_eq!(rounds, shim.stats.rounds);
-        assert_eq!(shim.partitions, via_request.partitions);
-        assert_eq!(shim.stats.lumped_states, via_request.stats.lumped_states);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_compositional_lump_iterated_budgeted_delegates() {
-        let mrp = two_round_mrp();
-        let via_request = LumpRequest::new(LumpKind::Ordinary)
-            .iterate(true)
-            .run(&mrp)
-            .unwrap();
-        let (shim, rounds) = compositional_lump_iterated_budgeted(
-            &mrp,
-            LumpKind::Ordinary,
-            &LumpOptions::default(),
-            &Budget::unlimited(),
-        )
-        .unwrap();
-        assert_eq!(rounds, shim.stats.rounds);
-        assert_eq!(shim.partitions, via_request.partitions);
-    }
-
     #[test]
     fn seeded_lump_is_bit_identical_and_skips_refinement() {
         for kind in [LumpKind::Ordinary, LumpKind::Exact] {
@@ -1515,6 +1637,150 @@ mod tests {
             .run(&mrp)
             .unwrap();
         assert_eq!(seeded.partitions, canon.partitions);
+    }
+
+    /// [`symmetric_mrp`] with the level-2 exchange rates perturbed at the
+    /// third decimal: states 1 and 2 lump only under
+    /// `Tolerance::Decimals(2)` (or coarser), not under the default
+    /// nine-decimal comparison.
+    fn near_symmetric_mrp() -> MdMrp {
+        let mut w = SparseFactor::new(3);
+        w.push(0, 1, 1.0);
+        w.push(0, 2, 1.001);
+        w.push(1, 0, 2.0);
+        w.push(2, 0, 2.001);
+        w.push(1, 2, 0.5);
+        w.push(2, 1, 0.501);
+        let mut expr = KroneckerExpr::new(vec![2, 3]);
+        expr.add_term(1.0, vec![Some(cycle(2, 3.0)), None]);
+        expr.add_term(1.0, vec![None, Some(w)]);
+        let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+        let reward =
+            DecomposableVector::new(vec![vec![0.0, 1.0], vec![1.0, 1.0, 1.0]], Combiner::Product)
+                .unwrap();
+        let initial = DecomposableVector::point_mass(&[2, 3], &[0, 0]).unwrap();
+        MdMrp::new(matrix, reward, initial).unwrap()
+    }
+
+    #[test]
+    fn tolerance_lump_records_rate_envelope() {
+        let mrp = near_symmetric_mrp();
+
+        // At the default nine decimals the perturbed states stay split,
+        // and nothing is absorbed: the envelope exists but is empty.
+        let tight = LumpRequest::new(LumpKind::Ordinary).run(&mrp).unwrap();
+        assert_eq!(tight.stats.lumped_states, 6);
+        let env = tight.envelope.as_ref().expect("tolerance run");
+        assert!(env.is_empty(), "nothing lumped, nothing absorbed");
+        assert_eq!(tight.stats.max_rate_deviation, 0.0);
+
+        // At two decimals states 1 and 2 merge; the envelope must record
+        // the member rates each lumped coefficient stands in for.
+        let tol = LumpRequest::new(LumpKind::Ordinary)
+            .tolerance(Tolerance::Decimals(2))
+            .run(&mrp)
+            .unwrap();
+        assert_eq!(tol.stats.lumped_states, 4);
+        let env = tol.envelope.as_ref().expect("tolerance run");
+        assert!(!env.is_empty());
+        assert!(tol.stats.max_rate_deviation > 0.0);
+        assert!(
+            tol.stats.max_rate_deviation <= 0.002,
+            "perturbation is at the third decimal: {}",
+            tol.stats.max_rate_deviation
+        );
+        assert_eq!(tol.stats.max_rate_deviation, env.max_deviation());
+        // The lumped "exchange back to 0" coefficient is the
+        // representative's 2.0, standing in for member rates 2.0 and
+        // 2.001 — its recorded interval must cover both. (Scan node
+        // indices: the level-1 node order depends on the Kronecker
+        // translation.)
+        let covered = (0..8).any(|node| {
+            let site = TermSite {
+                level: 1,
+                node,
+                row: 1,
+                col: 0,
+                child: ChildId::Terminal,
+                coef: 2.0,
+            };
+            let w = env.widen(&site);
+            w.lo <= 2.0 && w.hi >= 2.001
+        });
+        assert!(covered, "envelope covers both member aggregates");
+    }
+
+    #[test]
+    fn exact_kind_tolerance_lump_records_envelope_too() {
+        let mrp = near_symmetric_mrp();
+        let tol = LumpRequest::new(LumpKind::Exact)
+            .tolerance(Tolerance::Decimals(2))
+            .run(&mrp)
+            .unwrap();
+        assert!(tol.stats.lumped_states < tol.stats.original_states);
+        let env = tol.envelope.as_ref().expect("tolerance run");
+        assert!(!env.is_empty());
+        assert!(tol.stats.max_rate_deviation > 0.0);
+        assert_eq!(tol.stats.max_rate_deviation, env.max_deviation());
+    }
+
+    #[test]
+    fn exactly_lumpable_tolerance_run_has_empty_envelope() {
+        // The genuinely symmetric model lumps under a tolerance run, but
+        // every member aggregate equals its representative's bit for bit,
+        // so no envelope entry is recorded and the absorbed deviation is
+        // exactly zero — the property that lets the bounds path return
+        // degenerate [x, x] intervals for exactly lumpable models.
+        let mrp = symmetric_mrp();
+        for kind in [LumpKind::Ordinary, LumpKind::Exact] {
+            let result = LumpRequest::new(kind)
+                .tolerance(Tolerance::Decimals(2))
+                .run(&mrp)
+                .unwrap();
+            assert!(result.stats.lumped_states < result.stats.original_states);
+            let env = result.envelope.as_ref().expect("tolerance run");
+            assert!(env.is_empty(), "{kind:?}: {} entries", env.len());
+            assert_eq!(result.stats.max_rate_deviation, 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_tolerance_runs_carry_no_envelope() {
+        let mrp = symmetric_mrp();
+        let result = LumpRequest::new(LumpKind::Ordinary)
+            .tolerance(Tolerance::Exact)
+            .run(&mrp)
+            .unwrap();
+        assert!(result.envelope.is_none());
+        assert_eq!(result.stats.max_rate_deviation, 0.0);
+    }
+
+    #[test]
+    fn enveloped_quotient_is_bit_identical_to_plain_quotient() {
+        // The envelope recording must not change the lumped diagram
+        // itself (beyond explicit zero-rate anchors, which the flat
+        // matrix cannot see).
+        for mrp in [symmetric_mrp(), near_symmetric_mrp()] {
+            for kind in [LumpKind::Ordinary, LumpKind::Exact] {
+                let tol = LumpRequest::new(kind)
+                    .tolerance(Tolerance::Decimals(2))
+                    .run(&mrp)
+                    .unwrap();
+                let exact = LumpRequest::new(kind)
+                    .tolerance(Tolerance::Exact)
+                    .seed_partitions(tol.partitions.iter().cloned().map(Some).collect())
+                    .run(&mrp)
+                    .unwrap();
+                assert_eq!(
+                    tol.mrp
+                        .matrix()
+                        .flatten()
+                        .max_abs_diff(&exact.mrp.matrix().flatten()),
+                    0.0,
+                    "{kind:?}: enveloped quotient bitwise equal"
+                );
+            }
+        }
     }
 
     #[test]

@@ -525,6 +525,9 @@ impl Pipeline {
             partitions,
             stats: meta.stats,
             exact_exit_rates: meta.exact_exit_rates,
+            // Envelopes are not persisted: bounds runs re-lump (compile
+            // is cheap next to the sweeps they gate).
+            envelope: None,
         })
     }
 
@@ -653,6 +656,7 @@ impl Codec for LumpMeta {
         w.usize(self.stats.memory_after);
         w.usize(self.stats.nodes_merged);
         w.usize(self.stats.rounds);
+        w.f64(self.stats.max_rate_deviation);
         w.u64(duration_nanos(self.stats.elapsed));
         match &self.exact_exit_rates {
             None => w.u8(0),
@@ -687,6 +691,7 @@ impl Codec for LumpMeta {
             memory_after: r.usize()?,
             nodes_merged: r.usize()?,
             rounds: r.usize()?,
+            max_rate_deviation: r.f64()?,
             elapsed: std::time::Duration::from_nanos(r.u64()?),
         };
         let exact_exit_rates = match r.u8()? {
@@ -1003,6 +1008,7 @@ mod tests {
                 memory_after: 300,
                 nodes_merged: 1,
                 rounds: 2,
+                max_rate_deviation: 0.25,
                 elapsed: std::time::Duration::from_millis(3),
             },
             exact_exit_rates: Some(vec![1.5, 2.5]),

@@ -300,6 +300,13 @@ impl FallibleSplitter for ExactMdSplitter<'_> {
 /// Converts accumulated coefficient sums into canonical keys, dropping
 /// zero-summed terms and omitting states whose whole key is default (the
 /// engine groups omitted states together).
+///
+/// The `zero_key` drop is load-bearing for tolerance runs: a member whose
+/// class-summed rate rounds to the zero key is grouped with members that
+/// have *no* such transition at all. The rate-envelope builders in
+/// `lump.rs` compensate by synthesizing explicit zero-rate anchor terms
+/// (`MdNode::new_keeping_zeros`) so the certified interval for such a
+/// lumped transition widens down to zero instead of vanishing.
 fn emit(
     acc: HashMap<StateId, BTreeMap<(u32, ChildId), f64>>,
     tolerance: Tolerance,

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 
 mod accumulated;
+mod bounds;
 mod error;
 mod mrp;
 mod parallel;
@@ -50,7 +51,9 @@ mod solver;
 mod transient;
 
 pub use accumulated::{accumulated_reward, accumulated_reward_with_exit_rates};
+pub use bounds::{stationary_bounds, transient_bounds, BoundsOptions, BoundsSolution, BoundsStats};
 pub use error::{CtmcError, InterruptedProgress};
+pub use mdl_linalg::IntervalRateMatrix;
 pub use mdl_linalg::RateMatrix;
 pub use mrp::Mrp;
 pub use parallel::ParCsr;

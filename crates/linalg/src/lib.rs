@@ -46,6 +46,7 @@ mod ordered;
 mod rate_matrix;
 mod tolerance;
 pub mod vec_ops;
+pub mod weight;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
@@ -54,6 +55,7 @@ pub use kron_impl::{kron, kron_many};
 pub use ordered::OrderedF64;
 pub use rate_matrix::RateMatrix;
 pub use tolerance::Tolerance;
+pub use weight::{Interval, IntervalRateMatrix, Weight};
 
 /// Convenience alias used across the workspace for fallible operations.
 pub type Result<T> = std::result::Result<T, LinalgError>;

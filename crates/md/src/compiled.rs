@@ -36,7 +36,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use mdl_arena::{ImageView, ImageWriter, Slab, SlabSource};
-use mdl_linalg::RateMatrix;
+use mdl_linalg::weight::{add_down, add_up, mul_down, mul_up, sub_down, sub_up};
+use mdl_linalg::{Interval, IntervalRateMatrix, RateMatrix, Weight};
 use mdl_mdd::MddNodeId;
 
 use crate::apply::MdMatrix;
@@ -53,16 +54,26 @@ const PAR_MIN_STATES: usize = 1024;
 /// `leafs[b]`, offset by `(row_bases[b], col_bases[b])` and scaled by
 /// `scales[b]` (the product of the formal-sum coefficients along the path,
 /// accumulated in walk order).
-#[derive(Default)]
-struct BlockList {
+struct BlockList<W> {
     row_bases: Vec<u64>,
     col_bases: Vec<u64>,
-    scales: Vec<f64>,
+    scales: Vec<W>,
     leafs: Vec<u32>,
 }
 
-impl BlockList {
-    fn push(&mut self, row_base: u64, col_base: u64, scale: f64, leaf: u32) {
+impl<W> Default for BlockList<W> {
+    fn default() -> Self {
+        BlockList {
+            row_bases: Vec::new(),
+            col_bases: Vec::new(),
+            scales: Vec::new(),
+            leafs: Vec::new(),
+        }
+    }
+}
+
+impl<W> BlockList<W> {
+    fn push(&mut self, row_base: u64, col_base: u64, scale: W, leaf: u32) {
         self.row_bases.push(row_base);
         self.col_bases.push(col_base);
         self.scales.push(scale);
@@ -114,9 +125,11 @@ pub struct CompileStats {
 /// products read, minus the per-thread schedules (rebuilt for the loading
 /// machine's thread count) and wall-clock stats. Produced by
 /// [`CompiledMdMatrix::to_parts`], consumed by
-/// [`CompiledMdMatrix::from_parts`].
+/// [`CompiledMdMatrix::from_parts`]. Generic over the kernel's
+/// [`Weight`]: `CompiledParts` (the `f64` default) is the historical
+/// scalar kernel, `CompiledParts<Interval>` the certified-bounds one.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CompiledParts {
+pub struct CompiledParts<W: Weight = f64> {
     /// Number of reachable states the kernel addresses.
     pub num_states: u64,
     /// Block output row bases, in walk order.
@@ -124,7 +137,7 @@ pub struct CompiledParts {
     /// Block output column bases, parallel to `block_row_bases`.
     pub block_col_bases: Slab<u64>,
     /// Block scales (path coefficient products).
-    pub block_scales: Slab<f64>,
+    pub block_scales: Slab<W>,
     /// Block leaf-program references.
     pub block_leafs: Slab<u32>,
     /// Leaf arena bounds: program `p` is entries `bounds[p]..bounds[p+1]`.
@@ -134,7 +147,7 @@ pub struct CompiledParts {
     /// Leaf-relative column offsets.
     pub leaf_cols: Slab<u32>,
     /// Leaf coefficients.
-    pub leaf_coefs: Slab<f64>,
+    pub leaf_coefs: Slab<W>,
     /// [`CompileStats::triples_visited`] of the original compilation.
     pub triples_visited: u64,
     /// [`CompileStats::triples_compiled`] of the original compilation.
@@ -148,7 +161,7 @@ const TAG_KERNEL_META: u32 = 1;
 /// [`CompiledParts`] field order.
 const TAG_KERNEL_ARRAYS: u32 = 16;
 
-impl CompiledParts {
+impl<W: Weight> CompiledParts<W> {
     /// Number of linearized blocks.
     pub fn num_blocks(&self) -> usize {
         self.block_leafs.len()
@@ -176,12 +189,12 @@ impl CompiledParts {
         );
         w.put_u64(TAG_KERNEL_ARRAYS, &self.block_row_bases);
         w.put_u64(TAG_KERNEL_ARRAYS + 1, &self.block_col_bases);
-        w.put_f64(TAG_KERNEL_ARRAYS + 2, &self.block_scales);
+        W::put_section(w, TAG_KERNEL_ARRAYS + 2, &self.block_scales);
         w.put_u32(TAG_KERNEL_ARRAYS + 3, &self.block_leafs);
         w.put_u32(TAG_KERNEL_ARRAYS + 4, &self.leaf_bounds);
         w.put_u32(TAG_KERNEL_ARRAYS + 5, &self.leaf_rows);
         w.put_u32(TAG_KERNEL_ARRAYS + 6, &self.leaf_cols);
-        w.put_f64(TAG_KERNEL_ARRAYS + 7, &self.leaf_coefs);
+        W::put_section(w, TAG_KERNEL_ARRAYS + 7, &self.leaf_coefs);
     }
 
     /// Rebuilds kernel parts from sections written by
@@ -208,12 +221,12 @@ impl CompiledParts {
             num_states,
             block_row_bases: view.slab_u64(TAG_KERNEL_ARRAYS, source).map_err(img)?,
             block_col_bases: view.slab_u64(TAG_KERNEL_ARRAYS + 1, source).map_err(img)?,
-            block_scales: view.slab_f64(TAG_KERNEL_ARRAYS + 2, source).map_err(img)?,
+            block_scales: W::read_section(view, TAG_KERNEL_ARRAYS + 2, source).map_err(img)?,
             block_leafs: view.slab_u32(TAG_KERNEL_ARRAYS + 3, source).map_err(img)?,
             leaf_bounds: view.slab_u32(TAG_KERNEL_ARRAYS + 4, source).map_err(img)?,
             leaf_rows: view.slab_u32(TAG_KERNEL_ARRAYS + 5, source).map_err(img)?,
             leaf_cols: view.slab_u32(TAG_KERNEL_ARRAYS + 6, source).map_err(img)?,
-            leaf_coefs: view.slab_f64(TAG_KERNEL_ARRAYS + 7, source).map_err(img)?,
+            leaf_coefs: W::read_section(view, TAG_KERNEL_ARRAYS + 7, source).map_err(img)?,
             triples_visited,
             triples_compiled,
         })
@@ -232,20 +245,47 @@ impl CompileStats {
     }
 }
 
+/// The position of one MD term during compilation, handed to a weight
+/// source so it can replace the stored `f64` coefficient: the node's
+/// level and per-level index, the entry's local `(row, col)` and the
+/// term's child. For the scalar kernel the source returns `coef`
+/// verbatim; for an interval kernel a rate-envelope sidecar (keyed by
+/// exactly these coordinates — `Md::replace_level` preserves per-level
+/// node order, so lumped node indices match the envelope's) widens
+/// inexactly lumped terms.
+#[derive(Debug, Clone, Copy)]
+pub struct TermSite {
+    /// MD level of the node owning the term (0 = root level).
+    pub level: u32,
+    /// Node index within the level.
+    pub node: u32,
+    /// Entry row (local state / class index).
+    pub row: u32,
+    /// Entry column.
+    pub col: u32,
+    /// The term's child reference ([`ChildId::Terminal`] at the last
+    /// level).
+    pub child: ChildId,
+    /// The stored coefficient.
+    pub coef: f64,
+}
+
 /// Per-level memoized sub-programs built during compilation and discarded
 /// after linearization.
-struct Compiler<'a> {
+struct Compiler<'a, W: Weight> {
     m: &'a MdMatrix,
+    /// Maps a term's coordinates to its kernel weight.
+    weigh: &'a dyn Fn(&TermSite) -> W,
     /// `memo[level]` maps `(md index, row mdd index, col mdd index)` to the
     /// sub-program (upper levels) or leaf program (last level) id.
     memo: Vec<HashMap<(u32, u32, u32), u32>>,
     /// Upper-level programs: lists of relative invocations.
-    segments: Vec<Vec<Segment>>,
+    segments: Vec<Vec<Segment<W>>>,
     /// Leaf arena bounds: leaf `p` is `leaf_*[bounds[p]..bounds[p + 1]]`.
     leaf_bounds: Vec<u32>,
     leaf_rows: Vec<u32>,
     leaf_cols: Vec<u32>,
-    leaf_coefs: Vec<f64>,
+    leaf_coefs: Vec<W>,
     visited: u64,
     compiled: u64,
     /// Amortized budget checks, run against `visited` so node caps bound
@@ -256,20 +296,25 @@ struct Compiler<'a> {
 /// One invocation of a next-level program, relative to the caller's
 /// offsets.
 #[derive(Debug, Clone, Copy)]
-struct SegmentCall {
+struct SegmentCall<W> {
     d_row: u64,
     d_col: u64,
-    coef: f64,
+    coef: W,
     child: u32,
 }
 
-type Segment = Vec<SegmentCall>;
+type Segment<W> = Vec<SegmentCall<W>>;
 
-impl<'a> Compiler<'a> {
-    fn new(m: &'a MdMatrix, budget: &'a mdl_obs::Budget) -> Self {
+impl<'a, W: Weight> Compiler<'a, W> {
+    fn new(
+        m: &'a MdMatrix,
+        budget: &'a mdl_obs::Budget,
+        weigh: &'a dyn Fn(&TermSite) -> W,
+    ) -> Self {
         let levels = m.md().num_levels();
         Compiler {
             m,
+            weigh,
             memo: vec![HashMap::new(); levels],
             segments: vec![Vec::new(); levels.saturating_sub(1)],
             leaf_bounds: vec![0],
@@ -318,7 +363,14 @@ impl<'a> Compiler<'a> {
                     debug_assert_eq!(t.child, ChildId::Terminal);
                     self.leaf_rows.push(ro as u32);
                     self.leaf_cols.push(co as u32);
-                    self.leaf_coefs.push(t.coef);
+                    self.leaf_coefs.push((self.weigh)(&TermSite {
+                        level: md_node.level,
+                        node: md_node.index,
+                        row: entry.row(),
+                        col: entry.col(),
+                        child: t.child,
+                        coef: t.coef,
+                    }));
                 }
             }
             let end = u32::try_from(self.leaf_rows.len()).expect("leaf arena fits in u32");
@@ -353,7 +405,14 @@ impl<'a> Compiler<'a> {
                     calls.push(SegmentCall {
                         d_row,
                         d_col,
-                        coef: t.coef,
+                        coef: (self.weigh)(&TermSite {
+                            level: md_node.level,
+                            node: md_node.index,
+                            row: entry.row(),
+                            col: entry.col(),
+                            child: t.child,
+                            coef: t.coef,
+                        }),
                         child,
                     });
                 }
@@ -367,13 +426,13 @@ impl<'a> Compiler<'a> {
 
     /// Expands the root program into the flat block list, accumulating
     /// offsets and scales in walk order.
-    fn linearize(&self, root: u32, blocks: &mut BlockList) {
+    fn linearize(&self, root: u32, blocks: &mut BlockList<W>) {
         let levels = self.m.md().num_levels();
         if levels == 1 {
-            blocks.push(0, 0, 1.0, root);
+            blocks.push(0, 0, W::one(), root);
             return;
         }
-        self.expand(0, root, 0, 0, 1.0, blocks);
+        self.expand(0, root, 0, 0, W::one(), blocks);
     }
 
     fn expand(
@@ -382,14 +441,14 @@ impl<'a> Compiler<'a> {
         segment: u32,
         row_base: u64,
         col_base: u64,
-        scale: f64,
-        blocks: &mut BlockList,
+        scale: W,
+        blocks: &mut BlockList<W>,
     ) {
         let last_segment_level = level == self.m.md().num_levels() - 2;
         for call in &self.segments[level][segment as usize] {
             let ro = row_base + call.d_row;
             let co = col_base + call.d_col;
-            let sc = scale * call.coef;
+            let sc = scale.mul(call.coef);
             if last_segment_level {
                 blocks.push(ro, co, sc, call.child);
             } else {
@@ -427,12 +486,12 @@ impl<'a> Compiler<'a> {
 /// assert_eq!(y_walk, y_comp); // bit-identical
 /// ```
 #[derive(Debug, Clone)]
-pub struct CompiledMdMatrix {
+pub struct CompiledMdMatrix<W: Weight = f64> {
     num_states: usize,
     threads: usize,
     /// The block and leaf arrays the products read — either owned or
     /// borrowed zero-copy from a mapped store artifact.
-    parts: CompiledParts,
+    parts: CompiledParts<W>,
     row_plan: Plan,
     col_plan: Plan,
     stats: CompileStats,
@@ -493,6 +552,30 @@ impl CompiledMdMatrix {
         threads: usize,
         budget: &mdl_obs::Budget,
     ) -> Result<Self, MdError> {
+        // The scalar weight source: every term keeps its stored
+        // coefficient, so this compiles to exactly the pre-generic kernel.
+        CompiledMdMatrix::compile_weighted(m, threads, budget, &|site: &TermSite| site.coef)
+    }
+}
+
+impl<W: Weight> CompiledMdMatrix<W> {
+    /// Compiles a kernel whose term weights come from `weigh` instead of
+    /// the stored `f64` coefficients — the generic entry point behind
+    /// [`CompiledMdMatrix::compile`] (where `weigh` is the identity) and
+    /// the interval kernels of the certified-bounds path (where `weigh`
+    /// consults a rate-envelope sidecar and widens inexactly lumped
+    /// terms).
+    ///
+    /// # Errors
+    ///
+    /// [`MdError::Interrupted`] when the budget expires or the
+    /// `md.compile` failpoint fires (checked by the budgeted wrappers).
+    pub fn compile_weighted(
+        m: &MdMatrix,
+        threads: usize,
+        budget: &mdl_obs::Budget,
+        weigh: &dyn Fn(&TermSite) -> W,
+    ) -> Result<Self, MdError> {
         let threads = if threads == 0 {
             default_threads()
         } else {
@@ -501,8 +584,8 @@ impl CompiledMdMatrix {
         let mut span = mdl_obs::span("md.compile").with("threads", threads);
         let t0 = std::time::Instant::now();
 
-        let mut compiler = Compiler::new(m, budget);
-        let mut blocks = BlockList::default();
+        let mut compiler = Compiler::new(m, budget, weigh);
+        let mut blocks = BlockList::<W>::default();
         if !m.reach().is_empty() {
             let root_mdd = m.reach().root();
             let root = compiler.compile_triple(m.md().root(), root_mdd, root_mdd)?;
@@ -579,7 +662,7 @@ impl CompiledMdMatrix {
     /// and leaf arenas. The per-thread schedules and wall-clock stats are
     /// derived data and are rebuilt by [`Self::from_parts`]. Cloning a
     /// mapped kernel's parts is cheap (the slabs share the mapping).
-    pub fn to_parts(&self) -> CompiledParts {
+    pub fn to_parts(&self) -> CompiledParts<W> {
         self.parts.clone()
     }
 
@@ -595,7 +678,7 @@ impl CompiledMdMatrix {
     /// defect: malformed leaf bounds, misaligned arenas, a non-finite
     /// coefficient, or a block referencing a missing leaf program or an
     /// out-of-range output position.
-    pub fn from_parts(parts: CompiledParts, threads: usize) -> Result<Self, String> {
+    pub fn from_parts(parts: CompiledParts<W>, threads: usize) -> Result<Self, String> {
         let threads = if threads == 0 {
             default_threads()
         } else {
@@ -648,7 +731,7 @@ impl CompiledMdMatrix {
             .enumerate()
             .find(|&(_, &v)| !v.is_finite())
         {
-            return Err(format!("non-finite leaf coefficient {v} at entry {i}"));
+            return Err(format!("non-finite leaf coefficient {v:?} at entry {i}"));
         }
         let leaf_programs = bounds.len() - 1;
         // Per-leaf-program output extents, to bound block offsets.
@@ -670,7 +753,7 @@ impl CompiledMdMatrix {
             }
             let scale = parts.block_scales[i];
             if !scale.is_finite() {
-                return Err(format!("block {i} has non-finite scale {scale}"));
+                return Err(format!("block {i} has non-finite scale {scale:?}"));
             }
             let (row_base, col_base) = (parts.block_row_bases[i], parts.block_col_bases[i]);
             let nonempty = bounds[leaf] < bounds[leaf + 1];
@@ -742,7 +825,7 @@ impl CompiledMdMatrix {
 
     /// Applies block `b` in the `y[row] += v·x[col]` orientation.
     #[inline]
-    fn apply_block_by_row(&self, b: usize, x: &[f64], y: &mut [f64], y_offset: u64) {
+    fn apply_block_by_row(&self, b: usize, x: &[W], y: &mut [W], y_offset: u64) {
         let p = &self.parts;
         let leaf = p.block_leafs[b] as usize;
         let lo = p.leaf_bounds[leaf] as usize;
@@ -751,15 +834,15 @@ impl CompiledMdMatrix {
         let base = p.block_row_bases[b] - y_offset;
         let col_base = p.block_col_bases[b];
         for i in lo..hi {
-            let v = scale * p.leaf_coefs[i];
-            y[(base + p.leaf_rows[i] as u64) as usize] +=
-                v * x[(col_base + p.leaf_cols[i] as u64) as usize];
+            let v = scale.mul(p.leaf_coefs[i]);
+            let yi = (base + p.leaf_rows[i] as u64) as usize;
+            y[yi] = y[yi].add(v.mul(x[(col_base + p.leaf_cols[i] as u64) as usize]));
         }
     }
 
     /// Applies block `b` in the `y[col] += v·x[row]` orientation.
     #[inline]
-    fn apply_block_by_col(&self, b: usize, x: &[f64], y: &mut [f64], y_offset: u64) {
+    fn apply_block_by_col(&self, b: usize, x: &[W], y: &mut [W], y_offset: u64) {
         let p = &self.parts;
         let leaf = p.block_leafs[b] as usize;
         let lo = p.leaf_bounds[leaf] as usize;
@@ -768,9 +851,9 @@ impl CompiledMdMatrix {
         let base = p.block_col_bases[b] - y_offset;
         let row_base = p.block_row_bases[b];
         for i in lo..hi {
-            let v = scale * p.leaf_coefs[i];
-            y[(base + p.leaf_cols[i] as u64) as usize] +=
-                v * x[(row_base + p.leaf_rows[i] as u64) as usize];
+            let v = scale.mul(p.leaf_coefs[i]);
+            let yi = (base + p.leaf_cols[i] as u64) as usize;
+            y[yi] = y[yi].add(v.mul(x[(row_base + p.leaf_rows[i] as u64) as usize]));
         }
     }
 
@@ -783,8 +866,8 @@ impl CompiledMdMatrix {
     fn apply_block_multi(
         &self,
         b: usize,
-        xs: &[&[f64]],
-        ys: &mut [&mut [f64]],
+        xs: &[&[W]],
+        ys: &mut [&mut [W]],
         y_offset: u64,
         by_row: bool,
     ) {
@@ -799,7 +882,7 @@ impl CompiledMdMatrix {
             (p.block_col_bases[b] - y_offset, p.block_row_bases[b])
         };
         for i in lo..hi {
-            let v = scale * p.leaf_coefs[i];
+            let v = scale.mul(p.leaf_coefs[i]);
             let (o, c) = if by_row {
                 (p.leaf_rows[i], p.leaf_cols[i])
             } else {
@@ -808,7 +891,7 @@ impl CompiledMdMatrix {
             let yi = (out_base + o as u64) as usize;
             let xi = (in_base + c as u64) as usize;
             for (x, y) in xs.iter().zip(ys.iter_mut()) {
-                y[yi] += v * x[xi];
+                y[yi] = y[yi].add(v.mul(x[xi]));
             }
         }
     }
@@ -831,7 +914,7 @@ impl CompiledMdMatrix {
     ///
     /// When `xs.len() != ys.len()` or any vector's length differs from
     /// [`num_states`](RateMatrix::num_states).
-    pub fn product_multi(&self, xs: &[&[f64]], ys: &mut [Vec<f64>], by_row: bool) {
+    pub fn product_multi(&self, xs: &[&[W]], ys: &mut [Vec<W>], by_row: bool) {
         assert_eq!(xs.len(), ys.len(), "one output per right-hand side");
         for x in xs {
             assert_eq!(x.len(), self.num_states);
@@ -845,7 +928,7 @@ impl CompiledMdMatrix {
         let mut span = mdl_obs::span("md.kernel.product_multi").with("n", self.num_states);
         span.record("rhs", xs.len());
         span.record("threads", self.threads);
-        let mut outs: Vec<&mut [f64]> = ys.iter_mut().map(|y| y.as_mut_slice()).collect();
+        let mut outs: Vec<&mut [W]> = ys.iter_mut().map(|y| y.as_mut_slice()).collect();
         if self.threads == 1 || self.num_states < PAR_MIN_STATES {
             for b in 0..self.parts.num_blocks() {
                 self.apply_block_multi(b, xs, &mut outs, 0, by_row);
@@ -888,7 +971,7 @@ impl CompiledMdMatrix {
     /// Shared gather driver: serial in walk order, or threaded over the
     /// orientation's plan (each thread owns a disjoint output range and
     /// applies its blocks in walk order — bit-identical either way).
-    fn gather(&self, x: &[f64], y: &mut [f64], by_row: bool) {
+    fn gather(&self, x: &[W], y: &mut [W], by_row: bool) {
         assert_eq!(x.len(), self.num_states);
         assert_eq!(y.len(), self.num_states);
         let mut span = mdl_obs::span("md.kernel.product").with("n", self.num_states);
@@ -937,7 +1020,7 @@ impl CompiledMdMatrix {
 /// Builds a deterministic `threads`-way schedule: block indices stably
 /// sorted by the orientation's output base, split at base-change
 /// boundaries into weight-balanced runs over disjoint output ranges.
-fn build_plan(parts: &CompiledParts, threads: usize, n: u64, by_row: bool) -> Plan {
+fn build_plan<W: Weight>(parts: &CompiledParts<W>, threads: usize, n: u64, by_row: bool) -> Plan {
     let bases: &[u64] = if by_row {
         &parts.block_row_bases
     } else {
@@ -997,6 +1080,112 @@ impl RateMatrix for CompiledMdMatrix {
 
     fn acc_vec_mat(&self, x: &[f64], y: &mut [f64]) {
         self.gather(x, y, false);
+    }
+}
+
+impl CompiledMdMatrix<Interval> {
+    /// Applies block `b` of the lower (`upper == false`) or upper
+    /// transition operator to the gamble `f`, rounding every step toward
+    /// the bound. Per entry the rate interval is `scale · coef` (outward);
+    /// the operator picks the endpoint that minimizes (resp. maximizes)
+    /// `q · (f(col) − f(row))`. The endpoint test runs on the *rounded*
+    /// difference, which stays sound for nonnegative rate intervals: when
+    /// the rounded difference straddles zero against the true one, the
+    /// selected product is still on the bound's side of zero.
+    ///
+    /// Self-loop entries contribute `±q·ulp` instead of an exact zero —
+    /// one ulp of slack on the bound's side, sound by construction.
+    #[inline]
+    fn apply_block_bound(&self, b: usize, f: &[f64], out: &mut [f64], y_offset: u64, upper: bool) {
+        let p = &self.parts;
+        let leaf = p.block_leafs[b] as usize;
+        let lo = p.leaf_bounds[leaf] as usize;
+        let hi = p.leaf_bounds[leaf + 1] as usize;
+        let scale = p.block_scales[b];
+        let row_base = p.block_row_bases[b];
+        let col_base = p.block_col_bases[b];
+        let base = row_base - y_offset;
+        for i in lo..hi {
+            let rate = scale.mul(p.leaf_coefs[i]);
+            let r = (row_base + p.leaf_rows[i] as u64) as usize;
+            let c = (col_base + p.leaf_cols[i] as u64) as usize;
+            let yi = (base + p.leaf_rows[i] as u64) as usize;
+            if upper {
+                let g = sub_up(f[c], f[r]);
+                let q = if g >= 0.0 { rate.hi } else { rate.lo };
+                out[yi] = add_up(out[yi], mul_up(q, g));
+            } else {
+                let g = sub_down(f[c], f[r]);
+                let q = if g >= 0.0 { rate.lo } else { rate.hi };
+                out[yi] = add_down(out[yi], mul_down(q, g));
+            }
+        }
+    }
+}
+
+impl IntervalRateMatrix for CompiledMdMatrix<Interval> {
+    fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Deterministic at every thread count: the threaded path reuses the
+    /// row-oriented [`Plan`], so each output entry is owned by exactly one
+    /// thread and accumulates its contributions in walk order — the same
+    /// sequence of directed-rounded adds as the serial sweep.
+    fn acc_bound_operator(&self, f: &[f64], out: &mut [f64], upper: bool) {
+        assert_eq!(f.len(), self.num_states);
+        assert_eq!(out.len(), self.num_states);
+        let mut span = mdl_obs::span("md.kernel.bound_operator").with("n", self.num_states);
+        span.record("threads", self.threads);
+        if self.threads == 1 || self.num_states < PAR_MIN_STATES {
+            for b in 0..self.parts.num_blocks() {
+                self.apply_block_bound(b, f, out, 0, upper);
+            }
+            span.finish();
+            return;
+        }
+        let plan = &self.row_plan;
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            let mut offset = 0u64;
+            for k in 0..self.threads {
+                let end = plan.bounds[k + 1];
+                let (chunk, tail) = rest.split_at_mut((end - offset) as usize);
+                let run = &plan.order[plan.splits[k]..plan.splits[k + 1]];
+                let y_offset = offset;
+                scope.spawn(move || {
+                    for &idx in run {
+                        self.apply_block_bound(idx as usize, f, chunk, y_offset, upper);
+                    }
+                });
+                rest = tail;
+                offset = end;
+            }
+        });
+        span.finish();
+    }
+
+    fn max_exit_rate_hi(&self) -> f64 {
+        let p = &self.parts;
+        let mut exit = vec![0.0f64; self.num_states];
+        for b in 0..p.num_blocks() {
+            let leaf = p.block_leafs[b] as usize;
+            let scale = p.block_scales[b];
+            let row_base = p.block_row_bases[b];
+            let col_base = p.block_col_bases[b];
+            for i in p.leaf_bounds[leaf] as usize..p.leaf_bounds[leaf + 1] as usize {
+                let r = (row_base + p.leaf_rows[i] as u64) as usize;
+                let c = (col_base + p.leaf_cols[i] as u64) as usize;
+                if r == c {
+                    continue;
+                }
+                let rate = scale.mul(p.leaf_coefs[i]);
+                // Clamp at zero so a (malformed) negative contribution can
+                // only over-estimate the exit rate, never shrink it.
+                exit[r] = add_up(exit[r], rate.hi.max(0.0));
+            }
+        }
+        exit.into_iter().fold(0.0, f64::max)
     }
 }
 
@@ -1354,10 +1543,143 @@ mod tests {
             let trimmed = &payload[..payload.len().saturating_sub(cut)];
             let bad = match ImageView::parse(trimmed) {
                 Err(_) => continue,
-                Ok(view) => CompiledParts::read_image(&view, SlabSource::Copy),
+                Ok(view) => CompiledParts::<f64>::read_image(&view, SlabSource::Copy),
             };
             assert!(bad.is_err(), "truncation by {cut} bytes not detected");
         }
+    }
+
+    /// Compiles the point-interval kernel: every term keeps its stored
+    /// coefficient as a degenerate `[coef, coef]` interval.
+    fn compile_point_interval(m: &MdMatrix, threads: usize) -> CompiledMdMatrix<Interval> {
+        CompiledMdMatrix::compile_weighted(m, threads, &mdl_obs::Budget::unlimited(), &|site| {
+            Interval::point(site.coef)
+        })
+        .unwrap()
+    }
+
+    /// The exact scalar operator `(Qf)(s) = Σ_c q(s,c)·(f(c) − f(s))`
+    /// computed from the scalar kernel: `R·f − f ∘ row_sums`.
+    fn exact_operator(m: &MdMatrix, f: &[f64]) -> Vec<f64> {
+        let c = CompiledMdMatrix::compile(m);
+        let mut qf = vec![0.0; f.len()];
+        c.acc_mat_vec(f, &mut qf);
+        let sums = RateMatrix::row_sums(&c);
+        for (s, v) in qf.iter_mut().enumerate() {
+            *v -= f[s] * sums[s];
+        }
+        qf
+    }
+
+    #[test]
+    fn point_interval_bound_operators_bracket_exact_operator() {
+        let m = full_matrix();
+        let n = m.num_states();
+        let f = probe(n);
+        let exact = exact_operator(&m, &f);
+        let ci = compile_point_interval(&m, 1);
+        let (mut lower, mut upper) = (vec![0.0; n], vec![0.0; n]);
+        ci.acc_bound_operator(&f, &mut lower, false);
+        ci.acc_bound_operator(&f, &mut upper, true);
+        for s in 0..n {
+            assert!(
+                lower[s] <= exact[s] && exact[s] <= upper[s],
+                "state {s}: [{}, {}] must enclose {}",
+                lower[s],
+                upper[s],
+                exact[s]
+            );
+            // Point intervals: slack is rounding only, a few ulps.
+            assert!(upper[s] - lower[s] < 1e-12, "width {}", upper[s] - lower[s]);
+        }
+    }
+
+    #[test]
+    fn widened_intervals_widen_the_bounds() {
+        let m = full_matrix();
+        let n = m.num_states();
+        let f = probe(n);
+        let point = compile_point_interval(&m, 1);
+        let delta = 0.05;
+        let wide = CompiledMdMatrix::<Interval>::compile_weighted(
+            &m,
+            1,
+            &mdl_obs::Budget::unlimited(),
+            &|site| Interval {
+                lo: (site.coef - delta).max(0.0),
+                hi: site.coef + delta,
+            },
+        )
+        .unwrap();
+        let (mut lo_p, mut hi_p) = (vec![0.0; n], vec![0.0; n]);
+        point.acc_bound_operator(&f, &mut lo_p, false);
+        point.acc_bound_operator(&f, &mut hi_p, true);
+        let (mut lo_w, mut hi_w) = (vec![0.0; n], vec![0.0; n]);
+        wide.acc_bound_operator(&f, &mut lo_w, false);
+        wide.acc_bound_operator(&f, &mut hi_w, true);
+        for s in 0..n {
+            assert!(lo_w[s] <= lo_p[s], "state {s} lower must not tighten");
+            assert!(hi_w[s] >= hi_p[s], "state {s} upper must not tighten");
+        }
+        assert!(
+            (0..n).any(|s| hi_w[s] - lo_w[s] > hi_p[s] - lo_p[s] + 1e-6),
+            "widened rates must widen some bound"
+        );
+    }
+
+    #[test]
+    fn bound_operator_bit_identical_across_thread_counts() {
+        let mut expr = KroneckerExpr::new(vec![16, 16, 8]);
+        expr.add_term(1.0, vec![Some(cycle(16, 1.0)), None, None]);
+        expr.add_term(2.0, vec![None, Some(cycle(16, 1.5)), Some(cycle(8, 0.5))]);
+        expr.add_term(0.3, vec![None, None, Some(cycle(8, 2.0))]);
+        let m = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![16, 16, 8]).unwrap()).unwrap();
+        assert!(m.num_states() >= PAR_MIN_STATES);
+        let n = m.num_states();
+        let f = probe(n);
+        let serial = compile_point_interval(&m, 1);
+        let (mut lo_ref, mut hi_ref) = (vec![0.0; n], vec![0.0; n]);
+        serial.acc_bound_operator(&f, &mut lo_ref, false);
+        serial.acc_bound_operator(&f, &mut hi_ref, true);
+        for threads in [2usize, 4, 7] {
+            let c = compile_point_interval(&m, threads);
+            let (mut lo, mut hi) = (vec![0.0; n], vec![0.0; n]);
+            c.acc_bound_operator(&f, &mut lo, false);
+            c.acc_bound_operator(&f, &mut hi, true);
+            assert_eq!(lo_ref, lo, "lower sweep, {threads} threads");
+            assert_eq!(hi_ref, hi, "upper sweep, {threads} threads");
+        }
+    }
+
+    #[test]
+    fn max_exit_rate_hi_dominates_scalar_row_sums() {
+        let m = full_matrix();
+        let ci = compile_point_interval(&m, 1);
+        let c = CompiledMdMatrix::compile(&m);
+        let scalar_max = RateMatrix::row_sums(&c).into_iter().fold(0.0, f64::max);
+        let hi = ci.max_exit_rate_hi();
+        assert!(hi >= scalar_max, "{hi} must dominate {scalar_max}");
+        assert!(hi < scalar_max + 1e-9, "only rounding slack above");
+    }
+
+    #[test]
+    fn interval_kernel_image_round_trips() {
+        let m = full_matrix();
+        let ci = compile_point_interval(&m, 1);
+        let parts = ci.to_parts();
+        let mut w = ImageWriter::new();
+        parts.write_image(&mut w);
+        let payload = w.finish();
+        let view = ImageView::parse(&payload).expect("image parses");
+        let back = CompiledParts::<Interval>::read_image(&view, SlabSource::Copy).expect("reads");
+        assert_eq!(back, parts);
+        let rebuilt = CompiledMdMatrix::from_parts(back, 1).expect("parts validate");
+        let n = m.num_states();
+        let f = probe(n);
+        let (mut a, mut b) = (vec![0.0; n], vec![0.0; n]);
+        ci.acc_bound_operator(&f, &mut a, false);
+        rebuilt.acc_bound_operator(&f, &mut b, false);
+        assert_eq!(a, b, "lower sweep bit-identical after round trip");
     }
 
     #[test]

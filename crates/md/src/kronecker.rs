@@ -365,7 +365,10 @@ mod tests {
         // Root has the two cycle entries; coefficients carry the rate.
         let root = md.node_ref(md.root());
         assert_eq!(root.num_entries(), 2);
-        assert_eq!(root.entries().next().unwrap().terms().next().unwrap().coef, 2.0);
+        assert_eq!(
+            root.entries().next().unwrap().terms().next().unwrap().coef,
+            2.0
+        );
     }
 
     #[test]

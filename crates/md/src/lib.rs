@@ -71,7 +71,7 @@ pub use kronecker::{KroneckerExpr, KroneckerTerm, SparseFactor};
 pub use md::{ChildId, Md, MdEntry, MdEntryRef, MdNode, MdNodeId, MdNodeRef, Term};
 
 pub use apply::MdMatrix;
-pub use compiled::{default_threads, CompileStats, CompiledMdMatrix, CompiledParts};
+pub use compiled::{default_threads, CompileStats, CompiledMdMatrix, CompiledParts, TermSite};
 
 /// Convenience alias for fallible MD operations.
 pub type Result<T> = std::result::Result<T, MdError>;

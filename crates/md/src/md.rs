@@ -86,7 +86,22 @@ impl MdNode {
         Self::from_raw(raw)
     }
 
-    pub(crate) fn from_raw(mut raw: Vec<(u32, u32, Vec<Term>)>) -> MdNode {
+    /// Like [`MdNode::new`], but **retains zero-coefficient terms** after
+    /// merging (the canonical form drops exact zeros — they are no-ops
+    /// for every product). The certified-bounds quotient needs explicit
+    /// zeros as anchors for rate envelopes around transitions the class
+    /// representative lacks: a `0.0`-rate term the interval kernel widens
+    /// to `[0, ε]`. Scalar products over such a node are numerically
+    /// unchanged (a zero coefficient contributes an exact `+0.0`).
+    pub fn new_keeping_zeros(raw: Vec<(u32, u32, Vec<Term>)>) -> MdNode {
+        Self::from_raw_impl(raw, true)
+    }
+
+    pub(crate) fn from_raw(raw: Vec<(u32, u32, Vec<Term>)>) -> MdNode {
+        Self::from_raw_impl(raw, false)
+    }
+
+    fn from_raw_impl(mut raw: Vec<(u32, u32, Vec<Term>)>, keep_zeros: bool) -> MdNode {
         raw.sort_by_key(|&(r, c, _)| (r, c));
         let mut entries: Vec<MdEntry> = Vec::with_capacity(raw.len());
         for (row, col, terms) in raw {
@@ -99,7 +114,7 @@ impl MdNode {
             entries.push(MdEntry { row, col, terms });
         }
         for e in entries.iter_mut() {
-            canonicalize_terms(&mut e.terms);
+            canonicalize_terms_impl(&mut e.terms, keep_zeros);
         }
         entries.retain(|e| !e.terms.is_empty());
         MdNode { entries }
@@ -110,7 +125,9 @@ impl MdNode {
     /// inverse of [`MdNodeRef::to_node`], used when materializing slab
     /// rows.
     pub(crate) fn from_canonical_entries(entries: Vec<MdEntry>) -> MdNode {
-        debug_assert!(entries.windows(2).all(|w| (w[0].row, w[0].col) < (w[1].row, w[1].col)));
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| (w[0].row, w[0].col) < (w[1].row, w[1].col)));
         MdNode { entries }
     }
 
@@ -168,6 +185,10 @@ pub(crate) type NodeKey = Vec<(u32, u32, Vec<(ChildId, u64)>)>;
 
 /// Sorts by child, merges duplicate children, drops zero coefficients.
 pub(crate) fn canonicalize_terms(terms: &mut Vec<Term>) {
+    canonicalize_terms_impl(terms, false);
+}
+
+fn canonicalize_terms_impl(terms: &mut Vec<Term>, keep_zeros: bool) {
     terms.sort_by_key(|t| t.child);
     let mut out: Vec<Term> = Vec::with_capacity(terms.len());
     for t in terms.drain(..) {
@@ -179,7 +200,9 @@ pub(crate) fn canonicalize_terms(terms: &mut Vec<Term>) {
         }
         out.push(t);
     }
-    out.retain(|t| t.coef != 0.0);
+    if !keep_zeros {
+        out.retain(|t| t.coef != 0.0);
+    }
     *terms = out;
 }
 
@@ -433,7 +456,10 @@ impl Md {
     /// the trusted constructor behind every MD-producing operation.
     pub(crate) fn pack(sizes: Vec<usize>, levels: Vec<Vec<MdNode>>) -> Md {
         debug_assert_eq!(sizes.len(), levels.len());
-        let levels = levels.iter().map(|nodes| MdLevel::from_nodes(nodes)).collect();
+        let levels = levels
+            .iter()
+            .map(|nodes| MdLevel::from_nodes(nodes))
+            .collect();
         Md { sizes, levels }
     }
 
@@ -534,32 +560,6 @@ impl Md {
                 .to_node()
             })
             .collect()
-    }
-
-    /// The nodes of one level.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `level` is out of range.
-    #[deprecated(
-        since = "0.1.0",
-        note = "nodes live in per-level slabs; use `node_ref` for zero-copy access or `level_nodes` to materialize"
-    )]
-    pub fn nodes_at(&self, level: usize) -> Vec<MdNode> {
-        self.level_nodes(level)
-    }
-
-    /// A single node, materialized.
-    ///
-    /// # Panics
-    ///
-    /// Panics if out of range.
-    #[deprecated(
-        since = "0.1.0",
-        note = "nodes live in per-level slabs; use `node_ref` for zero-copy access"
-    )]
-    pub fn node(&self, id: MdNodeId) -> MdNode {
-        self.node_ref(id).to_node()
     }
 
     /// Number of nodes at one level.
@@ -689,7 +689,7 @@ impl Md {
             } else {
                 None
             };
-            for i in 0..old_count {
+            for (i, slot) in level_map.iter_mut().enumerate() {
                 let node = MdNodeRef {
                     level: &self.levels[level],
                     id: MdNodeId {
@@ -723,7 +723,7 @@ impl Md {
                     new_levels[level].push(canon);
                     (new_levels[level].len() - 1) as u32
                 });
-                level_map[i] = new_index;
+                *slot = new_index;
             }
             removed += old_count - new_levels[level].len();
             remap.push(level_map);
@@ -793,7 +793,11 @@ impl Md {
         for l in 0..num_levels {
             let last = l == num_levels - 1;
             let size = sizes[l] as u32;
-            let next_count = if last { 0 } else { levels[l + 1].num_nodes() as u32 };
+            let next_count = if last {
+                0
+            } else {
+                levels[l + 1].num_nodes() as u32
+            };
             let lv = &levels[l];
             for e in 0..lv.num_entries() {
                 if lv.entry_rows[e] >= size || lv.entry_cols[e] >= size {
@@ -804,7 +808,11 @@ impl Md {
                 }
             }
             for (k, &c) in lv.term_children.iter().enumerate() {
-                let ok = if last { c == TERMINAL_CHILD } else { c != TERMINAL_CHILD && c < next_count };
+                let ok = if last {
+                    c == TERMINAL_CHILD
+                } else {
+                    c != TERMINAL_CHILD && c < next_count
+                };
                 if !ok {
                     return Err(MdError::Image(format!(
                         "level {l}: term {k} has invalid child reference {c}"
@@ -1033,14 +1041,6 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_return_owned_nodes() {
-        let md = two_level_md();
-        assert_eq!(md.node(md.root()), md.node_ref(md.root()).to_node());
-        assert_eq!(md.nodes_at(1), md.level_nodes(1));
     }
 
     #[test]

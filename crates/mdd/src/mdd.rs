@@ -275,19 +275,6 @@ impl Mdd {
         &self.levels[level].children
     }
 
-    /// Raw child tables, one flat row per level: node `i`'s slots occupy
-    /// `[i * sizes[l], (i + 1) * sizes[l])`. Slots hold
-    /// [`Mdd::RAW_NO_CHILD`], [`Mdd::RAW_TERMINAL`] (last level only) or a
-    /// next-level node index. Counts and offsets are derived data and are
-    /// not included; [`Mdd::from_raw_levels`] recomputes them.
-    #[deprecated(
-        since = "0.1.0",
-        note = "copies every level; use `raw_level_children(level)` for a zero-copy view"
-    )]
-    pub fn raw_children(&self) -> Vec<Vec<u32>> {
-        self.levels.iter().map(|l| l.children.to_vec()).collect()
-    }
-
     /// Sentinel in level child tables: the slot has no child.
     pub const RAW_NO_CHILD: u32 = NO_CHILD;
     /// Sentinel in level child tables: the slot reaches the accepting
@@ -654,7 +641,11 @@ impl Mdd {
         for level in 0..num_levels {
             let last = level == num_levels - 1;
             let size = sizes[level];
-            let next_count = if last { 0 } else { levels[level + 1].num_nodes() };
+            let next_count = if last {
+                0
+            } else {
+                levels[level + 1].num_nodes()
+            };
             for (flat, &c) in levels[level].children.iter().enumerate() {
                 let ok = c == NO_CHILD
                     || (last && c == TERMINAL)

@@ -27,6 +27,12 @@ pub struct SharedRepairConfig {
     pub mode_switch: f64,
     /// Failure-rate multiplier in degraded mode.
     pub degraded_factor: f64,
+    /// Relative per-machine spread of the failure weights: machine `i`
+    /// fails with factor weight `1 + failure_spread · i`. Zero (the
+    /// default) keeps the machines exactly interchangeable; a small
+    /// positive spread makes the model *tolerance*-lumpable only — the
+    /// configuration certified `--bounds` solves exist for.
+    pub failure_spread: f64,
 }
 
 impl Default for SharedRepairConfig {
@@ -37,6 +43,7 @@ impl Default for SharedRepairConfig {
             repair: 1.0,
             mode_switch: 0.02,
             degraded_factor: 2.0,
+            failure_spread: 0.0,
         }
     }
 }
@@ -81,7 +88,8 @@ impl SharedRepairModel {
         for mask in 0..n {
             for i in 0..m {
                 if mask & (1 << i) == 0 {
-                    fail.push(mask, mask | (1 << i), 1.0);
+                    let weight = 1.0 + config.failure_spread * i as f64;
+                    fail.push(mask, mask | (1 << i), weight);
                 }
             }
         }
@@ -210,6 +218,30 @@ mod tests {
                 .unwrap()
         };
         assert!(mk(8.0) < mk(1.0));
+    }
+
+    #[test]
+    fn failure_spread_breaks_exact_lumping_but_not_tolerance_lumping() {
+        let model = SharedRepairModel::new(SharedRepairConfig {
+            machines: 4,
+            failure_spread: 1e-4,
+            ..SharedRepairConfig::default()
+        });
+        let mrp = model.build_md_mrp().unwrap();
+        // Exactly, the machines are now distinguishable: no reduction.
+        let exact = LumpRequest::new(LumpKind::Ordinary)
+            .tolerance(mdl_linalg::Tolerance::Exact)
+            .run(&mrp)
+            .unwrap();
+        assert_eq!(exact.partitions[1].num_classes(), 16);
+        // At two decimals the spread is absorbed and the down-count
+        // partition reappears, with the absorbed deviation on record.
+        let tol = LumpRequest::new(LumpKind::Ordinary)
+            .tolerance(mdl_linalg::Tolerance::Decimals(2))
+            .run(&mrp)
+            .unwrap();
+        assert_eq!(tol.partitions[1].num_classes(), 5);
+        assert!(tol.stats.max_rate_deviation > 0.0);
     }
 
     #[test]

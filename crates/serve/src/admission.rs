@@ -247,6 +247,8 @@ mod tests {
                     deadline_ms: None,
                     tenant: tenant.to_string(),
                     fallback: true,
+                    bounds: false,
+                    tolerance: mdl_linalg::Tolerance::default(),
                 },
                 cancel: CancelToken::new(),
                 respond: tx,

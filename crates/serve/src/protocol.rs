@@ -21,6 +21,7 @@
 use mdl_cli::commands::Measure;
 use mdl_core::LumpKind;
 use mdl_ctmc::RunReport;
+use mdl_linalg::Tolerance;
 use mdl_obs::json::{self, Json, JsonObject};
 
 /// One parsed request line.
@@ -54,6 +55,14 @@ pub struct SolveParams {
     /// Whether to degrade through the fallback ladder on retryable
     /// failures (default true — graceful degradation is the point).
     pub fallback: bool,
+    /// `"bounds": true` — return a certified interval enclosure of the
+    /// measure instead of a single scalar (ordinary lumping, stationary
+    /// or transient measures only).
+    pub bounds: bool,
+    /// `"tolerance": "exact" | N` — the lumping comparison tolerance in
+    /// decimal digits (default 9). Looser tolerances lump more and widen
+    /// the certified interval a `bounds` solve returns.
+    pub tolerance: Tolerance,
 }
 
 /// How a request failed, mirrored into the response's `kind` field and
@@ -124,8 +133,12 @@ pub struct AttemptRow {
 /// The successful-solve response body.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OkBody {
-    /// The computed measure.
+    /// The computed measure. For a `bounds` solve this is the interval
+    /// midpoint; the certification lives in `bounds`.
     pub measure: f64,
+    /// `Some((lo, hi))` for a `bounds` solve: the certified enclosure,
+    /// rendered as `measure_lo`/`measure_hi`. `None` for scalar solves.
+    pub bounds: Option<(f64, f64)>,
     /// States in the unlumped chain.
     pub original_states: u64,
     /// States after lumping.
@@ -183,8 +196,11 @@ impl Response {
         obj.str("status", self.status());
         match self {
             Response::Ok(body) => {
-                obj.f64("measure", body.measure)
-                    .u64("original_states", body.original_states)
+                obj.f64("measure", body.measure);
+                if let Some((lo, hi)) = body.bounds {
+                    obj.f64("measure_lo", lo).f64("measure_hi", hi);
+                }
+                obj.u64("original_states", body.original_states)
                     .u64("lumped_states", body.lumped_states)
                     .bool("warm", body.warm)
                     .u64("elapsed_ms", body.elapsed_ms);
@@ -299,6 +315,37 @@ fn parse_solve(value: &Json) -> Result<SolveParams, String> {
         .get("fallback")
         .and_then(Json::as_bool)
         .unwrap_or(true);
+    let bounds = value.get("bounds").and_then(Json::as_bool).unwrap_or(false);
+    let tolerance = match value.get("tolerance") {
+        None => Tolerance::default(),
+        Some(v) => {
+            if v.as_str() == Some("exact") {
+                Tolerance::Exact
+            } else if let Some(n) = v.as_u64() {
+                u32::try_from(n)
+                    .map(Tolerance::Decimals)
+                    .map_err(|_| format!("solve: \"tolerance\" out of range, got {n}"))?
+            } else {
+                return Err(
+                    "solve: \"tolerance\" must be \"exact\" or a number of decimal digits".into(),
+                );
+            }
+        }
+    };
+    if bounds && kind == LumpKind::Exact {
+        return Err(
+            "solve: \"bounds\" encloses measures of the ordinary-lumped chain \
+                    (lump \"exact\" is not supported)"
+                .into(),
+        );
+    }
+    if bounds && matches!(measure, Measure::Accumulated(_)) {
+        return Err(
+            "solve: \"bounds\" supports the stationary and transient measures \
+                    (accumulated rewards have no certified sweep)"
+                .into(),
+        );
+    }
     Ok(SolveParams {
         model,
         kind,
@@ -306,6 +353,8 @@ fn parse_solve(value: &Json) -> Result<SolveParams, String> {
         deadline_ms,
         tenant,
         fallback,
+        bounds,
+        tolerance,
     })
 }
 
@@ -356,6 +405,68 @@ mod tests {
         assert_eq!(p.deadline_ms, None);
         assert_eq!(p.tenant, "anon");
         assert!(p.fallback);
+        assert!(!p.bounds);
+        assert_eq!(p.tolerance, Tolerance::default());
+    }
+
+    #[test]
+    fn bounds_requests_parse_with_tolerance() {
+        let req =
+            parse_request(r#"{"cmd":"solve","model":"m","bounds":true,"tolerance":2}"#).unwrap();
+        let Request::Solve(p) = req else {
+            panic!("not a solve")
+        };
+        assert!(p.bounds);
+        assert_eq!(p.tolerance, Tolerance::Decimals(2));
+        let req = parse_request(r#"{"cmd":"solve","model":"m","tolerance":"exact"}"#).unwrap();
+        let Request::Solve(p) = req else {
+            panic!("not a solve")
+        };
+        assert_eq!(p.tolerance, Tolerance::Exact);
+
+        // Unsupported combinations are bad requests, not worker errors.
+        let e = parse_request(r#"{"cmd":"solve","model":"m","bounds":true,"lump":"exact"}"#)
+            .unwrap_err();
+        assert!(e.contains("ordinary"), "{e}");
+        let e = parse_request(
+            r#"{"cmd":"solve","model":"m","bounds":true,"measure":"accumulated","t":1.0}"#,
+        )
+        .unwrap_err();
+        assert!(e.contains("certified sweep"), "{e}");
+        let e = parse_request(r#"{"cmd":"solve","model":"m","tolerance":"fuzzy"}"#).unwrap_err();
+        assert!(e.contains("tolerance"), "{e}");
+    }
+
+    #[test]
+    fn bounds_render_as_lo_hi_fields_bit_exactly() {
+        let (lo, hi) = (0.1 + 0.2, 1.0 / 3.0 + 1.0);
+        let ok = Response::Ok(OkBody {
+            measure: 0.5 * (lo + hi),
+            bounds: Some((lo, hi)),
+            original_states: 8,
+            lumped_states: 3,
+            warm: false,
+            elapsed_ms: 2,
+            attempts: vec![],
+        });
+        let parsed = json::parse(&ok.render()).unwrap();
+        let back_lo = parsed.get("measure_lo").and_then(Json::as_f64).unwrap();
+        let back_hi = parsed.get("measure_hi").and_then(Json::as_f64).unwrap();
+        assert_eq!(lo.to_bits(), back_lo.to_bits());
+        assert_eq!(hi.to_bits(), back_hi.to_bits());
+        // Scalar responses carry no bound fields at all.
+        let ok = Response::Ok(OkBody {
+            measure: 1.0,
+            bounds: None,
+            original_states: 1,
+            lumped_states: 1,
+            warm: false,
+            elapsed_ms: 0,
+            attempts: vec![],
+        });
+        let parsed = json::parse(&ok.render()).unwrap();
+        assert!(parsed.get("measure_lo").is_none());
+        assert!(parsed.get("measure_hi").is_none());
     }
 
     #[test]
@@ -394,6 +505,7 @@ mod tests {
     fn responses_render_the_status_trichotomy() {
         let ok = Response::Ok(OkBody {
             measure: 1.25,
+            bounds: None,
             original_states: 8,
             lumped_states: 3,
             warm: true,
@@ -447,6 +559,7 @@ mod tests {
         for &m in &[1.0 / 3.0, 6.02e23, 1e-300, 0.1 + 0.2] {
             let ok = Response::Ok(OkBody {
                 measure: m,
+                bounds: None,
                 original_states: 1,
                 lumped_states: 1,
                 warm: false,

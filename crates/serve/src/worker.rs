@@ -195,7 +195,36 @@ fn execute(shared: &Shared, params: &SolveParams, cancel: &CancelToken, t0: Inst
         Ok(b) => b,
         Err(e) => return error_response(e.into()),
     };
+
+    // A bounds request takes its own path: a tolerance lump that records
+    // the rate envelope, then certified lower/upper sweeps. The lump and
+    // kernel are envelope-specific, so the warm caches do not apply.
+    if params.bounds {
+        let kernel_opts = mdl_core::KernelOptions {
+            kind: mdl_core::KernelKind::Compiled,
+            threads: shared.solve_threads,
+        };
+        return match mdl_cli::commands::certified_bounds(
+            &built.value,
+            params.measure,
+            params.tolerance,
+            &kernel_opts,
+            &budget,
+        ) {
+            Ok(cb) => Response::Ok(OkBody {
+                measure: 0.5 * (cb.bounds.lo + cb.bounds.hi),
+                bounds: Some((cb.bounds.lo, cb.bounds.hi)),
+                original_states: built.value.num_states() as u64,
+                lumped_states: cb.lump.stats.lumped_states,
+                warm: false,
+                elapsed_ms: t0.elapsed().as_millis() as u64,
+                attempts: attempt_rows(&cb.report),
+            }),
+            Err(e) => error_response(e),
+        };
+    }
     let lump_request = LumpRequest::new(params.kind)
+        .tolerance(params.tolerance)
         .threads(shared.solve_threads)
         .budget(budget.clone())
         .cancelled_by(cancel);
@@ -227,6 +256,7 @@ fn execute(shared: &Shared, params: &SolveParams, cancel: &CancelToken, t0: Inst
 
     Response::Ok(OkBody {
         measure: value,
+        bounds: None,
         original_states: built.value.num_states() as u64,
         lumped_states: lumped.value.stats.lumped_states,
         warm,
@@ -407,6 +437,8 @@ mod tests {
             deadline_ms: None,
             tenant: "test".into(),
             fallback: true,
+            bounds: false,
+            tolerance: mdl_linalg::Tolerance::default(),
         }
     }
 
@@ -441,6 +473,32 @@ mod tests {
         }
         // Warm kernel is retained for the next request of this model.
         assert_eq!(shared.warm_kernels(), 1);
+    }
+
+    #[test]
+    fn bounds_job_returns_an_enclosing_interval() {
+        let _guard = mdl_obs::testing::guard();
+        mdl_obs::failpoint::clear();
+        let mut params = solve_params(MODEL);
+        params.bounds = true;
+        let (job, _rx) = job_for(params);
+        let shared = shared();
+        match run_job(&shared, &job) {
+            Response::Ok(body) => {
+                let (lo, hi) = body.bounds.expect("bounds solve returns an interval");
+                assert!(lo.is_finite() && hi.is_finite() && lo <= hi);
+                assert!(lo <= body.measure && body.measure <= hi);
+                assert!(!body.attempts.is_empty(), "sweep log rides along");
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        // The scalar solve of the same model agrees with the enclosure
+        // up to its own iteration tolerance.
+        let (job, _rx) = job_for(solve_params(MODEL));
+        match run_job(&shared, &job) {
+            Response::Ok(body) => assert!(body.bounds.is_none()),
+            other => panic!("expected ok, got {other:?}"),
+        }
     }
 
     #[test]

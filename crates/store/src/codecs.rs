@@ -8,7 +8,10 @@
 
 use std::time::Duration;
 
-use mdl_ctmc::{AttemptOutcome, AttemptRecord, RunReport, Solution, SolveStats};
+use mdl_arena::Interval;
+use mdl_ctmc::{
+    AttemptOutcome, AttemptRecord, BoundsSolution, BoundsStats, RunReport, Solution, SolveStats,
+};
 use mdl_linalg::CsrMatrix;
 use mdl_md::{ChildId, CompiledParts, Md, MdNode, Term};
 use mdl_mdd::Mdd;
@@ -32,6 +35,9 @@ fn intern_label(s: String) -> &'static str {
         "compiled",
         "walk",
         "flat-csr",
+        "bounds-lower",
+        "bounds-upper",
+        "interval",
     ];
     for &k in KNOWN {
         if k == s {
@@ -346,12 +352,16 @@ impl Codec for CompiledParts {
             || self.block_scales.len() != b
             || self.block_leafs.len() != b
         {
-            return Err(StoreError::corrupted("kernel block arrays disagree in length"));
+            return Err(StoreError::corrupted(
+                "kernel block arrays disagree in length",
+            ));
         }
         if self.leaf_rows.len() != self.leaf_coefs.len()
             || self.leaf_cols.len() != self.leaf_coefs.len()
         {
-            return Err(StoreError::corrupted("kernel leaf arrays disagree in length"));
+            return Err(StoreError::corrupted(
+                "kernel leaf arrays disagree in length",
+            ));
         }
         match self.leaf_bounds.split_first() {
             None if self.leaf_coefs.is_empty() => {}
@@ -360,12 +370,79 @@ impl Codec for CompiledParts {
                 if first != 0
                     || rest.windows(2).any(|w| w[0] > w[1])
                     || self.leaf_bounds.windows(2).any(|w| w[0] > w[1])
-                    || *self.leaf_bounds.last().expect("nonempty") as usize
-                        != self.leaf_coefs.len()
+                    || *self.leaf_bounds.last().expect("nonempty") as usize != self.leaf_coefs.len()
                 {
                     return Err(StoreError::corrupted("kernel leaf bounds malformed"));
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+impl Codec for BoundsSolution {
+    const KIND: u16 = 13;
+    const NAME: &'static str = "bounds";
+
+    fn encode(&self, w: &mut ByteWriter) {
+        w.f64(self.bounds.lo);
+        w.f64(self.bounds.hi);
+        w.usize(self.stats.lower_iterations);
+        w.usize(self.stats.upper_iterations);
+        w.f64(self.stats.lower_residual);
+        w.f64(self.stats.upper_residual);
+        w.u8(self.stats.converged as u8);
+        w.f64(self.stats.lambda);
+        w.f64(self.stats.discretization_error);
+        w.u64(duration_nanos(self.stats.elapsed));
+        Codec::encode(&self.report, w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, StoreError> {
+        let lo = r.f64()?;
+        let hi = r.f64()?;
+        let lower_iterations = r.usize()?;
+        let upper_iterations = r.usize()?;
+        let lower_residual = r.f64()?;
+        let upper_residual = r.f64()?;
+        let converged = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(StoreError::corrupted(format!("unknown bool tag {t}"))),
+        };
+        let lambda = r.f64()?;
+        let discretization_error = r.f64()?;
+        let elapsed = Duration::from_nanos(r.u64()?);
+        let report = RunReport::decode(r)?;
+        Ok(BoundsSolution {
+            bounds: Interval { lo, hi },
+            stats: BoundsStats {
+                lower_iterations,
+                upper_iterations,
+                lower_residual,
+                upper_residual,
+                converged,
+                lambda,
+                discretization_error,
+                elapsed,
+            },
+            report,
+        })
+    }
+
+    fn validate(&self) -> Result<(), StoreError> {
+        let Interval { lo, hi } = self.bounds;
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(StoreError::corrupted(format!(
+                "bounds [{lo}, {hi}] are not a finite ordered interval"
+            )));
+        }
+        // `is_nan` checks are spelled out so NaN stats are rejected too.
+        let bad = |v: f64| v.is_nan() || v < 0.0;
+        if bad(self.stats.lambda) || bad(self.stats.discretization_error) {
+            return Err(StoreError::corrupted(
+                "bounds stats carry a negative or NaN rate/error",
+            ));
         }
         Ok(())
     }

@@ -289,11 +289,7 @@ fn map_cache() -> &'static Mutex<HashMap<PathBuf, MapEntry>> {
 }
 
 /// Fetches (or creates and validates) the cached mapping for `path`.
-fn cached_mapping(
-    path: &Path,
-    meta: &fs::Metadata,
-    kind: u16,
-) -> Result<Arc<Mapping>, StoreError> {
+fn cached_mapping(path: &Path, meta: &fs::Metadata, kind: u16) -> Result<Arc<Mapping>, StoreError> {
     let len = meta.len();
     let mtime = meta.modified().ok();
     let mut cache = map_cache().lock().unwrap_or_else(|e| e.into_inner());
@@ -303,12 +299,10 @@ fn cached_mapping(
             return Ok(Arc::clone(&entry.region));
         }
     }
-    let region = Arc::new(
-        Mapping::open(path).map_err(|e| StoreError::Io {
-            path: path.display().to_string(),
-            detail: e.to_string(),
-        })?,
-    );
+    let region = Arc::new(Mapping::open(path).map_err(|e| StoreError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?);
     validate_frame(region.bytes(), kind)?;
     mdl_obs::counter("store.map.miss").inc();
     cache.insert(

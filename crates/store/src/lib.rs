@@ -58,4 +58,7 @@ pub use codecs::Checkpoint;
 pub use disk::Store;
 pub use error::StoreError;
 pub use hash::Fnv1a;
-pub use image::{KernelImage, MappedArtifact, MdImage, MddImage};
+pub use image::{
+    IntervalVector, IntervalVectorImage, KernelImage, KernelIntervalImage, MappedArtifact, MdImage,
+    MddImage,
+};

@@ -5,7 +5,10 @@
 
 use proptest::prelude::*;
 
-use mdl_ctmc::{Solution, SolveStats};
+use mdl_arena::Interval;
+use mdl_ctmc::{
+    AttemptOutcome, AttemptRecord, BoundsSolution, BoundsStats, RunReport, Solution, SolveStats,
+};
 use mdl_linalg::{CooMatrix, CsrMatrix};
 use mdl_md::{CompiledMdMatrix, KroneckerExpr, Md, MdMatrix, SparseFactor};
 use mdl_mdd::Mdd;
@@ -294,6 +297,109 @@ fn compiled_kernel_round_trips_through_parts() {
     assert_adversarial_inputs_fail::<mdl_md::CompiledParts>(&parts.to_bytes());
 }
 
+fn sample_bounds_solution(converged: bool) -> BoundsSolution {
+    let sweep = |method: &'static str, iterations: usize| AttemptRecord {
+        method,
+        kernel: Some("interval"),
+        iterations,
+        residual: 3.5e-11,
+        outcome: if converged {
+            AttemptOutcome::Converged
+        } else {
+            AttemptOutcome::NotConverged
+        },
+        error: None,
+        elapsed: std::time::Duration::from_micros(730),
+    };
+    BoundsSolution {
+        bounds: Interval {
+            lo: 0.599_999_2,
+            hi: 0.600_000_9,
+        },
+        stats: BoundsStats {
+            lower_iterations: 412,
+            upper_iterations: 398,
+            lower_residual: 3.5e-11,
+            upper_residual: 2.1e-11,
+            converged,
+            lambda: 5.1,
+            discretization_error: 1.25e-9,
+            elapsed: std::time::Duration::from_micros(1460),
+        },
+        report: RunReport {
+            attempts: vec![sweep("bounds-lower", 412), sweep("bounds-upper", 398)],
+        },
+    }
+}
+
+/// Kind 13: a certified bounds solve round-trips bit-exactly, the nested
+/// attempt report reuses the interned sweep labels, and adversarial
+/// inputs are rejected.
+#[test]
+fn bounds_solution_round_trips_bit_exactly() {
+    for converged in [true, false] {
+        let sol = sample_bounds_solution(converged);
+        let bytes = sol.to_bytes();
+        let back = BoundsSolution::from_bytes(&bytes).unwrap();
+        assert_eq!(back.bounds.lo.to_bits(), sol.bounds.lo.to_bits());
+        assert_eq!(back.bounds.hi.to_bits(), sol.bounds.hi.to_bits());
+        assert_eq!(back.stats.lower_iterations, sol.stats.lower_iterations);
+        assert_eq!(back.stats.upper_iterations, sol.stats.upper_iterations);
+        assert_eq!(
+            back.stats.lower_residual.to_bits(),
+            sol.stats.lower_residual.to_bits()
+        );
+        assert_eq!(
+            back.stats.upper_residual.to_bits(),
+            sol.stats.upper_residual.to_bits()
+        );
+        assert_eq!(back.stats.converged, sol.stats.converged);
+        assert_eq!(back.stats.lambda.to_bits(), sol.stats.lambda.to_bits());
+        assert_eq!(
+            back.stats.discretization_error.to_bits(),
+            sol.stats.discretization_error.to_bits()
+        );
+        assert_eq!(back.stats.elapsed, sol.stats.elapsed);
+        assert_eq!(back.report.attempts.len(), 2);
+        // Interned labels decode to the same static strings the ctmc
+        // crate hands out, so pointer-free == comparisons keep working.
+        assert_eq!(back.report.attempts[0].method, "bounds-lower");
+        assert_eq!(back.report.attempts[1].method, "bounds-upper");
+        assert_eq!(back.report.attempts[0].kernel, Some("interval"));
+        assert_eq!(
+            back.report.attempts[0].outcome,
+            sol.report.attempts[0].outcome
+        );
+        assert_adversarial_inputs_fail::<BoundsSolution>(&bytes);
+    }
+}
+
+/// An inverted (`lo > hi`) or non-finite enclosure must not survive a
+/// store round trip even when the payload checksum is intact.
+#[test]
+fn malformed_bounds_are_rejected_on_decode() {
+    for bounds in [
+        Interval { lo: 2.0, hi: 1.0 },
+        Interval {
+            lo: f64::NAN,
+            hi: 1.0,
+        },
+        Interval {
+            lo: 0.0,
+            hi: f64::INFINITY,
+        },
+    ] {
+        let mut sol = sample_bounds_solution(true);
+        sol.bounds = bounds;
+        assert!(
+            BoundsSolution::from_bytes(&sol.to_bytes()).is_err(),
+            "bounds [{}, {}] decoded successfully",
+            bounds.lo,
+            bounds.hi
+        );
+    }
+}
+
 fn temp_store(tag: &str) -> mdl_store::Store {
     let dir = std::env::temp_dir().join(format!("mdl-roundtrip-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -354,6 +460,94 @@ fn mapped_and_decoded_kernels_are_byte_identical() {
     let _ = std::fs::remove_dir_all(store.root());
 }
 
+/// Kinds 14/15: an interval kernel image and an interval vector image
+/// opened by `mmap` and copy-decoded must agree exactly, and the mapped
+/// kernel's bound-operator sweeps must match the owned kernel's to the
+/// bit — certification must not depend on how the artifact was opened.
+#[cfg(unix)]
+#[test]
+fn mapped_and_decoded_interval_artifacts_are_byte_identical() {
+    use mdl_linalg::IntervalRateMatrix;
+    use mdl_store::{IntervalVector, IntervalVectorImage, KernelIntervalImage};
+
+    let store = temp_store("interval-map-vs-decode");
+
+    // An interval kernel: every leaf coefficient widened 1% outward.
+    let mut w = SparseFactor::new(3);
+    w.push(0, 1, 1.25);
+    w.push(2, 1, 0.75);
+    let mut cyc = SparseFactor::new(2);
+    cyc.push(0, 1, 2.0);
+    cyc.push(1, 0, 2.0);
+    let mut expr = KroneckerExpr::new(vec![2, 3]);
+    expr.add_term(1.0, vec![Some(cyc), None]);
+    expr.add_term(0.5, vec![None, Some(w)]);
+    let matrix = MdMatrix::new(expr.to_md().unwrap(), Mdd::full(vec![2, 3]).unwrap()).unwrap();
+    let n = matrix.reach().count() as usize;
+    let compiled = CompiledMdMatrix::<Interval>::compile_weighted(
+        &matrix,
+        1,
+        &mdl_obs::Budget::unlimited(),
+        &|site| Interval {
+            lo: site.coef * 0.99,
+            hi: site.coef * 1.01,
+        },
+    )
+    .unwrap();
+    let parts = compiled.to_parts();
+    store.save(5, &KernelIntervalImage(parts.clone())).unwrap();
+
+    let mapped = store
+        .map::<KernelIntervalImage>(5)
+        .unwrap()
+        .expect("mapped open");
+    assert!(mapped.0.is_mapped(), "slabs borrow the mapping");
+    let decoded = store
+        .load::<KernelIntervalImage>(5)
+        .unwrap()
+        .expect("copy decode");
+    assert!(!decoded.0.is_mapped());
+    assert_eq!(mapped.0, decoded.0);
+    assert_eq!(mapped.0, parts);
+
+    let f: Vec<f64> = (0..n).map(|i| 0.2 + 0.37 * i as f64).collect();
+    for upper in [false, true] {
+        let mut want = vec![0.0; n];
+        compiled.acc_bound_operator(&f, &mut want, upper);
+        for parts in [mapped.0.clone(), decoded.0.clone()] {
+            let kernel = CompiledMdMatrix::<Interval>::from_parts(parts, 2).unwrap();
+            let mut got = vec![0.0; n];
+            kernel.acc_bound_operator(&f, &mut got, upper);
+            assert_eq!(bits(&want), bits(&got));
+        }
+    }
+
+    // An interval vector rides the same save/map/load machinery.
+    let vals: Vec<Interval> = f
+        .iter()
+        .map(|&v| Interval {
+            lo: v - 0.125,
+            hi: v + 0.125,
+        })
+        .collect();
+    store
+        .save(6, &IntervalVectorImage(IntervalVector::new(vals.clone())))
+        .unwrap();
+    let vm = store
+        .map::<IntervalVectorImage>(6)
+        .unwrap()
+        .expect("mapped open");
+    assert!(vm.0.is_mapped());
+    let vd = store
+        .load::<IntervalVectorImage>(6)
+        .unwrap()
+        .expect("copy decode");
+    assert!(!vd.0.is_mapped());
+    assert_eq!(vm.0, vd.0);
+    assert_eq!(vm.0.values(), &vals[..]);
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
 /// A second map of the same key reuses the cached mapping (one region,
 /// many `Arc`s), and rewriting the file invalidates the cache entry.
 #[cfg(unix)]
@@ -391,7 +585,9 @@ fn sweep_collects_mapped_sidecar_debris() {
     let artifact = store.path_for::<mdl_store::KernelImage>(1);
     assert!(artifact.to_string_lossy().ends_with(".mdlm"));
     let maplock = store.root().join("kernelimg-0000000000000001.mdlm.maplock");
-    let new_tmp = store.root().join("kernelimg-0000000000000001.mdlm.new.123.0");
+    let new_tmp = store
+        .root()
+        .join("kernelimg-0000000000000001.mdlm.new.123.0");
     std::fs::write(&maplock, b"").unwrap();
     std::fs::write(&new_tmp, b"partial").unwrap();
     // Gentle sweep keeps fresh debris (live writers), forced removes it.
